@@ -1,0 +1,318 @@
+//! Concrete Byzantine strategies.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use lbc_model::Round;
+use lbc_sim::{Adversary, ByzantineMessage, Delivery, NodeContext, Outgoing};
+
+/// A declarative description of how faulty nodes misbehave.
+///
+/// Convert a `Strategy` into an executable adversary with
+/// [`Strategy::into_adversary`]; the same strategy value can then drive any
+/// protocol whose messages implement [`ByzantineMessage`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Faulty nodes follow the protocol (fail-free baseline).
+    Honest,
+    /// Faulty nodes never transmit anything (crash from the start).
+    Silent,
+    /// Faulty nodes stop transmitting from the given round onwards
+    /// (crash mid-execution; the start-of-execution transmissions happen when
+    /// the round is `> 0`).
+    CrashAfter(u64),
+    /// Faulty nodes tamper every message they would have sent (value flip via
+    /// [`ByzantineMessage::tampered`]).
+    TamperAll,
+    /// Faulty nodes tamper only messages they *relay* (everything sent after
+    /// the start-of-execution step), leaving their own initiations intact.
+    /// This is the "node 3 tampers the message received from node 2" behaviour
+    /// of the paper's Section 4 walk-through.
+    TamperRelays,
+    /// Faulty nodes attempt to equivocate: each outgoing broadcast is turned
+    /// into per-neighbor unicasts, sending the original message to the first
+    /// half of the neighbors and a tampered copy to the second half. Under
+    /// local broadcast the network makes every neighbor overhear both copies
+    /// (the attempt is futile); under point-to-point or for hybrid
+    /// equivocators it succeeds.
+    Equivocate,
+    /// Faulty nodes flip a coin (seeded, per message) between forwarding the
+    /// honest message, a tampered copy, or nothing.
+    Random {
+        /// RNG seed making the execution reproducible.
+        seed: u64,
+    },
+    /// Faulty nodes stay honest for the first `honest_rounds` rounds and then
+    /// switch to tampering everything — exercises state built on earlier
+    /// correct behaviour.
+    SleeperTamper {
+        /// Number of initial rounds of honest behaviour.
+        honest_rounds: u64,
+    },
+}
+
+impl Strategy {
+    /// Builds the executable adversary for this strategy.
+    #[must_use]
+    pub fn into_adversary(self) -> StrategyAdversary {
+        let rng = match &self {
+            Strategy::Random { seed } => Some(ChaCha8Rng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        StrategyAdversary {
+            strategy: self,
+            rng,
+        }
+    }
+
+    /// All built-in strategies (with fixed parameters), useful for strategy
+    /// tournaments in tests and experiments.
+    #[must_use]
+    pub fn all(seed: u64) -> Vec<Strategy> {
+        vec![
+            Strategy::Honest,
+            Strategy::Silent,
+            Strategy::CrashAfter(2),
+            Strategy::TamperAll,
+            Strategy::TamperRelays,
+            Strategy::Equivocate,
+            Strategy::Random { seed },
+            Strategy::SleeperTamper { honest_rounds: 3 },
+        ]
+    }
+
+    /// A short, stable name for tables and bench labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Honest => "honest",
+            Strategy::Silent => "silent",
+            Strategy::CrashAfter(_) => "crash-after",
+            Strategy::TamperAll => "tamper-all",
+            Strategy::TamperRelays => "tamper-relays",
+            Strategy::Equivocate => "equivocate",
+            Strategy::Random { .. } => "random",
+            Strategy::SleeperTamper { .. } => "sleeper-tamper",
+        }
+    }
+}
+
+/// The executable adversary produced by [`Strategy::into_adversary`].
+#[derive(Debug, Clone)]
+pub struct StrategyAdversary {
+    strategy: Strategy,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl StrategyAdversary {
+    /// The strategy this adversary executes.
+    #[must_use]
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+}
+
+impl<M> Adversary<M> for StrategyAdversary
+where
+    M: ByzantineMessage,
+{
+    fn intercept(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        round: Option<Round>,
+        honest_outgoing: Vec<Outgoing<M>>,
+        _inbox: &[Delivery<M>],
+    ) -> Vec<Outgoing<M>> {
+        match &self.strategy {
+            Strategy::Honest => honest_outgoing,
+            Strategy::Silent => Vec::new(),
+            Strategy::CrashAfter(limit) => {
+                let current = round.map_or(0, Round::value);
+                if current >= *limit {
+                    Vec::new()
+                } else {
+                    honest_outgoing
+                }
+            }
+            Strategy::TamperAll => honest_outgoing
+                .into_iter()
+                .map(|o| map_message(o, |m| m.tampered()))
+                .collect(),
+            Strategy::TamperRelays => {
+                if round.is_none() {
+                    honest_outgoing
+                } else {
+                    honest_outgoing
+                        .into_iter()
+                        .map(|o| map_message(o, |m| m.tampered()))
+                        .collect()
+                }
+            }
+            Strategy::Equivocate => {
+                let neighbors: Vec<_> = ctx.neighbors().iter().collect();
+                let half = neighbors.len() / 2;
+                let mut out = Vec::new();
+                for outgoing in honest_outgoing {
+                    let message = outgoing.message().clone();
+                    let tampered = message.tampered();
+                    for (index, neighbor) in neighbors.iter().enumerate() {
+                        let payload = if index < half {
+                            message.clone()
+                        } else {
+                            tampered.clone()
+                        };
+                        out.push(Outgoing::Unicast(*neighbor, payload));
+                    }
+                }
+                out
+            }
+            Strategy::Random { .. } => {
+                let rng = self.rng.as_mut().expect("random strategy carries an RNG");
+                honest_outgoing
+                    .into_iter()
+                    .filter_map(|o| match rng.gen_range(0..3) {
+                        0 => Some(o),
+                        1 => Some(map_message(o, |m| m.tampered())),
+                        _ => None,
+                    })
+                    .collect()
+            }
+            Strategy::SleeperTamper { honest_rounds } => {
+                let current = round.map_or(0, Round::value);
+                if current < *honest_rounds {
+                    honest_outgoing
+                } else {
+                    honest_outgoing
+                        .into_iter()
+                        .map(|o| map_message(o, |m| m.tampered()))
+                        .collect()
+                }
+            }
+        }
+    }
+}
+
+fn map_message<M>(outgoing: Outgoing<M>, f: impl Fn(M) -> M) -> Outgoing<M> {
+    match outgoing {
+        Outgoing::Broadcast(m) => Outgoing::Broadcast(f(m)),
+        Outgoing::Unicast(to, m) => Outgoing::Unicast(to, f(m)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+    use lbc_model::{NodeId, Value};
+
+    fn ctx(graph: &lbc_graph::Graph) -> NodeContext<'_> {
+        NodeContext {
+            id: NodeId::new(0),
+            graph,
+            f: 1,
+        }
+    }
+
+    fn honest_out() -> Vec<Outgoing<Value>> {
+        vec![Outgoing::Broadcast(Value::One)]
+    }
+
+    #[test]
+    fn silent_drops_everything() {
+        let graph = generators::complete(4);
+        let mut adv = Strategy::Silent.into_adversary();
+        let out: Vec<Outgoing<Value>> = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn honest_passes_through() {
+        let graph = generators::complete(4);
+        let mut adv = Strategy::Honest.into_adversary();
+        let out = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        assert_eq!(out, honest_out());
+    }
+
+    #[test]
+    fn crash_after_respects_the_round_limit() {
+        let graph = generators::complete(4);
+        let mut adv = Strategy::CrashAfter(2).into_adversary();
+        let before: Vec<Outgoing<Value>> =
+            adv.intercept(&ctx(&graph), Some(Round::new(1)), honest_out(), &[]);
+        assert_eq!(before.len(), 1);
+        let after: Vec<Outgoing<Value>> =
+            adv.intercept(&ctx(&graph), Some(Round::new(2)), honest_out(), &[]);
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn tamper_all_flips_values() {
+        let graph = generators::complete(4);
+        let mut adv = Strategy::TamperAll.into_adversary();
+        let out = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        assert_eq!(out, vec![Outgoing::Broadcast(Value::Zero)]);
+    }
+
+    #[test]
+    fn tamper_relays_leaves_the_start_step_alone() {
+        let graph = generators::complete(4);
+        let mut adv = Strategy::TamperRelays.into_adversary();
+        let start = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        assert_eq!(start, honest_out());
+        let later = adv.intercept(&ctx(&graph), Some(Round::ZERO), honest_out(), &[]);
+        assert_eq!(later, vec![Outgoing::Broadcast(Value::Zero)]);
+    }
+
+    #[test]
+    fn equivocate_splits_neighbors() {
+        let graph = generators::complete(5);
+        let mut adv = Strategy::Equivocate.into_adversary();
+        let out = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        // 4 neighbors, one unicast each.
+        assert_eq!(out.len(), 4);
+        let originals = out
+            .iter()
+            .filter(|o| *o.message() == Value::One)
+            .count();
+        let tampered = out
+            .iter()
+            .filter(|o| *o.message() == Value::Zero)
+            .count();
+        assert_eq!(originals, 2);
+        assert_eq!(tampered, 2);
+        assert!(out.iter().all(|o| matches!(o, Outgoing::Unicast(_, _))));
+    }
+
+    #[test]
+    fn random_is_reproducible_per_seed() {
+        let graph = generators::complete(4);
+        let many: Vec<Outgoing<Value>> = (0..10).map(|_| Outgoing::Broadcast(Value::One)).collect();
+        let mut a = Strategy::Random { seed: 9 }.into_adversary();
+        let mut b = Strategy::Random { seed: 9 }.into_adversary();
+        let out_a = a.intercept(&ctx(&graph), Some(Round::ZERO), many.clone(), &[]);
+        let out_b = b.intercept(&ctx(&graph), Some(Round::ZERO), many, &[]);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn sleeper_switches_behaviour() {
+        let graph = generators::complete(4);
+        let mut adv = Strategy::SleeperTamper { honest_rounds: 3 }.into_adversary();
+        let early = adv.intercept(&ctx(&graph), Some(Round::new(1)), honest_out(), &[]);
+        assert_eq!(early, honest_out());
+        let late = adv.intercept(&ctx(&graph), Some(Round::new(5)), honest_out(), &[]);
+        assert_eq!(late, vec![Outgoing::Broadcast(Value::Zero)]);
+    }
+
+    #[test]
+    fn strategy_catalogue_has_stable_names() {
+        let all = Strategy::all(1);
+        assert_eq!(all.len(), 8);
+        let names: Vec<&str> = all.iter().map(Strategy::name).collect();
+        assert!(names.contains(&"tamper-relays"));
+        assert!(names.contains(&"equivocate"));
+        let adv = Strategy::TamperAll.into_adversary();
+        assert_eq!(adv.strategy(), &Strategy::TamperAll);
+    }
+}

@@ -1,0 +1,38 @@
+//! E1 — Figure 1(a): consensus on the 5-cycle with one Byzantine node.
+//!
+//! Regenerates the E1 table and benchmarks Algorithm 1 and Algorithm 2 on the
+//! 5-cycle against a tampering fault.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbc_adversary::Strategy;
+use lbc_consensus::runner;
+use lbc_graph::generators;
+use lbc_model::{InputAssignment, NodeId, NodeSet};
+
+fn bench(c: &mut Criterion) {
+    lbc_bench::print_experiment(&lbc_experiments::e1_fig1a_cycle());
+
+    let graph = generators::paper_fig1a();
+    let inputs = InputAssignment::from_bits(5, 0b01101);
+    let faulty = NodeSet::singleton(NodeId::new(3));
+
+    let mut group = c.benchmark_group("fig1a_cycle");
+    group.sample_size(10);
+    group.bench_function("algorithm1_c5_f1_tamper", |b| {
+        b.iter(|| {
+            let mut adversary = Strategy::TamperRelays.into_adversary();
+            runner::run_algorithm1(&graph, 1, &inputs, &faulty, &mut adversary)
+        });
+    });
+    group.bench_function("algorithm2_c5_f1_tamper", |b| {
+        b.iter(|| {
+            let mut adversary = Strategy::TamperRelays.into_adversary();
+            runner::run_algorithm2(&graph, 1, &inputs, &faulty, &mut adversary)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

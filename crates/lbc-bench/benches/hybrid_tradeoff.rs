@@ -1,0 +1,44 @@
+//! E7 — hybrid model trade-off: required connectivity as the number of
+//! equivocating faults grows, plus Algorithm 3 executions.
+//!
+//! Regenerates the E7 table and benchmarks Algorithm 3 on K5 with and without
+//! an equivocating fault.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lbc_adversary::Strategy;
+use lbc_consensus::runner;
+use lbc_graph::generators;
+use lbc_model::{InputAssignment, NodeId, NodeSet};
+
+fn bench(c: &mut Criterion) {
+    lbc_bench::print_experiment(&lbc_experiments::e7_hybrid_tradeoff());
+
+    let graph = generators::complete(5);
+    let inputs = InputAssignment::from_bits(5, 0b00110);
+    let faulty = NodeSet::singleton(NodeId::new(4));
+
+    let mut group = c.benchmark_group("hybrid_tradeoff");
+    group.sample_size(10);
+    for t in [0usize, 1] {
+        group.bench_with_input(BenchmarkId::new("algorithm3_k5_f1", t), &t, |b, &t| {
+            let equivocators = if t > 0 { faulty.clone() } else { NodeSet::new() };
+            b.iter(|| {
+                let mut adversary = Strategy::Equivocate.into_adversary();
+                runner::run_algorithm3(
+                    &graph,
+                    1,
+                    t,
+                    &equivocators,
+                    &inputs,
+                    &faulty,
+                    &mut adversary,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E4 — Figure 3 / Lemma A.2: impossibility when the vertex connectivity is
+//! below `⌊3f/2⌋ + 1`.
+//!
+//! Regenerates the E4 table and benchmarks the cut-based doubled-network
+//! construction plus the demonstration run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbc_consensus::Algorithm1Node;
+use lbc_graph::generators;
+use lbc_lowerbound::connectivity_construction;
+
+fn bench(c: &mut Criterion) {
+    lbc_bench::print_experiment(&lbc_experiments::e4_connectivity_lower_bound());
+
+    let graph = generators::cycle(6);
+    let mut group = c.benchmark_group("lowerbound_cut");
+    group.sample_size(10);
+    group.bench_function("build_construction_c6_f2", |b| {
+        b.iter(|| connectivity_construction(&graph, 2).expect("deficient"));
+    });
+    group.bench_function("demonstrate_violation_c6_f2", |b| {
+        let construction = connectivity_construction(&graph, 2).expect("deficient");
+        let rounds = Algorithm1Node::round_count(6, 2) + 4;
+        b.iter(|| construction.demonstrate(|_id, input| Algorithm1Node::new(input), rounds));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

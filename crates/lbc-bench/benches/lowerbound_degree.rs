@@ -1,0 +1,31 @@
+//! E3 — Figure 2 / Lemma A.1: impossibility when the minimum degree is below
+//! `2f`.
+//!
+//! Regenerates the E3 table and benchmarks the doubled-network construction
+//! plus the demonstration run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbc_consensus::Algorithm1Node;
+use lbc_graph::generators;
+use lbc_lowerbound::degree_construction;
+
+fn bench(c: &mut Criterion) {
+    lbc_bench::print_experiment(&lbc_experiments::e3_degree_lower_bound());
+
+    let graph = generators::cycle(4);
+    let mut group = c.benchmark_group("lowerbound_degree");
+    group.sample_size(10);
+    group.bench_function("build_construction_c4_f2", |b| {
+        b.iter(|| degree_construction(&graph, 2).expect("deficient"));
+    });
+    group.bench_function("demonstrate_violation_c4_f2", |b| {
+        let construction = degree_construction(&graph, 2).expect("deficient");
+        let rounds = Algorithm1Node::round_count(4, 2) + 4;
+        b.iter(|| construction.demonstrate(|_id, input| Algorithm1Node::new(input), rounds));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

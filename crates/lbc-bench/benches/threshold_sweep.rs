@@ -1,0 +1,35 @@
+//! E5 — requirement comparison: maximum tolerable `f` under local broadcast
+//! versus point-to-point across graph families.
+//!
+//! Regenerates the E5 table and benchmarks the feasibility checkers (their
+//! cost is dominated by vertex-connectivity max-flow computations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lbc_consensus::conditions;
+use lbc_graph::{connectivity, generators};
+
+fn bench(c: &mut Criterion) {
+    lbc_bench::print_experiment(&lbc_experiments::e5_threshold_sweep());
+
+    let c9 = generators::circulant(9, &[1, 2]);
+    let h = generators::harary(5, 12);
+    let mut group = c.benchmark_group("threshold_sweep");
+    group.sample_size(20);
+    group.bench_function("vertex_connectivity_c9_12", |b| {
+        b.iter(|| connectivity::vertex_connectivity(&c9));
+    });
+    group.bench_function("max_f_local_broadcast_h5_12", |b| {
+        b.iter(|| conditions::max_f_local_broadcast(&h));
+    });
+    group.bench_function("max_f_point_to_point_h5_12", |b| {
+        b.iter(|| conditions::max_f_point_to_point(&h));
+    });
+    group.bench_function("full_e5_sweep", |b| {
+        b.iter(lbc_experiments::e5_threshold_sweep);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # lbc-bench
+//!
+//! Shared helpers for the Criterion benchmark harness. Each bench target
+//! corresponds to one experiment id (see `EXPERIMENTS.md`): it prints the
+//! experiment's table (the "figure/table regeneration") and then benchmarks
+//! the hot path behind it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lbc_experiments::ExperimentResult;
+
+/// Prints an experiment table with a separating banner, so `cargo bench`
+/// output contains the regenerated rows alongside the timing data.
+pub fn print_experiment(result: &ExperimentResult) {
+    println!();
+    println!("================ {} ================", result.id);
+    println!("{}", result.render_table());
+    println!();
+}

@@ -1,0 +1,661 @@
+//! Algorithm 2: the efficient `O(n)`-round consensus algorithm for
+//! `2f`-connected graphs (Theorem 5.6, Appendix C).
+//!
+//! The algorithm has three phases of `n` synchronous rounds each:
+//!
+//! 1. **Phase 1** — every node floods its input value (path-annotated
+//!    flooding as in Algorithm 1).
+//! 2. **Phase 2** — every node floods *reports* of everything it overheard
+//!    its neighbors transmit in phase 1. At the end of the phase each node
+//!    runs the fault-identification procedure: for every value it reliably
+//!    received (Definition C.1) it inspects `2f` node-disjoint paths and
+//!    marks, per path, the first node reliably reported to have forwarded the
+//!    opposite value. A node that identifies all `f` faults becomes a
+//!    **type A** node; the others are **type B** nodes.
+//! 3. **Phase 3** — type B nodes decide the majority of the reliably received
+//!    input values and flood their decision; type A nodes adopt a decision
+//!    received along a path that avoids the (fully known) faulty set, falling
+//!    back to the majority of the non-faulty inputs they can read along
+//!    fault-free paths.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lbc_graph::{paths, Graph};
+use lbc_model::{NodeId, NodeSet, Path, Round, Value};
+use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+
+use crate::flooding::Flooder;
+use crate::messages::{Alg2Message, DecisionMsg, ReportMsg};
+
+/// Which role a node ended phase 2 with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Role {
+    /// Knows the identity of all `f` faulty nodes.
+    TypeA,
+    /// Does not know all faults; decides by majority of reliably received
+    /// inputs.
+    TypeB,
+}
+
+/// A node running **Algorithm 2** (Theorem 5.6): Byzantine consensus in
+/// `O(n)` rounds on `2f`-connected graphs under the local broadcast model.
+///
+/// # Reproduction note (Appendix C omission gap)
+///
+/// The fault-identification rule of Appendix C detects *commission*
+/// (forwarding a tampered value) but not *omission* (silently failing to
+/// relay). On graphs that are exactly `2f`-connected, an omission-only
+/// adversary can leave two type B nodes with different reliably-received
+/// input sets and no identified faults, and their majority decisions can then
+/// disagree — see the `algorithm2_omission_gap_reproduction_finding`
+/// integration test and `EXPERIMENTS.md` for the concrete 5-cycle
+/// counterexample. Algorithm 1 ([`crate::Algorithm1Node`]) is unaffected and
+/// handles arbitrary Byzantine behaviour; use it when omission faults are in
+/// scope or the graph is not comfortably above the `2f`-connectivity bound.
+///
+/// # Example
+///
+/// ```
+/// use lbc_consensus::{conditions, runner};
+/// use lbc_graph::generators;
+/// use lbc_model::{InputAssignment, NodeSet};
+/// use lbc_sim::HonestAdversary;
+///
+/// let graph = generators::paper_fig1a(); // 2-connected, so f = 1 works
+/// assert!(conditions::efficient_algorithm_applicable(&graph, 1));
+/// let inputs = InputAssignment::from_bits(5, 0b10010);
+/// let (outcome, trace) = runner::run_algorithm2(
+///     &graph,
+///     1,
+///     &inputs,
+///     &NodeSet::new(),
+///     &mut HonestAdversary,
+/// );
+/// assert!(outcome.verdict().is_correct());
+/// assert!(trace.rounds() <= 3 * 5 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Algorithm2Node {
+    input: Value,
+    decided: Option<Value>,
+    /// Relative round counter (how many `on_round` calls have happened).
+    round_counter: usize,
+    /// Phase-1 value flood state.
+    value_flood: Option<Flooder>,
+    /// Phase-2 report flood state.
+    reports: ReportFlood,
+    /// Phase-3 decision flood state.
+    decisions: DecisionFlood,
+    /// Faulty nodes identified at the end of phase 2.
+    identified_faults: NodeSet,
+    /// Role determined at the end of phase 2.
+    role: Option<Role>,
+}
+
+impl Algorithm2Node {
+    /// Creates an Algorithm 2 node with the given binary input.
+    #[must_use]
+    pub fn new(input: Value) -> Self {
+        Algorithm2Node {
+            input,
+            decided: None,
+            round_counter: 0,
+            value_flood: None,
+            reports: ReportFlood::default(),
+            decisions: DecisionFlood::default(),
+            identified_faults: NodeSet::new(),
+            role: None,
+        }
+    }
+
+    /// The node's input value.
+    #[must_use]
+    pub fn input(&self) -> Value {
+        self.input
+    }
+
+    /// The faulty nodes this node identified during phase 2.
+    #[must_use]
+    pub fn identified_faults(&self) -> &NodeSet {
+        &self.identified_faults
+    }
+
+    /// Whether the node ended phase 2 as a type A node (knowing all faults).
+    #[must_use]
+    pub fn is_type_a(&self) -> bool {
+        self.role == Some(Role::TypeA)
+    }
+
+    /// Total number of synchronous rounds Algorithm 2 uses on an `n`-node
+    /// graph: three flooding phases of `n` rounds each.
+    #[must_use]
+    pub fn round_count(n: usize) -> usize {
+        3 * n.max(1)
+    }
+
+    /// Definition C.1: whether this node reliably received input value
+    /// `value` from node `origin` in phase 1.
+    fn reliably_received_input(&self, ctx: &NodeContext<'_>, origin: NodeId, value: Value) -> bool {
+        let Some(flood) = &self.value_flood else {
+            return false;
+        };
+        if origin == ctx.id {
+            return flood.own_value() == Some(value);
+        }
+        let candidates = flood.paths_with_value(origin, value);
+        if ctx.graph.has_edge(ctx.id, origin) {
+            // A neighbor's transmission is heard directly: the two-node path.
+            return candidates
+                .iter()
+                .any(|p| p.len() == 2 && p.first() == Some(origin));
+        }
+        paths::find_internally_disjoint_subset(&candidates, ctx.f + 1).is_some()
+    }
+
+    /// The set of `(origin, value)` pairs reliably received in phase 1.
+    fn reliably_received_inputs(&self, ctx: &NodeContext<'_>) -> Vec<(NodeId, Value)> {
+        let mut received = Vec::new();
+        for origin in ctx.graph.nodes() {
+            for value in [Value::Zero, Value::One] {
+                if self.reliably_received_input(ctx, origin, value) {
+                    received.push((origin, value));
+                }
+            }
+        }
+        received
+    }
+
+    /// Whether this node reliably learned that `observed` transmitted the
+    /// exact phase-1 message `(value, observed_path)` — via direct
+    /// overhearing when `observed` is a neighbor, or via the phase-2 report
+    /// flood otherwise (Definition C.1 applied to `observed → me` paths).
+    fn reliably_received_report(
+        &self,
+        ctx: &NodeContext<'_>,
+        observed: NodeId,
+        value: Value,
+        observed_path: &Path,
+    ) -> bool {
+        if observed == ctx.id {
+            // A node knows its own transmissions: it transmitted
+            // `(value, observed_path)` iff it received `value` along the
+            // corresponding full path ending at itself.
+            let Some(flood) = &self.value_flood else {
+                return false;
+            };
+            let full = observed_path.extended(ctx.id);
+            return flood.value_along(&full) == Some(value);
+        }
+        if ctx.graph.has_edge(ctx.id, observed) {
+            // Directly overheard in phase 1.
+            if let Some(flood) = &self.value_flood {
+                return flood
+                    .overheard()
+                    .iter()
+                    .any(|(from, path, v)| *from == observed && *v == value && path == observed_path);
+            }
+            return false;
+        }
+        let candidates = self.reports.full_paths(observed, value, observed_path);
+        paths::find_internally_disjoint_subset(&candidates, ctx.f + 1).is_some()
+    }
+
+    /// The fault identification procedure run at the end of phase 2.
+    ///
+    /// For every value `b` reliably received from an origin `w`, the node
+    /// inspects `2f` node-disjoint paths out of `w` and scans each path from
+    /// `w`'s side: an internal node `z` that is reliably reported to have
+    /// transmitted `(1−b, prefix)` — where `prefix` is exactly the relay
+    /// prefix of the inspected path up to `z` — tampered with `w`'s value on
+    /// that path and is marked faulty. The path-exact prefix is what keeps
+    /// the rule sound: an honest relay forwarding a value tampered elsewhere
+    /// carries a different path annotation and is never blamed.
+    fn identify_faults(&mut self, ctx: &NodeContext<'_>) {
+        let mut faults = NodeSet::new();
+        for origin in ctx.graph.nodes() {
+            for value in [Value::Zero, Value::One] {
+                if !self.reliably_received_input(ctx, origin, value) {
+                    continue;
+                }
+                let opposite = value.flipped();
+                for other in ctx.graph.nodes() {
+                    if other == origin {
+                        continue;
+                    }
+                    let disjoint = paths::disjoint_uv_paths_excluding(
+                        ctx.graph,
+                        origin,
+                        other,
+                        &NodeSet::new(),
+                        2 * ctx.f,
+                    );
+                    for path in disjoint {
+                        // Scan internal nodes from the origin's side. The
+                        // expected transmission of the j-th node on the path
+                        // carries the relay prefix up to its predecessor.
+                        let nodes = path.nodes();
+                        for j in 1..nodes.len().saturating_sub(1) {
+                            let z = nodes[j];
+                            let prefix = Path::from_nodes(nodes[..j].iter().copied());
+                            if self.reliably_received_report(ctx, z, opposite, &prefix) {
+                                faults.insert(z);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.identified_faults = faults;
+        self.role = Some(if self.identified_faults.len() >= ctx.f && ctx.f > 0 {
+            Role::TypeA
+        } else {
+            Role::TypeB
+        });
+    }
+
+    /// Type B decision: majority of the reliably received input values.
+    fn type_b_decision(&self, ctx: &NodeContext<'_>) -> Value {
+        let values = self
+            .reliably_received_inputs(ctx)
+            .into_iter()
+            .map(|(_, value)| value);
+        Value::majority(values).unwrap_or(self.input)
+    }
+
+    /// Type A decision at the end of phase 3.
+    fn type_a_decision(&self, ctx: &NodeContext<'_>) -> Value {
+        // Prefer a decision value received along a path that avoids every
+        // identified fault and originates at a non-faulty node.
+        for (origin, value, full_path) in self.decisions.received_entries() {
+            if self.identified_faults.contains(origin) {
+                continue;
+            }
+            if full_path.excludes(&self.identified_faults) {
+                return value;
+            }
+        }
+        // Fall back to the majority of the non-faulty inputs read along
+        // fault-free paths of phase 1.
+        let Some(flood) = &self.value_flood else {
+            return self.input;
+        };
+        let mut inputs = Vec::new();
+        for u in ctx.graph.nodes() {
+            if self.identified_faults.contains(u) {
+                continue;
+            }
+            if u == ctx.id {
+                inputs.push(self.input);
+                continue;
+            }
+            let fault_free_value = flood
+                .received_from(u)
+                .into_iter()
+                .find(|(path, _)| path.excludes(&self.identified_faults))
+                .map(|(_, value)| value);
+            if let Some(value) = fault_free_value {
+                inputs.push(value);
+            }
+        }
+        Value::majority(inputs).unwrap_or(self.input)
+    }
+
+    /// Builds the phase-2 report initiations: one report per distinct
+    /// phase-1 transmission overheard from a neighbor.
+    fn build_reports(&self, _ctx: &NodeContext<'_>) -> Vec<Outgoing<Alg2Message>> {
+        let Some(flood) = &self.value_flood else {
+            return Vec::new();
+        };
+        let mut transmissions: BTreeSet<(NodeId, Path, Value)> = BTreeSet::new();
+        for (from, path, value) in flood.overheard() {
+            transmissions.insert((from, path, value));
+        }
+        transmissions
+            .into_iter()
+            .map(|(observed, observed_path, value)| {
+                Outgoing::Broadcast(Alg2Message::Report(ReportMsg {
+                    observed,
+                    value,
+                    observed_path,
+                    path: Path::singleton(observed),
+                }))
+            })
+            .collect()
+    }
+}
+
+impl Protocol for Algorithm2Node {
+    type Message = Alg2Message;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<Alg2Message>> {
+        let (flooder, out) = Flooder::start(ctx.id, self.input);
+        self.value_flood = Some(flooder);
+        out.into_iter()
+            .map(|o| match o {
+                Outgoing::Broadcast(m) => Outgoing::Broadcast(Alg2Message::Input(m)),
+                Outgoing::Unicast(to, m) => Outgoing::Unicast(to, Alg2Message::Input(m)),
+            })
+            .collect()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        _round: Round,
+        inbox: &[Delivery<Alg2Message>],
+    ) -> Vec<Outgoing<Alg2Message>> {
+        let n = ctx.n().max(1);
+        let relative = self.round_counter;
+        self.round_counter += 1;
+
+        // Split the inbox by phase/variant.
+        let mut value_msgs = Vec::new();
+        let mut report_msgs = Vec::new();
+        let mut decision_msgs = Vec::new();
+        for delivery in inbox {
+            match &delivery.message {
+                Alg2Message::Input(m) => value_msgs.push(Delivery {
+                    from: delivery.from,
+                    message: m.clone(),
+                }),
+                Alg2Message::Report(m) => report_msgs.push((delivery.from, m.clone())),
+                Alg2Message::Decision(m) => decision_msgs.push((delivery.from, m.clone())),
+            }
+        }
+
+        let mut out: Vec<Outgoing<Alg2Message>> = Vec::new();
+
+        // Phase 1 relaying (rounds 0..n).
+        if relative < n {
+            if let Some(flood) = self.value_flood.as_mut() {
+                let forwards = flood.on_round(ctx.graph, relative == 0, &value_msgs);
+                out.extend(
+                    forwards
+                        .into_iter()
+                        .map(|o| map_outgoing(o, Alg2Message::Input)),
+                );
+            }
+        }
+
+        // Phase 2 relaying (rounds n..2n).
+        if relative >= n && relative < 2 * n {
+            let forwards = self.reports.on_round(ctx, &report_msgs);
+            out.extend(forwards.into_iter().map(Outgoing::Broadcast));
+        }
+
+        // Phase 3 relaying (rounds 2n..3n).
+        if relative >= 2 * n {
+            let forwards = self.decisions.on_round(ctx, &decision_msgs);
+            out.extend(forwards.into_iter().map(Outgoing::Broadcast));
+        }
+
+        // Phase transitions.
+        if relative + 1 == n {
+            // End of phase 1: emit the report initiations.
+            out.extend(self.build_reports(ctx));
+        }
+        if relative + 1 == 2 * n {
+            // End of phase 2: identify faults and, for type B nodes, decide
+            // and start flooding the decision.
+            self.identify_faults(ctx);
+            if self.role == Some(Role::TypeB) {
+                let decision = self.type_b_decision(ctx);
+                self.decided = Some(decision);
+                out.push(Outgoing::Broadcast(Alg2Message::Decision(DecisionMsg {
+                    value: decision,
+                    path: Path::empty(),
+                })));
+            }
+        }
+        if relative + 1 == 3 * n && self.decided.is_none() {
+            // End of phase 3: type A nodes decide.
+            self.decided = Some(self.type_a_decision(ctx));
+        }
+
+        out
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decided
+    }
+}
+
+fn map_outgoing<M, N>(outgoing: Outgoing<M>, wrap: impl Fn(M) -> N) -> Outgoing<N> {
+    match outgoing {
+        Outgoing::Broadcast(m) => Outgoing::Broadcast(wrap(m)),
+        Outgoing::Unicast(to, m) => Outgoing::Unicast(to, wrap(m)),
+    }
+}
+
+/// Flooding state for phase-2 reports.
+///
+/// A report's relay path starts at the *observed* node, so that
+/// disjoint-path checks at the receiver range over `observed → receiver`
+/// paths. Rule (ii) is applied per `(sender, relay path, observed, observed
+/// transmission path)` key: the first value received for a logical report
+/// stream wins.
+#[derive(Debug, Clone, Default)]
+struct ReportFlood {
+    seen: BTreeSet<(NodeId, Path, NodeId, Path)>,
+    /// (observed, value, observed transmission path) → full observed→me relay
+    /// paths the report arrived along.
+    received: BTreeMap<(NodeId, Value, Path), Vec<Path>>,
+}
+
+impl ReportFlood {
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &[(NodeId, ReportMsg)],
+    ) -> Vec<Alg2Message> {
+        let mut out = Vec::new();
+        for (from, msg) in inbox {
+            if let Some(forward) = self.process(ctx.graph, ctx.id, *from, msg) {
+                out.push(Alg2Message::Report(forward));
+            }
+        }
+        out
+    }
+
+    fn process(
+        &mut self,
+        graph: &Graph,
+        me: NodeId,
+        from: NodeId,
+        msg: &ReportMsg,
+    ) -> Option<ReportMsg> {
+        // The report's relay path must start at the observed node.
+        if msg.path.first() != Some(msg.observed) {
+            return None;
+        }
+        // Rule (i): the relay path (including the transmitter) must exist in G.
+        let relay_path = if msg.path.last() == Some(from) {
+            msg.path.clone()
+        } else {
+            msg.path.extended(from)
+        };
+        if !graph.is_path(&relay_path) {
+            return None;
+        }
+        // Rule (ii): one message per (sender, relay path, observed,
+        // observed-path) key.
+        let key = (
+            from,
+            msg.path.clone(),
+            msg.observed,
+            msg.observed_path.clone(),
+        );
+        if self.seen.contains(&key) {
+            return None;
+        }
+        self.seen.insert(key);
+        // Rule (iii): discard if the relay path already contains me.
+        if relay_path.contains(me) {
+            return None;
+        }
+        // Rule (iv): record the full observed→me path and forward.
+        let full = relay_path.extended(me);
+        self.received
+            .entry((msg.observed, msg.value, msg.observed_path.clone()))
+            .or_default()
+            .push(full);
+        Some(ReportMsg {
+            observed: msg.observed,
+            value: msg.value,
+            observed_path: msg.observed_path.clone(),
+            path: relay_path,
+        })
+    }
+
+    fn full_paths(&self, observed: NodeId, value: Value, observed_path: &Path) -> Vec<Path> {
+        self.received
+            .get(&(observed, value, observed_path.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Flooding state for phase-3 decision messages.
+#[derive(Debug, Clone, Default)]
+struct DecisionFlood {
+    seen: BTreeSet<(NodeId, Path)>,
+    /// Full origin→me paths and the value they delivered.
+    received: Vec<(NodeId, Value, Path)>,
+}
+
+impl DecisionFlood {
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        inbox: &[(NodeId, DecisionMsg)],
+    ) -> Vec<Alg2Message> {
+        let mut out = Vec::new();
+        for (from, msg) in inbox {
+            if let Some(forward) = self.process(ctx.graph, ctx.id, *from, msg) {
+                out.push(Alg2Message::Decision(forward));
+            }
+        }
+        out
+    }
+
+    fn process(
+        &mut self,
+        graph: &Graph,
+        me: NodeId,
+        from: NodeId,
+        msg: &DecisionMsg,
+    ) -> Option<DecisionMsg> {
+        let relay_path = msg.path.extended(from);
+        if !graph.is_path(&relay_path) {
+            return None;
+        }
+        let key = (from, msg.path.clone());
+        if self.seen.contains(&key) {
+            return None;
+        }
+        self.seen.insert(key);
+        if relay_path.contains(me) {
+            return None;
+        }
+        let full = relay_path.extended(me);
+        let origin = full.first().expect("non-empty path");
+        self.received.push((origin, msg.value, full));
+        Some(DecisionMsg {
+            value: msg.value,
+            path: relay_path,
+        })
+    }
+
+    fn received_entries(&self) -> impl Iterator<Item = (NodeId, Value, &Path)> + '_ {
+        self.received
+            .iter()
+            .map(|(origin, value, path)| (*origin, *value, path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn round_count_is_linear() {
+        assert_eq!(Algorithm2Node::round_count(5), 15);
+        assert_eq!(Algorithm2Node::round_count(9), 27);
+    }
+
+    #[test]
+    fn construction_defaults() {
+        let node = Algorithm2Node::new(Value::One);
+        assert_eq!(node.input(), Value::One);
+        assert_eq!(node.output(), None);
+        assert!(!node.is_type_a());
+        assert!(node.identified_faults().is_empty());
+    }
+
+    #[test]
+    fn report_flood_rejects_malformed_paths() {
+        let graph = generators::cycle(5);
+        let mut flood = ReportFlood::default();
+        // Relay path does not start at the observed node.
+        let bad = ReportMsg {
+            observed: n(0),
+            value: Value::One,
+            observed_path: Path::empty(),
+            path: Path::singleton(n(1)),
+        };
+        assert!(flood.process(&graph, n(2), n(1), &bad).is_none());
+        // Non-adjacent relay claim: relay path [0] transmitted by node 2
+        // (0-2 is not an edge of the 5-cycle).
+        let not_adjacent = ReportMsg {
+            observed: n(0),
+            value: Value::One,
+            observed_path: Path::empty(),
+            path: Path::singleton(n(0)),
+        };
+        assert!(flood.process(&graph, n(3), n(2), &not_adjacent).is_none());
+    }
+
+    #[test]
+    fn report_flood_records_and_forwards_valid_reports() {
+        let graph = generators::cycle(5);
+        let mut flood = ReportFlood::default();
+        // Node 1 reports on its neighbor 0 relaying node 4's value; we are
+        // node 2 receiving the report from node 1.
+        let observed_path = Path::singleton(n(4));
+        let report = ReportMsg {
+            observed: n(0),
+            value: Value::Zero,
+            observed_path: observed_path.clone(),
+            path: Path::singleton(n(0)),
+        };
+        let forward = flood.process(&graph, n(2), n(1), &report).unwrap();
+        assert_eq!(forward.path.nodes(), &[n(0), n(1)]);
+        let full = flood.full_paths(n(0), Value::Zero, &observed_path);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].nodes(), &[n(0), n(1), n(2)]);
+        // Duplicate (same sender, relay path, observed, observed-path) is ignored.
+        assert!(flood.process(&graph, n(2), n(1), &report).is_none());
+    }
+
+    #[test]
+    fn decision_flood_tracks_origins() {
+        let graph = generators::cycle(5);
+        let mut flood = DecisionFlood::default();
+        let msg = DecisionMsg {
+            value: Value::One,
+            path: Path::empty(),
+        };
+        let forward = flood.process(&graph, n(2), n(1), &msg).unwrap();
+        assert_eq!(forward.path.nodes(), &[n(1)]);
+        let entries: Vec<_> = flood.received_entries().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, n(1));
+        assert_eq!(entries[0].1, Value::One);
+    }
+}

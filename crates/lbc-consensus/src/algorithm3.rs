@@ -1,0 +1,147 @@
+//! Algorithm 3: exact Byzantine consensus under the hybrid model
+//! (Theorem 6.1).
+
+use lbc_model::{Round, Value};
+use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+
+use crate::messages::FloodMsg;
+use crate::phased::{PhasedNode, StepCCase};
+
+/// A node running **Algorithm 3** of the paper: Byzantine consensus under the
+/// hybrid model, where at most `t ≤ f` of the faulty nodes may equivocate
+/// (behave as under point-to-point) while the rest are restricted to local
+/// broadcast.
+///
+/// The algorithm executes one phase per candidate pair `(F, T)` with
+/// `|T| ≤ t` and `|F| ≤ f − |T|`. With `t = 0` it is exactly
+/// [`crate::Algorithm1Node`]; with `t = f` its graph requirements coincide
+/// with the classical point-to-point ones.
+///
+/// # Example
+///
+/// ```
+/// use lbc_consensus::{conditions, runner};
+/// use lbc_graph::generators;
+/// use lbc_model::{InputAssignment, NodeSet};
+/// use lbc_sim::HonestAdversary;
+///
+/// // K5 tolerates f = 1 with t = 1 equivocator under the hybrid model.
+/// let graph = generators::complete(5);
+/// assert!(conditions::hybrid_feasible(&graph, 1, 1));
+/// let inputs = InputAssignment::from_bits(5, 0b01101);
+/// let (outcome, _) = runner::run_algorithm3(
+///     &graph,
+///     1,
+///     1,
+///     &NodeSet::new(),
+///     &inputs,
+///     &NodeSet::new(),
+///     &mut HonestAdversary,
+/// );
+/// assert!(outcome.verdict().is_correct());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Algorithm3Node {
+    inner: PhasedNode,
+    equivocation_bound: usize,
+}
+
+impl Algorithm3Node {
+    /// Creates an Algorithm 3 node with the given binary input and
+    /// equivocation bound `t`.
+    #[must_use]
+    pub fn new(input: Value, equivocation_bound: usize) -> Self {
+        Algorithm3Node {
+            inner: PhasedNode::new(input, equivocation_bound),
+            equivocation_bound,
+        }
+    }
+
+    /// The bound `t` on equivocating faulty nodes this node was configured
+    /// with.
+    #[must_use]
+    pub fn equivocation_bound(&self) -> usize {
+        self.equivocation_bound
+    }
+
+    /// The node's input value.
+    #[must_use]
+    pub fn input(&self) -> Value {
+        self.inner.input()
+    }
+
+    /// The node's current state `γ_v`.
+    #[must_use]
+    pub fn gamma(&self) -> Value {
+        self.inner.gamma()
+    }
+
+    /// The step-(c) cases taken in the phases completed so far.
+    #[must_use]
+    pub fn case_log(&self) -> &[StepCCase] {
+        self.inner.case_log()
+    }
+
+    /// The number of phases Algorithm 3 executes on an `n`-node graph with
+    /// fault bound `f` and equivocation bound `t`.
+    #[must_use]
+    pub fn phase_count(n: usize, f: usize, t: usize) -> usize {
+        PhasedNode::phase_count(n, f, t)
+    }
+
+    /// The total number of synchronous rounds Algorithm 3 needs.
+    #[must_use]
+    pub fn round_count(n: usize, f: usize, t: usize) -> usize {
+        Self::phase_count(n, f, t) * n.max(1)
+    }
+}
+
+impl Protocol for Algorithm3Node {
+    type Message = FloodMsg;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<FloodMsg>> {
+        self.inner.on_start(ctx)
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        round: Round,
+        inbox: &[Delivery<FloodMsg>],
+    ) -> Vec<Outgoing<FloodMsg>> {
+        self.inner.on_round(ctx, round, inbox)
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.inner.output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_t_zero_the_phase_schedule_matches_algorithm_1() {
+        assert_eq!(
+            Algorithm3Node::phase_count(5, 2, 0),
+            crate::Algorithm1Node::phase_count(5, 2)
+        );
+        assert_eq!(Algorithm3Node::round_count(5, 1, 0), 30);
+    }
+
+    #[test]
+    fn with_t_positive_the_schedule_grows() {
+        assert!(Algorithm3Node::phase_count(5, 2, 1) > Algorithm3Node::phase_count(5, 2, 0));
+        assert!(Algorithm3Node::phase_count(5, 2, 2) >= Algorithm3Node::phase_count(5, 2, 1));
+    }
+
+    #[test]
+    fn construction_exposes_parameters() {
+        let node = Algorithm3Node::new(Value::One, 2);
+        assert_eq!(node.equivocation_bound(), 2);
+        assert_eq!(node.input(), Value::One);
+        assert_eq!(node.gamma(), Value::One);
+        assert_eq!(node.output(), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! Executable feasibility conditions.
+//!
+//! This module turns the paper's characterizations into predicates over
+//! graphs:
+//!
+//! | Model | Condition | Source |
+//! |---|---|---|
+//! | local broadcast | min degree ≥ `2f` **and** connectivity ≥ `⌊3f/2⌋+1` | Theorems 4.1 + 5.1 |
+//! | local broadcast, efficient | connectivity ≥ `2f` | Theorem 5.6 |
+//! | point-to-point | `n ≥ 3f+1` **and** connectivity ≥ `2f+1` | Dolev 1982 |
+//! | hybrid (`t` equivocators) | connectivity ≥ `⌊3(f−t)/2⌋+2t+1`; if `t=0` min degree ≥ `2f`; if `t>0` every `S`, `0<|S|≤t`, has ≥ `2f+1` neighbors | Theorem 6.1 |
+
+use lbc_graph::{connectivity, cuts, Graph};
+
+/// The connectivity the local broadcast model requires for tolerance `f`:
+/// `⌊3f/2⌋ + 1`.
+#[must_use]
+pub const fn local_broadcast_connectivity_requirement(f: usize) -> usize {
+    (3 * f) / 2 + 1
+}
+
+/// The minimum degree the local broadcast model requires for tolerance `f`:
+/// `2f`.
+#[must_use]
+pub const fn local_broadcast_degree_requirement(f: usize) -> usize {
+    2 * f
+}
+
+/// The connectivity the classical point-to-point model requires: `2f + 1`.
+#[must_use]
+pub const fn point_to_point_connectivity_requirement(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// The node count the classical point-to-point model requires: `3f + 1`.
+#[must_use]
+pub const fn point_to_point_node_requirement(f: usize) -> usize {
+    3 * f + 1
+}
+
+/// The connectivity the hybrid model requires for `f` faults of which at most
+/// `t` may equivocate: `⌊3(f − t)/2⌋ + 2t + 1`.
+///
+/// # Panics
+///
+/// Panics if `t > f`.
+#[must_use]
+pub fn hybrid_connectivity_requirement(f: usize, t: usize) -> usize {
+    assert!(t <= f, "t = {t} must not exceed f = {f}");
+    (3 * (f - t)) / 2 + 2 * t + 1
+}
+
+/// Whether Byzantine consensus tolerating `f` faults is achievable on `graph`
+/// under the **local broadcast** model (Theorems 4.1 and 5.1): minimum degree
+/// at least `2f` and vertex connectivity at least `⌊3f/2⌋ + 1`.
+#[must_use]
+pub fn local_broadcast_feasible(graph: &Graph, f: usize) -> bool {
+    graph.min_degree() >= local_broadcast_degree_requirement(f)
+        && connectivity::is_k_connected(graph, local_broadcast_connectivity_requirement(f))
+}
+
+/// Whether the **efficient** local-broadcast algorithm (Algorithm 2,
+/// Theorem 5.6) applies: `graph` is `2f`-connected.
+///
+/// For `f = 0` this only requires a connected graph with at least two nodes
+/// (the algorithm still floods and decides), matching `is_k_connected(g, 0)`
+/// semantics plus connectivity.
+#[must_use]
+pub fn efficient_algorithm_applicable(graph: &Graph, f: usize) -> bool {
+    if f == 0 {
+        return graph.node_count() == 1 || graph.is_connected();
+    }
+    connectivity::is_k_connected(graph, 2 * f)
+}
+
+/// Whether Byzantine consensus tolerating `f` faults is achievable on `graph`
+/// under the classical **point-to-point** model (Dolev 1982): `n ≥ 3f + 1`
+/// and vertex connectivity at least `2f + 1`.
+#[must_use]
+pub fn point_to_point_feasible(graph: &Graph, f: usize) -> bool {
+    if f == 0 {
+        return graph.node_count() == 1 || graph.is_connected();
+    }
+    graph.node_count() >= point_to_point_node_requirement(f)
+        && connectivity::is_k_connected(graph, point_to_point_connectivity_requirement(f))
+}
+
+/// Whether Byzantine consensus tolerating `f` faults, of which at most `t`
+/// may equivocate, is achievable on `graph` under the **hybrid** model
+/// (Theorem 6.1).
+///
+/// # Panics
+///
+/// Panics if `t > f`.
+#[must_use]
+pub fn hybrid_feasible(graph: &Graph, f: usize, t: usize) -> bool {
+    assert!(t <= f, "t = {t} must not exceed f = {f}");
+    if f == 0 {
+        return graph.node_count() == 1 || graph.is_connected();
+    }
+    let kappa = hybrid_connectivity_requirement(f, t);
+    if !connectivity::is_k_connected(graph, kappa) {
+        return false;
+    }
+    if t == 0 {
+        graph.min_degree() >= local_broadcast_degree_requirement(f)
+    } else {
+        // Condition (iii): every non-empty S with |S| ≤ t has ≥ 2f + 1 neighbors,
+        // i.e. there is no such S with ≤ 2f neighbors.
+        cuts::small_neighborhood_set(graph, t, 2 * f).is_none()
+    }
+}
+
+/// The largest `f` for which `graph` satisfies the local broadcast conditions.
+#[must_use]
+pub fn max_f_local_broadcast(graph: &Graph) -> usize {
+    let mut best = 0;
+    let ceiling = graph.node_count();
+    for f in 1..=ceiling {
+        if local_broadcast_feasible(graph, f) {
+            best = f;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// The largest `f` for which `graph` satisfies the point-to-point conditions.
+#[must_use]
+pub fn max_f_point_to_point(graph: &Graph) -> usize {
+    let mut best = 0;
+    let ceiling = graph.node_count();
+    for f in 1..=ceiling {
+        if point_to_point_feasible(graph, f) {
+            best = f;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// The largest `f` for which `graph` is `2f`-connected, i.e. for which the
+/// efficient Algorithm 2 applies.
+#[must_use]
+pub fn max_f_efficient(graph: &Graph) -> usize {
+    let mut best = 0;
+    for f in 1..=graph.node_count() {
+        if efficient_algorithm_applicable(graph, f) {
+            best = f;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn requirement_formulas_match_the_paper() {
+        // Local broadcast: ⌊3f/2⌋ + 1 and 2f.
+        assert_eq!(local_broadcast_connectivity_requirement(0), 1);
+        assert_eq!(local_broadcast_connectivity_requirement(1), 2);
+        assert_eq!(local_broadcast_connectivity_requirement(2), 4);
+        assert_eq!(local_broadcast_connectivity_requirement(3), 5);
+        assert_eq!(local_broadcast_connectivity_requirement(4), 7);
+        assert_eq!(local_broadcast_degree_requirement(3), 6);
+        // Point-to-point: 2f + 1 and 3f + 1.
+        assert_eq!(point_to_point_connectivity_requirement(2), 5);
+        assert_eq!(point_to_point_node_requirement(2), 7);
+        // Hybrid interpolates between the two.
+        assert_eq!(hybrid_connectivity_requirement(3, 0), 5);
+        assert_eq!(hybrid_connectivity_requirement(3, 3), 7);
+        assert_eq!(hybrid_connectivity_requirement(3, 1), 6);
+        assert_eq!(hybrid_connectivity_requirement(4, 2), 8);
+    }
+
+    #[test]
+    fn hybrid_requirement_reduces_to_endpoints() {
+        for f in 0..6 {
+            assert_eq!(
+                hybrid_connectivity_requirement(f, 0),
+                local_broadcast_connectivity_requirement(f)
+            );
+            assert_eq!(
+                hybrid_connectivity_requirement(f, f),
+                point_to_point_connectivity_requirement(f)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn hybrid_requirement_rejects_t_above_f() {
+        let _ = hybrid_connectivity_requirement(1, 2);
+    }
+
+    #[test]
+    fn five_cycle_is_exactly_f1_under_local_broadcast() {
+        let g = generators::paper_fig1a();
+        assert!(local_broadcast_feasible(&g, 1));
+        assert!(!local_broadcast_feasible(&g, 2));
+        assert_eq!(max_f_local_broadcast(&g), 1);
+        // The same cycle cannot tolerate any fault under point-to-point
+        // (needs 3-connectivity and n ≥ 4).
+        assert!(!point_to_point_feasible(&g, 1));
+        assert_eq!(max_f_point_to_point(&g), 0);
+    }
+
+    #[test]
+    fn circulant_c9_1_2_is_exactly_f2_under_local_broadcast() {
+        let g = generators::paper_fig1b();
+        assert!(local_broadcast_feasible(&g, 2));
+        assert!(!local_broadcast_feasible(&g, 3));
+        assert_eq!(max_f_local_broadcast(&g), 2);
+        // Under point-to-point the same graph only tolerates f = 1
+        // (it is 4-connected, so 2f+1 ≤ 4 gives f ≤ 1).
+        assert_eq!(max_f_point_to_point(&g), 1);
+    }
+
+    #[test]
+    fn complete_graphs_match_known_thresholds() {
+        // K_{2f+1} suffices under local broadcast (global broadcast reduces
+        // to n ≥ 2f + 1), while point-to-point needs K_{3f+1}.
+        for f in 1..=3usize {
+            let k = generators::complete(2 * f + 1);
+            assert!(local_broadcast_feasible(&k, f), "K_{} for f={f}", 2 * f + 1);
+            assert!(!point_to_point_feasible(&k, f));
+            let k_big = generators::complete(3 * f + 1);
+            assert!(point_to_point_feasible(&k_big, f));
+        }
+    }
+
+    #[test]
+    fn efficient_condition_is_2f_connectivity() {
+        let cycle = generators::cycle(5);
+        assert!(efficient_algorithm_applicable(&cycle, 1));
+        assert!(!efficient_algorithm_applicable(&cycle, 2));
+        let c9 = generators::circulant(9, &[1, 2]);
+        assert!(efficient_algorithm_applicable(&c9, 2));
+        assert_eq!(max_f_efficient(&c9), 2);
+        assert_eq!(max_f_efficient(&cycle), 1);
+    }
+
+    #[test]
+    fn f_zero_only_needs_connectivity() {
+        let path = generators::path_graph(4);
+        assert!(local_broadcast_feasible(&path, 0));
+        assert!(point_to_point_feasible(&path, 0));
+        assert!(hybrid_feasible(&path, 0, 0));
+        let disconnected = Graph::from_edge_indices(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!local_broadcast_feasible(&disconnected, 0));
+    }
+
+    #[test]
+    fn deficient_graphs_fail_exactly_one_condition() {
+        let f = 2;
+        let low_conn = generators::deficient_connectivity(f, f + 1);
+        assert!(!local_broadcast_feasible(&low_conn, f));
+        assert!(low_conn.min_degree() >= 2 * f);
+
+        let f = 3;
+        let low_deg = generators::deficient_degree(f, 2 * f + 3);
+        assert!(!local_broadcast_feasible(&low_deg, f));
+        assert!(connectivity::is_k_connected(
+            &low_deg,
+            local_broadcast_connectivity_requirement(f)
+        ));
+    }
+
+    #[test]
+    fn hybrid_feasibility_on_complete_graphs() {
+        // K7 tolerates f = 2 with any t under the hybrid model: for t = 2 it
+        // is the point-to-point bound (n = 3f+1 = 7, κ = 6 ≥ 5); for t = 0 it
+        // is the local broadcast bound.
+        let k7 = generators::complete(7);
+        for t in 0..=2 {
+            assert!(hybrid_feasible(&k7, 2, t), "K7, f=2, t={t}");
+        }
+        // K5 tolerates f = 2 only without equivocation.
+        let k5 = generators::complete(5);
+        assert!(hybrid_feasible(&k5, 2, 0));
+        assert!(!hybrid_feasible(&k5, 2, 1));
+    }
+
+    #[test]
+    fn hybrid_condition_iii_checks_set_neighborhoods() {
+        // The 7-node wheel: hub 0 plus 6-cycle. Each rim node has 3 neighbors,
+        // so for f = 1, t = 1 condition (iii) (every small S has ≥ 3 neighbors)
+        // holds only for... the hub has 6. Rim nodes have 3 ≥ 3, so (iii) holds;
+        // but connectivity is 3 < ⌊0⌋ + 2 + 1 = 3, so κ requirement holds too.
+        let w = generators::wheel(7);
+        assert!(hybrid_feasible(&w, 1, 1));
+        // f = 2, t = 1 needs every single node to have ≥ 5 neighbors: rim
+        // nodes fail.
+        assert!(!hybrid_feasible(&w, 2, 1));
+    }
+
+    use lbc_graph::Graph;
+}

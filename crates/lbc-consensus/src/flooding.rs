@@ -1,0 +1,327 @@
+//! Path-annotated flooding with the forwarding rules of Algorithm 1.
+//!
+//! Flooding is the communication workhorse of the paper's algorithms. To
+//! flood its value, a node broadcasts `(γ, ⊥)`; when a node `v` receives
+//! `(b, Π)` from neighbor `u` it applies, in order:
+//!
+//! 1. **rule (i)** — if `Π‑u` is not a path of `G`, discard;
+//! 2. **rule (ii)** — if `v` already received from `u` a message containing
+//!    path `Π`, discard (this is what suppresses equivocation under local
+//!    broadcast: all of `u`'s neighbors see the same first message for each
+//!    `(u, Π)` key, so a faulty `u` cannot deliver conflicting copies);
+//! 3. **rule (iii)** — if `Π‑u` already contains `v`, discard (bounds
+//!    flooding to `n` rounds);
+//! 4. **rule (iv)** — otherwise `v` *receives value `b` along path `Π‑u`* and
+//!    forwards `(b, Π‑u)`.
+//!
+//! If a neighbor fails to initiate flooding in the first round, the node
+//! substitutes the default message `(1, ⊥)` on its behalf.
+
+use std::collections::BTreeMap;
+
+use lbc_graph::Graph;
+use lbc_model::{NodeId, NodeSet, Path, Value};
+use lbc_sim::{Delivery, Outgoing};
+
+use crate::messages::FloodMsg;
+
+/// Per-phase flooding state of a single node.
+///
+/// The caller drives the flooder from its protocol hooks: [`Flooder::start`]
+/// produces the initiation broadcast, [`Flooder::on_round`] consumes the
+/// round's deliveries and produces the forwards, and the `received_*`
+/// accessors answer the "which value did I receive along path `P`?" queries
+/// of steps (b) and (c).
+#[derive(Debug, Clone)]
+pub struct Flooder {
+    me: NodeId,
+    own_value: Option<Value>,
+    /// Rule (ii) state: the first value received for each `(sender, path)` key.
+    seen: BTreeMap<(NodeId, Path), Value>,
+    /// Values received along full paths `origin … me` (rule (iv)), keyed by
+    /// the full path including `me`. The node's own value is recorded along
+    /// the single-node path `[me]`.
+    received: BTreeMap<Path, Value>,
+    /// Whether the missing-initiation defaults have been injected yet.
+    defaults_injected: bool,
+}
+
+impl Flooder {
+    /// Creates the flooder and returns the initiation broadcast `(value, ⊥)`.
+    #[must_use]
+    pub fn start(me: NodeId, value: Value) -> (Self, Vec<Outgoing<FloodMsg>>) {
+        let mut received = BTreeMap::new();
+        received.insert(Path::singleton(me), value);
+        let flooder = Flooder {
+            me,
+            own_value: Some(value),
+            seen: BTreeMap::new(),
+            received,
+            defaults_injected: false,
+        };
+        let out = vec![Outgoing::Broadcast(FloodMsg::initiation(value))];
+        (flooder, out)
+    }
+
+    /// Creates a flooder that relays other nodes' floods without initiating
+    /// one of its own — used for floods in which only a subset of nodes are
+    /// sources, e.g. the decision flood of Algorithm 2 or the king step of
+    /// the point-to-point baseline.
+    #[must_use]
+    pub fn observer(me: NodeId) -> Self {
+        Flooder {
+            me,
+            own_value: None,
+            seen: BTreeMap::new(),
+            received: BTreeMap::new(),
+            defaults_injected: false,
+        }
+    }
+
+    /// The value this node initiated the flood with, if it initiated one.
+    #[must_use]
+    pub fn own_value(&self) -> Option<Value> {
+        self.own_value
+    }
+
+    /// Processes one round of deliveries and returns the forwards to
+    /// transmit. `first_round` must be true exactly for the round in which
+    /// initiations are due (relative round 0 of the phase); at the end of
+    /// that round, missing initiations from neighbors are replaced by the
+    /// default `(1, ⊥)`.
+    pub fn on_round(
+        &mut self,
+        graph: &Graph,
+        first_round: bool,
+        inbox: &[Delivery<FloodMsg>],
+    ) -> Vec<Outgoing<FloodMsg>> {
+        let mut out = Vec::new();
+        for delivery in inbox {
+            out.extend(self.process(graph, delivery.from, &delivery.message));
+        }
+        if first_round && !self.defaults_injected {
+            self.defaults_injected = true;
+            for neighbor in graph.neighbors(self.me) {
+                let key = (neighbor, Path::empty());
+                if !self.seen.contains_key(&key) {
+                    let default = FloodMsg::initiation(Value::DEFAULT_FLOOD);
+                    out.extend(self.process(graph, neighbor, &default));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies rules (i)–(iv) to a single message received from `from`.
+    fn process(&mut self, graph: &Graph, from: NodeId, msg: &FloodMsg) -> Vec<Outgoing<FloodMsg>> {
+        // Rule (i): the relay path Π‑u must exist in G.
+        let relay_path = msg.path.extended(from);
+        if !graph.is_path(&relay_path) {
+            return Vec::new();
+        }
+        // Rule (ii): at most one message per (sender, path) key.
+        let key = (from, msg.path.clone());
+        if self.seen.contains_key(&key) {
+            return Vec::new();
+        }
+        self.seen.insert(key, msg.value);
+        // Rule (iii): discard if the relay path already contains me.
+        if relay_path.contains(self.me) {
+            return Vec::new();
+        }
+        // Rule (iv): record the value as received along Π‑u and forward.
+        let full = relay_path.extended(self.me);
+        self.received.insert(full, msg.value);
+        vec![Outgoing::Broadcast(FloodMsg {
+            value: msg.value,
+            path: relay_path,
+        })]
+    }
+
+    /// The value received along the full path `origin … me`, if any. The
+    /// node's own value is available along the single-node path `[me]`.
+    #[must_use]
+    pub fn value_along(&self, full_path: &Path) -> Option<Value> {
+        self.received.get(full_path).copied()
+    }
+
+    /// All `(full path, value)` pairs received from `origin` (paths start at
+    /// `origin` and end at this node).
+    #[must_use]
+    pub fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
+        self.received
+            .iter()
+            .filter(|(path, _)| path.first() == Some(origin))
+            .map(|(path, value)| (path.clone(), *value))
+            .collect()
+    }
+
+    /// The full paths from `origin` along which this node received `value`.
+    #[must_use]
+    pub fn paths_with_value(&self, origin: NodeId, value: Value) -> Vec<Path> {
+        self.received
+            .iter()
+            .filter(|(path, v)| path.first() == Some(origin) && **v == value)
+            .map(|(path, _)| path.clone())
+            .collect()
+    }
+
+    /// The full paths from `origin` delivering `value` that *exclude* the set
+    /// `exclude` (no internal node in `exclude`).
+    #[must_use]
+    pub fn paths_with_value_excluding(
+        &self,
+        origin: NodeId,
+        value: Value,
+        exclude: &NodeSet,
+    ) -> Vec<Path> {
+        self.paths_with_value(origin, value)
+            .into_iter()
+            .filter(|p| p.excludes(exclude))
+            .collect()
+    }
+
+    /// Every `(sender, path, value)` accepted under rule (ii) from direct
+    /// neighbors — i.e. everything this node *overheard*, which is exactly
+    /// what Algorithm 2's phase 2 reports on.
+    #[must_use]
+    pub fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
+        self.seen
+            .iter()
+            .map(|((from, path), value)| (*from, path.clone(), *value))
+            .collect()
+    }
+
+    /// Number of distinct full paths along which values were received.
+    #[must_use]
+    pub fn received_count(&self) -> usize {
+        self.received.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn deliver(from: usize, value: Value, path: &[usize]) -> Delivery<FloodMsg> {
+        Delivery {
+            from: n(from),
+            message: FloodMsg {
+                value,
+                path: Path::from_nodes(path.iter().map(|&i| n(i))),
+            },
+        }
+    }
+
+    #[test]
+    fn start_records_own_value_and_broadcasts_initiation() {
+        let (flooder, out) = Flooder::start(n(0), Value::One);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            flooder.value_along(&Path::singleton(n(0))),
+            Some(Value::One)
+        );
+        assert_eq!(flooder.own_value(), Some(Value::One));
+    }
+
+    #[test]
+    fn accepts_and_forwards_valid_messages() {
+        // Cycle 0-1-2-3-4; we are node 2 and receive node 0's initiation via 1.
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let out = flooder.on_round(&g, true, &[deliver(1, Value::One, &[0])]);
+        // Forward (1, [0,1]) plus defaults for the missing neighbor 3.
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Outgoing::Broadcast(m) if m.path.nodes() == [n(0), n(1)])));
+        let full = Path::from_nodes([n(0), n(1), n(2)]);
+        assert_eq!(flooder.value_along(&full), Some(Value::One));
+    }
+
+    #[test]
+    fn rule_i_rejects_non_paths() {
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        // Claimed path [0, 3] then sender 1: 0-3 is not an edge on the cycle.
+        let out = flooder.on_round(&g, false, &[deliver(1, Value::One, &[0, 3])]);
+        assert!(out.is_empty());
+        assert_eq!(flooder.received_count(), 1); // only the own value
+    }
+
+    #[test]
+    fn rule_ii_keeps_only_the_first_message_per_sender_path() {
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let first = deliver(1, Value::One, &[0]);
+        let conflicting = deliver(1, Value::Zero, &[0]);
+        let out1 = flooder.on_round(&g, false, &[first, conflicting]);
+        // Only one forward for the (1, [0]) key.
+        assert_eq!(out1.len(), 1);
+        let full = Path::from_nodes([n(0), n(1), n(2)]);
+        assert_eq!(flooder.value_along(&full), Some(Value::One));
+    }
+
+    #[test]
+    fn rule_iii_discards_paths_containing_me() {
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        // Path [2, 3] from sender 4: contains me (2), discard silently.
+        let out = flooder.on_round(&g, false, &[deliver(4, Value::One, &[2, 3])]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn missing_initiations_get_the_default_value() {
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        // Neighbor 1 initiates, neighbor 3 stays silent.
+        let out = flooder.on_round(&g, true, &[deliver(1, Value::Zero, &[])]);
+        // We forward both node 1's initiation and the default for node 3.
+        assert_eq!(out.len(), 2);
+        let via3 = Path::from_nodes([n(3), n(2)]);
+        assert_eq!(flooder.value_along(&via3), Some(Value::DEFAULT_FLOOD));
+        // A late real initiation from 3 is now ignored (rule (ii)).
+        let out = flooder.on_round(&g, false, &[deliver(3, Value::Zero, &[])]);
+        assert!(out.is_empty());
+        assert_eq!(flooder.value_along(&via3), Some(Value::DEFAULT_FLOOD));
+    }
+
+    #[test]
+    fn received_from_and_paths_with_value_filter_by_origin() {
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let _ = flooder.on_round(
+            &g,
+            true,
+            &[deliver(1, Value::One, &[0]), deliver(3, Value::Zero, &[4])],
+        );
+        let from0 = flooder.received_from(n(0));
+        assert_eq!(from0.len(), 1);
+        assert_eq!(from0[0].1, Value::One);
+        assert_eq!(flooder.paths_with_value(n(4), Value::Zero).len(), 1);
+        assert!(flooder.paths_with_value(n(4), Value::One).is_empty());
+        // Excluding the internal node 3 removes the only path from 4.
+        let excl: NodeSet = [n(3)].into_iter().collect();
+        assert!(flooder
+            .paths_with_value_excluding(n(4), Value::Zero, &excl)
+            .is_empty());
+    }
+
+    #[test]
+    fn overheard_lists_accepted_sender_path_pairs() {
+        let g = generators::cycle(5);
+        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let _ = flooder.on_round(&g, true, &[deliver(1, Value::One, &[])]);
+        let overheard = flooder.overheard();
+        // Node 1's initiation plus the injected default for node 3.
+        assert_eq!(overheard.len(), 2);
+        assert!(overheard
+            .iter()
+            .any(|(from, path, value)| *from == n(1) && path.is_empty() && *value == Value::One));
+    }
+}

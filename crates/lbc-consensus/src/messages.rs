@@ -1,0 +1,215 @@
+//! Message types exchanged by the consensus algorithms.
+
+use serde::{Deserialize, Serialize};
+
+use lbc_model::{NodeId, Path, Value};
+use lbc_sim::ByzantineMessage;
+
+/// A path-annotated flooding message `(b, Π)` as used in step (a) of
+/// Algorithms 1 and 3 and in phase 1 of Algorithm 2.
+///
+/// `path` is the sequence of nodes that have *transmitted* the message so
+/// far, **excluding** the current transmitter: an origin `u` initiates the
+/// flood of its value `b` by broadcasting `(b, ⊥)`; a relay that received
+/// `(b, Π)` from neighbor `w` forwards `(b, Π‑w)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FloodMsg {
+    /// The flooded binary value.
+    pub value: Value,
+    /// The relay path so far (excluding the current transmitter).
+    pub path: Path,
+}
+
+impl FloodMsg {
+    /// The initiation message `(value, ⊥)` broadcast by an origin.
+    #[must_use]
+    pub fn initiation(value: Value) -> Self {
+        FloodMsg {
+            value,
+            path: Path::empty(),
+        }
+    }
+
+    /// The origin of the flooded value: the first node of the relay path, or
+    /// `transmitter` itself when the path is empty (an initiation).
+    #[must_use]
+    pub fn origin(&self, transmitter: NodeId) -> NodeId {
+        self.path.first().unwrap_or(transmitter)
+    }
+}
+
+impl ByzantineMessage for FloodMsg {
+    fn tampered(&self) -> Self {
+        FloodMsg {
+            value: self.value.flipped(),
+            path: self.path.clone(),
+        }
+    }
+}
+
+/// A phase-2 report of Algorithm 2: "node `observed` transmitted the phase-1
+/// flooding message `(value, observed_path)`".
+///
+/// Reports carry the *exact* transmission (value **and** the path annotation
+/// it was transmitted with), which is what makes the fault-identification
+/// rule sound: an honest relay that forwarded a tampered value received along
+/// some *other* route is never blamed for the tampering on the inspected
+/// path, because its transmission carries a different path annotation.
+///
+/// Reports are flooded with a relay path (`path`) whose *first* node is the
+/// observed node itself, so that a receiver can apply the reliable-receive
+/// rule (Definition C.1) to `observed → receiver` paths: the observed node's
+/// transmission, overheard by its neighbors under local broadcast, is in
+/// effect re-flooded from the observed node outward.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReportMsg {
+    /// The node whose phase-1 transmission is being reported.
+    pub observed: NodeId,
+    /// The value the observed node transmitted.
+    pub value: Value,
+    /// The path annotation the observed node transmitted with (the relay path
+    /// of the *phase-1* message, excluding the observed node itself).
+    pub observed_path: Path,
+    /// Relay path of the *report*, starting at `observed` and excluding the
+    /// current transmitter.
+    pub path: Path,
+}
+
+impl ReportMsg {
+    /// The origin of the phase-1 value the observed node was relaying: the
+    /// first node of the observed path, or the observed node itself for an
+    /// initiation.
+    #[must_use]
+    pub fn origin(&self) -> NodeId {
+        self.observed_path.first().unwrap_or(self.observed)
+    }
+}
+
+impl ByzantineMessage for ReportMsg {
+    fn tampered(&self) -> Self {
+        ReportMsg {
+            observed: self.observed,
+            value: self.value.flipped(),
+            observed_path: self.observed_path.clone(),
+            path: self.path.clone(),
+        }
+    }
+}
+
+/// A phase-3 decision message of Algorithm 2: a type B node floods the value
+/// it decided.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DecisionMsg {
+    /// The decided value being disseminated.
+    pub value: Value,
+    /// Relay path (excluding the current transmitter); empty for the deciding
+    /// node's own initiation.
+    pub path: Path,
+}
+
+impl ByzantineMessage for DecisionMsg {
+    fn tampered(&self) -> Self {
+        DecisionMsg {
+            value: self.value.flipped(),
+            path: self.path.clone(),
+        }
+    }
+}
+
+/// The message alphabet of Algorithm 2 (phases 1–3).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Alg2Message {
+    /// Phase 1: flooded input value.
+    Input(FloodMsg),
+    /// Phase 2: flooded report on an overheard phase-1 transmission.
+    Report(ReportMsg),
+    /// Phase 3: flooded decision of a type B node.
+    Decision(DecisionMsg),
+}
+
+impl ByzantineMessage for Alg2Message {
+    fn tampered(&self) -> Self {
+        match self {
+            Alg2Message::Input(m) => Alg2Message::Input(m.tampered()),
+            Alg2Message::Report(m) => Alg2Message::Report(m.tampered()),
+            Alg2Message::Decision(m) => Alg2Message::Decision(m.tampered()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn initiation_has_empty_path() {
+        let m = FloodMsg::initiation(Value::One);
+        assert!(m.path.is_empty());
+        assert_eq!(m.origin(n(3)), n(3));
+    }
+
+    #[test]
+    fn origin_is_first_path_node_when_relayed() {
+        let m = FloodMsg {
+            value: Value::Zero,
+            path: Path::from_nodes([n(5), n(2)]),
+        };
+        assert_eq!(m.origin(n(7)), n(5));
+    }
+
+    #[test]
+    fn tampering_flips_values_and_keeps_paths() {
+        let m = FloodMsg {
+            value: Value::Zero,
+            path: Path::from_nodes([n(1)]),
+        };
+        let t = m.tampered();
+        assert_eq!(t.value, Value::One);
+        assert_eq!(t.path, m.path);
+
+        let r = ReportMsg {
+            observed: n(2),
+            value: Value::One,
+            observed_path: Path::from_nodes([n(1)]),
+            path: Path::from_nodes([n(2)]),
+        };
+        assert_eq!(r.tampered().value, Value::Zero);
+        assert_eq!(r.tampered().observed, n(2));
+        assert_eq!(r.origin(), n(1));
+        let initiation_report = ReportMsg {
+            observed: n(2),
+            value: Value::One,
+            observed_path: Path::empty(),
+            path: Path::from_nodes([n(2)]),
+        };
+        assert_eq!(initiation_report.origin(), n(2));
+
+        let d = DecisionMsg {
+            value: Value::One,
+            path: Path::empty(),
+        };
+        assert_eq!(d.tampered().value, Value::Zero);
+    }
+
+    #[test]
+    fn alg2_message_tampering_is_variant_preserving() {
+        let m = Alg2Message::Input(FloodMsg::initiation(Value::One));
+        assert!(matches!(m.tampered(), Alg2Message::Input(f) if f.value == Value::Zero));
+        let d = Alg2Message::Decision(DecisionMsg {
+            value: Value::Zero,
+            path: Path::empty(),
+        });
+        assert!(matches!(d.tampered(), Alg2Message::Decision(x) if x.value == Value::One));
+        let r = Alg2Message::Report(ReportMsg {
+            observed: n(0),
+            value: Value::Zero,
+            observed_path: Path::empty(),
+            path: Path::empty(),
+        });
+        assert!(matches!(r.tampered(), Alg2Message::Report(x) if x.value == Value::One));
+    }
+}

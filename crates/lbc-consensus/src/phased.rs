@@ -1,0 +1,312 @@
+//! The phase machinery shared by Algorithm 1 (local broadcast) and
+//! Algorithm 3 (hybrid model).
+//!
+//! Both algorithms execute one *phase* per candidate fault set — `F` with
+//! `|F| ≤ f` for Algorithm 1, a pair `(F, T)` with `|T| ≤ t`,
+//! `|F| ≤ f − |T|` for Algorithm 3. Each phase consists of
+//!
+//! * **step (a)** — flooding the node's current state `γ_v` with the rules of
+//!   [`crate::flooding`],
+//! * **step (b)** — classifying every node `u` into `Z_v` (value 0 received
+//!   along a chosen `uv`-path excluding `F ∪ T`) or `N_v`,
+//! * **step (c)** — the four-case analysis that selects `(A_v, B_v)` and,
+//!   when the node is in `B_v`, updates `γ_v` if an identical value arrived
+//!   along `f + 1` node-disjoint `A_v v`-paths excluding `F ∪ T`.
+//!
+//! Algorithm 1 is exactly this machinery with `t = 0`.
+
+use lbc_graph::{combinatorics, paths};
+use lbc_model::{NodeId, NodeSet, Path, Round, Value};
+use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+
+use crate::flooding::Flooder;
+use crate::messages::FloodMsg;
+
+/// Which of the four cases of step (c) applied in a phase (Algorithm 1 /
+/// Algorithm 3). Exposed for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepCCase {
+    /// `|Z_v ∩ F| ≤ ⌊ϕ/2⌋` and `|N_v| > f`: `A_v := N_v`, `B_v := Z_v`.
+    Case1,
+    /// `|Z_v ∩ F| ≤ ⌊ϕ/2⌋` and `|N_v| ≤ f`: `A_v := Z_v`, `B_v := N_v`.
+    Case2,
+    /// `|Z_v ∩ F| > ⌊ϕ/2⌋` and `|Z_v| > f`: `A_v := Z_v`, `B_v := N_v`.
+    Case3,
+    /// `|Z_v ∩ F| > ⌊ϕ/2⌋` and `|Z_v| ≤ f`: `A_v := N_v`, `B_v := Z_v`.
+    Case4,
+}
+
+/// Evaluates the case analysis of step (c), returning the case together with
+/// the sets `(A_v, B_v)`.
+///
+/// `phi` is `f − |T|` (equal to `f` for Algorithm 1).
+#[must_use]
+pub(crate) fn step_c_sets(
+    zv: &NodeSet,
+    nv: &NodeSet,
+    fault_candidate: &NodeSet,
+    f: usize,
+    phi: usize,
+) -> (StepCCase, NodeSet, NodeSet) {
+    let zv_cap_f = zv.intersection(fault_candidate).len();
+    if zv_cap_f <= phi / 2 {
+        if nv.len() > f {
+            (StepCCase::Case1, nv.clone(), zv.clone())
+        } else {
+            (StepCCase::Case2, zv.clone(), nv.clone())
+        }
+    } else if zv.len() > f {
+        (StepCCase::Case3, zv.clone(), nv.clone())
+    } else {
+        (StepCCase::Case4, nv.clone(), zv.clone())
+    }
+}
+
+/// Per-phase runtime state.
+#[derive(Debug, Clone)]
+struct RunState {
+    /// The phase schedule: candidate pairs `(F, T)`.
+    phases: Vec<(NodeSet, NodeSet)>,
+    phase_index: usize,
+    round_in_phase: usize,
+    rounds_per_phase: usize,
+    flooder: Flooder,
+}
+
+/// The shared protocol implementation behind [`crate::Algorithm1Node`] and
+/// [`crate::Algorithm3Node`].
+#[derive(Debug, Clone)]
+pub(crate) struct PhasedNode {
+    input: Value,
+    gamma: Value,
+    /// The bound `t` on equivocating faulty nodes (0 for Algorithm 1).
+    equivocation_bound: usize,
+    state: Option<RunState>,
+    decided: Option<Value>,
+    /// Cases taken in each completed phase (diagnostics).
+    case_log: Vec<StepCCase>,
+}
+
+impl PhasedNode {
+    pub(crate) fn new(input: Value, equivocation_bound: usize) -> Self {
+        PhasedNode {
+            input,
+            gamma: input,
+            equivocation_bound,
+            state: None,
+            decided: None,
+            case_log: Vec::new(),
+        }
+    }
+
+    /// The node's input value.
+    pub(crate) fn input(&self) -> Value {
+        self.input
+    }
+
+    /// The node's current state `γ_v`.
+    pub(crate) fn gamma(&self) -> Value {
+        self.gamma
+    }
+
+    /// The step-(c) cases taken in completed phases, in order.
+    pub(crate) fn case_log(&self) -> &[StepCCase] {
+        &self.case_log
+    }
+
+    /// Total number of phases this node will execute on an `n`-node graph
+    /// with fault bound `f`.
+    pub(crate) fn phase_count(n: usize, f: usize, t: usize) -> usize {
+        combinatorics::hybrid_fault_set_phases(n, f, t).len()
+    }
+
+    /// Executes steps (b) and (c) at the end of a phase.
+    fn finish_phase(&mut self, ctx: &NodeContext<'_>, flooder: &Flooder, phase: &(NodeSet, NodeSet)) {
+        let (fault_candidate, equivocator_candidate) = phase;
+        let me = ctx.id;
+        let graph = ctx.graph;
+        let f = ctx.f;
+        let phi = f.saturating_sub(equivocator_candidate.len());
+        let exclude = fault_candidate.union(equivocator_candidate);
+
+        // Step (b): classify every node of V − T into Z_v / N_v according to
+        // the value received along a single uv-path that excludes F ∪ T.
+        let mut zv = NodeSet::new();
+        let mut nv = NodeSet::new();
+        for u in graph.nodes() {
+            if equivocator_candidate.contains(u) {
+                continue;
+            }
+            let value = if u == me {
+                flooder.own_value()
+            } else {
+                paths::path_excluding(graph, u, me, &exclude)
+                    .and_then(|puv| flooder.value_along(&puv))
+            };
+            if value == Some(Value::Zero) {
+                zv.insert(u);
+            } else {
+                nv.insert(u);
+            }
+        }
+
+        // Step (c): select (A_v, B_v) and update γ_v when an identical value
+        // arrives along f + 1 node-disjoint A_v v-paths excluding F ∪ T.
+        let (case, av, bv) = {
+            let (case, av, bv) = step_c_sets(&zv, &nv, fault_candidate, f, phi);
+            (case, av, bv)
+        };
+        self.case_log.push(case);
+
+        if bv.contains(me) {
+            let witness_paths =
+                paths::disjoint_set_to_node_paths(graph, &av, me, &exclude, f + 1);
+            if witness_paths.len() == f + 1 {
+                let delivered: Vec<Option<Value>> = witness_paths
+                    .iter()
+                    .map(|p| self.value_along_witness(flooder, me, p))
+                    .collect();
+                if let Some(Some(first)) = delivered.first() {
+                    if delivered.iter().all(|v| *v == Some(*first)) {
+                        self.gamma = *first;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value received along a witness path ending at `me` (a path of
+    /// length one, `[me]`, stands for the node's own value).
+    fn value_along_witness(&self, flooder: &Flooder, me: NodeId, path: &Path) -> Option<Value> {
+        if path.len() == 1 && path.first() == Some(me) {
+            flooder.own_value()
+        } else {
+            flooder.value_along(path)
+        }
+    }
+}
+
+impl Protocol for PhasedNode {
+    type Message = FloodMsg;
+
+    fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<FloodMsg>> {
+        let n = ctx.n();
+        let phases = combinatorics::hybrid_fault_set_phases(n, ctx.f, self.equivocation_bound);
+        let (flooder, out) = Flooder::start(ctx.id, self.gamma);
+        self.state = Some(RunState {
+            phases,
+            phase_index: 0,
+            round_in_phase: 0,
+            rounds_per_phase: n.max(1),
+            flooder,
+        });
+        out
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        _round: Round,
+        inbox: &[Delivery<FloodMsg>],
+    ) -> Vec<Outgoing<FloodMsg>> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        let Some(mut state) = self.state.take() else {
+            return Vec::new();
+        };
+
+        let first_round = state.round_in_phase == 0;
+        let mut out = state.flooder.on_round(ctx.graph, first_round, inbox);
+
+        if state.round_in_phase + 1 < state.rounds_per_phase {
+            state.round_in_phase += 1;
+            self.state = Some(state);
+            return out;
+        }
+
+        // Last round of the phase: run steps (b) and (c), then either start
+        // the next phase or decide.
+        let phase = state.phases[state.phase_index].clone();
+        self.finish_phase(ctx, &state.flooder, &phase);
+
+        state.phase_index += 1;
+        state.round_in_phase = 0;
+        if state.phase_index < state.phases.len() {
+            let (flooder, initiation) = Flooder::start(ctx.id, self.gamma);
+            state.flooder = flooder;
+            out.extend(initiation);
+            self.state = Some(state);
+            out
+        } else {
+            self.decided = Some(self.gamma);
+            self.state = None;
+            Vec::new()
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> NodeSet {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn step_c_case_selection_matches_the_paper() {
+        // f = 2, phi = 2, candidate F = {0, 1}.
+        let f = 2;
+        let phi = 2;
+        let fault = set(&[0, 1]);
+
+        // Case 1: |Z ∩ F| = 1 ≤ 1 and |N| = 3 > f.
+        let (case, av, bv) = step_c_sets(&set(&[0, 2]), &set(&[3, 4, 5]), &fault, f, phi);
+        assert_eq!(case, StepCCase::Case1);
+        assert_eq!(av, set(&[3, 4, 5]));
+        assert_eq!(bv, set(&[0, 2]));
+
+        // Case 2: |Z ∩ F| small and |N| ≤ f.
+        let (case, av, bv) = step_c_sets(&set(&[2, 3, 4]), &set(&[5, 6]), &fault, f, phi);
+        assert_eq!(case, StepCCase::Case2);
+        assert_eq!(av, set(&[2, 3, 4]));
+        assert_eq!(bv, set(&[5, 6]));
+
+        // Case 3: |Z ∩ F| = 2 > 1 and |Z| = 3 > f.
+        let (case, av, bv) = step_c_sets(&set(&[0, 1, 2]), &set(&[3, 4]), &fault, f, phi);
+        assert_eq!(case, StepCCase::Case3);
+        assert_eq!(av, set(&[0, 1, 2]));
+        assert_eq!(bv, set(&[3, 4]));
+
+        // Case 4: |Z ∩ F| = 2 > 1 and |Z| = 2 ≤ f.
+        let (case, av, bv) = step_c_sets(&set(&[0, 1]), &set(&[2, 3, 4]), &fault, f, phi);
+        assert_eq!(case, StepCCase::Case4);
+        assert_eq!(av, set(&[2, 3, 4]));
+        assert_eq!(bv, set(&[0, 1]));
+    }
+
+    #[test]
+    fn phase_count_matches_combinatorics() {
+        assert_eq!(
+            PhasedNode::phase_count(5, 1, 0),
+            6 // C(5,0) + C(5,1)
+        );
+        assert_eq!(PhasedNode::phase_count(5, 2, 0), 16);
+        // Hybrid schedule is strictly larger when t > 0.
+        assert!(PhasedNode::phase_count(5, 2, 1) > 16);
+    }
+
+    #[test]
+    fn node_starts_with_its_input_as_state() {
+        let node = PhasedNode::new(Value::One, 0);
+        assert_eq!(node.input(), Value::One);
+        assert_eq!(node.gamma(), Value::One);
+        assert!(node.case_log().is_empty());
+        assert_eq!(node.output(), None);
+    }
+}

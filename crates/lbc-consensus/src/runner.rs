@@ -1,0 +1,300 @@
+//! Glue for executing the consensus algorithms inside the simulator and
+//! judging the outcome.
+
+use lbc_graph::Graph;
+use lbc_model::{CommModel, ConsensusOutcome, InputAssignment, NodeSet, Value};
+use lbc_sim::{Adversary, Network, Protocol, Trace};
+
+use crate::algorithm1::Algorithm1Node;
+use crate::algorithm2::Algorithm2Node;
+use crate::algorithm3::Algorithm3Node;
+use crate::messages::{Alg2Message, FloodMsg};
+use crate::p2p::{P2pBaselineNode, P2pMessage};
+
+/// Which consensus algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Algorithm 1: exponential-phase exact consensus (Theorem 5.1).
+    Algorithm1,
+    /// Algorithm 2: `O(n)`-round consensus for `2f`-connected graphs
+    /// (Theorem 5.6).
+    Algorithm2,
+}
+
+/// Safety margin multiplier applied to the theoretical round counts when
+/// picking the simulator's round limit.
+const ROUND_MARGIN: usize = 2;
+
+fn execute<P, A>(
+    graph: &Graph,
+    model: CommModel,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+    nodes: Vec<P>,
+    max_rounds: usize,
+) -> (ConsensusOutcome, Trace)
+where
+    P: Protocol,
+    A: Adversary<P::Message>,
+{
+    assert_eq!(
+        inputs.len(),
+        graph.node_count(),
+        "one input per graph node is required"
+    );
+    let mut network =
+        Network::new(graph.clone(), model, faulty.clone(), nodes).with_fault_bound(f);
+    let report = network.run(adversary, max_rounds);
+    let mut outcome = ConsensusOutcome::new(inputs.clone(), faulty.clone());
+    for node in graph.nodes() {
+        if let Some(value) = report.output_of(node) {
+            outcome.record_output(node, value);
+        }
+    }
+    (outcome, report.trace)
+}
+
+/// Runs **Algorithm 1** under the local broadcast model.
+pub fn run_algorithm1<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg>,
+{
+    let n = graph.node_count();
+    let nodes: Vec<Algorithm1Node> = graph
+        .nodes()
+        .map(|v| Algorithm1Node::new(inputs.get(v)))
+        .collect();
+    let max_rounds = Algorithm1Node::round_count(n, f) * ROUND_MARGIN + 2;
+    execute(
+        graph,
+        CommModel::LocalBroadcast,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        nodes,
+        max_rounds,
+    )
+}
+
+/// Runs **Algorithm 2** (the efficient `O(n)`-round algorithm) under the
+/// local broadcast model.
+pub fn run_algorithm2<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<Alg2Message>,
+{
+    let n = graph.node_count();
+    let nodes: Vec<Algorithm2Node> = graph
+        .nodes()
+        .map(|v| Algorithm2Node::new(inputs.get(v)))
+        .collect();
+    let max_rounds = Algorithm2Node::round_count(n) * ROUND_MARGIN + 2;
+    execute(
+        graph,
+        CommModel::LocalBroadcast,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        nodes,
+        max_rounds,
+    )
+}
+
+/// Runs either local-broadcast algorithm, selected by `kind`.
+pub fn run_local_broadcast<A>(
+    kind: AlgorithmKind,
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg> + Adversary<Alg2Message>,
+{
+    match kind {
+        AlgorithmKind::Algorithm1 => run_algorithm1(graph, f, inputs, faulty, adversary),
+        AlgorithmKind::Algorithm2 => run_algorithm2(graph, f, inputs, faulty, adversary),
+    }
+}
+
+/// Runs **Algorithm 3** under the hybrid model with the given set of
+/// equivocating faulty nodes (`equivocators ⊆ faulty`, `|equivocators| ≤ t`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_algorithm3<A>(
+    graph: &Graph,
+    f: usize,
+    t: usize,
+    equivocators: &NodeSet,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg>,
+{
+    assert!(
+        equivocators.is_subset(faulty) || equivocators.is_empty(),
+        "equivocators must be faulty nodes"
+    );
+    let n = graph.node_count();
+    let nodes: Vec<Algorithm3Node> = graph
+        .nodes()
+        .map(|v| Algorithm3Node::new(inputs.get(v), t))
+        .collect();
+    let max_rounds = Algorithm3Node::round_count(n, f, t) * ROUND_MARGIN + 2;
+    let model = CommModel::Hybrid {
+        equivocators: equivocators.clone(),
+    };
+    execute(graph, model, f, inputs, faulty, adversary, nodes, max_rounds)
+}
+
+/// Runs the **point-to-point baseline** (king agreement over Dolev-style
+/// relay) under the point-to-point model.
+pub fn run_p2p_baseline<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<P2pMessage>,
+{
+    let n = graph.node_count();
+    let nodes: Vec<P2pBaselineNode> = graph
+        .nodes()
+        .map(|v| P2pBaselineNode::new(inputs.get(v)))
+        .collect();
+    let max_rounds = P2pBaselineNode::round_count(n, f) * ROUND_MARGIN + 2;
+    execute(
+        graph,
+        CommModel::PointToPoint,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        nodes,
+        max_rounds,
+    )
+}
+
+/// Convenience: run one algorithm over *every* input assignment where the
+/// non-faulty inputs are not unanimous-by-construction is unnecessary; this
+/// helper simply enumerates all `2^n` assignments for small `n` and returns
+/// the first failing outcome, if any.
+///
+/// Used by tests and experiments to exhaustively check small configurations.
+pub fn exhaustive_inputs_check<F>(n: usize, mut run: F) -> Option<(InputAssignment, ConsensusOutcome)>
+where
+    F: FnMut(&InputAssignment) -> ConsensusOutcome,
+{
+    assert!(n <= 16, "exhaustive input enumeration limited to 16 nodes");
+    for bits in 0..(1u64 << n) {
+        let inputs = InputAssignment::from_bits(n, bits);
+        let outcome = run(&inputs);
+        if !outcome.verdict().is_correct() {
+            return Some((inputs, outcome));
+        }
+    }
+    None
+}
+
+/// Helper used by experiments: the majority input value of the non-faulty
+/// nodes (ties to zero), handy as a reference point when eyeballing outcomes.
+#[must_use]
+pub fn honest_majority(inputs: &InputAssignment, faulty: &NodeSet) -> Option<Value> {
+    Value::majority(
+        inputs
+            .iter()
+            .filter(|(node, _)| !faulty.contains(*node))
+            .map(|(_, value)| value),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+    use lbc_model::NodeId;
+    use lbc_sim::HonestAdversary;
+
+    #[test]
+    fn algorithm1_fault_free_on_the_5_cycle() {
+        let graph = generators::paper_fig1a();
+        let inputs = InputAssignment::from_bits(5, 0b00110);
+        let (outcome, trace) =
+            run_algorithm1(&graph, 1, &inputs, &NodeSet::new(), &mut HonestAdversary);
+        assert!(outcome.verdict().is_correct(), "{outcome}");
+        assert_eq!(trace.rounds(), Algorithm1Node::round_count(5, 1));
+    }
+
+    #[test]
+    fn algorithm2_fault_free_on_the_5_cycle() {
+        let graph = generators::paper_fig1a();
+        let inputs = InputAssignment::from_bits(5, 0b01011);
+        let (outcome, trace) =
+            run_algorithm2(&graph, 1, &inputs, &NodeSet::new(), &mut HonestAdversary);
+        assert!(outcome.verdict().is_correct(), "{outcome}");
+        assert!(trace.rounds() <= Algorithm2Node::round_count(5));
+    }
+
+    #[test]
+    fn algorithm3_fault_free_on_k5() {
+        let graph = generators::complete(5);
+        let inputs = InputAssignment::from_bits(5, 0b10101);
+        let (outcome, _) = run_algorithm3(
+            &graph,
+            1,
+            1,
+            &NodeSet::new(),
+            &inputs,
+            &NodeSet::new(),
+            &mut HonestAdversary,
+        );
+        assert!(outcome.verdict().is_correct(), "{outcome}");
+    }
+
+    #[test]
+    fn p2p_baseline_fault_free_on_k4() {
+        let graph = generators::complete(4);
+        let inputs = InputAssignment::from_bits(4, 0b0101);
+        let (outcome, _) =
+            run_p2p_baseline(&graph, 1, &inputs, &NodeSet::new(), &mut HonestAdversary);
+        assert!(outcome.verdict().is_correct(), "{outcome}");
+    }
+
+    #[test]
+    fn honest_majority_ignores_faulty_inputs() {
+        let inputs = InputAssignment::from_bits(4, 0b1110);
+        let faulty = NodeSet::singleton(NodeId::new(3));
+        assert_eq!(honest_majority(&inputs, &faulty), Some(Value::One));
+        assert_eq!(honest_majority(&inputs, &NodeSet::new()), Some(Value::One));
+    }
+
+    #[test]
+    fn exhaustive_check_passes_for_a_correct_runner() {
+        let graph = generators::complete(3);
+        let result = exhaustive_inputs_check(3, |inputs| {
+            let (outcome, _) =
+                run_algorithm2(&graph, 0, inputs, &NodeSet::new(), &mut HonestAdversary);
+            outcome
+        });
+        assert!(result.is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! The tabular result type shared by all experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of one experiment: a labelled table plus free-form notes.
+///
+/// Rendering is deliberately plain text so that `cargo bench`/examples can
+/// print exactly the rows recorded in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment identifier ("E1" … "E8").
+    pub id: String,
+    /// Human-readable title referencing the paper artifact.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations (e.g. which side "wins" and by how much).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result with the given identity.
+    #[must_use]
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row length must match header length"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the result as an aligned plain-text table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:width$} |", cell, width = widths[i]));
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.id, self.title));
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        let mut separator = String::from("|");
+        for width in &widths {
+            separator.push_str(&format!("{}|", "-".repeat(width + 2)));
+        }
+        out.push_str(&separator);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut result = ExperimentResult::new("E0", "smoke", &["graph", "f", "ok"]);
+        result.push_row(["C5", "1", "yes"]);
+        result.push_row(["K5", "2", "yes"]);
+        result.push_note("all correct");
+        let text = result.render_table();
+        assert!(text.contains("E0: smoke"));
+        assert!(text.contains("| C5"));
+        assert!(text.contains("note: all correct"));
+        assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length must match")]
+    fn mismatched_rows_are_rejected() {
+        let mut result = ExperimentResult::new("E0", "smoke", &["a", "b"]);
+        result.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut result = ExperimentResult::new("E1", "roundtrip", &["x"]);
+        result.push_row(["1"]);
+        let json = serde_json::to_string(&result).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

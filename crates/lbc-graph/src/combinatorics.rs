@@ -1,0 +1,268 @@
+//! Subset and partition enumeration.
+//!
+//! Algorithm 1 runs one phase per candidate fault set `F ⊆ V` with
+//! `|F| ≤ f`; Algorithm 3 runs one phase per pair `(F, T)` with `|T| ≤ t`
+//! and `|F| ≤ f − |T|`. The impossibility constructions additionally need
+//! partitions of neighborhoods and cuts into bounded-size parts. This module
+//! provides the corresponding (deterministic-order) enumerations.
+
+use lbc_model::{NodeId, NodeSet};
+
+/// All subsets of `items` of exactly `size`, in lexicographic order of
+/// indices.
+#[must_use]
+pub fn subsets_of_size<T: Clone>(items: &[T], size: usize) -> Vec<Vec<T>> {
+    let mut result = Vec::new();
+    if size > items.len() {
+        return result;
+    }
+    let mut indices: Vec<usize> = (0..size).collect();
+    loop {
+        result.push(indices.iter().map(|&i| items[i].clone()).collect());
+        // Advance to the next combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return result;
+            }
+            i -= 1;
+            if indices[i] != i + items.len() - size {
+                break;
+            }
+            if i == 0 {
+                return result;
+            }
+        }
+        indices[i] += 1;
+        for j in (i + 1)..size {
+            indices[j] = indices[j - 1] + 1;
+        }
+    }
+}
+
+/// All subsets of `items` of size at most `max_size` (including the empty
+/// set), ordered by size then lexicographically.
+#[must_use]
+pub fn subsets_up_to_size<T: Clone>(items: &[T], max_size: usize) -> Vec<Vec<T>> {
+    let mut result = Vec::new();
+    for size in 0..=max_size.min(items.len()) {
+        result.extend(subsets_of_size(items, size));
+    }
+    result
+}
+
+/// The number of subsets of an `n`-element set with size at most `k`:
+/// `Σ_{i=0}^{k} C(n, i)`. This is the number of phases Algorithm 1 executes.
+#[must_use]
+pub fn count_subsets_up_to_size(n: usize, k: usize) -> u128 {
+    (0..=k.min(n)).map(|i| binomial(n, i)).sum()
+}
+
+/// The binomial coefficient `C(n, k)` as a `u128`.
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+/// Enumerates all candidate fault sets `F ⊆ V`, `|F| ≤ f`, over a population
+/// of `n` nodes — the phase schedule of Algorithm 1.
+#[must_use]
+pub fn fault_set_phases(n: usize, f: usize) -> Vec<NodeSet> {
+    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    subsets_up_to_size(&nodes, f)
+        .into_iter()
+        .map(|subset| subset.into_iter().collect())
+        .collect()
+}
+
+/// Enumerates all candidate pairs `(F, T)` with `T ⊆ V`, `|T| ≤ t`,
+/// `F ⊆ V − T`, `|F| ≤ f − |T|` — the phase schedule of Algorithm 3.
+#[must_use]
+pub fn hybrid_fault_set_phases(n: usize, f: usize, t: usize) -> Vec<(NodeSet, NodeSet)> {
+    let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut result = Vec::new();
+    for t_candidate in subsets_up_to_size(&nodes, t.min(f)) {
+        let t_set: NodeSet = t_candidate.into_iter().collect();
+        let remaining: Vec<NodeId> = nodes
+            .iter()
+            .copied()
+            .filter(|v| !t_set.contains(*v))
+            .collect();
+        let budget = f - t_set.len();
+        for f_candidate in subsets_up_to_size(&remaining, budget) {
+            let f_set: NodeSet = f_candidate.into_iter().collect();
+            result.push((f_set, t_set.clone()));
+        }
+    }
+    result
+}
+
+/// Splits `items` into consecutive chunks whose sizes are given by `sizes`.
+/// Panics if the sizes do not sum to `items.len()`.
+///
+/// Used by the lower-bound constructions to carve a neighborhood or a cut
+/// into the `(F¹, F²)` / `(C¹, C², C³, R, T)` parts of Appendix A and D.
+#[must_use]
+pub fn split_by_sizes(items: &NodeSet, sizes: &[usize]) -> Vec<NodeSet> {
+    let total: usize = sizes.iter().sum();
+    assert_eq!(
+        total,
+        items.len(),
+        "sizes {:?} must sum to the set size {}",
+        sizes,
+        items.len()
+    );
+    let ordered: Vec<NodeId> = items.iter().collect();
+    let mut result = Vec::with_capacity(sizes.len());
+    let mut offset = 0;
+    for &size in sizes {
+        result.push(ordered[offset..offset + size].iter().copied().collect());
+        offset += size;
+    }
+    result
+}
+
+/// Splits a set of `len` elements into parts with the given *maximum* sizes,
+/// greedily filling earlier parts first. Returns `None` if the capacities are
+/// insufficient.
+///
+/// The impossibility proofs only need *some* partition with
+/// `|F¹| ≤ ⌊f/2⌋`-style bounds; greedy filling produces one whenever it
+/// exists.
+#[must_use]
+pub fn greedy_sizes(len: usize, max_sizes: &[usize]) -> Option<Vec<usize>> {
+    let capacity: usize = max_sizes.iter().sum();
+    if capacity < len {
+        return None;
+    }
+    let mut remaining = len;
+    let mut sizes = Vec::with_capacity(max_sizes.len());
+    for &cap in max_sizes {
+        let take = cap.min(remaining);
+        sizes.push(take);
+        remaining -= take;
+    }
+    Some(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn subsets_of_size_counts_match_binomial() {
+        let items: Vec<usize> = (0..6).collect();
+        for k in 0..=6 {
+            assert_eq!(
+                subsets_of_size(&items, k).len() as u128,
+                binomial(6, k),
+                "C(6,{k})"
+            );
+        }
+        assert!(subsets_of_size(&items, 7).is_empty());
+    }
+
+    #[test]
+    fn subsets_of_size_zero_is_the_empty_set() {
+        let items = [1, 2, 3];
+        let subsets = subsets_of_size(&items, 0);
+        assert_eq!(subsets, vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn subsets_are_lexicographic_and_distinct() {
+        let items = ['a', 'b', 'c', 'd'];
+        let subsets = subsets_of_size(&items, 2);
+        assert_eq!(
+            subsets,
+            vec![
+                vec!['a', 'b'],
+                vec!['a', 'c'],
+                vec!['a', 'd'],
+                vec!['b', 'c'],
+                vec!['b', 'd'],
+                vec!['c', 'd'],
+            ]
+        );
+    }
+
+    #[test]
+    fn subsets_up_to_size_counts() {
+        let items: Vec<usize> = (0..5).collect();
+        assert_eq!(
+            subsets_up_to_size(&items, 2).len() as u128,
+            count_subsets_up_to_size(5, 2)
+        );
+        assert_eq!(count_subsets_up_to_size(5, 2), 1 + 5 + 10);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+
+    #[test]
+    fn fault_set_phase_count_matches_formula() {
+        let phases = fault_set_phases(5, 2);
+        assert_eq!(phases.len() as u128, count_subsets_up_to_size(5, 2));
+        // The empty candidate set is one of the phases.
+        assert!(phases.iter().any(NodeSet::is_empty));
+        // All phases respect the size bound.
+        assert!(phases.iter().all(|f| f.len() <= 2));
+    }
+
+    #[test]
+    fn hybrid_phases_respect_budgets_and_disjointness() {
+        let phases = hybrid_fault_set_phases(4, 2, 1);
+        for (f_set, t_set) in &phases {
+            assert!(t_set.len() <= 1);
+            assert!(f_set.len() + t_set.len() <= 2);
+            assert!(f_set.is_disjoint(t_set));
+        }
+        // With t = 0 the schedule reduces to Algorithm 1's.
+        let lb = hybrid_fault_set_phases(4, 2, 0);
+        assert_eq!(lb.len() as u128, count_subsets_up_to_size(4, 2));
+        assert!(lb.iter().all(|(_, t)| t.is_empty()));
+    }
+
+    #[test]
+    fn split_by_sizes_partitions_in_order() {
+        let set: NodeSet = (0..6).map(n).collect();
+        let parts = split_by_sizes(&set, &[2, 0, 4]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], [n(0), n(1)].into_iter().collect());
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum")]
+    fn split_by_sizes_panics_on_mismatch() {
+        let set: NodeSet = (0..3).map(n).collect();
+        let _ = split_by_sizes(&set, &[1, 1]);
+    }
+
+    #[test]
+    fn greedy_sizes_fills_front_to_back() {
+        assert_eq!(greedy_sizes(5, &[2, 2, 3]), Some(vec![2, 2, 1]));
+        assert_eq!(greedy_sizes(0, &[1, 1]), Some(vec![0, 0]));
+        assert_eq!(greedy_sizes(7, &[2, 2]), None);
+    }
+}

@@ -1,0 +1,276 @@
+//! Vertex connectivity and minimum vertex cuts.
+//!
+//! The paper's conditions are stated in terms of `k`-connectivity: a graph
+//! `G` is `k`-connected if `n > k` and removing fewer than `k` nodes never
+//! disconnects it. By Menger's theorem this is equivalent to every pair of
+//! nodes being joined by `k` node-disjoint paths, which is how we compute it
+//! (unit-capacity max-flow on the vertex-split graph).
+
+use lbc_model::{NodeId, NodeSet};
+
+use crate::maxflow::FlowNetwork;
+use crate::paths;
+use crate::Graph;
+
+/// The local connectivity `κ(u, v)`: the maximum number of pairwise
+/// internally-disjoint `uv`-paths. For adjacent nodes the direct edge counts
+/// as one path.
+#[must_use]
+pub fn local_connectivity(graph: &Graph, u: NodeId, v: NodeId) -> usize {
+    paths::max_disjoint_uv_paths(graph, u, v, usize::MAX)
+}
+
+/// The vertex connectivity `κ(G)`.
+///
+/// * For a complete graph on `n` nodes this is `n − 1`.
+/// * For a disconnected graph (or `n ≤ 1`) it is `0`.
+/// * Otherwise it is the minimum over non-adjacent pairs of the local
+///   connectivity, per Menger's theorem.
+#[must_use]
+pub fn vertex_connectivity(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    if n == 1 {
+        return 0;
+    }
+    if !graph.is_connected() {
+        return 0;
+    }
+    let mut best: Option<usize> = None;
+    for u in graph.nodes() {
+        for v in graph.nodes() {
+            if u < v && !graph.has_edge(u, v) {
+                let limit = best.unwrap_or(usize::MAX);
+                let k = paths::max_disjoint_uv_paths(graph, u, v, limit.saturating_add(1));
+                best = Some(best.map_or(k, |b| b.min(k)));
+            }
+        }
+    }
+    // Complete graph: no non-adjacent pair exists.
+    best.unwrap_or(n - 1)
+}
+
+/// Whether `G` is `k`-connected: `n > k` and no set of fewer than `k` nodes
+/// disconnects `G`.
+///
+/// `is_k_connected(g, 0)` is true for every non-empty graph and
+/// `is_k_connected(g, 1)` means "connected with at least 2 nodes".
+#[must_use]
+pub fn is_k_connected(graph: &Graph, k: usize) -> bool {
+    let n = graph.node_count();
+    if n <= k {
+        return false;
+    }
+    if k == 0 {
+        return true;
+    }
+    if !graph.is_connected() {
+        return false;
+    }
+    if k == 1 {
+        return true;
+    }
+    // Early-exit variant of vertex_connectivity: every non-adjacent pair must
+    // have at least k disjoint paths.
+    for u in graph.nodes() {
+        for v in graph.nodes() {
+            if u < v && !graph.has_edge(u, v) {
+                let found = paths::max_disjoint_uv_paths(graph, u, v, k);
+                if found < k {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A minimum `uv`-separator for a non-adjacent pair `u, v`: a smallest set of
+/// nodes (containing neither `u` nor `v`) whose removal disconnects `u` from
+/// `v`.
+///
+/// Returns `None` if `u` and `v` are adjacent or equal (no separator exists).
+#[must_use]
+pub fn min_uv_separator(graph: &Graph, u: NodeId, v: NodeId) -> Option<NodeSet> {
+    if u == v || graph.has_edge(u, v) {
+        return None;
+    }
+    let n = graph.node_count();
+    let mut net = FlowNetwork::new(2 * n);
+    let big = n as i64 + 1;
+    for w in graph.nodes() {
+        let capacity = if w == u || w == v { big } else { 1 };
+        net.add_edge(2 * w.index(), 2 * w.index() + 1, capacity);
+    }
+    // Edge arcs get "infinite" capacity so that every minimum cut consists of
+    // vertex-split arcs only, which is what identifies a *vertex* separator.
+    for (a, b) in graph.edges() {
+        net.add_edge(2 * a.index() + 1, 2 * b.index(), big);
+        net.add_edge(2 * b.index() + 1, 2 * a.index(), big);
+    }
+    let source = 2 * u.index() + 1;
+    let sink = 2 * v.index();
+    net.max_flow(source, sink, i64::MAX);
+    let reachable = net.residual_reachable(source);
+    // A vertex w is in the minimum cut exactly when its split arc w_in → w_out
+    // crosses the residual cut: w_in reachable, w_out not.
+    let cut: NodeSet = graph
+        .nodes()
+        .filter(|&w| w != u && w != v)
+        .filter(|&w| reachable[2 * w.index()] && !reachable[2 * w.index() + 1])
+        .collect();
+    Some(cut)
+}
+
+/// A global minimum vertex cut of `G`: a smallest node set whose removal
+/// disconnects the graph, together with its size.
+///
+/// Returns `None` for complete graphs and graphs with fewer than 2 nodes
+/// (they have no vertex cut). For a disconnected graph the cut is empty.
+#[must_use]
+pub fn min_vertex_cut(graph: &Graph) -> Option<NodeSet> {
+    let n = graph.node_count();
+    if n < 2 {
+        return None;
+    }
+    if !graph.is_connected() {
+        return Some(NodeSet::new());
+    }
+    let mut best: Option<NodeSet> = None;
+    for u in graph.nodes() {
+        for v in graph.nodes() {
+            if u < v && !graph.has_edge(u, v) {
+                if let Some(cut) = min_uv_separator(graph, u, v) {
+                    let better = best.as_ref().map_or(true, |b| cut.len() < b.len());
+                    if better {
+                        best = Some(cut);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn cycle_is_two_connected() {
+        let g = generators::cycle(5);
+        assert_eq!(vertex_connectivity(&g), 2);
+        assert!(is_k_connected(&g, 2));
+        assert!(!is_k_connected(&g, 3));
+    }
+
+    #[test]
+    fn complete_graph_connectivity_is_n_minus_one() {
+        for size in 2..7 {
+            let g = generators::complete(size);
+            assert_eq!(vertex_connectivity(&g), size - 1);
+            assert!(is_k_connected(&g, size - 1));
+            assert!(!is_k_connected(&g, size));
+        }
+    }
+
+    #[test]
+    fn path_graph_is_one_connected() {
+        let g = generators::path_graph(5);
+        assert_eq!(vertex_connectivity(&g), 1);
+        assert!(is_k_connected(&g, 1));
+        assert!(!is_k_connected(&g, 2));
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_connectivity() {
+        let g = Graph::from_edge_indices(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(vertex_connectivity(&g), 0);
+        assert!(!is_k_connected(&g, 1));
+        assert_eq!(min_vertex_cut(&g), Some(NodeSet::new()));
+    }
+
+    #[test]
+    fn circulant_c9_1_2_is_four_connected() {
+        let g = generators::circulant(9, &[1, 2]);
+        assert_eq!(vertex_connectivity(&g), 4);
+        assert!(is_k_connected(&g, 4));
+        assert!(!is_k_connected(&g, 5));
+    }
+
+    #[test]
+    fn hypercube_connectivity_equals_dimension() {
+        let g = generators::hypercube(3);
+        assert_eq!(vertex_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn harary_graph_achieves_design_connectivity() {
+        for (k, size) in [(2, 7), (3, 8), (4, 9), (5, 10)] {
+            let g = generators::harary(k, size);
+            assert_eq!(
+                vertex_connectivity(&g),
+                k,
+                "H_{{{k},{size}}} should be exactly {k}-connected"
+            );
+        }
+    }
+
+    #[test]
+    fn local_connectivity_of_adjacent_nodes_counts_direct_edge() {
+        let g = generators::cycle(4);
+        assert_eq!(local_connectivity(&g, n(0), n(1)), 2);
+        assert_eq!(local_connectivity(&g, n(0), n(2)), 2);
+    }
+
+    #[test]
+    fn min_uv_separator_on_cycle() {
+        let g = generators::cycle(5);
+        let cut = min_uv_separator(&g, n(0), n(2)).unwrap();
+        assert_eq!(cut.len(), 2);
+        assert!(g.disconnects(&cut));
+        // Adjacent pairs have no separator.
+        assert!(min_uv_separator(&g, n(0), n(1)).is_none());
+    }
+
+    #[test]
+    fn min_vertex_cut_disconnects_the_graph() {
+        let g = generators::cycle(6);
+        let cut = min_vertex_cut(&g).unwrap();
+        assert_eq!(cut.len(), 2);
+        assert!(g.disconnects(&cut));
+
+        let complete = generators::complete(4);
+        assert!(min_vertex_cut(&complete).is_none());
+    }
+
+    #[test]
+    fn barbell_graph_has_cut_vertex() {
+        // Two triangles joined at a single node 3.
+        let g = Graph::from_edge_indices(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+        )
+        .unwrap();
+        assert_eq!(vertex_connectivity(&g), 1);
+        let cut = min_vertex_cut(&g).unwrap();
+        assert_eq!(cut.len(), 1);
+        assert!(g.disconnects(&cut));
+    }
+}

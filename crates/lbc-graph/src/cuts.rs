@@ -1,0 +1,238 @@
+//! Vertex cuts, cut partitions, and small-neighborhood sets.
+//!
+//! These are the structural objects the impossibility proofs manipulate:
+//!
+//! * Lemma A.2 / Figure 3 needs a vertex cut `C` of size at most `⌊3f/2⌋`
+//!   together with the two sides `(A, B)` it separates;
+//! * Lemma A.1 / Figure 2 needs a node `z` of degree `< 2f` and a partition
+//!   of its neighborhood into `(F¹, F²)`;
+//! * Lemma D.1 / Figure 4 needs a set `S`, `0 < |S| ≤ t`, with at most `2f`
+//!   neighbors.
+
+use lbc_model::{NodeId, NodeSet};
+
+use crate::combinatorics;
+use crate::connectivity;
+use crate::Graph;
+
+/// A vertex cut together with the bipartition of the remaining nodes it
+/// induces: removing `cut` disconnects `side_a` from `side_b`, and
+/// `side_a ∪ side_b ∪ cut = V` with all three pairwise disjoint.
+///
+/// Both sides are non-empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutPartition {
+    /// The separating set `C`.
+    pub cut: NodeSet,
+    /// One side `A` of the separation (non-empty, no edges to `side_b`).
+    pub side_a: NodeSet,
+    /// The other side `B` (non-empty, no edges to `side_a`).
+    pub side_b: NodeSet,
+}
+
+impl CutPartition {
+    /// Checks the defining invariants against `graph`: the three parts
+    /// partition `V`, both sides are non-empty, and no edge joins `side_a`
+    /// to `side_b`.
+    #[must_use]
+    pub fn is_valid(&self, graph: &Graph) -> bool {
+        let n = graph.node_count();
+        let union = self.cut.union(&self.side_a).union(&self.side_b);
+        if union.len() != n
+            || self.cut.len() + self.side_a.len() + self.side_b.len() != n
+            || self.side_a.is_empty()
+            || self.side_b.is_empty()
+        {
+            return false;
+        }
+        for u in self.side_a.iter() {
+            for v in graph.neighbors(u) {
+                if self.side_b.contains(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Builds the [`CutPartition`] induced by removing `cut` from `graph`:
+/// `side_a` is one connected region of `G − cut` and `side_b` is everything
+/// else outside the cut.
+///
+/// Returns `None` if removing `cut` does not actually disconnect the
+/// remaining nodes (or leaves fewer than two of them).
+#[must_use]
+pub fn partition_by_cut(graph: &Graph, cut: &NodeSet) -> Option<CutPartition> {
+    if !graph.disconnects(cut) {
+        return None;
+    }
+    let remaining: Vec<NodeId> = graph.nodes().filter(|v| !cut.contains(*v)).collect();
+    let first = *remaining.first()?;
+    let side_a = graph.reachable_from(first, cut);
+    let side_b: NodeSet = remaining
+        .iter()
+        .copied()
+        .filter(|v| !side_a.contains(*v))
+        .collect();
+    if side_b.is_empty() {
+        return None;
+    }
+    Some(CutPartition {
+        cut: cut.clone(),
+        side_a,
+        side_b,
+    })
+}
+
+/// Finds a minimum vertex cut and its induced partition, if the graph has a
+/// vertex cut at all (complete graphs do not).
+#[must_use]
+pub fn min_cut_partition(graph: &Graph) -> Option<CutPartition> {
+    let cut = connectivity::min_vertex_cut(graph)?;
+    partition_by_cut(graph, &cut)
+}
+
+/// Finds a vertex cut of size at most `max_size` together with its partition,
+/// if one exists (i.e. if the graph is **not** (`max_size + 1`)-connected).
+///
+/// This is the object Lemma A.2 starts from: "a vertex cut `C` of `G` of size
+/// at most `⌊3f/2⌋` with a partition `(A, B, C)` of `V`".
+#[must_use]
+pub fn cut_partition_of_size_at_most(graph: &Graph, max_size: usize) -> Option<CutPartition> {
+    let partition = min_cut_partition(graph)?;
+    if partition.cut.len() <= max_size {
+        Some(partition)
+    } else {
+        None
+    }
+}
+
+/// Finds a non-empty node set `S` with `|S| ≤ max_size` whose neighborhood
+/// has at most `max_neighbors` nodes, if one exists.
+///
+/// This is the object Lemma D.1 (hybrid model, condition (iii)) starts from:
+/// a set `S`, `0 < |S| ≤ t`, with at most `2f` neighbors. The search is
+/// exhaustive over subsets of size `≤ max_size` (the experiments only use
+/// small `t`).
+#[must_use]
+pub fn small_neighborhood_set(
+    graph: &Graph,
+    max_size: usize,
+    max_neighbors: usize,
+) -> Option<NodeSet> {
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    for size in 1..=max_size.min(nodes.len()) {
+        for subset in combinatorics::subsets_of_size(&nodes, size) {
+            let s: NodeSet = subset.into_iter().collect();
+            if graph.neighborhood_of_set(&s).len() <= max_neighbors {
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+/// Returns a node of minimum degree together with its degree.
+///
+/// Returns `None` for the empty graph. This is the node `z` of Lemma A.1
+/// when its degree is `< 2f`.
+#[must_use]
+pub fn min_degree_node(graph: &Graph) -> Option<(NodeId, usize)> {
+    graph
+        .nodes()
+        .map(|v| (v, graph.degree(v)))
+        .min_by_key(|&(v, d)| (d, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn set(ids: &[usize]) -> NodeSet {
+        ids.iter().map(|&i| n(i)).collect()
+    }
+
+    #[test]
+    fn partition_by_cut_on_cycle() {
+        let g = generators::cycle(6);
+        let cut = set(&[0, 3]);
+        let partition = partition_by_cut(&g, &cut).unwrap();
+        assert!(partition.is_valid(&g));
+        assert_eq!(partition.cut, cut);
+        assert_eq!(partition.side_a.len() + partition.side_b.len(), 4);
+        // A non-separating set yields no partition.
+        assert!(partition_by_cut(&g, &set(&[0])).is_none());
+    }
+
+    #[test]
+    fn min_cut_partition_on_cycle_has_size_two() {
+        let g = generators::cycle(7);
+        let partition = min_cut_partition(&g).unwrap();
+        assert_eq!(partition.cut.len(), 2);
+        assert!(partition.is_valid(&g));
+    }
+
+    #[test]
+    fn complete_graph_has_no_cut_partition() {
+        let g = generators::complete(5);
+        assert!(min_cut_partition(&g).is_none());
+        assert!(cut_partition_of_size_at_most(&g, 3).is_none());
+    }
+
+    #[test]
+    fn cut_partition_of_size_at_most_respects_bound() {
+        let g = generators::cycle(6);
+        assert!(cut_partition_of_size_at_most(&g, 2).is_some());
+        assert!(cut_partition_of_size_at_most(&g, 1).is_none());
+    }
+
+    #[test]
+    fn deficient_connectivity_graph_has_the_expected_cut() {
+        let f = 2;
+        let g = generators::deficient_connectivity(f, f + 1);
+        let partition = cut_partition_of_size_at_most(&g, (3 * f) / 2).unwrap();
+        assert_eq!(partition.cut.len(), (3 * f) / 2);
+        assert!(partition.is_valid(&g));
+    }
+
+    #[test]
+    fn small_neighborhood_set_on_star() {
+        // Every leaf of a star has exactly one neighbor (the hub).
+        let g = generators::star(6);
+        let s = small_neighborhood_set(&g, 1, 1).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(graph_neighbors_at_most(&g, &s, 1));
+        // No single node of K5 has ≤ 2 neighbors.
+        let k5 = generators::complete(5);
+        assert!(small_neighborhood_set(&k5, 1, 2).is_none());
+    }
+
+    #[test]
+    fn small_neighborhood_set_finds_multi_node_sets() {
+        // In a 6-cycle, two adjacent nodes have exactly 2 outside neighbors.
+        let g = generators::cycle(6);
+        let s = small_neighborhood_set(&g, 2, 2).unwrap();
+        assert!(s.len() <= 2);
+        assert!(graph_neighbors_at_most(&g, &s, 2));
+    }
+
+    #[test]
+    fn min_degree_node_finds_the_deficient_node() {
+        let f = 3;
+        let g = generators::deficient_degree(f, 2 * f + 3);
+        let (z, d) = min_degree_node(&g).unwrap();
+        assert_eq!(d, 2 * f - 1);
+        assert_eq!(z, n(g.node_count() - 1));
+        assert!(min_degree_node(&Graph::empty(0)).is_none());
+    }
+
+    fn graph_neighbors_at_most(g: &Graph, s: &NodeSet, bound: usize) -> bool {
+        g.neighborhood_of_set(s).len() <= bound
+    }
+}

@@ -1,0 +1,511 @@
+//! Graph family generators.
+//!
+//! These cover the graphs the paper uses as examples (Figure 1), the
+//! families the experiments sweep over (cycles, circulants, Harary graphs,
+//! hypercubes, random graphs), and a convenience constructor for graphs that
+//! satisfy the paper's conditions for a chosen fault tolerance `f`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use lbc_model::NodeId;
+
+use crate::Graph;
+
+/// The complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("indices < n");
+        }
+    }
+    g
+}
+
+/// The cycle `C_n` (`n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n))
+            .expect("indices < n");
+    }
+    g
+}
+
+/// The path graph `P_n` on `n` nodes (`n ≥ 1`).
+#[must_use]
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 1..n {
+        g.add_edge(NodeId::new(u - 1), NodeId::new(u))
+            .expect("indices < n");
+    }
+    g
+}
+
+/// The star `K_{1,n-1}` with center node `0`.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 1..n {
+        g.add_edge(NodeId::new(0), NodeId::new(u))
+            .expect("indices < n");
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`: nodes `0..a` on one side and
+/// `a..a+b` on the other.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("indices < n");
+        }
+    }
+    g
+}
+
+/// The circulant graph `C_n(offsets)`: node `i` is adjacent to `i ± d` (mod n)
+/// for each `d` in `offsets`.
+///
+/// `circulant(n, &[1])` is the cycle; `circulant(9, &[1, 2])` is the
+/// 4-regular, 4-connected graph used as the Figure 1(b)-class example for
+/// `f = 2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or any offset is `0` or `≥ n`.
+#[must_use]
+pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
+    assert!(n > 0, "circulant graph needs at least one node");
+    let mut g = Graph::empty(n);
+    for &d in offsets {
+        assert!(d > 0 && d < n, "offset {d} must be in 1..{n}");
+        for u in 0..n {
+            let v = (u + d) % n;
+            if u != v {
+                g.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("indices < n");
+            }
+        }
+    }
+    g
+}
+
+/// The Harary graph `H_{k,n}`: the canonical `k`-connected graph on `n`
+/// nodes with the minimum possible number of edges (`⌈kn/2⌉`).
+///
+/// Construction (West, *Introduction to Graph Theory*): start from the
+/// circulant with offsets `1..=⌊k/2⌋`; if `k` is odd additionally join
+/// antipodal nodes (`i` to `i + n/2`), and when both `k` and `n` are odd join
+/// node `i` to `i + (n±1)/2` for the first half.
+///
+/// # Panics
+///
+/// Panics if `k >= n` or `n == 0`.
+#[must_use]
+pub fn harary(k: usize, n: usize) -> Graph {
+    assert!(n > 0, "Harary graph needs at least one node");
+    assert!(k < n, "Harary graph H_{{k,n}} requires k < n (got k={k}, n={n})");
+    if k == 0 {
+        return Graph::empty(n);
+    }
+    if k == 1 {
+        // The circulant-based construction below degenerates for k = 1; the
+        // minimal 1-connected graph on n nodes is simply a spanning path.
+        return path_graph(n);
+    }
+    let half = k / 2;
+    let offsets: Vec<usize> = (1..=half).collect();
+    let mut g = if offsets.is_empty() {
+        Graph::empty(n)
+    } else {
+        circulant(n, &offsets)
+    };
+    if k % 2 == 1 {
+        if n % 2 == 0 {
+            for u in 0..n / 2 {
+                g.add_edge(NodeId::new(u), NodeId::new(u + n / 2))
+                    .expect("indices < n");
+            }
+        } else {
+            // Both k and n odd: node 0 gets one extra edge; nodes i join i + (n+1)/2.
+            for u in 0..=(n / 2) {
+                let v = (u + (n + 1) / 2) % n;
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v))
+                        .expect("indices < n");
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+#[must_use]
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                g.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("indices < n");
+            }
+        }
+    }
+    g
+}
+
+/// The wheel `W_n`: a cycle on nodes `1..n` plus a hub node `0` adjacent to
+/// every cycle node (`n ≥ 4` total nodes).
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+#[must_use]
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "a wheel needs at least 4 nodes, got {n}");
+    let mut g = Graph::empty(n);
+    for u in 1..n {
+        let next = if u == n - 1 { 1 } else { u + 1 };
+        g.add_edge(NodeId::new(u), NodeId::new(next))
+            .expect("indices < n");
+        g.add_edge(NodeId::new(0), NodeId::new(u))
+            .expect("indices < n");
+    }
+    g
+}
+
+/// The graph of the paper's **Figure 1(a)**: the 5-cycle `1-2-3-4-5`
+/// (relabelled `0..5`), which satisfies the conditions of Theorem 4.1 for
+/// `f = 1` (minimum degree 2 = 2f, connectivity 2 ≥ ⌊3f/2⌋ + 1 = 2).
+#[must_use]
+pub fn paper_fig1a() -> Graph {
+    cycle(5)
+}
+
+/// A graph of the **Figure 1(b)** class: a graph satisfying the conditions of
+/// Theorem 4.1 for `f = 2` (minimum degree ≥ 4 = 2f and connectivity
+/// ≥ ⌊3f/2⌋ + 1 = 4).
+///
+/// The paper's figure is not reproduced numerically in the text; we use the
+/// circulant `C_9(1, 2)`, which is 4-regular and 4-connected, as the
+/// canonical member of this class (documented in DESIGN.md).
+#[must_use]
+pub fn paper_fig1b() -> Graph {
+    circulant(9, &[1, 2])
+}
+
+/// An Erdős–Rényi random graph `G(n, p)` drawn with the supplied RNG.
+#[must_use]
+pub fn random_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("indices < n");
+            }
+        }
+    }
+    g
+}
+
+/// A random graph that **satisfies the paper's local-broadcast conditions**
+/// for fault tolerance `f`: minimum degree ≥ `2f` and connectivity
+/// ≥ `⌊3f/2⌋ + 1`.
+///
+/// Construction: start from the Harary graph `H_{2f, n}` (which is
+/// `2f`-connected and `2f`-regular, hence satisfies both conditions since
+/// `2f ≥ ⌊3f/2⌋ + 1` for `f ≥ 2`, and equals it for `f ≤ 2`), then add each
+/// remaining edge independently with probability `extra_edge_prob`.
+///
+/// # Panics
+///
+/// Panics if `n ≤ 2f` (no such graph exists).
+#[must_use]
+pub fn random_satisfying<R: Rng + ?Sized>(
+    n: usize,
+    f: usize,
+    extra_edge_prob: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(n > 2 * f, "need n > 2f to satisfy minimum degree 2f");
+    let mut g = if f == 0 {
+        // Any connected graph works for f = 0; use a spanning cycle when
+        // possible, a path/edge otherwise.
+        if n >= 3 {
+            cycle(n)
+        } else {
+            path_graph(n)
+        }
+    } else {
+        harary(2 * f, n)
+    };
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+                candidates.push((u, v));
+            }
+        }
+    }
+    candidates.shuffle(rng);
+    for (u, v) in candidates {
+        if rng.gen_bool(extra_edge_prob.clamp(0.0, 1.0)) {
+            g.add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("indices < n");
+        }
+    }
+    g
+}
+
+/// A graph that satisfies the minimum-degree condition (`≥ 2f`) but whose
+/// connectivity is exactly `⌊3f/2⌋` — i.e. **one short of** the paper's
+/// connectivity condition. Used by the lower-bound experiments (Figure 3).
+///
+/// Construction: two complete blobs of size `blob` joined through a cut of
+/// exactly `⌊3f/2⌋` nodes that is fully connected to both blobs and within
+/// itself.
+///
+/// # Panics
+///
+/// Panics if `blob` is too small for the degree condition
+/// (`blob − 1 + ⌊3f/2⌋ < 2f`, i.e. `blob < ⌈f/2⌉ + 1`).
+#[must_use]
+pub fn deficient_connectivity(f: usize, blob: usize) -> Graph {
+    let cut = (3 * f) / 2;
+    assert!(
+        blob + cut > 2 * f,
+        "blob size {blob} too small to reach minimum degree 2f = {}",
+        2 * f
+    );
+    let n = 2 * blob + cut;
+    let mut g = Graph::empty(n);
+    // Blob A: nodes 0..blob; blob B: nodes blob..2*blob; cut: 2*blob..n.
+    let a: Vec<usize> = (0..blob).collect();
+    let b: Vec<usize> = (blob..2 * blob).collect();
+    let c: Vec<usize> = (2 * blob..n).collect();
+    let add_clique = |g: &mut Graph, nodes: &[usize]| {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                g.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("indices < n");
+            }
+        }
+    };
+    add_clique(&mut g, &a);
+    add_clique(&mut g, &b);
+    add_clique(&mut g, &c);
+    for &u in &c {
+        for &v in a.iter().chain(b.iter()) {
+            g.add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("indices < n");
+        }
+    }
+    g
+}
+
+/// A graph that satisfies the connectivity condition (`≥ ⌊3f/2⌋ + 1`) but has
+/// one node of degree exactly `2f − 1` — i.e. **one short of** the paper's
+/// minimum-degree condition. Used by the lower-bound experiments (Figure 2).
+///
+/// Construction: a complete graph on `n − 1` nodes plus one extra node `n−1`
+/// adjacent to exactly `2f − 1` of them.
+///
+/// # Panics
+///
+/// Panics if `f < 3` or the complete part is too small (`n − 1 < 2f`). For
+/// `f < 3` no graph can have minimum degree `2f − 1` while staying
+/// (`⌊3f/2⌋ + 1`)-connected, because connectivity never exceeds minimum
+/// degree; the lower-bound experiments use bespoke small graphs there.
+#[must_use]
+pub fn deficient_degree(f: usize, n: usize) -> Graph {
+    assert!(n >= 2 * f + 1, "need n - 1 >= 2f for the complete part");
+    assert!(
+        f >= 3 && 2 * f - 1 >= (3 * f) / 2 + 1,
+        "for f = {f} the construction cannot keep connectivity ⌊3f/2⌋+1; use f >= 3"
+    );
+    let mut g = complete(n - 1);
+    let mut g2 = Graph::empty(n);
+    for (u, v) in g.edges() {
+        g2.add_edge(u, v).expect("indices < n");
+    }
+    g = g2;
+    for v in 0..(2 * f - 1) {
+        g.add_edge(NodeId::new(n - 1), NodeId::new(v))
+            .expect("indices < n");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn cycle_and_path_shapes() {
+        let c = cycle(7);
+        assert_eq!(c.edge_count(), 7);
+        assert_eq!(c.min_degree(), 2);
+        let p = path_graph(7);
+        assert_eq!(p.edge_count(), 6);
+        assert_eq!(p.min_degree(), 1);
+        let p1 = path_graph(1);
+        assert_eq!(p1.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn cycle_requires_three_nodes() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_and_bipartite() {
+        let s = star(5);
+        assert_eq!(s.degree(NodeId::new(0)), 4);
+        assert_eq!(s.min_degree(), 1);
+        let kb = complete_bipartite(2, 3);
+        assert_eq!(kb.edge_count(), 6);
+        assert_eq!(connectivity::vertex_connectivity(&kb), 2);
+    }
+
+    #[test]
+    fn circulant_degrees() {
+        let g = circulant(9, &[1, 2]);
+        assert_eq!(g.node_count(), 9);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn harary_edge_counts_are_minimal() {
+        // |E(H_{k,n})| = ceil(k*n/2).
+        for (k, n) in [(2usize, 7usize), (3, 8), (4, 9), (3, 9), (5, 12)] {
+            let g = harary(k, n);
+            assert_eq!(
+                g.edge_count(),
+                (k * n + 1) / 2,
+                "H_{{{k},{n}}} edge count"
+            );
+            assert!(g.min_degree() >= k);
+        }
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.min_degree(), 3);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(6);
+        assert_eq!(g.degree(NodeId::new(0)), 5);
+        assert_eq!(g.min_degree(), 3);
+        assert_eq!(connectivity::vertex_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn figure_1a_satisfies_f1_conditions() {
+        let g = paper_fig1a();
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(connectivity::vertex_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn figure_1b_class_satisfies_f2_conditions() {
+        let g = paper_fig1b();
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(connectivity::vertex_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn random_gnp_is_reproducible_per_seed() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(7);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(7);
+        let g1 = random_gnp(10, 0.4, &mut rng1);
+        let g2 = random_gnp(10, 0.4, &mut rng2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn random_satisfying_meets_paper_conditions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for f in 1..=3usize {
+            let n = 2 * f + 4;
+            let g = random_satisfying(n, f, 0.2, &mut rng);
+            assert!(g.min_degree() >= 2 * f, "min degree for f={f}");
+            let needed = (3 * f) / 2 + 1;
+            assert!(
+                connectivity::is_k_connected(&g, needed),
+                "connectivity ⌊3f/2⌋+1 for f={f}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_satisfying_with_f_zero_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_satisfying(5, 0, 0.0, &mut rng);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn deficient_connectivity_violates_only_connectivity() {
+        for f in 2..=4usize {
+            let g = deficient_connectivity(f, f + 1);
+            assert!(g.min_degree() >= 2 * f, "degree stays satisfied for f={f}");
+            let needed = (3 * f) / 2 + 1;
+            assert_eq!(
+                connectivity::vertex_connectivity(&g),
+                needed - 1,
+                "connectivity is exactly ⌊3f/2⌋ for f={f}"
+            );
+        }
+    }
+
+    #[test]
+    fn deficient_degree_violates_only_degree() {
+        for f in 3..=4usize {
+            let n = 2 * f + 3;
+            let g = deficient_degree(f, n);
+            assert_eq!(g.min_degree(), 2 * f - 1, "one short of 2f for f={f}");
+            let needed = (3 * f) / 2 + 1;
+            assert!(
+                connectivity::is_k_connected(&g, needed),
+                "connectivity stays satisfied for f={f}"
+            );
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The undirected communication graph.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use lbc_model::{NodeId, NodeSet, Path};
+
+/// Errors produced when constructing or mutating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `uu` was supplied; the model's graphs are simple.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} is out of range for a graph on {n} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at {node} is not allowed in a simple graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph on nodes `0..n`, the communication network `G`
+/// of the paper.
+///
+/// Adjacency is stored as a sorted set per node so that neighbor iteration is
+/// deterministic, which keeps simulation traces reproducible.
+///
+/// # Example
+///
+/// ```
+/// use lbc_graph::Graph;
+/// use lbc_model::NodeId;
+///
+/// let g = Graph::from_edge_indices(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(g.degree(NodeId::new(2)), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adjacency: Vec<BTreeSet<NodeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph (no edges) on `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            n,
+            adjacency: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Creates a graph on `n` nodes from an iterator of edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] for an edge `uu`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut graph = Graph::empty(n);
+        for (u, v) in edges {
+            graph.add_edge(u, v)?;
+        }
+        Ok(graph)
+    }
+
+    /// Creates a graph on `n` nodes from an iterator of `usize` index pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::from_edges`].
+    pub fn from_edge_indices<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        Self::from_edges(
+            n,
+            edges
+                .into_iter()
+                .map(|(u, v)| (NodeId::new(u), NodeId::new(v))),
+        )
+    }
+
+    /// Adds the undirected edge `uv`. Adding an existing edge is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u.index() >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v.index() >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.adjacency[u.index()].insert(v);
+        self.adjacency[v.index()].insert(u);
+        Ok(())
+    }
+
+    /// Removes the undirected edge `uv` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.n || v.index() >= self.n {
+            return false;
+        }
+        let a = self.adjacency[u.index()].remove(&v);
+        let b = self.adjacency[v.index()].remove(&u);
+        a && b
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Iterates over all node identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// The full node set `V`.
+    #[must_use]
+    pub fn node_set(&self) -> NodeSet {
+        NodeSet::full(self.n)
+    }
+
+    /// Whether `node` is a valid node of this graph.
+    #[must_use]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.n
+    }
+
+    /// Whether the undirected edge `uv` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.n && self.adjacency[u.index()].contains(&v)
+    }
+
+    /// Iterates over the neighbors of `node` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[node.index()].iter().copied()
+    }
+
+    /// The neighbors of `node` as a [`NodeSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn neighbor_set(&self, node: NodeId) -> NodeSet {
+        self.neighbors(node).collect()
+    }
+
+    /// The degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// The minimum degree over all nodes. Returns `0` for the empty graph.
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// The maximum degree over all nodes. Returns `0` for the empty graph.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Whether `path` is a path of this graph: consecutive nodes are
+    /// adjacent, all nodes are valid, and no node repeats.
+    ///
+    /// Single-node paths are valid; the empty path is valid (it is the `⊥`
+    /// used to initiate flooding).
+    #[must_use]
+    pub fn is_path(&self, path: &Path) -> bool {
+        let nodes = path.nodes();
+        if nodes.iter().any(|&v| !self.contains_node(v)) {
+            return false;
+        }
+        if path.has_repeated_node() {
+            return false;
+        }
+        nodes.windows(2).all(|w| self.has_edge(w[0], w[1]))
+    }
+
+    /// The neighborhood of a node set `S`: nodes *outside* `S` that have an
+    /// edge to some node in `S` (the paper's "neighbors of set S").
+    #[must_use]
+    pub fn neighborhood_of_set(&self, s: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::new();
+        for u in s.iter() {
+            for v in self.neighbors(u) {
+                if !s.contains(v) {
+                    out.insert(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the subgraph induced on `V \ removed`, keeping the original
+    /// node identifiers (removed nodes become isolated and are reported in
+    /// the returned mask).
+    ///
+    /// Most algorithms in this workspace need "G with a set of nodes deleted"
+    /// while still speaking the original node ids, so rather than renumbering
+    /// we return a same-size graph whose removed nodes have no edges, plus
+    /// the set of remaining nodes.
+    #[must_use]
+    pub fn without_nodes(&self, removed: &NodeSet) -> (Graph, NodeSet) {
+        let mut g = Graph::empty(self.n);
+        for (u, v) in self.edges() {
+            if !removed.contains(u) && !removed.contains(v) {
+                g.add_edge(u, v).expect("edge endpoints validated by self");
+            }
+        }
+        let remaining = removed.complement(self.n);
+        (g, remaining)
+    }
+
+    /// Breadth-first search from `source`, restricted to nodes not in
+    /// `forbidden`; returns the set of reachable nodes (including `source`
+    /// when it is not forbidden).
+    #[must_use]
+    pub fn reachable_from(&self, source: NodeId, forbidden: &NodeSet) -> NodeSet {
+        let mut visited = NodeSet::new();
+        if forbidden.contains(source) || !self.contains_node(source) {
+            return visited;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        visited.insert(source);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if !forbidden.contains(v) && visited.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        visited
+    }
+
+    /// Whether the graph is connected. The empty graph and single-node graph
+    /// are connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let reach = self.reachable_from(NodeId::new(0), &NodeSet::new());
+        reach.len() == self.n
+    }
+
+    /// The connected components of the graph, each as a [`NodeSet`], in
+    /// ascending order of their smallest node.
+    #[must_use]
+    pub fn components(&self) -> Vec<NodeSet> {
+        let mut seen = NodeSet::new();
+        let mut components = Vec::new();
+        for v in self.nodes() {
+            if !seen.contains(v) {
+                let comp = self.reachable_from(v, &NodeSet::new());
+                seen.extend(comp.iter());
+                components.push(comp);
+            }
+        }
+        components
+    }
+
+    /// Whether removing the node set `cut` disconnects the remaining nodes
+    /// (or leaves fewer than two of them).
+    #[must_use]
+    pub fn disconnects(&self, cut: &NodeSet) -> bool {
+        let remaining: Vec<NodeId> = self.nodes().filter(|v| !cut.contains(*v)).collect();
+        if remaining.len() <= 1 {
+            return false;
+        }
+        let reach = self.reachable_from(remaining[0], cut);
+        reach.len() != remaining.len()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn c5() -> Graph {
+        Graph::from_edge_indices(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = c5();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.to_string(), "Graph(n=5, m=5)");
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let g = Graph::from_edge_indices(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_and_self_loops_are_rejected() {
+        assert!(matches!(
+            Graph::from_edge_indices(3, [(0, 3)]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edge_indices(3, [(1, 1)]),
+            Err(GraphError::SelfLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_edge_works() {
+        let mut g = c5();
+        assert!(g.remove_edge(n(0), n(1)));
+        assert!(!g.remove_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(n(0)), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edge_indices(5, [(2, 4), (2, 0), (2, 3)]).unwrap();
+        let ns: Vec<usize> = g.neighbors(n(2)).map(NodeId::index).collect();
+        assert_eq!(ns, vec![0, 3, 4]);
+        assert_eq!(g.neighbor_set(n(2)).len(), 3);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = c5();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn is_path_checks_adjacency_and_repeats() {
+        let g = c5();
+        let ok = Path::from_nodes([n(0), n(1), n(2)]);
+        let not_adjacent = Path::from_nodes([n(0), n(2)]);
+        let repeated = Path::from_nodes([n(0), n(1), n(0)]);
+        let out_of_range = Path::from_nodes([n(0), n(7)]);
+        assert!(g.is_path(&ok));
+        assert!(!g.is_path(&not_adjacent));
+        assert!(!g.is_path(&repeated));
+        assert!(!g.is_path(&out_of_range));
+        assert!(g.is_path(&Path::empty()));
+        assert!(g.is_path(&Path::singleton(n(3))));
+    }
+
+    #[test]
+    fn neighborhood_of_set_excludes_the_set() {
+        let g = c5();
+        let s: NodeSet = [n(0), n(1)].into_iter().collect();
+        let nb = g.neighborhood_of_set(&s);
+        assert_eq!(nb, [n(2), n(4)].into_iter().collect());
+    }
+
+    #[test]
+    fn without_nodes_removes_incident_edges() {
+        let g = c5();
+        let removed = NodeSet::singleton(n(0));
+        let (h, remaining) = g.without_nodes(&removed);
+        assert_eq!(h.degree(n(0)), 0);
+        assert_eq!(h.edge_count(), 3);
+        assert_eq!(remaining.len(), 4);
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let g = c5();
+        assert!(g.is_connected());
+        assert_eq!(g.components().len(), 1);
+
+        let disconnected = Graph::from_edge_indices(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert_eq!(disconnected.components().len(), 2);
+
+        assert!(Graph::empty(0).is_connected());
+        assert!(Graph::empty(1).is_connected());
+        assert!(!Graph::empty(2).is_connected());
+    }
+
+    #[test]
+    fn disconnects_detects_cuts() {
+        let g = c5();
+        // Removing two non-adjacent nodes disconnects the 5-cycle.
+        let cut: NodeSet = [n(1), n(3)].into_iter().collect();
+        assert!(g.disconnects(&cut));
+        // Removing a single node leaves a path, still connected.
+        assert!(!g.disconnects(&NodeSet::singleton(n(1))));
+        // Removing all but one node cannot "disconnect".
+        let big: NodeSet = [n(0), n(1), n(2), n(3)].into_iter().collect();
+        assert!(!g.disconnects(&big));
+    }
+
+    #[test]
+    fn reachable_from_respects_forbidden_set() {
+        let g = c5();
+        let forbidden: NodeSet = [n(1), n(4)].into_iter().collect();
+        let reach = g.reachable_from(n(0), &forbidden);
+        assert_eq!(reach, NodeSet::singleton(n(0)));
+        let reach2 = g.reachable_from(n(2), &forbidden);
+        assert_eq!(reach2, [n(2), n(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GraphError::NodeOutOfRange { node: n(5), n: 3 };
+        assert!(e.to_string().contains("v5"));
+        let e = GraphError::SelfLoop { node: n(2) };
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # lbc-graph
+//!
+//! Undirected-graph substrate for the local-broadcast Byzantine consensus
+//! workspace.
+//!
+//! The paper's characterizations are stated purely in terms of graph
+//! properties — minimum degree, vertex connectivity (`⌊3f/2⌋ + 1`), node
+//! disjoint `uv`- and `Uv`-paths (Menger's theorem), neighborhoods of node
+//! sets — so this crate provides:
+//!
+//! * [`Graph`] — a compact undirected graph with deterministic iteration,
+//! * [`generators`] — the graph families used by the paper and the
+//!   experiments (cycles, complete graphs, circulants, Harary graphs,
+//!   hypercubes, wheels, random graphs, and the paper's Figure 1 examples),
+//! * [`connectivity`] — vertex connectivity, `is_k_connected`, minimum vertex
+//!   cuts (Even–Tarjan style, built on unit-capacity max-flow with vertex
+//!   splitting),
+//! * [`paths`] — BFS paths, paths excluding a node set, and maximum sets of
+//!   node-disjoint `uv`-paths / `Uv`-paths with the actual paths recovered,
+//! * [`cuts`] — neighborhoods of node sets, separator extraction and cut
+//!   partitions used by the lower-bound constructions,
+//! * [`combinatorics`] — enumeration of candidate fault sets
+//!   (`F ⊆ V`, `|F| ≤ f`) and the partitions used in Appendix A/D.
+//!
+//! # Example
+//!
+//! ```
+//! use lbc_graph::{generators, connectivity};
+//!
+//! // Figure 1(a): the 5-cycle satisfies the paper's conditions for f = 1.
+//! let g = generators::cycle(5);
+//! assert_eq!(g.min_degree(), 2);
+//! assert_eq!(connectivity::vertex_connectivity(&g), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod combinatorics;
+pub mod connectivity;
+pub mod cuts;
+pub mod generators;
+mod graph;
+mod maxflow;
+pub mod paths;
+
+pub use graph::{Graph, GraphError};

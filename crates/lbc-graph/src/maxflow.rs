@@ -1,0 +1,270 @@
+//! Internal unit-capacity max-flow machinery (Dinic's algorithm).
+//!
+//! Vertex connectivity and node-disjoint path computations are reduced to
+//! max-flow on a directed *split* graph: every vertex `w` becomes an arc
+//! `w_in → w_out` whose capacity bounds how many paths may pass through `w`.
+//! This module provides the generic flow network; the reductions live in
+//! [`crate::connectivity`] and [`crate::paths`].
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    capacity: i64,
+    flow: i64,
+}
+
+/// A directed flow network with integer capacities.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowNetwork {
+    adjacency: Vec<Vec<usize>>,
+    edges: Vec<FlowEdge>,
+}
+
+impl FlowNetwork {
+    /// Creates a flow network with `node_count` nodes and no edges.
+    pub(crate) fn new(node_count: usize) -> Self {
+        FlowNetwork {
+            adjacency: vec![Vec::new(); node_count],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the network.
+    pub(crate) fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity (and its
+    /// residual reverse edge with capacity 0). Returns the edge index.
+    pub(crate) fn add_edge(&mut self, from: usize, to: usize, capacity: i64) -> usize {
+        let id = self.edges.len();
+        self.edges.push(FlowEdge {
+            to,
+            capacity,
+            flow: 0,
+        });
+        self.edges.push(FlowEdge {
+            to: from,
+            capacity: 0,
+            flow: 0,
+        });
+        self.adjacency[from].push(id);
+        self.adjacency[to].push(id + 1);
+        id
+    }
+
+    fn residual(&self, edge: usize) -> i64 {
+        self.edges[edge].capacity - self.edges[edge].flow
+    }
+
+    fn bfs_levels(&self, source: usize, sink: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        level[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &edge in &self.adjacency[u] {
+                let v = self.edges[edge].to;
+                if level[v] < 0 && self.residual(edge) > 0 {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if level[sink] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_augment(
+        &mut self,
+        u: usize,
+        sink: usize,
+        pushed: i64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> i64 {
+        if u == sink {
+            return pushed;
+        }
+        while iter[u] < self.adjacency[u].len() {
+            let edge = self.adjacency[u][iter[u]];
+            let v = self.edges[edge].to;
+            if level[v] == level[u] + 1 && self.residual(edge) > 0 {
+                let amount = pushed.min(self.residual(edge));
+                let flowed = self.dfs_augment(v, sink, amount, level, iter);
+                if flowed > 0 {
+                    self.edges[edge].flow += flowed;
+                    self.edges[edge ^ 1].flow -= flowed;
+                    return flowed;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum flow from `source` to `sink`, capped at `limit`
+    /// (pass `i64::MAX` for the true maximum). The cap lets connectivity
+    /// queries stop early once a threshold is exceeded.
+    pub(crate) fn max_flow(&mut self, source: usize, sink: usize, limit: i64) -> i64 {
+        if source == sink {
+            return limit;
+        }
+        let mut total = 0i64;
+        while total < limit {
+            let Some(level) = self.bfs_levels(source, sink) else {
+                break;
+            };
+            let mut iter = vec![0usize; self.node_count()];
+            loop {
+                let pushed = self.dfs_augment(source, sink, limit - total, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+                if total >= limit {
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    /// After a max-flow computation, returns the set of nodes reachable from
+    /// `source` in the residual graph (used to extract minimum cuts).
+    pub(crate) fn residual_reachable(&self, source: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[source] = true;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &edge in &self.adjacency[u] {
+                let v = self.edges[edge].to;
+                if !seen[v] && self.residual(edge) > 0 {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// After a max-flow computation, decomposes the flow into `flow_value`
+    /// source-to-sink paths (sequences of node indices, including source and
+    /// sink). Only meaningful for unit-capacity vertex-split networks.
+    pub(crate) fn decompose_paths(&mut self, source: usize, sink: usize) -> Vec<Vec<usize>> {
+        let mut paths = Vec::new();
+        loop {
+            // Walk a path of positive flow from source to sink, consuming it.
+            let mut path = vec![source];
+            let mut current = source;
+            let mut found_sink = current == sink;
+            let mut guard = 0usize;
+            while !found_sink {
+                guard += 1;
+                if guard > self.node_count() + self.edges.len() {
+                    // Malformed flow (cycle); abandon this decomposition walk.
+                    return paths;
+                }
+                let mut advanced = false;
+                for idx in 0..self.adjacency[current].len() {
+                    let edge = self.adjacency[current][idx];
+                    // Forward edges with positive flow only.
+                    if edge % 2 == 0 && self.edges[edge].flow > 0 {
+                        self.edges[edge].flow -= 1;
+                        self.edges[edge ^ 1].flow += 1;
+                        current = self.edges[edge].to;
+                        path.push(current);
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    // No more outgoing flow: either we started with none, or
+                    // the decomposition is complete.
+                    return paths;
+                }
+                if current == sink {
+                    found_sink = true;
+                }
+            }
+            paths.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_path_network() {
+        // source 0 → {1, 2} → sink 3, each path capacity 1.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3, i64::MAX), 2);
+    }
+
+    #[test]
+    fn bottleneck_is_respected() {
+        // All flow must pass through the single edge 1 → 2.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 5);
+        assert_eq!(net.max_flow(0, 3, i64::MAX), 1);
+    }
+
+    #[test]
+    fn flow_limit_stops_early() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 10);
+        assert_eq!(net.max_flow(0, 1, 3), 3);
+    }
+
+    #[test]
+    fn disconnected_source_and_sink() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1);
+        assert_eq!(net.max_flow(0, 2, i64::MAX), 0);
+    }
+
+    #[test]
+    fn residual_reachability_identifies_cut_side() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 3, 1);
+        net.max_flow(0, 3, i64::MAX);
+        let reach = net.residual_reachable(0);
+        // With the single path saturated, only the source is residual-reachable.
+        assert!(reach[0]);
+        assert!(!reach[3]);
+    }
+
+    #[test]
+    fn path_decomposition_recovers_unit_paths() {
+        let mut net = FlowNetwork::new(6);
+        // Two disjoint paths 0-1-2-5 and 0-3-4-5.
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(2, 5, 1);
+        net.add_edge(0, 3, 1);
+        net.add_edge(3, 4, 1);
+        net.add_edge(4, 5, 1);
+        let flow = net.max_flow(0, 5, i64::MAX);
+        assert_eq!(flow, 2);
+        let paths = net.decompose_paths(0, 5);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), 5);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the graph substrate: Menger-style consistency
+//! between connectivity, disjoint paths, and cuts on randomly generated
+//! graphs.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use lbc_graph::{connectivity, cuts, generators, paths, Graph};
+use lbc_model::{NodeId, NodeSet};
+
+/// A random connected-ish graph: G(n, p) seeded deterministically.
+fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    generators::random_gnp(n, p, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Vertex connectivity never exceeds the minimum degree, and
+    /// `is_k_connected` agrees with the computed connectivity.
+    #[test]
+    fn connectivity_vs_min_degree(n in 4usize..10, p in 0.3f64..0.9, seed in 0u64..500) {
+        let g = random_graph(n, p, seed);
+        let kappa = connectivity::vertex_connectivity(&g);
+        if g.is_connected() && n >= 2 {
+            prop_assert!(kappa <= g.min_degree());
+        }
+        prop_assert!(connectivity::is_k_connected(&g, kappa) || kappa == 0);
+        prop_assert!(!connectivity::is_k_connected(&g, kappa + 1) || kappa + 1 >= n);
+    }
+
+    /// Menger: between any two distinct nodes of a connected graph there are
+    /// at least `κ(G)` internally disjoint paths, and the returned family is
+    /// genuinely disjoint and genuinely made of graph paths.
+    #[test]
+    fn menger_disjoint_path_family(n in 4usize..9, p in 0.4f64..0.9, seed in 0u64..500) {
+        let g = random_graph(n, p, seed);
+        prop_assume!(g.is_connected());
+        let kappa = connectivity::vertex_connectivity(&g);
+        let u = NodeId::new(0);
+        let v = NodeId::new(n - 1);
+        let family = paths::disjoint_uv_paths_excluding(&g, u, v, &NodeSet::new(), usize::MAX);
+        prop_assert!(family.len() >= kappa);
+        for path in &family {
+            prop_assert!(g.is_path(path));
+            prop_assert_eq!(path.first(), Some(u));
+            prop_assert_eq!(path.last(), Some(v));
+        }
+        for (i, a) in family.iter().enumerate() {
+            for b in &family[i + 1..] {
+                prop_assert!(a.internally_disjoint(b));
+            }
+        }
+    }
+
+    /// A minimum uv-separator disconnects u from v, has size equal to the
+    /// number of disjoint paths, and never contains u or v.
+    #[test]
+    fn min_separator_matches_disjoint_paths(n in 5usize..9, p in 0.3f64..0.8, seed in 0u64..500) {
+        let g = random_graph(n, p, seed);
+        let u = NodeId::new(0);
+        let v = NodeId::new(n - 1);
+        prop_assume!(!g.has_edge(u, v));
+        let count = paths::max_disjoint_uv_paths(&g, u, v, usize::MAX);
+        let separator = connectivity::min_uv_separator(&g, u, v).unwrap();
+        prop_assert_eq!(separator.len(), count);
+        prop_assert!(!separator.contains(u) && !separator.contains(v));
+        // After removing the separator, v is unreachable from u.
+        let reach = g.reachable_from(u, &separator);
+        prop_assert!(!reach.contains(v));
+    }
+
+    /// `path_excluding` returns a valid path that excludes the set, whenever
+    /// it returns anything; and it always succeeds when the excluded set is
+    /// empty and the graph is connected.
+    #[test]
+    fn path_excluding_is_sound(n in 4usize..10, p in 0.3f64..0.9, seed in 0u64..500, excl_bits in 0u16..64) {
+        let g = random_graph(n, p, seed);
+        let u = NodeId::new(0);
+        let v = NodeId::new(n - 1);
+        let exclude: NodeSet = (0..n)
+            .filter(|i| excl_bits & (1 << i) != 0)
+            .map(NodeId::new)
+            .collect();
+        if let Some(path) = paths::path_excluding(&g, u, v, &exclude) {
+            prop_assert!(g.is_path(&path));
+            prop_assert!(path.excludes(&exclude));
+            prop_assert_eq!(path.first(), Some(u));
+            prop_assert_eq!(path.last(), Some(v));
+        }
+        if g.is_connected() {
+            prop_assert!(paths::path_excluding(&g, u, v, &NodeSet::new()).is_some());
+        }
+    }
+
+    /// Set-to-node disjoint paths: distinct sources, shared endpoint only,
+    /// exclusion respected.
+    #[test]
+    fn set_to_node_paths_are_disjoint(n in 5usize..9, p in 0.4f64..0.9, seed in 0u64..500) {
+        let g = random_graph(n, p, seed);
+        prop_assume!(g.is_connected());
+        let v = NodeId::new(0);
+        let sources: NodeSet = (1..n).map(NodeId::new).collect();
+        let family = paths::disjoint_set_to_node_paths(&g, &sources, v, &NodeSet::new(), usize::MAX);
+        prop_assert!(family.len() >= 1);
+        for path in &family {
+            prop_assert!(g.is_path(path));
+            prop_assert!(sources.contains(path.first().unwrap()));
+            prop_assert_eq!(path.last(), Some(v));
+        }
+        for (i, a) in family.iter().enumerate() {
+            for b in &family[i + 1..] {
+                prop_assert!(a.disjoint_except_endpoint(b, v));
+            }
+        }
+        // The fan size is at least the local structure allows: at least
+        // min(degree of v, 1).
+        prop_assert!(family.len() >= 1.min(g.degree(v)));
+    }
+
+    /// Harary graphs hit their design connectivity exactly, for every valid
+    /// (k, n) pair in the sampled range.
+    #[test]
+    fn harary_is_exactly_k_connected(k in 1usize..6, extra in 1usize..6) {
+        let n = k + 1 + extra;
+        let g = generators::harary(k, n);
+        prop_assert!(g.min_degree() >= k);
+        prop_assert_eq!(connectivity::vertex_connectivity(&g), k);
+    }
+
+    /// The neighborhood of a set never intersects the set, and every
+    /// neighborhood member has an edge into the set.
+    #[test]
+    fn set_neighborhood_is_a_frontier(n in 4usize..10, p in 0.2f64..0.9, seed in 0u64..500, bits in 0u16..256) {
+        let g = random_graph(n, p, seed);
+        let s: NodeSet = (0..n)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(NodeId::new)
+            .collect();
+        let frontier = g.neighborhood_of_set(&s);
+        prop_assert!(frontier.is_disjoint(&s));
+        for w in frontier.iter() {
+            prop_assert!(g.neighbors(w).any(|x| s.contains(x)));
+        }
+    }
+
+    /// The cut partition returned for a disconnecting set is valid, and the
+    /// minimum cut's size equals the vertex connectivity for non-complete
+    /// connected graphs.
+    #[test]
+    fn min_cut_partition_is_consistent(n in 5usize..9, p in 0.3f64..0.8, seed in 0u64..500) {
+        let g = random_graph(n, p, seed);
+        prop_assume!(g.is_connected());
+        let kappa = connectivity::vertex_connectivity(&g);
+        prop_assume!(kappa < n - 1); // not complete
+        let partition = cuts::min_cut_partition(&g).unwrap();
+        prop_assert!(partition.is_valid(&g));
+        prop_assert_eq!(partition.cut.len(), kappa);
+        prop_assert!(g.disconnects(&partition.cut));
+    }
+
+    /// Random "satisfying" graphs really satisfy the paper's conditions.
+    #[test]
+    fn random_satisfying_satisfies(f in 1usize..4, extra in 1usize..4, seed in 0u64..200) {
+        let n = 2 * f + 1 + extra;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_satisfying(n, f, 0.3, &mut rng);
+        prop_assert!(g.min_degree() >= 2 * f);
+        prop_assert!(connectivity::is_k_connected(&g, (3 * f) / 2 + 1));
+    }
+}

@@ -1,0 +1,463 @@
+//! The Figure 2 / Figure 3 impossibility constructions.
+
+use std::collections::BTreeMap;
+
+use lbc_graph::{combinatorics, connectivity, cuts, Graph};
+use lbc_model::{ConsensusOutcome, InputAssignment, NodeId, NodeSet, Value, Verdict};
+use lbc_sim::Protocol;
+
+use crate::split::{DoubledNetwork, SplitNodeId};
+
+/// One of the three executions `E1`, `E2`, `E3` projected out of the doubled
+/// network run.
+#[derive(Debug, Clone)]
+pub struct ProjectedExecution {
+    /// A short label ("E1", "E2", "E3").
+    pub label: String,
+    /// The faulty set of this execution on the original graph.
+    pub faulty: NodeSet,
+    /// The judged outcome (inputs, recorded non-faulty outputs, verdict).
+    pub outcome: ConsensusOutcome,
+}
+
+impl ProjectedExecution {
+    /// The verdict of this execution.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        self.outcome.verdict()
+    }
+}
+
+/// The result of running a protocol on the doubled network and projecting
+/// the three executions.
+#[derive(Debug, Clone)]
+pub struct ImpossibilityReport {
+    /// Human-readable description of the construction used.
+    pub description: String,
+    /// The projected executions, in order `E1`, `E2`, `E3`.
+    pub executions: Vec<ProjectedExecution>,
+}
+
+impl ImpossibilityReport {
+    /// Whether at least one projected execution violates agreement, validity,
+    /// or termination — which is the point of the construction: a protocol
+    /// that were correct on the deficient graph could not produce any
+    /// violation, so exhibiting one shows no correct protocol exists.
+    #[must_use]
+    pub fn exhibits_violation(&self) -> bool {
+        self.executions
+            .iter()
+            .any(|e| !e.outcome.verdict().is_correct())
+    }
+
+    /// The labels of the violated executions.
+    #[must_use]
+    pub fn violated_executions(&self) -> Vec<String> {
+        self.executions
+            .iter()
+            .filter(|e| !e.outcome.verdict().is_correct())
+            .map(|e| e.label.clone())
+            .collect()
+    }
+}
+
+/// Specification of how to project one execution out of the doubled network.
+#[derive(Debug, Clone)]
+struct ExecutionSpec {
+    label: String,
+    faulty: NodeSet,
+    inputs: InputAssignment,
+    /// For each original node, which `𝔾`-copy models it in this execution.
+    sources: BTreeMap<NodeId, SplitNodeId>,
+}
+
+/// An executable impossibility construction: the doubled network plus the
+/// projection recipes for `E1`, `E2`, `E3`.
+#[derive(Debug, Clone)]
+pub struct Construction {
+    description: String,
+    network: DoubledNetwork,
+    executions: Vec<ExecutionSpec>,
+}
+
+impl Construction {
+    /// Human-readable description of the deficiency being exploited.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The doubled network `𝔾`.
+    #[must_use]
+    pub fn network(&self) -> &DoubledNetwork {
+        &self.network
+    }
+
+    /// Runs `make`-constructed protocol instances on the doubled network for
+    /// at most `max_rounds` rounds and projects the three executions.
+    pub fn demonstrate<P, F>(&self, make: F, max_rounds: usize) -> ImpossibilityReport
+    where
+        P: Protocol,
+        F: FnMut(NodeId, Value) -> P,
+    {
+        let outputs = self.network.run(make, max_rounds);
+        let executions = self
+            .executions
+            .iter()
+            .map(|spec| {
+                let mut outcome =
+                    ConsensusOutcome::new(spec.inputs.clone(), spec.faulty.clone());
+                for (original, source) in &spec.sources {
+                    if let Some(Some(value)) = outputs.get(source) {
+                        outcome.record_output(*original, *value);
+                    }
+                }
+                ProjectedExecution {
+                    label: spec.label.clone(),
+                    faulty: spec.faulty.clone(),
+                    outcome,
+                }
+            })
+            .collect();
+        ImpossibilityReport {
+            description: self.description.clone(),
+            executions,
+        }
+    }
+}
+
+/// Builds the **Figure 2 / Lemma A.1** construction for a graph whose minimum
+/// degree is below `2f`. Returns `None` when the degree condition is in fact
+/// satisfied (or `f = 0`).
+#[must_use]
+pub fn degree_construction(graph: &Graph, f: usize) -> Option<Construction> {
+    if f == 0 {
+        return None;
+    }
+    let (z, degree) = cuts::min_degree_node(graph)?;
+    if degree >= 2 * f || degree == 0 {
+        return None;
+    }
+    let neighborhood = graph.neighbor_set(z);
+    // Partition into (F1, F2) with |F1| ≤ f − 1, |F2| ≤ f, F2 non-empty.
+    let f1_size = neighborhood.len().saturating_sub(1).min(f - 1);
+    let sizes = [f1_size, neighborhood.len() - f1_size];
+    let parts = combinatorics::split_by_sizes(&neighborhood, &sizes);
+    let (f1, f2) = (parts[0].clone(), parts[1].clone());
+    debug_assert!(!f2.is_empty() && f2.len() <= f);
+
+    let not_w: NodeSet = f1.union(&f2).union(&NodeSet::singleton(z));
+    let w: NodeSet = graph.nodes().filter(|v| !not_w.contains(*v)).collect();
+
+    // Assemble 𝔾.
+    let mut network = DoubledNetwork::new(graph.clone(), f);
+    for v in graph.nodes() {
+        if w.contains(v) {
+            network.add_node(SplitNodeId::zero(v), Value::Zero);
+            network.add_node(SplitNodeId::one(v), Value::One);
+        } else {
+            let input = if f2.contains(v) { Value::One } else { Value::Zero };
+            network.add_node(SplitNodeId::zero(v), input);
+        }
+    }
+    for (u, v) in graph.edges() {
+        wire_degree_edge(&mut network, &w, &f1, &f2, u, v);
+        wire_degree_edge(&mut network, &w, &f1, &f2, v, u);
+    }
+
+    // Projection recipes.
+    let n = graph.node_count();
+    let all = graph.node_set();
+    let copy0 = |v: NodeId| SplitNodeId::zero(v);
+    let copy1 = |v: NodeId, w: &NodeSet| {
+        if w.contains(v) {
+            SplitNodeId::one(v)
+        } else {
+            SplitNodeId::zero(v)
+        }
+    };
+
+    // E1: faulty F2, every non-faulty node has input 0; behaviour of W is
+    // modelled by W0.
+    let e1 = ExecutionSpec {
+        label: "E1".to_string(),
+        faulty: f2.clone(),
+        inputs: InputAssignment::with_ones(n, &f2),
+        sources: all.iter().map(|v| (v, copy0(v))).collect(),
+    };
+    // E2: faulty F1; z has input 0, all other non-faulty nodes input 1;
+    // behaviour of W is modelled by W1.
+    let ones_e2: NodeSet = all.iter().filter(|v| *v != z).collect();
+    let e2 = ExecutionSpec {
+        label: "E2".to_string(),
+        faulty: f1.clone(),
+        inputs: InputAssignment::with_ones(n, &ones_e2),
+        sources: all.iter().map(|v| (v, copy1(v, &w))).collect(),
+    };
+    // E3: faulty F1 ∪ {z}; all non-faulty input 1; W modelled by W1.
+    let faulty_e3 = f1.union(&NodeSet::singleton(z));
+    let e3 = ExecutionSpec {
+        label: "E3".to_string(),
+        faulty: faulty_e3,
+        inputs: InputAssignment::all_one(n),
+        sources: all.iter().map(|v| (v, copy1(v, &w))).collect(),
+    };
+
+    Some(Construction {
+        description: format!(
+            "Lemma A.1 / Figure 2: node {z} has degree {degree} < 2f = {} (F1 = {f1}, F2 = {f2})",
+            2 * f
+        ),
+        network,
+        executions: vec![e1, e2, e3],
+    })
+}
+
+/// Wires the directed/undirected `𝔾`-edges induced by the original edge
+/// `u → v` for the degree construction (called once per direction).
+fn wire_degree_edge(
+    network: &mut DoubledNetwork,
+    w: &NodeSet,
+    f1: &NodeSet,
+    f2: &NodeSet,
+    u: NodeId,
+    v: NodeId,
+) {
+    match (w.contains(u), w.contains(v)) {
+        (true, true) => {
+            network.add_undirected(SplitNodeId::zero(u), SplitNodeId::zero(v));
+            network.add_undirected(SplitNodeId::one(u), SplitNodeId::one(v));
+        }
+        (false, false) => {
+            network.add_undirected(SplitNodeId::zero(u), SplitNodeId::zero(v));
+        }
+        (false, true) => {
+            // u is outside W (F1, F2 or z); v is in W.
+            if f1.contains(u) {
+                network.add_undirected(SplitNodeId::zero(u), SplitNodeId::zero(v));
+                network.add_directed(SplitNodeId::zero(u), SplitNodeId::one(v));
+            } else if f2.contains(u) {
+                network.add_directed(SplitNodeId::zero(u), SplitNodeId::zero(v));
+                network.add_undirected(SplitNodeId::zero(u), SplitNodeId::one(v));
+            } else {
+                // u = z has no neighbors in W by construction; be permissive
+                // and wire both copies undirected (cannot happen for valid
+                // inputs).
+                network.add_undirected(SplitNodeId::zero(u), SplitNodeId::zero(v));
+                network.add_undirected(SplitNodeId::zero(u), SplitNodeId::one(v));
+            }
+        }
+        (true, false) => {
+            // Handled by the symmetric call.
+        }
+    }
+}
+
+/// Builds the **Figure 3 / Lemma A.2** construction for a graph whose vertex
+/// connectivity is below `⌊3f/2⌋ + 1`. Returns `None` when the connectivity
+/// condition is satisfied (or no usable cut exists).
+#[must_use]
+pub fn connectivity_construction(graph: &Graph, f: usize) -> Option<Construction> {
+    if f == 0 {
+        return None;
+    }
+    let requirement = (3 * f) / 2 + 1;
+    if connectivity::is_k_connected(graph, requirement) {
+        return None;
+    }
+    let partition = cuts::cut_partition_of_size_at_most(graph, (3 * f) / 2)?;
+    let a = partition.side_a.clone();
+    let b = partition.side_b.clone();
+    let cut = partition.cut.clone();
+    // Partition the cut into (C1, C2, C3) with |C1|, |C2| ≤ ⌊f/2⌋ and
+    // |C3| ≤ ⌈f/2⌉.
+    let sizes =
+        combinatorics::greedy_sizes(cut.len(), &[f / 2, f / 2, f.div_ceil(2)])?;
+    let parts = combinatorics::split_by_sizes(&cut, &sizes);
+    let (c1, c2, c3) = (parts[0].clone(), parts[1].clone(), parts[2].clone());
+
+    // Assemble 𝔾: two copies of A and B, single copies of the cut.
+    let mut network = DoubledNetwork::new(graph.clone(), f);
+    for v in graph.nodes() {
+        if a.contains(v) || b.contains(v) {
+            network.add_node(SplitNodeId::zero(v), Value::Zero);
+            network.add_node(SplitNodeId::one(v), Value::One);
+        } else {
+            let input = if c1.contains(v) { Value::Zero } else { Value::One };
+            network.add_node(SplitNodeId::zero(v), input);
+        }
+    }
+    for (u, v) in graph.edges() {
+        wire_cut_edge(&mut network, &a, &b, &c1, &c2, &c3, u, v);
+        wire_cut_edge(&mut network, &a, &b, &c1, &c2, &c3, v, u);
+    }
+
+    // Projection recipes. Which copy models each side in each execution:
+    // E1: A→A0, B→B0 (C1 honest);  E2: A→A0, B→B1 (C2 honest);
+    // E3: A→A1, B→B1 (C3 honest).
+    let n = graph.node_count();
+    let all = graph.node_set();
+    let pick = |v: NodeId, a_copy: bool, b_copy: bool| {
+        if a.contains(v) {
+            if a_copy {
+                SplitNodeId::one(v)
+            } else {
+                SplitNodeId::zero(v)
+            }
+        } else if b.contains(v) {
+            if b_copy {
+                SplitNodeId::one(v)
+            } else {
+                SplitNodeId::zero(v)
+            }
+        } else {
+            SplitNodeId::zero(v)
+        }
+    };
+
+    let faulty_e1 = c2.union(&c3);
+    let e1 = ExecutionSpec {
+        label: "E1".to_string(),
+        faulty: faulty_e1.clone(),
+        inputs: InputAssignment::with_ones(n, &faulty_e1),
+        sources: all.iter().map(|v| (v, pick(v, false, false))).collect(),
+    };
+    let faulty_e2 = c1.union(&c3);
+    let ones_e2: NodeSet = all.iter().filter(|v| !a.contains(*v)).collect();
+    let e2 = ExecutionSpec {
+        label: "E2".to_string(),
+        faulty: faulty_e2,
+        inputs: InputAssignment::with_ones(n, &ones_e2),
+        sources: all.iter().map(|v| (v, pick(v, false, true))).collect(),
+    };
+    let faulty_e3 = c1.union(&c2);
+    let e3 = ExecutionSpec {
+        label: "E3".to_string(),
+        faulty: faulty_e3,
+        inputs: InputAssignment::all_one(n),
+        sources: all.iter().map(|v| (v, pick(v, true, true))).collect(),
+    };
+
+    Some(Construction {
+        description: format!(
+            "Lemma A.2 / Figure 3: vertex cut {cut} of size {} < ⌊3f/2⌋ + 1 = {requirement} \
+             separating A = {a} from B = {b} (C1 = {c1}, C2 = {c2}, C3 = {c3})",
+            cut.len()
+        ),
+        network,
+        executions: vec![e1, e2, e3],
+    })
+}
+
+/// Wires the `𝔾`-edges induced by the original edge `u → v` for the
+/// connectivity construction (called once per direction).
+#[allow(clippy::too_many_arguments)]
+fn wire_cut_edge(
+    network: &mut DoubledNetwork,
+    a: &NodeSet,
+    b: &NodeSet,
+    c1: &NodeSet,
+    c2: &NodeSet,
+    c3: &NodeSet,
+    u: NodeId,
+    v: NodeId,
+) {
+    let in_sides = |x: NodeId| a.contains(x) || b.contains(x);
+    match (in_sides(u), in_sides(v)) {
+        (true, true) => {
+            // Both in A, or both in B (there are no A–B edges).
+            network.add_undirected(SplitNodeId::zero(u), SplitNodeId::zero(v));
+            network.add_undirected(SplitNodeId::one(u), SplitNodeId::one(v));
+        }
+        (false, false) => {
+            // Both in the cut.
+            network.add_undirected(SplitNodeId::zero(u), SplitNodeId::zero(v));
+        }
+        (false, true) => {
+            // u in the cut, v in A or B. The copy of v that u talks to
+            // bidirectionally is the one modelling v in the execution where u
+            // is honest; the other copy only listens.
+            let v_side_is_a = a.contains(v);
+            let honest_copy_is_one = if c1.contains(u) {
+                false // E1: A0, B0
+            } else if c2.contains(u) {
+                !v_side_is_a // E2: A0, B1
+            } else {
+                debug_assert!(c3.contains(u));
+                true // E3: A1, B1
+            };
+            let (bidir, listen_only) = if honest_copy_is_one {
+                (SplitNodeId::one(v), SplitNodeId::zero(v))
+            } else {
+                (SplitNodeId::zero(v), SplitNodeId::one(v))
+            };
+            network.add_undirected(SplitNodeId::zero(u), bidir);
+            network.add_directed(SplitNodeId::zero(u), listen_only);
+        }
+        (true, false) => {
+            // Handled by the symmetric call.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_consensus::Algorithm1Node;
+    use lbc_graph::generators;
+
+    #[test]
+    fn degree_construction_is_none_when_degree_suffices() {
+        let g = generators::complete(5);
+        assert!(degree_construction(&g, 2).is_none());
+        assert!(degree_construction(&g, 0).is_none());
+    }
+
+    #[test]
+    fn connectivity_construction_is_none_when_connectivity_suffices() {
+        let g = generators::complete(5);
+        assert!(connectivity_construction(&g, 2).is_none());
+        let cycle = generators::cycle(5);
+        assert!(connectivity_construction(&cycle, 1).is_none());
+    }
+
+    #[test]
+    fn degree_construction_exhibits_violation_on_a_4_cycle_for_f2() {
+        // The 4-cycle has minimum degree 2 < 4 = 2f.
+        let g = generators::cycle(4);
+        let construction = degree_construction(&g, 2).expect("degree deficient");
+        assert!(construction.description().contains("Figure 2"));
+        let rounds = Algorithm1Node::round_count(4, 2) + 4;
+        let report = construction.demonstrate(|_id, input| Algorithm1Node::new(input), rounds);
+        assert!(
+            report.exhibits_violation(),
+            "expected a violation: {report:?}"
+        );
+        assert_eq!(report.executions.len(), 3);
+    }
+
+    #[test]
+    fn connectivity_construction_exhibits_violation_on_a_cycle_for_f2() {
+        // The 6-cycle is 2-connected; for f = 2 it needs 4-connectivity, and
+        // its minimum degree (2) is also below 2f, but the cut construction
+        // only relies on the connectivity deficiency.
+        let g = generators::cycle(6);
+        let construction = connectivity_construction(&g, 2).expect("connectivity deficient");
+        assert!(construction.description().contains("Figure 3"));
+        let rounds = Algorithm1Node::round_count(6, 2) + 4;
+        let report = construction.demonstrate(|_id, input| Algorithm1Node::new(input), rounds);
+        assert!(
+            report.exhibits_violation(),
+            "expected a violation: {report:?}"
+        );
+        assert!(!report.violated_executions().is_empty());
+    }
+
+    #[test]
+    fn deficient_connectivity_generator_feeds_the_construction() {
+        let f = 2;
+        let g = generators::deficient_connectivity(f, f + 1);
+        let construction = connectivity_construction(&g, f).expect("deficient by design");
+        assert!(construction.network().nodes().len() > g.node_count());
+    }
+}

@@ -1,0 +1,171 @@
+//! Communication models: local broadcast, point-to-point, and the hybrid model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, NodeSet};
+
+/// The communication model that governs how transmissions by *faulty* nodes
+/// may differ across neighbors.
+///
+/// * [`CommModel::LocalBroadcast`] — Sections 4 and 5 of the paper: every
+///   message sent by a node is received identically by **all** of its
+///   neighbors; no node (faulty or not) can equivocate.
+/// * [`CommModel::PointToPoint`] — the classical model (Dolev 1982): a faulty
+///   node may send conflicting information to different neighbors.
+/// * [`CommModel::Hybrid`] — Section 6: only the listed *equivocating* faulty
+///   nodes may send per-neighbor messages; every other node (non-faulty or
+///   non-equivocating faulty) is restricted to local broadcast.
+///
+/// Non-faulty nodes always behave identically under all three models: the
+/// model only constrains what an adversary may do.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::{CommModel, NodeId, NodeSet};
+///
+/// let t: NodeSet = [NodeId::new(2)].into_iter().collect();
+/// let hybrid = CommModel::Hybrid { equivocators: t };
+/// assert!(hybrid.allows_equivocation(NodeId::new(2)));
+/// assert!(!hybrid.allows_equivocation(NodeId::new(1)));
+/// assert!(CommModel::PointToPoint.allows_equivocation(NodeId::new(1)));
+/// assert!(!CommModel::LocalBroadcast.allows_equivocation(NodeId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommModel {
+    /// Local broadcast: all transmissions are overheard identically by every
+    /// neighbor of the sender.
+    LocalBroadcast,
+    /// Classical point-to-point links: faulty nodes may equivocate freely.
+    PointToPoint,
+    /// Hybrid model: only the nodes in `equivocators` may equivocate; all
+    /// other nodes are restricted to local broadcast.
+    Hybrid {
+        /// The set `T` of (at most `t`) faulty nodes allowed to equivocate.
+        equivocators: NodeSet,
+    },
+}
+
+impl CommModel {
+    /// Creates the hybrid model with the given equivocating set.
+    ///
+    /// `Hybrid` with an empty set behaves exactly like
+    /// [`CommModel::LocalBroadcast`], matching the paper's observation that
+    /// the hybrid model with `t = 0` *is* the local broadcast model.
+    #[must_use]
+    pub fn hybrid<I>(equivocators: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        CommModel::Hybrid {
+            equivocators: equivocators.into_iter().collect(),
+        }
+    }
+
+    /// Whether a transmission by `sender` may legally differ across the
+    /// sender's neighbors under this model.
+    #[must_use]
+    pub fn allows_equivocation(&self, sender: NodeId) -> bool {
+        match self {
+            CommModel::LocalBroadcast => false,
+            CommModel::PointToPoint => true,
+            CommModel::Hybrid { equivocators } => equivocators.contains(sender),
+        }
+    }
+
+    /// The set of nodes allowed to equivocate, if the model names one
+    /// explicitly (hybrid model only).
+    #[must_use]
+    pub fn equivocators(&self) -> Option<&NodeSet> {
+        match self {
+            CommModel::Hybrid { equivocators } => Some(equivocators),
+            _ => None,
+        }
+    }
+
+    /// Whether this model is (equivalent to) the pure local broadcast model.
+    #[must_use]
+    pub fn is_local_broadcast(&self) -> bool {
+        match self {
+            CommModel::LocalBroadcast => true,
+            CommModel::Hybrid { equivocators } => equivocators.is_empty(),
+            CommModel::PointToPoint => false,
+        }
+    }
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel::LocalBroadcast
+    }
+}
+
+impl fmt::Display for CommModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommModel::LocalBroadcast => write!(f, "local broadcast"),
+            CommModel::PointToPoint => write!(f, "point-to-point"),
+            CommModel::Hybrid { equivocators } => {
+                write!(f, "hybrid (equivocators {equivocators})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn local_broadcast_forbids_equivocation_for_everyone() {
+        let m = CommModel::LocalBroadcast;
+        for i in 0..5 {
+            assert!(!m.allows_equivocation(n(i)));
+        }
+        assert!(m.is_local_broadcast());
+        assert_eq!(m.equivocators(), None);
+    }
+
+    #[test]
+    fn point_to_point_allows_equivocation_for_everyone() {
+        let m = CommModel::PointToPoint;
+        for i in 0..5 {
+            assert!(m.allows_equivocation(n(i)));
+        }
+        assert!(!m.is_local_broadcast());
+    }
+
+    #[test]
+    fn hybrid_restricts_equivocation_to_listed_nodes() {
+        let m = CommModel::hybrid([n(1), n(4)]);
+        assert!(m.allows_equivocation(n(1)));
+        assert!(m.allows_equivocation(n(4)));
+        assert!(!m.allows_equivocation(n(0)));
+        assert_eq!(m.equivocators().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn hybrid_with_empty_set_reduces_to_local_broadcast() {
+        let m = CommModel::hybrid([]);
+        assert!(m.is_local_broadcast());
+        assert!(!m.allows_equivocation(n(0)));
+    }
+
+    #[test]
+    fn default_is_local_broadcast() {
+        assert_eq!(CommModel::default(), CommModel::LocalBroadcast);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(CommModel::LocalBroadcast.to_string(), "local broadcast");
+        assert_eq!(CommModel::PointToPoint.to_string(), "point-to-point");
+        assert!(CommModel::hybrid([n(3)]).to_string().contains("v3"));
+    }
+}

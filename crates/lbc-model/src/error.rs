@@ -1,0 +1,89 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced when model-level invariants are violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A node identifier referenced a node outside the graph/population.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The population size it was checked against.
+        n: usize,
+    },
+    /// The number of faulty nodes exceeds the declared fault tolerance `f`.
+    TooManyFaults {
+        /// Number of faulty nodes supplied.
+        actual: usize,
+        /// Declared tolerance `f`.
+        bound: usize,
+    },
+    /// The number of equivocating faulty nodes exceeds the declared bound `t`.
+    TooManyEquivocators {
+        /// Number of equivocating nodes supplied.
+        actual: usize,
+        /// Declared bound `t`.
+        bound: usize,
+    },
+    /// An input assignment's length does not match the graph's node count.
+    InputLengthMismatch {
+        /// Number of inputs supplied.
+        inputs: usize,
+        /// Number of nodes expected.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} is out of range for a population of {n} nodes")
+            }
+            ModelError::TooManyFaults { actual, bound } => {
+                write!(f, "{actual} faulty nodes exceed the tolerance f = {bound}")
+            }
+            ModelError::TooManyEquivocators { actual, bound } => {
+                write!(f, "{actual} equivocating nodes exceed the bound t = {bound}")
+            }
+            ModelError::InputLengthMismatch { inputs, nodes } => {
+                write!(f, "{inputs} inputs supplied for {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::NodeOutOfRange {
+            node: NodeId::new(9),
+            n: 5,
+        };
+        assert_eq!(e.to_string(), "node v9 is out of range for a population of 5 nodes");
+
+        let e = ModelError::TooManyFaults { actual: 3, bound: 2 };
+        assert!(e.to_string().contains("f = 2"));
+
+        let e = ModelError::TooManyEquivocators { actual: 2, bound: 1 };
+        assert!(e.to_string().contains("t = 1"));
+
+        let e = ModelError::InputLengthMismatch { inputs: 4, nodes: 6 };
+        assert!(e.to_string().contains("4 inputs"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ModelError>();
+    }
+}

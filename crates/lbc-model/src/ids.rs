@@ -1,0 +1,174 @@
+//! Node identifiers and synchronous round counters.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (vertex) in the communication graph.
+///
+/// Node identifiers are dense small integers `0..n`, which keeps graph
+/// adjacency structures and per-node state vectors index-addressable.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from its dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A synchronous round counter.
+///
+/// The simulator executes protocols in lock-step rounds; `Round` is a
+/// transparent counter used in traces and protocol hooks.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::Round;
+///
+/// let r = Round::new(4);
+/// assert_eq!(r.next().value(), 5);
+/// assert!(r < r.next());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round of an execution.
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round counter from its numeric value.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        Round(value)
+    }
+
+    /// Returns the numeric value of this round.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the round that follows this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Round(self.0 + 1)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(value: u64) -> Self {
+        Round(value)
+    }
+}
+
+impl From<Round> for u64 {
+    fn from(round: Round) -> Self {
+        round.0
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "round {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_usize() {
+        let id = NodeId::new(17);
+        assert_eq!(usize::from(id), 17);
+        assert_eq!(NodeId::from(17usize), id);
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn node_id_display_is_prefixed() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+        assert_eq!(NodeId::new(42).to_string(), "v42");
+    }
+
+    #[test]
+    fn round_advances() {
+        let r = Round::ZERO;
+        assert_eq!(r.value(), 0);
+        assert_eq!(r.next().value(), 1);
+        assert_eq!(r.next().next(), Round::new(2));
+    }
+
+    #[test]
+    fn round_display() {
+        assert_eq!(Round::new(7).to_string(), "round 7");
+    }
+
+    #[test]
+    fn node_id_serde_is_transparent() {
+        let id = NodeId::new(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "9");
+        let back: NodeId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn round_serde_is_transparent() {
+        let r = Round::new(3);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(json, "3");
+        let back: Round = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,247 @@
+//! Binary input assignments for consensus executions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, NodeSet, Value};
+
+/// The binary inputs of all `n` nodes in an execution.
+///
+/// Stored densely (index `i` is the input of node `i`), which matches the
+/// dense [`NodeId`] space used throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::{InputAssignment, NodeId, Value};
+///
+/// let inputs = InputAssignment::from_bits(5, 0b10110);
+/// assert_eq!(inputs.get(NodeId::new(0)), Value::Zero);
+/// assert_eq!(inputs.get(NodeId::new(1)), Value::One);
+/// assert_eq!(inputs.ones().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InputAssignment {
+    values: Vec<Value>,
+}
+
+impl InputAssignment {
+    /// Creates an assignment where every node has input `value`.
+    #[must_use]
+    pub fn uniform(n: usize, value: Value) -> Self {
+        InputAssignment {
+            values: vec![value; n],
+        }
+    }
+
+    /// Creates an assignment where every node has input `0`.
+    #[must_use]
+    pub fn all_zero(n: usize) -> Self {
+        Self::uniform(n, Value::Zero)
+    }
+
+    /// Creates an assignment where every node has input `1`.
+    #[must_use]
+    pub fn all_one(n: usize) -> Self {
+        Self::uniform(n, Value::One)
+    }
+
+    /// Creates an assignment from an explicit vector of values.
+    #[must_use]
+    pub fn from_values(values: Vec<Value>) -> Self {
+        InputAssignment { values }
+    }
+
+    /// Creates an assignment of `n` nodes from the low `n` bits of `bits`
+    /// (bit `i` is the input of node `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[must_use]
+    pub fn from_bits(n: usize, bits: u64) -> Self {
+        assert!(n <= 64, "from_bits supports at most 64 nodes, got {n}");
+        let values = (0..n)
+            .map(|i| Value::from((bits >> i) & 1 == 1))
+            .collect();
+        InputAssignment { values }
+    }
+
+    /// Creates an assignment where exactly the nodes in `ones` have input `1`.
+    #[must_use]
+    pub fn with_ones(n: usize, ones: &NodeSet) -> Self {
+        let values = (0..n)
+            .map(|i| Value::from(ones.contains(NodeId::new(i))))
+            .collect();
+        InputAssignment { values }
+    }
+
+    /// Number of nodes covered by the assignment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the assignment covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The input of node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> Value {
+        self.values[node.index()]
+    }
+
+    /// Sets the input of node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set(&mut self, node: NodeId, value: Value) {
+        self.values[node.index()] = value;
+    }
+
+    /// Iterates over `(node, input)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Value)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId::new(i), v))
+    }
+
+    /// The set of nodes whose input is `1`.
+    #[must_use]
+    pub fn ones(&self) -> NodeSet {
+        self.iter()
+            .filter(|&(_, v)| v == Value::One)
+            .map(|(node, _)| node)
+            .collect()
+    }
+
+    /// The set of nodes whose input is `0`.
+    #[must_use]
+    pub fn zeros(&self) -> NodeSet {
+        self.iter()
+            .filter(|&(_, v)| v == Value::Zero)
+            .map(|(node, _)| node)
+            .collect()
+    }
+
+    /// The values held by the given set of nodes.
+    #[must_use]
+    pub fn values_of(&self, nodes: &NodeSet) -> Vec<Value> {
+        nodes.iter().map(|node| self.get(node)).collect()
+    }
+
+    /// Whether all nodes outside `exclude` hold the same input; returns that
+    /// value if so.
+    #[must_use]
+    pub fn unanimous_excluding(&self, exclude: &NodeSet) -> Option<Value> {
+        let mut common: Option<Value> = None;
+        for (node, value) in self.iter() {
+            if exclude.contains(node) {
+                continue;
+            }
+            match common {
+                None => common = Some(value),
+                Some(c) if c != value => return None,
+                Some(_) => {}
+            }
+        }
+        common
+    }
+
+    /// The underlying dense value vector.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl fmt::Display for InputAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for value in &self.values {
+            write!(f, "{value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn uniform_assignments() {
+        let z = InputAssignment::all_zero(4);
+        let o = InputAssignment::all_one(4);
+        assert_eq!(z.ones().len(), 0);
+        assert_eq!(o.ones().len(), 4);
+        assert_eq!(z.get(n(2)), Value::Zero);
+        assert_eq!(o.get(n(2)), Value::One);
+    }
+
+    #[test]
+    fn from_bits_maps_bit_i_to_node_i() {
+        let a = InputAssignment::from_bits(4, 0b1010);
+        assert_eq!(a.get(n(0)), Value::Zero);
+        assert_eq!(a.get(n(1)), Value::One);
+        assert_eq!(a.get(n(2)), Value::Zero);
+        assert_eq!(a.get(n(3)), Value::One);
+        assert_eq!(a.to_string(), "0101");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 nodes")]
+    fn from_bits_rejects_large_n() {
+        let _ = InputAssignment::from_bits(65, 0);
+    }
+
+    #[test]
+    fn with_ones_sets_exactly_those_nodes() {
+        let ones: NodeSet = [n(1), n(3)].into_iter().collect();
+        let a = InputAssignment::with_ones(5, &ones);
+        assert_eq!(a.ones(), ones);
+        assert_eq!(a.zeros().len(), 3);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut a = InputAssignment::all_zero(3);
+        a.set(n(1), Value::One);
+        assert_eq!(a.get(n(1)), Value::One);
+        assert_eq!(a.ones(), NodeSet::singleton(n(1)));
+    }
+
+    #[test]
+    fn unanimous_excluding_faulty() {
+        let mut a = InputAssignment::all_one(4);
+        a.set(n(2), Value::Zero);
+        let faulty = NodeSet::singleton(n(2));
+        assert_eq!(a.unanimous_excluding(&faulty), Some(Value::One));
+        assert_eq!(a.unanimous_excluding(&NodeSet::new()), None);
+        // Excluding everything yields no witness value.
+        assert_eq!(a.unanimous_excluding(&NodeSet::full(4)), None);
+    }
+
+    #[test]
+    fn values_of_projects_in_order() {
+        let a = InputAssignment::from_bits(4, 0b0110);
+        let s: NodeSet = [n(0), n(1), n(2)].into_iter().collect();
+        assert_eq!(
+            a.values_of(&s),
+            vec![Value::Zero, Value::One, Value::One]
+        );
+    }
+}

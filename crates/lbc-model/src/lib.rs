@@ -1,0 +1,57 @@
+//! # lbc-model
+//!
+//! Shared vocabulary types for the *local broadcast* Byzantine consensus
+//! reproduction of Khan, Naqvi and Vaidya (PODC 2019).
+//!
+//! Every other crate in the workspace builds on the small, dependency-free
+//! types defined here:
+//!
+//! * [`NodeId`] — a node/vertex identifier,
+//! * [`Value`] — a binary consensus value,
+//! * [`Round`] — a synchronous round counter,
+//! * [`Path`] — a sequence of node identifiers as carried inside flooded
+//!   messages (the `Π` of Algorithm 1),
+//! * [`NodeSet`] — an ordered set of nodes (fault sets, cuts, neighborhoods),
+//! * [`CommModel`] — the communication model: local broadcast, point-to-point,
+//!   or the hybrid model of Section 6 of the paper,
+//! * [`InputAssignment`] — the binary inputs of all nodes,
+//! * [`ConsensusOutcome`] — decided outputs plus the correctness verdict
+//!   (agreement / validity / termination).
+//!
+//! # Example
+//!
+//! ```
+//! use lbc_model::{NodeId, Value, Path, CommModel};
+//!
+//! let a = NodeId::new(0);
+//! let b = NodeId::new(1);
+//! let path = Path::empty().extended(a).extended(b);
+//! assert_eq!(path.len(), 2);
+//! assert!(path.contains(a));
+//!
+//! let model = CommModel::LocalBroadcast;
+//! assert!(!model.allows_equivocation(a));
+//! assert_eq!(Value::Zero.flipped(), Value::One);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod comm;
+mod error;
+mod ids;
+mod input;
+mod nodeset;
+mod outcome;
+mod path;
+mod value;
+
+pub use comm::CommModel;
+pub use error::ModelError;
+pub use ids::{NodeId, Round};
+pub use input::InputAssignment;
+pub use nodeset::NodeSet;
+pub use outcome::{ConsensusOutcome, Verdict};
+pub use path::Path;
+pub use value::Value;

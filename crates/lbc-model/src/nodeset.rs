@@ -1,0 +1,294 @@
+//! Ordered sets of node identifiers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// An ordered set of node identifiers.
+///
+/// `NodeSet` is the workhorse collection for fault sets `F`, candidate fault
+/// sets enumerated by Algorithm 1's phases, vertex cuts, neighborhoods, and
+/// the `Z_v` / `N_v` / `A_v` / `B_v` sets of the algorithms' case analyses.
+///
+/// Backed by a `BTreeSet` so iteration order is deterministic — important for
+/// reproducible simulation traces.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::{NodeId, NodeSet};
+///
+/// let f: NodeSet = [NodeId::new(1), NodeId::new(3)].into_iter().collect();
+/// let g: NodeSet = [NodeId::new(3), NodeId::new(4)].into_iter().collect();
+/// assert_eq!((&f | &g).len(), 3);
+/// assert_eq!((&f & &g).len(), 1);
+/// assert_eq!((&f - &g).len(), 1);
+/// assert!(f.contains(NodeId::new(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeSet {
+    nodes: BTreeSet<NodeId>,
+}
+
+impl NodeSet {
+    /// Creates an empty node set.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    /// Creates a set containing a single node.
+    #[must_use]
+    pub fn singleton(node: NodeId) -> Self {
+        let mut set = NodeSet::new();
+        set.insert(node);
+        set
+    }
+
+    /// Creates the full node set `{0, 1, …, n-1}`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    /// Number of nodes in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` belongs to the set.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        self.nodes.insert(node)
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.nodes.remove(&node)
+    }
+
+    /// Iterates over the nodes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        self.nodes.union(&other.nodes).copied().collect()
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        self.nodes.intersection(&other.nodes).copied().collect()
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        self.nodes.difference(&other.nodes).copied().collect()
+    }
+
+    /// Whether `self` and `other` share no nodes.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        self.nodes.is_disjoint(&other.nodes)
+    }
+
+    /// Whether every node of `self` belongs to `other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.nodes.is_subset(&other.nodes)
+    }
+
+    /// Removes a node and returns it, if the set is non-empty (smallest id).
+    pub fn pop_first(&mut self) -> Option<NodeId> {
+        self.nodes.pop_first()
+    }
+
+    /// Returns the smallest node id in the set, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// Returns the complement of this set within `{0, …, n-1}`.
+    #[must_use]
+    pub fn complement(&self, n: usize) -> NodeSet {
+        (0..n)
+            .map(NodeId::new)
+            .filter(|node| !self.contains(*node))
+            .collect()
+    }
+
+    /// Returns the underlying ordered set.
+    #[must_use]
+    pub fn as_btree(&self) -> &BTreeSet<NodeId> {
+        &self.nodes
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeSet {
+            nodes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        self.nodes.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter().copied()
+    }
+}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = std::collections::btree_set::IntoIter<NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.into_iter()
+    }
+}
+
+impl BitOr for &NodeSet {
+    type Output = NodeSet;
+
+    fn bitor(self, rhs: &NodeSet) -> NodeSet {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for &NodeSet {
+    type Output = NodeSet;
+
+    fn bitand(self, rhs: &NodeSet) -> NodeSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for &NodeSet {
+    type Output = NodeSet;
+
+    fn sub(self, rhs: &NodeSet) -> NodeSet {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for node in &self.nodes {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn set(ids: &[usize]) -> NodeSet {
+        ids.iter().map(|&i| n(i)).collect()
+    }
+
+    #[test]
+    fn basic_insert_remove_contains() {
+        let mut s = NodeSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(n(3)));
+        assert!(!s.insert(n(3)));
+        assert!(s.contains(n(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(n(3)));
+        assert!(!s.remove(n(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let full = NodeSet::full(4);
+        assert_eq!(full.len(), 4);
+        let s = set(&[0, 2]);
+        assert_eq!(s.complement(4), set(&[1, 3]));
+        assert_eq!(full.complement(4), NodeSet::new());
+    }
+
+    #[test]
+    fn set_algebra_operators() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(&a | &b, set(&[0, 1, 2, 3]));
+        assert_eq!(&a & &b, set(&[2]));
+        assert_eq!(&a - &b, set(&[0, 1]));
+        assert!(a.is_disjoint(&set(&[4, 5])));
+        assert!(set(&[1]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = set(&[5, 1, 3]);
+        let ids: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        assert_eq!(s.first(), Some(n(1)));
+    }
+
+    #[test]
+    fn display_formats_braces() {
+        assert_eq!(set(&[1, 2]).to_string(), "{v1, v2}");
+        assert_eq!(NodeSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn singleton_has_one_element() {
+        let s = NodeSet::singleton(n(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(n(7)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = set(&[0, 4, 9]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: NodeSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

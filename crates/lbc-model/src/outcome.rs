@@ -1,0 +1,289 @@
+//! Consensus execution outcomes and correctness verdicts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{InputAssignment, NodeId, NodeSet, Value};
+
+/// The verdict of checking an execution against the three consensus
+/// conditions of Section 3 of the paper.
+///
+/// * **Agreement** — all non-faulty nodes output the same value.
+/// * **Validity** — the output of each non-faulty node is the input of some
+///   non-faulty node.
+/// * **Termination** — all non-faulty nodes decide in finite time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether all non-faulty nodes output the same value.
+    pub agreement: bool,
+    /// Whether every non-faulty output equals some non-faulty input.
+    pub validity: bool,
+    /// Whether every non-faulty node decided.
+    pub termination: bool,
+}
+
+impl Verdict {
+    /// Whether the execution satisfies all three consensus conditions.
+    #[must_use]
+    pub const fn is_correct(self) -> bool {
+        self.agreement && self.validity && self.termination
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "agreement={} validity={} termination={}",
+            self.agreement, self.validity, self.termination
+        )
+    }
+}
+
+/// The outputs of all non-faulty nodes in one consensus execution, together
+/// with the inputs and fault set needed to judge correctness.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::{ConsensusOutcome, InputAssignment, NodeId, NodeSet, Value};
+///
+/// let inputs = InputAssignment::from_bits(3, 0b011);
+/// let faulty = NodeSet::singleton(NodeId::new(2));
+/// let mut outcome = ConsensusOutcome::new(inputs, faulty);
+/// outcome.record_output(NodeId::new(0), Value::One);
+/// outcome.record_output(NodeId::new(1), Value::One);
+/// let verdict = outcome.verdict();
+/// assert!(verdict.is_correct());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsensusOutcome {
+    inputs: InputAssignment,
+    faulty: NodeSet,
+    outputs: BTreeMap<NodeId, Value>,
+}
+
+impl ConsensusOutcome {
+    /// Creates an outcome record for an execution with the given inputs and
+    /// faulty set. Outputs are recorded as non-faulty nodes decide.
+    #[must_use]
+    pub fn new(inputs: InputAssignment, faulty: NodeSet) -> Self {
+        ConsensusOutcome {
+            inputs,
+            faulty,
+            outputs: BTreeMap::new(),
+        }
+    }
+
+    /// Records the decided output of a node. Outputs recorded for faulty
+    /// nodes are ignored when judging correctness.
+    pub fn record_output(&mut self, node: NodeId, value: Value) {
+        self.outputs.insert(node, value);
+    }
+
+    /// The inputs of the execution.
+    #[must_use]
+    pub fn inputs(&self) -> &InputAssignment {
+        &self.inputs
+    }
+
+    /// The faulty set of the execution.
+    #[must_use]
+    pub fn faulty(&self) -> &NodeSet {
+        &self.faulty
+    }
+
+    /// The decided output of `node`, if it decided.
+    #[must_use]
+    pub fn output_of(&self, node: NodeId) -> Option<Value> {
+        self.outputs.get(&node).copied()
+    }
+
+    /// Iterates over the recorded `(node, output)` pairs of non-faulty nodes.
+    pub fn non_faulty_outputs(&self) -> impl Iterator<Item = (NodeId, Value)> + '_ {
+        self.outputs
+            .iter()
+            .filter(|(node, _)| !self.faulty.contains(**node))
+            .map(|(node, value)| (*node, *value))
+    }
+
+    /// The set of non-faulty nodes for this execution.
+    #[must_use]
+    pub fn non_faulty_nodes(&self) -> NodeSet {
+        (0..self.inputs.len())
+            .map(NodeId::new)
+            .filter(|node| !self.faulty.contains(*node))
+            .collect()
+    }
+
+    /// The common output of all non-faulty nodes, if agreement holds and at
+    /// least one non-faulty node decided.
+    #[must_use]
+    pub fn agreed_value(&self) -> Option<Value> {
+        let mut common: Option<Value> = None;
+        for (_, value) in self.non_faulty_outputs() {
+            match common {
+                None => common = Some(value),
+                Some(c) if c != value => return None,
+                Some(_) => {}
+            }
+        }
+        common
+    }
+
+    /// Judges the execution against agreement, validity, and termination.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        let non_faulty = self.non_faulty_nodes();
+
+        let termination = non_faulty
+            .iter()
+            .all(|node| self.outputs.contains_key(&node));
+
+        let agreement = self.agreed_value().is_some()
+            || self.non_faulty_outputs().next().is_none();
+
+        let non_faulty_inputs: Vec<Value> = non_faulty
+            .iter()
+            .map(|node| self.inputs.get(node))
+            .collect();
+        let validity = self
+            .non_faulty_outputs()
+            .all(|(_, out)| non_faulty_inputs.contains(&out));
+
+        Verdict {
+            agreement,
+            validity,
+            termination,
+        }
+    }
+}
+
+impl fmt::Display for ConsensusOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "outputs: ")?;
+        let mut first = true;
+        for (node, value) in &self.outputs {
+            if !first {
+                write!(f, ", ")?;
+            }
+            let marker = if self.faulty.contains(*node) { "*" } else { "" };
+            write!(f, "{node}{marker}={value}")?;
+            first = false;
+        }
+        write!(f, " ({})", self.verdict())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn outcome_with(
+        inputs: InputAssignment,
+        faulty: &[usize],
+        outputs: &[(usize, Value)],
+    ) -> ConsensusOutcome {
+        let faulty: NodeSet = faulty.iter().map(|&i| n(i)).collect();
+        let mut o = ConsensusOutcome::new(inputs, faulty);
+        for &(i, v) in outputs {
+            o.record_output(n(i), v);
+        }
+        o
+    }
+
+    #[test]
+    fn correct_execution_passes_all_conditions() {
+        let o = outcome_with(
+            InputAssignment::from_bits(3, 0b011),
+            &[2],
+            &[(0, Value::One), (1, Value::One)],
+        );
+        assert!(o.verdict().is_correct());
+        assert_eq!(o.agreed_value(), Some(Value::One));
+    }
+
+    #[test]
+    fn disagreement_is_detected() {
+        let o = outcome_with(
+            InputAssignment::from_bits(3, 0b011),
+            &[],
+            &[(0, Value::One), (1, Value::Zero), (2, Value::Zero)],
+        );
+        let v = o.verdict();
+        assert!(!v.agreement);
+        assert!(v.termination);
+        assert!(!v.is_correct());
+    }
+
+    #[test]
+    fn validity_violation_is_detected() {
+        // All non-faulty inputs are 0 but they output 1.
+        let o = outcome_with(
+            InputAssignment::all_zero(3),
+            &[2],
+            &[(0, Value::One), (1, Value::One)],
+        );
+        let v = o.verdict();
+        assert!(v.agreement);
+        assert!(!v.validity);
+    }
+
+    #[test]
+    fn missing_output_breaks_termination() {
+        let o = outcome_with(
+            InputAssignment::all_one(3),
+            &[],
+            &[(0, Value::One), (1, Value::One)],
+        );
+        let v = o.verdict();
+        assert!(!v.termination);
+        assert!(!v.is_correct());
+    }
+
+    #[test]
+    fn faulty_outputs_are_ignored() {
+        // The faulty node reports a conflicting value; agreement still holds.
+        let o = outcome_with(
+            InputAssignment::all_one(3),
+            &[2],
+            &[(0, Value::One), (1, Value::One), (2, Value::Zero)],
+        );
+        assert!(o.verdict().is_correct());
+        assert_eq!(o.non_faulty_outputs().count(), 2);
+        assert_eq!(o.output_of(n(2)), Some(Value::Zero));
+    }
+
+    #[test]
+    fn validity_allows_either_value_when_inputs_are_mixed() {
+        let o = outcome_with(
+            InputAssignment::from_bits(4, 0b0011),
+            &[],
+            &[
+                (0, Value::Zero),
+                (1, Value::Zero),
+                (2, Value::Zero),
+                (3, Value::Zero),
+            ],
+        );
+        assert!(o.verdict().is_correct());
+    }
+
+    #[test]
+    fn display_marks_faulty_nodes() {
+        let o = outcome_with(
+            InputAssignment::all_one(2),
+            &[1],
+            &[(0, Value::One), (1, Value::Zero)],
+        );
+        let s = o.to_string();
+        assert!(s.contains("v0=1"));
+        assert!(s.contains("v1*=0"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Node paths as carried inside flooded messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, NodeSet};
+
+/// A sequence of node identifiers, the `Π` carried by flooding messages
+/// `(b, Π)` in Algorithms 1 and 3 of the paper.
+///
+/// A `Path` is *only* a sequence of identifiers. Whether consecutive entries
+/// are actually adjacent in a concrete graph is checked by
+/// `lbc_graph::Graph::is_path`, mirroring flooding rule (i): "if path `Π - u`
+/// does not exist in graph `G`, then node `v` discards the message".
+///
+/// Paper terminology implemented here:
+///
+/// * **endpoints** — first and last node of the path,
+/// * **internal nodes** — every node that is not an endpoint,
+/// * a path **excludes** a set `X` if no *internal* node belongs to `X`
+///   (endpoints may belong to `X`),
+/// * two `uv`-paths are **node-disjoint** if they share no internal node,
+/// * two `Uv`-paths are node-disjoint if they share no node except the common
+///   endpoint `v`.
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::{NodeId, NodeSet, Path};
+///
+/// let p = Path::from_nodes([NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+/// assert_eq!(p.endpoints(), Some((NodeId::new(0), NodeId::new(2))));
+/// assert_eq!(p.internal_nodes().collect::<Vec<_>>(), vec![NodeId::new(1)]);
+/// assert!(p.excludes(&NodeSet::from_iter([NodeId::new(0)]))); // endpoints may be in X
+/// assert!(!p.excludes(&NodeSet::from_iter([NodeId::new(1)])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// The empty path `⊥` used when a node initiates flooding of its own value.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Path { nodes: Vec::new() }
+    }
+
+    /// Creates a path from a sequence of node identifiers.
+    pub fn from_nodes<I>(nodes: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        Path {
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// Creates a single-node path, e.g. the path `P_vv` "containing only node
+    /// v" used in step (b) of Algorithm 1 for a node's own value.
+    #[must_use]
+    pub fn singleton(node: NodeId) -> Self {
+        Path { nodes: vec![node] }
+    }
+
+    /// Returns a new path with `node` appended — the paper's `Π - u`
+    /// concatenation.
+    #[must_use]
+    pub fn extended(&self, node: NodeId) -> Self {
+        let mut nodes = self.nodes.clone();
+        nodes.push(node);
+        Path { nodes }
+    }
+
+    /// Appends `node` in place.
+    pub fn push(&mut self, node: NodeId) {
+        self.nodes.push(node);
+    }
+
+    /// Number of nodes on the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the path is the empty path `⊥`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes of the path, in order.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Iterates over the nodes of the path in order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Whether `node` appears anywhere on the path (flooding rule (iii)).
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// First node of the path, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// Last node of the path, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<NodeId> {
+        self.nodes.last().copied()
+    }
+
+    /// Both endpoints of the path: `(first, last)`.
+    ///
+    /// For a single-node path both endpoints are that node. Returns `None`
+    /// for the empty path.
+    #[must_use]
+    pub fn endpoints(&self) -> Option<(NodeId, NodeId)> {
+        Some((self.first()?, self.last()?))
+    }
+
+    /// Iterates over the internal nodes of the path (all nodes that are not
+    /// endpoints).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let len = self.nodes.len();
+        let interior = if len <= 2 { &[] } else { &self.nodes[1..len - 1] };
+        interior.iter().copied()
+    }
+
+    /// Whether the path *excludes* the node set `x`: none of its internal
+    /// nodes belong to `x`. Endpoints may belong to `x`.
+    #[must_use]
+    pub fn excludes(&self, x: &NodeSet) -> bool {
+        self.internal_nodes().all(|node| !x.contains(node))
+    }
+
+    /// Whether the path is *fault-free* with respect to the faulty set
+    /// `faulty`: no internal node is faulty. (A fault-free path may have a
+    /// faulty node as an endpoint.)
+    #[must_use]
+    pub fn is_fault_free(&self, faulty: &NodeSet) -> bool {
+        self.excludes(faulty)
+    }
+
+    /// Whether the path visits any node more than once.
+    #[must_use]
+    pub fn has_repeated_node(&self) -> bool {
+        let mut seen = NodeSet::new();
+        for node in self.iter() {
+            if !seen.insert(node) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether this path and `other` are node-disjoint `uv`-paths: they share
+    /// no internal nodes.
+    #[must_use]
+    pub fn internally_disjoint(&self, other: &Path) -> bool {
+        let mine: NodeSet = self.internal_nodes().collect();
+        other.internal_nodes().all(|node| !mine.contains(node))
+    }
+
+    /// Whether this path and `other` are node-disjoint `Uv`-paths with common
+    /// endpoint `v`: they share no nodes at all except `v`.
+    #[must_use]
+    pub fn disjoint_except_endpoint(&self, other: &Path, v: NodeId) -> bool {
+        let mine: NodeSet = self.iter().filter(|&node| node != v).collect();
+        other
+            .iter()
+            .filter(|&node| node != v)
+            .all(|node| !mine.contains(node))
+    }
+
+    /// Returns the reversed path.
+    #[must_use]
+    pub fn reversed(&self) -> Path {
+        let mut nodes = self.nodes.clone();
+        nodes.reverse();
+        Path { nodes }
+    }
+}
+
+impl FromIterator<NodeId> for Path {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        Path::from_nodes(iter)
+    }
+}
+
+impl Extend<NodeId> for Path {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        self.nodes.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter().copied()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nodes.is_empty() {
+            return write!(f, "⊥");
+        }
+        let mut first = true;
+        for node in &self.nodes {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{node}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn p(ids: &[usize]) -> Path {
+        Path::from_nodes(ids.iter().map(|&i| n(i)))
+    }
+
+    #[test]
+    fn empty_path_displays_as_bottom() {
+        assert_eq!(Path::empty().to_string(), "⊥");
+        assert!(Path::empty().is_empty());
+        assert_eq!(Path::empty().endpoints(), None);
+    }
+
+    #[test]
+    fn extended_does_not_mutate_original() {
+        let base = p(&[0, 1]);
+        let ext = base.extended(n(2));
+        assert_eq!(base.len(), 2);
+        assert_eq!(ext.len(), 3);
+        assert_eq!(ext.last(), Some(n(2)));
+    }
+
+    #[test]
+    fn internal_nodes_of_short_paths_are_empty() {
+        assert_eq!(p(&[]).internal_nodes().count(), 0);
+        assert_eq!(p(&[4]).internal_nodes().count(), 0);
+        assert_eq!(p(&[4, 5]).internal_nodes().count(), 0);
+        assert_eq!(p(&[4, 5, 6]).internal_nodes().collect::<Vec<_>>(), vec![n(5)]);
+    }
+
+    #[test]
+    fn excludes_ignores_endpoints() {
+        let path = p(&[0, 1, 2, 3]);
+        let ends: NodeSet = [n(0), n(3)].into_iter().collect();
+        let mid: NodeSet = [n(2)].into_iter().collect();
+        assert!(path.excludes(&ends));
+        assert!(!path.excludes(&mid));
+    }
+
+    #[test]
+    fn fault_free_allows_faulty_endpoint() {
+        let path = p(&[7, 1, 2]);
+        let faulty: NodeSet = [n(7)].into_iter().collect();
+        assert!(path.is_fault_free(&faulty));
+        let faulty_internal: NodeSet = [n(1)].into_iter().collect();
+        assert!(!path.is_fault_free(&faulty_internal));
+    }
+
+    #[test]
+    fn repeated_node_detection() {
+        assert!(!p(&[0, 1, 2]).has_repeated_node());
+        assert!(p(&[0, 1, 0]).has_repeated_node());
+        assert!(!Path::empty().has_repeated_node());
+    }
+
+    #[test]
+    fn internally_disjoint_paths() {
+        let a = p(&[0, 1, 2, 5]);
+        let b = p(&[0, 3, 4, 5]);
+        let c = p(&[0, 1, 4, 5]);
+        assert!(a.internally_disjoint(&b));
+        assert!(!a.internally_disjoint(&c));
+    }
+
+    #[test]
+    fn uv_disjointness_with_shared_endpoint() {
+        // Two Uv-paths to v = 5 from distinct sources 0 and 3.
+        let a = p(&[0, 1, 5]);
+        let b = p(&[3, 4, 5]);
+        let c = p(&[0, 4, 5]); // shares source 0 with `a`
+        assert!(a.disjoint_except_endpoint(&b, n(5)));
+        assert!(!a.disjoint_except_endpoint(&c, n(5)));
+    }
+
+    #[test]
+    fn singleton_path_endpoints_are_equal() {
+        let path = Path::singleton(n(9));
+        assert_eq!(path.endpoints(), Some((n(9), n(9))));
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        assert_eq!(p(&[0, 1, 2]).reversed(), p(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn display_joins_with_dash() {
+        assert_eq!(p(&[1, 2, 3]).to_string(), "v1-v2-v3");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let path: Path = [n(1), n(2)].into_iter().collect();
+        assert_eq!(path.len(), 2);
+        let mut path = path;
+        path.extend([n(3)]);
+        assert_eq!(path.last(), Some(n(3)));
+        let nodes: Vec<NodeId> = (&path).into_iter().collect();
+        assert_eq!(nodes, vec![n(1), n(2), n(3)]);
+    }
+}

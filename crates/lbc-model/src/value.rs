@@ -1,0 +1,184 @@
+//! The binary consensus value.
+
+use std::fmt;
+use std::ops::Not;
+
+use serde::{Deserialize, Serialize};
+
+/// A binary consensus value, `0` or `1`.
+///
+/// The paper considers Byzantine consensus for nodes with *binary* inputs;
+/// every protocol in this workspace therefore speaks [`Value`].
+///
+/// The paper's default value — substituted by non-faulty neighbors when a
+/// faulty node fails to initiate flooding — is [`Value::One`]
+/// (see Algorithm 1, step (a)).
+///
+/// # Example
+///
+/// ```
+/// use lbc_model::Value;
+///
+/// assert_eq!(Value::from(true), Value::One);
+/// assert_eq!(Value::Zero.flipped(), Value::One);
+/// assert_eq!(!Value::One, Value::Zero);
+/// assert_eq!(Value::DEFAULT_FLOOD, Value::One);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Value {
+    /// The binary value `0`.
+    #[default]
+    Zero,
+    /// The binary value `1`.
+    One,
+}
+
+impl Value {
+    /// The default value a non-faulty neighbor substitutes for a missing
+    /// flood initiation, per Algorithm 1 step (a): the message `(1, ⊥)`.
+    pub const DEFAULT_FLOOD: Value = Value::One;
+
+    /// Returns the opposite binary value.
+    #[must_use]
+    pub const fn flipped(self) -> Self {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+        }
+    }
+
+    /// Returns this value as a `bool` (`One` maps to `true`).
+    #[must_use]
+    pub const fn as_bool(self) -> bool {
+        matches!(self, Value::One)
+    }
+
+    /// Returns this value as `0u8` or `1u8`.
+    #[must_use]
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            Value::Zero => 0,
+            Value::One => 1,
+        }
+    }
+
+    /// Returns the majority value of an iterator of values.
+    ///
+    /// Ties resolve to [`Value::Zero`], matching phase 3 of the efficient
+    /// algorithm (Algorithm 2): "in case of a tie, 0 is chosen as the
+    /// majority value". Returns `None` for an empty iterator.
+    pub fn majority<I>(values: I) -> Option<Value>
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut zeros = 0usize;
+        let mut ones = 0usize;
+        for v in values {
+            match v {
+                Value::Zero => zeros += 1,
+                Value::One => ones += 1,
+            }
+        }
+        if zeros == 0 && ones == 0 {
+            None
+        } else if ones > zeros {
+            Some(Value::One)
+        } else {
+            Some(Value::Zero)
+        }
+    }
+}
+
+impl Not for Value {
+    type Output = Value;
+
+    fn not(self) -> Self::Output {
+        self.flipped()
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        if b {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+}
+
+impl From<Value> for bool {
+    fn from(v: Value) -> Self {
+        v.as_bool()
+    }
+}
+
+impl From<Value> for u8 {
+    fn from(v: Value) -> Self {
+        v.as_u8()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        assert_eq!(Value::Zero.flipped().flipped(), Value::Zero);
+        assert_eq!(Value::One.flipped().flipped(), Value::One);
+    }
+
+    #[test]
+    fn not_operator_matches_flipped() {
+        assert_eq!(!Value::Zero, Value::One);
+        assert_eq!(!Value::One, Value::Zero);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Value::from(true), Value::One);
+        assert_eq!(Value::from(false), Value::Zero);
+        assert!(bool::from(Value::One));
+        assert!(!bool::from(Value::Zero));
+        assert_eq!(u8::from(Value::One), 1);
+        assert_eq!(u8::from(Value::Zero), 0);
+    }
+
+    #[test]
+    fn default_is_zero_and_default_flood_is_one() {
+        assert_eq!(Value::default(), Value::Zero);
+        assert_eq!(Value::DEFAULT_FLOOD, Value::One);
+    }
+
+    #[test]
+    fn majority_breaks_ties_towards_zero() {
+        assert_eq!(
+            Value::majority([Value::Zero, Value::One]),
+            Some(Value::Zero)
+        );
+        assert_eq!(Value::majority([]), None);
+        assert_eq!(
+            Value::majority([Value::One, Value::One, Value::Zero]),
+            Some(Value::One)
+        );
+        assert_eq!(
+            Value::majority([Value::Zero, Value::Zero, Value::One]),
+            Some(Value::Zero)
+        );
+    }
+
+    #[test]
+    fn display_prints_digits() {
+        assert_eq!(Value::Zero.to_string(), "0");
+        assert_eq!(Value::One.to_string(), "1");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the model vocabulary types.
+
+use proptest::prelude::*;
+
+use lbc_model::{InputAssignment, NodeId, NodeSet, Path, Value};
+
+fn node_vec(max_id: usize, max_len: usize) -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec((0..max_id).prop_map(NodeId::new), 0..max_len)
+}
+
+proptest! {
+    /// Flipping a value twice is the identity, and a value never equals its flip.
+    #[test]
+    fn value_flip_involution(b in any::<bool>()) {
+        let v = Value::from(b);
+        prop_assert_eq!(v.flipped().flipped(), v);
+        prop_assert_ne!(v.flipped(), v);
+    }
+
+    /// The majority over a multiset is a value that occurs at least as often
+    /// as its complement (ties go to zero).
+    #[test]
+    fn majority_is_a_plurality(values in prop::collection::vec(any::<bool>(), 1..40)) {
+        let values: Vec<Value> = values.into_iter().map(Value::from).collect();
+        let majority = Value::majority(values.iter().copied()).unwrap();
+        let count = |x: Value| values.iter().filter(|v| **v == x).count();
+        prop_assert!(count(majority) >= count(majority.flipped()));
+        if count(Value::Zero) == count(Value::One) {
+            prop_assert_eq!(majority, Value::Zero);
+        }
+    }
+
+    /// A path excludes a set iff none of its internal nodes are in the set;
+    /// endpoints never matter.
+    #[test]
+    fn path_exclusion_ignores_endpoints(nodes in node_vec(12, 8), excluded in node_vec(12, 6)) {
+        let path = Path::from_nodes(nodes.clone());
+        let exclude: NodeSet = excluded.into_iter().collect();
+        let expected = path
+            .internal_nodes()
+            .all(|v| !exclude.contains(v));
+        prop_assert_eq!(path.excludes(&exclude), expected);
+    }
+
+    /// `extended` appends exactly one node and preserves the prefix.
+    #[test]
+    fn path_extended_appends(nodes in node_vec(12, 8), extra in 0usize..12) {
+        let path = Path::from_nodes(nodes.clone());
+        let longer = path.extended(NodeId::new(extra));
+        prop_assert_eq!(longer.len(), path.len() + 1);
+        prop_assert_eq!(longer.last(), Some(NodeId::new(extra)));
+        prop_assert_eq!(&longer.nodes()[..path.len()], path.nodes());
+    }
+
+    /// Reversing a path twice gives the original; reversal preserves length
+    /// and endpoint swap.
+    #[test]
+    fn path_reverse_involution(nodes in node_vec(12, 8)) {
+        let path = Path::from_nodes(nodes);
+        prop_assert_eq!(path.reversed().reversed(), path.clone());
+        prop_assert_eq!(path.reversed().len(), path.len());
+        if let Some((first, last)) = path.endpoints() {
+            prop_assert_eq!(path.reversed().endpoints(), Some((last, first)));
+        }
+    }
+
+    /// Node-set algebra: union/intersection/difference sizes are consistent
+    /// (inclusion–exclusion) and operators agree with methods.
+    #[test]
+    fn nodeset_algebra(a in node_vec(20, 16), b in node_vec(20, 16)) {
+        let a: NodeSet = a.into_iter().collect();
+        let b: NodeSet = b.into_iter().collect();
+        let union = &a | &b;
+        let inter = &a & &b;
+        let diff = &a - &b;
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert_eq!(diff.len(), a.len() - inter.len());
+        prop_assert!(inter.is_subset(&a) && inter.is_subset(&b));
+        prop_assert!(a.is_subset(&union) && b.is_subset(&union));
+        prop_assert!(diff.is_disjoint(&b));
+    }
+
+    /// The complement of a set within {0..n} partitions the universe.
+    #[test]
+    fn nodeset_complement_partitions(ids in node_vec(15, 12), n in 15usize..20) {
+        let s: NodeSet = ids.into_iter().collect();
+        let complement = s.complement(n);
+        prop_assert!(s.is_disjoint(&complement));
+        prop_assert_eq!(s.len() + complement.len(), n);
+    }
+
+    /// `InputAssignment::with_ones` and `ones()` are inverse to each other.
+    #[test]
+    fn input_assignment_ones_roundtrip(ids in node_vec(16, 10), n in 16usize..20) {
+        let ones: NodeSet = ids.into_iter().collect();
+        let assignment = InputAssignment::with_ones(n, &ones);
+        prop_assert_eq!(assignment.ones(), ones.clone());
+        prop_assert_eq!(assignment.zeros(), ones.complement(n));
+        prop_assert_eq!(assignment.len(), n);
+    }
+
+    /// The unanimity check agrees with a direct scan.
+    #[test]
+    fn unanimity_matches_direct_scan(bits in any::<u16>(), exclude in node_vec(16, 8)) {
+        let n = 16;
+        let assignment = InputAssignment::from_bits(n, u64::from(bits));
+        let exclude: NodeSet = exclude.into_iter().collect();
+        let remaining: Vec<Value> = assignment
+            .iter()
+            .filter(|(node, _)| !exclude.contains(*node))
+            .map(|(_, v)| v)
+            .collect();
+        let expected = if remaining.is_empty() {
+            None
+        } else if remaining.iter().all(|v| *v == remaining[0]) {
+            Some(remaining[0])
+        } else {
+            None
+        };
+        prop_assert_eq!(assignment.unanimous_excluding(&exclude), expected);
+    }
+}

@@ -1,0 +1,113 @@
+//! The adversary interface controlling faulty nodes.
+
+use std::fmt::Debug;
+
+use lbc_model::Round;
+
+use crate::protocol::{Delivery, NodeContext, Outgoing};
+
+/// A Byzantine adversary controlling the faulty nodes of an execution.
+///
+/// Every round, for every faulty node, the simulator first runs the node's
+/// ordinary protocol instance (so the adversary can see what an honest node
+/// *would* have sent) and then lets the adversary replace those transmissions
+/// with anything it likes via [`Adversary::intercept`].
+///
+/// The adversary does **not** get to violate the communication model: the
+/// network decides who physically receives each transmission. In particular,
+/// under local broadcast a unicast produced by the adversary is still
+/// overheard by every neighbor of the faulty node, so equivocation attempts
+/// are (faithfully to the model) impossible for non-equivocating nodes.
+pub trait Adversary<M> {
+    /// Replaces the outgoing transmissions of the faulty node `ctx.id` for
+    /// this round. `honest_outgoing` is what the node's protocol instance
+    /// produced; `inbox` is what the node received this round (empty for the
+    /// start-of-execution call, where `round` is `None`).
+    fn intercept(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        round: Option<Round>,
+        honest_outgoing: Vec<Outgoing<M>>,
+        inbox: &[Delivery<M>],
+    ) -> Vec<Outgoing<M>>;
+}
+
+/// The trivial adversary: faulty nodes follow the protocol unchanged.
+///
+/// Useful as a baseline ("fail-free execution") and for tests that only
+/// exercise the fault-free path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HonestAdversary;
+
+impl<M> Adversary<M> for HonestAdversary {
+    fn intercept(
+        &mut self,
+        _ctx: &NodeContext<'_>,
+        _round: Option<Round>,
+        honest_outgoing: Vec<Outgoing<M>>,
+        _inbox: &[Delivery<M>],
+    ) -> Vec<Outgoing<M>> {
+        honest_outgoing
+    }
+}
+
+/// Convenience constructor for [`HonestAdversary`], handy at call sites that
+/// need a `&mut` adversary expression inline.
+#[must_use]
+pub fn honest_adversary() -> HonestAdversary {
+    HonestAdversary
+}
+
+impl<M, F> Adversary<M> for F
+where
+    F: FnMut(&NodeContext<'_>, Option<Round>, Vec<Outgoing<M>>, &[Delivery<M>]) -> Vec<Outgoing<M>>,
+    M: Debug,
+{
+    fn intercept(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        round: Option<Round>,
+        honest_outgoing: Vec<Outgoing<M>>,
+        inbox: &[Delivery<M>],
+    ) -> Vec<Outgoing<M>> {
+        self(ctx, round, honest_outgoing, inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+    use lbc_model::{NodeId, Value};
+
+    #[test]
+    fn honest_adversary_passes_messages_through() {
+        let graph = generators::cycle(3);
+        let ctx = NodeContext {
+            id: NodeId::new(0),
+            graph: &graph,
+            f: 1,
+        };
+        let mut adv = HonestAdversary;
+        let out = vec![Outgoing::Broadcast(Value::One)];
+        let result = adv.intercept(&ctx, None, out.clone(), &[]);
+        assert_eq!(result, out);
+    }
+
+    #[test]
+    fn closures_are_adversaries() {
+        let graph = generators::cycle(3);
+        let ctx = NodeContext {
+            id: NodeId::new(1),
+            graph: &graph,
+            f: 1,
+        };
+        // Drop everything the faulty node would have sent.
+        let mut silent = |_ctx: &NodeContext<'_>,
+                          _round: Option<Round>,
+                          _honest: Vec<Outgoing<Value>>,
+                          _inbox: &[Delivery<Value>]| Vec::new();
+        let result = silent.intercept(&ctx, None, vec![Outgoing::Broadcast(Value::One)], &[]);
+        assert!(result.is_empty());
+    }
+}

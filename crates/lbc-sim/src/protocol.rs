@@ -1,0 +1,230 @@
+//! The protocol interface executed by the simulator.
+
+use std::fmt::Debug;
+
+use lbc_graph::Graph;
+use lbc_model::{NodeId, NodeSet, Round, Value};
+
+/// Static, per-node context handed to every protocol hook.
+///
+/// Every node knows the communication graph `G` (a standing assumption of
+/// the paper), its own identity, and the declared fault tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeContext<'a> {
+    /// This node's identifier.
+    pub id: NodeId,
+    /// The communication graph (known to all nodes).
+    pub graph: &'a Graph,
+    /// The declared maximum number of Byzantine faults `f`.
+    pub f: usize,
+}
+
+impl<'a> NodeContext<'a> {
+    /// The neighbors of this node in the communication graph.
+    #[must_use]
+    pub fn neighbors(&self) -> NodeSet {
+        self.graph.neighbor_set(self.id)
+    }
+
+    /// The number of nodes `n` in the system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+/// An outgoing transmission produced by a protocol (or an adversary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outgoing<M> {
+    /// Transmit `M` to all neighbors. Under every communication model this
+    /// reaches every neighbor identically.
+    Broadcast(M),
+    /// Address `M` to a single neighbor. Under the point-to-point model (or
+    /// for an equivocating faulty node under the hybrid model) only the
+    /// target receives it; under local broadcast the transmission is
+    /// physically overheard by **all** neighbors regardless of the address.
+    Unicast(NodeId, M),
+}
+
+impl<M> Outgoing<M> {
+    /// The payload carried by this transmission.
+    pub fn message(&self) -> &M {
+        match self {
+            Outgoing::Broadcast(m) | Outgoing::Unicast(_, m) => m,
+        }
+    }
+}
+
+/// A message delivered to a node at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// The neighbor that transmitted the message. Links authenticate the
+    /// sender: "when a message m sent by node u is received by node v, node v
+    /// knows that m was sent by node u".
+    pub from: NodeId,
+    /// The payload.
+    pub message: M,
+}
+
+/// A node-local protocol executed by the simulator in synchronous rounds.
+///
+/// The round structure is: `on_start` runs before round 0 and returns the
+/// initial transmissions; those are delivered at round 0, when `on_round` is
+/// called with the inbox; its return value is delivered at round 1; and so
+/// on. The simulator stops when every non-faulty node reports
+/// [`Protocol::has_terminated`] (or a round limit is hit).
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Message: Clone + Eq + Debug;
+
+    /// Called once before the first round; returns the initial transmissions.
+    fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<Self::Message>>;
+
+    /// Called every round with the messages delivered this round; returns the
+    /// transmissions for the next round.
+    fn on_round(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        round: Round,
+        inbox: &[Delivery<Self::Message>],
+    ) -> Vec<Outgoing<Self::Message>>;
+
+    /// The decided output, once the node has decided.
+    fn output(&self) -> Option<Value>;
+
+    /// Whether this node has finished executing. Defaults to "has decided".
+    fn has_terminated(&self) -> bool {
+        self.output().is_some()
+    }
+}
+
+/// Messages that a Byzantine adversary knows how to corrupt generically.
+///
+/// Concrete adversary strategies in `lbc-adversary` are written against this
+/// trait so that they work for every protocol in the workspace without
+/// depending on the protocol crates.
+pub trait ByzantineMessage: Clone {
+    /// Returns a tampered variant of the message (e.g. with its binary value
+    /// flipped). Returning `self.clone()` is allowed when the message has
+    /// nothing meaningful to tamper with.
+    fn tampered(&self) -> Self;
+}
+
+/// A minimal built-in protocol used for simulator self-tests and examples:
+/// each node broadcasts its input value once and decides its own input.
+///
+/// It is **not** a consensus protocol — it exists so that `lbc-sim` can be
+/// exercised and documented without depending on `lbc-consensus`.
+#[derive(Debug, Clone)]
+pub struct EchoOnce {
+    input: Value,
+    echoed: Vec<(NodeId, Value)>,
+    decided: Option<Value>,
+}
+
+impl EchoOnce {
+    /// Creates an echo node with the given input.
+    #[must_use]
+    pub fn new(input: Value) -> Self {
+        EchoOnce {
+            input,
+            echoed: Vec::new(),
+            decided: None,
+        }
+    }
+
+    /// The values received from neighbors, in delivery order.
+    #[must_use]
+    pub fn heard(&self) -> &[(NodeId, Value)] {
+        &self.echoed
+    }
+}
+
+impl Protocol for EchoOnce {
+    type Message = Value;
+
+    fn on_start(&mut self, _ctx: &NodeContext<'_>) -> Vec<Outgoing<Value>> {
+        vec![Outgoing::Broadcast(self.input)]
+    }
+
+    fn on_round(
+        &mut self,
+        _ctx: &NodeContext<'_>,
+        _round: Round,
+        inbox: &[Delivery<Value>],
+    ) -> Vec<Outgoing<Value>> {
+        for delivery in inbox {
+            self.echoed.push((delivery.from, delivery.message));
+        }
+        self.decided = Some(self.input);
+        Vec::new()
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.decided
+    }
+}
+
+impl ByzantineMessage for Value {
+    fn tampered(&self) -> Self {
+        self.flipped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn node_context_exposes_graph_facts() {
+        let graph = generators::cycle(5);
+        let ctx = NodeContext {
+            id: NodeId::new(2),
+            graph: &graph,
+            f: 1,
+        };
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.neighbors().len(), 2);
+        assert!(ctx.neighbors().contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn outgoing_message_accessor() {
+        let b: Outgoing<Value> = Outgoing::Broadcast(Value::One);
+        let u: Outgoing<Value> = Outgoing::Unicast(NodeId::new(3), Value::Zero);
+        assert_eq!(*b.message(), Value::One);
+        assert_eq!(*u.message(), Value::Zero);
+    }
+
+    #[test]
+    fn value_tampering_flips() {
+        assert_eq!(Value::One.tampered(), Value::Zero);
+        assert_eq!(Value::Zero.tampered(), Value::One);
+    }
+
+    #[test]
+    fn echo_once_decides_its_own_input() {
+        let graph = generators::complete(3);
+        let ctx = NodeContext {
+            id: NodeId::new(0),
+            graph: &graph,
+            f: 0,
+        };
+        let mut node = EchoOnce::new(Value::One);
+        assert!(!node.has_terminated());
+        let out = node.on_start(&ctx);
+        assert_eq!(out.len(), 1);
+        let _ = node.on_round(
+            &ctx,
+            Round::ZERO,
+            &[Delivery {
+                from: NodeId::new(1),
+                message: Value::Zero,
+            }],
+        );
+        assert_eq!(node.output(), Some(Value::One));
+        assert_eq!(node.heard(), &[(NodeId::new(1), Value::Zero)]);
+        assert!(node.has_terminated());
+    }
+}

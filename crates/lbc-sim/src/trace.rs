@@ -1,0 +1,97 @@
+//! Execution traces: round and message accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-round statistics recorded by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Number of transmissions performed in this round (one broadcast or one
+    /// unicast counts as one transmission).
+    pub transmissions: usize,
+    /// Number of message deliveries in this round (a broadcast to `d`
+    /// neighbors counts as `d` deliveries).
+    pub deliveries: usize,
+}
+
+/// The accumulated trace of one simulation run.
+///
+/// The experiment harness uses traces to regenerate the paper's complexity
+/// claims: rounds for Theorem 5.6's `O(n)` bound, transmissions/deliveries
+/// for message-complexity comparisons between Algorithm 1, Algorithm 2 and
+/// the point-to-point baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    rounds: Vec<RoundStats>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends the statistics of one round.
+    pub fn push_round(&mut self, stats: RoundStats) {
+        self.rounds.push(stats);
+    }
+
+    /// Number of rounds executed.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Per-round statistics, in execution order.
+    #[must_use]
+    pub fn round_stats(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Total transmissions over the whole execution.
+    #[must_use]
+    pub fn total_transmissions(&self) -> usize {
+        self.rounds.iter().map(|r| r.transmissions).sum()
+    }
+
+    /// Total deliveries over the whole execution.
+    #[must_use]
+    pub fn total_deliveries(&self) -> usize {
+        self.rounds.iter().map(|r| r.deliveries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut trace = Trace::new();
+        assert_eq!(trace.rounds(), 0);
+        trace.push_round(RoundStats {
+            transmissions: 3,
+            deliveries: 6,
+        });
+        trace.push_round(RoundStats {
+            transmissions: 1,
+            deliveries: 2,
+        });
+        assert_eq!(trace.rounds(), 2);
+        assert_eq!(trace.total_transmissions(), 4);
+        assert_eq!(trace.total_deliveries(), 8);
+        assert_eq!(trace.round_stats()[0].transmissions, 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut trace = Trace::new();
+        trace.push_round(RoundStats {
+            transmissions: 2,
+            deliveries: 4,
+        });
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,59 @@
+//! The hybrid model (Section 6): how much connectivity does consensus need
+//! when `t` of the `f` faulty nodes can equivocate?
+//!
+//! Sweeps `t = 0..=f`, prints the required connectivity from Theorem 6.1, and
+//! runs Algorithm 3 on K5 for the feasible points with an actually
+//! equivocating adversary.
+//!
+//! Run with: `cargo run --release --example hybrid_tradeoff`
+
+use local_broadcast_consensus::prelude::*;
+
+fn main() {
+    println!("Theorem 6.1: required vertex connectivity = ⌊3(f−t)/2⌋ + 2t + 1");
+    println!();
+    println!("  f \\ t |  0   1   2   3   4");
+    println!("  ------+--------------------");
+    for f in 0..=4usize {
+        let mut row = format!("   {f}    |");
+        for t in 0..=4usize {
+            if t <= f {
+                row.push_str(&format!(
+                    " {:3}",
+                    conditions::hybrid_connectivity_requirement(f, t)
+                ));
+            } else {
+                row.push_str("   -");
+            }
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("t = 0 is the local broadcast bound, t = f the point-to-point bound (2f+1).");
+    println!();
+
+    // Execute Algorithm 3 on K5 for f = 1 with and without equivocation.
+    let graph = generators::complete(5);
+    let inputs = InputAssignment::from_bits(5, 0b00110);
+    let faulty = NodeSet::singleton(NodeId::new(4));
+    for t in 0..=1usize {
+        let feasible = conditions::hybrid_feasible(&graph, 1, t);
+        let equivocators = if t > 0 { faulty.clone() } else { NodeSet::new() };
+        let mut adversary = Strategy::Equivocate.into_adversary();
+        let (outcome, trace) = runner::run_algorithm3(
+            &graph,
+            1,
+            t,
+            &equivocators,
+            &inputs,
+            &faulty,
+            &mut adversary,
+        );
+        println!(
+            "K5, f=1, t={t}: feasible={feasible}, phases×rounds={}, consensus {} (agreed on {:?})",
+            trace.rounds(),
+            if outcome.verdict().is_correct() { "reached" } else { "FAILED" },
+            outcome.agreed_value(),
+        );
+    }
+}

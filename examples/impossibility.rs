@@ -1,0 +1,58 @@
+//! The other half of the paper: *necessity*. On a graph that violates the
+//! conditions of Theorem 4.1, no algorithm can achieve consensus. This example
+//! rebuilds the doubled-network constructions of Figures 2 and 3 and shows
+//! the resulting agreement violations concretely, using Algorithm 1 itself as
+//! the "any algorithm" being defeated.
+//!
+//! Run with: `cargo run --release --example impossibility`
+
+use local_broadcast_consensus::prelude::*;
+
+fn main() {
+    // Figure 2 (Lemma A.1): a node of degree < 2f.
+    // The 4-cycle has minimum degree 2 < 4 = 2f for f = 2.
+    let graph = generators::cycle(4);
+    let f = 2;
+    println!("== Figure 2: degree lower bound ==");
+    let construction = degree_construction(&graph, f).expect("C4 has degree 2 < 2f = 4");
+    println!("{}", construction.description());
+    let rounds = Algorithm1Node::round_count(graph.node_count(), f) + 4;
+    let report = construction.demonstrate(|_id, input| Algorithm1Node::new(input), rounds);
+    for execution in &report.executions {
+        println!(
+            "  {}: faulty = {}, verdict = {}",
+            execution.label,
+            execution.faulty,
+            execution.verdict()
+        );
+    }
+    println!(
+        "  violation exhibited: {} (in {:?})",
+        report.exhibits_violation(),
+        report.violated_executions()
+    );
+    println!();
+
+    // Figure 3 (Lemma A.2): connectivity < ⌊3f/2⌋ + 1.
+    // Two complete blobs joined through a 3-node cut: connectivity 3 < 4.
+    let graph = generators::deficient_connectivity(2, 3);
+    println!("== Figure 3: connectivity lower bound ==");
+    let construction =
+        connectivity_construction(&graph, 2).expect("cut of size 3 < ⌊3f/2⌋ + 1 = 4");
+    println!("{}", construction.description());
+    let rounds = Algorithm1Node::round_count(graph.node_count(), 2) + 4;
+    let report = construction.demonstrate(|_id, input| Algorithm1Node::new(input), rounds);
+    for execution in &report.executions {
+        println!(
+            "  {}: faulty = {}, verdict = {}",
+            execution.label,
+            execution.faulty,
+            execution.verdict()
+        );
+    }
+    println!(
+        "  violation exhibited: {} (in {:?})",
+        report.exhibits_violation(),
+        report.violated_executions()
+    );
+}

@@ -1,0 +1,251 @@
+//! `lbc` — a small command-line front end for the local-broadcast consensus
+//! library.
+//!
+//! ```text
+//! lbc check <graph> <f> [t]        feasibility of a graph for f faults (t equivocators)
+//! lbc run   <alg> <graph> <f> <faulty> <strategy>
+//!                                  run a consensus algorithm and print the outcome
+//! lbc impossibility <graph> <f>    run the Figure 2/3 constructions on a deficient graph
+//! lbc experiments [id]             print experiment tables (all, or E1..E8)
+//! lbc graphs                       list the built-in graph names
+//! ```
+//!
+//! Graph names: `c<N>` (cycle), `k<N>` (complete), `circ<N>` (circulant with
+//! offsets 1,2), `q3` (hypercube), `wheel<N>`, `path<N>`, `fig1a`, `fig1b`.
+
+use std::env;
+use std::process::ExitCode;
+
+use local_broadcast_consensus::experiments;
+use local_broadcast_consensus::prelude::*;
+
+fn parse_graph(name: &str) -> Option<Graph> {
+    let lower = name.to_lowercase();
+    let tail_number = |prefix: &str| -> Option<usize> { lower.strip_prefix(prefix)?.parse().ok() };
+    match lower.as_str() {
+        "fig1a" => return Some(generators::paper_fig1a()),
+        "fig1b" => return Some(generators::paper_fig1b()),
+        "q3" => return Some(generators::hypercube(3)),
+        _ => {}
+    }
+    if let Some(n) = tail_number("circ") {
+        return (n >= 5).then(|| generators::circulant(n, &[1, 2]));
+    }
+    if let Some(n) = tail_number("wheel") {
+        return (n >= 4).then(|| generators::wheel(n));
+    }
+    if let Some(n) = tail_number("path") {
+        return Some(generators::path_graph(n));
+    }
+    if let Some(n) = tail_number("c") {
+        return (n >= 3).then(|| generators::cycle(n));
+    }
+    if let Some(n) = tail_number("k") {
+        return Some(generators::complete(n));
+    }
+    None
+}
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    Some(match name {
+        "honest" => Strategy::Honest,
+        "silent" => Strategy::Silent,
+        "tamper-all" => Strategy::TamperAll,
+        "tamper-relays" => Strategy::TamperRelays,
+        "equivocate" => Strategy::Equivocate,
+        "random" => Strategy::Random { seed: 42 },
+        "sleeper" => Strategy::SleeperTamper { honest_rounds: 3 },
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (Some(graph_name), Some(f)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(graph) = parse_graph(graph_name) else {
+        eprintln!("unknown graph: {graph_name}");
+        return ExitCode::from(2);
+    };
+    let Ok(f) = f.parse::<usize>() else {
+        return usage();
+    };
+    let t: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    println!(
+        "graph {graph_name}: n = {}, min degree = {}, vertex connectivity = {}",
+        graph.node_count(),
+        graph.min_degree(),
+        connectivity::vertex_connectivity(&graph)
+    );
+    println!(
+        "local broadcast   (f = {f}):        {}",
+        conditions::local_broadcast_feasible(&graph, f)
+    );
+    println!(
+        "efficient (2f-connected, f = {f}):  {}",
+        conditions::efficient_algorithm_applicable(&graph, f)
+    );
+    println!(
+        "point-to-point    (f = {f}):        {}",
+        conditions::point_to_point_feasible(&graph, f)
+    );
+    if t <= f {
+        println!(
+            "hybrid (f = {f}, t = {t}):            {}",
+            conditions::hybrid_feasible(&graph, f, t)
+        );
+    }
+    println!(
+        "max tolerable f: local broadcast = {}, point-to-point = {}",
+        conditions::max_f_local_broadcast(&graph),
+        conditions::max_f_point_to_point(&graph)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let (Some(alg), Some(graph_name), Some(f), Some(faulty_node), Some(strategy_name)) = (
+        args.first(),
+        args.get(1),
+        args.get(2),
+        args.get(3),
+        args.get(4),
+    ) else {
+        return usage();
+    };
+    let Some(graph) = parse_graph(graph_name) else {
+        eprintln!("unknown graph: {graph_name}");
+        return ExitCode::from(2);
+    };
+    let (Ok(f), Ok(faulty_index)) = (f.parse::<usize>(), faulty_node.parse::<usize>()) else {
+        return usage();
+    };
+    let Some(strategy) = parse_strategy(strategy_name) else {
+        eprintln!("unknown strategy: {strategy_name}");
+        return ExitCode::from(2);
+    };
+    let n = graph.node_count();
+    if faulty_index >= n {
+        eprintln!("faulty node {faulty_index} out of range for n = {n}");
+        return ExitCode::from(2);
+    }
+    // Alternating inputs make the instance non-trivial.
+    let inputs = InputAssignment::from_bits(n.min(64), 0xAAAA_AAAA_AAAA_AAAA & ((1 << n.min(63)) - 1));
+    let faulty = NodeSet::singleton(NodeId::new(faulty_index));
+    let mut adversary = strategy.clone().into_adversary();
+    let (outcome, trace) = match alg.as_str() {
+        "alg1" => runner::run_algorithm1(&graph, f, &inputs, &faulty, &mut adversary),
+        "alg2" => runner::run_algorithm2(&graph, f, &inputs, &faulty, &mut adversary),
+        "alg3" => runner::run_algorithm3(&graph, f, f, &faulty, &inputs, &faulty, &mut adversary),
+        "p2p" => runner::run_p2p_baseline(&graph, f, &inputs, &faulty, &mut adversary),
+        other => {
+            eprintln!("unknown algorithm: {other}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("graph = {graph_name}, f = {f}, faulty = {faulty}, strategy = {strategy_name}");
+    println!("inputs  = {inputs}");
+    println!("rounds  = {}, transmissions = {}", trace.rounds(), trace.total_transmissions());
+    println!("{outcome}");
+    if outcome.verdict().is_correct() {
+        println!("consensus reached on {:?}", outcome.agreed_value());
+        ExitCode::SUCCESS
+    } else {
+        println!("CONSENSUS VIOLATED");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_impossibility(args: &[String]) -> ExitCode {
+    let (Some(graph_name), Some(f)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(graph) = parse_graph(graph_name) else {
+        eprintln!("unknown graph: {graph_name}");
+        return ExitCode::from(2);
+    };
+    let Ok(f) = f.parse::<usize>() else {
+        return usage();
+    };
+    let rounds = Algorithm1Node::round_count(graph.node_count(), f) + 4;
+    let mut any = false;
+    for (label, construction) in [
+        ("degree (Figure 2)", degree_construction(&graph, f)),
+        ("connectivity (Figure 3)", connectivity_construction(&graph, f)),
+    ] {
+        match construction {
+            None => println!("{label}: condition satisfied, no construction applies"),
+            Some(c) => {
+                any = true;
+                println!("{label}: {}", c.description());
+                let report = c.demonstrate(|_id, input| Algorithm1Node::new(input), rounds);
+                for execution in &report.executions {
+                    println!(
+                        "  {}: faulty = {}, {}",
+                        execution.label,
+                        execution.faulty,
+                        execution.verdict()
+                    );
+                }
+                println!(
+                    "  violation exhibited: {} ({:?})",
+                    report.exhibits_violation(),
+                    report.violated_executions()
+                );
+            }
+        }
+    }
+    if !any {
+        println!("graph satisfies both Theorem 4.1 conditions for f = {f}; consensus is possible");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_experiments(args: &[String]) -> ExitCode {
+    let wanted = args.first().map(|s| s.to_uppercase());
+    let all = [
+        ("E1", experiments::e1_fig1a_cycle as fn() -> experiments::ExperimentResult),
+        ("E2", experiments::e2_fig1b_f2),
+        ("E3", experiments::e3_degree_lower_bound),
+        ("E4", experiments::e4_connectivity_lower_bound),
+        ("E5", experiments::e5_threshold_sweep),
+        ("E6", experiments::e6_round_complexity),
+        ("E7", experiments::e7_hybrid_tradeoff),
+        ("E8", experiments::e8_reliable_receive),
+    ];
+    let mut ran = false;
+    for (id, run) in all {
+        if wanted.as_deref().is_none_or(|w| w == id) {
+            println!("{}", run().render_table());
+            println!();
+            ran = true;
+        }
+    }
+    if !ran {
+        eprintln!("unknown experiment id; use E1..E8");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("impossibility") => cmd_impossibility(&args[1..]),
+        Some("experiments") => cmd_experiments(&args[1..]),
+        Some("graphs") => {
+            println!("c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
