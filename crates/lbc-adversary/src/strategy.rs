@@ -206,11 +206,15 @@ mod tests {
     use lbc_graph::generators;
     use lbc_model::{NodeId, Value};
 
-    fn ctx(graph: &lbc_graph::Graph) -> NodeContext<'_> {
+    fn ctx<'a>(
+        graph: &'a lbc_graph::Graph,
+        arena: &'a lbc_model::SharedPathArena,
+    ) -> NodeContext<'a> {
         NodeContext {
             id: NodeId::new(0),
             graph,
             f: 1,
+            arena,
         }
     }
 
@@ -221,64 +225,65 @@ mod tests {
     #[test]
     fn silent_drops_everything() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::Silent.into_adversary();
-        let out: Vec<Outgoing<Value>> = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        let out: Vec<Outgoing<Value>> =
+            adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
         assert!(out.is_empty());
     }
 
     #[test]
     fn honest_passes_through() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::Honest.into_adversary();
-        let out = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        let out = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
         assert_eq!(out, honest_out());
     }
 
     #[test]
     fn crash_after_respects_the_round_limit() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::CrashAfter(2).into_adversary();
         let before: Vec<Outgoing<Value>> =
-            adv.intercept(&ctx(&graph), Some(Round::new(1)), honest_out(), &[]);
+            adv.intercept(&ctx(&graph, &arena), Some(Round::new(1)), honest_out(), &[]);
         assert_eq!(before.len(), 1);
         let after: Vec<Outgoing<Value>> =
-            adv.intercept(&ctx(&graph), Some(Round::new(2)), honest_out(), &[]);
+            adv.intercept(&ctx(&graph, &arena), Some(Round::new(2)), honest_out(), &[]);
         assert!(after.is_empty());
     }
 
     #[test]
     fn tamper_all_flips_values() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::TamperAll.into_adversary();
-        let out = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        let out = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
         assert_eq!(out, vec![Outgoing::Broadcast(Value::Zero)]);
     }
 
     #[test]
     fn tamper_relays_leaves_the_start_step_alone() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::TamperRelays.into_adversary();
-        let start = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        let start = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
         assert_eq!(start, honest_out());
-        let later = adv.intercept(&ctx(&graph), Some(Round::ZERO), honest_out(), &[]);
+        let later = adv.intercept(&ctx(&graph, &arena), Some(Round::ZERO), honest_out(), &[]);
         assert_eq!(later, vec![Outgoing::Broadcast(Value::Zero)]);
     }
 
     #[test]
     fn equivocate_splits_neighbors() {
         let graph = generators::complete(5);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::Equivocate.into_adversary();
-        let out = adv.intercept(&ctx(&graph), None, honest_out(), &[]);
+        let out = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
         // 4 neighbors, one unicast each.
         assert_eq!(out.len(), 4);
-        let originals = out
-            .iter()
-            .filter(|o| *o.message() == Value::One)
-            .count();
-        let tampered = out
-            .iter()
-            .filter(|o| *o.message() == Value::Zero)
-            .count();
+        let originals = out.iter().filter(|o| *o.message() == Value::One).count();
+        let tampered = out.iter().filter(|o| *o.message() == Value::Zero).count();
         assert_eq!(originals, 2);
         assert_eq!(tampered, 2);
         assert!(out.iter().all(|o| matches!(o, Outgoing::Unicast(_, _))));
@@ -287,21 +292,23 @@ mod tests {
     #[test]
     fn random_is_reproducible_per_seed() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let many: Vec<Outgoing<Value>> = (0..10).map(|_| Outgoing::Broadcast(Value::One)).collect();
         let mut a = Strategy::Random { seed: 9 }.into_adversary();
         let mut b = Strategy::Random { seed: 9 }.into_adversary();
-        let out_a = a.intercept(&ctx(&graph), Some(Round::ZERO), many.clone(), &[]);
-        let out_b = b.intercept(&ctx(&graph), Some(Round::ZERO), many, &[]);
+        let out_a = a.intercept(&ctx(&graph, &arena), Some(Round::ZERO), many.clone(), &[]);
+        let out_b = b.intercept(&ctx(&graph, &arena), Some(Round::ZERO), many, &[]);
         assert_eq!(out_a, out_b);
     }
 
     #[test]
     fn sleeper_switches_behaviour() {
         let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
         let mut adv = Strategy::SleeperTamper { honest_rounds: 3 }.into_adversary();
-        let early = adv.intercept(&ctx(&graph), Some(Round::new(1)), honest_out(), &[]);
+        let early = adv.intercept(&ctx(&graph, &arena), Some(Round::new(1)), honest_out(), &[]);
         assert_eq!(early, honest_out());
-        let late = adv.intercept(&ctx(&graph), Some(Round::new(5)), honest_out(), &[]);
+        let late = adv.intercept(&ctx(&graph, &arena), Some(Round::new(5)), honest_out(), &[]);
         assert_eq!(late, vec![Outgoing::Broadcast(Value::Zero)]);
     }
 

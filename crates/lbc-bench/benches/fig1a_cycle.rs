@@ -1,11 +1,14 @@
 //! E1 — Figure 1(a): consensus on the 5-cycle with one Byzantine node.
 //!
-//! Regenerates the E1 table and benchmarks Algorithm 1 and Algorithm 2 on the
-//! 5-cycle against a tampering fault.
+//! Regenerates the E1 table, benchmarks Algorithm 1 and Algorithm 2 on the
+//! 5-cycle against a tampering fault, and measures the path-interning flood
+//! engine against the naive `Path`-cloning control at n = 13 (the `interned`
+//! vs `naive` pair is what `BENCH_baseline.json` derives its speedup from).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use lbc_adversary::Strategy;
+use lbc_bench::floodsim;
 use lbc_consensus::runner;
 use lbc_graph::generators;
 use lbc_model::{InputAssignment, NodeId, NodeSet};
@@ -30,6 +33,25 @@ fn bench(c: &mut Criterion) {
             let mut adversary = Strategy::TamperRelays.into_adversary();
             runner::run_algorithm2(&graph, 1, &inputs, &faulty, &mut adversary)
         });
+    });
+
+    // Algorithm 1 end-to-end at n = 13 (14 phases × 13 flooding rounds).
+    let c13 = generators::cycle(13);
+    let inputs13 = InputAssignment::from_bits(13, 0b1010101010101);
+    let faulty13 = NodeSet::singleton(NodeId::new(3));
+    group.bench_function("algorithm1_c13_f1_tamper", |b| {
+        b.iter(|| {
+            let mut adversary = Strategy::TamperRelays.into_adversary();
+            runner::run_algorithm1(&c13, 1, &inputs13, &faulty13, &mut adversary)
+        });
+    });
+
+    // The flood engine alone, interned vs naive, all 13 nodes flooding.
+    group.bench_function("flood_c13_interned", |b| {
+        b.iter(|| black_box(floodsim::flood_interned(&c13, 13)));
+    });
+    group.bench_function("flood_c13_naive", |b| {
+        b.iter(|| black_box(floodsim::flood_naive(&c13, 13)));
     });
     group.finish();
 }

@@ -22,7 +22,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for t in [0usize, 1] {
         group.bench_with_input(BenchmarkId::new("algorithm3_k5_f1", t), &t, |b, &t| {
-            let equivocators = if t > 0 { faulty.clone() } else { NodeSet::new() };
+            let equivocators = if t > 0 {
+                faulty.clone()
+            } else {
+                NodeSet::new()
+            };
             b.iter(|| {
                 let mut adversary = Strategy::Equivocate.into_adversary();
                 runner::run_algorithm3(

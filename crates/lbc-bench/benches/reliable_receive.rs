@@ -1,13 +1,16 @@
 //! E8 — Section 5.3 tool: reliable receive and fault identification on
 //! `2f`-connected graphs.
 //!
-//! Regenerates the E8 table and benchmarks the fault-identification-heavy
+//! Regenerates the E8 table, benchmarks the fault-identification-heavy
 //! Algorithm 2 run on K5 with two tampering faults (the identification
-//! procedure dominates the cost of phase 2).
+//! procedure dominates the cost of phase 2), and measures the flood engine
+//! against the naive control on the 13-node wheel — a hub-rich topology
+//! whose path population stresses the interning arena at n ≥ 12.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use lbc_adversary::Strategy;
+use lbc_bench::floodsim;
 use lbc_consensus::{runner, Algorithm2Node};
 use lbc_graph::generators;
 use lbc_model::{CommModel, InputAssignment, NodeId, NodeSet};
@@ -49,6 +52,16 @@ fn bench(c: &mut Criterion) {
                 .filter(|v| network.node(*v).is_type_a())
                 .count()
         });
+    });
+
+    // Reliable receive rides on the phase-1 flood; measure that flood alone
+    // on the 13-node wheel (hub + 12-cycle rim), interned vs naive.
+    let w13 = generators::wheel(13);
+    group.bench_function("flood_wheel13_interned", |b| {
+        b.iter(|| black_box(floodsim::flood_interned(&w13, 13)));
+    });
+    group.bench_function("flood_wheel13_naive", |b| {
+        b.iter(|| black_box(floodsim::flood_naive(&w13, 13)));
     });
     group.finish();
 }

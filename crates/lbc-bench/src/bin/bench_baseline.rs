@@ -1,0 +1,109 @@
+//! Collects the per-benchmark JSON records written by the criterion shim
+//! (under `target/lbc-bench/`, or `$LBC_BENCH_OUT`) into a single
+//! `BENCH_baseline.json` at the workspace root, computing the
+//! interned-vs-naive speedup for every `*_interned` / `*_naive` pair.
+//!
+//! Run via `scripts/bench_baseline.sh`, which executes the benches first.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lbc_model::json::Json;
+
+fn read_records(dir: &PathBuf) -> Vec<Json> {
+    let mut records = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return records;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        match Json::parse(&text) {
+            Ok(record) => records.push(record),
+            Err(err) => eprintln!("skipping {}: {err}", path.display()),
+        }
+    }
+    records
+}
+
+fn full_name(record: &Json) -> Option<String> {
+    let group = record.get("group")?.as_str()?;
+    let bench = record.get("bench")?.as_str()?;
+    Some(if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    })
+}
+
+fn main() -> ExitCode {
+    let out_dir = std::env::var_os("LBC_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/lbc-bench"));
+    let records = read_records(&out_dir);
+    if records.is_empty() {
+        eprintln!(
+            "no bench records under {}; run `cargo bench -p lbc-bench` first \
+             (or use scripts/bench_baseline.sh)",
+            out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Median ns per full benchmark name, for the speedup pairing.
+    let medians: BTreeMap<String, f64> = records
+        .iter()
+        .filter_map(|r| Some((full_name(r)?, r.get("median_ns")?.as_f64()?)))
+        .collect();
+
+    let mut speedups = Vec::new();
+    for (name, naive_median) in &medians {
+        let Some(base) = name.strip_suffix("_naive") else {
+            continue;
+        };
+        let interned_name = format!("{base}_interned");
+        if let Some(interned_median) = medians.get(&interned_name) {
+            if *interned_median > 0.0 {
+                speedups.push(Json::object([
+                    ("workload", Json::Str(base.to_string())),
+                    ("naive_median_ns", Json::Num(*naive_median)),
+                    ("interned_median_ns", Json::Num(*interned_median)),
+                    (
+                        "speedup",
+                        Json::Num((naive_median / interned_median * 100.0).round() / 100.0),
+                    ),
+                ]));
+            }
+        }
+    }
+
+    let baseline = Json::object([
+        (
+            "description",
+            Json::Str(
+                "Criterion-shim medians (ns/iter) for the lbc benches; \
+                 'speedups' pairs the path-interning flood engine against \
+                 the naive Path-cloning control on the same workload"
+                    .to_string(),
+            ),
+        ),
+        ("benches", Json::Arr(records)),
+        ("speedups", Json::Arr(speedups)),
+    ]);
+
+    let out_path = PathBuf::from("BENCH_baseline.json");
+    if let Err(err) = fs::write(&out_path, baseline.pretty() + "\n") {
+        eprintln!("failed to write {}: {err}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} records)", out_path.display(), medians.len());
+    ExitCode::SUCCESS
+}

@@ -4,6 +4,11 @@
 //! corresponds to one experiment id (see `EXPERIMENTS.md`): it prints the
 //! experiment's table (the "figure/table regeneration") and then benchmarks
 //! the hot path behind it.
+//!
+//! The [`floodsim`] module drives whole-graph floods through both flood
+//! engines — the production path-interning [`lbc_consensus::flooding::Flooder`]
+//! and the pre-refactor [`lbc_consensus::flooding::NaiveFlooder`] control —
+//! so the benches can report the interned-vs-naive speedup directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,4 +22,135 @@ pub fn print_experiment(result: &ExperimentResult) {
     println!("================ {} ================", result.id);
     println!("{}", result.render_table());
     println!();
+}
+
+/// Whole-graph flood drivers over both engines.
+pub mod floodsim {
+    use lbc_consensus::flooding::{Flooder, NaiveFloodMsg, NaiveFlooder};
+    use lbc_consensus::FloodMsg;
+    use lbc_graph::Graph;
+    use lbc_model::{NodeId, SharedPathArena, Value};
+    use lbc_sim::{Delivery, Outgoing};
+
+    fn input(v: usize) -> Value {
+        Value::from(v.is_multiple_of(2))
+    }
+
+    /// The minimal engine interface the shared driver needs. Both engines
+    /// run through the *same* generic loop, so the interned-vs-naive bench
+    /// comparison cannot drift apart driver-wise.
+    /// A node's initial transmissions, as returned by the engines' `start`.
+    type Initiations<M> = Vec<Vec<Outgoing<M>>>;
+
+    trait FloodEngine: Sized {
+        type Msg: Clone;
+        fn start_all(graph: &Graph) -> (Vec<Self>, Initiations<Self::Msg>);
+        fn on_round(
+            &mut self,
+            graph: &Graph,
+            first_round: bool,
+            inbox: &[Delivery<Self::Msg>],
+        ) -> Vec<Outgoing<Self::Msg>>;
+        fn received_count(&self) -> usize;
+    }
+
+    impl FloodEngine for Flooder {
+        type Msg = FloodMsg;
+
+        fn start_all(graph: &Graph) -> (Vec<Self>, Initiations<FloodMsg>) {
+            let arena = SharedPathArena::new();
+            (0..graph.node_count())
+                .map(|v| Flooder::start(arena.clone(), NodeId::new(v), input(v)))
+                .unzip()
+        }
+
+        fn on_round(
+            &mut self,
+            graph: &Graph,
+            first_round: bool,
+            inbox: &[Delivery<FloodMsg>],
+        ) -> Vec<Outgoing<FloodMsg>> {
+            Flooder::on_round(self, graph, first_round, inbox)
+        }
+
+        fn received_count(&self) -> usize {
+            Flooder::received_count(self)
+        }
+    }
+
+    impl FloodEngine for NaiveFlooder {
+        type Msg = NaiveFloodMsg;
+
+        fn start_all(graph: &Graph) -> (Vec<Self>, Initiations<NaiveFloodMsg>) {
+            (0..graph.node_count())
+                .map(|v| NaiveFlooder::start(NodeId::new(v), input(v)))
+                .unzip()
+        }
+
+        fn on_round(
+            &mut self,
+            graph: &Graph,
+            first_round: bool,
+            inbox: &[Delivery<NaiveFloodMsg>],
+        ) -> Vec<Outgoing<NaiveFloodMsg>> {
+            NaiveFlooder::on_round(self, graph, first_round, inbox)
+        }
+
+        fn received_count(&self) -> usize {
+            NaiveFlooder::received_count(self)
+        }
+    }
+
+    /// Floods every node's input for `rounds` rounds under local-broadcast
+    /// delivery; returns the total number of full paths received across all
+    /// nodes (kept as an optimization barrier).
+    fn flood<E: FloodEngine>(graph: &Graph, rounds: usize) -> usize {
+        let node_count = graph.node_count();
+        let (mut flooders, mut pending) = E::start_all(graph);
+        for round in 0..rounds {
+            let mut inboxes: Vec<Vec<Delivery<E::Msg>>> = vec![Vec::new(); node_count];
+            for (sender, outgoing) in pending.iter().enumerate() {
+                for o in outgoing {
+                    if let Outgoing::Broadcast(m) = o {
+                        for neighbor in graph.neighbors(NodeId::new(sender)) {
+                            inboxes[neighbor.index()].push(Delivery {
+                                from: NodeId::new(sender),
+                                message: m.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            for (v, flooder) in flooders.iter_mut().enumerate() {
+                pending[v] = flooder.on_round(graph, round == 0, &inboxes[v]);
+            }
+        }
+        flooders.iter().map(E::received_count).sum()
+    }
+
+    /// The flood through the path-interning engine.
+    #[must_use]
+    pub fn flood_interned(graph: &Graph, rounds: usize) -> usize {
+        flood::<Flooder>(graph, rounds)
+    }
+
+    /// The same flood through the naive `Path`-cloning engine.
+    #[must_use]
+    pub fn flood_naive(graph: &Graph, rounds: usize) -> usize {
+        flood::<NaiveFlooder>(graph, rounds)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use lbc_graph::generators;
+
+        #[test]
+        fn both_engines_count_the_same_paths() {
+            for graph in [generators::cycle(7), generators::wheel(8)] {
+                let rounds = graph.node_count();
+                assert_eq!(flood_interned(&graph, rounds), flood_naive(&graph, rounds));
+            }
+        }
+    }
 }

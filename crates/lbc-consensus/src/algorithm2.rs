@@ -17,11 +17,15 @@
 //!    received along a path that avoids the (fully known) faulty set, falling
 //!    back to the majority of the non-faulty inputs they can read along
 //!    fault-free paths.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! All three phases run on interned [`PathId`]s: the phase-2 report flood and
+//! phase-3 decision flood key their rule-(ii) state by `(sender, path id)`
+//! tuples in `FxHashSet`s and record full paths as ids, resolving to owned
+//! [`Path`]s only at phase boundaries.
 
 use lbc_graph::{paths, Graph};
-use lbc_model::{NodeId, NodeSet, Path, Round, Value};
+use lbc_model::fx::{FxHashMap, FxHashSet};
+use lbc_model::{NodeId, NodeSet, Path, PathId, Round, SharedPathArena, Value};
 use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
 
 use crate::flooding::Flooder;
@@ -142,13 +146,16 @@ impl Algorithm2Node {
         if origin == ctx.id {
             return flood.own_value() == Some(value);
         }
-        let candidates = flood.paths_with_value(origin, value);
         if ctx.graph.has_edge(ctx.id, origin) {
-            // A neighbor's transmission is heard directly: the two-node path.
-            return candidates
+            // A neighbor's transmission is heard directly: the two-node full
+            // path, i.e. the single-node relay path `[origin]`.
+            let arena = ctx.arena.borrow();
+            return flood
+                .relay_ids_from(origin)
                 .iter()
-                .any(|p| p.len() == 2 && p.first() == Some(origin));
+                .any(|id| arena.len(*id) == 1 && flood.value_along_relay(*id) == Some(value));
         }
+        let candidates = flood.paths_with_value(origin, value);
         paths::find_internally_disjoint_subset(&candidates, ctx.f + 1).is_some()
     }
 
@@ -174,29 +181,28 @@ impl Algorithm2Node {
         ctx: &NodeContext<'_>,
         observed: NodeId,
         value: Value,
-        observed_path: &Path,
+        observed_path: PathId,
     ) -> bool {
         if observed == ctx.id {
             // A node knows its own transmissions: it transmitted
             // `(value, observed_path)` iff it received `value` along the
-            // corresponding full path ending at itself.
+            // corresponding full path ending at itself — whose relay id is
+            // exactly `observed_path`.
             let Some(flood) = &self.value_flood else {
                 return false;
             };
-            let full = observed_path.extended(ctx.id);
-            return flood.value_along(&full) == Some(value);
+            return flood.value_along_relay(observed_path) == Some(value);
         }
         if ctx.graph.has_edge(ctx.id, observed) {
-            // Directly overheard in phase 1.
-            if let Some(flood) = &self.value_flood {
-                return flood
-                    .overheard()
-                    .iter()
-                    .any(|(from, path, v)| *from == observed && *v == value && path == observed_path);
-            }
-            return false;
+            // Directly overheard in phase 1: an indexed rule-(ii) lookup.
+            return self
+                .value_flood
+                .as_ref()
+                .is_some_and(|flood| flood.overheard_exactly(observed, observed_path, value));
         }
-        let candidates = self.reports.full_paths(observed, value, observed_path);
+        let candidates = self
+            .reports
+            .full_paths(ctx.arena, observed, value, observed_path);
         paths::find_internally_disjoint_subset(&candidates, ctx.f + 1).is_some()
     }
 
@@ -232,12 +238,14 @@ impl Algorithm2Node {
                     for path in disjoint {
                         // Scan internal nodes from the origin's side. The
                         // expected transmission of the j-th node on the path
-                        // carries the relay prefix up to its predecessor.
+                        // carries the relay prefix up to its predecessor —
+                        // interned incrementally, one `extended` per hop.
                         let nodes = path.nodes();
+                        let mut prefix = PathId::EMPTY;
                         for j in 1..nodes.len().saturating_sub(1) {
+                            prefix = ctx.arena.extended(prefix, nodes[j - 1]);
                             let z = nodes[j];
-                            let prefix = Path::from_nodes(nodes[..j].iter().copied());
-                            if self.reliably_received_report(ctx, z, opposite, &prefix) {
+                            if self.reliably_received_report(ctx, z, opposite, prefix) {
                                 faults.insert(z);
                                 break;
                             }
@@ -267,12 +275,15 @@ impl Algorithm2Node {
     fn type_a_decision(&self, ctx: &NodeContext<'_>) -> Value {
         // Prefer a decision value received along a path that avoids every
         // identified fault and originates at a non-faulty node.
-        for (origin, value, full_path) in self.decisions.received_entries() {
-            if self.identified_faults.contains(origin) {
-                continue;
-            }
-            if full_path.excludes(&self.identified_faults) {
-                return value;
+        {
+            let arena = ctx.arena.borrow();
+            for &(origin, value, full_path) in &self.decisions.received {
+                if self.identified_faults.contains(origin) {
+                    continue;
+                }
+                if arena.excludes(full_path, &self.identified_faults) {
+                    return value;
+                }
             }
         }
         // Fall back to the majority of the non-faulty inputs read along
@@ -303,22 +314,21 @@ impl Algorithm2Node {
 
     /// Builds the phase-2 report initiations: one report per distinct
     /// phase-1 transmission overheard from a neighbor.
-    fn build_reports(&self, _ctx: &NodeContext<'_>) -> Vec<Outgoing<Alg2Message>> {
+    fn build_reports(&self, ctx: &NodeContext<'_>) -> Vec<Outgoing<Alg2Message>> {
         let Some(flood) = &self.value_flood else {
             return Vec::new();
         };
-        let mut transmissions: BTreeSet<(NodeId, Path, Value)> = BTreeSet::new();
-        for (from, path, value) in flood.overheard() {
-            transmissions.insert((from, path, value));
-        }
-        transmissions
+        // `overheard_ids` is already unique per (sender, path) and sorted,
+        // matching the order the pre-interning engine emitted reports in.
+        flood
+            .overheard_ids()
             .into_iter()
             .map(|(observed, observed_path, value)| {
                 Outgoing::Broadcast(Alg2Message::Report(ReportMsg {
                     observed,
                     value,
                     observed_path,
-                    path: Path::singleton(observed),
+                    path: ctx.arena.extended(PathId::EMPTY, observed),
                 }))
             })
             .collect()
@@ -329,13 +339,10 @@ impl Protocol for Algorithm2Node {
     type Message = Alg2Message;
 
     fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<Alg2Message>> {
-        let (flooder, out) = Flooder::start(ctx.id, self.input);
+        let (flooder, out) = Flooder::start(ctx.arena.clone(), ctx.id, self.input);
         self.value_flood = Some(flooder);
         out.into_iter()
-            .map(|o| match o {
-                Outgoing::Broadcast(m) => Outgoing::Broadcast(Alg2Message::Input(m)),
-                Outgoing::Unicast(to, m) => Outgoing::Unicast(to, Alg2Message::Input(m)),
-            })
+            .map(|o| map_outgoing(o, Alg2Message::Input))
             .collect()
     }
 
@@ -349,7 +356,8 @@ impl Protocol for Algorithm2Node {
         let relative = self.round_counter;
         self.round_counter += 1;
 
-        // Split the inbox by phase/variant.
+        // Split the inbox by phase/variant. Messages are two or three words,
+        // so this split copies ids, not paths.
         let mut value_msgs = Vec::new();
         let mut report_msgs = Vec::new();
         let mut decision_msgs = Vec::new();
@@ -357,10 +365,10 @@ impl Protocol for Algorithm2Node {
             match &delivery.message {
                 Alg2Message::Input(m) => value_msgs.push(Delivery {
                     from: delivery.from,
-                    message: m.clone(),
+                    message: *m,
                 }),
-                Alg2Message::Report(m) => report_msgs.push((delivery.from, m.clone())),
-                Alg2Message::Decision(m) => decision_msgs.push((delivery.from, m.clone())),
+                Alg2Message::Report(m) => report_msgs.push((delivery.from, *m)),
+                Alg2Message::Decision(m) => decision_msgs.push((delivery.from, *m)),
             }
         }
 
@@ -404,7 +412,7 @@ impl Protocol for Algorithm2Node {
                 self.decided = Some(decision);
                 out.push(Outgoing::Broadcast(Alg2Message::Decision(DecisionMsg {
                     value: decision,
-                    path: Path::empty(),
+                    path: PathId::EMPTY,
                 })));
             }
         }
@@ -434,13 +442,14 @@ fn map_outgoing<M, N>(outgoing: Outgoing<M>, wrap: impl Fn(M) -> N) -> Outgoing<
 /// disjoint-path checks at the receiver range over `observed → receiver`
 /// paths. Rule (ii) is applied per `(sender, relay path, observed, observed
 /// transmission path)` key: the first value received for a logical report
-/// stream wins.
+/// stream wins. All keys are interned ids, so the set and map hash a handful
+/// of machine words per message.
 #[derive(Debug, Clone, Default)]
 struct ReportFlood {
-    seen: BTreeSet<(NodeId, Path, NodeId, Path)>,
+    seen: FxHashSet<(NodeId, PathId, NodeId, PathId)>,
     /// (observed, value, observed transmission path) → full observed→me relay
-    /// paths the report arrived along.
-    received: BTreeMap<(NodeId, Value, Path), Vec<Path>>,
+    /// paths the report arrived along, in arrival order.
+    received: FxHashMap<(NodeId, Value, PathId), Vec<PathId>>,
 }
 
 impl ReportFlood {
@@ -451,7 +460,7 @@ impl ReportFlood {
     ) -> Vec<Alg2Message> {
         let mut out = Vec::new();
         for (from, msg) in inbox {
-            if let Some(forward) = self.process(ctx.graph, ctx.id, *from, msg) {
+            if let Some(forward) = self.process(ctx.arena, ctx.graph, ctx.id, *from, msg) {
                 out.push(Alg2Message::Report(forward));
             }
         }
@@ -460,58 +469,79 @@ impl ReportFlood {
 
     fn process(
         &mut self,
+        arena: &SharedPathArena,
         graph: &Graph,
         me: NodeId,
         from: NodeId,
         msg: &ReportMsg,
     ) -> Option<ReportMsg> {
         // The report's relay path must start at the observed node.
-        if msg.path.first() != Some(msg.observed) {
+        if arena.first(msg.path) != Some(msg.observed) {
             return None;
         }
-        // Rule (i): the relay path (including the transmitter) must exist in G.
-        let relay_path = if msg.path.last() == Some(from) {
-            msg.path.clone()
-        } else {
-            msg.path.extended(from)
-        };
-        if !graph.is_path(&relay_path) {
-            return None;
+        // Rule (i): the relay path (including the transmitter) must exist in
+        // G. Validated *before* any interning, so rejected reports allocate
+        // no arena entries (as in `Flooder::process`). The relay path is
+        // `msg.path` itself when the transmitter is already its last node,
+        // otherwise `msg.path‑from`.
+        let retransmission = arena.last(msg.path) == Some(from);
+        {
+            let borrowed = arena.borrow();
+            if !graph.is_arena_path(&borrowed, msg.path) {
+                return None;
+            }
+            if !retransmission
+                && (!graph.contains_node(from)
+                    || borrowed.contains(msg.path, from)
+                    || borrowed
+                        .last(msg.path)
+                        .is_none_or(|last| !graph.has_edge(last, from)))
+            {
+                return None;
+            }
         }
         // Rule (ii): one message per (sender, relay path, observed,
         // observed-path) key.
-        let key = (
-            from,
-            msg.path.clone(),
-            msg.observed,
-            msg.observed_path.clone(),
-        );
-        if self.seen.contains(&key) {
+        let key = (from, msg.path, msg.observed, msg.observed_path);
+        if !self.seen.insert(key) {
             return None;
         }
-        self.seen.insert(key);
         // Rule (iii): discard if the relay path already contains me.
-        if relay_path.contains(me) {
+        if arena.contains(msg.path, me) || (!retransmission && from == me) {
             return None;
         }
         // Rule (iv): record the full observed→me path and forward.
-        let full = relay_path.extended(me);
+        let relay_path = if retransmission {
+            msg.path
+        } else {
+            arena.extended(msg.path, from)
+        };
+        let full = arena.extended(relay_path, me);
         self.received
-            .entry((msg.observed, msg.value, msg.observed_path.clone()))
+            .entry((msg.observed, msg.value, msg.observed_path))
             .or_default()
             .push(full);
         Some(ReportMsg {
             observed: msg.observed,
             value: msg.value,
-            observed_path: msg.observed_path.clone(),
+            observed_path: msg.observed_path,
             path: relay_path,
         })
     }
 
-    fn full_paths(&self, observed: NodeId, value: Value, observed_path: &Path) -> Vec<Path> {
+    /// The full `observed → me` paths the report `(observed, value,
+    /// observed_path)` arrived along, resolved in arrival order.
+    fn full_paths(
+        &self,
+        arena: &SharedPathArena,
+        observed: NodeId,
+        value: Value,
+        observed_path: PathId,
+    ) -> Vec<Path> {
+        let arena = arena.borrow();
         self.received
-            .get(&(observed, value, observed_path.clone()))
-            .cloned()
+            .get(&(observed, value, observed_path))
+            .map(|ids| ids.iter().map(|id| arena.resolve(*id)).collect())
             .unwrap_or_default()
     }
 }
@@ -519,9 +549,9 @@ impl ReportFlood {
 /// Flooding state for phase-3 decision messages.
 #[derive(Debug, Clone, Default)]
 struct DecisionFlood {
-    seen: BTreeSet<(NodeId, Path)>,
-    /// Full origin→me paths and the value they delivered.
-    received: Vec<(NodeId, Value, Path)>,
+    seen: FxHashSet<(NodeId, PathId)>,
+    /// Full origin→me paths and the value they delivered, in arrival order.
+    received: Vec<(NodeId, Value, PathId)>,
 }
 
 impl DecisionFlood {
@@ -532,7 +562,7 @@ impl DecisionFlood {
     ) -> Vec<Alg2Message> {
         let mut out = Vec::new();
         for (from, msg) in inbox {
-            if let Some(forward) = self.process(ctx.graph, ctx.id, *from, msg) {
+            if let Some(forward) = self.process(ctx.arena, ctx.graph, ctx.id, *from, msg) {
                 out.push(Alg2Message::Decision(forward));
             }
         }
@@ -541,36 +571,44 @@ impl DecisionFlood {
 
     fn process(
         &mut self,
+        arena: &SharedPathArena,
         graph: &Graph,
         me: NodeId,
         from: NodeId,
         msg: &DecisionMsg,
     ) -> Option<DecisionMsg> {
-        let relay_path = msg.path.extended(from);
-        if !graph.is_path(&relay_path) {
+        // Rule (i), checked id-natively as in `Flooder::process`.
+        {
+            let borrowed = arena.borrow();
+            if !graph.contains_node(from)
+                || !graph.is_arena_path(&borrowed, msg.path)
+                || borrowed.contains(msg.path, from)
+            {
+                return None;
+            }
+            if let Some(last) = borrowed.last(msg.path) {
+                if !graph.has_edge(last, from) {
+                    return None;
+                }
+            }
+        }
+        // Rule (ii).
+        if !self.seen.insert((from, msg.path)) {
             return None;
         }
-        let key = (from, msg.path.clone());
-        if self.seen.contains(&key) {
+        // Rule (iii).
+        if from == me || arena.contains(msg.path, me) {
             return None;
         }
-        self.seen.insert(key);
-        if relay_path.contains(me) {
-            return None;
-        }
-        let full = relay_path.extended(me);
-        let origin = full.first().expect("non-empty path");
+        // Rule (iv).
+        let relay_path = arena.extended(msg.path, from);
+        let full = arena.extended(relay_path, me);
+        let origin = arena.first(full).expect("non-empty path");
         self.received.push((origin, msg.value, full));
         Some(DecisionMsg {
             value: msg.value,
             path: relay_path,
         })
-    }
-
-    fn received_entries(&self) -> impl Iterator<Item = (NodeId, Value, &Path)> + '_ {
-        self.received
-            .iter()
-            .map(|(origin, value, path)| (*origin, *value, path))
     }
 }
 
@@ -581,6 +619,10 @@ mod tests {
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
+    }
+
+    fn intern(arena: &SharedPathArena, ids: &[usize]) -> PathId {
+        arena.intern(&Path::from_nodes(ids.iter().map(|&i| n(i))))
     }
 
     #[test]
@@ -601,61 +643,65 @@ mod tests {
     #[test]
     fn report_flood_rejects_malformed_paths() {
         let graph = generators::cycle(5);
+        let arena = SharedPathArena::new();
         let mut flood = ReportFlood::default();
         // Relay path does not start at the observed node.
         let bad = ReportMsg {
             observed: n(0),
             value: Value::One,
-            observed_path: Path::empty(),
-            path: Path::singleton(n(1)),
+            observed_path: PathId::EMPTY,
+            path: intern(&arena, &[1]),
         };
-        assert!(flood.process(&graph, n(2), n(1), &bad).is_none());
+        assert!(flood.process(&arena, &graph, n(2), n(1), &bad).is_none());
         // Non-adjacent relay claim: relay path [0] transmitted by node 2
         // (0-2 is not an edge of the 5-cycle).
         let not_adjacent = ReportMsg {
             observed: n(0),
             value: Value::One,
-            observed_path: Path::empty(),
-            path: Path::singleton(n(0)),
+            observed_path: PathId::EMPTY,
+            path: intern(&arena, &[0]),
         };
-        assert!(flood.process(&graph, n(3), n(2), &not_adjacent).is_none());
+        assert!(flood
+            .process(&arena, &graph, n(3), n(2), &not_adjacent)
+            .is_none());
     }
 
     #[test]
     fn report_flood_records_and_forwards_valid_reports() {
         let graph = generators::cycle(5);
+        let arena = SharedPathArena::new();
         let mut flood = ReportFlood::default();
         // Node 1 reports on its neighbor 0 relaying node 4's value; we are
         // node 2 receiving the report from node 1.
-        let observed_path = Path::singleton(n(4));
+        let observed_path = intern(&arena, &[4]);
         let report = ReportMsg {
             observed: n(0),
             value: Value::Zero,
-            observed_path: observed_path.clone(),
-            path: Path::singleton(n(0)),
+            observed_path,
+            path: intern(&arena, &[0]),
         };
-        let forward = flood.process(&graph, n(2), n(1), &report).unwrap();
-        assert_eq!(forward.path.nodes(), &[n(0), n(1)]);
-        let full = flood.full_paths(n(0), Value::Zero, &observed_path);
+        let forward = flood.process(&arena, &graph, n(2), n(1), &report).unwrap();
+        assert_eq!(arena.resolve(forward.path).nodes(), &[n(0), n(1)]);
+        let full = flood.full_paths(&arena, n(0), Value::Zero, observed_path);
         assert_eq!(full.len(), 1);
         assert_eq!(full[0].nodes(), &[n(0), n(1), n(2)]);
         // Duplicate (same sender, relay path, observed, observed-path) is ignored.
-        assert!(flood.process(&graph, n(2), n(1), &report).is_none());
+        assert!(flood.process(&arena, &graph, n(2), n(1), &report).is_none());
     }
 
     #[test]
     fn decision_flood_tracks_origins() {
         let graph = generators::cycle(5);
+        let arena = SharedPathArena::new();
         let mut flood = DecisionFlood::default();
         let msg = DecisionMsg {
             value: Value::One,
-            path: Path::empty(),
+            path: PathId::EMPTY,
         };
-        let forward = flood.process(&graph, n(2), n(1), &msg).unwrap();
-        assert_eq!(forward.path.nodes(), &[n(1)]);
-        let entries: Vec<_> = flood.received_entries().collect();
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].0, n(1));
-        assert_eq!(entries[0].1, Value::One);
+        let forward = flood.process(&arena, &graph, n(2), n(1), &msg).unwrap();
+        assert_eq!(arena.resolve(forward.path).nodes(), &[n(1)]);
+        assert_eq!(flood.received.len(), 1);
+        assert_eq!(flood.received[0].0, n(1));
+        assert_eq!(flood.received[0].1, Value::One);
     }
 }

@@ -16,16 +16,78 @@
 //!
 //! If a neighbor fails to initiate flooding in the first round, the node
 //! substitutes the default message `(1, ⊥)` on its behalf.
+//!
+//! # Engines
+//!
+//! Two implementations live here:
+//!
+//! * [`Flooder`] — the production engine. Paths travel as interned
+//!   [`PathId`]s against the execution's [`SharedPathArena`]; rule-(ii) and
+//!   rule-(iv) state is keyed by `(NodeId, PathId)` in `FxHashMap`s, and a
+//!   per-origin index makes [`Flooder::received_from`] /
+//!   [`Flooder::paths_with_value`] indexed lookups instead of full-map scans.
+//! * [`NaiveFlooder`] — the pre-interning reference engine (`BTreeMap` keyed
+//!   by cloned [`Path`]s), kept as the control for equivalence tests and the
+//!   `naive` benchmark variants. It must behave byte-identically to
+//!   [`Flooder`]; the `flood_equivalence` integration test enforces this.
 
 use std::collections::BTreeMap;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, NodeSet, Path, Value};
-use lbc_sim::{Delivery, Outgoing};
+use lbc_model::{NodeId, NodeSet, Path, PathArena, PathId, SharedPathArena, Value};
+use lbc_sim::{ByzantineMessage, Delivery, Outgoing};
 
 use crate::messages::FloodMsg;
 
-/// Per-phase flooding state of a single node.
+/// Rule-(i) validation with incremental memoization: a non-empty path is a
+/// path of `G` iff its parent prefix is one, its last node is valid and
+/// adjacent to the parent's last node, and it repeats no node. Prefixes are
+/// shared trie entries and validity is memoized *in the arena* (a per-entry
+/// byte, shared by every node of the execution), so each distinct prefix is
+/// validated exactly once per execution — the common case is a single array
+/// read. `suffix` is a caller-owned scratch buffer so the hot path never
+/// allocates.
+fn validate_path(
+    arena: &mut PathArena,
+    suffix: &mut Vec<PathId>,
+    graph: &Graph,
+    id: PathId,
+) -> bool {
+    if let Some(valid) = arena.path_validity(id) {
+        return valid;
+    }
+    // Collect the unvalidated suffix, deepest entry first.
+    suffix.clear();
+    suffix.push(id);
+    let (mut cursor, _) = arena.step(id).expect("non-empty path has a parent");
+    while arena.path_validity(cursor).is_none() {
+        suffix.push(cursor);
+        let (parent, _) = arena.step(cursor).expect("non-empty path has a parent");
+        cursor = parent;
+    }
+    if arena.path_validity(cursor) == Some(false) {
+        // An invalid prefix poisons every extension.
+        for &entry in suffix.iter() {
+            arena.set_path_validity(entry, false);
+        }
+        return false;
+    }
+    // `cursor` is a known-valid prefix (or ⊥). Validate forward.
+    let mut all_valid = true;
+    for &entry in suffix.iter().rev() {
+        let (parent, last) = arena.step(entry).expect("non-empty path has a parent");
+        all_valid = all_valid
+            && arena.is_simple(entry)
+            && graph.contains_node(last)
+            && arena
+                .last(parent)
+                .is_none_or(|prev| graph.has_edge(prev, last));
+        arena.set_path_validity(entry, all_valid);
+    }
+    all_valid
+}
+
+/// Per-phase flooding state of a single node (path-interning engine).
 ///
 /// The caller drives the flooder from its protocol hooks: [`Flooder::start`]
 /// produces the initiation broadcast, [`Flooder::on_round`] consumes the
@@ -36,12 +98,24 @@ use crate::messages::FloodMsg;
 pub struct Flooder {
     me: NodeId,
     own_value: Option<Value>,
-    /// Rule (ii) state: the first value received for each `(sender, path)` key.
-    seen: BTreeMap<(NodeId, Path), Value>,
-    /// Values received along full paths `origin … me` (rule (iv)), keyed by
-    /// the full path including `me`. The node's own value is recorded along
-    /// the single-node path `[me]`.
-    received: BTreeMap<Path, Value>,
+    /// Handle to the execution-wide path arena message ids resolve against.
+    arena: SharedPathArena,
+    /// Rule (ii) state: the first value received for each `(sender, path)`
+    /// key. `PathId` is a `u32`, so the key hashes as two machine words.
+    seen: lbc_model::fx::FxHashMap<(NodeId, PathId), Value>,
+    /// Per-origin index over the received paths: relay-path ids (the full
+    /// path minus the trailing `me`) in arrival order, densely indexed by
+    /// origin. This is what turns `received_from` / `paths_with_value` into
+    /// indexed lookups instead of scans over every received path. There is
+    /// no separate value map: a relay's value is `seen[(relay.last,
+    /// relay.parent)]`, recovered in O(1) through the trie (rule (ii)
+    /// guarantees that entry is written exactly once). The node's own value
+    /// sits under the empty relay path at index `me`.
+    by_origin: Vec<Vec<PathId>>,
+    /// Count of received full paths (rule (iv) accepts plus the own value).
+    received_total: usize,
+    /// Scratch buffer for [`validate_path`] (avoids per-message allocation).
+    validate_scratch: Vec<PathId>,
     /// Whether the missing-initiation defaults have been injected yet.
     defaults_injected: bool,
 }
@@ -49,16 +123,16 @@ pub struct Flooder {
 impl Flooder {
     /// Creates the flooder and returns the initiation broadcast `(value, ⊥)`.
     #[must_use]
-    pub fn start(me: NodeId, value: Value) -> (Self, Vec<Outgoing<FloodMsg>>) {
-        let mut received = BTreeMap::new();
-        received.insert(Path::singleton(me), value);
-        let flooder = Flooder {
-            me,
-            own_value: Some(value),
-            seen: BTreeMap::new(),
-            received,
-            defaults_injected: false,
-        };
+    pub fn start(
+        arena: SharedPathArena,
+        me: NodeId,
+        value: Value,
+    ) -> (Self, Vec<Outgoing<FloodMsg>>) {
+        let mut flooder = Flooder::observer(arena, me);
+        flooder.own_value = Some(value);
+        flooder.by_origin.resize(me.index() + 1, Vec::new());
+        flooder.by_origin[me.index()].push(PathId::EMPTY);
+        flooder.received_total = 1;
         let out = vec![Outgoing::Broadcast(FloodMsg::initiation(value))];
         (flooder, out)
     }
@@ -68,12 +142,15 @@ impl Flooder {
     /// sources, e.g. the decision flood of Algorithm 2 or the king step of
     /// the point-to-point baseline.
     #[must_use]
-    pub fn observer(me: NodeId) -> Self {
+    pub fn observer(arena: SharedPathArena, me: NodeId) -> Self {
         Flooder {
             me,
             own_value: None,
-            seen: BTreeMap::new(),
-            received: BTreeMap::new(),
+            arena,
+            seen: lbc_model::fx::FxHashMap::default(),
+            by_origin: Vec::new(),
+            received_total: 0,
+            validate_scratch: Vec::new(),
             defaults_injected: false,
         }
     }
@@ -97,6 +174,322 @@ impl Flooder {
     ) -> Vec<Outgoing<FloodMsg>> {
         let mut out = Vec::new();
         for delivery in inbox {
+            out.extend(
+                self.process(graph, delivery.from, &delivery.message)
+                    .map(Outgoing::Broadcast),
+            );
+        }
+        if first_round && !self.defaults_injected {
+            self.defaults_injected = true;
+            for neighbor in graph.neighbors(self.me) {
+                if !self.seen.contains_key(&(neighbor, PathId::EMPTY)) {
+                    let default = FloodMsg::initiation(Value::DEFAULT_FLOOD);
+                    out.extend(
+                        self.process(graph, neighbor, &default)
+                            .map(Outgoing::Broadcast),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies rules (i)–(iv) to a single message received from `from`,
+    /// returning the forward to broadcast, if any.
+    fn process(&mut self, graph: &Graph, from: NodeId, msg: &FloodMsg) -> Option<FloodMsg> {
+        // Rule (i): the relay path Π‑u must exist in G. Equivalent to: Π is a
+        // (simple) path of G, u is a valid node not on Π, and u is adjacent
+        // to Π's last node. Checked against the arena without resolving,
+        // with incremental memoization in `valid_paths`.
+        let mut arena = self.arena.borrow_mut();
+        if !graph.contains_node(from)
+            || !validate_path(&mut arena, &mut self.validate_scratch, graph, msg.path)
+            || arena.contains(msg.path, from)
+        {
+            return None;
+        }
+        if let Some(last) = arena.last(msg.path) {
+            if !graph.has_edge(last, from) {
+                return None;
+            }
+        }
+        // Rules (ii) and (iii) with a single hash of the (sender, path)
+        // key: every message that passes rule (i) is recorded, whether
+        // rule (iii) then discards it or not.
+        match self.seen.entry((from, msg.path)) {
+            std::collections::hash_map::Entry::Occupied(_) => return None,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(msg.value);
+            }
+        }
+        // Rule (iii): discard if the relay path Π‑u already contains me.
+        if from == self.me || arena.contains(msg.path, self.me) {
+            return None;
+        }
+        // Rule (iv): record the value as received along Π‑u and forward. The
+        // state is keyed by the relay id itself (the full path is `relay`
+        // plus `me`, re-appended on resolution); the value needs no second
+        // map — it is the `seen` entry written above, reachable from the
+        // relay id through the trie.
+        let relay = arena.extended(msg.path, from);
+        // Π‑u passed the same checks, so it is a graph path too; memoize it —
+        // it is exactly what the neighbors will send back to us.
+        arena.set_path_validity(relay, true);
+        let origin = arena.first(relay).expect("relay path contains the sender");
+        if self.by_origin.len() <= origin.index() {
+            self.by_origin.resize(origin.index() + 1, Vec::new());
+        }
+        self.by_origin[origin.index()].push(relay);
+        self.received_total += 1;
+        Some(FloodMsg {
+            value: msg.value,
+            path: relay,
+        })
+    }
+
+    /// The value received along the full path `origin … me`, if any. The
+    /// node's own value is available along the single-node path `[me]`.
+    #[must_use]
+    pub fn value_along(&self, full_path: &Path) -> Option<Value> {
+        let nodes = full_path.nodes();
+        let (&last, relay_nodes) = nodes.split_last()?;
+        if last != self.me {
+            return None;
+        }
+        let relay = self.arena.borrow().find_slice(relay_nodes)?;
+        self.value_along_relay(relay)
+    }
+
+    /// The value received along the full path `relay‑me`, given the interned
+    /// relay id (the path annotation the last transmitter forwarded with,
+    /// i.e. the full path minus this node). The node's own value is under
+    /// the empty relay path.
+    ///
+    /// Only paths actually *received* under rule (iv) answer: a `(sender,
+    /// path)` key that was overheard but discarded by rule (iii) is not a
+    /// received path and yields `None`.
+    #[must_use]
+    pub fn value_along_relay(&self, relay: PathId) -> Option<Value> {
+        let arena = self.arena.borrow();
+        let Some((prefix, last)) = arena.step(relay) else {
+            return self.own_value; // the empty relay path: the own value
+        };
+        // Rule-(iii) guard: the relay was accepted only if neither its
+        // sender nor its prefix involves me.
+        if last == self.me || arena.contains(prefix, self.me) {
+            return None;
+        }
+        self.seen.get(&(last, prefix)).copied()
+    }
+
+    /// The interned relay-path ids received from `origin`, in arrival order
+    /// (the full paths are these plus a trailing `me`). This is the
+    /// allocation-free, indexed counterpart of [`Flooder::received_from`].
+    #[must_use]
+    pub fn relay_ids_from(&self, origin: NodeId) -> &[PathId] {
+        self.by_origin
+            .get(origin.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The value of an *indexed* relay id, given a pre-acquired arena borrow
+    /// (indexed relays were accepted under rule (iv), so the rule-(iii)
+    /// guard of [`Flooder::value_along_relay`] is unnecessary).
+    fn relay_value(&self, arena: &lbc_model::PathArena, relay: PathId) -> Option<Value> {
+        match arena.step(relay) {
+            None => self.own_value,
+            Some((prefix, last)) => self.seen.get(&(last, prefix)).copied(),
+        }
+    }
+
+    /// Resolves a stored relay id into the full received path `relay‑me`.
+    fn resolve_full(&self, arena: &lbc_model::PathArena, relay: PathId) -> Path {
+        let mut nodes = arena.nodes(relay);
+        nodes.push(self.me);
+        Path::from_nodes(nodes)
+    }
+
+    /// All `(full path, value)` pairs received from `origin` (paths start at
+    /// `origin` and end at this node), in lexicographic path order — the
+    /// same order the pre-interning engine produced.
+    #[must_use]
+    pub fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
+        let arena = self.arena.borrow();
+        let mut entries: Vec<(Path, Value)> = self
+            .relay_ids_from(origin)
+            .iter()
+            .map(|id| {
+                let value = self
+                    .relay_value(&arena, *id)
+                    .expect("indexed relay has a value");
+                (self.resolve_full(&arena, *id), value)
+            })
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// The full paths from `origin` along which this node received `value`,
+    /// in lexicographic path order.
+    #[must_use]
+    pub fn paths_with_value(&self, origin: NodeId, value: Value) -> Vec<Path> {
+        let arena = self.arena.borrow();
+        let mut paths: Vec<Path> = self
+            .relay_ids_from(origin)
+            .iter()
+            .filter(|id| self.relay_value(&arena, **id) == Some(value))
+            .map(|id| self.resolve_full(&arena, *id))
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// The full paths from `origin` delivering `value` that *exclude* the set
+    /// `exclude` (no internal node in `exclude`). The exclusion test runs on
+    /// the interned relay ids (memoized member bitsets) before any path is
+    /// resolved.
+    #[must_use]
+    pub fn paths_with_value_excluding(
+        &self,
+        origin: NodeId,
+        value: Value,
+        exclude: &NodeSet,
+    ) -> Vec<Path> {
+        let arena = self.arena.borrow();
+        let mut paths: Vec<Path> = self
+            .relay_ids_from(origin)
+            .iter()
+            .filter(|id| {
+                self.relay_value(&arena, **id) == Some(value) && arena.tail_excludes(**id, exclude)
+            })
+            .map(|id| self.resolve_full(&arena, *id))
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// Every `(sender, path, value)` accepted under rule (ii) from direct
+    /// neighbors — i.e. everything this node *overheard*, which is exactly
+    /// what Algorithm 2's phase 2 reports on. Sorted by `(sender, path)` as
+    /// the pre-interning engine's `BTreeMap` iteration was.
+    #[must_use]
+    pub fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
+        let arena = self.arena.borrow();
+        let mut entries: Vec<(NodeId, Path, Value)> = self
+            .seen
+            .iter()
+            .map(|((from, path), value)| (*from, arena.resolve(*path), *value))
+            .collect();
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        entries
+    }
+
+    /// The overheard `(sender, path id, value)` triples, sorted by
+    /// `(sender, path)` — the id-carrying counterpart of
+    /// [`Flooder::overheard`], used to build Algorithm 2's phase-2 reports
+    /// without cloning paths.
+    #[must_use]
+    pub fn overheard_ids(&self) -> Vec<(NodeId, PathId, Value)> {
+        let arena = self.arena.borrow();
+        let mut entries: Vec<(NodeId, PathId, Value)> = self
+            .seen
+            .iter()
+            .map(|((from, path), value)| (*from, *path, *value))
+            .collect();
+        entries.sort_by_cached_key(|(from, path, _)| (*from, arena.nodes(*path)));
+        entries
+    }
+
+    /// Whether this node overheard `observed` transmit exactly `(value, Π)`,
+    /// with `Π` given as an interned id — the indexed counterpart of scanning
+    /// [`Flooder::overheard`].
+    #[must_use]
+    pub fn overheard_exactly(&self, observed: NodeId, path: PathId, value: Value) -> bool {
+        self.seen.get(&(observed, path)) == Some(&value)
+    }
+
+    /// Number of distinct full paths along which values were received.
+    #[must_use]
+    pub fn received_count(&self) -> usize {
+        self.received_total
+    }
+}
+
+/// A flooding message carrying an owned [`Path`], used by [`NaiveFlooder`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NaiveFloodMsg {
+    /// The flooded binary value.
+    pub value: Value,
+    /// The relay path so far (excluding the current transmitter).
+    pub path: Path,
+}
+
+impl NaiveFloodMsg {
+    /// The initiation message `(value, ⊥)`.
+    #[must_use]
+    pub fn initiation(value: Value) -> Self {
+        NaiveFloodMsg {
+            value,
+            path: Path::empty(),
+        }
+    }
+}
+
+impl ByzantineMessage for NaiveFloodMsg {
+    fn tampered(&self) -> Self {
+        NaiveFloodMsg {
+            value: self.value.flipped(),
+            path: self.path.clone(),
+        }
+    }
+}
+
+/// The pre-interning flood engine, kept verbatim as the control: `BTreeMap`
+/// state keyed by cloned [`Path`]s, with full-map scans in the accessors.
+///
+/// Benchmarks compare [`Flooder`] against this implementation, and the
+/// equivalence tests assert identical observable behaviour.
+#[derive(Debug, Clone)]
+pub struct NaiveFlooder {
+    me: NodeId,
+    own_value: Option<Value>,
+    seen: BTreeMap<(NodeId, Path), Value>,
+    received: BTreeMap<Path, Value>,
+    defaults_injected: bool,
+}
+
+impl NaiveFlooder {
+    /// Creates the flooder and returns the initiation broadcast `(value, ⊥)`.
+    #[must_use]
+    pub fn start(me: NodeId, value: Value) -> (Self, Vec<Outgoing<NaiveFloodMsg>>) {
+        let mut received = BTreeMap::new();
+        received.insert(Path::singleton(me), value);
+        let flooder = NaiveFlooder {
+            me,
+            own_value: Some(value),
+            seen: BTreeMap::new(),
+            received,
+            defaults_injected: false,
+        };
+        let out = vec![Outgoing::Broadcast(NaiveFloodMsg::initiation(value))];
+        (flooder, out)
+    }
+
+    /// The value this node initiated the flood with, if it initiated one.
+    #[must_use]
+    pub fn own_value(&self) -> Option<Value> {
+        self.own_value
+    }
+
+    /// Processes one round of deliveries; see [`Flooder::on_round`].
+    pub fn on_round(
+        &mut self,
+        graph: &Graph,
+        first_round: bool,
+        inbox: &[Delivery<NaiveFloodMsg>],
+    ) -> Vec<Outgoing<NaiveFloodMsg>> {
+        let mut out = Vec::new();
+        for delivery in inbox {
             out.extend(self.process(graph, delivery.from, &delivery.message));
         }
         if first_round && !self.defaults_injected {
@@ -104,7 +497,7 @@ impl Flooder {
             for neighbor in graph.neighbors(self.me) {
                 let key = (neighbor, Path::empty());
                 if !self.seen.contains_key(&key) {
-                    let default = FloodMsg::initiation(Value::DEFAULT_FLOOD);
+                    let default = NaiveFloodMsg::initiation(Value::DEFAULT_FLOOD);
                     out.extend(self.process(graph, neighbor, &default));
                 }
             }
@@ -112,8 +505,12 @@ impl Flooder {
         out
     }
 
-    /// Applies rules (i)–(iv) to a single message received from `from`.
-    fn process(&mut self, graph: &Graph, from: NodeId, msg: &FloodMsg) -> Vec<Outgoing<FloodMsg>> {
+    fn process(
+        &mut self,
+        graph: &Graph,
+        from: NodeId,
+        msg: &NaiveFloodMsg,
+    ) -> Vec<Outgoing<NaiveFloodMsg>> {
         // Rule (i): the relay path Π‑u must exist in G.
         let relay_path = msg.path.extended(from);
         if !graph.is_path(&relay_path) {
@@ -132,21 +529,19 @@ impl Flooder {
         // Rule (iv): record the value as received along Π‑u and forward.
         let full = relay_path.extended(self.me);
         self.received.insert(full, msg.value);
-        vec![Outgoing::Broadcast(FloodMsg {
+        vec![Outgoing::Broadcast(NaiveFloodMsg {
             value: msg.value,
             path: relay_path,
         })]
     }
 
-    /// The value received along the full path `origin … me`, if any. The
-    /// node's own value is available along the single-node path `[me]`.
+    /// See [`Flooder::value_along`].
     #[must_use]
     pub fn value_along(&self, full_path: &Path) -> Option<Value> {
         self.received.get(full_path).copied()
     }
 
-    /// All `(full path, value)` pairs received from `origin` (paths start at
-    /// `origin` and end at this node).
+    /// See [`Flooder::received_from`] — here a full-map scan.
     #[must_use]
     pub fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
         self.received
@@ -156,7 +551,7 @@ impl Flooder {
             .collect()
     }
 
-    /// The full paths from `origin` along which this node received `value`.
+    /// See [`Flooder::paths_with_value`] — here a full-map scan.
     #[must_use]
     pub fn paths_with_value(&self, origin: NodeId, value: Value) -> Vec<Path> {
         self.received
@@ -166,8 +561,7 @@ impl Flooder {
             .collect()
     }
 
-    /// The full paths from `origin` delivering `value` that *exclude* the set
-    /// `exclude` (no internal node in `exclude`).
+    /// See [`Flooder::paths_with_value_excluding`].
     #[must_use]
     pub fn paths_with_value_excluding(
         &self,
@@ -181,9 +575,7 @@ impl Flooder {
             .collect()
     }
 
-    /// Every `(sender, path, value)` accepted under rule (ii) from direct
-    /// neighbors — i.e. everything this node *overheard*, which is exactly
-    /// what Algorithm 2's phase 2 reports on.
+    /// See [`Flooder::overheard`].
     #[must_use]
     pub fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
         self.seen
@@ -192,7 +584,7 @@ impl Flooder {
             .collect()
     }
 
-    /// Number of distinct full paths along which values were received.
+    /// See [`Flooder::received_count`].
     #[must_use]
     pub fn received_count(&self) -> usize {
         self.received.len()
@@ -208,19 +600,29 @@ mod tests {
         NodeId::new(i)
     }
 
-    fn deliver(from: usize, value: Value, path: &[usize]) -> Delivery<FloodMsg> {
+    fn deliver(
+        arena: &SharedPathArena,
+        from: usize,
+        value: Value,
+        path: &[usize],
+    ) -> Delivery<FloodMsg> {
+        let path = arena.intern(&Path::from_nodes(path.iter().map(|&i| n(i))));
         Delivery {
             from: n(from),
-            message: FloodMsg {
-                value,
-                path: Path::from_nodes(path.iter().map(|&i| n(i))),
-            },
+            message: FloodMsg { value, path },
         }
+    }
+
+    fn started(i: usize, value: Value) -> (SharedPathArena, Flooder) {
+        let arena = SharedPathArena::new();
+        let (flooder, _) = Flooder::start(arena.clone(), n(i), value);
+        (arena, flooder)
     }
 
     #[test]
     fn start_records_own_value_and_broadcasts_initiation() {
-        let (flooder, out) = Flooder::start(n(0), Value::One);
+        let arena = SharedPathArena::new();
+        let (flooder, out) = Flooder::start(arena, n(0), Value::One);
         assert_eq!(out.len(), 1);
         assert_eq!(
             flooder.value_along(&Path::singleton(n(0))),
@@ -233,32 +635,45 @@ mod tests {
     fn accepts_and_forwards_valid_messages() {
         // Cycle 0-1-2-3-4; we are node 2 and receive node 0's initiation via 1.
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
-        let out = flooder.on_round(&g, true, &[deliver(1, Value::One, &[0])]);
+        let (arena, mut flooder) = started(2, Value::Zero);
+        let out = flooder.on_round(&g, true, &[deliver(&arena, 1, Value::One, &[0])]);
         // Forward (1, [0,1]) plus defaults for the missing neighbor 3.
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Outgoing::Broadcast(m) if m.path.nodes() == [n(0), n(1)])));
+        assert!(out.iter().any(
+            |o| matches!(o, Outgoing::Broadcast(m) if arena.resolve(m.path).nodes() == [n(0), n(1)])
+        ));
         let full = Path::from_nodes([n(0), n(1), n(2)]);
         assert_eq!(flooder.value_along(&full), Some(Value::One));
+        let relay_id = arena.find(&Path::from_nodes([n(0), n(1)])).unwrap();
+        assert_eq!(flooder.value_along_relay(relay_id), Some(Value::One));
+        assert_eq!(flooder.relay_ids_from(n(0)), &[relay_id]);
     }
 
     #[test]
     fn rule_i_rejects_non_paths() {
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let (arena, mut flooder) = started(2, Value::Zero);
         // Claimed path [0, 3] then sender 1: 0-3 is not an edge on the cycle.
-        let out = flooder.on_round(&g, false, &[deliver(1, Value::One, &[0, 3])]);
+        let out = flooder.on_round(&g, false, &[deliver(&arena, 1, Value::One, &[0, 3])]);
         assert!(out.is_empty());
         assert_eq!(flooder.received_count(), 1); // only the own value
     }
 
     #[test]
+    fn rule_i_rejects_senders_already_on_the_path() {
+        let g = generators::cycle(5);
+        let (arena, mut flooder) = started(2, Value::Zero);
+        // Relay path [1, 0] re-transmitted by node 1: 1 is already on Π.
+        let out = flooder.on_round(&g, false, &[deliver(&arena, 1, Value::One, &[1, 0])]);
+        assert!(out.is_empty());
+        assert_eq!(flooder.received_count(), 1);
+    }
+
+    #[test]
     fn rule_ii_keeps_only_the_first_message_per_sender_path() {
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
-        let first = deliver(1, Value::One, &[0]);
-        let conflicting = deliver(1, Value::Zero, &[0]);
+        let (arena, mut flooder) = started(2, Value::Zero);
+        let first = deliver(&arena, 1, Value::One, &[0]);
+        let conflicting = deliver(&arena, 1, Value::Zero, &[0]);
         let out1 = flooder.on_round(&g, false, &[first, conflicting]);
         // Only one forward for the (1, [0]) key.
         assert_eq!(out1.len(), 1);
@@ -269,24 +684,24 @@ mod tests {
     #[test]
     fn rule_iii_discards_paths_containing_me() {
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let (arena, mut flooder) = started(2, Value::Zero);
         // Path [2, 3] from sender 4: contains me (2), discard silently.
-        let out = flooder.on_round(&g, false, &[deliver(4, Value::One, &[2, 3])]);
+        let out = flooder.on_round(&g, false, &[deliver(&arena, 4, Value::One, &[2, 3])]);
         assert!(out.is_empty());
     }
 
     #[test]
     fn missing_initiations_get_the_default_value() {
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let (arena, mut flooder) = started(2, Value::Zero);
         // Neighbor 1 initiates, neighbor 3 stays silent.
-        let out = flooder.on_round(&g, true, &[deliver(1, Value::Zero, &[])]);
+        let out = flooder.on_round(&g, true, &[deliver(&arena, 1, Value::Zero, &[])]);
         // We forward both node 1's initiation and the default for node 3.
         assert_eq!(out.len(), 2);
         let via3 = Path::from_nodes([n(3), n(2)]);
         assert_eq!(flooder.value_along(&via3), Some(Value::DEFAULT_FLOOD));
         // A late real initiation from 3 is now ignored (rule (ii)).
-        let out = flooder.on_round(&g, false, &[deliver(3, Value::Zero, &[])]);
+        let out = flooder.on_round(&g, false, &[deliver(&arena, 3, Value::Zero, &[])]);
         assert!(out.is_empty());
         assert_eq!(flooder.value_along(&via3), Some(Value::DEFAULT_FLOOD));
     }
@@ -294,11 +709,14 @@ mod tests {
     #[test]
     fn received_from_and_paths_with_value_filter_by_origin() {
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
+        let (arena, mut flooder) = started(2, Value::Zero);
         let _ = flooder.on_round(
             &g,
             true,
-            &[deliver(1, Value::One, &[0]), deliver(3, Value::Zero, &[4])],
+            &[
+                deliver(&arena, 1, Value::One, &[0]),
+                deliver(&arena, 3, Value::Zero, &[4]),
+            ],
         );
         let from0 = flooder.received_from(n(0));
         assert_eq!(from0.len(), 1);
@@ -315,13 +733,40 @@ mod tests {
     #[test]
     fn overheard_lists_accepted_sender_path_pairs() {
         let g = generators::cycle(5);
-        let (mut flooder, _) = Flooder::start(n(2), Value::Zero);
-        let _ = flooder.on_round(&g, true, &[deliver(1, Value::One, &[])]);
+        let (arena, mut flooder) = started(2, Value::Zero);
+        let _ = flooder.on_round(&g, true, &[deliver(&arena, 1, Value::One, &[])]);
         let overheard = flooder.overheard();
         // Node 1's initiation plus the injected default for node 3.
         assert_eq!(overheard.len(), 2);
         assert!(overheard
             .iter()
             .any(|(from, path, value)| *from == n(1) && path.is_empty() && *value == Value::One));
+        assert!(flooder.overheard_exactly(n(1), PathId::EMPTY, Value::One));
+        assert!(!flooder.overheard_exactly(n(1), PathId::EMPTY, Value::Zero));
+    }
+
+    #[test]
+    fn naive_engine_smoke() {
+        let g = generators::cycle(5);
+        let (mut flooder, out) = NaiveFlooder::start(n(2), Value::Zero);
+        assert_eq!(out.len(), 1);
+        let forwards = flooder.on_round(
+            &g,
+            true,
+            &[Delivery {
+                from: n(1),
+                message: NaiveFloodMsg {
+                    value: Value::One,
+                    path: Path::singleton(n(0)),
+                },
+            }],
+        );
+        // The forward of (1, [0,1]) plus injected defaults for both
+        // neighbors (neither 1 nor 3 was seen *initiating*).
+        assert_eq!(forwards.len(), 3);
+        let full = Path::from_nodes([n(0), n(1), n(2)]);
+        assert_eq!(flooder.value_along(&full), Some(Value::One));
+        assert_eq!(flooder.received_from(n(0)).len(), 1);
+        assert_eq!(flooder.own_value(), Some(Value::Zero));
     }
 }

@@ -1,8 +1,13 @@
 //! Message types exchanged by the consensus algorithms.
+//!
+//! Since the path-interning refactor, messages carry [`PathId`]s rather than
+//! owned node vectors: a message is two or three machine words, so the
+//! simulator's per-neighbor delivery clones are trivially cheap, and the
+//! receiving flood engine keys its state by the id directly. Ids are
+//! resolved against the execution's [`lbc_model::SharedPathArena`], which
+//! the simulator hands to every protocol hook.
 
-use serde::{Deserialize, Serialize};
-
-use lbc_model::{NodeId, Path, Value};
+use lbc_model::{NodeId, PathId, SharedPathArena, Value};
 use lbc_sim::ByzantineMessage;
 
 /// A path-annotated flooding message `(b, Π)` as used in step (a) of
@@ -12,12 +17,12 @@ use lbc_sim::ByzantineMessage;
 /// far, **excluding** the current transmitter: an origin `u` initiates the
 /// flood of its value `b` by broadcasting `(b, ⊥)`; a relay that received
 /// `(b, Π)` from neighbor `w` forwards `(b, Π‑w)`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FloodMsg {
     /// The flooded binary value.
     pub value: Value,
-    /// The relay path so far (excluding the current transmitter).
-    pub path: Path,
+    /// The relay path so far (excluding the current transmitter), interned.
+    pub path: PathId,
 }
 
 impl FloodMsg {
@@ -26,15 +31,15 @@ impl FloodMsg {
     pub fn initiation(value: Value) -> Self {
         FloodMsg {
             value,
-            path: Path::empty(),
+            path: PathId::EMPTY,
         }
     }
 
     /// The origin of the flooded value: the first node of the relay path, or
     /// `transmitter` itself when the path is empty (an initiation).
     #[must_use]
-    pub fn origin(&self, transmitter: NodeId) -> NodeId {
-        self.path.first().unwrap_or(transmitter)
+    pub fn origin(&self, arena: &SharedPathArena, transmitter: NodeId) -> NodeId {
+        arena.first(self.path).unwrap_or(transmitter)
     }
 }
 
@@ -42,7 +47,7 @@ impl ByzantineMessage for FloodMsg {
     fn tampered(&self) -> Self {
         FloodMsg {
             value: self.value.flipped(),
-            path: self.path.clone(),
+            path: self.path,
         }
     }
 }
@@ -61,7 +66,7 @@ impl ByzantineMessage for FloodMsg {
 /// rule (Definition C.1) to `observed → receiver` paths: the observed node's
 /// transmission, overheard by its neighbors under local broadcast, is in
 /// effect re-flooded from the observed node outward.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReportMsg {
     /// The node whose phase-1 transmission is being reported.
     pub observed: NodeId,
@@ -69,10 +74,10 @@ pub struct ReportMsg {
     pub value: Value,
     /// The path annotation the observed node transmitted with (the relay path
     /// of the *phase-1* message, excluding the observed node itself).
-    pub observed_path: Path,
+    pub observed_path: PathId,
     /// Relay path of the *report*, starting at `observed` and excluding the
     /// current transmitter.
-    pub path: Path,
+    pub path: PathId,
 }
 
 impl ReportMsg {
@@ -80,8 +85,8 @@ impl ReportMsg {
     /// first node of the observed path, or the observed node itself for an
     /// initiation.
     #[must_use]
-    pub fn origin(&self) -> NodeId {
-        self.observed_path.first().unwrap_or(self.observed)
+    pub fn origin(&self, arena: &SharedPathArena) -> NodeId {
+        arena.first(self.observed_path).unwrap_or(self.observed)
     }
 }
 
@@ -90,34 +95,34 @@ impl ByzantineMessage for ReportMsg {
         ReportMsg {
             observed: self.observed,
             value: self.value.flipped(),
-            observed_path: self.observed_path.clone(),
-            path: self.path.clone(),
+            observed_path: self.observed_path,
+            path: self.path,
         }
     }
 }
 
 /// A phase-3 decision message of Algorithm 2: a type B node floods the value
 /// it decided.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DecisionMsg {
     /// The decided value being disseminated.
     pub value: Value,
     /// Relay path (excluding the current transmitter); empty for the deciding
     /// node's own initiation.
-    pub path: Path,
+    pub path: PathId,
 }
 
 impl ByzantineMessage for DecisionMsg {
     fn tampered(&self) -> Self {
         DecisionMsg {
             value: self.value.flipped(),
-            path: self.path.clone(),
+            path: self.path,
         }
     }
 }
 
 /// The message alphabet of Algorithm 2 (phases 1–3).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Alg2Message {
     /// Phase 1: flooded input value.
     Input(FloodMsg),
@@ -140,32 +145,40 @@ impl ByzantineMessage for Alg2Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lbc_model::Path;
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
     }
 
+    fn intern(arena: &SharedPathArena, ids: &[usize]) -> PathId {
+        arena.intern(&Path::from_nodes(ids.iter().map(|&i| n(i))))
+    }
+
     #[test]
     fn initiation_has_empty_path() {
+        let arena = SharedPathArena::new();
         let m = FloodMsg::initiation(Value::One);
         assert!(m.path.is_empty());
-        assert_eq!(m.origin(n(3)), n(3));
+        assert_eq!(m.origin(&arena, n(3)), n(3));
     }
 
     #[test]
     fn origin_is_first_path_node_when_relayed() {
+        let arena = SharedPathArena::new();
         let m = FloodMsg {
             value: Value::Zero,
-            path: Path::from_nodes([n(5), n(2)]),
+            path: intern(&arena, &[5, 2]),
         };
-        assert_eq!(m.origin(n(7)), n(5));
+        assert_eq!(m.origin(&arena, n(7)), n(5));
     }
 
     #[test]
     fn tampering_flips_values_and_keeps_paths() {
+        let arena = SharedPathArena::new();
         let m = FloodMsg {
             value: Value::Zero,
-            path: Path::from_nodes([n(1)]),
+            path: intern(&arena, &[1]),
         };
         let t = m.tampered();
         assert_eq!(t.value, Value::One);
@@ -174,41 +187,42 @@ mod tests {
         let r = ReportMsg {
             observed: n(2),
             value: Value::One,
-            observed_path: Path::from_nodes([n(1)]),
-            path: Path::from_nodes([n(2)]),
+            observed_path: intern(&arena, &[1]),
+            path: intern(&arena, &[2]),
         };
         assert_eq!(r.tampered().value, Value::Zero);
         assert_eq!(r.tampered().observed, n(2));
-        assert_eq!(r.origin(), n(1));
+        assert_eq!(r.origin(&arena), n(1));
         let initiation_report = ReportMsg {
             observed: n(2),
             value: Value::One,
-            observed_path: Path::empty(),
-            path: Path::from_nodes([n(2)]),
+            observed_path: PathId::EMPTY,
+            path: intern(&arena, &[2]),
         };
-        assert_eq!(initiation_report.origin(), n(2));
+        assert_eq!(initiation_report.origin(&arena), n(2));
 
         let d = DecisionMsg {
             value: Value::One,
-            path: Path::empty(),
+            path: PathId::EMPTY,
         };
         assert_eq!(d.tampered().value, Value::Zero);
     }
 
     #[test]
     fn alg2_message_tampering_is_variant_preserving() {
+        let arena = SharedPathArena::new();
         let m = Alg2Message::Input(FloodMsg::initiation(Value::One));
         assert!(matches!(m.tampered(), Alg2Message::Input(f) if f.value == Value::Zero));
         let d = Alg2Message::Decision(DecisionMsg {
             value: Value::Zero,
-            path: Path::empty(),
+            path: PathId::EMPTY,
         });
         assert!(matches!(d.tampered(), Alg2Message::Decision(x) if x.value == Value::One));
         let r = Alg2Message::Report(ReportMsg {
             observed: n(0),
             value: Value::Zero,
-            observed_path: Path::empty(),
-            path: Path::empty(),
+            observed_path: PathId::EMPTY,
+            path: intern(&arena, &[0]),
         });
         assert!(matches!(r.tampered(), Alg2Message::Report(x) if x.value == Value::One));
     }

@@ -21,8 +21,6 @@
 use std::collections::BTreeMap;
 
 use lbc_model::{NodeId, Round, Value};
-#[cfg(test)]
-use lbc_model::Path;
 use lbc_sim::{ByzantineMessage, Delivery, NodeContext, Outgoing, Protocol};
 
 use crate::flooding::Flooder;
@@ -191,11 +189,9 @@ impl P2pBaselineNode {
                     && candidates
                         .iter()
                         .any(|p| p.len() == 2 && p.first() == Some(origin));
-                let relayed = lbc_graph::paths::find_internally_disjoint_subset(
-                    &candidates,
-                    ctx.f + 1,
-                )
-                .is_some();
+                let relayed =
+                    lbc_graph::paths::find_internally_disjoint_subset(&candidates, ctx.f + 1)
+                        .is_some();
                 if direct || relayed {
                     accepted.insert(origin, value);
                     break;
@@ -269,7 +265,7 @@ impl Protocol for P2pBaselineNode {
             .filter(|d| d.message.step == current_step)
             .map(|d| Delivery {
                 from: d.from,
-                message: d.message.inner.clone(),
+                message: d.message.inner,
             })
             .collect();
         let mut out = Vec::new();
@@ -303,12 +299,12 @@ impl P2pBaselineNode {
     fn begin_step(&mut self, ctx: &NodeContext<'_>, step: usize) -> Vec<Outgoing<P2pMessage>> {
         match self.step_initiation(ctx, step) {
             Some(value) => {
-                let (flooder, out) = Flooder::start(ctx.id, value);
+                let (flooder, out) = Flooder::start(ctx.arena.clone(), ctx.id, value);
                 self.flooder = Some(flooder);
                 out.into_iter().map(|o| wrap(o, step)).collect()
             }
             None => {
-                self.flooder = Some(Flooder::observer(ctx.id));
+                self.flooder = Some(Flooder::observer(ctx.arena.clone(), ctx.id));
                 Vec::new()
             }
         }
@@ -357,11 +353,13 @@ mod tests {
 
     #[test]
     fn tampered_path_is_preserved() {
+        let arena = lbc_model::SharedPathArena::new();
+        let path = arena.intern(&lbc_model::Path::singleton(NodeId::new(3)));
         let m = P2pMessage {
             step: 0,
             inner: FloodMsg {
                 value: Value::One,
-                path: Path::from_nodes([NodeId::new(3)]),
+                path,
             },
         };
         assert_eq!(m.tampered().inner.path, m.inner.path);

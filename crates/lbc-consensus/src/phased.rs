@@ -121,7 +121,12 @@ impl PhasedNode {
     }
 
     /// Executes steps (b) and (c) at the end of a phase.
-    fn finish_phase(&mut self, ctx: &NodeContext<'_>, flooder: &Flooder, phase: &(NodeSet, NodeSet)) {
+    fn finish_phase(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        flooder: &Flooder,
+        phase: &(NodeSet, NodeSet),
+    ) {
         let (fault_candidate, equivocator_candidate) = phase;
         let me = ctx.id;
         let graph = ctx.graph;
@@ -159,8 +164,7 @@ impl PhasedNode {
         self.case_log.push(case);
 
         if bv.contains(me) {
-            let witness_paths =
-                paths::disjoint_set_to_node_paths(graph, &av, me, &exclude, f + 1);
+            let witness_paths = paths::disjoint_set_to_node_paths(graph, &av, me, &exclude, f + 1);
             if witness_paths.len() == f + 1 {
                 let delivered: Vec<Option<Value>> = witness_paths
                     .iter()
@@ -192,7 +196,7 @@ impl Protocol for PhasedNode {
     fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<FloodMsg>> {
         let n = ctx.n();
         let phases = combinatorics::hybrid_fault_set_phases(n, ctx.f, self.equivocation_bound);
-        let (flooder, out) = Flooder::start(ctx.id, self.gamma);
+        let (flooder, out) = Flooder::start(ctx.arena.clone(), ctx.id, self.gamma);
         self.state = Some(RunState {
             phases,
             phase_index: 0,
@@ -233,7 +237,7 @@ impl Protocol for PhasedNode {
         state.phase_index += 1;
         state.round_in_phase = 0;
         if state.phase_index < state.phases.len() {
-            let (flooder, initiation) = Flooder::start(ctx.id, self.gamma);
+            let (flooder, initiation) = Flooder::start(ctx.arena.clone(), ctx.id, self.gamma);
             state.flooder = flooder;
             out.extend(initiation);
             self.state = Some(state);

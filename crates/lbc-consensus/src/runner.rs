@@ -25,6 +25,7 @@ pub enum AlgorithmKind {
 /// picking the simulator's round limit.
 const ROUND_MARGIN: usize = 2;
 
+#[allow(clippy::too_many_arguments)]
 fn execute<P, A>(
     graph: &Graph,
     model: CommModel,
@@ -44,8 +45,7 @@ where
         graph.node_count(),
         "one input per graph node is required"
     );
-    let mut network =
-        Network::new(graph.clone(), model, faulty.clone(), nodes).with_fault_bound(f);
+    let mut network = Network::new(graph.clone(), model, faulty.clone(), nodes).with_fault_bound(f);
     let report = network.run(adversary, max_rounds);
     let mut outcome = ConsensusOutcome::new(inputs.clone(), faulty.clone());
     for node in graph.nodes() {
@@ -161,7 +161,9 @@ where
     let model = CommModel::Hybrid {
         equivocators: equivocators.clone(),
     };
-    execute(graph, model, f, inputs, faulty, adversary, nodes, max_rounds)
+    execute(
+        graph, model, f, inputs, faulty, adversary, nodes, max_rounds,
+    )
 }
 
 /// Runs the **point-to-point baseline** (king agreement over Dolev-style
@@ -200,7 +202,10 @@ where
 /// the first failing outcome, if any.
 ///
 /// Used by tests and experiments to exhaustively check small configurations.
-pub fn exhaustive_inputs_check<F>(n: usize, mut run: F) -> Option<(InputAssignment, ConsensusOutcome)>
+pub fn exhaustive_inputs_check<F>(
+    n: usize,
+    mut run: F,
+) -> Option<(InputAssignment, ConsensusOutcome)>
 where
     F: FnMut(&InputAssignment) -> ConsensusOutcome,
 {

@@ -154,7 +154,11 @@ fn algorithm2_omission_gap_reproduction_finding() {
 fn algorithm2_on_k5_tolerates_two_faults() {
     let graph = generators::complete(5);
     assert!(conditions::efficient_algorithm_applicable(&graph, 2));
-    let strategies = [Strategy::Silent, Strategy::TamperRelays, Strategy::Equivocate];
+    let strategies = [
+        Strategy::Silent,
+        Strategy::TamperRelays,
+        Strategy::Equivocate,
+    ];
     for a in 0..5 {
         for b in (a + 1)..5 {
             let faulty: NodeSet = [n(a), n(b)].into_iter().collect();
@@ -192,15 +196,8 @@ fn algorithm3_on_k5_tolerates_an_equivocating_fault() {
         for strategy in [Strategy::Equivocate, Strategy::TamperAll, Strategy::Silent] {
             for inputs in input_battery(5) {
                 let mut adversary = strategy.clone().into_adversary();
-                let (outcome, _) = runner::run_algorithm3(
-                    &graph,
-                    1,
-                    1,
-                    &faulty,
-                    &inputs,
-                    &faulty,
-                    &mut adversary,
-                );
+                let (outcome, _) =
+                    runner::run_algorithm3(&graph, 1, 1, &faulty, &inputs, &faulty, &mut adversary);
                 assert!(
                     outcome.verdict().is_correct(),
                     "Algorithm 3 failed: faulty={faulty}, strategy={}, inputs={inputs}: {outcome}",
@@ -273,5 +270,8 @@ fn local_broadcast_needs_less_than_point_to_point() {
     let k5 = generators::complete(5);
     assert!(conditions::local_broadcast_feasible(&k5, 2));
     assert!(!conditions::point_to_point_feasible(&k5, 2));
-    assert!(conditions::point_to_point_feasible(&generators::complete(7), 2));
+    assert!(conditions::point_to_point_feasible(
+        &generators::complete(7),
+        2
+    ));
 }

@@ -1,0 +1,414 @@
+//! Byte-level equivalence of the path-interning flood engine against the
+//! naive pre-refactor engine.
+//!
+//! Both engines run the same whole-graph flood scripts — every node floods
+//! its input for `n` rounds under local-broadcast delivery — and the tests
+//! assert that per-round transcripts (every broadcast's value and resolved
+//! path, in emission order), the final received maps, and the overheard sets
+//! are identical. Scripts cover the fault-free case, relay tampering,
+//! attempted equivocation (suppressed by rule (ii)), and silent nodes
+//! (default injection).
+
+use lbc_consensus::flooding::{Flooder, NaiveFloodMsg, NaiveFlooder};
+use lbc_consensus::FloodMsg;
+use lbc_graph::{generators, Graph};
+use lbc_model::{NodeId, NodeSet, Path, SharedPathArena, Value};
+use lbc_sim::{Delivery, Outgoing};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// How a faulty node misbehaves in a script.
+#[derive(Clone, Copy, PartialEq)]
+enum Fault {
+    None,
+    /// The node never transmits.
+    Silent(NodeId),
+    /// The node flips the value of everything it sends after round 0.
+    TamperRelays(NodeId),
+    /// The node sends each of its transmissions twice with conflicting
+    /// values (an equivocation attempt; under local broadcast both copies
+    /// reach every neighbor and rule (ii) keeps only the first).
+    Equivocate(NodeId),
+}
+
+/// An engine-independent transcript: per round, every node's broadcasts as
+/// `(sender, value, resolved path)` in emission order; then the final state.
+#[derive(Debug, PartialEq)]
+struct Transcript {
+    rounds: Vec<Vec<(NodeId, Value, Vec<NodeId>)>>,
+    received_from: Vec<Vec<(Vec<NodeId>, Value)>>,
+    overheard: Vec<Vec<(NodeId, Vec<NodeId>, Value)>>,
+    received_counts: Vec<usize>,
+}
+
+fn apply_fault(
+    fault: Fault,
+    sender: NodeId,
+    round: usize,
+    msgs: Vec<(Value, Vec<NodeId>)>,
+) -> Vec<(Value, Vec<NodeId>)> {
+    match fault {
+        Fault::None => msgs,
+        Fault::Silent(bad) if sender == bad => Vec::new(),
+        Fault::TamperRelays(bad) if sender == bad && round > 0 => {
+            msgs.into_iter().map(|(v, p)| (v.flipped(), p)).collect()
+        }
+        Fault::Equivocate(bad) if sender == bad => msgs
+            .into_iter()
+            .flat_map(|(v, p)| [(v, p.clone()), (v.flipped(), p)])
+            .collect(),
+        _ => msgs,
+    }
+}
+
+/// Runs the interned engine over the script and records the transcript.
+fn run_interned(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) -> Transcript {
+    let arena = SharedPathArena::new();
+    let node_count = graph.node_count();
+    let mut flooders = Vec::new();
+    // pending[v] = the abstract messages v transmits before the next round.
+    let mut pending: Vec<Vec<(Value, Vec<NodeId>)>> = Vec::new();
+    for (v, &input) in inputs.iter().enumerate().take(node_count) {
+        let (flooder, out) = Flooder::start(arena.clone(), n(v), input);
+        let msgs = out
+            .iter()
+            .map(|o| match o {
+                Outgoing::Broadcast(m) => (m.value, arena.resolve(m.path).nodes().to_vec()),
+                Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
+            })
+            .collect();
+        flooders.push(flooder);
+        pending.push(apply_fault(fault, n(v), 0, msgs));
+    }
+
+    let mut transcript_rounds = Vec::new();
+    for round in 0..rounds {
+        // Record this round's (faulted) transmissions.
+        let mut record = Vec::new();
+        for (v, msgs) in pending.iter().enumerate() {
+            for (value, path) in msgs {
+                record.push((n(v), *value, path.clone()));
+            }
+        }
+        transcript_rounds.push(record);
+
+        // Deliver to all neighbors, in sender order.
+        let mut inboxes: Vec<Vec<Delivery<FloodMsg>>> = vec![Vec::new(); node_count];
+        for (sender, msgs) in pending.iter().enumerate() {
+            for (value, path) in msgs {
+                let id = arena.intern(&Path::from_nodes(path.iter().copied()));
+                for neighbor in graph.neighbors(n(sender)) {
+                    inboxes[neighbor.index()].push(Delivery {
+                        from: n(sender),
+                        message: FloodMsg {
+                            value: *value,
+                            path: id,
+                        },
+                    });
+                }
+            }
+        }
+
+        let mut next_pending = Vec::with_capacity(node_count);
+        for (v, flooder) in flooders.iter_mut().enumerate() {
+            let out = flooder.on_round(graph, round == 0, &inboxes[v]);
+            let msgs: Vec<(Value, Vec<NodeId>)> = out
+                .iter()
+                .map(|o| match o {
+                    Outgoing::Broadcast(m) => (m.value, arena.resolve(m.path).nodes().to_vec()),
+                    Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
+                })
+                .collect();
+            next_pending.push(apply_fault(fault, n(v), round + 1, msgs));
+        }
+        pending = next_pending;
+    }
+
+    Transcript {
+        rounds: transcript_rounds,
+        received_from: flooders
+            .iter()
+            .map(|f| {
+                (0..node_count)
+                    .flat_map(|origin| {
+                        f.received_from(n(origin))
+                            .into_iter()
+                            .map(|(p, v)| (p.nodes().to_vec(), v))
+                    })
+                    .collect()
+            })
+            .collect(),
+        overheard: flooders
+            .iter()
+            .map(|f| {
+                f.overheard()
+                    .into_iter()
+                    .map(|(from, p, v)| (from, p.nodes().to_vec(), v))
+                    .collect()
+            })
+            .collect(),
+        received_counts: flooders.iter().map(Flooder::received_count).collect(),
+    }
+}
+
+/// Runs the naive engine over the same script.
+fn run_naive(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) -> Transcript {
+    let node_count = graph.node_count();
+    let mut flooders = Vec::new();
+    let mut pending: Vec<Vec<(Value, Vec<NodeId>)>> = Vec::new();
+    for (v, &input) in inputs.iter().enumerate().take(node_count) {
+        let (flooder, out) = NaiveFlooder::start(n(v), input);
+        let msgs = out
+            .iter()
+            .map(|o| match o {
+                Outgoing::Broadcast(m) => (m.value, m.path.nodes().to_vec()),
+                Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
+            })
+            .collect();
+        flooders.push(flooder);
+        pending.push(apply_fault(fault, n(v), 0, msgs));
+    }
+
+    let mut transcript_rounds = Vec::new();
+    for round in 0..rounds {
+        let mut record = Vec::new();
+        for (v, msgs) in pending.iter().enumerate() {
+            for (value, path) in msgs {
+                record.push((n(v), *value, path.clone()));
+            }
+        }
+        transcript_rounds.push(record);
+
+        let mut inboxes: Vec<Vec<Delivery<NaiveFloodMsg>>> = vec![Vec::new(); node_count];
+        for (sender, msgs) in pending.iter().enumerate() {
+            for (value, path) in msgs {
+                for neighbor in graph.neighbors(n(sender)) {
+                    inboxes[neighbor.index()].push(Delivery {
+                        from: n(sender),
+                        message: NaiveFloodMsg {
+                            value: *value,
+                            path: Path::from_nodes(path.iter().copied()),
+                        },
+                    });
+                }
+            }
+        }
+
+        let mut next_pending = Vec::with_capacity(node_count);
+        for (v, flooder) in flooders.iter_mut().enumerate() {
+            let out = flooder.on_round(graph, round == 0, &inboxes[v]);
+            let msgs: Vec<(Value, Vec<NodeId>)> = out
+                .iter()
+                .map(|o| match o {
+                    Outgoing::Broadcast(m) => (m.value, m.path.nodes().to_vec()),
+                    Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
+                })
+                .collect();
+            next_pending.push(apply_fault(fault, n(v), round + 1, msgs));
+        }
+        pending = next_pending;
+    }
+
+    Transcript {
+        rounds: transcript_rounds,
+        received_from: flooders
+            .iter()
+            .map(|f| {
+                (0..node_count)
+                    .flat_map(|origin| {
+                        f.received_from(n(origin))
+                            .into_iter()
+                            .map(|(p, v)| (p.nodes().to_vec(), v))
+                    })
+                    .collect()
+            })
+            .collect(),
+        overheard: flooders
+            .iter()
+            .map(|f| {
+                f.overheard()
+                    .into_iter()
+                    .map(|(from, p, v)| (from, p.nodes().to_vec(), v))
+                    .collect()
+            })
+            .collect(),
+        received_counts: flooders.iter().map(NaiveFlooder::received_count).collect(),
+    }
+}
+
+fn assert_equivalent(graph: &Graph, inputs: &[Value], fault: Fault, label: &str) {
+    let rounds = graph.node_count() + 1;
+    let interned = run_interned(graph, inputs, rounds, fault);
+    let naive = run_naive(graph, inputs, rounds, fault);
+    assert_eq!(
+        interned.rounds, naive.rounds,
+        "{label}: per-round transcripts diverge"
+    );
+    assert_eq!(
+        interned.received_from, naive.received_from,
+        "{label}: received maps diverge"
+    );
+    assert_eq!(
+        interned.overheard, naive.overheard,
+        "{label}: overheard sets diverge"
+    );
+    assert_eq!(
+        interned.received_counts, naive.received_counts,
+        "{label}: received counts diverge"
+    );
+}
+
+fn alternating_inputs(count: usize) -> Vec<Value> {
+    (0..count).map(|i| Value::from(i % 2 == 0)).collect()
+}
+
+#[test]
+fn fault_free_flood_is_identical_on_the_5_cycle() {
+    let graph = generators::cycle(5);
+    assert_equivalent(&graph, &alternating_inputs(5), Fault::None, "cycle5/honest");
+}
+
+#[test]
+fn fault_free_flood_is_identical_on_the_clique() {
+    let graph = generators::complete(5);
+    assert_equivalent(&graph, &alternating_inputs(5), Fault::None, "k5/honest");
+}
+
+#[test]
+fn tampered_relays_are_identical_on_cycle_and_clique() {
+    for (label, graph) in [
+        ("cycle6/tamper", generators::cycle(6)),
+        ("k5/tamper", generators::complete(5)),
+    ] {
+        assert_equivalent(
+            &graph,
+            &alternating_inputs(graph.node_count()),
+            Fault::TamperRelays(n(1)),
+            label,
+        );
+    }
+}
+
+#[test]
+fn equivocation_suppression_is_identical() {
+    // The equivocating node's second, conflicting copy must be dropped by
+    // rule (ii) in both engines, leaving identical state.
+    for (label, graph) in [
+        ("cycle5/equivocate", generators::cycle(5)),
+        ("k4/equivocate", generators::complete(4)),
+    ] {
+        assert_equivalent(
+            &graph,
+            &alternating_inputs(graph.node_count()),
+            Fault::Equivocate(n(0)),
+            label,
+        );
+    }
+}
+
+#[test]
+fn default_injection_for_silent_nodes_is_identical() {
+    for (label, graph) in [
+        ("cycle5/silent", generators::cycle(5)),
+        ("k5/silent", generators::complete(5)),
+    ] {
+        assert_equivalent(
+            &graph,
+            &alternating_inputs(graph.node_count()),
+            Fault::Silent(n(2)),
+            label,
+        );
+    }
+}
+
+#[test]
+fn wheel_and_circulant_floods_are_identical() {
+    for (label, graph) in [
+        ("wheel8/honest", generators::wheel(8)),
+        ("circulant8/tamper", generators::circulant(8, &[1, 2])),
+    ] {
+        assert_equivalent(
+            &graph,
+            &alternating_inputs(graph.node_count()),
+            Fault::TamperRelays(n(3)),
+            label,
+        );
+    }
+}
+
+#[test]
+fn query_accessors_agree_value_by_value() {
+    // Beyond transcript equality: spot-check the query APIs (value_along,
+    // paths_with_value_excluding) on the clique where many paths exist.
+    let graph = generators::complete(5);
+    let inputs = alternating_inputs(5);
+    let arena = SharedPathArena::new();
+    let mut interned: Vec<Flooder> = Vec::new();
+    let mut naive: Vec<NaiveFlooder> = Vec::new();
+    let mut pending_i = Vec::new();
+    let mut pending_n = Vec::new();
+    for (v, &input) in inputs.iter().enumerate() {
+        let (f, out) = Flooder::start(arena.clone(), n(v), input);
+        interned.push(f);
+        pending_i.push(out);
+        let (f, out) = NaiveFlooder::start(n(v), input);
+        naive.push(f);
+        pending_n.push(out);
+    }
+    for round in 0..5 {
+        let mut inboxes_i: Vec<Vec<Delivery<FloodMsg>>> = vec![Vec::new(); 5];
+        let mut inboxes_n: Vec<Vec<Delivery<NaiveFloodMsg>>> = vec![Vec::new(); 5];
+        for sender in 0..5 {
+            for o in &pending_i[sender] {
+                if let Outgoing::Broadcast(m) = o {
+                    for neighbor in graph.neighbors(n(sender)) {
+                        inboxes_i[neighbor.index()].push(Delivery {
+                            from: n(sender),
+                            message: *m,
+                        });
+                    }
+                }
+            }
+            for o in &pending_n[sender] {
+                if let Outgoing::Broadcast(m) = o {
+                    for neighbor in graph.neighbors(n(sender)) {
+                        inboxes_n[neighbor.index()].push(Delivery {
+                            from: n(sender),
+                            message: m.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for v in 0..5 {
+            pending_i[v] = interned[v].on_round(&graph, round == 0, &inboxes_i[v]);
+            pending_n[v] = naive[v].on_round(&graph, round == 0, &inboxes_n[v]);
+        }
+    }
+    let exclude: NodeSet = [n(1), n(3)].into_iter().collect();
+    for v in 0..5 {
+        for origin in 0..5 {
+            for value in [Value::Zero, Value::One] {
+                assert_eq!(
+                    interned[v].paths_with_value(n(origin), value),
+                    naive[v].paths_with_value(n(origin), value),
+                    "paths_with_value(v{v}, origin v{origin}, {value})"
+                );
+                assert_eq!(
+                    interned[v].paths_with_value_excluding(n(origin), value, &exclude),
+                    naive[v].paths_with_value_excluding(n(origin), value, &exclude),
+                    "paths_with_value_excluding(v{v}, origin v{origin}, {value})"
+                );
+            }
+            for (path, _) in naive[v].received_from(n(origin)) {
+                assert_eq!(
+                    interned[v].value_along(&path),
+                    naive[v].value_along(&path),
+                    "value_along(v{v}, {path})"
+                );
+            }
+        }
+    }
+}

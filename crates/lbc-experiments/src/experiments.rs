@@ -1,9 +1,7 @@
 //! The experiment implementations (E1–E8).
 
 use lbc_adversary::Strategy;
-use lbc_consensus::{
-    conditions, runner, Algorithm1Node, Algorithm2Node,
-};
+use lbc_consensus::{conditions, runner, Algorithm1Node, Algorithm2Node};
 use lbc_graph::{connectivity, generators, Graph};
 use lbc_lowerbound::{connectivity_construction, degree_construction};
 use lbc_model::{CommModel, InputAssignment, NodeId, NodeSet};
@@ -28,7 +26,14 @@ pub fn e1_fig1a_cycle() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E1",
         "Figure 1(a): 5-cycle, f = 1, all fault placements × strategies",
-        &["faulty", "strategy", "algorithm", "correct", "rounds", "transmissions"],
+        &[
+            "faulty",
+            "strategy",
+            "algorithm",
+            "correct",
+            "rounds",
+            "transmissions",
+        ],
     );
     result.push_note(format!(
         "conditions: min degree {} >= 2, connectivity {} >= 2 -> feasible = {}",
@@ -36,7 +41,11 @@ pub fn e1_fig1a_cycle() -> ExperimentResult {
         connectivity::vertex_connectivity(&graph),
         yes_no(conditions::local_broadcast_feasible(&graph, 1))
     ));
-    let strategies = [Strategy::Silent, Strategy::TamperRelays, Strategy::Equivocate];
+    let strategies = [
+        Strategy::Silent,
+        Strategy::TamperRelays,
+        Strategy::Equivocate,
+    ];
     for faulty_node in 0..5 {
         let faulty = NodeSet::singleton(NodeId::new(faulty_node));
         for strategy in &strategies {
@@ -55,8 +64,7 @@ pub fn e1_fig1a_cycle() -> ExperimentResult {
             // (see the Appendix C omission gap documented in EXPERIMENTS.md).
             if *strategy != Strategy::Silent {
                 let mut adversary = strategy.clone().into_adversary();
-                let (o2, t2) =
-                    runner::run_algorithm2(&graph, 1, &inputs, &faulty, &mut adversary);
+                let (o2, t2) = runner::run_algorithm2(&graph, 1, &inputs, &faulty, &mut adversary);
                 result.push_row([
                     faulty.to_string(),
                     strategy.name().to_string(),
@@ -80,11 +88,23 @@ pub fn e2_fig1b_f2() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E2",
         "Figure 1(b) class: f = 2 graphs (degree >= 4, connectivity >= 4)",
-        &["graph", "n", "min degree", "connectivity", "feasible f=2", "alg1 correct", "alg2 correct"],
+        &[
+            "graph",
+            "n",
+            "min degree",
+            "connectivity",
+            "feasible f=2",
+            "alg1 correct",
+            "alg2 correct",
+        ],
     );
     let candidates: Vec<(&str, Graph, bool)> = vec![
         ("C9(1,2)", generators::paper_fig1b(), false),
-        ("C6(1,2) octahedron", generators::circulant(6, &[1, 2]), true),
+        (
+            "C6(1,2) octahedron",
+            generators::circulant(6, &[1, 2]),
+            true,
+        ),
         ("K5", generators::complete(5), true),
     ];
     for (name, graph, run_consensus) in candidates {
@@ -126,7 +146,13 @@ pub fn e3_degree_lower_bound() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E3",
         "Figure 2: impossibility when minimum degree < 2f",
-        &["graph", "f", "deficient node degree", "violated executions", "violation"],
+        &[
+            "graph",
+            "f",
+            "deficient node degree",
+            "violated executions",
+            "violation",
+        ],
     );
     let cases: Vec<(&str, Graph, usize)> = vec![
         ("path P4", generators::path_graph(4), 1),
@@ -135,7 +161,13 @@ pub fn e3_degree_lower_bound() -> ExperimentResult {
     ];
     for (name, graph, f) in cases {
         let Some(construction) = degree_construction(&graph, f) else {
-            result.push_row([name.to_string(), f.to_string(), "-".into(), "-".into(), "n/a".into()]);
+            result.push_row([
+                name.to_string(),
+                f.to_string(),
+                "-".into(),
+                "-".into(),
+                "n/a".into(),
+            ]);
             continue;
         };
         let rounds = Algorithm1Node::round_count(graph.node_count(), f) + 4;
@@ -148,7 +180,9 @@ pub fn e3_degree_lower_bound() -> ExperimentResult {
             yes_no(report.exhibits_violation()).to_string(),
         ]);
     }
-    result.push_note("a violation in E1/E2/E3 shows no algorithm can be correct on the deficient graph");
+    result.push_note(
+        "a violation in E1/E2/E3 shows no algorithm can be correct on the deficient graph",
+    );
     result
 }
 
@@ -160,11 +194,22 @@ pub fn e4_connectivity_lower_bound() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E4",
         "Figure 3: impossibility when connectivity < floor(3f/2) + 1",
-        &["graph", "f", "connectivity", "required", "violated executions", "violation"],
+        &[
+            "graph",
+            "f",
+            "connectivity",
+            "required",
+            "violated executions",
+            "violation",
+        ],
     );
     let cases: Vec<(&str, Graph, usize)> = vec![
         ("cycle C6", generators::cycle(6), 2),
-        ("two blobs through a 3-cut", generators::deficient_connectivity(2, 3), 2),
+        (
+            "two blobs through a 3-cut",
+            generators::deficient_connectivity(2, 3),
+            2,
+        ),
         ("path P5", generators::path_graph(5), 1),
     ];
     for (name, graph, f) in cases {
@@ -204,7 +249,15 @@ pub fn e5_threshold_sweep() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E5",
         "Max tolerable f: local broadcast vs point-to-point",
-        &["graph", "n", "min degree", "connectivity", "max f (local broadcast)", "max f (efficient 2f-conn)", "max f (point-to-point)"],
+        &[
+            "graph",
+            "n",
+            "min degree",
+            "connectivity",
+            "max f (local broadcast)",
+            "max f (efficient 2f-conn)",
+            "max f (point-to-point)",
+        ],
     );
     let mut graphs: Vec<(String, Graph)> = Vec::new();
     for n in [4usize, 5, 6, 7, 9, 11] {
@@ -253,7 +306,14 @@ pub fn e6_round_complexity() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E6",
         "Rounds and transmissions: Algorithm 1 vs Algorithm 2 vs point-to-point baseline",
-        &["graph", "f", "algorithm", "phases", "rounds (measured)", "transmissions"],
+        &[
+            "graph",
+            "f",
+            "algorithm",
+            "phases",
+            "rounds (measured)",
+            "transmissions",
+        ],
     );
     let cases: Vec<(&str, Graph, usize)> = vec![
         ("C5", generators::cycle(5), 1),
@@ -310,7 +370,15 @@ pub fn e7_hybrid_tradeoff() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E7",
         "Hybrid model: required connectivity and feasibility as t grows",
-        &["f", "t", "required connectivity", "K5 feasible", "K7 feasible", "C9(1,2) feasible", "alg3 on K5"],
+        &[
+            "f",
+            "t",
+            "required connectivity",
+            "K5 feasible",
+            "K7 feasible",
+            "C9(1,2) feasible",
+            "alg3 on K5",
+        ],
     );
     let k5 = generators::complete(5);
     let k7 = generators::complete(7);
@@ -321,7 +389,11 @@ pub fn e7_hybrid_tradeoff() -> ExperimentResult {
             let k5_ok = conditions::hybrid_feasible(&k5, f, t);
             let run = if k5_ok && f == 1 {
                 let faulty = NodeSet::singleton(NodeId::new(4));
-                let equivocators = if t > 0 { faulty.clone() } else { NodeSet::new() };
+                let equivocators = if t > 0 {
+                    faulty.clone()
+                } else {
+                    NodeSet::new()
+                };
                 let inputs = InputAssignment::from_bits(5, 0b00110);
                 let mut adversary = Strategy::Equivocate.into_adversary();
                 let (o, _) = runner::run_algorithm3(
@@ -360,14 +432,25 @@ pub fn e8_reliable_receive() -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E8",
         "Reliable receive / fault identification (Algorithm 2 phase 2)",
-        &["graph", "f", "strategy", "type A nodes", "correctly identified faults", "false accusations"],
+        &[
+            "graph",
+            "f",
+            "strategy",
+            "type A nodes",
+            "correctly identified faults",
+            "false accusations",
+        ],
     );
     let cases: Vec<(&str, Graph, usize)> = vec![
         ("C5", generators::cycle(5), 1),
         ("K5", generators::complete(5), 2),
     ];
     for (name, graph, f) in cases {
-        for strategy in [Strategy::TamperRelays, Strategy::TamperAll, Strategy::Honest] {
+        for strategy in [
+            Strategy::TamperRelays,
+            Strategy::TamperAll,
+            Strategy::Honest,
+        ] {
             let n = graph.node_count();
             let faulty: NodeSet = (0..f).map(NodeId::new).collect();
             let inputs = InputAssignment::from_bits(n, 0b101010 & ((1 << n) - 1));
@@ -449,14 +532,22 @@ mod tests {
     #[test]
     fn e3_always_exhibits_violations() {
         let result = e3_degree_lower_bound();
-        let col = result.headers.iter().position(|h| h == "violation").unwrap();
+        let col = result
+            .headers
+            .iter()
+            .position(|h| h == "violation")
+            .unwrap();
         assert!(result.rows.iter().all(|row| row[col] == "yes"));
     }
 
     #[test]
     fn e4_always_exhibits_violations() {
         let result = e4_connectivity_lower_bound();
-        let col = result.headers.iter().position(|h| h == "violation").unwrap();
+        let col = result
+            .headers
+            .iter()
+            .position(|h| h == "violation")
+            .unwrap();
         assert!(result.rows.iter().all(|row| row[col] == "yes"));
     }
 

@@ -35,8 +35,8 @@ mod experiments;
 mod result;
 
 pub use experiments::{
-    e1_fig1a_cycle, e2_fig1b_f2, e3_degree_lower_bound, e4_connectivity_lower_bound,
-    e5_threshold_sweep, e6_round_complexity, e7_hybrid_tradeoff, e8_reliable_receive,
-    all_experiments,
+    all_experiments, e1_fig1a_cycle, e2_fig1b_f2, e3_degree_lower_bound,
+    e4_connectivity_lower_bound, e5_threshold_sweep, e6_round_complexity, e7_hybrid_tradeoff,
+    e8_reliable_receive,
 };
 pub use result::ExperimentResult;

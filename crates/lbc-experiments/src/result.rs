@@ -1,12 +1,12 @@
 //! The tabular result type shared by all experiments.
 
-use serde::{Deserialize, Serialize};
+use lbc_model::json::{FromJson, Json, JsonError, ToJson};
 
 /// The result of one experiment: a labelled table plus free-form notes.
 ///
 /// Rendering is deliberately plain text so that `cargo bench`/examples can
 /// print exactly the rows recorded in `EXPERIMENTS.md`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentResult {
     /// Experiment identifier ("E1" … "E8").
     pub id: String,
@@ -94,6 +94,45 @@ impl ExperimentResult {
     }
 }
 
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("headers", self.headers.to_json()),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(ToJson::to_json).collect()),
+            ),
+            ("notes", self.notes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let field = |key: &str| {
+            value.get(key).ok_or_else(|| JsonError {
+                message: format!("experiment result missing '{key}'"),
+            })
+        };
+        Ok(ExperimentResult {
+            id: String::from_json(field("id")?)?,
+            title: String::from_json(field("title")?)?,
+            headers: Vec::<String>::from_json(field("headers")?)?,
+            rows: field("rows")?
+                .as_array()
+                .ok_or_else(|| JsonError {
+                    message: "'rows' must be an array".to_string(),
+                })?
+                .iter()
+                .map(Vec::<String>::from_json)
+                .collect::<Result<_, _>>()?,
+            notes: Vec::<String>::from_json(field("notes")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,11 +158,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut result = ExperimentResult::new("E1", "roundtrip", &["x"]);
         result.push_row(["1"]);
-        let json = serde_json::to_string(&result).unwrap();
-        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        result.push_note("note");
+        let json = result.to_json().to_string();
+        let back = ExperimentResult::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, result);
     }
 }

@@ -143,7 +143,7 @@ pub fn min_vertex_cut(graph: &Graph) -> Option<NodeSet> {
         for v in graph.nodes() {
             if u < v && !graph.has_edge(u, v) {
                 if let Some(cut) = min_uv_separator(graph, u, v) {
-                    let better = best.as_ref().map_or(true, |b| cut.len() < b.len());
+                    let better = best.as_ref().is_none_or(|b| cut.len() < b.len());
                     if better {
                         best = Some(cut);
                     }

@@ -118,7 +118,10 @@ pub fn circulant(n: usize, offsets: &[usize]) -> Graph {
 #[must_use]
 pub fn harary(k: usize, n: usize) -> Graph {
     assert!(n > 0, "Harary graph needs at least one node");
-    assert!(k < n, "Harary graph H_{{k,n}} requires k < n (got k={k}, n={n})");
+    assert!(
+        k < n,
+        "Harary graph H_{{k,n}} requires k < n (got k={k}, n={n})"
+    );
     if k == 0 {
         return Graph::empty(n);
     }
@@ -135,7 +138,7 @@ pub fn harary(k: usize, n: usize) -> Graph {
         circulant(n, &offsets)
     };
     if k % 2 == 1 {
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             for u in 0..n / 2 {
                 g.add_edge(NodeId::new(u), NodeId::new(u + n / 2))
                     .expect("indices < n");
@@ -143,7 +146,7 @@ pub fn harary(k: usize, n: usize) -> Graph {
         } else {
             // Both k and n odd: node 0 gets one extra edge; nodes i join i + (n+1)/2.
             for u in 0..=(n / 2) {
-                let v = (u + (n + 1) / 2) % n;
+                let v = (u + n.div_ceil(2)) % n;
                 if u != v {
                     g.add_edge(NodeId::new(u), NodeId::new(v))
                         .expect("indices < n");
@@ -336,9 +339,9 @@ pub fn deficient_connectivity(f: usize, blob: usize) -> Graph {
 /// degree; the lower-bound experiments use bespoke small graphs there.
 #[must_use]
 pub fn deficient_degree(f: usize, n: usize) -> Graph {
-    assert!(n >= 2 * f + 1, "need n - 1 >= 2f for the complete part");
+    assert!(n > 2 * f, "need n - 1 >= 2f for the complete part");
     assert!(
-        f >= 3 && 2 * f - 1 >= (3 * f) / 2 + 1,
+        f >= 3 && 2 * f > (3 * f) / 2 + 1,
         "for f = {f} the construction cannot keep connectivity ⌊3f/2⌋+1; use f >= 3"
     );
     let mut g = complete(n - 1);
@@ -413,7 +416,7 @@ mod tests {
             let g = harary(k, n);
             assert_eq!(
                 g.edge_count(),
-                (k * n + 1) / 2,
+                (k * n).div_ceil(2),
                 "H_{{{k},{n}}} edge count"
             );
             assert!(g.min_degree() >= k);

@@ -3,9 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use lbc_model::{NodeId, NodeSet, Path};
+use lbc_model::{NodeId, NodeSet, Path, PathArena, PathId};
 
 /// Errors produced when constructing or mutating a [`Graph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,7 +27,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "edge endpoint {node} is out of range for a graph on {n} nodes")
+                write!(
+                    f,
+                    "edge endpoint {node} is out of range for a graph on {n} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop at {node} is not allowed in a simple graph")
@@ -59,7 +60,7 @@ impl std::error::Error for GraphError {}
 /// assert_eq!(g.degree(NodeId::new(2)), 2);
 /// assert!(g.is_connected());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     adjacency: Vec<BTreeSet<NodeId>>,
@@ -240,6 +241,34 @@ impl Graph {
             return false;
         }
         nodes.windows(2).all(|w| self.has_edge(w[0], w[1]))
+    }
+
+    /// Whether the interned path `id` is a path of this graph — the
+    /// arena-native counterpart of [`Graph::is_path`], used by the flood
+    /// engine's rule (i) without resolving the path into a `Vec`.
+    ///
+    /// Walks the arena's parent chain once: consecutive nodes must be
+    /// adjacent, all nodes valid, and no node may repeat (the arena memoizes
+    /// simplicity per entry, so the repeat check is O(1)).
+    #[must_use]
+    pub fn is_arena_path(&self, arena: &PathArena, id: PathId) -> bool {
+        if !arena.is_simple(id) {
+            return false;
+        }
+        let Some((mut prefix, mut current)) = arena.step(id) else {
+            return true; // the empty path ⊥
+        };
+        if !self.contains_node(current) {
+            return false;
+        }
+        while let Some((parent, node)) = arena.step(prefix) {
+            if !self.contains_node(node) || !self.has_edge(node, current) {
+                return false;
+            }
+            current = node;
+            prefix = parent;
+        }
+        true
     }
 
     /// The neighborhood of a node set `S`: nodes *outside* `S` that have an
@@ -425,6 +454,30 @@ mod tests {
         assert!(!g.is_path(&out_of_range));
         assert!(g.is_path(&Path::empty()));
         assert!(g.is_path(&Path::singleton(n(3))));
+    }
+
+    #[test]
+    fn is_arena_path_agrees_with_is_path() {
+        let g = c5();
+        let mut arena = PathArena::new();
+        let cases: &[&[usize]] = &[
+            &[],
+            &[3],
+            &[0, 1, 2],
+            &[0, 2],
+            &[0, 1, 0],
+            &[0, 7],
+            &[4, 0, 1, 2, 3],
+        ];
+        for nodes in cases {
+            let path = Path::from_nodes(nodes.iter().map(|&i| n(i)));
+            let id = arena.intern(&path);
+            assert_eq!(
+                g.is_arena_path(&arena, id),
+                g.is_path(&path),
+                "disagreement on {path}"
+            );
+        }
     }
 
     #[test]

@@ -173,7 +173,7 @@ impl FlowNetwork {
                 for idx in 0..self.adjacency[current].len() {
                     let edge = self.adjacency[current][idx];
                     // Forward edges with positive flow only.
-                    if edge % 2 == 0 && self.edges[edge].flow > 0 {
+                    if edge.is_multiple_of(2) && self.edges[edge].flow > 0 {
                         self.edges[edge].flow -= 1;
                         self.edges[edge ^ 1].flow += 1;
                         current = self.edges[edge].to;

@@ -378,7 +378,10 @@ mod tests {
         let g = generators::cycle(5);
         let p = shortest_path(&g, n(0), n(2)).unwrap();
         assert_eq!(p.nodes(), &[n(0), n(1), n(2)]);
-        assert_eq!(shortest_path(&g, n(3), n(3)).unwrap(), Path::singleton(n(3)));
+        assert_eq!(
+            shortest_path(&g, n(3), n(3)).unwrap(),
+            Path::singleton(n(3))
+        );
     }
 
     #[test]
@@ -525,7 +528,12 @@ mod tests {
         assert_eq!(witness.len(), 2);
         assert!(witness[0].internally_disjoint(&witness[1]));
         assert!(find_internally_disjoint_subset(&candidates, 3).is_none());
-        assert_eq!(find_internally_disjoint_subset(&candidates, 0).unwrap().len(), 0);
+        assert_eq!(
+            find_internally_disjoint_subset(&candidates, 0)
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]

@@ -104,7 +104,7 @@ proptest! {
         let v = NodeId::new(0);
         let sources: NodeSet = (1..n).map(NodeId::new).collect();
         let family = paths::disjoint_set_to_node_paths(&g, &sources, v, &NodeSet::new(), usize::MAX);
-        prop_assert!(family.len() >= 1);
+        prop_assert!(!family.is_empty());
         for path in &family {
             prop_assert!(g.is_path(path));
             prop_assert!(sources.contains(path.first().unwrap()));

@@ -105,8 +105,7 @@ impl Construction {
             .executions
             .iter()
             .map(|spec| {
-                let mut outcome =
-                    ConsensusOutcome::new(spec.inputs.clone(), spec.faulty.clone());
+                let mut outcome = ConsensusOutcome::new(spec.inputs.clone(), spec.faulty.clone());
                 for (original, source) in &spec.sources {
                     if let Some(Some(value)) = outputs.get(source) {
                         outcome.record_output(*original, *value);
@@ -156,7 +155,11 @@ pub fn degree_construction(graph: &Graph, f: usize) -> Option<Construction> {
             network.add_node(SplitNodeId::zero(v), Value::Zero);
             network.add_node(SplitNodeId::one(v), Value::One);
         } else {
-            let input = if f2.contains(v) { Value::One } else { Value::Zero };
+            let input = if f2.contains(v) {
+                Value::One
+            } else {
+                Value::Zero
+            };
             network.add_node(SplitNodeId::zero(v), input);
         }
     }
@@ -271,8 +274,7 @@ pub fn connectivity_construction(graph: &Graph, f: usize) -> Option<Construction
     let cut = partition.cut.clone();
     // Partition the cut into (C1, C2, C3) with |C1|, |C2| ≤ ⌊f/2⌋ and
     // |C3| ≤ ⌈f/2⌉.
-    let sizes =
-        combinatorics::greedy_sizes(cut.len(), &[f / 2, f / 2, f.div_ceil(2)])?;
+    let sizes = combinatorics::greedy_sizes(cut.len(), &[f / 2, f / 2, f.div_ceil(2)])?;
     let parts = combinatorics::split_by_sizes(&cut, &sizes);
     let (c1, c2, c3) = (parts[0].clone(), parts[1].clone(), parts[2].clone());
 
@@ -283,7 +285,11 @@ pub fn connectivity_construction(graph: &Graph, f: usize) -> Option<Construction
             network.add_node(SplitNodeId::zero(v), Value::Zero);
             network.add_node(SplitNodeId::one(v), Value::One);
         } else {
-            let input = if c1.contains(v) { Value::Zero } else { Value::One };
+            let input = if c1.contains(v) {
+                Value::Zero
+            } else {
+                Value::One
+            };
             network.add_node(SplitNodeId::zero(v), input);
         }
     }

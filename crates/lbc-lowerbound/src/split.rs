@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, Round, Value};
+use lbc_model::{NodeId, Round, SharedPathArena, Value};
 use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
 
 /// Which copy of an original node a `𝔾`-node is.
@@ -170,6 +170,10 @@ impl DoubledNetwork {
             .map(|(i, node)| make(node.original, self.inputs[i]))
             .collect();
 
+        // One shared path arena for the doubled execution, as the real
+        // simulator has one per run.
+        let arena = SharedPathArena::new();
+
         // Start-of-execution transmissions.
         let mut pending: Vec<Vec<Outgoing<P::Message>>> = Vec::with_capacity(self.nodes.len());
         for (i, protocol) in protocols.iter_mut().enumerate() {
@@ -177,6 +181,7 @@ impl DoubledNetwork {
                 id: self.nodes[i].original,
                 graph: &self.graph,
                 f: self.f,
+                arena: &arena,
             };
             pending.push(protocol.on_start(&ctx));
         }
@@ -188,8 +193,7 @@ impl DoubledNetwork {
             // Deliver: under the local broadcast physics of 𝔾, every
             // transmission (broadcast or unicast alike) is heard by every
             // receiver wired to the sender.
-            let mut inboxes: Vec<Vec<Delivery<P::Message>>> =
-                vec![Vec::new(); self.nodes.len()];
+            let mut inboxes: Vec<Vec<Delivery<P::Message>>> = vec![Vec::new(); self.nodes.len()];
             for (sender_idx, outgoing) in pending.iter().enumerate() {
                 let sender_original = self.nodes[sender_idx].original;
                 for o in outgoing {
@@ -210,6 +214,7 @@ impl DoubledNetwork {
                     id: self.nodes[i].original,
                     graph: &self.graph,
                     f: self.f,
+                    arena: &arena,
                 };
                 next_pending.push(protocol.on_round(&ctx, round, &inboxes[i]));
             }

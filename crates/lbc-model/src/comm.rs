@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeId, NodeSet};
 
 /// The communication model that governs how transmissions by *faulty* nodes
@@ -33,10 +31,11 @@ use crate::{NodeId, NodeSet};
 /// assert!(CommModel::PointToPoint.allows_equivocation(NodeId::new(1)));
 /// assert!(!CommModel::LocalBroadcast.allows_equivocation(NodeId::new(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum CommModel {
     /// Local broadcast: all transmissions are overheard identically by every
     /// neighbor of the sender.
+    #[default]
     LocalBroadcast,
     /// Classical point-to-point links: faulty nodes may equivocate freely.
     PointToPoint,
@@ -93,12 +92,6 @@ impl CommModel {
             CommModel::Hybrid { equivocators } => equivocators.is_empty(),
             CommModel::PointToPoint => false,
         }
-    }
-}
-
-impl Default for CommModel {
-    fn default() -> Self {
-        CommModel::LocalBroadcast
     }
 }
 

@@ -42,13 +42,19 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::NodeOutOfRange { node, n } => {
-                write!(f, "node {node} is out of range for a population of {n} nodes")
+                write!(
+                    f,
+                    "node {node} is out of range for a population of {n} nodes"
+                )
             }
             ModelError::TooManyFaults { actual, bound } => {
                 write!(f, "{actual} faulty nodes exceed the tolerance f = {bound}")
             }
             ModelError::TooManyEquivocators { actual, bound } => {
-                write!(f, "{actual} equivocating nodes exceed the bound t = {bound}")
+                write!(
+                    f,
+                    "{actual} equivocating nodes exceed the bound t = {bound}"
+                )
             }
             ModelError::InputLengthMismatch { inputs, nodes } => {
                 write!(f, "{inputs} inputs supplied for {nodes} nodes")
@@ -69,15 +75,27 @@ mod tests {
             node: NodeId::new(9),
             n: 5,
         };
-        assert_eq!(e.to_string(), "node v9 is out of range for a population of 5 nodes");
+        assert_eq!(
+            e.to_string(),
+            "node v9 is out of range for a population of 5 nodes"
+        );
 
-        let e = ModelError::TooManyFaults { actual: 3, bound: 2 };
+        let e = ModelError::TooManyFaults {
+            actual: 3,
+            bound: 2,
+        };
         assert!(e.to_string().contains("f = 2"));
 
-        let e = ModelError::TooManyEquivocators { actual: 2, bound: 1 };
+        let e = ModelError::TooManyEquivocators {
+            actual: 2,
+            bound: 1,
+        };
         assert!(e.to_string().contains("t = 1"));
 
-        let e = ModelError::InputLengthMismatch { inputs: 4, nodes: 6 };
+        let e = ModelError::InputLengthMismatch {
+            inputs: 4,
+            nodes: 6,
+        };
         assert!(e.to_string().contains("4 inputs"));
     }
 

@@ -1,0 +1,114 @@
+//! A fast, non-cryptographic hasher for the flood engine's hot maps.
+//!
+//! This is the FxHash function used by rustc (a multiply-rotate mix),
+//! implemented locally because the build environment cannot fetch the
+//! `rustc-hash` crate. The flood engine keys its rule-(ii)/(iv) state by
+//! `(NodeId, PathId)` pairs — small integers — for which Fx hashing is
+//! several times faster than SipHash and collision behaviour is excellent.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash mixing hasher (as used by rustc; not cryptographic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                word |= u64::from(b) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let mut map: FxHashMap<(usize, u32), usize> = FxHashMap::default();
+        map.insert((3, 7), 1);
+        map.insert((3, 7), 2);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&(3, 7)], 2);
+    }
+
+    #[test]
+    fn distinct_small_keys_do_not_collide_in_practice() {
+        let mut set: FxHashSet<(usize, u32)> = FxHashSet::default();
+        for a in 0..64 {
+            for b in 0..64 {
+                set.insert((a, b));
+            }
+        }
+        assert_eq!(set.len(), 64 * 64);
+    }
+
+    #[test]
+    fn hasher_mixes_byte_streams() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"abcdefgh-tail");
+        let mut h2 = FxHasher::default();
+        h2.write(b"abcdefgh-tale");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (vertex) in the communication graph.
 ///
 /// Node identifiers are dense small integers `0..n`, which keeps graph
@@ -18,10 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 3);
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(usize);
 
 impl NodeId {
@@ -70,10 +65,7 @@ impl fmt::Display for NodeId {
 /// assert_eq!(r.next().value(), 5);
 /// assert!(r < r.next());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Round(u64);
 
 impl Round {
@@ -155,20 +147,22 @@ mod tests {
     }
 
     #[test]
-    fn node_id_serde_is_transparent() {
+    fn node_id_json_is_transparent() {
+        use crate::json::{FromJson, Json, ToJson};
         let id = NodeId::new(9);
-        let json = serde_json::to_string(&id).unwrap();
+        let json = id.to_json().to_string();
         assert_eq!(json, "9");
-        let back: NodeId = serde_json::from_str(&json).unwrap();
+        let back = NodeId::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, id);
     }
 
     #[test]
-    fn round_serde_is_transparent() {
+    fn round_json_is_transparent() {
+        use crate::json::{FromJson, Json, ToJson};
         let r = Round::new(3);
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json().to_string();
         assert_eq!(json, "3");
-        let back: Round = serde_json::from_str(&json).unwrap();
+        let back = Round::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 }

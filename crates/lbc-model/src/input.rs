@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeId, NodeSet, Value};
 
 /// The binary inputs of all `n` nodes in an execution.
@@ -21,7 +19,7 @@ use crate::{NodeId, NodeSet, Value};
 /// assert_eq!(inputs.get(NodeId::new(1)), Value::One);
 /// assert_eq!(inputs.ones().len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InputAssignment {
     values: Vec<Value>,
 }
@@ -62,9 +60,7 @@ impl InputAssignment {
     #[must_use]
     pub fn from_bits(n: usize, bits: u64) -> Self {
         assert!(n <= 64, "from_bits supports at most 64 nodes, got {n}");
-        let values = (0..n)
-            .map(|i| Value::from((bits >> i) & 1 == 1))
-            .collect();
+        let values = (0..n).map(|i| Value::from((bits >> i) & 1 == 1)).collect();
         InputAssignment { values }
     }
 
@@ -239,9 +235,6 @@ mod tests {
     fn values_of_projects_in_order() {
         let a = InputAssignment::from_bits(4, 0b0110);
         let s: NodeSet = [n(0), n(1), n(2)].into_iter().collect();
-        assert_eq!(
-            a.values_of(&s),
-            vec![Value::Zero, Value::One, Value::One]
-        );
+        assert_eq!(a.values_of(&s), vec![Value::Zero, Value::One, Value::One]);
     }
 }

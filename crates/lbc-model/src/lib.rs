@@ -11,12 +11,20 @@
 //! * [`Round`] — a synchronous round counter,
 //! * [`Path`] — a sequence of node identifiers as carried inside flooded
 //!   messages (the `Π` of Algorithm 1),
+//! * [`PathArena`] / [`PathId`] — the path-interning subsystem: paths are
+//!   interned into a prefix-trie arena and referenced by copyable `u32` ids,
+//!   which is what lets the flood engine avoid per-message `Vec` clones,
+//! * [`SharedPathArena`] — the per-execution arena handle threaded through
+//!   the simulator,
 //! * [`NodeSet`] — an ordered set of nodes (fault sets, cuts, neighborhoods),
+//!   backed by a `u64`-word bitset,
 //! * [`CommModel`] — the communication model: local broadcast, point-to-point,
 //!   or the hybrid model of Section 6 of the paper,
 //! * [`InputAssignment`] — the binary inputs of all nodes,
 //! * [`ConsensusOutcome`] — decided outputs plus the correctness verdict
-//!   (agreement / validity / termination).
+//!   (agreement / validity / termination),
+//! * [`fx`] — the FxHash hasher used by the flood engine's hot maps,
+//! * [`json`] — a minimal JSON writer/parser used for traces and baselines.
 //!
 //! # Example
 //!
@@ -38,15 +46,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod comm;
 mod error;
+pub mod fx;
 mod ids;
 mod input;
+pub mod json;
 mod nodeset;
 mod outcome;
 mod path;
 mod value;
 
+pub use arena::{PathArena, PathId, SharedPathArena};
 pub use comm::CommModel;
 pub use error::ModelError;
 pub use ids::{NodeId, Round};

@@ -1,21 +1,26 @@
-//! Ordered sets of node identifiers.
+//! Ordered sets of node identifiers, stored as word-level bitsets.
 
-use std::collections::BTreeSet;
+use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{BitAnd, BitOr, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::NodeId;
+
+const WORD_BITS: usize = 64;
 
 /// An ordered set of node identifiers.
 ///
 /// `NodeSet` is the workhorse collection for fault sets `F`, candidate fault
-/// sets enumerated by Algorithm 1's phases, vertex cuts, neighborhoods, and
-/// the `Z_v` / `N_v` / `A_v` / `B_v` sets of the algorithms' case analyses.
+/// sets enumerated by Algorithm 1's phases, vertex cuts, neighborhoods, the
+/// `Z_v` / `N_v` / `A_v` / `B_v` sets of the algorithms' case analyses — and,
+/// since the path-interning refactor, the per-entry member sets of the
+/// [`crate::PathArena`].
 ///
-/// Backed by a `BTreeSet` so iteration order is deterministic — important for
-/// reproducible simulation traces.
+/// Backed by a `u64`-word bitset: `contains` / `insert` / `remove` are O(1),
+/// the set algebra is word-parallel, and iteration is in ascending node order
+/// (so simulation traces stay deterministic, as with the previous
+/// `BTreeSet`-backed implementation). [`Ord`] compares element sequences
+/// lexicographically, matching the ordering of the old representation.
 ///
 /// # Example
 ///
@@ -29,10 +34,12 @@ use crate::NodeId;
 /// assert_eq!((&f - &g).len(), 1);
 /// assert!(f.contains(NodeId::new(3)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct NodeSet {
-    nodes: BTreeSet<NodeId>,
+    /// Bit `i % 64` of `words[i / 64]` is set iff node `i` is a member.
+    /// Invariant: no trailing zero words (canonical form, so that derived
+    /// equality and hashing are structural).
+    words: Vec<u64>,
 }
 
 impl NodeSet {
@@ -53,128 +60,290 @@ impl NodeSet {
     /// Creates the full node set `{0, 1, …, n-1}`.
     #[must_use]
     pub fn full(n: usize) -> Self {
-        (0..n).map(NodeId::new).collect()
+        let mut words = vec![u64::MAX; n / WORD_BITS];
+        let rem = n % WORD_BITS;
+        if rem > 0 {
+            words.push((1u64 << rem) - 1);
+        }
+        NodeSet { words }
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
     }
 
     /// Number of nodes in the set.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.words.is_empty()
     }
 
     /// Whether `node` belongs to the set.
+    #[inline]
     #[must_use]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.nodes.contains(&node)
+        let index = node.index();
+        match self.words.get(index / WORD_BITS) {
+            Some(word) => word & (1u64 << (index % WORD_BITS)) != 0,
+            None => false,
+        }
     }
 
     /// Inserts a node; returns `true` if it was not already present.
     pub fn insert(&mut self, node: NodeId) -> bool {
-        self.nodes.insert(node)
+        let index = node.index();
+        let word = index / WORD_BITS;
+        let bit = 1u64 << (index % WORD_BITS);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let present = self.words[word] & bit != 0;
+        self.words[word] |= bit;
+        !present
     }
 
     /// Removes a node; returns `true` if it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        self.nodes.remove(&node)
+        let index = node.index();
+        let word = index / WORD_BITS;
+        let bit = 1u64 << (index % WORD_BITS);
+        match self.words.get_mut(word) {
+            Some(w) if *w & bit != 0 => {
+                *w &= !bit;
+                self.trim();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Iterates over the nodes in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().copied()
+    #[must_use]
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Set union.
     #[must_use]
     pub fn union(&self, other: &NodeSet) -> NodeSet {
-        self.nodes.union(&other.nodes).copied().collect()
+        let (longer, shorter) = if self.words.len() >= other.words.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut words = longer.words.clone();
+        for (w, o) in words.iter_mut().zip(shorter.words.iter()) {
+            *w |= o;
+        }
+        NodeSet { words }
     }
 
     /// Set intersection.
     #[must_use]
     pub fn intersection(&self, other: &NodeSet) -> NodeSet {
-        self.nodes.intersection(&other.nodes).copied().collect()
+        let len = self.words.len().min(other.words.len());
+        let words = self.words[..len]
+            .iter()
+            .zip(&other.words[..len])
+            .map(|(a, b)| a & b)
+            .collect();
+        let mut set = NodeSet { words };
+        set.trim();
+        set
     }
 
     /// Set difference `self \ other`.
     #[must_use]
     pub fn difference(&self, other: &NodeSet) -> NodeSet {
-        self.nodes.difference(&other.nodes).copied().collect()
+        let mut words = self.words.clone();
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w &= !o;
+        }
+        let mut set = NodeSet { words };
+        set.trim();
+        set
     }
 
     /// Whether `self` and `other` share no nodes.
     #[must_use]
     pub fn is_disjoint(&self, other: &NodeSet) -> bool {
-        self.nodes.is_disjoint(&other.nodes)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Whether every node of `self` belongs to `other`.
     #[must_use]
     pub fn is_subset(&self, other: &NodeSet) -> bool {
-        self.nodes.is_subset(&other.nodes)
+        if self.words.len() > other.words.len() {
+            return false;
+        }
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Removes a node and returns it, if the set is non-empty (smallest id).
     pub fn pop_first(&mut self) -> Option<NodeId> {
-        self.nodes.pop_first()
+        let first = self.first()?;
+        self.remove(first);
+        Some(first)
     }
 
     /// Returns the smallest node id in the set, if any.
     #[must_use]
     pub fn first(&self) -> Option<NodeId> {
-        self.nodes.first().copied()
+        for (i, word) in self.words.iter().enumerate() {
+            if *word != 0 {
+                return Some(NodeId::new(i * WORD_BITS + word.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Returns the largest node id in the set, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<NodeId> {
+        let (i, word) = self
+            .words
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, w)| **w != 0)?;
+        Some(NodeId::new(
+            i * WORD_BITS + (WORD_BITS - 1 - word.leading_zeros() as usize),
+        ))
     }
 
     /// Returns the complement of this set within `{0, …, n-1}`.
     #[must_use]
     pub fn complement(&self, n: usize) -> NodeSet {
-        (0..n)
-            .map(NodeId::new)
-            .filter(|node| !self.contains(*node))
-            .collect()
+        let mut full = NodeSet::full(n);
+        for (w, o) in full.words.iter_mut().zip(self.words.iter()) {
+            *w &= !o;
+        }
+        full.trim();
+        full
     }
 
-    /// Returns the underlying ordered set.
+    /// The underlying bitset words (bit `i % 64` of word `i / 64` is node `i`).
     #[must_use]
-    pub fn as_btree(&self) -> &BTreeSet<NodeId> {
-        &self.nodes
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Ascending iterator over a [`NodeSet`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(NodeId::new(self.word_index * WORD_BITS + bit))
+    }
+}
+
+/// Owning ascending iterator over a [`NodeSet`].
+#[derive(Debug, Clone)]
+pub struct IntoIter {
+    words: Vec<u64>,
+    word_index: usize,
+}
+
+impl Iterator for IntoIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let word = self.words.get_mut(self.word_index)?;
+            if *word == 0 {
+                self.word_index += 1;
+                continue;
+            }
+            let bit = word.trailing_zeros() as usize;
+            *word &= *word - 1;
+            return Some(NodeId::new(self.word_index * WORD_BITS + bit));
+        }
+    }
+}
+
+impl PartialOrd for NodeSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NodeSet {
+    /// Lexicographic comparison of the ascending element sequences — the
+    /// same ordering the previous `BTreeSet`-backed representation had, so
+    /// phase schedules sorted by `NodeSet` keep their historical order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.iter().cmp(other.iter())
     }
 }
 
 impl FromIterator<NodeId> for NodeSet {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
-        NodeSet {
-            nodes: iter.into_iter().collect(),
+        let mut set = NodeSet::new();
+        for node in iter {
+            set.insert(node);
         }
+        set
     }
 }
 
 impl Extend<NodeId> for NodeSet {
     fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
-        self.nodes.extend(iter);
+        for node in iter {
+            self.insert(node);
+        }
     }
 }
 
 impl<'a> IntoIterator for &'a NodeSet {
     type Item = NodeId;
-    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, NodeId>>;
+    type IntoIter = Iter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.nodes.iter().copied()
+        self.iter()
     }
 }
 
 impl IntoIterator for NodeSet {
     type Item = NodeId;
-    type IntoIter = std::collections::btree_set::IntoIter<NodeId>;
+    type IntoIter = IntoIter;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.nodes.into_iter()
+        IntoIter {
+            words: self.words,
+            word_index: 0,
+        }
     }
 }
 
@@ -206,7 +375,7 @@ impl fmt::Display for NodeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
-        for node in &self.nodes {
+        for node in self.iter() {
             if !first {
                 write!(f, ", ")?;
             }
@@ -243,12 +412,28 @@ mod tests {
     }
 
     #[test]
+    fn canonical_form_across_word_boundaries() {
+        let mut s = NodeSet::new();
+        s.insert(n(130));
+        s.insert(n(2));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(n(130)));
+        // Trailing words trimmed: equal to a small set built directly.
+        assert_eq!(s, set(&[2]));
+        assert!(!s.contains(n(130)));
+    }
+
+    #[test]
     fn full_and_complement() {
         let full = NodeSet::full(4);
         assert_eq!(full.len(), 4);
         let s = set(&[0, 2]);
         assert_eq!(s.complement(4), set(&[1, 3]));
         assert_eq!(full.complement(4), NodeSet::new());
+        // Word-boundary sizes.
+        assert_eq!(NodeSet::full(64).len(), 64);
+        assert_eq!(NodeSet::full(65).len(), 65);
+        assert_eq!(NodeSet::full(0), NodeSet::new());
     }
 
     #[test]
@@ -264,11 +449,45 @@ mod tests {
     }
 
     #[test]
+    fn algebra_with_mismatched_word_counts() {
+        let small = set(&[1]);
+        let large = set(&[1, 200]);
+        assert_eq!(&small | &large, set(&[1, 200]));
+        assert_eq!(&small & &large, set(&[1]));
+        assert_eq!(&large - &small, set(&[200]));
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(small.is_disjoint(&set(&[200])));
+    }
+
+    #[test]
     fn iteration_is_sorted() {
         let s = set(&[5, 1, 3]);
         let ids: Vec<usize> = s.iter().map(NodeId::index).collect();
         assert_eq!(ids, vec![1, 3, 5]);
         assert_eq!(s.first(), Some(n(1)));
+        assert_eq!(s.last(), Some(n(5)));
+        let owned: Vec<usize> = s.into_iter().map(NodeId::index).collect();
+        assert_eq!(owned, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn pop_first_drains_in_order() {
+        let mut s = set(&[7, 2, 90]);
+        assert_eq!(s.pop_first(), Some(n(2)));
+        assert_eq!(s.pop_first(), Some(n(7)));
+        assert_eq!(s.pop_first(), Some(n(90)));
+        assert_eq!(s.pop_first(), None);
+    }
+
+    #[test]
+    fn ordering_matches_element_sequences() {
+        // The same ordering BTreeSet<NodeId> sets had: lexicographic by
+        // ascending elements, *not* numeric by bit pattern.
+        assert!(set(&[0, 5]) < set(&[1]));
+        assert!(set(&[0]) < set(&[0, 5]));
+        assert!(set(&[1, 2]) > set(&[0, 99]));
+        assert_eq!(set(&[3, 4]).cmp(&set(&[3, 4])), Ordering::Equal);
     }
 
     #[test]
@@ -285,10 +504,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = set(&[0, 4, 9]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: NodeSet = serde_json::from_str(&json).unwrap();
+        let json = crate::json::ToJson::to_json(&s).to_string();
+        let back: NodeSet =
+            crate::json::FromJson::from_json(&crate::json::Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, s);
     }
 }

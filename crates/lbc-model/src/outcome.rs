@@ -3,8 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{InputAssignment, NodeId, NodeSet, Value};
 
 /// The verdict of checking an execution against the three consensus
@@ -14,7 +12,7 @@ use crate::{InputAssignment, NodeId, NodeSet, Value};
 /// * **Validity** — the output of each non-faulty node is the input of some
 ///   non-faulty node.
 /// * **Termination** — all non-faulty nodes decide in finite time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Verdict {
     /// Whether all non-faulty nodes output the same value.
     pub agreement: bool,
@@ -58,7 +56,7 @@ impl fmt::Display for Verdict {
 /// let verdict = outcome.verdict();
 /// assert!(verdict.is_correct());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConsensusOutcome {
     inputs: InputAssignment,
     faulty: NodeSet,
@@ -142,8 +140,7 @@ impl ConsensusOutcome {
             .iter()
             .all(|node| self.outputs.contains_key(&node));
 
-        let agreement = self.agreed_value().is_some()
-            || self.non_faulty_outputs().next().is_none();
+        let agreement = self.agreed_value().is_some() || self.non_faulty_outputs().next().is_none();
 
         let non_faulty_inputs: Vec<Value> = non_faulty
             .iter()

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{NodeId, NodeSet};
 
 /// A sequence of node identifiers, the `Π` carried by flooding messages
@@ -35,7 +33,7 @@ use crate::{NodeId, NodeSet};
 /// assert!(p.excludes(&NodeSet::from_iter([NodeId::new(0)]))); // endpoints may be in X
 /// assert!(!p.excludes(&NodeSet::from_iter([NodeId::new(1)])));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Path {
     nodes: Vec<NodeId>,
 }
@@ -132,7 +130,11 @@ impl Path {
     /// endpoints).
     pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         let len = self.nodes.len();
-        let interior = if len <= 2 { &[] } else { &self.nodes[1..len - 1] };
+        let interior = if len <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..len - 1]
+        };
         interior.iter().copied()
     }
 
@@ -262,7 +264,10 @@ mod tests {
         assert_eq!(p(&[]).internal_nodes().count(), 0);
         assert_eq!(p(&[4]).internal_nodes().count(), 0);
         assert_eq!(p(&[4, 5]).internal_nodes().count(), 0);
-        assert_eq!(p(&[4, 5, 6]).internal_nodes().collect::<Vec<_>>(), vec![n(5)]);
+        assert_eq!(
+            p(&[4, 5, 6]).internal_nodes().collect::<Vec<_>>(),
+            vec![n(5)]
+        );
     }
 
     #[test]

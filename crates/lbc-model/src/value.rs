@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::Not;
 
-use serde::{Deserialize, Serialize};
-
 /// A binary consensus value, `0` or `1`.
 ///
 /// The paper considers Byzantine consensus for nodes with *binary* inputs;
@@ -24,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(!Value::One, Value::Zero);
 /// assert_eq!(Value::DEFAULT_FLOOD, Value::One);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Value {
     /// The binary value `0`.
     #[default]

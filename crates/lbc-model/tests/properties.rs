@@ -1,8 +1,10 @@
-//! Property-based tests for the model vocabulary types.
+//! Property-based tests for the model vocabulary types, including the
+//! path-interning arena (round-trips, memoized membership/exclusion, and
+//! structural sharing).
 
 use proptest::prelude::*;
 
-use lbc_model::{InputAssignment, NodeId, NodeSet, Path, Value};
+use lbc_model::{InputAssignment, NodeId, NodeSet, Path, PathArena, Value};
 
 fn node_vec(max_id: usize, max_len: usize) -> impl Strategy<Value = Vec<NodeId>> {
     prop::collection::vec((0..max_id).prop_map(NodeId::new), 0..max_len)
@@ -97,6 +99,67 @@ proptest! {
         prop_assert_eq!(assignment.ones(), ones.clone());
         prop_assert_eq!(assignment.zeros(), ones.complement(n));
         prop_assert_eq!(assignment.len(), n);
+    }
+
+    /// `PathId` round-trips: `intern → resolve` preserves the exact node
+    /// sequence, along with length and endpoints.
+    #[test]
+    fn arena_intern_resolve_roundtrip(nodes in node_vec(14, 10)) {
+        let mut arena = PathArena::new();
+        let path = Path::from_nodes(nodes.clone());
+        let id = arena.intern(&path);
+        prop_assert_eq!(arena.resolve(id), path.clone());
+        prop_assert_eq!(arena.nodes(id), nodes);
+        prop_assert_eq!(arena.len(id), path.len());
+        prop_assert_eq!(arena.first(id), path.first());
+        prop_assert_eq!(arena.last(id), path.last());
+        prop_assert_eq!(arena.is_simple(id), !path.has_repeated_node());
+        // Interning again is a pure lookup that yields the same id.
+        let before = arena.entry_count();
+        prop_assert_eq!(arena.intern(&path), id);
+        prop_assert_eq!(arena.entry_count(), before);
+        prop_assert_eq!(arena.find(&path), Some(id));
+    }
+
+    /// The arena's memoized `contains` / `excludes` agree with the naive
+    /// `Vec`-walking implementations on `Path`.
+    #[test]
+    fn arena_contains_excludes_agree_with_naive(
+        nodes in node_vec(14, 10),
+        probe in 0usize..14,
+        excluded in node_vec(14, 8),
+    ) {
+        let mut arena = PathArena::new();
+        let path = Path::from_nodes(nodes);
+        let id = arena.intern(&path);
+        let probe = NodeId::new(probe);
+        prop_assert_eq!(arena.contains(id, probe), path.contains(probe));
+        let exclude: NodeSet = excluded.into_iter().collect();
+        prop_assert_eq!(
+            arena.excludes(id, &exclude),
+            path.excludes(&exclude),
+            "path {} excluding {}", path, exclude
+        );
+        prop_assert_eq!(arena.members(id), &path.iter().collect::<NodeSet>());
+    }
+
+    /// `extended` matches `Path::extended`, and sibling extensions share the
+    /// parent prefix (structural sharing: one new entry per new extension).
+    #[test]
+    fn arena_extended_matches_path_extended(nodes in node_vec(12, 8), extra in 0usize..12) {
+        let mut arena = PathArena::new();
+        let path = Path::from_nodes(nodes);
+        let id = arena.intern(&path);
+        let extra = NodeId::new(extra);
+        let before = arena.entry_count();
+        let longer = arena.extended(id, extra);
+        prop_assert_eq!(arena.resolve(longer), path.extended(extra));
+        prop_assert!(arena.entry_count() <= before + 1);
+        prop_assert_eq!(arena.step(longer), Some((id, extra)));
+        // Extending again allocates nothing.
+        let after = arena.entry_count();
+        prop_assert_eq!(arena.extended(id, extra), longer);
+        prop_assert_eq!(arena.entry_count(), after);
     }
 
     /// The unanimity check agrees with a direct scan.

@@ -83,10 +83,12 @@ mod tests {
     #[test]
     fn honest_adversary_passes_messages_through() {
         let graph = generators::cycle(3);
+        let arena = lbc_model::SharedPathArena::new();
         let ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
             f: 1,
+            arena: &arena,
         };
         let mut adv = HonestAdversary;
         let out = vec![Outgoing::Broadcast(Value::One)];
@@ -97,10 +99,12 @@ mod tests {
     #[test]
     fn closures_are_adversaries() {
         let graph = generators::cycle(3);
+        let arena = lbc_model::SharedPathArena::new();
         let ctx = NodeContext {
             id: NodeId::new(1),
             graph: &graph,
             f: 1,
+            arena: &arena,
         };
         // Drop everything the faulty node would have sent.
         let mut silent = |_ctx: &NodeContext<'_>,

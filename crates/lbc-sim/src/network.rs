@@ -1,7 +1,7 @@
 //! The synchronous network engine.
 
 use lbc_graph::Graph;
-use lbc_model::{CommModel, NodeId, NodeSet, Round, Value};
+use lbc_model::{CommModel, NodeId, NodeSet, Round, SharedPathArena, Value};
 
 use crate::adversary::Adversary;
 use crate::protocol::{Delivery, NodeContext, Outgoing, Protocol};
@@ -39,6 +39,8 @@ pub struct Network<P: Protocol> {
     faulty: NodeSet,
     f: usize,
     nodes: Vec<P>,
+    /// The execution-wide path-interning arena shared by all nodes.
+    arena: SharedPathArena,
 }
 
 impl<P: Protocol> Network<P> {
@@ -70,6 +72,7 @@ impl<P: Protocol> Network<P> {
             faulty,
             f,
             nodes,
+            arena: SharedPathArena::new(),
         }
     }
 
@@ -113,7 +116,8 @@ impl<P: Protocol> Network<P> {
         let mut trace = Trace::new();
 
         // Start-of-execution transmissions.
-        let mut pending = self.collect_outgoing(adversary, None, &vec![Vec::new(); self.nodes.len()]);
+        let mut pending =
+            self.collect_outgoing(adversary, None, &vec![Vec::new(); self.nodes.len()]);
 
         for round_index in 0..max_rounds {
             if self.all_non_faulty_terminated() {
@@ -153,16 +157,17 @@ impl<P: Protocol> Network<P> {
         A: Adversary<P::Message>,
     {
         let mut all_outgoing = Vec::with_capacity(self.nodes.len());
-        for v in 0..self.nodes.len() {
+        for (v, node) in self.nodes.iter_mut().enumerate() {
             let id = NodeId::new(v);
             let ctx = NodeContext {
                 id,
                 graph: &self.graph,
                 f: self.f,
+                arena: &self.arena,
             };
             let honest = match round {
-                None => self.nodes[v].on_start(&ctx),
-                Some(r) => self.nodes[v].on_round(&ctx, r, &inboxes[v]),
+                None => node.on_start(&ctx),
+                Some(r) => node.on_round(&ctx, r, &inboxes[v]),
             };
             let outgoing = if self.faulty.contains(id) {
                 adversary.intercept(&ctx, round, honest, &inboxes[v])
@@ -186,10 +191,10 @@ impl<P: Protocol> Network<P> {
     ) -> (Vec<Vec<Delivery<P::Message>>>, RoundStats) {
         let mut inboxes: Vec<Vec<Delivery<P::Message>>> = vec![Vec::new(); self.nodes.len()];
         let mut stats = RoundStats::default();
-        for sender_index in 0..pending.len() {
+        for (sender_index, sender_pending) in pending.iter().enumerate() {
             let sender = NodeId::new(sender_index);
             let can_equivocate = self.model.allows_equivocation(sender);
-            for outgoing in &pending[sender_index] {
+            for outgoing in sender_pending {
                 stats.transmissions += 1;
                 match outgoing {
                     Outgoing::Broadcast(message) => {
@@ -256,12 +261,7 @@ mod tests {
     fn echo_run_terminates_and_counts_messages() {
         let graph = generators::cycle(4);
         let nodes = echo_nodes(&graph);
-        let mut network = Network::new(
-            graph,
-            CommModel::LocalBroadcast,
-            NodeSet::new(),
-            nodes,
-        );
+        let mut network = Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
         let report = network.run(&mut honest_adversary(), 10);
         assert!(report.all_non_faulty_terminated);
         // 4 broadcasts in the start step, delivered to 2 neighbors each.
@@ -276,12 +276,7 @@ mod tests {
     fn each_node_hears_all_its_neighbors() {
         let graph = generators::complete(4);
         let nodes = echo_nodes(&graph);
-        let mut network = Network::new(
-            graph,
-            CommModel::LocalBroadcast,
-            NodeSet::new(),
-            nodes,
-        );
+        let mut network = Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
         let _ = network.run(&mut honest_adversary(), 10);
         for v in 0..4 {
             let heard = network.node(n(v)).heard();
@@ -446,12 +441,7 @@ mod tests {
             Probe::Listen(Listener::default()),
             Probe::Listen(Listener::default()),
         ];
-        let mut network = Network::new(
-            graph,
-            CommModel::hybrid([n(0)]),
-            NodeSet::new(),
-            nodes,
-        );
+        let mut network = Network::new(graph, CommModel::hybrid([n(0)]), NodeSet::new(), nodes);
         let _ = network.run(&mut HonestAdversary, 5);
         let heard1 = match network.node(n(1)) {
             Probe::Listen(l) => l.heard.clone(),
@@ -466,12 +456,7 @@ mod tests {
             Probe::Listen(Listener::default()),
             Probe::Listen(Listener::default()),
         ];
-        let mut network = Network::new(
-            graph,
-            CommModel::hybrid([n(2)]),
-            NodeSet::new(),
-            nodes,
-        );
+        let mut network = Network::new(graph, CommModel::hybrid([n(2)]), NodeSet::new(), nodes);
         let _ = network.run(&mut HonestAdversary, 5);
         let heard1 = match network.node(n(1)) {
             Probe::Listen(l) => l.heard.clone(),
@@ -551,12 +536,7 @@ mod tests {
             BadSender { done: false },
             BadSender { done: false },
         ];
-        let mut network = Network::new(
-            graph,
-            CommModel::PointToPoint,
-            NodeSet::new(),
-            nodes,
-        );
+        let mut network = Network::new(graph, CommModel::PointToPoint, NodeSet::new(), nodes);
         let report = network.run(&mut HonestAdversary, 5);
         // Node 0's unicast to the non-neighbor 2 is dropped; node 1 and 2 also
         // attempted the same unicast (node 1 IS adjacent to 2, so one delivery).

@@ -3,12 +3,15 @@
 use std::fmt::Debug;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, NodeSet, Round, Value};
+use lbc_model::{NodeId, NodeSet, Round, SharedPathArena, Value};
 
 /// Static, per-node context handed to every protocol hook.
 ///
 /// Every node knows the communication graph `G` (a standing assumption of
-/// the paper), its own identity, and the declared fault tolerance.
+/// the paper), its own identity, and the declared fault tolerance. The
+/// context also carries the execution's shared [`SharedPathArena`], against
+/// which message `PathId`s are interned and resolved — the simulator owns
+/// one arena per run and every node's flood state indexes into it.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeContext<'a> {
     /// This node's identifier.
@@ -17,6 +20,8 @@ pub struct NodeContext<'a> {
     pub graph: &'a Graph,
     /// The declared maximum number of Byzantine faults `f`.
     pub f: usize,
+    /// The execution-wide path-interning arena.
+    pub arena: &'a SharedPathArena,
 }
 
 impl<'a> NodeContext<'a> {
@@ -179,10 +184,12 @@ mod tests {
     #[test]
     fn node_context_exposes_graph_facts() {
         let graph = generators::cycle(5);
+        let arena = SharedPathArena::new();
         let ctx = NodeContext {
             id: NodeId::new(2),
             graph: &graph,
             f: 1,
+            arena: &arena,
         };
         assert_eq!(ctx.n(), 5);
         assert_eq!(ctx.neighbors().len(), 2);
@@ -206,10 +213,12 @@ mod tests {
     #[test]
     fn echo_once_decides_its_own_input() {
         let graph = generators::complete(3);
+        let arena = SharedPathArena::new();
         let ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
             f: 0,
+            arena: &arena,
         };
         let mut node = EchoOnce::new(Value::One);
         assert!(!node.has_terminated());

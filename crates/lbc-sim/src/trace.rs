@@ -1,9 +1,9 @@
 //! Execution traces: round and message accounting.
 
-use serde::{Deserialize, Serialize};
+use lbc_model::json::{FromJson, Json, JsonError, ToJson};
 
 /// Per-round statistics recorded by the simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundStats {
     /// Number of transmissions performed in this round (one broadcast or one
     /// unicast counts as one transmission).
@@ -19,9 +19,46 @@ pub struct RoundStats {
 /// claims: rounds for Theorem 5.6's `O(n)` bound, transmissions/deliveries
 /// for message-complexity comparisons between Algorithm 1, Algorithm 2 and
 /// the point-to-point baseline.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     rounds: Vec<RoundStats>,
+}
+
+impl ToJson for RoundStats {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("transmissions", self.transmissions.to_json()),
+            ("deliveries", self.deliveries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RoundStats {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let field = |key: &str| {
+            value.get(key).ok_or_else(|| JsonError {
+                message: format!("round stats missing '{key}'"),
+            })
+        };
+        Ok(RoundStats {
+            transmissions: usize::from_json(field("transmissions")?)?,
+            deliveries: usize::from_json(field("deliveries")?)?,
+        })
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        self.rounds.to_json()
+    }
+}
+
+impl FromJson for Trace {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Trace {
+            rounds: Vec::<RoundStats>::from_json(value)?,
+        })
+    }
 }
 
 impl Trace {
@@ -84,14 +121,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut trace = Trace::new();
         trace.push_round(RoundStats {
             transmissions: 2,
             deliveries: 4,
         });
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let json = trace.to_json().to_string();
+        let back = Trace::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, trace);
     }
 }

@@ -14,7 +14,10 @@ fn main() {
 
     println!("Algorithm 1 on the 5-cycle, f = 1, inputs = {inputs}");
     println!();
-    println!("{:<10} {:<16} {:<10} {:<8} {:<14}", "faulty", "strategy", "correct", "rounds", "transmissions");
+    println!(
+        "{:<10} {:<16} {:<10} {:<8} {:<14}",
+        "faulty", "strategy", "correct", "rounds", "transmissions"
+    );
 
     let mut all_correct = true;
     for faulty_node in 0..5 {

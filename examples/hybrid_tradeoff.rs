@@ -38,7 +38,11 @@ fn main() {
     let faulty = NodeSet::singleton(NodeId::new(4));
     for t in 0..=1usize {
         let feasible = conditions::hybrid_feasible(&graph, 1, t);
-        let equivocators = if t > 0 { faulty.clone() } else { NodeSet::new() };
+        let equivocators = if t > 0 {
+            faulty.clone()
+        } else {
+            NodeSet::new()
+        };
         let mut adversary = Strategy::Equivocate.into_adversary();
         let (outcome, trace) = runner::run_algorithm3(
             &graph,
@@ -52,7 +56,11 @@ fn main() {
         println!(
             "K5, f=1, t={t}: feasible={feasible}, phases×rounds={}, consensus {} (agreed on {:?})",
             trace.rounds(),
-            if outcome.verdict().is_correct() { "reached" } else { "FAILED" },
+            if outcome.verdict().is_correct() {
+                "reached"
+            } else {
+                "FAILED"
+            },
             outcome.agreed_value(),
         );
     }

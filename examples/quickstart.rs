@@ -52,7 +52,11 @@ fn main() {
         println!("  outcome       = {outcome}");
         println!(
             "  consensus     = {}",
-            if outcome.verdict().is_correct() { "reached" } else { "FAILED" }
+            if outcome.verdict().is_correct() {
+                "reached"
+            } else {
+                "FAILED"
+            }
         );
         println!();
     }

@@ -11,8 +11,16 @@ fn main() {
     // Radios arranged on a ring, each hearing its two nearest neighbors on
     // both sides (the octahedron C6(1,2) and the paper's C9(1,2) class).
     let topologies = [
-        ("C6(1,2) - 6 radios, range 2", generators::circulant(6, &[1, 2]), 2usize),
-        ("K5 - 5 radios, all in range", generators::complete(5), 2usize),
+        (
+            "C6(1,2) - 6 radios, range 2",
+            generators::circulant(6, &[1, 2]),
+            2usize,
+        ),
+        (
+            "K5 - 5 radios, all in range",
+            generators::complete(5),
+            2usize,
+        ),
     ];
 
     for (name, graph, f) in topologies {
@@ -40,7 +48,11 @@ fn main() {
         );
         println!(
             "  consensus {}",
-            if outcome.verdict().is_correct() { "reached" } else { "FAILED" }
+            if outcome.verdict().is_correct() {
+                "reached"
+            } else {
+                "FAILED"
+            }
         );
         println!();
     }

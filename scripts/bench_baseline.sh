@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json: runs the baseline bench targets (the two
+# flood-engine benches plus the feasibility sweep) and aggregates the
+# criterion-shim JSON records into one file at the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with the package directory as
+# their working directory, so a relative path would scatter the records.
+export LBC_BENCH_OUT="${LBC_BENCH_OUT:-$(pwd)/target/lbc-bench}"
+rm -rf "$LBC_BENCH_OUT"
+
+cargo bench -p lbc-bench --bench fig1a_cycle --bench reliable_receive --bench threshold_sweep
+cargo run --release -p lbc-bench --bin bench_baseline

@@ -137,7 +137,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     // Alternating inputs make the instance non-trivial.
-    let inputs = InputAssignment::from_bits(n.min(64), 0xAAAA_AAAA_AAAA_AAAA & ((1 << n.min(63)) - 1));
+    let inputs =
+        InputAssignment::from_bits(n.min(64), 0xAAAA_AAAA_AAAA_AAAA & ((1 << n.min(63)) - 1));
     let faulty = NodeSet::singleton(NodeId::new(faulty_index));
     let mut adversary = strategy.clone().into_adversary();
     let (outcome, trace) = match alg.as_str() {
@@ -152,7 +153,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     println!("graph = {graph_name}, f = {f}, faulty = {faulty}, strategy = {strategy_name}");
     println!("inputs  = {inputs}");
-    println!("rounds  = {}, transmissions = {}", trace.rounds(), trace.total_transmissions());
+    println!(
+        "rounds  = {}, transmissions = {}",
+        trace.rounds(),
+        trace.total_transmissions()
+    );
     println!("{outcome}");
     if outcome.verdict().is_correct() {
         println!("consensus reached on {:?}", outcome.agreed_value());
@@ -178,7 +183,10 @@ fn cmd_impossibility(args: &[String]) -> ExitCode {
     let mut any = false;
     for (label, construction) in [
         ("degree (Figure 2)", degree_construction(&graph, f)),
-        ("connectivity (Figure 3)", connectivity_construction(&graph, f)),
+        (
+            "connectivity (Figure 3)",
+            connectivity_construction(&graph, f),
+        ),
     ] {
         match construction {
             None => println!("{label}: condition satisfied, no construction applies"),
@@ -211,7 +219,10 @@ fn cmd_impossibility(args: &[String]) -> ExitCode {
 fn cmd_experiments(args: &[String]) -> ExitCode {
     let wanted = args.first().map(|s| s.to_uppercase());
     let all = [
-        ("E1", experiments::e1_fig1a_cycle as fn() -> experiments::ExperimentResult),
+        (
+            "E1",
+            experiments::e1_fig1a_cycle as fn() -> experiments::ExperimentResult,
+        ),
         ("E2", experiments::e2_fig1b_f2),
         ("E3", experiments::e3_degree_lower_bound),
         ("E4", experiments::e4_connectivity_lower_bound),

@@ -48,7 +48,10 @@ fn requirement_ordering_across_families() {
         let p2p = conditions::max_f_point_to_point(&graph);
         let eff = conditions::max_f_efficient(&graph);
         assert!(lb >= p2p, "local broadcast must never be worse");
-        assert!(lb >= eff, "the tight condition is weaker than 2f-connectivity");
+        assert!(
+            lb >= eff,
+            "the tight condition is weaker than 2f-connectivity"
+        );
     }
 }
 

@@ -1,0 +1,336 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the Criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with real
+//! wall-clock measurement.
+//!
+//! Every benchmark writes one JSON record (median/mean/min/max nanoseconds
+//! per iteration) under `$LBC_BENCH_OUT` (default `target/lbc-bench/`), which
+//! the workspace's `BENCH_baseline.json` collector aggregates.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    out_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let out_dir = std::env::var_os("LBC_BENCH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/lbc-bench"));
+        Criterion { out_dir }
+    }
+}
+
+impl Criterion {
+    /// Ignores CLI arguments (accepted for API compatibility).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.out_dir, "", id, 20, f);
+        self
+    }
+}
+
+/// A named benchmark identifier with a parameter, `"name/param"`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates the id `"{name}/{parameter}"`.
+    #[must_use]
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples automatically.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.criterion.out_dir, &self.name, id, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &self.criterion.out_dir,
+            &self.name,
+            &id.full,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The measurement callback handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per iteration for each collected sample.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, running it enough times per sample for stable timing.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup + calibration: one untimed run, then estimate cost.
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (TARGET_SAMPLE_TIME.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    median: f64,
+    mean: f64,
+    min: f64,
+    max: f64,
+}
+
+fn stats(samples: &[f64]) -> Stats {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    Stats {
+        median,
+        mean: sorted.iter().sum::<f64>() / n as f64,
+        min: sorted[0],
+        max: sorted[n - 1],
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn run_benchmark<F>(out_dir: &std::path::Path, group: &str, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full_name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{full_name:<50} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let s = stats(&bencher.samples_ns);
+    println!(
+        "{full_name:<50} time: [{} {} {}]",
+        format_time(s.min),
+        format_time(s.median),
+        format_time(s.max)
+    );
+    write_json(out_dir, group, id, &full_name, sample_size, s);
+}
+
+fn write_json(
+    out_dir: &std::path::Path,
+    group: &str,
+    id: &str,
+    full_name: &str,
+    sample_size: usize,
+    s: Stats,
+) {
+    if fs::create_dir_all(out_dir).is_err() {
+        return;
+    }
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+        escape(group),
+        escape(id),
+        s.median,
+        s.mean,
+        s.min,
+        s.max,
+        sample_size
+    );
+    let file = out_dir.join(format!("{}.json", sanitize(full_name)));
+    let _ = fs::write(file, json);
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Declares a benchmark group function, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_samples() {
+        let s = stats(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: 3,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(2_500_000_000.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn sanitize_keeps_safe_chars() {
+        assert_eq!(sanitize("a/b c-d_e"), "a_b_c-d_e");
+    }
+}
