@@ -1,0 +1,92 @@
+//! Campaign engine: the deterministic sweep executor, serial vs parallel.
+//!
+//! Runs one mid-sized multi-family campaign through `lbc-campaign` at
+//! worker counts 1 (the serial baseline) and 8, plus the expansion step
+//! alone. The two executor variants produce byte-identical canonical
+//! reports (asserted here as well as in the crate's determinism tests), so
+//! the timing difference is pure scheduling win. On a single-CPU host the
+//! parallel variant necessarily degenerates to serial plus pool overhead —
+//! the pair then measures that overhead instead of the speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use lbc_campaign::spec::FRange;
+use lbc_campaign::{
+    run_campaign, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec,
+    SweepSpec,
+};
+use lbc_consensus::AlgorithmKind;
+
+/// A campaign heavy enough for the pool to matter (~1 s serial in release):
+/// three families, three strategies, randomized placements and inputs.
+fn bench_spec() -> CampaignSpec {
+    let strategies = vec![
+        StrategySpec::TamperRelays,
+        StrategySpec::Equivocate,
+        StrategySpec::Random { seed: None },
+    ];
+    CampaignSpec {
+        name: "bench".to_string(),
+        seed: 7,
+        sweeps: vec![
+            SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![11, 13]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                strategies: strategies.clone(),
+                faults: FaultPolicy::Random { count: 2 },
+                inputs: InputPolicy::Random { count: 2 },
+            },
+            SweepSpec {
+                family: GraphFamily::Circulant {
+                    offsets: vec![1, 2],
+                },
+                sizes: SizeSpec::List(vec![9]),
+                f: FRange::exactly(2),
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                strategies: strategies.clone(),
+                faults: FaultPolicy::Random { count: 2 },
+                inputs: InputPolicy::Random { count: 1 },
+            },
+            SweepSpec {
+                family: GraphFamily::Complete,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange { from: 1, to: 2 },
+                algorithms: vec![AlgorithmKind::Algorithm1, AlgorithmKind::Algorithm2],
+                strategies,
+                faults: FaultPolicy::Random { count: 2 },
+                inputs: InputPolicy::Random { count: 2 },
+            },
+        ],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = bench_spec();
+
+    // Scheduling must be unobservable in the results.
+    let serial = run_campaign(&spec, 1).unwrap().to_json().to_string();
+    let parallel = run_campaign(&spec, 8).unwrap().to_json().to_string();
+    assert_eq!(serial, parallel, "campaign executor must be deterministic");
+    println!(
+        "campaign bench spec: {} scenarios",
+        spec.expand().unwrap().len()
+    );
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("campaign_expand", |b| {
+        b.iter(|| black_box(spec.expand().unwrap().len()));
+    });
+    group.bench_function("campaign_serial_1worker", |b| {
+        b.iter(|| black_box(run_campaign(&spec, 1).unwrap().records().len()));
+    });
+    group.bench_function("campaign_parallel_8workers", |b| {
+        b.iter(|| black_box(run_campaign(&spec, 8).unwrap().records().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

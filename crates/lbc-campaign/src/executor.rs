@@ -1,0 +1,180 @@
+//! The deterministic parallel sweep executor.
+//!
+//! A campaign's scenarios are embarrassingly parallel: each one is
+//! self-contained (own graph build, own pre-seeded adversary, own inputs),
+//! so the executor is a plain `std::thread` worker pool pulling scenario
+//! indices off an atomic counter and writing records into per-scenario
+//! slots. Records are collected *by index*, not by completion order, so the
+//! report is byte-identical for any worker count — the pool affects wall
+//! time only.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lbc_consensus::runner;
+use lbc_model::ConsensusOutcome;
+
+use crate::report::{CampaignReport, ScenarioRecord};
+use crate::spec::{CampaignSpec, Scenario, SpecError};
+
+/// Expands `spec` and executes every scenario on `workers` threads,
+/// returning the aggregated report.
+///
+/// `workers` is clamped to at least 1; `workers == 1` runs everything on
+/// the calling thread (no pool), which the campaign bench uses as the
+/// serial baseline.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when the spec fails to expand. Execution itself
+/// cannot fail: every scenario produces a record (a scenario that exceeds
+/// its round budget simply records a non-terminating verdict).
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport, SpecError> {
+    let scenarios = spec.expand()?;
+    Ok(run_scenarios(spec, &scenarios, workers))
+}
+
+/// Executes already-expanded scenarios (from [`CampaignSpec::expand`] on
+/// the same spec) on `workers` threads. Callers that need the scenario
+/// list up front — the CLI prints its length before running — use this to
+/// avoid expanding twice.
+#[must_use]
+pub fn run_scenarios(
+    spec: &CampaignSpec,
+    scenarios: &[Scenario],
+    workers: usize,
+) -> CampaignReport {
+    let records = execute_scenarios(scenarios, workers);
+    CampaignReport::new(spec.name.clone(), spec.seed, records)
+}
+
+/// Runs one scenario to completion and records the outcome.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ScenarioRecord {
+    let graph = scenario.build_graph();
+    let mut adversary = scenario.strategy.clone().into_adversary();
+    let started = Instant::now();
+    let (outcome, trace) = runner::run_kind(
+        scenario.algorithm,
+        &graph,
+        scenario.f,
+        &scenario.inputs,
+        &scenario.faulty,
+        &mut adversary,
+    );
+    let wall_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    record_outcome(scenario, &outcome, trace.summary(), wall_micros)
+}
+
+fn record_outcome(
+    scenario: &Scenario,
+    outcome: &ConsensusOutcome,
+    stats: lbc_sim::TraceSummary,
+    wall_micros: u64,
+) -> ScenarioRecord {
+    ScenarioRecord {
+        index: scenario.index,
+        family: scenario.family.name().to_string(),
+        graph: scenario.graph.clone(),
+        n: scenario.n,
+        f: scenario.f,
+        algorithm: scenario.algorithm,
+        strategy: scenario.strategy_name.to_string(),
+        faulty: scenario.faulty.clone(),
+        inputs: scenario.inputs.to_string(),
+        seed: scenario.seed,
+        feasible: scenario.feasible,
+        verdict: outcome.verdict(),
+        agreed: outcome.agreed_value(),
+        stats,
+        wall_micros,
+    }
+}
+
+/// Executes scenarios over a worker pool, returning records in scenario
+/// (expansion) order regardless of completion order.
+fn execute_scenarios(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioRecord> {
+    let workers = workers.max(1).min(scenarios.len().max(1));
+    if workers == 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioRecord>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(scenario) = scenarios.get(index) else {
+                    break;
+                };
+                let record = run_scenario(scenario);
+                *slots[index].lock().expect("no panics while holding slot") = Some(record);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panicked")
+                .expect("every slot is filled once the pool drains")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        FRange, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec, SweepSpec,
+    };
+    use lbc_consensus::AlgorithmKind;
+
+    fn tiny_spec(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "executor-unit".to_string(),
+            seed,
+            sweeps: vec![SweepSpec {
+                family: GraphFamily::Fig1a,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                strategies: vec![StrategySpec::TamperRelays, StrategySpec::Silent],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Bits(0b01101),
+            }],
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_judges_all_scenarios() {
+        let report = run_campaign(&tiny_spec(42), 2).unwrap();
+        assert_eq!(report.records().len(), 10);
+        assert!(report.all_correct());
+        for record in report.records() {
+            assert!(record.verdict.is_correct());
+            assert!(record.stats.rounds > 0);
+            assert!(record.stats.transmissions > 0);
+        }
+    }
+
+    #[test]
+    fn records_come_back_in_expansion_order() {
+        let report = run_campaign(&tiny_spec(42), 4).unwrap();
+        for (i, record) in report.records().iter().enumerate() {
+            assert_eq!(record.index, i);
+        }
+    }
+
+    #[test]
+    fn single_scenario_roundtrip() {
+        let scenarios = tiny_spec(1).expand().unwrap();
+        let record = run_scenario(&scenarios[0]);
+        assert_eq!(record.index, 0);
+        assert_eq!(record.family, "fig1a");
+        assert_eq!(record.n, 5);
+        assert!(record.verdict.is_correct());
+    }
+}

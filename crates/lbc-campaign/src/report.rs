@@ -1,0 +1,469 @@
+//! The campaign results store: per-scenario records, rollups, and writers.
+//!
+//! Two serializations exist on purpose:
+//!
+//! * [`CampaignReport::to_json`] — the **canonical** report. It contains
+//!   every deterministic field and *no wall-clock measurements*, so the
+//!   bytes are identical for any worker count (the determinism tests and
+//!   `scripts/campaign_smoke.sh` rely on this).
+//! * [`CampaignReport::to_csv`] — the flat per-scenario table for
+//!   spreadsheets/plotting, including the measured `wall_micros` column
+//!   (explicitly outside the byte-identical contract).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use lbc_consensus::AlgorithmKind;
+use lbc_model::json::{Json, ToJson};
+use lbc_model::{NodeSet, Value, Verdict};
+use lbc_sim::TraceSummary;
+
+/// The recorded outcome of one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRecord {
+    /// Position in the campaign's expansion order.
+    pub index: usize,
+    /// Graph family name.
+    pub family: String,
+    /// Graph instance label (e.g. `C9(1,2)`).
+    pub graph: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Declared fault bound.
+    pub f: usize,
+    /// Algorithm executed.
+    pub algorithm: AlgorithmKind,
+    /// Strategy name driving the faulty nodes.
+    pub strategy: String,
+    /// The faulty set.
+    pub faulty: NodeSet,
+    /// The input assignment, as a bit string (node 0 first).
+    pub inputs: String,
+    /// The derived per-scenario seed.
+    pub seed: u64,
+    /// Whether the paper's conditions admit this configuration.
+    pub feasible: bool,
+    /// The judged verdict.
+    pub verdict: Verdict,
+    /// The agreed value, when agreement holds.
+    pub agreed: Option<Value>,
+    /// Rounds/transmissions/deliveries of the execution.
+    pub stats: TraceSummary,
+    /// Measured wall time in microseconds (CSV only; never in the
+    /// canonical JSON).
+    pub wall_micros: u64,
+}
+
+impl ScenarioRecord {
+    /// The canonical (timing-free) JSON object for this record.
+    #[must_use]
+    pub fn to_canonical_json(&self) -> Json {
+        Json::object([
+            ("index", self.index.to_json()),
+            ("family", self.family.to_json()),
+            ("graph", self.graph.to_json()),
+            ("n", self.n.to_json()),
+            ("f", self.f.to_json()),
+            ("algorithm", Json::Str(self.algorithm.name().to_string())),
+            ("strategy", self.strategy.to_json()),
+            ("faulty", self.faulty.to_json()),
+            ("inputs", self.inputs.to_json()),
+            // As a string: derived seeds use all 64 bits, which a JSON f64
+            // number would round (and a reader could then not reproduce the
+            // scenario from the report).
+            ("seed", Json::Str(self.seed.to_string())),
+            ("feasible", Json::Bool(self.feasible)),
+            ("agreement", Json::Bool(self.verdict.agreement)),
+            ("validity", Json::Bool(self.verdict.validity)),
+            ("termination", Json::Bool(self.verdict.termination)),
+            ("correct", Json::Bool(self.verdict.is_correct())),
+            (
+                "agreed",
+                self.agreed.map_or(Json::Null, |value| value.to_json()),
+            ),
+            ("rounds", self.stats.rounds.to_json()),
+            ("transmissions", self.stats.transmissions.to_json()),
+            ("deliveries", self.stats.deliveries.to_json()),
+        ])
+    }
+}
+
+/// One rollup group: the aggregate over every record sharing
+/// `(family, n, f, strategy)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupRow {
+    /// Graph family name.
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Declared fault bound.
+    pub f: usize,
+    /// Strategy name.
+    pub strategy: String,
+    /// Number of scenarios in the group.
+    pub runs: usize,
+    /// How many of them satisfied all three consensus conditions.
+    pub correct: usize,
+    /// Smallest measured round count in the group.
+    pub rounds_min: usize,
+    /// Largest measured round count in the group.
+    pub rounds_max: usize,
+    /// Total transmissions across the group.
+    pub transmissions: usize,
+    /// Total deliveries across the group.
+    pub deliveries: usize,
+}
+
+impl RollupRow {
+    fn to_canonical_json(&self) -> Json {
+        Json::object([
+            ("family", self.family.to_json()),
+            ("n", self.n.to_json()),
+            ("f", self.f.to_json()),
+            ("strategy", self.strategy.to_json()),
+            ("runs", self.runs.to_json()),
+            ("correct", self.correct.to_json()),
+            ("rounds_min", self.rounds_min.to_json()),
+            ("rounds_max", self.rounds_max.to_json()),
+            ("transmissions", self.transmissions.to_json()),
+            ("deliveries", self.deliveries.to_json()),
+        ])
+    }
+}
+
+/// The aggregated result of one campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    name: String,
+    seed: u64,
+    records: Vec<ScenarioRecord>,
+}
+
+impl CampaignReport {
+    /// Assembles a report from executed records (already in expansion
+    /// order).
+    #[must_use]
+    pub fn new(name: String, seed: u64, records: Vec<ScenarioRecord>) -> Self {
+        CampaignReport {
+            name,
+            seed,
+            records,
+        }
+    }
+
+    /// The campaign name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-scenario records, in expansion order.
+    #[must_use]
+    pub fn records(&self) -> &[ScenarioRecord] {
+        &self.records
+    }
+
+    /// Whether every scenario satisfied agreement, validity and
+    /// termination.
+    #[must_use]
+    pub fn all_correct(&self) -> bool {
+        self.records.iter().all(|r| r.verdict.is_correct())
+    }
+
+    /// The records that violated at least one consensus condition.
+    #[must_use]
+    pub fn incorrect(&self) -> Vec<&ScenarioRecord> {
+        self.records
+            .iter()
+            .filter(|r| !r.verdict.is_correct())
+            .collect()
+    }
+
+    /// Total measured wall time across all scenarios (the *serial* cost;
+    /// the pool divides it across workers).
+    #[must_use]
+    pub fn total_wall_micros(&self) -> u64 {
+        self.records.iter().map(|r| r.wall_micros).sum()
+    }
+
+    /// Aggregates the records per `(family, n, f, strategy)` group, in
+    /// sorted group order.
+    #[must_use]
+    pub fn rollups(&self) -> Vec<RollupRow> {
+        let mut groups: BTreeMap<(String, usize, usize, String), RollupRow> = BTreeMap::new();
+        for record in &self.records {
+            let key = (
+                record.family.clone(),
+                record.n,
+                record.f,
+                record.strategy.clone(),
+            );
+            let entry = groups.entry(key).or_insert_with(|| RollupRow {
+                family: record.family.clone(),
+                n: record.n,
+                f: record.f,
+                strategy: record.strategy.clone(),
+                runs: 0,
+                correct: 0,
+                rounds_min: usize::MAX,
+                rounds_max: 0,
+                transmissions: 0,
+                deliveries: 0,
+            });
+            entry.runs += 1;
+            entry.correct += usize::from(record.verdict.is_correct());
+            entry.rounds_min = entry.rounds_min.min(record.stats.rounds);
+            entry.rounds_max = entry.rounds_max.max(record.stats.rounds);
+            entry.transmissions += record.stats.transmissions;
+            entry.deliveries += record.stats.deliveries;
+        }
+        groups.into_values().collect()
+    }
+
+    /// The canonical JSON report: name, seed, rollups, and every record —
+    /// no wall-clock fields, byte-identical for any worker count.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", self.name.to_json()),
+            ("seed", self.seed.to_json()),
+            ("scenarios", self.records.len().to_json()),
+            ("all_correct", Json::Bool(self.all_correct())),
+            (
+                "rollups",
+                Json::Arr(
+                    self.rollups()
+                        .iter()
+                        .map(RollupRow::to_canonical_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "records",
+                Json::Arr(
+                    self.records
+                        .iter()
+                        .map(ScenarioRecord::to_canonical_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The per-scenario CSV table, **including** the measured
+    /// `wall_micros` column.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,family,graph,n,f,algorithm,strategy,faulty,inputs,seed,feasible,\
+             agreement,validity,termination,correct,agreed,rounds,transmissions,\
+             deliveries,wall_micros\n",
+        );
+        for r in &self.records {
+            let faulty: Vec<String> = r.faulty.iter().map(|v| v.index().to_string()).collect();
+            let agreed = r.agreed.map_or_else(|| "-".to_string(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.index,
+                r.family,
+                csv_escape(&r.graph),
+                r.n,
+                r.f,
+                r.algorithm.name(),
+                r.strategy,
+                csv_escape(&faulty.join(" ")),
+                r.inputs,
+                r.seed,
+                r.feasible,
+                r.verdict.agreement,
+                r.verdict.validity,
+                r.verdict.termination,
+                r.verdict.is_correct(),
+                agreed,
+                r.stats.rounds,
+                r.stats.transmissions,
+                r.stats.deliveries,
+                r.wall_micros,
+            );
+        }
+        out
+    }
+
+    /// A human-readable rollup summary for terminals.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign '{}' (seed {}): {} scenarios, {} incorrect, {:.3}s total sim time",
+            self.name,
+            self.seed,
+            self.records.len(),
+            self.records.len()
+                - self
+                    .records
+                    .iter()
+                    .filter(|r| r.verdict.is_correct())
+                    .count(),
+            self.total_wall_micros() as f64 / 1e6,
+        );
+        let rollups = self.rollups();
+        let header = [
+            "family",
+            "n",
+            "f",
+            "strategy",
+            "runs",
+            "correct",
+            "rounds",
+            "transmissions",
+        ];
+        let mut rows: Vec<[String; 8]> = Vec::new();
+        for r in &rollups {
+            let rounds = if r.rounds_min == r.rounds_max {
+                r.rounds_min.to_string()
+            } else {
+                format!("{}..{}", r.rounds_min, r.rounds_max)
+            };
+            rows.push([
+                r.family.clone(),
+                r.n.to_string(),
+                r.f.to_string(),
+                r.strategy.clone(),
+                r.runs.to_string(),
+                r.correct.to_string(),
+                rounds,
+                r.transmissions.to_string(),
+            ]);
+        }
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, " {:width$} |", cell, width = widths[i]);
+            }
+            line
+        };
+        let header_row: Vec<String> = header.iter().map(|h| (*h).to_string()).collect();
+        let _ = writeln!(out, "{}", render(&header_row));
+        let mut separator = String::from("|");
+        for width in &widths {
+            let _ = write!(separator, "{}|", "-".repeat(width + 2));
+        }
+        let _ = writeln!(out, "{separator}");
+        for row in rows {
+            let _ = writeln!(out, "{}", render(&row));
+        }
+        out
+    }
+}
+
+/// Quotes a CSV cell when it contains a comma or a quote.
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, family: &str, correct: bool, rounds: usize) -> ScenarioRecord {
+        ScenarioRecord {
+            index,
+            family: family.to_string(),
+            graph: format!("{family}5"),
+            n: 5,
+            f: 1,
+            algorithm: AlgorithmKind::Algorithm1,
+            strategy: "tamper-relays".to_string(),
+            faulty: NodeSet::singleton(lbc_model::NodeId::new(0)),
+            inputs: "01101".to_string(),
+            seed: 9,
+            feasible: true,
+            verdict: Verdict {
+                agreement: correct,
+                validity: true,
+                termination: true,
+            },
+            agreed: correct.then_some(Value::One),
+            stats: TraceSummary {
+                rounds,
+                transmissions: 10 * rounds,
+                deliveries: 20 * rounds,
+            },
+            wall_micros: 1234,
+        }
+    }
+
+    #[test]
+    fn rollups_group_and_aggregate() {
+        let report = CampaignReport::new(
+            "t".to_string(),
+            1,
+            vec![
+                record(0, "cycle", true, 30),
+                record(1, "cycle", false, 32),
+                record(2, "wheel", true, 12),
+            ],
+        );
+        let rollups = report.rollups();
+        assert_eq!(rollups.len(), 2);
+        let cycle = &rollups[0];
+        assert_eq!(cycle.family, "cycle");
+        assert_eq!(cycle.runs, 2);
+        assert_eq!(cycle.correct, 1);
+        assert_eq!(cycle.rounds_min, 30);
+        assert_eq!(cycle.rounds_max, 32);
+        assert_eq!(cycle.transmissions, 620);
+        assert!(!report.all_correct());
+        assert_eq!(report.incorrect().len(), 1);
+    }
+
+    #[test]
+    fn canonical_json_has_no_wall_clock() {
+        let report = CampaignReport::new("t".to_string(), 1, vec![record(0, "cycle", true, 30)]);
+        let text = report.to_json().to_string();
+        assert!(!text.contains("wall"));
+        assert!(!text.contains("1234"));
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("scenarios").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.get("all_correct").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn csv_includes_wall_micros_and_escapes() {
+        let mut r = record(0, "circulant", true, 30);
+        r.graph = "C9(1,2)".to_string();
+        let report = CampaignReport::new("t".to_string(), 1, vec![r]);
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().ends_with("wall_micros"));
+        let row = lines.next().unwrap();
+        assert!(row.contains("1234"));
+        assert!(row.contains("C9(1,2)"));
+    }
+
+    #[test]
+    fn summary_renders_a_table() {
+        let report = CampaignReport::new(
+            "smoke".to_string(),
+            7,
+            vec![record(0, "cycle", true, 30), record(1, "wheel", true, 12)],
+        );
+        let summary = report.render_summary();
+        assert!(summary.contains("campaign 'smoke'"));
+        assert!(summary.contains("| cycle"));
+        assert!(summary.contains("| wheel"));
+        assert!(summary.contains("0 incorrect"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Campaign determinism and spec round-trip guarantees.
+//!
+//! * The same spec + seed must produce a **byte-identical canonical JSON
+//!   report** at worker counts 1, 2 and 8 — the executor's scheduling must
+//!   be unobservable in the results.
+//! * Specs must survive `parse → serialize → parse` for arbitrary grids
+//!   (property tests over randomly generated specs).
+
+use proptest::prelude::*;
+
+use lbc_campaign::spec::FRange;
+use lbc_campaign::{
+    run_campaign, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec,
+    SweepSpec,
+};
+use lbc_consensus::AlgorithmKind;
+use lbc_model::json::{FromJson, Json, ToJson};
+
+/// A small but multi-family campaign: two sweeps, three strategies, random
+/// fault placement and derived random-strategy seeds — every source of
+/// campaign randomness is exercised.
+fn determinism_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "determinism".to_string(),
+        seed,
+        sweeps: vec![
+            SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5, 7]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                strategies: vec![
+                    StrategySpec::TamperRelays,
+                    StrategySpec::Random { seed: None },
+                    StrategySpec::Silent,
+                ],
+                faults: FaultPolicy::Random { count: 2 },
+                inputs: InputPolicy::Random { count: 1 },
+            },
+            SweepSpec {
+                family: GraphFamily::Complete,
+                sizes: SizeSpec::List(vec![4]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm2, AlgorithmKind::P2pBaseline],
+                strategies: vec![StrategySpec::Equivocate],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Alternating,
+            },
+        ],
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    let spec = determinism_spec(2024);
+    let baseline = run_campaign(&spec, 1).unwrap().to_json().to_string();
+    assert!(!baseline.is_empty());
+    for workers in [2, 8] {
+        let report = run_campaign(&spec, workers).unwrap().to_json().to_string();
+        assert_eq!(
+            report, baseline,
+            "canonical report differs at {workers} workers"
+        );
+    }
+    // The CSV is identical too, except for the trailing wall_micros column.
+    let strip_wall = |csv: &str| -> Vec<String> {
+        csv.lines()
+            .map(|line| {
+                line.rsplit_once(',')
+                    .map(|(head, _)| head.to_string())
+                    .unwrap()
+            })
+            .collect()
+    };
+    let csv1 = run_campaign(&spec, 1).unwrap().to_csv();
+    let csv8 = run_campaign(&spec, 8).unwrap().to_csv();
+    assert_eq!(strip_wall(&csv1), strip_wall(&csv8));
+}
+
+#[test]
+fn different_campaign_seeds_change_the_report() {
+    let a = run_campaign(&determinism_spec(1), 2)
+        .unwrap()
+        .to_json()
+        .to_string();
+    let b = run_campaign(&determinism_spec(2), 2)
+        .unwrap()
+        .to_json()
+        .to_string();
+    assert_ne!(a, b, "campaign seed must influence derived draws");
+}
+
+#[test]
+fn canonical_report_contains_no_timing() {
+    let report = run_campaign(&determinism_spec(7), 2).unwrap();
+    let text = report.to_json().pretty();
+    assert!(!text.contains("wall"), "canonical JSON must be timing-free");
+    // But the report still carries measured wall time for the CSV/summary.
+    assert!(report.total_wall_micros() > 0);
+    assert!(report
+        .to_csv()
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("wall_micros"));
+}
+
+// ---------------------------------------------------------------------------
+// spec round-trip property tests
+// ---------------------------------------------------------------------------
+
+fn family_strategy() -> impl Strategy<Value = GraphFamily> {
+    (0usize..7).prop_map(|pick| match pick {
+        0 => GraphFamily::Cycle,
+        1 => GraphFamily::Complete,
+        2 => GraphFamily::Wheel,
+        3 => GraphFamily::PathGraph,
+        4 => GraphFamily::Circulant {
+            offsets: vec![1, 2],
+        },
+        5 => GraphFamily::Harary { k: 4 },
+        _ => GraphFamily::Hypercube,
+    })
+}
+
+fn strategy_spec_strategy() -> impl Strategy<Value = StrategySpec> {
+    ((0usize..8), (0u64..100)).prop_map(|(pick, param)| match pick {
+        0 => StrategySpec::Honest,
+        1 => StrategySpec::Silent,
+        2 => StrategySpec::CrashAfter(param),
+        3 => StrategySpec::TamperAll,
+        4 => StrategySpec::TamperRelays,
+        5 => StrategySpec::Equivocate,
+        6 => StrategySpec::Random {
+            seed: (param % 2 == 0).then_some(param),
+        },
+        _ => StrategySpec::Sleeper {
+            honest_rounds: param,
+        },
+    })
+}
+
+fn fault_policy_strategy() -> impl Strategy<Value = FaultPolicy> {
+    ((0usize..4), (1usize..6)).prop_map(|(pick, count)| match pick {
+        0 => FaultPolicy::Exhaustive,
+        1 => FaultPolicy::Random { count },
+        2 => FaultPolicy::WorstCase,
+        _ => FaultPolicy::Fixed(vec![vec![0], vec![0, 1], vec![count]]),
+    })
+}
+
+fn input_policy_strategy() -> impl Strategy<Value = InputPolicy> {
+    ((0usize..7), (0u64..1024), (1usize..5)).prop_map(|(pick, bits, count)| match pick {
+        0 => InputPolicy::Alternating,
+        1 => InputPolicy::AllZero,
+        2 => InputPolicy::AllOne,
+        3 => InputPolicy::SplitHalf,
+        4 => InputPolicy::Bits(bits),
+        5 => InputPolicy::Random { count },
+        _ => InputPolicy::Exhaustive,
+    })
+}
+
+fn sweep_strategy() -> impl Strategy<Value = SweepSpec> {
+    (
+        family_strategy(),
+        prop::collection::vec(3usize..20, 1..4),
+        (0usize..3),
+        (0usize..3),
+        prop::collection::vec(strategy_spec_strategy(), 1..4),
+        fault_policy_strategy(),
+        input_policy_strategy(),
+    )
+        .prop_map(
+            |(family, sizes, f_from, f_extra, strategies, faults, inputs)| SweepSpec {
+                family,
+                sizes: SizeSpec::List(sizes),
+                f: FRange {
+                    from: f_from,
+                    to: f_from + f_extra,
+                },
+                algorithms: vec![AlgorithmKind::Algorithm1, AlgorithmKind::P2pBaseline],
+                strategies,
+                faults,
+                inputs,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+    /// parse(serialize(spec)) == spec for arbitrary grids. Seeds are
+    /// bounded by 2^53: JSON numbers are f64, so larger integers would not
+    /// be exactly representable in a spec file in the first place.
+    #[test]
+    fn spec_roundtrips_through_json(
+        seed in 0u64..(1 << 53),
+        sweeps in prop::collection::vec(sweep_strategy(), 1..3),
+    ) {
+        let spec = CampaignSpec {
+            name: "prop".to_string(),
+            seed,
+            sweeps,
+        };
+        let compact = spec.to_json().to_string();
+        let pretty = spec.to_json().pretty();
+        let from_compact = CampaignSpec::from_json_text(&compact).unwrap();
+        let from_pretty = CampaignSpec::from_json_text(&pretty).unwrap();
+        prop_assert_eq!(&from_compact, &spec);
+        prop_assert_eq!(&from_pretty, &spec);
+        // Serialization is canonical: a second round emits the same bytes.
+        prop_assert_eq!(from_compact.to_json().to_string(), compact);
+    }
+
+    /// Size ranges and lists round-trip through their JSON forms.
+    #[test]
+    fn size_spec_roundtrips(from in 3usize..30, span in 0usize..10, step in 1usize..4) {
+        let range = SizeSpec::Range { from, to: from + span, step };
+        let back = SizeSpec::from_json(&Json::parse(&range.to_json().to_string()).unwrap()).unwrap();
+        prop_assert_eq!(&back, &range);
+        prop_assert_eq!(back.values(), range.values());
+    }
+}

@@ -28,7 +28,7 @@ use lbc_model::fx::{FxHashMap, FxHashSet};
 use lbc_model::{NodeId, NodeSet, Path, PathId, Round, SharedPathArena, Value};
 use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
 
-use crate::flooding::Flooder;
+use crate::flooding::{validate_path, Flooder};
 use crate::messages::{Alg2Message, DecisionMsg, ReportMsg};
 
 /// Which role a node ended phase 2 with.
@@ -450,6 +450,8 @@ struct ReportFlood {
     /// (observed, value, observed transmission path) → full observed→me relay
     /// paths the report arrived along, in arrival order.
     received: FxHashMap<(NodeId, Value, PathId), Vec<PathId>>,
+    /// Scratch buffer for [`validate_path`] (avoids per-message allocation).
+    validate_scratch: Vec<PathId>,
 }
 
 impl ReportFlood {
@@ -483,11 +485,14 @@ impl ReportFlood {
         // G. Validated *before* any interning, so rejected reports allocate
         // no arena entries (as in `Flooder::process`). The relay path is
         // `msg.path` itself when the transmitter is already its last node,
-        // otherwise `msg.path‑from`.
+        // otherwise `msg.path‑from`. Validation reads the arena's shared
+        // graph-validity memo — the same per-entry byte the phase-1 value
+        // flood populated, so a report about a path that travelled in phase 1
+        // costs one array read instead of a parent-chain walk.
         let retransmission = arena.last(msg.path) == Some(from);
         {
-            let borrowed = arena.borrow();
-            if !graph.is_arena_path(&borrowed, msg.path) {
+            let mut borrowed = arena.borrow_mut();
+            if !validate_path(&mut borrowed, &mut self.validate_scratch, graph, msg.path) {
                 return None;
             }
             if !retransmission
@@ -552,6 +557,8 @@ struct DecisionFlood {
     seen: FxHashSet<(NodeId, PathId)>,
     /// Full origin→me paths and the value they delivered, in arrival order.
     received: Vec<(NodeId, Value, PathId)>,
+    /// Scratch buffer for [`validate_path`] (avoids per-message allocation).
+    validate_scratch: Vec<PathId>,
 }
 
 impl DecisionFlood {
@@ -577,11 +584,13 @@ impl DecisionFlood {
         from: NodeId,
         msg: &DecisionMsg,
     ) -> Option<DecisionMsg> {
-        // Rule (i), checked id-natively as in `Flooder::process`.
+        // Rule (i), checked id-natively against the arena's shared
+        // graph-validity memo as in `Flooder::process` (decision paths are
+        // usually re-walks of phase-1/2 prefixes, so the memo hits).
         {
-            let borrowed = arena.borrow();
+            let mut borrowed = arena.borrow_mut();
             if !graph.contains_node(from)
-                || !graph.is_arena_path(&borrowed, msg.path)
+                || !validate_path(&mut borrowed, &mut self.validate_scratch, graph, msg.path)
                 || borrowed.contains(msg.path, from)
             {
                 return None;

@@ -47,7 +47,7 @@ use crate::messages::FloodMsg;
 /// validated exactly once per execution — the common case is a single array
 /// read. `suffix` is a caller-owned scratch buffer so the hot path never
 /// allocates.
-fn validate_path(
+pub(crate) fn validate_path(
     arena: &mut PathArena,
     suffix: &mut Vec<PathId>,
     graph: &Graph,
@@ -159,6 +159,31 @@ impl Flooder {
     #[must_use]
     pub fn own_value(&self) -> Option<Value> {
         self.own_value
+    }
+
+    /// Resets the flooder for a fresh flood of `value` and returns the new
+    /// initiation broadcast, *keeping every allocation* — the hash-map
+    /// capacity, the per-origin index vectors, and the validation scratch
+    /// buffer all survive, so a multi-phase algorithm (Algorithm 1 floods
+    /// once per candidate fault set) re-floods without rebuilding its state
+    /// tables from scratch. The shared arena is untouched: interned paths
+    /// and their graph-validity memo persist across phases by design.
+    ///
+    /// Observable behaviour is identical to dropping the flooder and calling
+    /// [`Flooder::start`] with the same arena.
+    pub fn restart(&mut self, value: Value) -> Vec<Outgoing<FloodMsg>> {
+        self.own_value = Some(value);
+        self.seen.clear();
+        for per_origin in &mut self.by_origin {
+            per_origin.clear();
+        }
+        if self.by_origin.len() <= self.me.index() {
+            self.by_origin.resize(self.me.index() + 1, Vec::new());
+        }
+        self.by_origin[self.me.index()].push(PathId::EMPTY);
+        self.received_total = 1;
+        self.defaults_injected = false;
+        vec![Outgoing::Broadcast(FloodMsg::initiation(value))]
     }
 
     /// Processes one round of deliveries and returns the forwards to
@@ -743,6 +768,35 @@ mod tests {
             .any(|(from, path, value)| *from == n(1) && path.is_empty() && *value == Value::One));
         assert!(flooder.overheard_exactly(n(1), PathId::EMPTY, Value::One));
         assert!(!flooder.overheard_exactly(n(1), PathId::EMPTY, Value::Zero));
+    }
+
+    #[test]
+    fn restart_behaves_like_a_fresh_start() {
+        let g = generators::cycle(5);
+        let (arena, mut reused) = started(2, Value::Zero);
+        let inbox = [
+            deliver(&arena, 1, Value::One, &[0]),
+            deliver(&arena, 3, Value::Zero, &[4]),
+        ];
+        let _ = reused.on_round(&g, true, &inbox);
+        assert!(reused.received_count() > 1);
+
+        // Restarting with a new value must reproduce a fresh flooder's
+        // behaviour exactly, against the same (persistent) arena.
+        let init = reused.restart(Value::One);
+        let (fresh, fresh_init) = Flooder::start(arena.clone(), n(2), Value::One);
+        assert_eq!(init, fresh_init);
+        assert_eq!(reused.received_count(), fresh.received_count());
+        assert_eq!(reused.own_value(), fresh.own_value());
+        assert_eq!(reused.overheard(), fresh.overheard());
+
+        let mut fresh = fresh;
+        let out_reused = reused.on_round(&g, true, &inbox);
+        let out_fresh = fresh.on_round(&g, true, &inbox);
+        assert_eq!(out_reused, out_fresh);
+        assert_eq!(reused.received_from(n(0)), fresh.received_from(n(0)));
+        assert_eq!(reused.received_from(n(4)), fresh.received_from(n(4)));
+        assert_eq!(reused.overheard(), fresh.overheard());
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //!
 //! let inputs = InputAssignment::from_bits(5, 0b01101);
 //! let faulty = NodeSet::new();
-//! let (outcome, _trace) = runner::run_local_broadcast(
+//! let (outcome, _trace) = runner::run_kind(
 //!     AlgorithmKind::Algorithm1,
 //!     &graph,
 //!     1,

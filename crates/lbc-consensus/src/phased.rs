@@ -237,9 +237,11 @@ impl Protocol for PhasedNode {
         state.phase_index += 1;
         state.round_in_phase = 0;
         if state.phase_index < state.phases.len() {
-            let (flooder, initiation) = Flooder::start(ctx.arena.clone(), ctx.id, self.gamma);
-            state.flooder = flooder;
-            out.extend(initiation);
+            // Re-flood the (possibly updated) state γ_v for the next phase,
+            // reusing the flooder's maps and index allocations; only the
+            // per-phase *contents* reset, the arena and its validity memo
+            // persist for the whole execution.
+            out.extend(state.flooder.restart(self.gamma));
             self.state = Some(state);
             out
         } else {

@@ -19,6 +19,43 @@ pub enum AlgorithmKind {
     /// Algorithm 2: `O(n)`-round consensus for `2f`-connected graphs
     /// (Theorem 5.6).
     Algorithm2,
+    /// The classical point-to-point baseline (king agreement over
+    /// Dolev-style relay), run under [`CommModel::PointToPoint`].
+    P2pBaseline,
+}
+
+impl AlgorithmKind {
+    /// A short, stable name ("alg1" / "alg2" / "p2p"), used by campaign
+    /// specs, report rows, and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Algorithm1 => "alg1",
+            AlgorithmKind::Algorithm2 => "alg2",
+            AlgorithmKind::P2pBaseline => "p2p",
+        }
+    }
+
+    /// Parses the stable name produced by [`AlgorithmKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "alg1" => AlgorithmKind::Algorithm1,
+            "alg2" => AlgorithmKind::Algorithm2,
+            "p2p" => AlgorithmKind::P2pBaseline,
+            _ => return None,
+        })
+    }
+
+    /// Every runnable kind, in stable order.
+    #[must_use]
+    pub fn all() -> [AlgorithmKind; 3] {
+        [
+            AlgorithmKind::Algorithm1,
+            AlgorithmKind::Algorithm2,
+            AlgorithmKind::P2pBaseline,
+        ]
+    }
 }
 
 /// Safety margin multiplier applied to the theoretical round counts when
@@ -115,8 +152,14 @@ where
     )
 }
 
-/// Runs either local-broadcast algorithm, selected by `kind`.
-pub fn run_local_broadcast<A>(
+/// Runs any algorithm selected by `kind` — the two local-broadcast
+/// algorithms or the point-to-point baseline — with a caller-constructed
+/// (and, for randomized strategies, pre-seeded) adversary.
+///
+/// This is the single entry point the campaign executor dispatches through:
+/// one `(kind, graph, f, inputs, faulty)` scenario plus one adversary in,
+/// one judged outcome and trace out.
+pub fn run_kind<A>(
     kind: AlgorithmKind,
     graph: &Graph,
     f: usize,
@@ -125,11 +168,12 @@ pub fn run_local_broadcast<A>(
     adversary: &mut A,
 ) -> (ConsensusOutcome, Trace)
 where
-    A: Adversary<FloodMsg> + Adversary<Alg2Message>,
+    A: Adversary<FloodMsg> + Adversary<Alg2Message> + Adversary<P2pMessage>,
 {
     match kind {
         AlgorithmKind::Algorithm1 => run_algorithm1(graph, f, inputs, faulty, adversary),
         AlgorithmKind::Algorithm2 => run_algorithm2(graph, f, inputs, faulty, adversary),
+        AlgorithmKind::P2pBaseline => run_p2p_baseline(graph, f, inputs, faulty, adversary),
     }
 }
 
@@ -282,6 +326,31 @@ mod tests {
         let (outcome, _) =
             run_p2p_baseline(&graph, 1, &inputs, &NodeSet::new(), &mut HonestAdversary);
         assert!(outcome.verdict().is_correct(), "{outcome}");
+    }
+
+    #[test]
+    fn algorithm_kind_names_roundtrip() {
+        for kind in AlgorithmKind::all() {
+            assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(AlgorithmKind::from_name("alg9"), None);
+    }
+
+    #[test]
+    fn run_kind_dispatches_every_algorithm() {
+        let graph = generators::complete(4);
+        let inputs = InputAssignment::from_bits(4, 0b0110);
+        for kind in AlgorithmKind::all() {
+            let (outcome, _) = run_kind(
+                kind,
+                &graph,
+                1,
+                &inputs,
+                &NodeSet::new(),
+                &mut HonestAdversary,
+            );
+            assert!(outcome.verdict().is_correct(), "{}: {outcome}", kind.name());
+        }
     }
 
     #[test]

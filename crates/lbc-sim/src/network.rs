@@ -115,16 +115,20 @@ impl<P: Protocol> Network<P> {
     {
         let mut trace = Trace::new();
 
+        // Per-node inbox buffers, allocated once and reused across rounds:
+        // `deliver` clears each inner vector but keeps its capacity, so the
+        // steady state of a long run performs no inbox allocations at all.
+        let mut inboxes: Vec<Vec<Delivery<P::Message>>> = vec![Vec::new(); self.nodes.len()];
+
         // Start-of-execution transmissions.
-        let mut pending =
-            self.collect_outgoing(adversary, None, &vec![Vec::new(); self.nodes.len()]);
+        let mut pending = self.collect_outgoing(adversary, None, &inboxes);
 
         for round_index in 0..max_rounds {
             if self.all_non_faulty_terminated() {
                 break;
             }
             let round = Round::new(round_index as u64);
-            let (inboxes, stats) = self.deliver(&pending);
+            let stats = self.deliver(&pending, &mut inboxes);
             trace.push_round(stats);
             pending = self.collect_outgoing(adversary, Some(round), &inboxes);
         }
@@ -180,16 +184,19 @@ impl<P: Protocol> Network<P> {
     }
 
     /// Applies the communication model to the pending transmissions and
-    /// produces each node's inbox for the next round, together with the
-    /// round's statistics.
+    /// fills each node's inbox for the next round in the caller-owned
+    /// buffers, returning the round's statistics.
     ///
     /// Deliveries are ordered by sender id and, per sender, by transmission
     /// order (FIFO links).
     fn deliver(
         &self,
         pending: &[Vec<Outgoing<P::Message>>],
-    ) -> (Vec<Vec<Delivery<P::Message>>>, RoundStats) {
-        let mut inboxes: Vec<Vec<Delivery<P::Message>>> = vec![Vec::new(); self.nodes.len()];
+        inboxes: &mut [Vec<Delivery<P::Message>>],
+    ) -> RoundStats {
+        for inbox in inboxes.iter_mut() {
+            inbox.clear();
+        }
         let mut stats = RoundStats::default();
         for (sender_index, sender_pending) in pending.iter().enumerate() {
             let sender = NodeId::new(sender_index);
@@ -234,7 +241,7 @@ impl<P: Protocol> Network<P> {
                 }
             }
         }
-        (inboxes, stats)
+        stats
     }
 }
 

@@ -13,6 +13,46 @@ pub struct RoundStats {
     pub deliveries: usize,
 }
 
+/// The whole-run totals of a [`Trace`], in one flat record.
+///
+/// This is the per-run statistics surface consumed by result stores (the
+/// campaign report aggregates one `TraceSummary` per scenario) without
+/// holding on to the full per-round breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Total transmissions over the whole execution.
+    pub transmissions: usize,
+    /// Total deliveries over the whole execution.
+    pub deliveries: usize,
+}
+
+impl ToJson for TraceSummary {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rounds", self.rounds.to_json()),
+            ("transmissions", self.transmissions.to_json()),
+            ("deliveries", self.deliveries.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceSummary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let field = |key: &str| {
+            value.get(key).ok_or_else(|| JsonError {
+                message: format!("trace summary missing '{key}'"),
+            })
+        };
+        Ok(TraceSummary {
+            rounds: usize::from_json(field("rounds")?)?,
+            transmissions: usize::from_json(field("transmissions")?)?,
+            deliveries: usize::from_json(field("deliveries")?)?,
+        })
+    }
+}
+
 /// The accumulated trace of one simulation run.
 ///
 /// The experiment harness uses traces to regenerate the paper's complexity
@@ -96,6 +136,16 @@ impl Trace {
     pub fn total_deliveries(&self) -> usize {
         self.rounds.iter().map(|r| r.deliveries).sum()
     }
+
+    /// The whole-run totals as one flat record.
+    #[must_use]
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            rounds: self.rounds(),
+            transmissions: self.total_transmissions(),
+            deliveries: self.total_deliveries(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +180,25 @@ mod tests {
         let json = trace.to_json().to_string();
         let back = Trace::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn summary_flattens_totals_and_roundtrips() {
+        let mut trace = Trace::new();
+        trace.push_round(RoundStats {
+            transmissions: 3,
+            deliveries: 6,
+        });
+        trace.push_round(RoundStats {
+            transmissions: 1,
+            deliveries: 2,
+        });
+        let summary = trace.summary();
+        assert_eq!(summary.rounds, 2);
+        assert_eq!(summary.transmissions, 4);
+        assert_eq!(summary.deliveries, 8);
+        let json = summary.to_json().to_string();
+        let back = TraceSummary::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, summary);
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Campaign smoke: runs the committed multi-family smoke campaign and the
+# E1-as-campaign spec in --strict mode (any incorrect consensus verdict
+# fails the script), and proves worker-count determinism end to end by
+# byte-comparing the canonical JSON reports produced at 1 and 4 workers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LBC_CAMPAIGN_OUT:-target/lbc-campaign-smoke}"
+rm -rf "$OUT"
+mkdir -p "$OUT/w1" "$OUT/w4"
+
+cargo build --release --bin lbc
+
+./target/release/lbc campaign examples/campaigns/smoke.json --strict --workers 1 --out "$OUT/w1"
+./target/release/lbc campaign examples/campaigns/smoke.json --strict --workers 4 --out "$OUT/w4" --quiet
+cmp "$OUT/w1/smoke.report.json" "$OUT/w4/smoke.report.json"
+
+./target/release/lbc campaign examples/campaigns/e1_fig1a.json --strict --out "$OUT" --quiet
+
+echo "campaign smoke OK: strict verdicts + byte-identical reports across worker counts"

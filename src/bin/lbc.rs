@@ -7,6 +7,10 @@
 //!                                  run a consensus algorithm and print the outcome
 //! lbc impossibility <graph> <f>    run the Figure 2/3 constructions on a deficient graph
 //! lbc experiments [id]             print experiment tables (all, or E1..E8)
+//! lbc campaign <spec.json> [--workers N] [--out DIR] [--strict]
+//!                                  expand and execute a campaign spec, writing
+//!                                  <name>.report.json (canonical, deterministic)
+//!                                  and <name>.report.csv (with wall times)
 //! lbc graphs                       list the built-in graph names
 //! ```
 //!
@@ -14,8 +18,12 @@
 //! offsets 1,2), `q3` (hypercube), `wheel<N>`, `path<N>`, `fig1a`, `fig1b`.
 
 use std::env;
+use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use lbc_campaign::{run_scenarios, CampaignSpec};
 use local_broadcast_consensus::experiments;
 use local_broadcast_consensus::prelude::*;
 
@@ -61,7 +69,7 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
     );
     ExitCode::from(2)
 }
@@ -246,6 +254,123 @@ fn cmd_experiments(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]`
+///
+/// Expands the spec, executes it on a worker pool, writes
+/// `<out>/<name>.report.json` (the canonical, worker-count-independent
+/// report) and `<out>/<name>.report.csv` (per-scenario rows including wall
+/// times) — `--out` defaults to the current directory, so running a
+/// committed example spec does not drop reports into the source tree —
+/// and prints the rollup summary. With `--strict` the exit code is
+/// non-zero when any scenario violates a consensus condition.
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    let Some(spec_path) = args.first() else {
+        return usage();
+    };
+    let mut workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let mut out_dir: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut quiet = false;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--workers" => {
+                let Some(count) = rest.next().and_then(|w| w.parse::<usize>().ok()) else {
+                    eprintln!("--workers requires a positive integer");
+                    return ExitCode::from(2);
+                };
+                workers = count.max(1);
+            }
+            "--out" => {
+                let Some(dir) = rest.next() else {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--strict" => strict = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown campaign flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CampaignSpec::from_json_text(&text) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = match spec.expand() {
+        Ok(scenarios) => scenarios,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        println!(
+            "campaign '{}': {} scenarios on {workers} workers",
+            spec.name,
+            scenarios.len()
+        );
+    }
+    let started = Instant::now();
+    let report = run_scenarios(&spec, &scenarios, workers);
+    let elapsed = started.elapsed();
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
+    if let Err(err) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let json_path = out_dir.join(format!("{}.report.json", report.name()));
+    let csv_path = out_dir.join(format!("{}.report.csv", report.name()));
+    if let Err(err) = fs::write(&json_path, report.to_json().pretty() + "\n") {
+        eprintln!("cannot write {}: {err}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = fs::write(&csv_path, report.to_csv()) {
+        eprintln!("cannot write {}: {err}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        println!("{}", report.render_summary());
+        println!(
+            "wall time {:.3}s ({} workers); wrote {} and {}",
+            elapsed.as_secs_f64(),
+            workers,
+            json_path.display(),
+            csv_path.display()
+        );
+    }
+    if strict && !report.all_correct() {
+        for record in report.incorrect() {
+            eprintln!(
+                "INCORRECT: #{} {} {} f={} {} faulty={} inputs={} ({})",
+                record.index,
+                record.graph,
+                record.algorithm.name(),
+                record.f,
+                record.strategy,
+                record.faulty,
+                record.inputs,
+                record.verdict
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -253,6 +378,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("impossibility") => cmd_impossibility(&args[1..]),
         Some("experiments") => cmd_experiments(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("graphs") => {
             println!("c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b");
             ExitCode::SUCCESS

@@ -15,7 +15,9 @@
 //! * [`consensus`] — the paper's algorithms (1, 2, 3), the feasibility
 //!   conditions, and the point-to-point baseline,
 //! * [`lowerbound`] — the Figure 2/3 impossibility constructions,
-//! * [`experiments`] — the harness regenerating every figure / claim.
+//! * [`experiments`] — the harness regenerating every figure / claim,
+//! * [`campaign`] — declarative scenario specs plus the deterministic
+//!   parallel sweep executor (`lbc campaign <spec.json>`).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use lbc_adversary as adversary;
+pub use lbc_campaign as campaign;
 pub use lbc_consensus as consensus;
 pub use lbc_experiments as experiments;
 pub use lbc_graph as graph;
