@@ -5,7 +5,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use lbc_model::Round;
-use lbc_sim::{Adversary, ByzantineMessage, Delivery, NodeContext, Outgoing};
+use lbc_sim::{Adversary, ByzantineMessage, Inbox, NodeContext, Outgoing};
 
 /// A declarative description of how faulty nodes misbehave.
 ///
@@ -122,7 +122,7 @@ where
         ctx: &NodeContext<'_>,
         round: Option<Round>,
         honest_outgoing: Vec<Outgoing<M>>,
-        _inbox: &[Delivery<M>],
+        _inbox: Inbox<'_, M>,
     ) -> Vec<Outgoing<M>> {
         match &self.strategy {
             Strategy::Honest => honest_outgoing,
@@ -209,12 +209,14 @@ mod tests {
     fn ctx<'a>(
         graph: &'a lbc_graph::Graph,
         arena: &'a lbc_model::SharedPathArena,
+        ledger: &'a lbc_model::SharedFloodLedger,
     ) -> NodeContext<'a> {
         NodeContext {
             id: NodeId::new(0),
             graph,
             f: 1,
             arena,
+            ledger,
         }
     }
 
@@ -226,9 +228,14 @@ mod tests {
     fn silent_drops_everything() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::Silent.into_adversary();
-        let out: Vec<Outgoing<Value>> =
-            adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
+        let out: Vec<Outgoing<Value>> = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            None,
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert!(out.is_empty());
     }
 
@@ -236,8 +243,14 @@ mod tests {
     fn honest_passes_through() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::Honest.into_adversary();
-        let out = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
+        let out = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            None,
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(out, honest_out());
     }
 
@@ -245,12 +258,21 @@ mod tests {
     fn crash_after_respects_the_round_limit() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::CrashAfter(2).into_adversary();
-        let before: Vec<Outgoing<Value>> =
-            adv.intercept(&ctx(&graph, &arena), Some(Round::new(1)), honest_out(), &[]);
+        let before: Vec<Outgoing<Value>> = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::new(1)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(before.len(), 1);
-        let after: Vec<Outgoing<Value>> =
-            adv.intercept(&ctx(&graph, &arena), Some(Round::new(2)), honest_out(), &[]);
+        let after: Vec<Outgoing<Value>> = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::new(2)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert!(after.is_empty());
     }
 
@@ -258,8 +280,14 @@ mod tests {
     fn tamper_all_flips_values() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::TamperAll.into_adversary();
-        let out = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
+        let out = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            None,
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(out, vec![Outgoing::Broadcast(Value::Zero)]);
     }
 
@@ -267,10 +295,21 @@ mod tests {
     fn tamper_relays_leaves_the_start_step_alone() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::TamperRelays.into_adversary();
-        let start = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
+        let start = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            None,
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(start, honest_out());
-        let later = adv.intercept(&ctx(&graph, &arena), Some(Round::ZERO), honest_out(), &[]);
+        let later = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::ZERO),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(later, vec![Outgoing::Broadcast(Value::Zero)]);
     }
 
@@ -278,8 +317,14 @@ mod tests {
     fn equivocate_splits_neighbors() {
         let graph = generators::complete(5);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::Equivocate.into_adversary();
-        let out = adv.intercept(&ctx(&graph, &arena), None, honest_out(), &[]);
+        let out = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            None,
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         // 4 neighbors, one unicast each.
         assert_eq!(out.len(), 4);
         let originals = out.iter().filter(|o| *o.message() == Value::One).count();
@@ -293,11 +338,22 @@ mod tests {
     fn random_is_reproducible_per_seed() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let many: Vec<Outgoing<Value>> = (0..10).map(|_| Outgoing::Broadcast(Value::One)).collect();
         let mut a = Strategy::Random { seed: 9 }.into_adversary();
         let mut b = Strategy::Random { seed: 9 }.into_adversary();
-        let out_a = a.intercept(&ctx(&graph, &arena), Some(Round::ZERO), many.clone(), &[]);
-        let out_b = b.intercept(&ctx(&graph, &arena), Some(Round::ZERO), many, &[]);
+        let out_a = a.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::ZERO),
+            many.clone(),
+            Inbox::direct(&[]),
+        );
+        let out_b = b.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::ZERO),
+            many,
+            Inbox::direct(&[]),
+        );
         assert_eq!(out_a, out_b);
     }
 
@@ -305,10 +361,21 @@ mod tests {
     fn sleeper_switches_behaviour() {
         let graph = generators::complete(4);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let mut adv = Strategy::SleeperTamper { honest_rounds: 3 }.into_adversary();
-        let early = adv.intercept(&ctx(&graph, &arena), Some(Round::new(1)), honest_out(), &[]);
+        let early = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::new(1)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(early, honest_out());
-        let late = adv.intercept(&ctx(&graph, &arena), Some(Round::new(5)), honest_out(), &[]);
+        let late = adv.intercept(
+            &ctx(&graph, &arena, &ledger),
+            Some(Round::new(5)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
         assert_eq!(late, vec![Outgoing::Broadcast(Value::Zero)]);
     }
 

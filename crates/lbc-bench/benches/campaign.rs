@@ -85,6 +85,37 @@ fn bench(c: &mut Criterion) {
     group.bench_function("campaign_parallel_8workers", |b| {
         b.iter(|| black_box(run_campaign(&spec, 8).unwrap().records().len()));
     });
+
+    // dense_n21's flagship family — Algorithm 2 on cycles up to n = 21,
+    // viable only since the shared flood fabric took the report flood off
+    // the critical path. One serial run is both the wall-time sanity gate
+    // (a regression back to per-node flood state would blow straight
+    // through the bound) and the correctness check for the sweep.
+    let dense =
+        CampaignSpec::from_json_text(include_str!("../../../examples/campaigns/dense_n21.json"))
+            .expect("committed spec parses");
+    let cycle_alg2 = CampaignSpec {
+        name: "dense_n21_cycle_alg2".to_string(),
+        seed: dense.seed,
+        sweeps: vec![dense.sweeps[1].clone()],
+    };
+    assert_eq!(cycle_alg2.sweeps[0].algorithms, [AlgorithmKind::Algorithm2]);
+    let started = std::time::Instant::now();
+    let report = run_campaign(&cycle_alg2, 1).unwrap();
+    let elapsed = started.elapsed();
+    assert!(report.all_correct(), "dense_n21 cycle/alg2 sweep regressed");
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "dense_n21 cycle/alg2 sweep took {elapsed:?} serial — report flood \
+         is back on the critical path"
+    );
+    println!(
+        "dense_n21 cycle/alg2 sweep: {} scenarios in {elapsed:?} (serial)",
+        report.records().len()
+    );
+    group.bench_function("campaign_dense21_cycle_alg2_serial", |b| {
+        b.iter(|| black_box(run_campaign(&cycle_alg2, 1).unwrap().records().len()));
+    });
     group.finish();
 }
 

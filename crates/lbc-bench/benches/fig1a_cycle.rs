@@ -1,9 +1,9 @@
 //! E1 — Figure 1(a): consensus on the 5-cycle with one Byzantine node.
 //!
 //! Regenerates the E1 table, benchmarks Algorithm 1 and Algorithm 2 on the
-//! 5-cycle against a tampering fault, and measures the path-interning flood
-//! engine against the naive `Path`-cloning control at n = 13 (the `interned`
-//! vs `naive` pair is what `BENCH_baseline.json` derives its speedup from).
+//! 5-cycle against a tampering fault, and measures all three flood engines
+//! at n = 13 — the `naive` / `interned` (per-node) / `ledger` triple is what
+//! the bench-baseline aggregator derives its speedup records from.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -46,7 +46,11 @@ fn bench(c: &mut Criterion) {
         });
     });
 
-    // The flood engine alone, interned vs naive, all 13 nodes flooding.
+    // The flood engine alone — ledger (production) vs per-node interned
+    // control vs naive reference — all 13 nodes flooding.
+    group.bench_function("flood_c13_ledger", |b| {
+        b.iter(|| black_box(floodsim::flood_ledger(&c13, 13)));
+    });
     group.bench_function("flood_c13_interned", |b| {
         b.iter(|| black_box(floodsim::flood_interned(&c13, 13)));
     });

@@ -1,9 +1,12 @@
 //! Collects the per-benchmark JSON records written by the criterion shim
-//! (under `target/lbc-bench/`, or `$LBC_BENCH_OUT`) into a single
-//! `BENCH_baseline.json` at the workspace root, computing the
-//! interned-vs-naive speedup for every `*_interned` / `*_naive` pair.
+//! (under `target/lbc-bench/`, or `$LBC_BENCH_OUT`) into a single baseline
+//! file (first CLI argument; default `BENCH_baseline.json`) at the
+//! workspace root, computing the interned-vs-naive speedup for every
+//! `*_interned` / `*_naive` pair and a naive / per-node / ledger speedup
+//! triple for every workload that also has a `*_ledger` variant.
 //!
-//! Run via `scripts/bench_baseline.sh`, which executes the benches first.
+//! Run via `scripts/bench_baseline.sh [out.json]`, which executes the
+//! benches first.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -64,21 +67,41 @@ fn main() -> ExitCode {
         .filter_map(|r| Some((full_name(r)?, r.get("median_ns")?.as_f64()?)))
         .collect();
 
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
     let mut speedups = Vec::new();
+    let mut triples = Vec::new();
     for (name, naive_median) in &medians {
         let Some(base) = name.strip_suffix("_naive") else {
             continue;
         };
-        let interned_name = format!("{base}_interned");
-        if let Some(interned_median) = medians.get(&interned_name) {
+        let interned_median = medians.get(&format!("{base}_interned"));
+        let ledger_median = medians.get(&format!("{base}_ledger"));
+        if let Some(interned_median) = interned_median {
             if *interned_median > 0.0 {
                 speedups.push(Json::object([
                     ("workload", Json::Str(base.to_string())),
                     ("naive_median_ns", Json::Num(*naive_median)),
                     ("interned_median_ns", Json::Num(*interned_median)),
+                    ("speedup", Json::Num(round2(naive_median / interned_median))),
+                ]));
+            }
+        }
+        // The three-engine ladder: naive reference, per-node interned
+        // control, shared-fabric ledger production engine.
+        if let (Some(per_node), Some(ledger)) = (interned_median, ledger_median) {
+            if *per_node > 0.0 && *ledger > 0.0 {
+                triples.push(Json::object([
+                    ("workload", Json::Str(base.to_string())),
+                    ("naive_median_ns", Json::Num(*naive_median)),
+                    ("per_node_median_ns", Json::Num(*per_node)),
+                    ("ledger_median_ns", Json::Num(*ledger)),
                     (
-                        "speedup",
-                        Json::Num((naive_median / interned_median * 100.0).round() / 100.0),
+                        "ledger_speedup_vs_naive",
+                        Json::Num(round2(naive_median / ledger)),
+                    ),
+                    (
+                        "ledger_speedup_vs_per_node",
+                        Json::Num(round2(per_node / ledger)),
                     ),
                 ]));
             }
@@ -91,15 +114,20 @@ fn main() -> ExitCode {
             Json::Str(
                 "Criterion-shim medians (ns/iter) for the lbc benches; \
                  'speedups' pairs the path-interning flood engine against \
-                 the naive Path-cloning control on the same workload"
+                 the naive Path-cloning control, and 'speedup_triples' adds \
+                 the shared-fabric ledger engine (naive / per-node / ledger) \
+                 on the same workload"
                     .to_string(),
             ),
         ),
         ("benches", Json::Arr(records)),
         ("speedups", Json::Arr(speedups)),
+        ("speedup_triples", Json::Arr(triples)),
     ]);
 
-    let out_path = PathBuf::from("BENCH_baseline.json");
+    let out_path = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("BENCH_baseline.json"), PathBuf::from);
     if let Err(err) = fs::write(&out_path, baseline.pretty() + "\n") {
         eprintln!("failed to write {}: {err}", out_path.display());
         return ExitCode::FAILURE;

@@ -5,10 +5,12 @@
 //! experiment's table (the "figure/table regeneration") and then benchmarks
 //! the hot path behind it.
 //!
-//! The [`floodsim`] module drives whole-graph floods through both flood
-//! engines — the production path-interning [`lbc_consensus::flooding::Flooder`]
-//! and the pre-refactor [`lbc_consensus::flooding::NaiveFlooder`] control —
-//! so the benches can report the interned-vs-naive speedup directly.
+//! The [`floodsim`] module drives whole-graph floods through all three flood
+//! engines — the production shared-fabric
+//! [`lbc_consensus::flooding::LedgerFlooder`], the per-node path-interning
+//! [`lbc_consensus::flooding::Flooder`] control, and the pre-refactor
+//! [`lbc_consensus::flooding::NaiveFlooder`] reference — so the benches can
+//! report naive/per-node/ledger speedup triples directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,13 +26,13 @@ pub fn print_experiment(result: &ExperimentResult) {
     println!();
 }
 
-/// Whole-graph flood drivers over both engines.
+/// Whole-graph flood drivers over all three engines.
 pub mod floodsim {
-    use lbc_consensus::flooding::{Flooder, NaiveFloodMsg, NaiveFlooder};
+    use lbc_consensus::flooding::{Flooder, LedgerFlooder, NaiveFloodMsg, NaiveFlooder};
     use lbc_consensus::FloodMsg;
     use lbc_graph::Graph;
-    use lbc_model::{NodeId, SharedPathArena, Value};
-    use lbc_sim::{Delivery, Outgoing};
+    use lbc_model::{NodeId, SharedFloodLedger, SharedPathArena, Value};
+    use lbc_sim::{Delivery, Inbox, Outgoing};
 
     fn input(v: usize) -> Value {
         Value::from(v.is_multiple_of(2))
@@ -49,9 +51,36 @@ pub mod floodsim {
             &mut self,
             graph: &Graph,
             first_round: bool,
-            inbox: &[Delivery<Self::Msg>],
+            inbox: Inbox<'_, Self::Msg>,
         ) -> Vec<Outgoing<Self::Msg>>;
         fn received_count(&self) -> usize;
+    }
+
+    impl FloodEngine for LedgerFlooder {
+        type Msg = FloodMsg;
+
+        fn start_all(graph: &Graph) -> (Vec<Self>, Initiations<FloodMsg>) {
+            let arena = SharedPathArena::new();
+            let ledger = SharedFloodLedger::new();
+            (0..graph.node_count())
+                .map(|v| {
+                    LedgerFlooder::start(arena.clone(), ledger.clone(), NodeId::new(v), input(v))
+                })
+                .unzip()
+        }
+
+        fn on_round(
+            &mut self,
+            graph: &Graph,
+            first_round: bool,
+            inbox: Inbox<'_, FloodMsg>,
+        ) -> Vec<Outgoing<FloodMsg>> {
+            LedgerFlooder::on_round(self, graph, first_round, inbox)
+        }
+
+        fn received_count(&self) -> usize {
+            LedgerFlooder::received_count(self)
+        }
     }
 
     impl FloodEngine for Flooder {
@@ -68,7 +97,7 @@ pub mod floodsim {
             &mut self,
             graph: &Graph,
             first_round: bool,
-            inbox: &[Delivery<FloodMsg>],
+            inbox: Inbox<'_, FloodMsg>,
         ) -> Vec<Outgoing<FloodMsg>> {
             Flooder::on_round(self, graph, first_round, inbox)
         }
@@ -91,7 +120,7 @@ pub mod floodsim {
             &mut self,
             graph: &Graph,
             first_round: bool,
-            inbox: &[Delivery<NaiveFloodMsg>],
+            inbox: Inbox<'_, NaiveFloodMsg>,
         ) -> Vec<Outgoing<NaiveFloodMsg>> {
             NaiveFlooder::on_round(self, graph, first_round, inbox)
         }
@@ -122,19 +151,25 @@ pub mod floodsim {
                 }
             }
             for (v, flooder) in flooders.iter_mut().enumerate() {
-                pending[v] = flooder.on_round(graph, round == 0, &inboxes[v]);
+                pending[v] = flooder.on_round(graph, round == 0, Inbox::direct(&inboxes[v]));
             }
         }
         flooders.iter().map(E::received_count).sum()
     }
 
-    /// The flood through the path-interning engine.
+    /// The flood through the production shared-fabric ledger engine.
+    #[must_use]
+    pub fn flood_ledger(graph: &Graph, rounds: usize) -> usize {
+        flood::<LedgerFlooder>(graph, rounds)
+    }
+
+    /// The same flood through the per-node path-interning control engine.
     #[must_use]
     pub fn flood_interned(graph: &Graph, rounds: usize) -> usize {
         flood::<Flooder>(graph, rounds)
     }
 
-    /// The same flood through the naive `Path`-cloning engine.
+    /// The same flood through the naive `Path`-cloning reference engine.
     #[must_use]
     pub fn flood_naive(graph: &Graph, rounds: usize) -> usize {
         flood::<NaiveFlooder>(graph, rounds)
@@ -146,10 +181,12 @@ pub mod floodsim {
         use lbc_graph::generators;
 
         #[test]
-        fn both_engines_count_the_same_paths() {
+        fn all_engines_count_the_same_paths() {
             for graph in [generators::cycle(7), generators::wheel(8)] {
                 let rounds = graph.node_count();
-                assert_eq!(flood_interned(&graph, rounds), flood_naive(&graph, rounds));
+                let naive = flood_naive(&graph, rounds);
+                assert_eq!(flood_interned(&graph, rounds), naive);
+                assert_eq!(flood_ledger(&graph, rounds), naive);
             }
         }
     }

@@ -1,0 +1,376 @@
+//! Cell-by-cell comparison of two canonical campaign reports.
+//!
+//! `lbc campaign diff <old.json> <new.json>` guards against silent
+//! regressions when the engines underneath the campaign executor change
+//! (new flood engine, new scheduler, …): scenarios are matched by their
+//! full identity — `(family, graph, n, f, algorithm, strategy, faulty,
+//! inputs, seed)` — and every deterministic result cell is compared. A
+//! **verdict regression** (a scenario that was correct in the old report
+//! and is incorrect in the new one) makes the comparison fail; any other
+//! difference (round counts, transmissions, newly appearing or disappearing
+//! scenarios, even incorrect→correct flips) is reported but does not fail
+//! the diff.
+
+use std::fmt::Write as _;
+
+use lbc_model::json::Json;
+
+/// One differing result cell of a matched scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellChange {
+    /// The scenario's identity line (human-readable).
+    pub scenario: String,
+    /// Name of the differing cell (`correct`, `rounds`, …).
+    pub cell: String,
+    /// The old report's value, rendered.
+    pub old: String,
+    /// The new report's value, rendered.
+    pub new: String,
+    /// Whether this change is a verdict regression (correct → incorrect).
+    pub regression: bool,
+}
+
+/// The outcome of comparing two canonical reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignDiff {
+    /// Scenarios present in both reports whose result cells differ.
+    pub changed: Vec<CellChange>,
+    /// Identities present only in the old report.
+    pub only_old: Vec<String>,
+    /// Identities present only in the new report.
+    pub only_new: Vec<String>,
+    /// Number of scenarios compared cell-by-cell.
+    pub matched: usize,
+}
+
+impl CampaignDiff {
+    /// Whether any matched scenario regressed from correct to incorrect.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.changed.iter().any(|c| c.regression)
+    }
+
+    /// Whether the two reports are cell-identical over the matched
+    /// scenarios and cover the same scenario set.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.changed.is_empty() && self.only_old.is_empty() && self.only_new.is_empty()
+    }
+
+    /// A human-readable summary, one line per difference.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for change in &self.changed {
+            let marker = if change.regression {
+                "REGRESSION"
+            } else {
+                "changed"
+            };
+            let _ = writeln!(
+                out,
+                "{marker}: {} {}: {} -> {}",
+                change.scenario, change.cell, change.old, change.new
+            );
+        }
+        for id in &self.only_old {
+            let _ = writeln!(out, "removed: {id}");
+        }
+        for id in &self.only_new {
+            let _ = writeln!(out, "added: {id}");
+        }
+        let regressions = self.changed.iter().filter(|c| c.regression).count();
+        let _ = writeln!(
+            out,
+            "{} scenarios matched, {} cells changed ({} regressions), {} removed, {} added",
+            self.matched,
+            self.changed.len(),
+            regressions,
+            self.only_old.len(),
+            self.only_new.len()
+        );
+        out
+    }
+}
+
+/// The result cells compared per matched scenario, in report column order.
+const CELLS: [&str; 9] = [
+    "feasible",
+    "agreement",
+    "validity",
+    "termination",
+    "correct",
+    "agreed",
+    "rounds",
+    "transmissions",
+    "deliveries",
+];
+
+/// Compares two canonical reports parsed from their JSON text.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a canonical campaign
+/// report (missing or malformed `records`).
+pub fn diff_reports(old: &Json, new: &Json) -> Result<CampaignDiff, String> {
+    let old_records = indexed_records(old, "old")?;
+    let new_records = indexed_records(new, "new")?;
+    let new_by_identity: lbc_model::fx::FxHashMap<&str, &Json> = new_records
+        .iter()
+        .map(|(identity, record)| (identity.as_str(), *record))
+        .collect();
+    let old_identities: std::collections::HashSet<&str> = old_records
+        .iter()
+        .map(|(identity, _)| identity.as_str())
+        .collect();
+
+    let mut diff = CampaignDiff::default();
+    for (identity, old_record) in &old_records {
+        let Some(new_record) = new_by_identity.get(identity.as_str()) else {
+            diff.only_old.push(identity.clone());
+            continue;
+        };
+        diff.matched += 1;
+        for cell in CELLS {
+            let old_value = render_cell(old_record.get(cell));
+            let new_value = render_cell(new_record.get(cell));
+            if old_value != new_value {
+                let regression = cell == "correct"
+                    && old_record.get(cell).and_then(Json::as_bool) == Some(true)
+                    && new_record.get(cell).and_then(Json::as_bool) == Some(false);
+                diff.changed.push(CellChange {
+                    scenario: identity.clone(),
+                    cell: cell.to_string(),
+                    old: old_value,
+                    new: new_value,
+                    regression,
+                });
+            }
+        }
+    }
+    for (identity, _) in &new_records {
+        if !old_identities.contains(identity.as_str()) {
+            diff.only_new.push(identity.clone());
+        }
+    }
+    Ok(diff)
+}
+
+/// Convenience: parse both texts and diff.
+///
+/// # Errors
+///
+/// Returns a message when either text fails to parse or is not a canonical
+/// report.
+pub fn diff_report_texts(old: &str, new: &str) -> Result<CampaignDiff, String> {
+    let old = Json::parse(old).map_err(|e| format!("old report: {e}"))?;
+    let new = Json::parse(new).map_err(|e| format!("new report: {e}"))?;
+    diff_reports(&old, &new)
+}
+
+/// Extracts `(identity, record)` pairs from a canonical report, in record
+/// order. The identity covers every cell that determines the scenario, so
+/// two reports produced from the same spec (even by different engine
+/// versions) match record-for-record. Records with byte-identical
+/// identities (a spec can repeat a grid cell) are disambiguated by an
+/// occurrence counter, so a lost duplicate shows up as removed instead of
+/// silently aliasing onto its twin.
+fn indexed_records<'a>(report: &'a Json, label: &str) -> Result<Vec<(String, &'a Json)>, String> {
+    let records = report
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label} report: missing 'records' array"))?;
+    let mut indexed: Vec<(String, &Json)> = Vec::with_capacity(records.len());
+    let mut occurrences: lbc_model::fx::FxHashMap<String, usize> = Default::default();
+    for record in records {
+        let mut identity = String::new();
+        for field in [
+            "family",
+            "graph",
+            "n",
+            "f",
+            "algorithm",
+            "strategy",
+            "faulty",
+            "inputs",
+            "seed",
+        ] {
+            let value = record
+                .get(field)
+                .ok_or_else(|| format!("{label} report: record missing '{field}'"))?;
+            let _ = write!(identity, "{}={} ", field, render_cell(Some(value)));
+        }
+        let mut identity = identity.trim_end().to_string();
+        let occurrence = occurrences.entry(identity.clone()).or_insert(0);
+        *occurrence += 1;
+        if *occurrence > 1 {
+            let _ = write!(identity, " (occurrence {occurrence})");
+        }
+        indexed.push((identity, record));
+    }
+    Ok(indexed)
+}
+
+fn render_cell(value: Option<&Json>) -> String {
+    match value {
+        None => "<missing>".to_string(),
+        Some(json) => json.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_campaign;
+    use crate::spec::{
+        CampaignSpec, FRange, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec,
+        SweepSpec,
+    };
+    use lbc_consensus::AlgorithmKind;
+
+    fn sample_report_json() -> Json {
+        let spec = CampaignSpec {
+            name: "diff-unit".to_string(),
+            seed: 11,
+            sweeps: vec![SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                strategies: vec![StrategySpec::TamperRelays],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Alternating,
+            }],
+        };
+        let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
+        Json::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let report = sample_report_json();
+        let diff = diff_reports(&report, &report).unwrap();
+        assert!(diff.is_clean());
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.matched, 5);
+        assert!(diff
+            .render()
+            .contains("5 scenarios matched, 0 cells changed"));
+    }
+
+    /// Mutates a cell of the first record of a parsed report.
+    fn patch_first_record(report: &mut Json, cell: &str, value: Json) {
+        let Json::Obj(fields) = report else {
+            panic!("report is an object");
+        };
+        for (key, field) in fields.iter_mut() {
+            if key == "records" {
+                let Json::Arr(records) = field else {
+                    panic!("records is an array");
+                };
+                let Json::Obj(record) = &mut records[0] else {
+                    panic!("record is an object");
+                };
+                for (record_key, record_value) in record.iter_mut() {
+                    if record_key == cell {
+                        *record_value = value;
+                        return;
+                    }
+                }
+            }
+        }
+        panic!("cell {cell} not found");
+    }
+
+    #[test]
+    fn verdict_regressions_are_flagged() {
+        let old = sample_report_json();
+        let mut new = old.clone();
+        patch_first_record(&mut new, "correct", Json::Bool(false));
+        patch_first_record(&mut new, "agreement", Json::Bool(false));
+        let diff = diff_reports(&old, &new).unwrap();
+        assert!(diff.has_regressions());
+        assert!(!diff.is_clean());
+        assert!(diff.render().contains("REGRESSION"));
+        // Exactly one regression (`correct`); `agreement` is a plain change.
+        assert_eq!(diff.changed.iter().filter(|c| c.regression).count(), 1);
+        assert_eq!(diff.changed.len(), 2);
+        // An incorrect→correct flip is *not* a regression.
+        let recovered = diff_reports(&new, &old).unwrap();
+        assert!(!recovered.has_regressions());
+        assert_eq!(recovered.changed.len(), 2);
+    }
+
+    #[test]
+    fn non_regression_changes_do_not_fail() {
+        let old = sample_report_json();
+        let mut new = old.clone();
+        patch_first_record(&mut new, "rounds", Json::Num(31.0));
+        let diff = diff_reports(&old, &new).unwrap();
+        assert!(!diff.has_regressions());
+        assert!(!diff.is_clean());
+        assert!(diff.changed.iter().all(|c| c.cell == "rounds"));
+    }
+
+    #[test]
+    fn added_and_removed_scenarios_are_reported() {
+        let old = sample_report_json();
+        // Drop the last record from the new report by slicing the parsed doc.
+        let mut new = old.clone();
+        if let Json::Obj(fields) = &mut new {
+            for (key, value) in fields.iter_mut() {
+                if key == "records" {
+                    if let Json::Arr(records) = value {
+                        records.pop();
+                    }
+                }
+            }
+        }
+        let diff = diff_reports(&old, &new).unwrap();
+        assert_eq!(diff.only_old.len(), 1);
+        assert!(diff.only_new.is_empty());
+        assert!(!diff.has_regressions());
+        assert!(diff.render().contains("removed: "));
+    }
+
+    #[test]
+    fn duplicate_identities_do_not_alias() {
+        let old = sample_report_json();
+        // Duplicate every record (as a spec repeating a grid cell would),
+        // then drop one duplicate from the new report: the loss must show
+        // up as a removed scenario, not vanish into its twin.
+        let mut doubled = old.clone();
+        if let Json::Obj(fields) = &mut doubled {
+            for (key, value) in fields.iter_mut() {
+                if key == "records" {
+                    if let Json::Arr(records) = value {
+                        let copy = records.clone();
+                        records.extend(copy);
+                    }
+                }
+            }
+        }
+        let mut shrunk = doubled.clone();
+        if let Json::Obj(fields) = &mut shrunk {
+            for (key, value) in fields.iter_mut() {
+                if key == "records" {
+                    if let Json::Arr(records) = value {
+                        records.pop();
+                    }
+                }
+            }
+        }
+        let clean = diff_reports(&doubled, &doubled).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.matched, 10);
+        let lossy = diff_reports(&doubled, &shrunk).unwrap();
+        assert_eq!(lossy.only_old.len(), 1);
+        assert!(lossy.only_old[0].contains("(occurrence 2)"));
+    }
+
+    #[test]
+    fn malformed_reports_error() {
+        assert!(diff_report_texts("{}", "{}").is_err());
+        assert!(diff_report_texts("not json", "{}").is_err());
+    }
+}

@@ -22,6 +22,10 @@
 //!   transmissions, deliveries, wall time) aggregated into a
 //!   [`CampaignReport`] with JSON and CSV writers plus summary rollups per
 //!   `(family, n, f, strategy)` group.
+//! * [`diff`] — cell-by-cell comparison of two canonical reports
+//!   (`lbc campaign diff old.json new.json`), failing on verdict
+//!   regressions — the guard that lets the engines underneath change
+//!   (e.g. the shared flood fabric) without silently changing results.
 //!
 //! ## Determinism contract
 //!
@@ -72,10 +76,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diff;
 pub mod executor;
 pub mod report;
 pub mod spec;
 
+pub use diff::{diff_report_texts, diff_reports, CampaignDiff, CellChange};
 pub use executor::{run_campaign, run_scenario, run_scenarios};
 pub use report::{CampaignReport, RollupRow, ScenarioRecord};
 pub use spec::{

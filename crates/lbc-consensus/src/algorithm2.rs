@@ -18,18 +18,30 @@
 //!    back to the majority of the non-faulty inputs they can read along
 //!    fault-free paths.
 //!
-//! All three phases run on interned [`PathId`]s: the phase-2 report flood and
-//! phase-3 decision flood key their rule-(ii) state by `(sender, path id)`
-//! tuples in `FxHashSet`s and record full paths as ids, resolving to owned
-//! [`Path`]s only at phase boundaries.
+//! All three phases run on the shared flood fabric: the phase-1 value flood
+//! is a [`LedgerFlooder`], the phase-2 report flood records each distinct
+//! report broadcast **once per execution** in the shared
+//! [`lbc_model::FloodLedger`] (per-node rule-(ii) state is a bitset over
+//! shared record indices), and the phase-3 decision flood keys rule (ii) by
+//! interned relay ids in a per-node bitset. The fault-identification
+//! procedure additionally shares its disjoint-path plans across nodes
+//! through the ledger's pair-path memo — they are pure functions of the
+//! (common) communication graph, so every node would otherwise recompute
+//! the same max-flow results.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use lbc_graph::{paths, Graph};
-use lbc_model::fx::{FxHashMap, FxHashSet};
-use lbc_model::{NodeId, NodeSet, Path, PathId, Round, SharedPathArena, Value};
-use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+use lbc_model::fx::FxHashMap;
+use lbc_model::{
+    report_key, ChannelId, DenseBits, FloodLedger, NodeId, NodeSet, Path, PathArena, PathId,
+    ReportRecord, Round, SharedFloodLedger, SharedPathArena, Value,
+};
+use lbc_sim::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
 
-use crate::flooding::{validate_path, Flooder};
-use crate::messages::{Alg2Message, DecisionMsg, ReportMsg};
+use crate::flooding::{validate_path, LedgerFlooder, TAG_REPORT};
+use crate::messages::{Alg2Message, DecisionMsg, FloodMsg, ReportMsg};
 
 /// Which role a node ended phase 2 with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +97,7 @@ pub struct Algorithm2Node {
     /// Relative round counter (how many `on_round` calls have happened).
     round_counter: usize,
     /// Phase-1 value flood state.
-    value_flood: Option<Flooder>,
+    value_flood: Option<LedgerFlooder>,
     /// Phase-2 report flood state.
     reports: ReportFlood,
     /// Phase-3 decision flood state.
@@ -94,6 +106,10 @@ pub struct Algorithm2Node {
     identified_faults: NodeSet,
     /// Role determined at the end of phase 2.
     role: Option<Role>,
+    /// The `(origin, value)` pairs reliably received in phase 1, computed
+    /// once at the end of phase 2 and reused by the type B decision
+    /// (previously re-derived, disjoint-path witnesses and all).
+    reliable_inputs: Vec<(NodeId, Value)>,
 }
 
 impl Algorithm2Node {
@@ -109,6 +125,7 @@ impl Algorithm2Node {
             decisions: DecisionFlood::default(),
             identified_faults: NodeSet::new(),
             role: None,
+            reliable_inputs: Vec::new(),
         }
     }
 
@@ -148,12 +165,11 @@ impl Algorithm2Node {
         }
         if ctx.graph.has_edge(ctx.id, origin) {
             // A neighbor's transmission is heard directly: the two-node full
-            // path, i.e. the single-node relay path `[origin]`.
-            let arena = ctx.arena.borrow();
-            return flood
-                .relay_ids_from(origin)
-                .iter()
-                .any(|id| arena.len(*id) == 1 && flood.value_along_relay(*id) == Some(value));
+            // path, whose relay is the unique length-one relay `[origin]` —
+            // looked up directly instead of scanning every relay from
+            // `origin`.
+            let relay = ctx.arena.borrow().find_child(PathId::EMPTY, origin);
+            return relay.is_some_and(|relay| flood.value_along_relay(relay) == Some(value));
         }
         let candidates = flood.paths_with_value(origin, value);
         paths::find_internally_disjoint_subset(&candidates, ctx.f + 1).is_some()
@@ -200,10 +216,28 @@ impl Algorithm2Node {
                 .as_ref()
                 .is_some_and(|flood| flood.overheard_exactly(observed, observed_path, value));
         }
-        let candidates = self
-            .reports
-            .full_paths(ctx.arena, observed, value, observed_path);
+        let candidates = self.reports.full_paths(ctx, observed, value, observed_path);
         paths::find_internally_disjoint_subset(&candidates, ctx.f + 1).is_some()
+    }
+
+    /// The `2f` node-disjoint `origin → other` paths inspected by the fault
+    /// identification procedure. The family is a pure function of the
+    /// (common) communication graph and `f`, so the first node to need it
+    /// computes it and every node shares the result through the ledger's
+    /// pair-path memo — previously `n` nodes ran the same max-flow
+    /// computation each.
+    fn inspection_paths(ctx: &NodeContext<'_>, origin: NodeId, other: NodeId) -> Rc<Vec<Path>> {
+        if let Some(plan) = ctx.ledger.borrow().pair_paths(origin, other) {
+            return plan;
+        }
+        let plan = paths::disjoint_uv_paths_excluding(
+            ctx.graph,
+            origin,
+            other,
+            &NodeSet::new(),
+            2 * ctx.f,
+        );
+        ctx.ledger.borrow_mut().set_pair_paths(origin, other, plan)
     }
 
     /// The fault identification procedure run at the end of phase 2.
@@ -217,44 +251,42 @@ impl Algorithm2Node {
     /// the rule sound: an honest relay forwarding a value tampered elsewhere
     /// carries a different path annotation and is never blamed.
     fn identify_faults(&mut self, ctx: &NodeContext<'_>) {
+        let reliable = self.reliably_received_inputs(ctx);
+        // The same `(z, value, prefix)` report query recurs across origins
+        // and inspected paths; memoize the disjoint-witness search.
+        let mut report_memo: FxHashMap<(NodeId, Value, PathId), bool> = FxHashMap::default();
         let mut faults = NodeSet::new();
-        for origin in ctx.graph.nodes() {
-            for value in [Value::Zero, Value::One] {
-                if !self.reliably_received_input(ctx, origin, value) {
+        for &(origin, value) in &reliable {
+            let opposite = value.flipped();
+            for other in ctx.graph.nodes() {
+                if other == origin {
                     continue;
                 }
-                let opposite = value.flipped();
-                for other in ctx.graph.nodes() {
-                    if other == origin {
-                        continue;
-                    }
-                    let disjoint = paths::disjoint_uv_paths_excluding(
-                        ctx.graph,
-                        origin,
-                        other,
-                        &NodeSet::new(),
-                        2 * ctx.f,
-                    );
-                    for path in disjoint {
-                        // Scan internal nodes from the origin's side. The
-                        // expected transmission of the j-th node on the path
-                        // carries the relay prefix up to its predecessor —
-                        // interned incrementally, one `extended` per hop.
-                        let nodes = path.nodes();
-                        let mut prefix = PathId::EMPTY;
-                        for j in 1..nodes.len().saturating_sub(1) {
-                            prefix = ctx.arena.extended(prefix, nodes[j - 1]);
-                            let z = nodes[j];
-                            if self.reliably_received_report(ctx, z, opposite, prefix) {
-                                faults.insert(z);
-                                break;
-                            }
+                let disjoint = Self::inspection_paths(ctx, origin, other);
+                for path in disjoint.iter() {
+                    // Scan internal nodes from the origin's side. The
+                    // expected transmission of the j-th node on the path
+                    // carries the relay prefix up to its predecessor —
+                    // interned incrementally, one `extended` per hop.
+                    let nodes = path.nodes();
+                    let mut prefix = PathId::EMPTY;
+                    for j in 1..nodes.len().saturating_sub(1) {
+                        prefix = ctx.arena.extended(prefix, nodes[j - 1]);
+                        let z = nodes[j];
+                        let reliably_reported =
+                            *report_memo.entry((z, opposite, prefix)).or_insert_with(|| {
+                                self.reliably_received_report(ctx, z, opposite, prefix)
+                            });
+                        if reliably_reported {
+                            faults.insert(z);
+                            break;
                         }
                     }
                 }
             }
         }
         self.identified_faults = faults;
+        self.reliable_inputs = reliable;
         self.role = Some(if self.identified_faults.len() >= ctx.f && ctx.f > 0 {
             Role::TypeA
         } else {
@@ -262,12 +294,10 @@ impl Algorithm2Node {
         });
     }
 
-    /// Type B decision: majority of the reliably received input values.
-    fn type_b_decision(&self, ctx: &NodeContext<'_>) -> Value {
-        let values = self
-            .reliably_received_inputs(ctx)
-            .into_iter()
-            .map(|(_, value)| value);
+    /// Type B decision: majority of the reliably received input values
+    /// (computed once by [`Algorithm2Node::identify_faults`]).
+    fn type_b_decision(&self) -> Value {
+        let values = self.reliable_inputs.iter().map(|(_, value)| *value);
         Value::majority(values).unwrap_or(self.input)
     }
 
@@ -339,7 +369,8 @@ impl Protocol for Algorithm2Node {
     type Message = Alg2Message;
 
     fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<Alg2Message>> {
-        let (flooder, out) = Flooder::start(ctx.arena.clone(), ctx.id, self.input);
+        let (flooder, out) =
+            LedgerFlooder::start(ctx.arena.clone(), ctx.ledger.clone(), ctx.id, self.input);
         self.value_flood = Some(flooder);
         out.into_iter()
             .map(|o| map_outgoing(o, Alg2Message::Input))
@@ -350,50 +381,50 @@ impl Protocol for Algorithm2Node {
         &mut self,
         ctx: &NodeContext<'_>,
         _round: Round,
-        inbox: &[Delivery<Alg2Message>],
+        inbox: Inbox<'_, Alg2Message>,
     ) -> Vec<Outgoing<Alg2Message>> {
         let n = ctx.n().max(1);
         let relative = self.round_counter;
         self.round_counter += 1;
 
-        // Split the inbox by phase/variant. Messages are two or three words,
-        // so this split copies ids, not paths.
-        let mut value_msgs = Vec::new();
-        let mut report_msgs = Vec::new();
-        let mut decision_msgs = Vec::new();
-        for delivery in inbox {
-            match &delivery.message {
-                Alg2Message::Input(m) => value_msgs.push(Delivery {
-                    from: delivery.from,
-                    message: *m,
-                }),
-                Alg2Message::Report(m) => report_msgs.push((delivery.from, *m)),
-                Alg2Message::Decision(m) => decision_msgs.push((delivery.from, *m)),
-            }
-        }
-
         let mut out: Vec<Outgoing<Alg2Message>> = Vec::new();
 
-        // Phase 1 relaying (rounds 0..n).
+        // Each phase window consumes its own message variant straight off
+        // the zero-clone inbox view; other variants delivered inside the
+        // window (e.g. late phase-1 forwards arriving in a phase-2 round)
+        // are dropped, exactly as the previous split-then-ignore did.
         if relative < n {
+            // Phase 1 relaying (rounds 0..n).
+            let value_msgs: Vec<Delivery<FloodMsg>> = inbox
+                .iter()
+                .filter_map(|delivery| match &delivery.message {
+                    Alg2Message::Input(m) => Some(Delivery {
+                        from: delivery.from,
+                        message: *m,
+                    }),
+                    _ => None,
+                })
+                .collect();
             if let Some(flood) = self.value_flood.as_mut() {
-                let forwards = flood.on_round(ctx.graph, relative == 0, &value_msgs);
+                let forwards = flood.on_round(ctx.graph, relative == 0, Inbox::direct(&value_msgs));
                 out.extend(
                     forwards
                         .into_iter()
                         .map(|o| map_outgoing(o, Alg2Message::Input)),
                 );
             }
-        }
-
-        // Phase 2 relaying (rounds n..2n).
-        if relative >= n && relative < 2 * n {
-            let forwards = self.reports.on_round(ctx, &report_msgs);
-            out.extend(forwards.into_iter().map(Outgoing::Broadcast));
-        }
-
-        // Phase 3 relaying (rounds 2n..3n).
-        if relative >= 2 * n {
+        } else if relative < 2 * n {
+            // Phase 2 relaying (rounds n..2n).
+            self.reports.on_round(ctx, inbox, &mut out);
+        } else {
+            // Phase 3 relaying (rounds 2n..3n).
+            let decision_msgs: Vec<(NodeId, DecisionMsg)> = inbox
+                .iter()
+                .filter_map(|delivery| match &delivery.message {
+                    Alg2Message::Decision(m) => Some((delivery.from, *m)),
+                    _ => None,
+                })
+                .collect();
             let forwards = self.decisions.on_round(ctx, &decision_msgs);
             out.extend(forwards.into_iter().map(Outgoing::Broadcast));
         }
@@ -408,7 +439,7 @@ impl Protocol for Algorithm2Node {
             // and start flooding the decision.
             self.identify_faults(ctx);
             if self.role == Some(Role::TypeB) {
-                let decision = self.type_b_decision(ctx);
+                let decision = self.type_b_decision();
                 self.decided = Some(decision);
                 out.push(Outgoing::Broadcast(Alg2Message::Decision(DecisionMsg {
                     value: decision,
@@ -436,125 +467,299 @@ fn map_outgoing<M, N>(outgoing: Outgoing<M>, wrap: impl Fn(M) -> N) -> Outgoing<
     }
 }
 
-/// Flooding state for phase-2 reports.
+/// Flooding state for phase-2 reports, on the shared flood fabric.
 ///
 /// A report's relay path starts at the *observed* node, so that
 /// disjoint-path checks at the receiver range over `observed → receiver`
 /// paths. Rule (ii) is applied per `(sender, relay path, observed, observed
-/// transmission path)` key: the first value received for a logical report
-/// stream wins. All keys are interned ids, so the set and map hash a handful
-/// of machine words per message.
+/// transmission path)` key — but the key's validity, relay id and first
+/// value are receiver-independent, so they live **once per execution** in
+/// the ledger's keyed records: the first receiver anywhere validates and
+/// interns, every other receiver's processing is one key lookup plus bit
+/// operations. Per-node state is a [`DenseBits`] bitset over record indices
+/// plus the accepted-record list (this used to be an `FxHashSet` of four-word
+/// keys and an `FxHashMap` of path vectors *per node*).
 #[derive(Debug, Clone, Default)]
 struct ReportFlood {
-    seen: FxHashSet<(NodeId, PathId, NodeId, PathId)>,
-    /// (observed, value, observed transmission path) → full observed→me relay
-    /// paths the report arrived along, in arrival order.
-    received: FxHashMap<(NodeId, Value, PathId), Vec<PathId>>,
+    /// The report channel, opened on first use.
+    channel: Option<ChannelId>,
+    /// Rounds processed so far: the generation of the ledger's per-round
+    /// slot cache. All nodes advance in lockstep (one `on_round` per
+    /// simulator round), so a generation identifies one shared round buffer.
+    round_generation: u32,
+    /// Rule-(ii) membership over shared record indices.
+    seen: DenseBits,
+    /// Accepted record indices, in arrival order.
+    accepted: Vec<u32>,
+    /// Per-node first values that diverge from the shared record (empty
+    /// under local broadcast; see the ledger module docs).
+    overrides: FxHashMap<u32, Value>,
+    /// Lazily built stream index and per-stream resolved paths (interior
+    /// mutability: queries run behind `&self` during fault identification).
+    /// Nothing is indexed or resolved until the first stream query — most
+    /// executions query few or no streams (neighbors are checked by direct
+    /// overhearing), and eagerly indexing the accepted records measurably
+    /// dominated identification.
+    streams: RefCell<StreamIndex>,
     /// Scratch buffer for [`validate_path`] (avoids per-message allocation).
     validate_scratch: Vec<PathId>,
 }
 
+/// Lazily built index of accepted report records by stream; see
+/// [`ReportFlood::full_paths`].
+#[derive(Debug, Clone, Default)]
+struct StreamIndex {
+    built: bool,
+    /// `(observed, value, observed_path)` → accepted record indices.
+    by_stream: FxHashMap<(NodeId, Value, PathId), Vec<u32>>,
+    /// Resolved full `observed → me` paths per *queried* stream.
+    resolved: FxHashMap<(NodeId, Value, PathId), Rc<Vec<Path>>>,
+}
+
 impl ReportFlood {
+    fn channel(&mut self, ledger: &SharedFloodLedger) -> ChannelId {
+        *self
+            .channel
+            .get_or_insert_with(|| ledger.open(TAG_REPORT, 0))
+    }
+
     fn on_round(
         &mut self,
         ctx: &NodeContext<'_>,
-        inbox: &[(NodeId, ReportMsg)],
-    ) -> Vec<Alg2Message> {
-        let mut out = Vec::new();
-        for (from, msg) in inbox {
-            if let Some(forward) = self.process(ctx.arena, ctx.graph, ctx.id, *from, msg) {
-                out.push(Alg2Message::Report(forward));
+        inbox: Inbox<'_, Alg2Message>,
+        out: &mut Vec<Outgoing<Alg2Message>>,
+    ) {
+        // One slot-cache generation per round; advance even when nothing
+        // arrived so generations track rounds across all nodes.
+        self.round_generation += 1;
+        if inbox.is_empty() {
+            return;
+        }
+        let channel = self.channel(ctx.ledger);
+        let generation = self.round_generation;
+        // Borrow the shared structures once for the whole round, not once
+        // per message; consume report messages straight off the zero-clone
+        // inbox view.
+        let mut arena = ctx.arena.borrow_mut();
+        let mut ledger = ctx.ledger.borrow_mut();
+        for (slot, delivery) in inbox.iter_indexed() {
+            let Alg2Message::Report(msg) = &delivery.message else {
+                continue;
+            };
+            if let Some(forward) = self.process_inner(
+                &mut arena,
+                &mut ledger,
+                channel,
+                ctx.graph,
+                ctx.id,
+                generation,
+                slot,
+                delivery.from,
+                msg,
+            ) {
+                out.push(Outgoing::Broadcast(Alg2Message::Report(forward)));
             }
         }
-        out
     }
 
+    /// Test-facing single-message entry point (bypasses the slot cache).
+    #[cfg(test)]
     fn process(
         &mut self,
         arena: &SharedPathArena,
+        ledger: &SharedFloodLedger,
         graph: &Graph,
         me: NodeId,
         from: NodeId,
         msg: &ReportMsg,
     ) -> Option<ReportMsg> {
-        // The report's relay path must start at the observed node.
-        if arena.first(msg.path) != Some(msg.observed) {
-            return None;
-        }
-        // Rule (i): the relay path (including the transmitter) must exist in
-        // G. Validated *before* any interning, so rejected reports allocate
-        // no arena entries (as in `Flooder::process`). The relay path is
-        // `msg.path` itself when the transmitter is already its last node,
-        // otherwise `msg.path‑from`. Validation reads the arena's shared
-        // graph-validity memo — the same per-entry byte the phase-1 value
-        // flood populated, so a report about a path that travelled in phase 1
-        // costs one array read instead of a parent-chain walk.
-        let retransmission = arena.last(msg.path) == Some(from);
-        {
-            let mut borrowed = arena.borrow_mut();
-            if !validate_path(&mut borrowed, &mut self.validate_scratch, graph, msg.path) {
-                return None;
+        let channel = self.channel(ledger);
+        let mut arena = arena.borrow_mut();
+        let mut ledger = ledger.borrow_mut();
+        self.process_inner(&mut arena, &mut ledger, channel, graph, me, 0, 0, from, msg)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_inner(
+        &mut self,
+        arena: &mut PathArena,
+        ledger: &mut FloodLedger,
+        channel: ChannelId,
+        graph: &Graph,
+        me: NodeId,
+        generation: u32,
+        slot: u32,
+        from: NodeId,
+        msg: &ReportMsg,
+    ) -> Option<ReportMsg> {
+        let key = report_key(from, msg.path, msg.observed, msg.observed_path);
+        // Broadcast-once lookup: the first receiver of this round's slot
+        // resolves the key through the map; everyone else reads the slot
+        // cache (one verified cache-line read). A missing record means no
+        // receiver processed this broadcast yet — validate once and publish.
+        let lookup = match ledger.report_lookup_at_slot(channel, slot, generation, &key) {
+            Some(found) => found,
+            None => {
+                let record = Self::validate(arena, &mut self.validate_scratch, graph, from, msg);
+                let index = ledger.insert_keyed(channel, key, record);
+                ledger.cache_slot(channel, slot, generation, key, index)
             }
-            if !retransmission
-                && (!graph.contains_node(from)
-                    || borrowed.contains(msg.path, from)
-                    || borrowed
-                        .last(msg.path)
-                        .is_none_or(|last| !graph.has_edge(last, from)))
-            {
-                return None;
-            }
-        }
-        // Rule (ii): one message per (sender, relay path, observed,
-        // observed-path) key.
-        let key = (from, msg.path, msg.observed, msg.observed_path);
-        if !self.seen.insert(key) {
-            return None;
-        }
-        // Rule (iii): discard if the relay path already contains me.
-        if arena.contains(msg.path, me) || (!retransmission && from == me) {
-            return None;
-        }
-        // Rule (iv): record the full observed→me path and forward.
-        let relay_path = if retransmission {
-            msg.path
-        } else {
-            arena.extended(msg.path, from)
         };
-        let full = arena.extended(relay_path, me);
-        self.received
-            .entry((msg.observed, msg.value, msg.observed_path))
-            .or_default()
-            .push(full);
+        if !lookup.valid {
+            return None;
+        }
+        // Rule (iii) *before* rule (ii): for the report flood the orders
+        // are observably equivalent (a rule-(iii)-doomed key never produces
+        // a forward or an accepted record, and nothing queries the report
+        // flood's rule-(ii) state for such keys), and testing the memoized
+        // member word first means the ~3/4 of deliveries whose relay runs
+        // through the receiver touch no per-node state at all.
+        if lookup.relay_contains(me, || arena.contains(lookup.relay, me)) {
+            return None;
+        }
+        // Rule (ii): one message per key — a bit test on the record index.
+        if !self.seen.insert(lookup.index as usize) {
+            return None;
+        }
+        if msg.value != lookup.value {
+            self.overrides.insert(lookup.index, msg.value);
+        }
+        // Rule (iv): index the accepted record and forward.
+        self.accepted.push(lookup.index);
         Some(ReportMsg {
             observed: msg.observed,
             value: msg.value,
             observed_path: msg.observed_path,
-            path: relay_path,
+            path: lookup.relay,
         })
     }
 
+    /// The receiver-independent part of report processing: shape checks,
+    /// rule (i), and relay interning. Runs once per distinct broadcast.
+    fn validate(
+        arena: &mut PathArena,
+        scratch: &mut Vec<PathId>,
+        graph: &Graph,
+        from: NodeId,
+        msg: &ReportMsg,
+    ) -> ReportRecord {
+        let invalid = ReportRecord {
+            valid: false,
+            value: msg.value,
+            relay: PathId::EMPTY,
+            relay_members_low: 0,
+            observed: msg.observed,
+            observed_path: msg.observed_path,
+        };
+        // The report's relay path must start at the observed node.
+        if arena.first(msg.path) != Some(msg.observed) {
+            return invalid;
+        }
+        // Rule (i): the relay path (including the transmitter) must exist in
+        // G. Validation reads the arena's shared graph-validity memo — the
+        // same per-entry byte the phase-1 value flood populated, so a report
+        // about a path that travelled in phase 1 costs one array read. The
+        // relay path is `msg.path` itself when the transmitter is already
+        // its last node (a report initiation), otherwise `msg.path‑from`.
+        let retransmission = arena.last(msg.path) == Some(from);
+        if !validate_path(arena, scratch, graph, msg.path) {
+            return invalid;
+        }
+        if !retransmission
+            && (!graph.contains_node(from)
+                || arena.contains(msg.path, from)
+                || arena
+                    .last(msg.path)
+                    .is_none_or(|last| !graph.has_edge(last, from)))
+        {
+            return invalid;
+        }
+        let relay = if retransmission {
+            msg.path
+        } else {
+            arena.extended(msg.path, from)
+        };
+        ReportRecord {
+            valid: true,
+            value: msg.value,
+            relay,
+            relay_members_low: arena
+                .members(relay)
+                .as_words()
+                .first()
+                .copied()
+                .unwrap_or(0),
+            observed: msg.observed,
+            observed_path: msg.observed_path,
+        }
+    }
+
     /// The full `observed → me` paths the report `(observed, value,
-    /// observed_path)` arrived along, resolved in arrival order.
+    /// observed_path)` arrived along, in arrival order. The stream index is
+    /// built from the accepted records on the first query of the execution,
+    /// and each queried stream's paths resolve once and are cached — an
+    /// execution that never asks (every reliably-received check answered by
+    /// direct overhearing) pays nothing.
     fn full_paths(
         &self,
-        arena: &SharedPathArena,
+        ctx: &NodeContext<'_>,
         observed: NodeId,
         value: Value,
         observed_path: PathId,
-    ) -> Vec<Path> {
-        let arena = arena.borrow();
-        self.received
-            .get(&(observed, value, observed_path))
-            .map(|ids| ids.iter().map(|id| arena.resolve(*id)).collect())
-            .unwrap_or_default()
+    ) -> Rc<Vec<Path>> {
+        let Some(channel) = self.channel else {
+            return Rc::new(Vec::new()); // no report was ever processed
+        };
+        let mut streams = self.streams.borrow_mut();
+        if !streams.built {
+            streams.built = true;
+            let ledger = ctx.ledger.borrow();
+            for &index in &self.accepted {
+                let record = ledger.record(channel, index);
+                let accepted_value = self.overrides.get(&index).copied().unwrap_or(record.value);
+                streams
+                    .by_stream
+                    .entry((record.observed, accepted_value, record.observed_path))
+                    .or_default()
+                    .push(index);
+            }
+        }
+        let key = (observed, value, observed_path);
+        if let Some(found) = streams.resolved.get(&key) {
+            return Rc::clone(found);
+        }
+        let resolved = match streams.by_stream.get(&key) {
+            Some(indices) => {
+                let arena = ctx.arena.borrow();
+                let ledger = ctx.ledger.borrow();
+                Rc::new(
+                    indices
+                        .iter()
+                        .map(|&index| {
+                            let mut nodes = arena.nodes(ledger.record(channel, index).relay);
+                            nodes.push(ctx.id);
+                            Path::from_nodes(nodes)
+                        })
+                        .collect::<Vec<Path>>(),
+                )
+            }
+            None => Rc::new(Vec::new()),
+        };
+        streams.resolved.insert(key, Rc::clone(&resolved));
+        resolved
     }
 }
 
 /// Flooding state for phase-3 decision messages.
+///
+/// Rule (ii)'s `(sender, path)` key *is* the interned relay id `Π‑sender`,
+/// so the state is a [`DenseBits`] bitset over the shared arena's ids — the
+/// arena plays the role of the execution-wide key interner (this used to be
+/// a per-node `FxHashSet`).
 #[derive(Debug, Clone, Default)]
 struct DecisionFlood {
-    seen: FxHashSet<(NodeId, PathId)>,
+    /// Rule-(ii) membership over interned relay ids.
+    seen: DenseBits,
     /// Full origin→me paths and the value they delivered, in arrival order.
     received: Vec<(NodeId, Value, PathId)>,
     /// Scratch buffer for [`validate_path`] (avoids per-message allocation).
@@ -585,8 +790,8 @@ impl DecisionFlood {
         msg: &DecisionMsg,
     ) -> Option<DecisionMsg> {
         // Rule (i), checked id-natively against the arena's shared
-        // graph-validity memo as in `Flooder::process` (decision paths are
-        // usually re-walks of phase-1/2 prefixes, so the memo hits).
+        // graph-validity memo (decision paths are usually re-walks of
+        // phase-1/2 prefixes, so the memo hits).
         {
             let mut borrowed = arena.borrow_mut();
             if !graph.contains_node(from)
@@ -601,16 +806,15 @@ impl DecisionFlood {
                 }
             }
         }
-        // Rule (ii).
-        if !self.seen.insert((from, msg.path)) {
+        // Rules (ii) and (iii): the relay id is the key; one bit test.
+        let relay_path = arena.extended(msg.path, from);
+        if !self.seen.insert(relay_path.index()) {
             return None;
         }
-        // Rule (iii).
-        if from == me || arena.contains(msg.path, me) {
+        if arena.contains(relay_path, me) {
             return None;
         }
         // Rule (iv).
-        let relay_path = arena.extended(msg.path, from);
         let full = arena.extended(relay_path, me);
         let origin = arena.first(full).expect("non-empty path");
         self.received.push((origin, msg.value, full));
@@ -634,6 +838,21 @@ mod tests {
         arena.intern(&Path::from_nodes(ids.iter().map(|&i| n(i))))
     }
 
+    fn ctx_at<'a>(
+        id: NodeId,
+        graph: &'a Graph,
+        arena: &'a SharedPathArena,
+        ledger: &'a SharedFloodLedger,
+    ) -> NodeContext<'a> {
+        NodeContext {
+            id,
+            graph,
+            f: 1,
+            arena,
+            ledger,
+        }
+    }
+
     #[test]
     fn round_count_is_linear() {
         assert_eq!(Algorithm2Node::round_count(5), 15);
@@ -653,6 +872,7 @@ mod tests {
     fn report_flood_rejects_malformed_paths() {
         let graph = generators::cycle(5);
         let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
         let mut flood = ReportFlood::default();
         // Relay path does not start at the observed node.
         let bad = ReportMsg {
@@ -661,7 +881,9 @@ mod tests {
             observed_path: PathId::EMPTY,
             path: intern(&arena, &[1]),
         };
-        assert!(flood.process(&arena, &graph, n(2), n(1), &bad).is_none());
+        assert!(flood
+            .process(&arena, &ledger, &graph, n(2), n(1), &bad)
+            .is_none());
         // Non-adjacent relay claim: relay path [0] transmitted by node 2
         // (0-2 is not an edge of the 5-cycle).
         let not_adjacent = ReportMsg {
@@ -671,7 +893,7 @@ mod tests {
             path: intern(&arena, &[0]),
         };
         assert!(flood
-            .process(&arena, &graph, n(3), n(2), &not_adjacent)
+            .process(&arena, &ledger, &graph, n(3), n(2), &not_adjacent)
             .is_none());
     }
 
@@ -679,6 +901,7 @@ mod tests {
     fn report_flood_records_and_forwards_valid_reports() {
         let graph = generators::cycle(5);
         let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
         let mut flood = ReportFlood::default();
         // Node 1 reports on its neighbor 0 relaying node 4's value; we are
         // node 2 receiving the report from node 1.
@@ -689,13 +912,65 @@ mod tests {
             observed_path,
             path: intern(&arena, &[0]),
         };
-        let forward = flood.process(&arena, &graph, n(2), n(1), &report).unwrap();
+        let forward = flood
+            .process(&arena, &ledger, &graph, n(2), n(1), &report)
+            .unwrap();
         assert_eq!(arena.resolve(forward.path).nodes(), &[n(0), n(1)]);
-        let full = flood.full_paths(&arena, n(0), Value::Zero, observed_path);
+        // Duplicate (same sender, relay path, observed, observed-path) is ignored.
+        assert!(flood
+            .process(&arena, &ledger, &graph, n(2), n(1), &report)
+            .is_none());
+        let ctx = ctx_at(n(2), &graph, &arena, &ledger);
+        let full = flood.full_paths(&ctx, n(0), Value::Zero, observed_path);
         assert_eq!(full.len(), 1);
         assert_eq!(full[0].nodes(), &[n(0), n(1), n(2)]);
-        // Duplicate (same sender, relay path, observed, observed-path) is ignored.
-        assert!(flood.process(&arena, &graph, n(2), n(1), &report).is_none());
+        assert!(flood
+            .full_paths(&ctx, n(0), Value::One, observed_path)
+            .is_empty());
+    }
+
+    #[test]
+    fn report_ledger_shares_records_across_receivers() {
+        // Two receivers of the same broadcast: the second one's processing
+        // hits the shared record; both keep their own accepted indexes.
+        let graph = generators::cycle(5);
+        let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
+        let mut at_node2 = ReportFlood::default();
+        let mut at_node0 = ReportFlood::default();
+        let observed_path = intern(&arena, &[4]);
+        let report = ReportMsg {
+            observed: n(1),
+            value: Value::One,
+            observed_path,
+            path: intern(&arena, &[1]),
+        };
+        assert!(at_node2
+            .process(&arena, &ledger, &graph, n(2), n(1), &report)
+            .is_some());
+        assert!(at_node0
+            .process(&arena, &ledger, &graph, n(0), n(1), &report)
+            .is_some());
+        assert_eq!(
+            at_node2.full_paths(
+                &ctx_at(n(2), &graph, &arena, &ledger),
+                n(1),
+                Value::One,
+                observed_path
+            )[0]
+            .nodes(),
+            &[n(1), n(2)]
+        );
+        assert_eq!(
+            at_node0.full_paths(
+                &ctx_at(n(0), &graph, &arena, &ledger),
+                n(1),
+                Value::One,
+                observed_path
+            )[0]
+            .nodes(),
+            &[n(1), n(0)]
+        );
     }
 
     #[test]
@@ -712,5 +987,7 @@ mod tests {
         assert_eq!(flood.received.len(), 1);
         assert_eq!(flood.received[0].0, n(1));
         assert_eq!(flood.received[0].1, Value::One);
+        // Rule (ii): the same (sender, path) key is ignored on repeat.
+        assert!(flood.process(&arena, &graph, n(2), n(1), &msg).is_none());
     }
 }

@@ -2,7 +2,7 @@
 //! (Theorem 6.1).
 
 use lbc_model::{Round, Value};
-use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+use lbc_sim::{Inbox, NodeContext, Outgoing, Protocol};
 
 use crate::messages::FloodMsg;
 use crate::phased::{PhasedNode, StepCCase};
@@ -107,7 +107,7 @@ impl Protocol for Algorithm3Node {
         &mut self,
         ctx: &NodeContext<'_>,
         round: Round,
-        inbox: &[Delivery<FloodMsg>],
+        inbox: Inbox<'_, FloodMsg>,
     ) -> Vec<Outgoing<FloodMsg>> {
         self.inner.on_round(ctx, round, inbox)
     }

@@ -19,25 +19,45 @@
 //!
 //! # Engines
 //!
-//! Two implementations live here:
+//! Three implementations form a verification ladder:
 //!
-//! * [`Flooder`] — the production engine. Paths travel as interned
+//! * [`LedgerFlooder`] — the production engine, built on the shared flood
+//!   fabric. Rule-(ii) state is a [`DenseBits`] bitset over interned relay
+//!   ids, and first values live **once per execution** in the
+//!   [`lbc_model::FloodLedger`] (under local broadcast every neighbor
+//!   receives the same first message per `(sender, Π)` key, so per-node
+//!   value maps are redundant; a per-node override map keeps the engine
+//!   exactly per-node-faithful under equivocation-capable models too).
+//! * [`Flooder`] — the per-node control engine. Paths travel as interned
 //!   [`PathId`]s against the execution's [`SharedPathArena`]; rule-(ii) and
 //!   rule-(iv) state is keyed by `(NodeId, PathId)` in `FxHashMap`s, and a
 //!   per-origin index makes [`Flooder::received_from`] /
 //!   [`Flooder::paths_with_value`] indexed lookups instead of full-map scans.
 //! * [`NaiveFlooder`] — the pre-interning reference engine (`BTreeMap` keyed
-//!   by cloned [`Path`]s), kept as the control for equivalence tests and the
-//!   `naive` benchmark variants. It must behave byte-identically to
-//!   [`Flooder`]; the `flood_equivalence` integration test enforces this.
+//!   by cloned [`Path`]s), kept as the bottom rung for equivalence tests and
+//!   the `naive` benchmark variants.
+//!
+//! All three must behave byte-identically; the `flood_equivalence`
+//! integration test enforces the full three-way ladder.
 
 use std::collections::BTreeMap;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, NodeSet, Path, PathArena, PathId, SharedPathArena, Value};
-use lbc_sim::{ByzantineMessage, Delivery, Outgoing};
+use lbc_model::{
+    ChannelId, DenseBits, NodeId, NodeSet, Path, PathArena, PathId, SharedFloodLedger,
+    SharedPathArena, Value,
+};
+use lbc_sim::{ByzantineMessage, Inbox, Outgoing};
 
 use crate::messages::FloodMsg;
+
+/// Ledger channel tag of value floods (Algorithm 1/3 phases, Algorithm 2
+/// phase 1, point-to-point king steps).
+pub(crate) const TAG_VALUE: u32 = 0;
+/// Ledger channel tag of Algorithm 2's phase-2 report flood. (The phase-3
+/// decision flood needs no channel: its rule-(ii) keys are interned relay
+/// ids, so the arena itself is the shared key space.)
+pub(crate) const TAG_REPORT: u32 = 1;
 
 /// Rule-(i) validation with incremental memoization: a non-empty path is a
 /// path of `G` iff its parent prefix is one, its last node is valid and
@@ -195,10 +215,10 @@ impl Flooder {
         &mut self,
         graph: &Graph,
         first_round: bool,
-        inbox: &[Delivery<FloodMsg>],
+        inbox: Inbox<'_, FloodMsg>,
     ) -> Vec<Outgoing<FloodMsg>> {
         let mut out = Vec::new();
-        for delivery in inbox {
+        for delivery in inbox.iter() {
             out.extend(
                 self.process(graph, delivery.from, &delivery.message)
                     .map(Outgoing::Broadcast),
@@ -421,7 +441,7 @@ impl Flooder {
             .iter()
             .map(|((from, path), value)| (*from, *path, *value))
             .collect();
-        entries.sort_by_cached_key(|(from, path, _)| (*from, arena.nodes(*path)));
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| arena.cmp_nodes(a.1, b.1)));
         entries
     }
 
@@ -431,6 +451,417 @@ impl Flooder {
     #[must_use]
     pub fn overheard_exactly(&self, observed: NodeId, path: PathId, value: Value) -> bool {
         self.seen.get(&(observed, path)) == Some(&value)
+    }
+
+    /// Number of distinct full paths along which values were received.
+    #[must_use]
+    pub fn received_count(&self) -> usize {
+        self.received_total
+    }
+}
+
+/// The production flood engine, built on the shared flood fabric.
+///
+/// The paper's rule (ii) observes that under local broadcast every neighbor
+/// of `u` receives the *same* first message per `(u, Π)` key. The per-node
+/// [`Flooder`] uses that only for correctness; this engine uses it for
+/// speed: each distinct broadcast is recorded **once per execution** in the
+/// shared [`lbc_model::FloodLedger`] (keyed by the interned relay id
+/// `Π‑u`), and per-node rule-(ii) state collapses to a [`DenseBits`] bitset
+/// over relay ids. The first node to process a broadcast inserts the ledger
+/// record; every other receiver pays one dense-array lookup plus bit
+/// operations on memoized bitsets.
+///
+/// Sharing is an optimization, not an assumption: when a node's own first
+/// value for a key differs from the ledger record (possible only under
+/// equivocation-capable channels — hybrid-model equivocators, the
+/// point-to-point baseline, or the doubled networks of the impossibility
+/// constructions), the node keeps a per-node override, so the engine is
+/// observably identical to [`Flooder`] under *every* communication model.
+/// The `flood_equivalence` tests enforce the three-way ladder.
+#[derive(Debug, Clone)]
+pub struct LedgerFlooder {
+    me: NodeId,
+    own_value: Option<Value>,
+    /// Handle to the execution-wide path arena message ids resolve against.
+    arena: SharedPathArena,
+    /// Handle to the execution-wide shared flood ledger.
+    ledger: SharedFloodLedger,
+    /// The ledger channel this flood records into (all nodes of the same
+    /// flood derive the same `(tag, epoch)` name and share the channel).
+    channel: ChannelId,
+    tag: u32,
+    epoch: u32,
+    /// Rule-(ii) membership: the relay ids (`Π‑sender`) of every broadcast
+    /// this node processed. One bit per arena entry instead of a hash map
+    /// entry per key.
+    seen: DenseBits,
+    /// Per-node first values that differ from the ledger's record. Provably
+    /// empty under local broadcast; populated only when the communication
+    /// model lets a sender deliver different copies to different receivers.
+    overrides: lbc_model::fx::FxHashMap<PathId, Value>,
+    /// Per-origin index over the received (rule-(iv)-accepted) relay ids, in
+    /// arrival order — same layout as [`Flooder::by_origin`].
+    by_origin: Vec<Vec<PathId>>,
+    /// Count of received full paths (rule (iv) accepts plus the own value).
+    received_total: usize,
+    /// Scratch buffer for [`validate_path`] (avoids per-message allocation).
+    validate_scratch: Vec<PathId>,
+    /// Whether the missing-initiation defaults have been injected yet.
+    defaults_injected: bool,
+}
+
+impl LedgerFlooder {
+    /// Creates the flooder on the default value-flood channel and returns
+    /// the initiation broadcast `(value, ⊥)`.
+    #[must_use]
+    pub fn start(
+        arena: SharedPathArena,
+        ledger: SharedFloodLedger,
+        me: NodeId,
+        value: Value,
+    ) -> (Self, Vec<Outgoing<FloodMsg>>) {
+        Self::start_on(arena, ledger, me, value, TAG_VALUE, 0)
+    }
+
+    /// Creates the flooder on the channel named `(tag, epoch)` and returns
+    /// the initiation broadcast. Every node of the same flood must derive
+    /// the same name (e.g. the point-to-point baseline uses its global step
+    /// index as the epoch).
+    #[must_use]
+    pub fn start_on(
+        arena: SharedPathArena,
+        ledger: SharedFloodLedger,
+        me: NodeId,
+        value: Value,
+        tag: u32,
+        epoch: u32,
+    ) -> (Self, Vec<Outgoing<FloodMsg>>) {
+        let mut flooder = Self::observer_on(arena, ledger, me, tag, epoch);
+        flooder.own_value = Some(value);
+        flooder.by_origin.resize(me.index() + 1, Vec::new());
+        flooder.by_origin[me.index()].push(PathId::EMPTY);
+        flooder.received_total = 1;
+        let out = vec![Outgoing::Broadcast(FloodMsg::initiation(value))];
+        (flooder, out)
+    }
+
+    /// Creates a flooder that relays other nodes' floods without initiating
+    /// one of its own, on the default value-flood channel.
+    #[must_use]
+    pub fn observer(arena: SharedPathArena, ledger: SharedFloodLedger, me: NodeId) -> Self {
+        Self::observer_on(arena, ledger, me, TAG_VALUE, 0)
+    }
+
+    /// Creates an observer on the channel named `(tag, epoch)`.
+    #[must_use]
+    pub fn observer_on(
+        arena: SharedPathArena,
+        ledger: SharedFloodLedger,
+        me: NodeId,
+        tag: u32,
+        epoch: u32,
+    ) -> Self {
+        let channel = ledger.open(tag, epoch);
+        LedgerFlooder {
+            me,
+            own_value: None,
+            arena,
+            ledger,
+            channel,
+            tag,
+            epoch,
+            seen: DenseBits::new(),
+            overrides: lbc_model::fx::FxHashMap::default(),
+            by_origin: Vec::new(),
+            received_total: 0,
+            validate_scratch: Vec::new(),
+            defaults_injected: false,
+        }
+    }
+
+    /// The value this node initiated the flood with, if it initiated one.
+    #[must_use]
+    pub fn own_value(&self) -> Option<Value> {
+        self.own_value
+    }
+
+    /// Resets the flooder for a fresh flood of `value` on the next epoch of
+    /// its channel and returns the new initiation broadcast, keeping every
+    /// allocation (see [`Flooder::restart`]). Opening the next epoch retires
+    /// the channel two epochs back, so a long multi-phase run recycles its
+    /// shared state instead of accumulating it.
+    pub fn restart(&mut self, value: Value) -> Vec<Outgoing<FloodMsg>> {
+        self.epoch += 1;
+        self.channel = self.ledger.open(self.tag, self.epoch);
+        self.own_value = Some(value);
+        self.seen.clear();
+        self.overrides.clear();
+        for per_origin in &mut self.by_origin {
+            per_origin.clear();
+        }
+        if self.by_origin.len() <= self.me.index() {
+            self.by_origin.resize(self.me.index() + 1, Vec::new());
+        }
+        self.by_origin[self.me.index()].push(PathId::EMPTY);
+        self.received_total = 1;
+        self.defaults_injected = false;
+        vec![Outgoing::Broadcast(FloodMsg::initiation(value))]
+    }
+
+    /// Processes one round of deliveries and returns the forwards to
+    /// transmit; see [`Flooder::on_round`].
+    pub fn on_round(
+        &mut self,
+        graph: &Graph,
+        first_round: bool,
+        inbox: Inbox<'_, FloodMsg>,
+    ) -> Vec<Outgoing<FloodMsg>> {
+        let mut out = Vec::new();
+        for delivery in inbox.iter() {
+            out.extend(
+                self.process(graph, delivery.from, &delivery.message)
+                    .map(Outgoing::Broadcast),
+            );
+        }
+        if first_round && !self.defaults_injected {
+            self.defaults_injected = true;
+            for neighbor in graph.neighbors(self.me) {
+                let initiation_seen = self
+                    .arena
+                    .borrow()
+                    .find_child(PathId::EMPTY, neighbor)
+                    .is_some_and(|relay| self.seen.contains(relay.index()));
+                if !initiation_seen {
+                    let default = FloodMsg::initiation(Value::DEFAULT_FLOOD);
+                    out.extend(
+                        self.process(graph, neighbor, &default)
+                            .map(Outgoing::Broadcast),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies rules (i)–(iv) to a single message received from `from`,
+    /// returning the forward to broadcast, if any.
+    fn process(&mut self, graph: &Graph, from: NodeId, msg: &FloodMsg) -> Option<FloodMsg> {
+        // Rule (i), identical to the per-node engine: validation reads the
+        // arena's shared memo, so the common case is a single array read.
+        let mut arena = self.arena.borrow_mut();
+        if !graph.contains_node(from)
+            || !validate_path(&mut arena, &mut self.validate_scratch, graph, msg.path)
+            || arena.contains(msg.path, from)
+        {
+            return None;
+        }
+        if let Some(last) = arena.last(msg.path) {
+            if !graph.has_edge(last, from) {
+                return None;
+            }
+        }
+        // Rules (ii) and (iii): the relay id Π‑u *is* the (sender, path)
+        // key, so rule (ii) is one bit test on the per-node bitset. Every
+        // rule-(i)-passing message is recorded, as in the control engines.
+        let relay = arena.extended(msg.path, from);
+        if !self.seen.insert(relay.index()) {
+            return None;
+        }
+        // Π‑u passed the same checks as Π, so it is a graph path; memoize.
+        arena.set_path_validity(relay, true);
+        let contains_me = arena.contains(relay, self.me);
+        let origin = arena.first(relay).expect("relay path contains the sender");
+        drop(arena);
+        // Broadcast-once record: the first receiver anywhere stores the
+        // value; everyone else compares against it. A mismatch (possible
+        // only under equivocation-capable channels) becomes a per-node
+        // override so queries keep answering with *this node's* view.
+        let first = self.ledger.record_relay(self.channel, relay, msg.value);
+        if first != msg.value {
+            self.overrides.insert(relay, msg.value);
+        }
+        // Rule (iii): discard if the relay path Π‑u already contains me.
+        if contains_me {
+            return None;
+        }
+        // Rule (iv): record the relay in the per-origin index and forward.
+        if self.by_origin.len() <= origin.index() {
+            self.by_origin.resize(origin.index() + 1, Vec::new());
+        }
+        self.by_origin[origin.index()].push(relay);
+        self.received_total += 1;
+        Some(FloodMsg {
+            value: msg.value,
+            path: relay,
+        })
+    }
+
+    /// This node's first-received value for a seen relay key (override if
+    /// the node's view diverged from the ledger record, else the record).
+    fn seen_value(&self, relay: PathId) -> Value {
+        self.overrides.get(&relay).copied().unwrap_or_else(|| {
+            self.ledger
+                .relay_value(self.channel, relay)
+                .expect("seen relay has a ledger record")
+        })
+    }
+
+    /// The value received along the full path `origin … me`, if any; see
+    /// [`Flooder::value_along`].
+    #[must_use]
+    pub fn value_along(&self, full_path: &Path) -> Option<Value> {
+        let nodes = full_path.nodes();
+        let (&last, relay_nodes) = nodes.split_last()?;
+        if last != self.me {
+            return None;
+        }
+        let relay = self.arena.borrow().find_slice(relay_nodes)?;
+        self.value_along_relay(relay)
+    }
+
+    /// The value received along the full path `relay‑me`; see
+    /// [`Flooder::value_along_relay`].
+    #[must_use]
+    pub fn value_along_relay(&self, relay: PathId) -> Option<Value> {
+        {
+            let arena = self.arena.borrow();
+            if arena.step(relay).is_none() {
+                return self.own_value; // the empty relay path: the own value
+            }
+            // Rule-(iii) guard: the relay was accepted only if it does not
+            // involve me (as sender or prefix node).
+            if arena.contains(relay, self.me) {
+                return None;
+            }
+        }
+        if !self.seen.contains(relay.index()) {
+            return None;
+        }
+        Some(self.seen_value(relay))
+    }
+
+    /// The interned relay-path ids received from `origin`, in arrival order;
+    /// see [`Flooder::relay_ids_from`].
+    #[must_use]
+    pub fn relay_ids_from(&self, origin: NodeId) -> &[PathId] {
+        self.by_origin
+            .get(origin.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The value of an *indexed* (accepted) relay id.
+    fn relay_value(&self, arena: &PathArena, relay: PathId) -> Option<Value> {
+        match arena.step(relay) {
+            None => self.own_value,
+            Some(_) => Some(self.seen_value(relay)),
+        }
+    }
+
+    /// Resolves a stored relay id into the full received path `relay‑me`.
+    fn resolve_full(&self, arena: &PathArena, relay: PathId) -> Path {
+        let mut nodes = arena.nodes(relay);
+        nodes.push(self.me);
+        Path::from_nodes(nodes)
+    }
+
+    /// All `(full path, value)` pairs received from `origin`, in
+    /// lexicographic path order; see [`Flooder::received_from`].
+    #[must_use]
+    pub fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
+        let arena = self.arena.borrow();
+        let mut entries: Vec<(Path, Value)> = self
+            .relay_ids_from(origin)
+            .iter()
+            .map(|id| {
+                let value = self
+                    .relay_value(&arena, *id)
+                    .expect("indexed relay has a value");
+                (self.resolve_full(&arena, *id), value)
+            })
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// The full paths from `origin` along which this node received `value`,
+    /// in lexicographic path order; see [`Flooder::paths_with_value`].
+    #[must_use]
+    pub fn paths_with_value(&self, origin: NodeId, value: Value) -> Vec<Path> {
+        let arena = self.arena.borrow();
+        let mut paths: Vec<Path> = self
+            .relay_ids_from(origin)
+            .iter()
+            .filter(|id| self.relay_value(&arena, **id) == Some(value))
+            .map(|id| self.resolve_full(&arena, *id))
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// The full paths from `origin` delivering `value` that *exclude* the
+    /// set `exclude`; see [`Flooder::paths_with_value_excluding`].
+    #[must_use]
+    pub fn paths_with_value_excluding(
+        &self,
+        origin: NodeId,
+        value: Value,
+        exclude: &NodeSet,
+    ) -> Vec<Path> {
+        let arena = self.arena.borrow();
+        let mut paths: Vec<Path> = self
+            .relay_ids_from(origin)
+            .iter()
+            .filter(|id| {
+                self.relay_value(&arena, **id) == Some(value) && arena.tail_excludes(**id, exclude)
+            })
+            .map(|id| self.resolve_full(&arena, *id))
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// Every `(sender, path, value)` accepted under rule (ii), sorted by
+    /// `(sender, path)`; see [`Flooder::overheard`].
+    #[must_use]
+    pub fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
+        let arena = self.arena.borrow();
+        self.overheard_ids_inner(&arena)
+            .into_iter()
+            .map(|(from, path, value)| (from, arena.resolve(path), value))
+            .collect()
+    }
+
+    /// The overheard `(sender, path id, value)` triples, sorted by
+    /// `(sender, path)`; see [`Flooder::overheard_ids`].
+    #[must_use]
+    pub fn overheard_ids(&self) -> Vec<(NodeId, PathId, Value)> {
+        let arena = self.arena.borrow();
+        self.overheard_ids_inner(&arena)
+    }
+
+    fn overheard_ids_inner(&self, arena: &PathArena) -> Vec<(NodeId, PathId, Value)> {
+        let mut entries: Vec<(NodeId, PathId, Value)> = self
+            .seen
+            .ones()
+            .map(|index| {
+                let relay = PathId::from_index(index);
+                let (prefix, last) = arena.step(relay).expect("seen relays are non-empty");
+                (last, prefix, self.seen_value(relay))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| arena.cmp_nodes(a.1, b.1)));
+        entries
+    }
+
+    /// Whether this node overheard `observed` transmit exactly
+    /// `(value, Π)`; see [`Flooder::overheard_exactly`].
+    #[must_use]
+    pub fn overheard_exactly(&self, observed: NodeId, path: PathId, value: Value) -> bool {
+        let relay = self.arena.borrow().find_child(path, observed);
+        relay.is_some_and(|relay| {
+            self.seen.contains(relay.index()) && self.seen_value(relay) == value
+        })
     }
 
     /// Number of distinct full paths along which values were received.
@@ -511,10 +942,10 @@ impl NaiveFlooder {
         &mut self,
         graph: &Graph,
         first_round: bool,
-        inbox: &[Delivery<NaiveFloodMsg>],
+        inbox: Inbox<'_, NaiveFloodMsg>,
     ) -> Vec<Outgoing<NaiveFloodMsg>> {
         let mut out = Vec::new();
-        for delivery in inbox {
+        for delivery in inbox.iter() {
             out.extend(self.process(graph, delivery.from, &delivery.message));
         }
         if first_round && !self.defaults_injected {
@@ -620,6 +1051,7 @@ impl NaiveFlooder {
 mod tests {
     use super::*;
     use lbc_graph::generators;
+    use lbc_sim::Delivery;
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
@@ -661,7 +1093,11 @@ mod tests {
         // Cycle 0-1-2-3-4; we are node 2 and receive node 0's initiation via 1.
         let g = generators::cycle(5);
         let (arena, mut flooder) = started(2, Value::Zero);
-        let out = flooder.on_round(&g, true, &[deliver(&arena, 1, Value::One, &[0])]);
+        let out = flooder.on_round(
+            &g,
+            true,
+            Inbox::direct(&[deliver(&arena, 1, Value::One, &[0])]),
+        );
         // Forward (1, [0,1]) plus defaults for the missing neighbor 3.
         assert!(out.iter().any(
             |o| matches!(o, Outgoing::Broadcast(m) if arena.resolve(m.path).nodes() == [n(0), n(1)])
@@ -678,7 +1114,11 @@ mod tests {
         let g = generators::cycle(5);
         let (arena, mut flooder) = started(2, Value::Zero);
         // Claimed path [0, 3] then sender 1: 0-3 is not an edge on the cycle.
-        let out = flooder.on_round(&g, false, &[deliver(&arena, 1, Value::One, &[0, 3])]);
+        let out = flooder.on_round(
+            &g,
+            false,
+            Inbox::direct(&[deliver(&arena, 1, Value::One, &[0, 3])]),
+        );
         assert!(out.is_empty());
         assert_eq!(flooder.received_count(), 1); // only the own value
     }
@@ -688,7 +1128,11 @@ mod tests {
         let g = generators::cycle(5);
         let (arena, mut flooder) = started(2, Value::Zero);
         // Relay path [1, 0] re-transmitted by node 1: 1 is already on Π.
-        let out = flooder.on_round(&g, false, &[deliver(&arena, 1, Value::One, &[1, 0])]);
+        let out = flooder.on_round(
+            &g,
+            false,
+            Inbox::direct(&[deliver(&arena, 1, Value::One, &[1, 0])]),
+        );
         assert!(out.is_empty());
         assert_eq!(flooder.received_count(), 1);
     }
@@ -699,7 +1143,7 @@ mod tests {
         let (arena, mut flooder) = started(2, Value::Zero);
         let first = deliver(&arena, 1, Value::One, &[0]);
         let conflicting = deliver(&arena, 1, Value::Zero, &[0]);
-        let out1 = flooder.on_round(&g, false, &[first, conflicting]);
+        let out1 = flooder.on_round(&g, false, Inbox::direct(&[first, conflicting]));
         // Only one forward for the (1, [0]) key.
         assert_eq!(out1.len(), 1);
         let full = Path::from_nodes([n(0), n(1), n(2)]);
@@ -711,7 +1155,11 @@ mod tests {
         let g = generators::cycle(5);
         let (arena, mut flooder) = started(2, Value::Zero);
         // Path [2, 3] from sender 4: contains me (2), discard silently.
-        let out = flooder.on_round(&g, false, &[deliver(&arena, 4, Value::One, &[2, 3])]);
+        let out = flooder.on_round(
+            &g,
+            false,
+            Inbox::direct(&[deliver(&arena, 4, Value::One, &[2, 3])]),
+        );
         assert!(out.is_empty());
     }
 
@@ -720,13 +1168,21 @@ mod tests {
         let g = generators::cycle(5);
         let (arena, mut flooder) = started(2, Value::Zero);
         // Neighbor 1 initiates, neighbor 3 stays silent.
-        let out = flooder.on_round(&g, true, &[deliver(&arena, 1, Value::Zero, &[])]);
+        let out = flooder.on_round(
+            &g,
+            true,
+            Inbox::direct(&[deliver(&arena, 1, Value::Zero, &[])]),
+        );
         // We forward both node 1's initiation and the default for node 3.
         assert_eq!(out.len(), 2);
         let via3 = Path::from_nodes([n(3), n(2)]);
         assert_eq!(flooder.value_along(&via3), Some(Value::DEFAULT_FLOOD));
         // A late real initiation from 3 is now ignored (rule (ii)).
-        let out = flooder.on_round(&g, false, &[deliver(&arena, 3, Value::Zero, &[])]);
+        let out = flooder.on_round(
+            &g,
+            false,
+            Inbox::direct(&[deliver(&arena, 3, Value::Zero, &[])]),
+        );
         assert!(out.is_empty());
         assert_eq!(flooder.value_along(&via3), Some(Value::DEFAULT_FLOOD));
     }
@@ -738,10 +1194,10 @@ mod tests {
         let _ = flooder.on_round(
             &g,
             true,
-            &[
+            Inbox::direct(&[
                 deliver(&arena, 1, Value::One, &[0]),
                 deliver(&arena, 3, Value::Zero, &[4]),
-            ],
+            ]),
         );
         let from0 = flooder.received_from(n(0));
         assert_eq!(from0.len(), 1);
@@ -759,7 +1215,11 @@ mod tests {
     fn overheard_lists_accepted_sender_path_pairs() {
         let g = generators::cycle(5);
         let (arena, mut flooder) = started(2, Value::Zero);
-        let _ = flooder.on_round(&g, true, &[deliver(&arena, 1, Value::One, &[])]);
+        let _ = flooder.on_round(
+            &g,
+            true,
+            Inbox::direct(&[deliver(&arena, 1, Value::One, &[])]),
+        );
         let overheard = flooder.overheard();
         // Node 1's initiation plus the injected default for node 3.
         assert_eq!(overheard.len(), 2);
@@ -778,7 +1238,7 @@ mod tests {
             deliver(&arena, 1, Value::One, &[0]),
             deliver(&arena, 3, Value::Zero, &[4]),
         ];
-        let _ = reused.on_round(&g, true, &inbox);
+        let _ = reused.on_round(&g, true, Inbox::direct(&inbox));
         assert!(reused.received_count() > 1);
 
         // Restarting with a new value must reproduce a fresh flooder's
@@ -791,8 +1251,8 @@ mod tests {
         assert_eq!(reused.overheard(), fresh.overheard());
 
         let mut fresh = fresh;
-        let out_reused = reused.on_round(&g, true, &inbox);
-        let out_fresh = fresh.on_round(&g, true, &inbox);
+        let out_reused = reused.on_round(&g, true, Inbox::direct(&inbox));
+        let out_fresh = fresh.on_round(&g, true, Inbox::direct(&inbox));
         assert_eq!(out_reused, out_fresh);
         assert_eq!(reused.received_from(n(0)), fresh.received_from(n(0)));
         assert_eq!(reused.received_from(n(4)), fresh.received_from(n(4)));
@@ -807,13 +1267,13 @@ mod tests {
         let forwards = flooder.on_round(
             &g,
             true,
-            &[Delivery {
+            Inbox::direct(&[Delivery {
                 from: n(1),
                 message: NaiveFloodMsg {
                     value: Value::One,
                     path: Path::singleton(n(0)),
                 },
-            }],
+            }]),
         );
         // The forward of (1, [0,1]) plus injected defaults for both
         // neighbors (neither 1 nor 3 was seen *initiating*).

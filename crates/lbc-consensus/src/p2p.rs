@@ -21,9 +21,9 @@
 use std::collections::BTreeMap;
 
 use lbc_model::{NodeId, Round, Value};
-use lbc_sim::{ByzantineMessage, Delivery, NodeContext, Outgoing, Protocol};
+use lbc_sim::{ByzantineMessage, Delivery, Inbox, NodeContext, Outgoing, Protocol};
 
-use crate::flooding::Flooder;
+use crate::flooding::{LedgerFlooder, TAG_VALUE};
 use crate::messages::FloodMsg;
 
 /// What kind of value a communication step carries.
@@ -89,7 +89,7 @@ pub struct P2pBaselineNode {
     decided: Option<Value>,
     round_counter: usize,
     step: usize,
-    flooder: Option<Flooder>,
+    flooder: Option<LedgerFlooder>,
     /// Values accepted in the most recent vote step, per origin.
     last_votes: BTreeMap<NodeId, Value>,
     /// Values accepted in the most recent propose step, per origin.
@@ -249,7 +249,7 @@ impl Protocol for P2pBaselineNode {
         &mut self,
         ctx: &NodeContext<'_>,
         _round: Round,
-        inbox: &[Delivery<P2pMessage>],
+        inbox: Inbox<'_, P2pMessage>,
     ) -> Vec<Outgoing<P2pMessage>> {
         if self.decided.is_some() {
             return Vec::new();
@@ -272,7 +272,7 @@ impl Protocol for P2pBaselineNode {
         if let Some(flooder) = self.flooder.as_mut() {
             // No default substitution: silence is legitimate in propose/king
             // steps and handled by the counting rules in vote steps.
-            let forwards = flooder.on_round(ctx.graph, false, &step_inbox);
+            let forwards = flooder.on_round(ctx.graph, false, Inbox::direct(&step_inbox));
             out.extend(forwards.into_iter().map(|o| wrap(o, current_step)));
         }
 
@@ -297,14 +297,33 @@ impl Protocol for P2pBaselineNode {
 
 impl P2pBaselineNode {
     fn begin_step(&mut self, ctx: &NodeContext<'_>, step: usize) -> Vec<Outgoing<P2pMessage>> {
+        // One ledger channel per global step: every node derives the same
+        // `(tag, step)` name, so the step's flood shares one channel. The
+        // point-to-point model lets faulty senders deliver different copies
+        // to different receivers — the ledger engine's per-node overrides
+        // absorb exactly that, so sharing stays sound (see lbc_model::ledger).
+        let epoch = u32::try_from(step).expect("step index fits u32");
         match self.step_initiation(ctx, step) {
             Some(value) => {
-                let (flooder, out) = Flooder::start(ctx.arena.clone(), ctx.id, value);
+                let (flooder, out) = LedgerFlooder::start_on(
+                    ctx.arena.clone(),
+                    ctx.ledger.clone(),
+                    ctx.id,
+                    value,
+                    TAG_VALUE,
+                    epoch,
+                );
                 self.flooder = Some(flooder);
                 out.into_iter().map(|o| wrap(o, step)).collect()
             }
             None => {
-                self.flooder = Some(Flooder::observer(ctx.arena.clone(), ctx.id));
+                self.flooder = Some(LedgerFlooder::observer_on(
+                    ctx.arena.clone(),
+                    ctx.ledger.clone(),
+                    ctx.id,
+                    TAG_VALUE,
+                    epoch,
+                ));
                 Vec::new()
             }
         }

@@ -17,9 +17,9 @@
 
 use lbc_graph::{combinatorics, paths};
 use lbc_model::{NodeId, NodeSet, Path, Round, Value};
-use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+use lbc_sim::{Inbox, NodeContext, Outgoing, Protocol};
 
-use crate::flooding::Flooder;
+use crate::flooding::LedgerFlooder;
 use crate::messages::FloodMsg;
 
 /// Which of the four cases of step (c) applied in a phase (Algorithm 1 /
@@ -70,7 +70,7 @@ struct RunState {
     phase_index: usize,
     round_in_phase: usize,
     rounds_per_phase: usize,
-    flooder: Flooder,
+    flooder: LedgerFlooder,
 }
 
 /// The shared protocol implementation behind [`crate::Algorithm1Node`] and
@@ -124,7 +124,7 @@ impl PhasedNode {
     fn finish_phase(
         &mut self,
         ctx: &NodeContext<'_>,
-        flooder: &Flooder,
+        flooder: &LedgerFlooder,
         phase: &(NodeSet, NodeSet),
     ) {
         let (fault_candidate, equivocator_candidate) = phase;
@@ -181,7 +181,12 @@ impl PhasedNode {
 
     /// The value received along a witness path ending at `me` (a path of
     /// length one, `[me]`, stands for the node's own value).
-    fn value_along_witness(&self, flooder: &Flooder, me: NodeId, path: &Path) -> Option<Value> {
+    fn value_along_witness(
+        &self,
+        flooder: &LedgerFlooder,
+        me: NodeId,
+        path: &Path,
+    ) -> Option<Value> {
         if path.len() == 1 && path.first() == Some(me) {
             flooder.own_value()
         } else {
@@ -196,7 +201,8 @@ impl Protocol for PhasedNode {
     fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<FloodMsg>> {
         let n = ctx.n();
         let phases = combinatorics::hybrid_fault_set_phases(n, ctx.f, self.equivocation_bound);
-        let (flooder, out) = Flooder::start(ctx.arena.clone(), ctx.id, self.gamma);
+        let (flooder, out) =
+            LedgerFlooder::start(ctx.arena.clone(), ctx.ledger.clone(), ctx.id, self.gamma);
         self.state = Some(RunState {
             phases,
             phase_index: 0,
@@ -211,7 +217,7 @@ impl Protocol for PhasedNode {
         &mut self,
         ctx: &NodeContext<'_>,
         _round: Round,
-        inbox: &[Delivery<FloodMsg>],
+        inbox: Inbox<'_, FloodMsg>,
     ) -> Vec<Outgoing<FloodMsg>> {
         if self.decided.is_some() {
             return Vec::new();

@@ -1,19 +1,26 @@
-//! Byte-level equivalence of the path-interning flood engine against the
-//! naive pre-refactor engine.
+//! Byte-level equivalence of the three flood engines — the verification
+//! ladder of the flood fabric.
 //!
-//! Both engines run the same whole-graph flood scripts — every node floods
+//! All engines run the same whole-graph flood scripts — every node floods
 //! its input for `n` rounds under local-broadcast delivery — and the tests
 //! assert that per-round transcripts (every broadcast's value and resolved
 //! path, in emission order), the final received maps, and the overheard sets
-//! are identical. Scripts cover the fault-free case, relay tampering,
-//! attempted equivocation (suppressed by rule (ii)), and silent nodes
-//! (default injection).
+//! are identical across:
+//!
+//! * [`LedgerFlooder`] — the production shared-fabric engine,
+//! * [`Flooder`] — the per-node path-interning control,
+//! * [`NaiveFlooder`] — the pre-interning reference.
+//!
+//! Scripts cover the fault-free case, relay tampering, attempted
+//! equivocation (suppressed by rule (ii)), omission (silent nodes and
+//! default injection), and divergent per-receiver deliveries (the situation
+//! where the ledger's per-node overrides must carry the engine).
 
-use lbc_consensus::flooding::{Flooder, NaiveFloodMsg, NaiveFlooder};
+use lbc_consensus::flooding::{Flooder, LedgerFlooder, NaiveFloodMsg, NaiveFlooder};
 use lbc_consensus::FloodMsg;
 use lbc_graph::{generators, Graph};
-use lbc_model::{NodeId, NodeSet, Path, SharedPathArena, Value};
-use lbc_sim::{Delivery, Outgoing};
+use lbc_model::{NodeId, NodeSet, Path, SharedFloodLedger, SharedPathArena, Value};
+use lbc_sim::{Delivery, Inbox, Outgoing};
 
 fn n(i: usize) -> NodeId {
     NodeId::new(i)
@@ -23,7 +30,7 @@ fn n(i: usize) -> NodeId {
 #[derive(Clone, Copy, PartialEq)]
 enum Fault {
     None,
-    /// The node never transmits.
+    /// The node never transmits (omission from the start).
     Silent(NodeId),
     /// The node flips the value of everything it sends after round 0.
     TamperRelays(NodeId),
@@ -63,22 +70,196 @@ fn apply_fault(
     }
 }
 
-/// Runs the interned engine over the script and records the transcript.
-fn run_interned(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) -> Transcript {
-    let arena = SharedPathArena::new();
-    let node_count = graph.node_count();
-    let mut flooders = Vec::new();
-    // pending[v] = the abstract messages v transmits before the next round.
-    let mut pending: Vec<Vec<(Value, Vec<NodeId>)>> = Vec::new();
-    for (v, &input) in inputs.iter().enumerate().take(node_count) {
-        let (flooder, out) = Flooder::start(arena.clone(), n(v), input);
-        let msgs = out
+/// The minimal engine interface the generic script runner needs. Abstract
+/// messages are `(value, path-as-nodes)` pairs so every engine's wire format
+/// maps onto the same transcript.
+trait Engine: Sized {
+    type Msg: Clone;
+    fn start(graph_nodes: usize, me: NodeId, input: Value) -> (Self, Vec<(Value, Vec<NodeId>)>);
+    fn make_msg(&self, value: Value, path: &[NodeId]) -> Self::Msg;
+    fn run_round(
+        &mut self,
+        graph: &Graph,
+        first: bool,
+        inbox: &[Delivery<Self::Msg>],
+    ) -> Vec<(Value, Vec<NodeId>)>;
+    fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)>;
+    fn overheard(&self) -> Vec<(NodeId, Path, Value)>;
+    fn received_count(&self) -> usize;
+}
+
+thread_local! {
+    static ARENA: std::cell::RefCell<Option<(SharedPathArena, SharedFloodLedger)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The per-script shared state (arena + ledger) interned engines resolve
+/// against; reset before every script so ids never leak across scripts.
+fn fresh_shared() -> (SharedPathArena, SharedFloodLedger) {
+    let pair = (SharedPathArena::new(), SharedFloodLedger::new());
+    ARENA.with(|slot| *slot.borrow_mut() = Some(pair.clone()));
+    pair
+}
+
+fn shared() -> (SharedPathArena, SharedFloodLedger) {
+    ARENA.with(|slot| slot.borrow().clone().expect("script started"))
+}
+
+impl Engine for LedgerFlooder {
+    type Msg = FloodMsg;
+
+    fn start(_nodes: usize, me: NodeId, input: Value) -> (Self, Vec<(Value, Vec<NodeId>)>) {
+        let (arena, ledger) = shared();
+        let (flooder, out) = LedgerFlooder::start(arena.clone(), ledger, me, input);
+        (flooder, resolve_out(&arena, &out))
+    }
+
+    fn make_msg(&self, value: Value, path: &[NodeId]) -> FloodMsg {
+        let (arena, _) = shared();
+        FloodMsg {
+            value,
+            path: arena.intern(&Path::from_nodes(path.iter().copied())),
+        }
+    }
+
+    fn run_round(
+        &mut self,
+        graph: &Graph,
+        first: bool,
+        inbox: &[Delivery<FloodMsg>],
+    ) -> Vec<(Value, Vec<NodeId>)> {
+        let out = self.on_round(graph, first, Inbox::direct(inbox));
+        let (arena, _) = shared();
+        resolve_out(&arena, &out)
+    }
+
+    fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
+        LedgerFlooder::received_from(self, origin)
+    }
+
+    fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
+        LedgerFlooder::overheard(self)
+    }
+
+    fn received_count(&self) -> usize {
+        LedgerFlooder::received_count(self)
+    }
+}
+
+impl Engine for Flooder {
+    type Msg = FloodMsg;
+
+    fn start(_nodes: usize, me: NodeId, input: Value) -> (Self, Vec<(Value, Vec<NodeId>)>) {
+        let (arena, _) = shared();
+        let (flooder, out) = Flooder::start(arena.clone(), me, input);
+        (flooder, resolve_out(&arena, &out))
+    }
+
+    fn make_msg(&self, value: Value, path: &[NodeId]) -> FloodMsg {
+        let (arena, _) = shared();
+        FloodMsg {
+            value,
+            path: arena.intern(&Path::from_nodes(path.iter().copied())),
+        }
+    }
+
+    fn run_round(
+        &mut self,
+        graph: &Graph,
+        first: bool,
+        inbox: &[Delivery<FloodMsg>],
+    ) -> Vec<(Value, Vec<NodeId>)> {
+        let out = self.on_round(graph, first, Inbox::direct(inbox));
+        let (arena, _) = shared();
+        resolve_out(&arena, &out)
+    }
+
+    fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
+        Flooder::received_from(self, origin)
+    }
+
+    fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
+        Flooder::overheard(self)
+    }
+
+    fn received_count(&self) -> usize {
+        Flooder::received_count(self)
+    }
+}
+
+impl Engine for NaiveFlooder {
+    type Msg = NaiveFloodMsg;
+
+    fn start(_nodes: usize, me: NodeId, input: Value) -> (Self, Vec<(Value, Vec<NodeId>)>) {
+        let (flooder, out) = NaiveFlooder::start(me, input);
+        let resolved = out
             .iter()
             .map(|o| match o {
-                Outgoing::Broadcast(m) => (m.value, arena.resolve(m.path).nodes().to_vec()),
+                Outgoing::Broadcast(m) => (m.value, m.path.nodes().to_vec()),
                 Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
             })
             .collect();
+        (flooder, resolved)
+    }
+
+    fn make_msg(&self, value: Value, path: &[NodeId]) -> NaiveFloodMsg {
+        NaiveFloodMsg {
+            value,
+            path: Path::from_nodes(path.iter().copied()),
+        }
+    }
+
+    fn run_round(
+        &mut self,
+        graph: &Graph,
+        first: bool,
+        inbox: &[Delivery<NaiveFloodMsg>],
+    ) -> Vec<(Value, Vec<NodeId>)> {
+        self.on_round(graph, first, Inbox::direct(inbox))
+            .iter()
+            .map(|o| match o {
+                Outgoing::Broadcast(m) => (m.value, m.path.nodes().to_vec()),
+                Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
+            })
+            .collect()
+    }
+
+    fn received_from(&self, origin: NodeId) -> Vec<(Path, Value)> {
+        NaiveFlooder::received_from(self, origin)
+    }
+
+    fn overheard(&self) -> Vec<(NodeId, Path, Value)> {
+        NaiveFlooder::overheard(self)
+    }
+
+    fn received_count(&self) -> usize {
+        NaiveFlooder::received_count(self)
+    }
+}
+
+fn resolve_out(arena: &SharedPathArena, out: &[Outgoing<FloodMsg>]) -> Vec<(Value, Vec<NodeId>)> {
+    out.iter()
+        .map(|o| match o {
+            Outgoing::Broadcast(m) => (m.value, arena.resolve(m.path).nodes().to_vec()),
+            Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
+        })
+        .collect()
+}
+
+/// Runs one engine over the script and records the transcript.
+fn run_engine<E: Engine>(
+    graph: &Graph,
+    inputs: &[Value],
+    rounds: usize,
+    fault: Fault,
+) -> Transcript {
+    let _ = fresh_shared();
+    let node_count = graph.node_count();
+    let mut flooders: Vec<E> = Vec::new();
+    // pending[v] = the abstract messages v transmits before the next round.
+    let mut pending: Vec<Vec<(Value, Vec<NodeId>)>> = Vec::new();
+    for (v, &input) in inputs.iter().enumerate().take(node_count) {
+        let (flooder, msgs) = E::start(node_count, n(v), input);
         flooders.push(flooder);
         pending.push(apply_fault(fault, n(v), 0, msgs));
     }
@@ -95,17 +276,14 @@ fn run_interned(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) ->
         transcript_rounds.push(record);
 
         // Deliver to all neighbors, in sender order.
-        let mut inboxes: Vec<Vec<Delivery<FloodMsg>>> = vec![Vec::new(); node_count];
+        let mut inboxes: Vec<Vec<Delivery<E::Msg>>> = (0..node_count).map(|_| Vec::new()).collect();
         for (sender, msgs) in pending.iter().enumerate() {
             for (value, path) in msgs {
-                let id = arena.intern(&Path::from_nodes(path.iter().copied()));
+                let message = flooders[sender].make_msg(*value, path);
                 for neighbor in graph.neighbors(n(sender)) {
                     inboxes[neighbor.index()].push(Delivery {
                         from: n(sender),
-                        message: FloodMsg {
-                            value: *value,
-                            path: id,
-                        },
+                        message: message.clone(),
                     });
                 }
             }
@@ -113,14 +291,7 @@ fn run_interned(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) ->
 
         let mut next_pending = Vec::with_capacity(node_count);
         for (v, flooder) in flooders.iter_mut().enumerate() {
-            let out = flooder.on_round(graph, round == 0, &inboxes[v]);
-            let msgs: Vec<(Value, Vec<NodeId>)> = out
-                .iter()
-                .map(|o| match o {
-                    Outgoing::Broadcast(m) => (m.value, arena.resolve(m.path).nodes().to_vec()),
-                    Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
-                })
-                .collect();
+            let msgs = flooder.run_round(graph, round == 0, &inboxes[v]);
             next_pending.push(apply_fault(fault, n(v), round + 1, msgs));
         }
         pending = next_pending;
@@ -149,115 +320,40 @@ fn run_interned(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) ->
                     .collect()
             })
             .collect(),
-        received_counts: flooders.iter().map(Flooder::received_count).collect(),
-    }
-}
-
-/// Runs the naive engine over the same script.
-fn run_naive(graph: &Graph, inputs: &[Value], rounds: usize, fault: Fault) -> Transcript {
-    let node_count = graph.node_count();
-    let mut flooders = Vec::new();
-    let mut pending: Vec<Vec<(Value, Vec<NodeId>)>> = Vec::new();
-    for (v, &input) in inputs.iter().enumerate().take(node_count) {
-        let (flooder, out) = NaiveFlooder::start(n(v), input);
-        let msgs = out
-            .iter()
-            .map(|o| match o {
-                Outgoing::Broadcast(m) => (m.value, m.path.nodes().to_vec()),
-                Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
-            })
-            .collect();
-        flooders.push(flooder);
-        pending.push(apply_fault(fault, n(v), 0, msgs));
-    }
-
-    let mut transcript_rounds = Vec::new();
-    for round in 0..rounds {
-        let mut record = Vec::new();
-        for (v, msgs) in pending.iter().enumerate() {
-            for (value, path) in msgs {
-                record.push((n(v), *value, path.clone()));
-            }
-        }
-        transcript_rounds.push(record);
-
-        let mut inboxes: Vec<Vec<Delivery<NaiveFloodMsg>>> = vec![Vec::new(); node_count];
-        for (sender, msgs) in pending.iter().enumerate() {
-            for (value, path) in msgs {
-                for neighbor in graph.neighbors(n(sender)) {
-                    inboxes[neighbor.index()].push(Delivery {
-                        from: n(sender),
-                        message: NaiveFloodMsg {
-                            value: *value,
-                            path: Path::from_nodes(path.iter().copied()),
-                        },
-                    });
-                }
-            }
-        }
-
-        let mut next_pending = Vec::with_capacity(node_count);
-        for (v, flooder) in flooders.iter_mut().enumerate() {
-            let out = flooder.on_round(graph, round == 0, &inboxes[v]);
-            let msgs: Vec<(Value, Vec<NodeId>)> = out
-                .iter()
-                .map(|o| match o {
-                    Outgoing::Broadcast(m) => (m.value, m.path.nodes().to_vec()),
-                    Outgoing::Unicast(..) => unreachable!("flooding never unicasts"),
-                })
-                .collect();
-            next_pending.push(apply_fault(fault, n(v), round + 1, msgs));
-        }
-        pending = next_pending;
-    }
-
-    Transcript {
-        rounds: transcript_rounds,
-        received_from: flooders
-            .iter()
-            .map(|f| {
-                (0..node_count)
-                    .flat_map(|origin| {
-                        f.received_from(n(origin))
-                            .into_iter()
-                            .map(|(p, v)| (p.nodes().to_vec(), v))
-                    })
-                    .collect()
-            })
-            .collect(),
-        overheard: flooders
-            .iter()
-            .map(|f| {
-                f.overheard()
-                    .into_iter()
-                    .map(|(from, p, v)| (from, p.nodes().to_vec(), v))
-                    .collect()
-            })
-            .collect(),
-        received_counts: flooders.iter().map(NaiveFlooder::received_count).collect(),
+        received_counts: flooders.iter().map(E::received_count).collect(),
     }
 }
 
 fn assert_equivalent(graph: &Graph, inputs: &[Value], fault: Fault, label: &str) {
     let rounds = graph.node_count() + 1;
-    let interned = run_interned(graph, inputs, rounds, fault);
-    let naive = run_naive(graph, inputs, rounds, fault);
-    assert_eq!(
-        interned.rounds, naive.rounds,
-        "{label}: per-round transcripts diverge"
-    );
-    assert_eq!(
-        interned.received_from, naive.received_from,
-        "{label}: received maps diverge"
-    );
-    assert_eq!(
-        interned.overheard, naive.overheard,
-        "{label}: overheard sets diverge"
-    );
-    assert_eq!(
-        interned.received_counts, naive.received_counts,
-        "{label}: received counts diverge"
-    );
+    let naive = run_engine::<NaiveFlooder>(graph, inputs, rounds, fault);
+    for (engine, transcript) in [
+        (
+            "per-node",
+            run_engine::<Flooder>(graph, inputs, rounds, fault),
+        ),
+        (
+            "ledger",
+            run_engine::<LedgerFlooder>(graph, inputs, rounds, fault),
+        ),
+    ] {
+        assert_eq!(
+            transcript.rounds, naive.rounds,
+            "{label}/{engine}: per-round transcripts diverge"
+        );
+        assert_eq!(
+            transcript.received_from, naive.received_from,
+            "{label}/{engine}: received maps diverge"
+        );
+        assert_eq!(
+            transcript.overheard, naive.overheard,
+            "{label}/{engine}: overheard sets diverge"
+        );
+        assert_eq!(
+            transcript.received_counts, naive.received_counts,
+            "{label}/{engine}: received counts diverge"
+        );
+    }
 }
 
 fn alternating_inputs(count: usize) -> Vec<Value> {
@@ -294,7 +390,7 @@ fn tampered_relays_are_identical_on_cycle_and_clique() {
 #[test]
 fn equivocation_suppression_is_identical() {
     // The equivocating node's second, conflicting copy must be dropped by
-    // rule (ii) in both engines, leaving identical state.
+    // rule (ii) in all engines, leaving identical state.
     for (label, graph) in [
         ("cycle5/equivocate", generators::cycle(5)),
         ("k4/equivocate", generators::complete(4)),
@@ -338,18 +434,141 @@ fn wheel_and_circulant_floods_are_identical() {
     }
 }
 
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+    /// Three-way ladder, randomized: on random connected graphs satisfying
+    /// the paper's f = 1 conditions, with a random tamper / omission /
+    /// equivocation fault, all three engines produce byte-identical
+    /// transcripts and final state.
+    #[test]
+    fn three_way_equivalence_on_random_connected_graphs(
+        size in 5usize..9,
+        seed in 0u64..10_000,
+        fault_index in 0usize..9,
+        fault_kind in 0usize..4,
+        bits in 0u64..512,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::random_satisfying(size, 1, 0.3, &mut rng);
+        let bad = n(fault_index % graph.node_count());
+        let fault = match fault_kind % 4 {
+            0 => Fault::None,
+            1 => Fault::Silent(bad), // omission
+            2 => Fault::TamperRelays(bad),
+            _ => Fault::Equivocate(bad),
+        };
+        let inputs: Vec<Value> = (0..graph.node_count())
+            .map(|i| Value::from(bits >> i & 1 == 1))
+            .collect();
+        assert_equivalent(&graph, &inputs, fault, "random");
+    }
+}
+
+/// Divergent per-receiver deliveries: the same `(sender, path)` key reaches
+/// two receivers with *different* values (possible under point-to-point or
+/// hybrid equivocators). The ledger records one first value; each node's
+/// queries must still answer with the node's *own* first value — this is
+/// the per-node override path that keeps sharing sound beyond local
+/// broadcast.
+#[test]
+fn ledger_overrides_keep_divergent_views_per_node() {
+    let graph = generators::cycle(5);
+    let (arena, ledger) = fresh_shared();
+    // Nodes 1 and 3 both neighbor nodes 0/2... use receivers 1 and 3 of
+    // transmissions claimed from their common neighbor 2.
+    let (mut at1, _) = LedgerFlooder::start(arena.clone(), ledger.clone(), n(1), Value::Zero);
+    let (mut at3, _) = LedgerFlooder::start(arena.clone(), ledger.clone(), n(3), Value::Zero);
+    let (mut control1, _) = Flooder::start(arena.clone(), n(1), Value::Zero);
+    let (mut control3, _) = Flooder::start(arena.clone(), n(3), Value::Zero);
+
+    // Node 2 "initiates" with value One toward node 1 but value Zero toward
+    // node 3 (an equivocation the physical layer permitted).
+    let to1 = [Delivery {
+        from: n(2),
+        message: FloodMsg::initiation(Value::One),
+    }];
+    let to3 = [Delivery {
+        from: n(2),
+        message: FloodMsg::initiation(Value::Zero),
+    }];
+    let _ = at1.on_round(&graph, true, Inbox::direct(&to1));
+    let _ = at3.on_round(&graph, true, Inbox::direct(&to3));
+    let _ = control1.on_round(&graph, true, Inbox::direct(&to1));
+    let _ = control3.on_round(&graph, true, Inbox::direct(&to3));
+
+    let via2_at1 = Path::from_nodes([n(2), n(1)]);
+    let via2_at3 = Path::from_nodes([n(2), n(3)]);
+    assert_eq!(at1.value_along(&via2_at1), Some(Value::One));
+    assert_eq!(at3.value_along(&via2_at3), Some(Value::Zero));
+    assert_eq!(at1.value_along(&via2_at1), control1.value_along(&via2_at1));
+    assert_eq!(at3.value_along(&via2_at3), control3.value_along(&via2_at3));
+    assert_eq!(at1.overheard(), control1.overheard());
+    assert_eq!(at3.overheard(), control3.overheard());
+}
+
+#[test]
+fn ledger_restart_behaves_like_a_fresh_start() {
+    let graph = generators::cycle(5);
+    let (arena, ledger) = fresh_shared();
+    let (mut reused, _) = LedgerFlooder::start(arena.clone(), ledger.clone(), n(2), Value::Zero);
+    let inbox = [
+        Delivery {
+            from: n(1),
+            message: FloodMsg {
+                value: Value::One,
+                path: arena.intern(&Path::singleton(n(0))),
+            },
+        },
+        Delivery {
+            from: n(3),
+            message: FloodMsg {
+                value: Value::Zero,
+                path: arena.intern(&Path::singleton(n(4))),
+            },
+        },
+    ];
+    let _ = reused.on_round(&graph, true, Inbox::direct(&inbox));
+    assert!(reused.received_count() > 1);
+
+    // Restarting with a new value must reproduce a fresh flooder's
+    // behaviour exactly. The fresh control runs on the next epoch of the
+    // same ledger — exactly what the restarted engine migrates to.
+    let init = reused.restart(Value::One);
+    let (mut fresh, fresh_init) =
+        LedgerFlooder::start_on(arena.clone(), ledger.clone(), n(2), Value::One, 0, 1);
+    assert_eq!(init, fresh_init);
+    assert_eq!(reused.received_count(), fresh.received_count());
+    assert_eq!(reused.own_value(), fresh.own_value());
+    assert_eq!(reused.overheard(), fresh.overheard());
+
+    let out_reused = reused.on_round(&graph, true, Inbox::direct(&inbox));
+    let out_fresh = fresh.on_round(&graph, true, Inbox::direct(&inbox));
+    assert_eq!(out_reused, out_fresh);
+    assert_eq!(reused.received_from(n(0)), fresh.received_from(n(0)));
+    assert_eq!(reused.received_from(n(4)), fresh.received_from(n(4)));
+    assert_eq!(reused.overheard(), fresh.overheard());
+}
+
 #[test]
 fn query_accessors_agree_value_by_value() {
     // Beyond transcript equality: spot-check the query APIs (value_along,
-    // paths_with_value_excluding) on the clique where many paths exist.
+    // paths_with_value_excluding, overheard_exactly) on the clique where
+    // many paths exist.
     let graph = generators::complete(5);
     let inputs = alternating_inputs(5);
-    let arena = SharedPathArena::new();
+    let (arena, ledger) = fresh_shared();
+    let mut ledgered: Vec<LedgerFlooder> = Vec::new();
     let mut interned: Vec<Flooder> = Vec::new();
     let mut naive: Vec<NaiveFlooder> = Vec::new();
+    let mut pending_l = Vec::new();
     let mut pending_i = Vec::new();
     let mut pending_n = Vec::new();
     for (v, &input) in inputs.iter().enumerate() {
+        let (f, out) = LedgerFlooder::start(arena.clone(), ledger.clone(), n(v), input);
+        ledgered.push(f);
+        pending_l.push(out);
         let (f, out) = Flooder::start(arena.clone(), n(v), input);
         interned.push(f);
         pending_i.push(out);
@@ -358,9 +577,20 @@ fn query_accessors_agree_value_by_value() {
         pending_n.push(out);
     }
     for round in 0..5 {
+        let mut inboxes_l: Vec<Vec<Delivery<FloodMsg>>> = vec![Vec::new(); 5];
         let mut inboxes_i: Vec<Vec<Delivery<FloodMsg>>> = vec![Vec::new(); 5];
         let mut inboxes_n: Vec<Vec<Delivery<NaiveFloodMsg>>> = vec![Vec::new(); 5];
         for sender in 0..5 {
+            for o in &pending_l[sender] {
+                if let Outgoing::Broadcast(m) = o {
+                    for neighbor in graph.neighbors(n(sender)) {
+                        inboxes_l[neighbor.index()].push(Delivery {
+                            from: n(sender),
+                            message: *m,
+                        });
+                    }
+                }
+            }
             for o in &pending_i[sender] {
                 if let Outgoing::Broadcast(m) = o {
                     for neighbor in graph.neighbors(n(sender)) {
@@ -383,30 +613,48 @@ fn query_accessors_agree_value_by_value() {
             }
         }
         for v in 0..5 {
-            pending_i[v] = interned[v].on_round(&graph, round == 0, &inboxes_i[v]);
-            pending_n[v] = naive[v].on_round(&graph, round == 0, &inboxes_n[v]);
+            pending_l[v] = ledgered[v].on_round(&graph, round == 0, Inbox::direct(&inboxes_l[v]));
+            pending_i[v] = interned[v].on_round(&graph, round == 0, Inbox::direct(&inboxes_i[v]));
+            pending_n[v] = naive[v].on_round(&graph, round == 0, Inbox::direct(&inboxes_n[v]));
         }
     }
     let exclude: NodeSet = [n(1), n(3)].into_iter().collect();
     for v in 0..5 {
+        assert_eq!(ledgered[v].overheard_ids(), interned[v].overheard_ids());
+        for (from, path, value) in interned[v].overheard_ids() {
+            assert!(ledgered[v].overheard_exactly(from, path, value));
+            assert!(!ledgered[v].overheard_exactly(from, path, value.flipped()));
+        }
         for origin in 0..5 {
             for value in [Value::Zero, Value::One] {
+                let expected = naive[v].paths_with_value(n(origin), value);
                 assert_eq!(
                     interned[v].paths_with_value(n(origin), value),
-                    naive[v].paths_with_value(n(origin), value),
-                    "paths_with_value(v{v}, origin v{origin}, {value})"
+                    expected,
+                    "per-node paths_with_value(v{v}, origin v{origin}, {value})"
                 );
                 assert_eq!(
-                    interned[v].paths_with_value_excluding(n(origin), value, &exclude),
+                    ledgered[v].paths_with_value(n(origin), value),
+                    expected,
+                    "ledger paths_with_value(v{v}, origin v{origin}, {value})"
+                );
+                assert_eq!(
+                    ledgered[v].paths_with_value_excluding(n(origin), value, &exclude),
                     naive[v].paths_with_value_excluding(n(origin), value, &exclude),
-                    "paths_with_value_excluding(v{v}, origin v{origin}, {value})"
+                    "ledger paths_with_value_excluding(v{v}, origin v{origin}, {value})"
                 );
             }
             for (path, _) in naive[v].received_from(n(origin)) {
+                let expected = naive[v].value_along(&path);
                 assert_eq!(
                     interned[v].value_along(&path),
-                    naive[v].value_along(&path),
-                    "value_along(v{v}, {path})"
+                    expected,
+                    "per-node value_along(v{v}, {path})"
+                );
+                assert_eq!(
+                    ledgered[v].value_along(&path),
+                    expected,
+                    "ledger value_along(v{v}, {path})"
                 );
             }
         }

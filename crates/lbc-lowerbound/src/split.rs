@@ -3,8 +3,8 @@
 use std::collections::BTreeMap;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, Round, SharedPathArena, Value};
-use lbc_sim::{Delivery, NodeContext, Outgoing, Protocol};
+use lbc_model::{NodeId, Round, SharedFloodLedger, SharedPathArena, Value};
+use lbc_sim::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
 
 /// Which copy of an original node a `𝔾`-node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -170,9 +170,13 @@ impl DoubledNetwork {
             .map(|(i, node)| make(node.original, self.inputs[i]))
             .collect();
 
-        // One shared path arena for the doubled execution, as the real
-        // simulator has one per run.
+        // One shared path arena and flood ledger for the doubled execution,
+        // as the real simulator has one of each per run. The construction
+        // deliberately gives the two copies of a node inconsistent views —
+        // exactly the situation the ledger's per-node overrides absorb, so
+        // the shared fabric stays sound even here.
         let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
 
         // Start-of-execution transmissions.
         let mut pending: Vec<Vec<Outgoing<P::Message>>> = Vec::with_capacity(self.nodes.len());
@@ -182,6 +186,7 @@ impl DoubledNetwork {
                 graph: &self.graph,
                 f: self.f,
                 arena: &arena,
+                ledger: &ledger,
             };
             pending.push(protocol.on_start(&ctx));
         }
@@ -215,8 +220,9 @@ impl DoubledNetwork {
                     graph: &self.graph,
                     f: self.f,
                     arena: &arena,
+                    ledger: &ledger,
                 };
-                next_pending.push(protocol.on_round(&ctx, round, &inboxes[i]));
+                next_pending.push(protocol.on_round(&ctx, round, Inbox::direct(&inboxes[i])));
             }
             pending = next_pending;
         }

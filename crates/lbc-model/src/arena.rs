@@ -58,6 +58,19 @@ impl PathId {
         self.0 as usize
     }
 
+    /// Reconstructs an id from a dense index previously obtained via
+    /// [`PathId::index`] — used by the flood ledger's bitset state, which
+    /// stores path ids as raw bit positions. Only meaningful for indices
+    /// that came from the same arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit a `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        PathId(u32::try_from(index).expect("arena indices fit u32"))
+    }
+
     /// Whether this is the empty path `⊥`.
     #[must_use]
     pub const fn is_empty(self) -> bool {
@@ -183,6 +196,15 @@ impl PathArena {
     /// Interns a [`Path`].
     pub fn intern(&mut self, path: &Path) -> PathId {
         self.intern_slice(path.nodes())
+    }
+
+    /// Looks up the extension `Π‑node` without interning it; `None` if that
+    /// extension was never interned.
+    #[must_use]
+    pub fn find_child(&self, id: PathId, node: NodeId) -> Option<PathId> {
+        self.children
+            .get(&(id.0, node.index()))
+            .map(|&child| PathId(child))
     }
 
     /// Looks up a path without interning it; `None` if never interned.
@@ -358,6 +380,47 @@ impl PathArena {
             }
         }
         true
+    }
+
+    /// Compares two interned paths by their node sequences in forward
+    /// lexicographic order (the order `Path`'s derived `Ord` uses), without
+    /// materializing either sequence.
+    ///
+    /// The trie stores parent pointers, i.e. sequences in reverse; forward
+    /// comparison recurses to the common-length prefixes first and breaks
+    /// ties by length. Cost is `O(len)` per call with no allocation — this is
+    /// what lets `overheard_ids` sort without building a `Vec<NodeId>` key
+    /// per entry.
+    #[must_use]
+    pub fn cmp_nodes(&self, a: PathId, b: PathId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        let (len_a, len_b) = (self.len(a), self.len(b));
+        let common = len_a.min(len_b);
+        let mut ta = a;
+        for _ in 0..len_a - common {
+            ta = self.entry(ta).parent;
+        }
+        let mut tb = b;
+        for _ in 0..len_b - common {
+            tb = self.entry(tb).parent;
+        }
+        self.cmp_equal_len(ta, tb).then(len_a.cmp(&len_b))
+    }
+
+    /// Forward lexicographic comparison of two paths of equal length.
+    /// Prefix sharing makes equal ids the recursion cutoff: two distinct ids
+    /// of the same length differ somewhere, and the deepest shared prefix is
+    /// literally the same trie entry.
+    fn cmp_equal_len(&self, a: PathId, b: PathId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        let entry_a = self.entry(a);
+        let entry_b = self.entry(b);
+        self.cmp_equal_len(entry_a.parent, entry_b.parent)
+            .then(entry_a.last.cmp(&entry_b.last))
     }
 
     /// Writes the path's nodes, in order, into `out` (clearing it first).
@@ -578,6 +641,47 @@ mod tests {
                     arena.excludes(id, &x),
                     path.excludes(&x),
                     "path {path} excluding {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_child_is_a_read_only_extended() {
+        let mut arena = PathArena::new();
+        let a = arena.extended(PathId::EMPTY, n(1));
+        let ab = arena.extended(a, n(2));
+        let before = arena.entry_count();
+        assert_eq!(arena.find_child(a, n(2)), Some(ab));
+        assert_eq!(arena.find_child(a, n(3)), None);
+        assert_eq!(arena.find_child(PathId::EMPTY, n(1)), Some(a));
+        assert_eq!(arena.entry_count(), before);
+    }
+
+    #[test]
+    fn cmp_nodes_matches_resolved_path_order() {
+        let mut arena = PathArena::new();
+        let samples = [
+            &[][..],
+            &[0],
+            &[1],
+            &[0, 1],
+            &[0, 2],
+            &[0, 1, 2],
+            &[0, 1, 3],
+            &[2, 0],
+            &[2, 0, 1, 3],
+            &[9, 9, 9],
+        ];
+        let ids: Vec<PathId> = samples.iter().map(|s| arena.intern(&p(s))).collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for (j, &b) in ids.iter().enumerate() {
+                assert_eq!(
+                    arena.cmp_nodes(a, b),
+                    arena.resolve(a).cmp(&arena.resolve(b)),
+                    "cmp_nodes({:?}, {:?})",
+                    samples[i],
+                    samples[j]
                 );
             }
         }

@@ -1,0 +1,705 @@
+//! The shared flood fabric: execution-wide broadcast-once records.
+//!
+//! Under the local broadcast model, every neighbor of a transmitter `u`
+//! receives the *same* first message for each `(u, Π)` flooding key — that is
+//! rule (ii) of the paper's Algorithm 1, and it is what suppresses
+//! equivocation. Before this module existed the workspace only used the
+//! invariant for correctness: each of the `n` simulated nodes kept a private
+//! `(sender, path) → value` map and re-derived the same facts `n` times per
+//! execution. The [`FloodLedger`] records each distinct broadcast **once per
+//! execution**; per-node flood state collapses to [`DenseBits`] membership
+//! bitsets over arena/ledger indices plus a (normally empty) per-node
+//! override map.
+//!
+//! **Sharing is an optimization, not a soundness assumption.** A node whose
+//! own first value for a key differs from the ledger's record — possible only
+//! when the communication model lets the sender deliver different copies to
+//! different receivers, i.e. hybrid-model equivocators or the point-to-point
+//! baseline — stores a per-node override, and queries always answer with the
+//! node's own view. The ledger-backed engines are therefore observably
+//! identical to the per-node control engines under *every* communication
+//! model; under local broadcast the overrides are provably empty and every
+//! receiver after the first pays one lookup instead of one insertion.
+//!
+//! # Channels
+//!
+//! A single execution can run several logically independent floods whose
+//! rule-(ii) key spaces must not collide: Algorithm 2 floods values, reports
+//! and decisions; Algorithm 1 re-floods once per candidate fault set; the
+//! point-to-point baseline floods once per king-algorithm step. Each such
+//! flood opens a **channel** named by a `(tag, epoch)` pair — every node of
+//! the execution derives the same name at the same protocol step, so they
+//! all share one channel without coordination. Channels two epochs behind
+//! the newest of their tag are retired and their storage recycled.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::fx::FxHashMap;
+use crate::{NodeId, Path, PathId, Value};
+
+/// A growable bitset over dense `usize` indices.
+///
+/// The flood engines key per-node rule-(ii)/(iv) membership by arena or
+/// ledger indices; a bitset turns each membership test into a word read
+/// where a hash map would hash and probe.
+#[derive(Debug, Clone, Default)]
+pub struct DenseBits {
+    words: Vec<u64>,
+}
+
+impl DenseBits {
+    /// Creates an empty bitset.
+    #[must_use]
+    pub fn new() -> Self {
+        DenseBits::default()
+    }
+
+    /// Whether `index` is in the set.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|word| word & (1 << (index % 64)) != 0)
+    }
+
+    /// Inserts `index`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        let word = index / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1 << (index % 64);
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Removes every element, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Iterates the set indices in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(word_index, word)| {
+                let mut bits = *word;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(word_index * 64 + bit)
+                })
+            })
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
+/// Handle to one flood channel of a [`FloodLedger`].
+///
+/// Obtained from [`FloodLedger::open`]; stable for the lifetime of the
+/// channel (until it is retired two epochs later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelId(u32);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// The shared record of one observation-flood broadcast (Algorithm 2's
+/// phase-2 reports): everything about a wire message that is the same for
+/// every receiver.
+///
+/// The first receiver to process a report pays rule-(i) validation and relay
+/// interning and stores the result here; every other receiver's processing is
+/// one key lookup plus per-node bit operations.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportRecord {
+    /// Whether the message passed the receiver-independent validity checks
+    /// (rule (i) plus the report-shape checks). Invalid broadcasts are
+    /// recorded too, so repeat receivers reject them with one lookup.
+    pub valid: bool,
+    /// The first value this broadcast delivered (every receiver sees the
+    /// same one under local broadcast).
+    pub value: Value,
+    /// The report's relay path *including* the transmitter.
+    pub relay: PathId,
+    /// The first 64 bits of the relay path's member bitset, memoized so the
+    /// per-receiver rule-(iii) check (`me ∈ relay?`) is a register test for
+    /// node indices below 64 instead of an arena pointer chase.
+    pub relay_members_low: u64,
+    /// The node whose phase-1 transmission is being reported.
+    pub observed: NodeId,
+    /// The path annotation of the observed transmission.
+    pub observed_path: PathId,
+}
+
+/// Rule-(ii) key of an observation-flood broadcast — the wire identity
+/// `(transmitter, relay-path-so-far, observed, observed_path)` packed into
+/// two words (see [`report_key`]), so the ledger's keyed map hashes two
+/// machine words instead of four.
+pub type ReportKey = (u64, u64);
+
+/// Packs an observation-flood wire identity into a [`ReportKey`].
+///
+/// Collision-free: node indices are bounded by the graph size and path ids
+/// are `u32` by construction, so each component fits its 32-bit half.
+#[inline]
+#[must_use]
+pub fn report_key(
+    from: NodeId,
+    path: PathId,
+    observed: NodeId,
+    observed_path: PathId,
+) -> ReportKey {
+    debug_assert!(from.index() <= u32::MAX as usize);
+    debug_assert!(observed.index() <= u32::MAX as usize);
+    (
+        ((from.index() as u64) << 32) | path.index() as u64,
+        ((observed.index() as u64) << 32) | observed_path.index() as u64,
+    )
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    /// Relay-id-indexed first values for floods whose rule-(ii) key is the
+    /// relay path itself (`Π‑sender`): 0 = unrecorded, else `value + 1`.
+    relay_first: Vec<u8>,
+    /// Key → record index for observation floods (wider rule-(ii) keys).
+    keyed: FxHashMap<ReportKey, u32>,
+    /// The keyed records, densely indexed.
+    records: Vec<ReportRecord>,
+    /// Per-round slot cache over the simulator's shared round buffer, one
+    /// entry per transmission slot carrying every receiver-independent fact
+    /// a receiver needs (validity, first value, relay id, member word).
+    /// Every receiver of a broadcast sees the same slot, so the first
+    /// receiver's key lookup is reused by all the others as **one cache
+    /// line read** — in particular, a rule-(iii) drop never touches the
+    /// record table or any per-node structure at all. Entries are verified
+    /// against the packed key, so a stale or colliding slot — possible with
+    /// test-local direct inboxes — safely misses.
+    slot_cache: Vec<SlotEntry>,
+}
+
+/// One slot-cache entry; see `Channel::slot_cache`.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotEntry {
+    generation: u32,
+    key: ReportKey,
+    lookup: ReportLookup,
+}
+
+/// The receiver-independent facts of one observation-flood broadcast, as
+/// returned by [`FloodLedger::report_lookup_at_slot`]: everything a receiver
+/// needs to apply rules (ii)–(iv) without touching the record table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportLookup {
+    /// Dense record index (for per-node bitsets and the accepted list).
+    pub index: u32,
+    /// Whether the broadcast passed the receiver-independent checks.
+    pub valid: bool,
+    /// The first value the broadcast delivered anywhere.
+    pub value: Value,
+    /// The relay path including the transmitter.
+    pub relay: PathId,
+    /// First 64 bits of the relay's member bitset (rule (iii) in a register
+    /// test for node indices < 64).
+    pub relay_members_low: u64,
+}
+
+impl ReportLookup {
+    fn of(index: u32, record: &ReportRecord) -> Self {
+        ReportLookup {
+            index,
+            valid: record.valid,
+            value: record.value,
+            relay: record.relay,
+            relay_members_low: record.relay_members_low,
+        }
+    }
+
+    /// Whether `node` is on the relay path, via the memoized low word;
+    /// `fallback` answers for node indices ≥ 64.
+    #[inline]
+    #[must_use]
+    pub fn relay_contains(&self, node: NodeId, fallback: impl FnOnce() -> bool) -> bool {
+        if node.index() < 64 {
+            self.relay_members_low & (1u64 << node.index()) != 0
+        } else {
+            fallback()
+        }
+    }
+}
+
+impl Channel {
+    fn clear(&mut self) {
+        self.relay_first.clear();
+        self.keyed.clear();
+        self.records.clear();
+        self.slot_cache.clear();
+    }
+}
+
+/// The execution-wide flood ledger. See the [module docs](self).
+///
+/// Like the [`crate::PathArena`], one ledger exists per simulated execution
+/// and is shared by every node through the simulator's node context
+/// ([`SharedFloodLedger`]).
+#[derive(Debug, Default)]
+pub struct FloodLedger {
+    names: FxHashMap<(u32, u32), u32>,
+    channels: Vec<Channel>,
+    free: Vec<u32>,
+    /// Execution-shared memo for disjoint-path plans between node pairs:
+    /// deterministic pure functions of the (fixed) communication graph that
+    /// every node would otherwise recompute identically. Algorithm 2's fault
+    /// identification keys this by `(origin, other)`.
+    pair_paths: FxHashMap<(NodeId, NodeId), Rc<Vec<Path>>>,
+}
+
+impl FloodLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        FloodLedger::default()
+    }
+
+    /// Opens (or joins) the channel named `(tag, epoch)`. Every node of the
+    /// execution that derives the same name gets the same channel. Opening
+    /// epoch `e` retires the channel `(tag, e − 2)`, whose storage is
+    /// recycled — by then every node has moved past it (protocol phases are
+    /// synchronous, so nodes are never more than one epoch apart).
+    pub fn open(&mut self, tag: u32, epoch: u32) -> ChannelId {
+        if let Some(&slot) = self.names.get(&(tag, epoch)) {
+            return ChannelId(slot);
+        }
+        if epoch >= 2 {
+            if let Some(retired) = self.names.remove(&(tag, epoch - 2)) {
+                self.channels[retired as usize].clear();
+                self.free.push(retired);
+            }
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.channels.push(Channel::default());
+            u32::try_from(self.channels.len() - 1).expect("ledger overflow: > u32::MAX channels")
+        });
+        self.channels[slot as usize].clear();
+        self.names.insert((tag, epoch), slot);
+        ChannelId(slot)
+    }
+
+    /// Number of live channels.
+    #[must_use]
+    pub fn live_channels(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Records the broadcast with relay path `relay` carrying `value`,
+    /// unless one was recorded before; returns the **first** value recorded
+    /// for the key (which is `value` itself on first record).
+    ///
+    /// A caller whose own observed value differs from the returned first
+    /// value must keep a per-node override — see the module docs.
+    pub fn record_relay(&mut self, channel: ChannelId, relay: PathId, value: Value) -> Value {
+        let first = &mut self.channels[channel.0 as usize].relay_first;
+        let index = relay.index();
+        if index >= first.len() {
+            first.resize(index + 1, 0);
+        }
+        match first[index] {
+            0 => {
+                first[index] = encode(value);
+                value
+            }
+            recorded => decode(recorded),
+        }
+    }
+
+    /// The first value recorded for the relay key, if any.
+    #[must_use]
+    pub fn relay_value(&self, channel: ChannelId, relay: PathId) -> Option<Value> {
+        self.channels[channel.0 as usize]
+            .relay_first
+            .get(relay.index())
+            .copied()
+            .filter(|&v| v != 0)
+            .map(decode)
+    }
+
+    /// Looks up the record of an observation-flood key.
+    #[must_use]
+    pub fn keyed_record(&self, channel: ChannelId, key: &ReportKey) -> Option<(u32, ReportRecord)> {
+        let channel = &self.channels[channel.0 as usize];
+        let index = *channel.keyed.get(key)?;
+        Some((index, channel.records[index as usize]))
+    }
+
+    /// [`FloodLedger::keyed_record`] accelerated by the per-round slot
+    /// cache: if a previous receiver of round `generation` already resolved
+    /// the broadcast in `slot`, the lookup degenerates to one verified
+    /// cache-line read. Pass `generation == 0` to bypass the cache (e.g.
+    /// when slots are not globally unique). On a cache miss the underlying
+    /// map answers and the slot is (re)filled.
+    #[must_use]
+    pub fn report_lookup_at_slot(
+        &mut self,
+        channel: ChannelId,
+        slot: u32,
+        generation: u32,
+        key: &ReportKey,
+    ) -> Option<ReportLookup> {
+        let slots = &self.channels[channel.0 as usize];
+        if generation != 0 {
+            if let Some(entry) = slots.slot_cache.get(slot as usize) {
+                if entry.generation == generation && entry.key == *key {
+                    return Some(entry.lookup);
+                }
+            }
+        }
+        let index = *slots.keyed.get(key)?;
+        Some(self.cache_slot(channel, slot, generation, *key, index))
+    }
+
+    /// Fills the per-round slot cache for the record at `index` (no-op for
+    /// `generation == 0`, which disables caching) and returns its lookup
+    /// view. The single fill path for both the first receiver (after
+    /// [`FloodLedger::insert_keyed`]) and repeat receivers whose cache
+    /// entry was evicted by a newer generation.
+    pub fn cache_slot(
+        &mut self,
+        channel: ChannelId,
+        slot: u32,
+        generation: u32,
+        key: ReportKey,
+        index: u32,
+    ) -> ReportLookup {
+        let channel = &mut self.channels[channel.0 as usize];
+        let lookup = ReportLookup::of(index, &channel.records[index as usize]);
+        if generation != 0 {
+            let slot = slot as usize;
+            if slot >= channel.slot_cache.len() {
+                channel.slot_cache.resize(slot + 1, SlotEntry::default());
+            }
+            channel.slot_cache[slot] = SlotEntry {
+                generation,
+                key,
+                lookup,
+            };
+        }
+        lookup
+    }
+
+    /// Inserts the record for an observation-flood key (first receiver
+    /// only); returns its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was already recorded — callers must look it up
+    /// first.
+    pub fn insert_keyed(
+        &mut self,
+        channel: ChannelId,
+        key: ReportKey,
+        record: ReportRecord,
+    ) -> u32 {
+        let channel = &mut self.channels[channel.0 as usize];
+        let index =
+            u32::try_from(channel.records.len()).expect("ledger overflow: > u32::MAX records");
+        let previous = channel.keyed.insert(key, index);
+        assert!(previous.is_none(), "keyed broadcast recorded twice");
+        channel.records.push(record);
+        index
+    }
+
+    /// The record at a dense index previously returned by
+    /// [`FloodLedger::keyed_record`] / [`FloodLedger::insert_keyed`].
+    #[must_use]
+    pub fn record(&self, channel: ChannelId, index: u32) -> ReportRecord {
+        self.channels[channel.0 as usize].records[index as usize]
+    }
+
+    /// The memoized disjoint-path plan for a node pair, if one was computed.
+    #[must_use]
+    pub fn pair_paths(&self, u: NodeId, v: NodeId) -> Option<Rc<Vec<Path>>> {
+        self.pair_paths.get(&(u, v)).cloned()
+    }
+
+    /// Memoizes the disjoint-path plan for a node pair. The plan must be a
+    /// deterministic function of the execution's communication graph (every
+    /// node computes the same one), which is what makes sharing sound.
+    pub fn set_pair_paths(&mut self, u: NodeId, v: NodeId, paths: Vec<Path>) -> Rc<Vec<Path>> {
+        let paths = Rc::new(paths);
+        self.pair_paths.insert((u, v), Rc::clone(&paths));
+        paths
+    }
+}
+
+#[inline]
+fn encode(value: Value) -> u8 {
+    match value {
+        Value::Zero => 1,
+        Value::One => 2,
+    }
+}
+
+#[inline]
+fn decode(byte: u8) -> Value {
+    match byte {
+        1 => Value::Zero,
+        _ => Value::One,
+    }
+}
+
+/// A clonable handle to the [`FloodLedger`] shared by every node of a
+/// simulated execution, threaded through the simulator's node context
+/// exactly like [`crate::SharedPathArena`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedFloodLedger {
+    inner: Rc<RefCell<FloodLedger>>,
+}
+
+impl SharedFloodLedger {
+    /// Creates a fresh, empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedFloodLedger::default()
+    }
+
+    /// Immutable access to the underlying ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger is currently mutably borrowed.
+    #[must_use]
+    pub fn borrow(&self) -> Ref<'_, FloodLedger> {
+        self.inner.borrow()
+    }
+
+    /// Mutable access to the underlying ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger is currently borrowed.
+    #[must_use]
+    pub fn borrow_mut(&self) -> RefMut<'_, FloodLedger> {
+        self.inner.borrow_mut()
+    }
+
+    /// Opens (or joins) a named channel. See [`FloodLedger::open`].
+    pub fn open(&self, tag: u32, epoch: u32) -> ChannelId {
+        self.inner.borrow_mut().open(tag, epoch)
+    }
+
+    /// Records a relay-keyed broadcast. See [`FloodLedger::record_relay`].
+    pub fn record_relay(&self, channel: ChannelId, relay: PathId, value: Value) -> Value {
+        self.inner.borrow_mut().record_relay(channel, relay, value)
+    }
+
+    /// The first value recorded for a relay key. See
+    /// [`FloodLedger::relay_value`].
+    #[must_use]
+    pub fn relay_value(&self, channel: ChannelId, relay: PathId) -> Option<Value> {
+        self.inner.borrow().relay_value(channel, relay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn pid(i: usize) -> PathId {
+        PathId::from_index(i)
+    }
+
+    #[test]
+    fn dense_bits_insert_contains_iterate() {
+        let mut bits = DenseBits::new();
+        assert!(bits.is_empty());
+        assert!(!bits.contains(0));
+        assert!(bits.insert(3));
+        assert!(bits.insert(64));
+        assert!(bits.insert(200));
+        assert!(!bits.insert(64), "re-insert reports not-fresh");
+        assert!(bits.contains(3));
+        assert!(bits.contains(64));
+        assert!(!bits.contains(4));
+        assert_eq!(bits.ones().collect::<Vec<_>>(), vec![3, 64, 200]);
+        assert_eq!(bits.len(), 3);
+        bits.clear();
+        assert!(bits.is_empty());
+        assert!(!bits.contains(3));
+    }
+
+    #[test]
+    fn relay_records_keep_the_first_value() {
+        let mut ledger = FloodLedger::new();
+        let ch = ledger.open(0, 0);
+        assert_eq!(ledger.relay_value(ch, pid(5)), None);
+        assert_eq!(ledger.record_relay(ch, pid(5), Value::One), Value::One);
+        // A conflicting later record does not overwrite; the caller learns
+        // the first value and keeps its own override.
+        assert_eq!(ledger.record_relay(ch, pid(5), Value::Zero), Value::One);
+        assert_eq!(ledger.relay_value(ch, pid(5)), Some(Value::One));
+    }
+
+    #[test]
+    fn channels_are_named_and_isolated() {
+        let mut ledger = FloodLedger::new();
+        let a = ledger.open(0, 0);
+        let b = ledger.open(1, 0);
+        assert_ne!(a, b);
+        assert_eq!(ledger.open(0, 0), a, "same name joins the same channel");
+        ledger.record_relay(a, pid(1), Value::One);
+        assert_eq!(ledger.relay_value(b, pid(1)), None);
+    }
+
+    #[test]
+    fn epochs_retire_and_recycle() {
+        let mut ledger = FloodLedger::new();
+        let e0 = ledger.open(0, 0);
+        ledger.record_relay(e0, pid(9), Value::One);
+        let _e1 = ledger.open(0, 1);
+        // Opening epoch 2 retires epoch 0 and recycles its slot.
+        let e2 = ledger.open(0, 2);
+        assert_eq!(ledger.live_channels(), 2);
+        assert_eq!(
+            ledger.relay_value(e2, pid(9)),
+            None,
+            "recycled channel starts clean"
+        );
+    }
+
+    #[test]
+    fn keyed_records_roundtrip() {
+        let mut ledger = FloodLedger::new();
+        let ch = ledger.open(1, 0);
+        let key: ReportKey = report_key(n(2), pid(4), n(0), pid(1));
+        assert!(ledger.keyed_record(ch, &key).is_none());
+        let record = ReportRecord {
+            valid: true,
+            value: Value::Zero,
+            relay: pid(7),
+            relay_members_low: 0b101,
+            observed: n(0),
+            observed_path: pid(1),
+        };
+        let index = ledger.insert_keyed(ch, key, record);
+        let (found_index, found) = ledger.keyed_record(ch, &key).unwrap();
+        assert_eq!(found_index, index);
+        assert!(found.valid);
+        assert_eq!(found.value, Value::Zero);
+        assert_eq!(found.relay, pid(7));
+        assert_eq!(ledger.record(ch, index).observed, n(0));
+    }
+
+    #[test]
+    fn slot_cache_hits_and_verifies() {
+        let mut ledger = FloodLedger::new();
+        let ch = ledger.open(1, 0);
+        let key_a = report_key(n(1), pid(2), n(0), pid(1));
+        let key_b = report_key(n(3), pid(2), n(0), pid(1));
+        let record = ReportRecord {
+            valid: true,
+            value: Value::One,
+            relay: pid(5),
+            relay_members_low: 0b10,
+            observed: n(0),
+            observed_path: pid(1),
+        };
+        let index = ledger.insert_keyed(ch, key_a, record);
+        // First receiver fills slot 7 for generation 3.
+        let first = ledger.report_lookup_at_slot(ch, 7, 3, &key_a).unwrap();
+        assert_eq!(first.index, index);
+        assert_eq!(first.relay, pid(5));
+        assert_eq!(first.relay_members_low, 0b10);
+        // Same slot, same generation, same key: cache hit.
+        assert_eq!(
+            ledger
+                .report_lookup_at_slot(ch, 7, 3, &key_a)
+                .unwrap()
+                .index,
+            index
+        );
+        // A colliding slot with a different key must not be trusted.
+        assert!(ledger.report_lookup_at_slot(ch, 7, 3, &key_b).is_none());
+        // Generation 0 bypasses the cache entirely.
+        assert_eq!(
+            ledger
+                .report_lookup_at_slot(ch, 7, 0, &key_a)
+                .unwrap()
+                .index,
+            index
+        );
+    }
+
+    #[test]
+    fn relay_contains_uses_the_memoized_word() {
+        let lookup = ReportLookup {
+            index: 0,
+            valid: true,
+            value: Value::One,
+            relay: pid(5),
+            relay_members_low: (1 << 3) | (1 << 40),
+        };
+        assert!(lookup.relay_contains(n(3), || unreachable!()));
+        assert!(lookup.relay_contains(n(40), || unreachable!()));
+        assert!(!lookup.relay_contains(n(4), || unreachable!()));
+        // Indices >= 64 fall back to the caller's exact test.
+        assert!(lookup.relay_contains(n(70), || true));
+        assert!(!lookup.relay_contains(n(70), || false));
+    }
+
+    #[test]
+    fn report_keys_pack_uniquely() {
+        let a = report_key(n(1), pid(2), n(3), pid(4));
+        let b = report_key(n(2), pid(1), n(3), pid(4));
+        let c = report_key(n(1), pid(2), n(4), pid(3));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, report_key(n(1), pid(2), n(3), pid(4)));
+    }
+
+    #[test]
+    fn pair_path_memo_shares_plans() {
+        let mut ledger = FloodLedger::new();
+        assert!(ledger.pair_paths(n(0), n(1)).is_none());
+        let plan = vec![Path::from_nodes([n(0), n(2), n(1)])];
+        let shared = ledger.set_pair_paths(n(0), n(1), plan.clone());
+        assert_eq!(*shared, plan);
+        assert_eq!(*ledger.pair_paths(n(0), n(1)).unwrap(), plan);
+    }
+
+    #[test]
+    fn shared_handle_is_one_ledger() {
+        let shared = SharedFloodLedger::new();
+        let clone = shared.clone();
+        let ch = shared.open(0, 0);
+        assert_eq!(clone.record_relay(ch, pid(3), Value::One), Value::One);
+        assert_eq!(shared.relay_value(ch, pid(3)), Some(Value::One));
+    }
+}

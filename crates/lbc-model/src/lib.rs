@@ -16,6 +16,9 @@
 //!   which is what lets the flood engine avoid per-message `Vec` clones,
 //! * [`SharedPathArena`] — the per-execution arena handle threaded through
 //!   the simulator,
+//! * [`FloodLedger`] / [`SharedFloodLedger`] — the shared flood fabric:
+//!   execution-wide broadcast-once records that let every node's flood state
+//!   collapse to bitsets over shared indices ([`DenseBits`]),
 //! * [`NodeSet`] — an ordered set of nodes (fault sets, cuts, neighborhoods),
 //!   backed by a `u64`-word bitset,
 //! * [`CommModel`] — the communication model: local broadcast, point-to-point,
@@ -53,6 +56,7 @@ pub mod fx;
 mod ids;
 mod input;
 pub mod json;
+mod ledger;
 mod nodeset;
 mod outcome;
 mod path;
@@ -63,6 +67,10 @@ pub use comm::CommModel;
 pub use error::ModelError;
 pub use ids::{NodeId, Round};
 pub use input::InputAssignment;
+pub use ledger::{
+    report_key, ChannelId, DenseBits, FloodLedger, ReportKey, ReportLookup, ReportRecord,
+    SharedFloodLedger,
+};
 pub use nodeset::NodeSet;
 pub use outcome::{ConsensusOutcome, Verdict};
 pub use path::Path;

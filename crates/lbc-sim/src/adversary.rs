@@ -4,7 +4,7 @@ use std::fmt::Debug;
 
 use lbc_model::Round;
 
-use crate::protocol::{Delivery, NodeContext, Outgoing};
+use crate::protocol::{Inbox, NodeContext, Outgoing};
 
 /// A Byzantine adversary controlling the faulty nodes of an execution.
 ///
@@ -28,7 +28,7 @@ pub trait Adversary<M> {
         ctx: &NodeContext<'_>,
         round: Option<Round>,
         honest_outgoing: Vec<Outgoing<M>>,
-        inbox: &[Delivery<M>],
+        inbox: Inbox<'_, M>,
     ) -> Vec<Outgoing<M>>;
 }
 
@@ -45,7 +45,7 @@ impl<M> Adversary<M> for HonestAdversary {
         _ctx: &NodeContext<'_>,
         _round: Option<Round>,
         honest_outgoing: Vec<Outgoing<M>>,
-        _inbox: &[Delivery<M>],
+        _inbox: Inbox<'_, M>,
     ) -> Vec<Outgoing<M>> {
         honest_outgoing
     }
@@ -60,7 +60,7 @@ pub fn honest_adversary() -> HonestAdversary {
 
 impl<M, F> Adversary<M> for F
 where
-    F: FnMut(&NodeContext<'_>, Option<Round>, Vec<Outgoing<M>>, &[Delivery<M>]) -> Vec<Outgoing<M>>,
+    F: FnMut(&NodeContext<'_>, Option<Round>, Vec<Outgoing<M>>, Inbox<'_, M>) -> Vec<Outgoing<M>>,
     M: Debug,
 {
     fn intercept(
@@ -68,7 +68,7 @@ where
         ctx: &NodeContext<'_>,
         round: Option<Round>,
         honest_outgoing: Vec<Outgoing<M>>,
-        inbox: &[Delivery<M>],
+        inbox: Inbox<'_, M>,
     ) -> Vec<Outgoing<M>> {
         self(ctx, round, honest_outgoing, inbox)
     }
@@ -84,15 +84,17 @@ mod tests {
     fn honest_adversary_passes_messages_through() {
         let graph = generators::cycle(3);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
             f: 1,
             arena: &arena,
+            ledger: &ledger,
         };
         let mut adv = HonestAdversary;
         let out = vec![Outgoing::Broadcast(Value::One)];
-        let result = adv.intercept(&ctx, None, out.clone(), &[]);
+        let result = adv.intercept(&ctx, None, out.clone(), Inbox::direct(&[]));
         assert_eq!(result, out);
     }
 
@@ -100,18 +102,25 @@ mod tests {
     fn closures_are_adversaries() {
         let graph = generators::cycle(3);
         let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
         let ctx = NodeContext {
             id: NodeId::new(1),
             graph: &graph,
             f: 1,
             arena: &arena,
+            ledger: &ledger,
         };
         // Drop everything the faulty node would have sent.
         let mut silent = |_ctx: &NodeContext<'_>,
                           _round: Option<Round>,
                           _honest: Vec<Outgoing<Value>>,
-                          _inbox: &[Delivery<Value>]| Vec::new();
-        let result = silent.intercept(&ctx, None, vec![Outgoing::Broadcast(Value::One)], &[]);
+                          _inbox: Inbox<'_, Value>| Vec::new();
+        let result = silent.intercept(
+            &ctx,
+            None,
+            vec![Outgoing::Broadcast(Value::One)],
+            Inbox::direct(&[]),
+        );
         assert!(result.is_empty());
     }
 }

@@ -50,5 +50,7 @@ mod trace;
 
 pub use adversary::{honest_adversary, Adversary, HonestAdversary};
 pub use network::{Network, RunReport};
-pub use protocol::{ByzantineMessage, Delivery, EchoOnce, NodeContext, Outgoing, Protocol};
+pub use protocol::{
+    ByzantineMessage, Delivery, EchoOnce, Inbox, InboxIter, NodeContext, Outgoing, Protocol,
+};
 pub use trace::{RoundStats, Trace, TraceSummary};

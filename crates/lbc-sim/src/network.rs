@@ -1,10 +1,10 @@
 //! The synchronous network engine.
 
 use lbc_graph::Graph;
-use lbc_model::{CommModel, NodeId, NodeSet, Round, SharedPathArena, Value};
+use lbc_model::{CommModel, NodeId, NodeSet, Round, SharedFloodLedger, SharedPathArena, Value};
 
 use crate::adversary::Adversary;
-use crate::protocol::{Delivery, NodeContext, Outgoing, Protocol};
+use crate::protocol::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
 use crate::trace::{RoundStats, Trace};
 
 /// The result of running a simulation.
@@ -41,6 +41,8 @@ pub struct Network<P: Protocol> {
     nodes: Vec<P>,
     /// The execution-wide path-interning arena shared by all nodes.
     arena: SharedPathArena,
+    /// The execution-wide shared flood ledger (broadcast-once records).
+    ledger: SharedFloodLedger,
 }
 
 impl<P: Protocol> Network<P> {
@@ -73,6 +75,7 @@ impl<P: Protocol> Network<P> {
             f,
             nodes,
             arena: SharedPathArena::new(),
+            ledger: SharedFloodLedger::new(),
         }
     }
 
@@ -115,22 +118,26 @@ impl<P: Protocol> Network<P> {
     {
         let mut trace = Trace::new();
 
-        // Per-node inbox buffers, allocated once and reused across rounds:
-        // `deliver` clears each inner vector but keeps its capacity, so the
-        // steady state of a long run performs no inbox allocations at all.
-        let mut inboxes: Vec<Vec<Delivery<P::Message>>> = vec![Vec::new(); self.nodes.len()];
+        // Zero-clone delivery state, allocated once and reused across
+        // rounds: a round's transmissions live exactly once in `buffer`, and
+        // each node's inbox is a list of `u32` slots into it. Delivering a
+        // broadcast to `deg(sender)` neighbors pushes indices, not message
+        // clones, so the per-round delivery cost no longer scales with the
+        // message size at all.
+        let mut buffer: Vec<Delivery<P::Message>> = Vec::new();
+        let mut slots: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
 
         // Start-of-execution transmissions.
-        let mut pending = self.collect_outgoing(adversary, None, &inboxes);
+        let mut pending = self.collect_outgoing(adversary, None, &buffer, &slots);
 
         for round_index in 0..max_rounds {
             if self.all_non_faulty_terminated() {
                 break;
             }
             let round = Round::new(round_index as u64);
-            let stats = self.deliver(&pending, &mut inboxes);
+            let stats = self.deliver(pending, &mut buffer, &mut slots);
             trace.push_round(stats);
-            pending = self.collect_outgoing(adversary, Some(round), &inboxes);
+            pending = self.collect_outgoing(adversary, Some(round), &buffer, &slots);
         }
 
         let outputs = self.nodes.iter().map(Protocol::output).collect();
@@ -155,7 +162,8 @@ impl<P: Protocol> Network<P> {
         &mut self,
         adversary: &mut A,
         round: Option<Round>,
-        inboxes: &[Vec<Delivery<P::Message>>],
+        buffer: &[Delivery<P::Message>],
+        slots: &[Vec<u32>],
     ) -> Vec<Vec<Outgoing<P::Message>>>
     where
         A: Adversary<P::Message>,
@@ -168,13 +176,15 @@ impl<P: Protocol> Network<P> {
                 graph: &self.graph,
                 f: self.f,
                 arena: &self.arena,
+                ledger: &self.ledger,
             };
+            let inbox = Inbox::indexed(buffer, &slots[v]);
             let honest = match round {
                 None => node.on_start(&ctx),
-                Some(r) => node.on_round(&ctx, r, &inboxes[v]),
+                Some(r) => node.on_round(&ctx, r, inbox),
             };
             let outgoing = if self.faulty.contains(id) {
-                adversary.intercept(&ctx, round, honest, &inboxes[v])
+                adversary.intercept(&ctx, round, honest, inbox)
             } else {
                 honest
             };
@@ -183,59 +193,55 @@ impl<P: Protocol> Network<P> {
         all_outgoing
     }
 
-    /// Applies the communication model to the pending transmissions and
-    /// fills each node's inbox for the next round in the caller-owned
-    /// buffers, returning the round's statistics.
+    /// Applies the communication model to the pending transmissions: moves
+    /// each message **once** into the shared round buffer and fills each
+    /// node's inbox with slot indices, returning the round's statistics.
+    /// No message is ever cloned, no matter how many neighbors receive it.
     ///
     /// Deliveries are ordered by sender id and, per sender, by transmission
     /// order (FIFO links).
     fn deliver(
         &self,
-        pending: &[Vec<Outgoing<P::Message>>],
-        inboxes: &mut [Vec<Delivery<P::Message>>],
+        pending: Vec<Vec<Outgoing<P::Message>>>,
+        buffer: &mut Vec<Delivery<P::Message>>,
+        slots: &mut [Vec<u32>],
     ) -> RoundStats {
-        for inbox in inboxes.iter_mut() {
+        buffer.clear();
+        for inbox in slots.iter_mut() {
             inbox.clear();
         }
         let mut stats = RoundStats::default();
-        for (sender_index, sender_pending) in pending.iter().enumerate() {
+        for (sender_index, sender_pending) in pending.into_iter().enumerate() {
             let sender = NodeId::new(sender_index);
             let can_equivocate = self.model.allows_equivocation(sender);
             for outgoing in sender_pending {
                 stats.transmissions += 1;
+                let slot = u32::try_from(buffer.len()).expect("round buffer overflow");
                 match outgoing {
-                    Outgoing::Broadcast(message) => {
-                        for neighbor in self.graph.neighbors(sender) {
-                            inboxes[neighbor.index()].push(Delivery {
+                    Outgoing::Unicast(target, message) if can_equivocate => {
+                        // Point-to-point semantics: only the addressed
+                        // neighbor receives the message (and only if it
+                        // actually is a neighbor).
+                        if self.graph.has_edge(sender, target) {
+                            buffer.push(Delivery {
                                 from: sender,
-                                message: message.clone(),
+                                message,
                             });
+                            slots[target.index()].push(slot);
                             stats.deliveries += 1;
                         }
                     }
-                    Outgoing::Unicast(target, message) => {
-                        if can_equivocate {
-                            // Point-to-point semantics: only the addressed
-                            // neighbor receives the message (and only if it
-                            // actually is a neighbor).
-                            if self.graph.has_edge(sender, *target) {
-                                inboxes[target.index()].push(Delivery {
-                                    from: sender,
-                                    message: message.clone(),
-                                });
-                                stats.deliveries += 1;
-                            }
-                        } else {
-                            // Local broadcast physics: the transmission is
-                            // overheard by every neighbor, regardless of the
-                            // intended addressee.
-                            for neighbor in self.graph.neighbors(sender) {
-                                inboxes[neighbor.index()].push(Delivery {
-                                    from: sender,
-                                    message: message.clone(),
-                                });
-                                stats.deliveries += 1;
-                            }
+                    Outgoing::Broadcast(message) | Outgoing::Unicast(_, message) => {
+                        // Local broadcast physics: the transmission is
+                        // overheard by every neighbor, regardless of any
+                        // intended addressee.
+                        buffer.push(Delivery {
+                            from: sender,
+                            message,
+                        });
+                        for neighbor in self.graph.neighbors(sender) {
+                            slots[neighbor.index()].push(slot);
+                            stats.deliveries += 1;
                         }
                     }
                 }
@@ -313,7 +319,7 @@ mod tests {
             &mut self,
             _ctx: &NodeContext<'_>,
             _round: Round,
-            _inbox: &[Delivery<Value>],
+            _inbox: Inbox<'_, Value>,
         ) -> Vec<Outgoing<Value>> {
             self.done = true;
             Vec::new()
@@ -346,9 +352,9 @@ mod tests {
             &mut self,
             _ctx: &NodeContext<'_>,
             _round: Round,
-            inbox: &[Delivery<Value>],
+            inbox: Inbox<'_, Value>,
         ) -> Vec<Outgoing<Value>> {
-            for d in inbox {
+            for d in inbox.iter() {
                 self.heard.push((d.from, d.message));
             }
             self.done = true;
@@ -387,7 +393,7 @@ mod tests {
             &mut self,
             ctx: &NodeContext<'_>,
             round: Round,
-            inbox: &[Delivery<Value>],
+            inbox: Inbox<'_, Value>,
         ) -> Vec<Outgoing<Value>> {
             match self {
                 Probe::Split(p) => p.on_round(ctx, round, inbox),
@@ -482,7 +488,7 @@ mod tests {
         let mut silence = |_ctx: &NodeContext<'_>,
                            _round: Option<Round>,
                            _honest: Vec<Outgoing<Value>>,
-                           _inbox: &[Delivery<Value>]| Vec::new();
+                           _inbox: Inbox<'_, Value>| Vec::new();
         let report = network.run(&mut silence, 5);
         assert!(report.all_non_faulty_terminated);
         // Nodes 1 and 2 hear only each other (the faulty node sent nothing).
@@ -525,7 +531,7 @@ mod tests {
                 &mut self,
                 _ctx: &NodeContext<'_>,
                 _round: Round,
-                _inbox: &[Delivery<Value>],
+                _inbox: Inbox<'_, Value>,
             ) -> Vec<Outgoing<Value>> {
                 self.done = true;
                 Vec::new()

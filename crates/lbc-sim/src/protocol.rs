@@ -3,15 +3,17 @@
 use std::fmt::Debug;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, NodeSet, Round, SharedPathArena, Value};
+use lbc_model::{NodeId, NodeSet, Round, SharedFloodLedger, SharedPathArena, Value};
 
 /// Static, per-node context handed to every protocol hook.
 ///
 /// Every node knows the communication graph `G` (a standing assumption of
 /// the paper), its own identity, and the declared fault tolerance. The
 /// context also carries the execution's shared [`SharedPathArena`], against
-/// which message `PathId`s are interned and resolved — the simulator owns
-/// one arena per run and every node's flood state indexes into it.
+/// which message `PathId`s are interned and resolved, and the shared
+/// [`SharedFloodLedger`] — the broadcast-once flood fabric the ledger-backed
+/// flood engines collapse their per-node state into. The simulator owns one
+/// arena and one ledger per run.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeContext<'a> {
     /// This node's identifier.
@@ -22,6 +24,8 @@ pub struct NodeContext<'a> {
     pub f: usize,
     /// The execution-wide path-interning arena.
     pub arena: &'a SharedPathArena,
+    /// The execution-wide shared flood ledger.
+    pub ledger: &'a SharedFloodLedger,
 }
 
 impl<'a> NodeContext<'a> {
@@ -71,6 +75,178 @@ pub struct Delivery<M> {
     pub message: M,
 }
 
+/// A zero-clone view over the messages delivered to one node this round.
+///
+/// The round's transmissions live **once** in the network's round buffer;
+/// an inbox addresses one node's deliveries either directly (a plain slice,
+/// used by tests and standalone flood drivers) or as indices into the shared
+/// buffer (the simulator's delivery path, which therefore never clones a
+/// message per neighbor — under local broadcast a single broadcast used to
+/// be cloned `deg(sender)` times).
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    buffer: &'a [Delivery<M>],
+    slots: InboxSlots<'a>,
+}
+
+// Manual impls: an inbox is two shared references, copyable regardless of
+// whether `M` itself is (the derive would demand `M: Copy`).
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Inbox<'_, M> {}
+
+#[derive(Debug, Clone, Copy)]
+enum InboxSlots<'a> {
+    /// The node's deliveries are exactly the buffer.
+    All,
+    /// Indices into the shared round buffer, in delivery order.
+    Indexed(&'a [u32]),
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// An inbox whose deliveries are exactly `deliveries`, in order.
+    #[must_use]
+    pub fn direct(deliveries: &'a [Delivery<M>]) -> Self {
+        Inbox {
+            buffer: deliveries,
+            slots: InboxSlots::All,
+        }
+    }
+
+    /// An inbox of `slots` indices into the shared round `buffer`.
+    #[must_use]
+    pub fn indexed(buffer: &'a [Delivery<M>], slots: &'a [u32]) -> Self {
+        Inbox {
+            buffer,
+            slots: InboxSlots::Indexed(slots),
+        }
+    }
+
+    /// Number of deliveries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self.slots {
+            InboxSlots::All => self.buffer.len(),
+            InboxSlots::Indexed(slots) => slots.len(),
+        }
+    }
+
+    /// Whether nothing was delivered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the deliveries in delivery order.
+    #[must_use]
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        match self.slots {
+            InboxSlots::All => InboxIter::All(self.buffer.iter()),
+            InboxSlots::Indexed(slots) => InboxIter::Indexed {
+                buffer: self.buffer,
+                slots: slots.iter(),
+            },
+        }
+    }
+
+    /// Iterates `(slot, delivery)` pairs, where `slot` identifies the
+    /// transmission in the round's shared buffer. Every receiver of the same
+    /// broadcast sees the same slot, which is what lets shared-fabric
+    /// consumers cache per-broadcast work by slot for the round (see
+    /// `lbc_model::FloodLedger`). For a [`Inbox::direct`] inbox the slot is
+    /// the position in the slice — only unique within that inbox, so
+    /// slot-keyed caches must verify before trusting an entry.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (u32, &'a Delivery<M>)> + use<'a, M> {
+        let buffer = self.buffer;
+        match self.slots {
+            InboxSlots::All => IndexedIter::All(buffer.iter().enumerate()),
+            InboxSlots::Indexed(slots) => IndexedIter::Indexed {
+                buffer,
+                slots: slots.iter(),
+            },
+        }
+    }
+}
+
+enum IndexedIter<'a, M> {
+    All(std::iter::Enumerate<std::slice::Iter<'a, Delivery<M>>>),
+    Indexed {
+        buffer: &'a [Delivery<M>],
+        slots: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a, M> Iterator for IndexedIter<'a, M> {
+    type Item = (u32, &'a Delivery<M>);
+
+    fn next(&mut self) -> Option<(u32, &'a Delivery<M>)> {
+        match self {
+            IndexedIter::All(iter) => iter
+                .next()
+                .map(|(position, delivery)| (position as u32, delivery)),
+            IndexedIter::Indexed { buffer, slots } => {
+                slots.next().map(|&slot| (slot, &buffer[slot as usize]))
+            }
+        }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = &'a Delivery<M>;
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = &'a Delivery<M>;
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`]'s deliveries.
+#[derive(Debug)]
+pub enum InboxIter<'a, M> {
+    /// Direct slice iteration.
+    All(std::slice::Iter<'a, Delivery<M>>),
+    /// Indexed iteration through the shared round buffer.
+    Indexed {
+        /// The shared round buffer.
+        buffer: &'a [Delivery<M>],
+        /// Remaining slot indices.
+        slots: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = &'a Delivery<M>;
+
+    fn next(&mut self) -> Option<&'a Delivery<M>> {
+        match self {
+            InboxIter::All(iter) => iter.next(),
+            InboxIter::Indexed { buffer, slots } => {
+                slots.next().map(|&slot| &buffer[slot as usize])
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            InboxIter::All(iter) => iter.size_hint(),
+            InboxIter::Indexed { slots, .. } => slots.size_hint(),
+        }
+    }
+}
+
 /// A node-local protocol executed by the simulator in synchronous rounds.
 ///
 /// The round structure is: `on_start` runs before round 0 and returns the
@@ -91,7 +267,7 @@ pub trait Protocol {
         &mut self,
         ctx: &NodeContext<'_>,
         round: Round,
-        inbox: &[Delivery<Self::Message>],
+        inbox: Inbox<'_, Self::Message>,
     ) -> Vec<Outgoing<Self::Message>>;
 
     /// The decided output, once the node has decided.
@@ -156,9 +332,9 @@ impl Protocol for EchoOnce {
         &mut self,
         _ctx: &NodeContext<'_>,
         _round: Round,
-        inbox: &[Delivery<Value>],
+        inbox: Inbox<'_, Value>,
     ) -> Vec<Outgoing<Value>> {
-        for delivery in inbox {
+        for delivery in inbox.iter() {
             self.echoed.push((delivery.from, delivery.message));
         }
         self.decided = Some(self.input);
@@ -185,11 +361,13 @@ mod tests {
     fn node_context_exposes_graph_facts() {
         let graph = generators::cycle(5);
         let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
         let ctx = NodeContext {
             id: NodeId::new(2),
             graph: &graph,
             f: 1,
             arena: &arena,
+            ledger: &ledger,
         };
         assert_eq!(ctx.n(), 5);
         assert_eq!(ctx.neighbors().len(), 2);
@@ -214,11 +392,13 @@ mod tests {
     fn echo_once_decides_its_own_input() {
         let graph = generators::complete(3);
         let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
         let ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
             f: 0,
             arena: &arena,
+            ledger: &ledger,
         };
         let mut node = EchoOnce::new(Value::One);
         assert!(!node.has_terminated());
@@ -227,10 +407,10 @@ mod tests {
         let _ = node.on_round(
             &ctx,
             Round::ZERO,
-            &[Delivery {
+            Inbox::direct(&[Delivery {
                 from: NodeId::new(1),
                 message: Value::Zero,
-            }],
+            }]),
         );
         assert_eq!(node.output(), Some(Value::One));
         assert_eq!(node.heard(), &[(NodeId::new(1), Value::Zero)]);

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_baseline.json: runs the baseline bench targets (the two
+# Regenerates a bench baseline file: runs the baseline bench targets (the
 # flood-engine benches plus the feasibility sweep) and aggregates the
-# criterion-shim JSON records into one file at the workspace root.
+# criterion-shim JSON records — including naive/per-node/ledger speedup
+# triples — into one file at the workspace root.
+#
+#   scripts/bench_baseline.sh              # writes BENCH_baseline.json
+#   scripts/bench_baseline.sh BENCH_pr3.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+OUT_FILE="${1:-BENCH_baseline.json}"
 
 # Absolute path: cargo runs bench binaries with the package directory as
 # their working directory, so a relative path would scatter the records.
@@ -11,4 +17,4 @@ export LBC_BENCH_OUT="${LBC_BENCH_OUT:-$(pwd)/target/lbc-bench}"
 rm -rf "$LBC_BENCH_OUT"
 
 cargo bench -p lbc-bench --bench fig1a_cycle --bench reliable_receive --bench threshold_sweep
-cargo run --release -p lbc-bench --bin bench_baseline
+cargo run --release -p lbc-bench --bin bench_baseline -- "$OUT_FILE"

@@ -16,6 +16,15 @@ cargo build --release --bin lbc
 ./target/release/lbc campaign examples/campaigns/smoke.json --strict --workers 4 --out "$OUT/w4" --quiet
 cmp "$OUT/w1/smoke.report.json" "$OUT/w4/smoke.report.json"
 
+# Self-diff smoke: the cell-by-cell comparator must call byte-identical
+# reports clean, and must exit non-zero on a fabricated verdict regression.
+./target/release/lbc campaign diff "$OUT/w1/smoke.report.json" "$OUT/w4/smoke.report.json"
+sed 's/"correct": true/"correct": false/' "$OUT/w1/smoke.report.json" > "$OUT/regressed.json"
+if ./target/release/lbc campaign diff "$OUT/w1/smoke.report.json" "$OUT/regressed.json" > /dev/null 2>&1; then
+  echo "campaign diff failed to flag a verdict regression" >&2
+  exit 1
+fi
+
 ./target/release/lbc campaign examples/campaigns/e1_fig1a.json --strict --out "$OUT" --quiet
 
-echo "campaign smoke OK: strict verdicts + byte-identical reports across worker counts"
+echo "campaign smoke OK: strict verdicts + byte-identical reports + self-diff across worker counts"

@@ -11,6 +11,9 @@
 //!                                  expand and execute a campaign spec, writing
 //!                                  <name>.report.json (canonical, deterministic)
 //!                                  and <name>.report.csv (with wall times)
+//! lbc campaign diff <old.json> <new.json>
+//!                                  compare two canonical reports cell-by-cell;
+//!                                  exit non-zero on verdict regressions
 //! lbc graphs                       list the built-in graph names
 //! ```
 //!
@@ -23,7 +26,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use lbc_campaign::{run_scenarios, CampaignSpec};
+use lbc_campaign::{diff_report_texts, run_scenarios, CampaignSpec};
 use local_broadcast_consensus::experiments;
 use local_broadcast_consensus::prelude::*;
 
@@ -69,9 +72,50 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]\n  lbc campaign diff <old.report.json> <new.report.json>\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
     );
     ExitCode::from(2)
+}
+
+/// `lbc campaign diff <old.json> <new.json>`
+///
+/// Compares two canonical reports cell-by-cell (scenarios matched by full
+/// identity) and prints every difference. Exit code 1 when any scenario
+/// regresses from correct to incorrect; other changes (rounds, added or
+/// removed scenarios, incorrect→correct) are informational.
+fn cmd_campaign_diff(args: &[String]) -> ExitCode {
+    let (Some(old_path), Some(new_path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let old = match fs::read_to_string(old_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {old_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new = match fs::read_to_string(new_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {new_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match diff_report_texts(&old, &new) {
+        Ok(diff) => {
+            print!("{}", diff.render());
+            if diff.has_regressions() {
+                eprintln!("verdict regressions detected");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -264,6 +308,9 @@ fn cmd_experiments(args: &[String]) -> ExitCode {
 /// and prints the rollup summary. With `--strict` the exit code is
 /// non-zero when any scenario violates a consensus condition.
 fn cmd_campaign(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("diff") {
+        return cmd_campaign_diff(&args[1..]);
+    }
     let Some(spec_path) = args.first() else {
         return usage();
     };
