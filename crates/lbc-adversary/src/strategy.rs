@@ -4,6 +4,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use lbc_model::json::{u64_from_number_or_string, FromJson, Json, JsonError, ToJson};
 use lbc_model::Round;
 use lbc_sim::{Adversary, ByzantineMessage, Inbox, NodeContext, Outgoing};
 
@@ -95,6 +96,174 @@ impl Strategy {
             Strategy::Random { .. } => "random",
             Strategy::SleeperTamper { .. } => "sleeper-tamper",
         }
+    }
+
+    /// A coarse complexity rank used by minimization: lower ranks are
+    /// "simpler" explanations of a failure. Shrinking a counterexample only
+    /// ever replaces a strategy with one of strictly lower rank, so the
+    /// minimized strategy is the least contrived misbehaviour that still
+    /// breaks the run.
+    #[must_use]
+    pub fn complexity_rank(&self) -> u8 {
+        match self {
+            Strategy::Honest => 0,
+            Strategy::Silent => 1,
+            Strategy::TamperAll => 2,
+            Strategy::TamperRelays => 3,
+            Strategy::CrashAfter(_) => 4,
+            Strategy::Equivocate => 5,
+            Strategy::SleeperTamper { .. } => 6,
+            Strategy::Random { .. } => 7,
+        }
+    }
+
+    /// The local mutation neighborhood of this strategy: parameter tweaks
+    /// (crash round ±1, sleeper prefix ±1, RNG reseed) plus a few kind
+    /// switches. The list is deterministic for a given `(self, seed)`, so a
+    /// seeded search exploring it stays reproducible; `seed` feeds the
+    /// reseeded/random variants only.
+    #[must_use]
+    pub fn mutations(&self, seed: u64) -> Vec<Strategy> {
+        match self {
+            Strategy::Honest => vec![
+                Strategy::Silent,
+                Strategy::TamperAll,
+                Strategy::Equivocate,
+                Strategy::Random { seed },
+            ],
+            Strategy::Silent => vec![
+                Strategy::CrashAfter(1),
+                Strategy::CrashAfter(2),
+                Strategy::TamperAll,
+                Strategy::Random { seed },
+            ],
+            Strategy::CrashAfter(round) => vec![
+                Strategy::CrashAfter(round + 1),
+                Strategy::CrashAfter(round.saturating_sub(1)),
+                Strategy::Silent,
+                Strategy::SleeperTamper {
+                    honest_rounds: *round,
+                },
+            ],
+            Strategy::TamperAll => vec![
+                Strategy::TamperRelays,
+                Strategy::Equivocate,
+                Strategy::SleeperTamper { honest_rounds: 2 },
+                Strategy::Random { seed },
+            ],
+            Strategy::TamperRelays => vec![
+                Strategy::TamperAll,
+                Strategy::Equivocate,
+                Strategy::Silent,
+                Strategy::Random { seed },
+            ],
+            Strategy::Equivocate => vec![
+                Strategy::TamperAll,
+                Strategy::TamperRelays,
+                Strategy::Silent,
+                Strategy::Random { seed },
+            ],
+            Strategy::Random { seed: current } => vec![
+                Strategy::Random {
+                    seed: current.rotate_left(17) ^ seed,
+                },
+                Strategy::TamperAll,
+                Strategy::Silent,
+                Strategy::Equivocate,
+            ],
+            Strategy::SleeperTamper { honest_rounds } => vec![
+                Strategy::SleeperTamper {
+                    honest_rounds: honest_rounds + 1,
+                },
+                Strategy::SleeperTamper {
+                    honest_rounds: honest_rounds.saturating_sub(1),
+                },
+                Strategy::TamperAll,
+                Strategy::CrashAfter(*honest_rounds),
+            ],
+        }
+    }
+
+    /// Strictly simpler strategies worth trying when shrinking a
+    /// counterexample, most aggressive simplification first. Every entry has
+    /// a lower [`Strategy::complexity_rank`] than `self` (so minimization
+    /// terminates), and [`Strategy::Honest`] is excluded — an honest
+    /// "adversary" cannot witness a violation.
+    #[must_use]
+    pub fn simplifications(&self) -> Vec<Strategy> {
+        let rank = self.complexity_rank();
+        [
+            Strategy::Silent,
+            Strategy::TamperAll,
+            Strategy::TamperRelays,
+            Strategy::CrashAfter(2),
+            Strategy::Equivocate,
+        ]
+        .into_iter()
+        .filter(|candidate| candidate.complexity_rank() < rank)
+        .collect()
+    }
+}
+
+impl ToJson for Strategy {
+    /// Serializes to the same schema campaign specs use for strategies, so a
+    /// concrete strategy can be embedded verbatim in a replayable spec
+    /// fragment. Random seeds are emitted as **strings**: derived seeds use
+    /// all 64 bits, which a JSON `f64` number would silently round.
+    fn to_json(&self) -> Json {
+        match self {
+            Strategy::CrashAfter(round) => Json::object([
+                ("kind", Json::Str("crash-after".to_string())),
+                ("round", round.to_json()),
+            ]),
+            Strategy::Random { seed } => Json::object([
+                ("kind", Json::Str("random".to_string())),
+                ("seed", Json::Str(seed.to_string())),
+            ]),
+            Strategy::SleeperTamper { honest_rounds } => Json::object([
+                ("kind", Json::Str("sleeper".to_string())),
+                ("honest-rounds", honest_rounds.to_json()),
+            ]),
+            plain => Json::Str(plain.name().to_string()),
+        }
+    }
+}
+
+impl FromJson for Strategy {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = value
+            .as_str()
+            .or_else(|| value.get("kind").and_then(Json::as_str))
+            .ok_or_else(|| JsonError {
+                message: "strategy must be a name or an object with 'kind'".to_string(),
+            })?;
+        Ok(match kind {
+            "honest" => Strategy::Honest,
+            "silent" => Strategy::Silent,
+            "tamper-all" => Strategy::TamperAll,
+            "tamper-relays" => Strategy::TamperRelays,
+            "equivocate" => Strategy::Equivocate,
+            "crash-after" => Strategy::CrashAfter(
+                value
+                    .get("round")
+                    .map_or(Ok(2), u64_from_number_or_string)?,
+            ),
+            "random" => Strategy::Random {
+                seed: u64_from_number_or_string(value.get("seed").ok_or_else(|| JsonError {
+                    message: "a concrete random strategy requires 'seed'".to_string(),
+                })?)?,
+            },
+            "sleeper" | "sleeper-tamper" => Strategy::SleeperTamper {
+                honest_rounds: value
+                    .get("honest-rounds")
+                    .map_or(Ok(3), u64_from_number_or_string)?,
+            },
+            other => {
+                return Err(JsonError {
+                    message: format!("unknown strategy '{other}'"),
+                })
+            }
+        })
     }
 }
 
@@ -377,6 +546,59 @@ mod tests {
             Inbox::direct(&[]),
         );
         assert_eq!(late, vec![Outgoing::Broadcast(Value::Zero)]);
+    }
+
+    #[test]
+    fn mutations_are_deterministic_and_self_free() {
+        for strategy in Strategy::all(7) {
+            let a = strategy.mutations(99);
+            let b = strategy.mutations(99);
+            assert_eq!(a, b, "mutations of {strategy:?} must be deterministic");
+            assert!(!a.is_empty());
+            assert!(
+                a.iter().all(|m| m != &strategy),
+                "{strategy:?} mutated into itself"
+            );
+        }
+        // Different seeds reseed the random variants.
+        let reseeded_a = Strategy::Random { seed: 5 }.mutations(1);
+        let reseeded_b = Strategy::Random { seed: 5 }.mutations(2);
+        assert_ne!(reseeded_a[0], reseeded_b[0]);
+    }
+
+    #[test]
+    fn simplifications_strictly_descend_in_rank() {
+        for strategy in Strategy::all(7) {
+            for simpler in strategy.simplifications() {
+                assert!(
+                    simpler.complexity_rank() < strategy.complexity_rank(),
+                    "{simpler:?} is not simpler than {strategy:?}"
+                );
+                assert_ne!(simpler, Strategy::Honest);
+            }
+        }
+        assert!(Strategy::Silent.simplifications().is_empty());
+        assert!(!Strategy::Random { seed: 3 }.simplifications().is_empty());
+    }
+
+    #[test]
+    fn strategy_json_roundtrips_with_full_seed_fidelity() {
+        // A seed above 2^53 would be rounded by a JSON f64 number; the
+        // string form must carry it exactly.
+        let mut catalogue = Strategy::all(u64::MAX - 12345);
+        catalogue.push(Strategy::CrashAfter(9));
+        catalogue.push(Strategy::SleeperTamper { honest_rounds: 0 });
+        for strategy in catalogue {
+            let text = strategy.to_json().to_string();
+            let back = Strategy::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, strategy, "round-trip failed for {text}");
+        }
+        // Numeric seeds are still accepted on input.
+        let numeric = Json::parse(r#"{"kind": "random", "seed": 7}"#).unwrap();
+        assert_eq!(
+            Strategy::from_json(&numeric).unwrap(),
+            Strategy::Random { seed: 7 }
+        );
     }
 
     #[test]

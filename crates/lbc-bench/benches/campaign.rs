@@ -59,6 +59,7 @@ fn bench_spec() -> CampaignSpec {
                 inputs: InputPolicy::Random { count: 2 },
             },
         ],
+        search: None,
     }
 }
 
@@ -98,6 +99,7 @@ fn bench(c: &mut Criterion) {
         name: "dense_n21_cycle_alg2".to_string(),
         seed: dense.seed,
         sweeps: vec![dense.sweeps[1].clone()],
+        search: None,
     };
     assert_eq!(cycle_alg2.sweeps[0].algorithms, [AlgorithmKind::Algorithm2]);
     let started = std::time::Instant::now();

@@ -1,4 +1,4 @@
-//! Cell-by-cell comparison of two canonical campaign reports.
+//! Cell-by-cell comparison of two canonical campaign (or search) reports.
 //!
 //! `lbc campaign diff <old.json> <new.json>` guards against silent
 //! regressions when the engines underneath the campaign executor change
@@ -10,6 +10,18 @@
 //! difference (round counts, transmissions, newly appearing or disappearing
 //! scenarios, even incorrect→correct flips) is reported but does not fail
 //! the diff.
+//!
+//! With `--cross-spec` ([`DiffOptions::cross_spec`]) scenarios are matched
+//! by their **coordinates** — the identity *without* the derived `seed` —
+//! so two reports produced by different spec revisions (renamed grids,
+//! added sweeps) still align cell-for-cell: added scenarios are tolerated
+//! silently and removed ones demoted to warnings.
+//!
+//! Canonical **search** reports diff too ([`diff_search_reports`]): cells
+//! are matched by `(graph, f, algorithm)` and a cell whose previously-found
+//! violation is no longer found (or whose counterexample disappeared) is a
+//! regression — the wall that keeps a refactor from quietly losing the
+//! ability to rediscover a known violation.
 
 use std::fmt::Write as _;
 
@@ -30,6 +42,16 @@ pub struct CellChange {
     pub regression: bool,
 }
 
+/// Options controlling how two reports are matched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffOptions {
+    /// Match scenarios by coordinates (identity without the derived `seed`)
+    /// instead of full grid identity, tolerate scenarios that only the new
+    /// report has, and demote removed scenarios to warnings. Use when the
+    /// two reports come from different revisions of a spec.
+    pub cross_spec: bool,
+}
+
 /// The outcome of comparing two canonical reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignDiff {
@@ -41,6 +63,8 @@ pub struct CampaignDiff {
     pub only_new: Vec<String>,
     /// Number of scenarios compared cell-by-cell.
     pub matched: usize,
+    /// The options the comparison ran under (affects rendering).
+    pub options: DiffOptions,
 }
 
 impl CampaignDiff {
@@ -57,7 +81,9 @@ impl CampaignDiff {
         self.changed.is_empty() && self.only_old.is_empty() && self.only_new.is_empty()
     }
 
-    /// A human-readable summary, one line per difference.
+    /// A human-readable summary, one line per difference. In cross-spec
+    /// mode removed scenarios render as warnings and added ones are
+    /// expected (a grown spec), so they are only counted.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -73,11 +99,18 @@ impl CampaignDiff {
                 change.scenario, change.cell, change.old, change.new
             );
         }
+        let removed_marker = if self.options.cross_spec {
+            "warning: removed"
+        } else {
+            "removed"
+        };
         for id in &self.only_old {
-            let _ = writeln!(out, "removed: {id}");
+            let _ = writeln!(out, "{removed_marker}: {id}");
         }
-        for id in &self.only_new {
-            let _ = writeln!(out, "added: {id}");
+        if !self.options.cross_spec {
+            for id in &self.only_new {
+                let _ = writeln!(out, "added: {id}");
+            }
         }
         let regressions = self.changed.iter().filter(|c| c.regression).count();
         let _ = writeln!(
@@ -106,15 +139,30 @@ const CELLS: [&str; 9] = [
     "deliveries",
 ];
 
-/// Compares two canonical reports parsed from their JSON text.
+/// Compares two canonical reports parsed from their JSON text, matching
+/// scenarios by full grid identity.
 ///
 /// # Errors
 ///
 /// Returns a message when either document is not a canonical campaign
 /// report (missing or malformed `records`).
 pub fn diff_reports(old: &Json, new: &Json) -> Result<CampaignDiff, String> {
-    let old_records = indexed_records(old, "old")?;
-    let new_records = indexed_records(new, "new")?;
+    diff_reports_with(old, new, DiffOptions::default())
+}
+
+/// Compares two canonical reports under the given matching options.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a canonical campaign
+/// report (missing or malformed `records`).
+pub fn diff_reports_with(
+    old: &Json,
+    new: &Json,
+    options: DiffOptions,
+) -> Result<CampaignDiff, String> {
+    let old_records = indexed_records(old, "old", options)?;
+    let new_records = indexed_records(new, "new", options)?;
     let new_by_identity: lbc_model::fx::FxHashMap<&str, &Json> = new_records
         .iter()
         .map(|(identity, record)| (identity.as_str(), *record))
@@ -124,7 +172,10 @@ pub fn diff_reports(old: &Json, new: &Json) -> Result<CampaignDiff, String> {
         .map(|(identity, _)| identity.as_str())
         .collect();
 
-    let mut diff = CampaignDiff::default();
+    let mut diff = CampaignDiff {
+        options,
+        ..CampaignDiff::default()
+    };
     for (identity, old_record) in &old_records {
         let Some(new_record) = new_by_identity.get(identity.as_str()) else {
             diff.only_old.push(identity.clone());
@@ -156,35 +207,205 @@ pub fn diff_reports(old: &Json, new: &Json) -> Result<CampaignDiff, String> {
     Ok(diff)
 }
 
-/// Convenience: parse both texts and diff.
+/// Convenience: parse both texts and diff, auto-detecting the report kind
+/// (a canonical search report carries a `cells` array, a campaign report a
+/// `records` array).
 ///
 /// # Errors
 ///
-/// Returns a message when either text fails to parse or is not a canonical
-/// report.
+/// Returns a message when either text fails to parse, the two documents are
+/// different report kinds, or neither is a canonical report.
 pub fn diff_report_texts(old: &str, new: &str) -> Result<CampaignDiff, String> {
+    diff_report_texts_with(old, new, DiffOptions::default())
+}
+
+/// Like [`diff_report_texts`], with explicit matching options.
+///
+/// # Errors
+///
+/// Same conditions as [`diff_report_texts`].
+pub fn diff_report_texts_with(
+    old: &str,
+    new: &str,
+    options: DiffOptions,
+) -> Result<CampaignDiff, String> {
     let old = Json::parse(old).map_err(|e| format!("old report: {e}"))?;
     let new = Json::parse(new).map_err(|e| format!("new report: {e}"))?;
-    diff_reports(&old, &new)
+    let is_search = |doc: &Json| doc.get("cells").is_some() && doc.get("records").is_none();
+    match (is_search(&old), is_search(&new)) {
+        (true, true) => diff_search_reports(&old, &new, options),
+        (false, false) => diff_reports_with(&old, &new, options),
+        _ => Err("cannot diff a search report against a campaign report".to_string()),
+    }
+}
+
+/// The per-cell result fields compared between two search reports.
+const SEARCH_CELLS: [&str; 3] = ["violation", "feasible", "counterexample_found"];
+
+/// Compares two canonical **search** reports cell-by-cell. Cells are
+/// matched by `(graph, f, algorithm)` coordinates (search cells have no
+/// derived seed in their identity, so the cross-spec option only affects
+/// how removed cells render). A cell whose previously-found violation is no
+/// longer found — or whose minimized counterexample disappeared — is a
+/// **regression**; severity shifts within the same verdict are reported as
+/// plain changes.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a canonical search report.
+pub fn diff_search_reports(
+    old: &Json,
+    new: &Json,
+    options: DiffOptions,
+) -> Result<CampaignDiff, String> {
+    let old_cells = indexed_search_cells(old, "old")?;
+    let new_cells = indexed_search_cells(new, "new")?;
+    let new_by_identity: lbc_model::fx::FxHashMap<&str, &Json> = new_cells
+        .iter()
+        .map(|(identity, cell)| (identity.as_str(), *cell))
+        .collect();
+    let old_identities: std::collections::HashSet<&str> = old_cells
+        .iter()
+        .map(|(identity, _)| identity.as_str())
+        .collect();
+
+    let flattened = |cell: &Json, field: &str| -> String {
+        match field {
+            "counterexample_found" => render_cell(Some(&Json::Bool(!matches!(
+                cell.get("counterexample"),
+                None | Some(Json::Null)
+            )))),
+            _ => render_cell(cell.get(field)),
+        }
+    };
+
+    let mut diff = CampaignDiff {
+        options,
+        ..CampaignDiff::default()
+    };
+    for (identity, old_cell) in &old_cells {
+        let Some(new_cell) = new_by_identity.get(identity.as_str()) else {
+            diff.only_old.push(identity.clone());
+            continue;
+        };
+        diff.matched += 1;
+        for field in SEARCH_CELLS {
+            let old_value = flattened(old_cell, field);
+            let new_value = flattened(new_cell, field);
+            if old_value != new_value {
+                // Losing a found violation (or its counterexample) is the
+                // regression; *gaining* one is the search getting stronger.
+                let regression = (field == "violation" || field == "counterexample_found")
+                    && old_value == "true"
+                    && new_value == "false";
+                diff.changed.push(CellChange {
+                    scenario: identity.clone(),
+                    cell: field.to_string(),
+                    old: old_value,
+                    new: new_value,
+                    regression,
+                });
+            }
+        }
+        // The violation *bitmask* is also walled: a qualitative downgrade
+        // (e.g. an agreement break, weight 4, replaced by a mere
+        // termination failure, weight 1) keeps the boolean `violation` flag
+        // true in both reports, yet the original violation was lost.
+        // Dissent/rounds/volume drifts are informational.
+        fn severity_path<'a>(cell: &'a Json, field: &str) -> Option<&'a Json> {
+            cell.get("best")
+                .and_then(|best| best.get("severity"))
+                .and_then(|severity| severity.get(field))
+        }
+        for severity_field in ["violation", "dissent", "rounds", "volume"] {
+            let old_raw = severity_path(old_cell, severity_field);
+            let new_raw = severity_path(new_cell, severity_field);
+            let old_value = render_cell(old_raw);
+            let new_value = render_cell(new_raw);
+            if old_value != new_value {
+                let regression = severity_field == "violation"
+                    && match (
+                        old_raw.and_then(Json::as_u64),
+                        new_raw.and_then(Json::as_u64),
+                    ) {
+                        (Some(old_mask), Some(new_mask)) => new_mask < old_mask && old_mask > 0,
+                        _ => false,
+                    };
+                diff.changed.push(CellChange {
+                    scenario: identity.clone(),
+                    cell: format!("severity.{severity_field}"),
+                    old: old_value,
+                    new: new_value,
+                    regression,
+                });
+            }
+        }
+    }
+    for (identity, _) in &new_cells {
+        if !old_identities.contains(identity.as_str()) {
+            diff.only_new.push(identity.clone());
+        }
+    }
+    Ok(diff)
+}
+
+/// Extracts `(identity, cell)` pairs from a canonical search report, in
+/// cell order, keyed by `(graph, f, algorithm)`.
+fn indexed_search_cells<'a>(
+    report: &'a Json,
+    label: &str,
+) -> Result<Vec<(String, &'a Json)>, String> {
+    let cells = report
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label} report: missing 'cells' array"))?;
+    let mut indexed = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let mut identity = String::new();
+        for field in ["graph", "f", "algorithm"] {
+            let value = cell
+                .get(field)
+                .ok_or_else(|| format!("{label} report: search cell missing '{field}'"))?;
+            let _ = write!(identity, "{}={} ", field, render_cell(Some(value)));
+        }
+        indexed.push((identity.trim_end().to_string(), cell));
+    }
+    Ok(indexed)
 }
 
 /// Extracts `(identity, record)` pairs from a canonical report, in record
 /// order. The identity covers every cell that determines the scenario, so
 /// two reports produced from the same spec (even by different engine
-/// versions) match record-for-record. Records with byte-identical
-/// identities (a spec can repeat a grid cell) are disambiguated by an
-/// occurrence counter, so a lost duplicate shows up as removed instead of
-/// silently aliasing onto its twin.
-fn indexed_records<'a>(report: &'a Json, label: &str) -> Result<Vec<(String, &'a Json)>, String> {
+/// versions) match record-for-record; in cross-spec mode the derived `seed`
+/// is excluded so reports from different spec revisions still align by
+/// coordinates. Records with byte-identical identities (a spec can repeat
+/// a grid cell) are disambiguated by an occurrence counter, so a lost
+/// duplicate shows up as removed instead of silently aliasing onto its
+/// twin.
+fn indexed_records<'a>(
+    report: &'a Json,
+    label: &str,
+    options: DiffOptions,
+) -> Result<Vec<(String, &'a Json)>, String> {
     let records = report
         .get("records")
         .and_then(Json::as_array)
         .ok_or_else(|| format!("{label} report: missing 'records' array"))?;
     let mut indexed: Vec<(String, &Json)> = Vec::with_capacity(records.len());
     let mut occurrences: lbc_model::fx::FxHashMap<String, usize> = Default::default();
-    for record in records {
-        let mut identity = String::new();
-        for field in [
+    let identity_fields: &[&str] = if options.cross_spec {
+        &[
+            "family",
+            "graph",
+            "n",
+            "f",
+            "algorithm",
+            "strategy",
+            "faulty",
+            "inputs",
+        ]
+    } else {
+        &[
             "family",
             "graph",
             "n",
@@ -194,7 +415,11 @@ fn indexed_records<'a>(report: &'a Json, label: &str) -> Result<Vec<(String, &'a
             "faulty",
             "inputs",
             "seed",
-        ] {
+        ]
+    };
+    for record in records {
+        let mut identity = String::new();
+        for &field in identity_fields {
             let value = record
                 .get(field)
                 .ok_or_else(|| format!("{label} report: record missing '{field}'"))?;
@@ -241,6 +466,7 @@ mod tests {
                 faults: FaultPolicy::Exhaustive,
                 inputs: InputPolicy::Alternating,
             }],
+            search: None,
         };
         let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
         Json::parse(&text).unwrap()
@@ -372,5 +598,148 @@ mod tests {
     fn malformed_reports_error() {
         assert!(diff_report_texts("{}", "{}").is_err());
         assert!(diff_report_texts("not json", "{}").is_err());
+        // Mixed report kinds are rejected, not silently mismatched.
+        assert!(diff_report_texts_with(
+            r#"{"cells": []}"#,
+            r#"{"records": []}"#,
+            DiffOptions::default()
+        )
+        .is_err());
+    }
+
+    /// Re-runs the sample spec with a different campaign seed: every derived
+    /// scenario seed changes, so the strict identity match finds nothing
+    /// while the cross-spec coordinate match aligns all cells.
+    #[test]
+    fn cross_spec_matches_by_coordinates_not_seed() {
+        let old = sample_report_json();
+        let reseeded = {
+            let spec = CampaignSpec {
+                name: "diff-unit".to_string(),
+                seed: 12, // the sample uses seed 11
+                sweeps: vec![SweepSpec {
+                    family: GraphFamily::Cycle,
+                    sizes: SizeSpec::List(vec![5]),
+                    f: FRange::exactly(1),
+                    algorithms: vec![AlgorithmKind::Algorithm1],
+                    strategies: vec![StrategySpec::TamperRelays],
+                    faults: FaultPolicy::Exhaustive,
+                    inputs: InputPolicy::Alternating,
+                }],
+                search: None,
+            };
+            let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
+            Json::parse(&text).unwrap()
+        };
+        let strict = diff_reports(&old, &reseeded).unwrap();
+        assert_eq!(strict.matched, 0, "derived seeds differ, nothing matches");
+        assert_eq!(strict.only_old.len(), 5);
+        let cross = diff_reports_with(&old, &reseeded, DiffOptions { cross_spec: true }).unwrap();
+        assert_eq!(cross.matched, 5);
+        assert!(cross.only_old.is_empty());
+        assert!(!cross.has_regressions());
+    }
+
+    #[test]
+    fn cross_spec_tolerates_added_grids_and_warns_on_removed_cells() {
+        let old = sample_report_json();
+        let mut grown = old.clone();
+        // Duplicate the records under fresh identities by renaming the graph
+        // (an added grid), and drop one original record (a removed cell).
+        if let Json::Obj(fields) = &mut grown {
+            for (key, value) in fields.iter_mut() {
+                if key == "records" {
+                    if let Json::Arr(records) = value {
+                        let mut added = records[0].clone();
+                        if let Json::Obj(record) = &mut added {
+                            for (record_key, record_value) in record.iter_mut() {
+                                if record_key == "graph" {
+                                    *record_value = Json::Str("C9".to_string());
+                                }
+                            }
+                        }
+                        records.pop();
+                        records.push(added);
+                    }
+                }
+            }
+        }
+        let cross = diff_reports_with(&old, &grown, DiffOptions { cross_spec: true }).unwrap();
+        assert_eq!(cross.matched, 4);
+        assert_eq!(cross.only_old.len(), 1);
+        assert_eq!(cross.only_new.len(), 1);
+        assert!(!cross.has_regressions());
+        let rendered = cross.render();
+        assert!(rendered.contains("warning: removed"), "{rendered}");
+        assert!(!rendered.contains("added: "), "{rendered}");
+    }
+
+    fn sample_search_report_json() -> Json {
+        let spec = CampaignSpec {
+            name: "search-diff-unit".to_string(),
+            seed: 3,
+            sweeps: vec![SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange { from: 1, to: 2 },
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                strategies: vec![StrategySpec::TamperRelays],
+                faults: FaultPolicy::WorstCase,
+                inputs: InputPolicy::Alternating,
+            }],
+            search: Some(crate::search::SearchSpec {
+                budget: 20,
+                beam: 2,
+                mutations: 2,
+                rounds: 1,
+            }),
+        };
+        let text = crate::run_search(&spec, 2).unwrap().to_json().to_string();
+        Json::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn search_self_diff_is_clean_and_lost_violations_regress() {
+        let report = sample_search_report_json();
+        let clean = diff_search_reports(&report, &report, DiffOptions::default()).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.matched, 2);
+
+        // Fabricate a lost violation: flip the f=2 cell's flag and null its
+        // counterexample.
+        let mut lost = report.clone();
+        if let Json::Obj(fields) = &mut lost {
+            for (key, value) in fields.iter_mut() {
+                if key == "cells" {
+                    if let Json::Arr(cells) = value {
+                        for cell in cells.iter_mut() {
+                            let Json::Obj(cell_fields) = cell else {
+                                panic!("cell is an object")
+                            };
+                            let violating = cell_fields
+                                .iter()
+                                .any(|(k, v)| k == "violation" && *v == Json::Bool(true));
+                            if !violating {
+                                continue;
+                            }
+                            for (cell_key, cell_value) in cell_fields.iter_mut() {
+                                if cell_key == "violation" {
+                                    *cell_value = Json::Bool(false);
+                                }
+                                if cell_key == "counterexample" {
+                                    *cell_value = Json::Null;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let diff = diff_search_reports(&report, &lost, DiffOptions::default()).unwrap();
+        assert!(diff.has_regressions(), "{}", diff.render());
+        // Gaining a violation is an improvement, not a regression.
+        let improved = diff_search_reports(&lost, &report, DiffOptions::default()).unwrap();
+        assert!(!improved.has_regressions());
+        assert!(!improved.is_clean());
     }
 }

@@ -31,8 +31,8 @@ use crate::spec::{CampaignSpec, Scenario, SpecError};
 /// cannot fail: every scenario produces a record (a scenario that exceeds
 /// its round budget simply records a non-terminating verdict).
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport, SpecError> {
-    let scenarios = spec.expand()?;
-    Ok(run_scenarios(spec, &scenarios, workers))
+    let (scenarios, notes) = spec.expand_noted()?;
+    Ok(run_scenarios_noted(spec, &scenarios, notes, workers))
 }
 
 /// Executes already-expanded scenarios (from [`CampaignSpec::expand`] on
@@ -45,8 +45,20 @@ pub fn run_scenarios(
     scenarios: &[Scenario],
     workers: usize,
 ) -> CampaignReport {
+    run_scenarios_noted(spec, scenarios, Vec::new(), workers)
+}
+
+/// Like [`run_scenarios`], but attaches the expansion notes from
+/// [`CampaignSpec::expand_noted`] to the report's metadata.
+#[must_use]
+pub fn run_scenarios_noted(
+    spec: &CampaignSpec,
+    scenarios: &[Scenario],
+    notes: Vec<String>,
+    workers: usize,
+) -> CampaignReport {
     let records = execute_scenarios(scenarios, workers);
-    CampaignReport::new(spec.name.clone(), spec.seed, records)
+    CampaignReport::with_notes(spec.name.clone(), spec.seed, notes, records)
 }
 
 /// Runs one scenario to completion and records the outcome.
@@ -145,6 +157,7 @@ mod tests {
                 faults: FaultPolicy::Exhaustive,
                 inputs: InputPolicy::Bits(0b01101),
             }],
+            search: None,
         }
     }
 

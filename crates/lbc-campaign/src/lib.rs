@@ -22,10 +22,17 @@
 //!   transmissions, deliveries, wall time) aggregated into a
 //!   [`CampaignReport`] with JSON and CSV writers plus summary rollups per
 //!   `(family, n, f, strategy)` group.
+//! * [`search`] — the per-cell **worst-case adversary search**
+//!   (`lbc search spec.json`): a budgeted, resumable beam search over the
+//!   joint strategy × fault-placement × input space of every
+//!   `(graph, f, algorithm)` cell, ranked by a [`Severity`] metric
+//!   (violation > dissent margin > rounds > volume), with greedy
+//!   counterexample minimization into replayable spec fragments.
 //! * [`diff`] — cell-by-cell comparison of two canonical reports
-//!   (`lbc campaign diff old.json new.json`), failing on verdict
-//!   regressions — the guard that lets the engines underneath change
-//!   (e.g. the shared flood fabric) without silently changing results.
+//!   (`lbc campaign diff old.json new.json`, campaign or search, optionally
+//!   `--cross-spec`), failing on verdict regressions and lost violations —
+//!   the guard that lets the engines underneath change (e.g. the shared
+//!   flood fabric) without silently changing results.
 //!
 //! ## Determinism contract
 //!
@@ -38,7 +45,10 @@
 //! *evaluate* scenarios; they contribute no randomness and no ordering.
 //! The canonical JSON report therefore contains no wall-clock fields — the
 //! measured `wall_micros` travels in the CSV rows and the stdout summary,
-//! which are explicitly outside the byte-identical contract.
+//! which are explicitly outside the byte-identical contract. The search
+//! engine extends the same contract with per-cell and per-round derived
+//! seeds, making its canonical report additionally stable under
+//! budget-resume (`lbc search --resume`).
 //!
 //! ## Example
 //!
@@ -79,11 +89,15 @@
 pub mod diff;
 pub mod executor;
 pub mod report;
+pub mod search;
 pub mod spec;
 
-pub use diff::{diff_report_texts, diff_reports, CampaignDiff, CellChange};
-pub use executor::{run_campaign, run_scenario, run_scenarios};
+pub use diff::{diff_report_texts, diff_reports, CampaignDiff, CellChange, DiffOptions};
+pub use executor::{run_campaign, run_scenario, run_scenarios, run_scenarios_noted};
 pub use report::{CampaignReport, RollupRow, ScenarioRecord};
+pub use search::{
+    run_search, run_search_resumed, CellOutcome, Counterexample, SearchReport, SearchSpec, Severity,
+};
 pub use spec::{
     CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, Scenario, SizeSpec, SpecError,
     StrategySpec, SweepSpec,

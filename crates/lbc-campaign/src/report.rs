@@ -136,17 +136,32 @@ impl RollupRow {
 pub struct CampaignReport {
     name: String,
     seed: u64,
+    notes: Vec<String>,
     records: Vec<ScenarioRecord>,
 }
 
 impl CampaignReport {
     /// Assembles a report from executed records (already in expansion
-    /// order).
+    /// order) with no expansion notes.
     #[must_use]
     pub fn new(name: String, seed: u64, records: Vec<ScenarioRecord>) -> Self {
+        CampaignReport::with_notes(name, seed, Vec::new(), records)
+    }
+
+    /// Assembles a report carrying the expansion's policy-degradation notes
+    /// (e.g. a `random` fault policy that enumerated exhaustively because
+    /// its `count` covered the whole population).
+    #[must_use]
+    pub fn with_notes(
+        name: String,
+        seed: u64,
+        notes: Vec<String>,
+        records: Vec<ScenarioRecord>,
+    ) -> Self {
         CampaignReport {
             name,
             seed,
+            notes,
             records,
         }
     }
@@ -155,6 +170,13 @@ impl CampaignReport {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The expansion's policy-degradation notes (empty when every policy
+    /// behaved as declared).
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// The per-scenario records, in expansion order.
@@ -229,6 +251,10 @@ impl CampaignReport {
             ("seed", self.seed.to_json()),
             ("scenarios", self.records.len().to_json()),
             ("all_correct", Json::Bool(self.all_correct())),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(ToJson::to_json).collect()),
+            ),
             (
                 "rollups",
                 Json::Arr(

@@ -15,7 +15,7 @@ use lbc_adversary::Strategy;
 use lbc_consensus::{conditions, AlgorithmKind};
 use lbc_graph::{combinatorics, generators, Graph};
 use lbc_model::fx::FxHashSet;
-use lbc_model::json::{FromJson, Json, JsonError, ToJson};
+use lbc_model::json::{u64_from_number_or_string, FromJson, Json, JsonError, ToJson};
 use lbc_model::{CommModel, InputAssignment, NodeId, NodeSet};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -473,9 +473,12 @@ impl ToJson for StrategySpec {
                 ("kind", Json::Str("crash-after".to_string())),
                 ("round", round.to_json()),
             ]),
+            // Explicit seeds serialize as strings: derived seeds use all 64
+            // bits, which a JSON f64 number would silently round (and a
+            // replayed counterexample would then diverge).
             StrategySpec::Random { seed: Some(seed) } => Json::object([
                 ("kind", Json::Str("random".to_string())),
-                ("seed", seed.to_json()),
+                ("seed", Json::Str(seed.to_string())),
             ]),
             StrategySpec::Sleeper { honest_rounds } => Json::object([
                 ("kind", Json::Str("sleeper".to_string())),
@@ -504,7 +507,10 @@ impl FromJson for StrategySpec {
                 StrategySpec::CrashAfter(value.get("round").map_or(Ok(2), u64::from_json)?)
             }
             "random" => StrategySpec::Random {
-                seed: value.get("seed").map(u64::from_json).transpose()?,
+                seed: value
+                    .get("seed")
+                    .map(u64_from_number_or_string)
+                    .transpose()?,
             },
             "sleeper" | "sleeper-tamper" => StrategySpec::Sleeper {
                 honest_rounds: value.get("honest-rounds").map_or(Ok(3), u64::from_json)?,
@@ -525,8 +531,9 @@ impl FromJson for StrategySpec {
 /// How the faulty sets of a sweep cell `(graph, f)` are chosen.
 ///
 /// JSON: `{"policy": "exhaustive"}`, `{"policy": "random", "count": 3}`,
-/// `{"policy": "worst-case"}`, or
-/// `{"policy": "fixed", "sets": [[1], [0, 2]]}`.
+/// `{"policy": "worst-case"}`,
+/// `{"policy": "fixed", "sets": [[1], [0, 2]]}`, or
+/// `{"policy": "explicit", "sets": [[1]]}`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultPolicy {
     /// Every `C(n, f)` placement of exactly `f` faults
@@ -547,11 +554,19 @@ pub enum FaultPolicy {
     /// Explicit placements by node index; sets whose size differs from the
     /// cell's `f` are skipped, so one list serves a whole `f` range.
     Fixed(Vec<Vec<usize>>),
+    /// Explicit placements used verbatim as long as each set has at most
+    /// `f` nodes (an adversary may use fewer faults than the declared
+    /// bound). This is the policy minimized search counterexamples replay
+    /// under: the cell's `f` stays what the algorithm was configured with
+    /// while the shrunken fault set keeps its (smaller) size.
+    Explicit(Vec<Vec<usize>>),
 }
 
 impl FaultPolicy {
     /// The concrete fault placements for one `(graph, f)` cell, in
-    /// deterministic order.
+    /// deterministic order. Discards the policy-degradation note; campaign
+    /// expansion uses [`FaultPolicy::placements_noted`] so the note reaches
+    /// the report metadata.
     ///
     /// # Errors
     ///
@@ -563,6 +578,24 @@ impl FaultPolicy {
         f: usize,
         cell_seed: u64,
     ) -> Result<Vec<NodeSet>, SpecError> {
+        Ok(self.placements_noted(graph, f, cell_seed)?.0)
+    }
+
+    /// Like [`FaultPolicy::placements`], but also returns a note when the
+    /// policy silently degraded — today the one case is `random` with
+    /// `count >= C(n, f)`, which enumerates every placement exhaustively
+    /// instead of sampling. The note travels into the campaign report's
+    /// metadata so a reader can tell sampled cells from enumerated ones.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FaultPolicy::placements`].
+    pub fn placements_noted(
+        &self,
+        graph: &Graph,
+        f: usize,
+        cell_seed: u64,
+    ) -> Result<(Vec<NodeSet>, Option<String>), SpecError> {
         let n = graph.node_count();
         if f > n {
             return Err(SpecError::new(format!("f = {f} exceeds n = {n}")));
@@ -577,10 +610,13 @@ impl FaultPolicy {
                          (> {MAX_EXHAUSTIVE_PLACEMENTS}); use the random policy"
                     )));
                 }
-                Ok(combinatorics::subsets_of_size(&nodes, f)
-                    .into_iter()
-                    .map(|subset| subset.into_iter().collect())
-                    .collect())
+                Ok((
+                    combinatorics::subsets_of_size(&nodes, f)
+                        .into_iter()
+                        .map(|subset| subset.into_iter().collect())
+                        .collect(),
+                    None,
+                ))
             }
             FaultPolicy::Random { count } => {
                 if *count == 0 {
@@ -595,8 +631,17 @@ impl FaultPolicy {
                 let total = combinatorics::binomial(n, f);
                 if u128::try_from(*count).is_ok_and(|c| c >= total) {
                     if total <= MAX_EXHAUSTIVE_PLACEMENTS {
-                        // Asking for at least all of them: enumerate instead.
-                        return FaultPolicy::Exhaustive.placements(graph, f, cell_seed);
+                        // Asking for at least all of them: enumerate instead,
+                        // and say so — a report claiming `count` sampled
+                        // placements when the cell was actually enumerated
+                        // would misrepresent the coverage.
+                        let (all, _) =
+                            FaultPolicy::Exhaustive.placements_noted(graph, f, cell_seed)?;
+                        let note = format!(
+                            "random fault policy count {count} >= C({n}, {f}) = {total}: \
+                             enumerated all placements exhaustively instead of sampling"
+                        );
+                        return Ok((all, Some(note)));
                     }
                     return Err(SpecError::new(format!(
                         "random fault policy asks for {count} of {total} placements; \
@@ -619,7 +664,7 @@ impl FaultPolicy {
                         chosen.push(set);
                     }
                 }
-                Ok(chosen)
+                Ok((chosen, None))
             }
             FaultPolicy::WorstCase => {
                 let degree = |v: NodeId| graph.neighbors(v).count();
@@ -642,7 +687,7 @@ impl FaultPolicy {
                         "worst-case policy cannot place {f} faults on {n} nodes"
                     )));
                 }
-                Ok(vec![ranked.into_iter().take(f).collect()])
+                Ok((vec![ranked.into_iter().take(f).collect()], None))
             }
             FaultPolicy::Fixed(sets) => {
                 let mut placements = Vec::new();
@@ -662,7 +707,27 @@ impl FaultPolicy {
                         "fixed fault policy has no set of size f = {f}"
                     )));
                 }
-                Ok(placements)
+                Ok((placements, None))
+            }
+            FaultPolicy::Explicit(sets) => {
+                let mut placements = Vec::new();
+                for set in sets {
+                    if set.len() > f {
+                        return Err(SpecError::new(format!(
+                            "explicit fault set {set:?} has more than f = {f} nodes"
+                        )));
+                    }
+                    if set.iter().any(|&v| v >= n) {
+                        return Err(SpecError::new(format!(
+                            "explicit fault set {set:?} is out of range for n = {n}"
+                        )));
+                    }
+                    placements.push(set.iter().copied().map(NodeId::new).collect());
+                }
+                if placements.is_empty() {
+                    return Err(SpecError::new("explicit fault policy has no sets"));
+                }
+                Ok((placements, None))
             }
         }
     }
@@ -688,6 +753,13 @@ impl ToJson for FaultPolicy {
                     Json::Arr(sets.iter().map(ToJson::to_json).collect()),
                 ),
             ]),
+            FaultPolicy::Explicit(sets) => Json::object([
+                ("policy", Json::Str("explicit".to_string())),
+                (
+                    "sets",
+                    Json::Arr(sets.iter().map(ToJson::to_json).collect()),
+                ),
+            ]),
         }
     }
 }
@@ -708,17 +780,22 @@ impl FromJson for FaultPolicy {
                 })?)?,
             },
             "worst-case" => FaultPolicy::WorstCase,
-            "fixed" => FaultPolicy::Fixed(
-                value
+            "fixed" | "explicit" => {
+                let sets = value
                     .get("sets")
                     .and_then(Json::as_array)
                     .ok_or_else(|| JsonError {
-                        message: "fixed fault policy requires 'sets'".to_string(),
+                        message: format!("{policy} fault policy requires 'sets'"),
                     })?
                     .iter()
                     .map(Vec::<usize>::from_json)
-                    .collect::<Result<_, _>>()?,
-            ),
+                    .collect::<Result<_, _>>()?;
+                if policy == "fixed" {
+                    FaultPolicy::Fixed(sets)
+                } else {
+                    FaultPolicy::Explicit(sets)
+                }
+            }
             other => {
                 return Err(JsonError {
                     message: format!("unknown fault policy '{other}'"),
@@ -847,9 +924,19 @@ impl ToJson for InputPolicy {
             InputPolicy::AllOne => plain("all-one"),
             InputPolicy::SplitHalf => plain("split-half"),
             InputPolicy::Exhaustive => plain("exhaustive"),
+            // Bit patterns above 2^53 (n >= 54 with a high bit set) are not
+            // exactly representable as JSON f64 numbers; emit those as
+            // decimal strings, mirroring the seed handling.
             InputPolicy::Bits(bits) => Json::object([
                 ("policy", Json::Str("bits".to_string())),
-                ("bits", bits.to_json()),
+                (
+                    "bits",
+                    if *bits < (1 << 53) {
+                        bits.to_json()
+                    } else {
+                        Json::Str(bits.to_string())
+                    },
+                ),
             ]),
             InputPolicy::Random { count } => Json::object([
                 ("policy", Json::Str("random".to_string())),
@@ -873,11 +960,11 @@ impl FromJson for InputPolicy {
             "all-one" => InputPolicy::AllOne,
             "split-half" => InputPolicy::SplitHalf,
             "exhaustive" => InputPolicy::Exhaustive,
-            "bits" => InputPolicy::Bits(u64::from_json(value.get("bits").ok_or_else(|| {
-                JsonError {
+            "bits" => InputPolicy::Bits(u64_from_number_or_string(value.get("bits").ok_or_else(
+                || JsonError {
                     message: "bits input policy requires 'bits'".to_string(),
-                }
-            })?)?),
+                },
+            )?)?),
             "random" => InputPolicy::Random {
                 count: usize::from_json(value.get("count").ok_or_else(|| JsonError {
                     message: "random input policy requires 'count'".to_string(),
@@ -975,7 +1062,8 @@ impl FromJson for SweepSpec {
     }
 }
 
-/// A whole campaign: named, seeded, and made of sweeps.
+/// A whole campaign: named, seeded, and made of sweeps, with an optional
+/// per-cell adversary-search configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignSpec {
     /// The campaign name (used for report file names and titles).
@@ -986,6 +1074,10 @@ pub struct CampaignSpec {
     pub seed: u64,
     /// The sweep grids, expanded in order.
     pub sweeps: Vec<SweepSpec>,
+    /// The worst-case search configuration (`lbc search`); `None` makes
+    /// `lbc search` fall back to [`crate::search::SearchSpec::default`].
+    /// Ignored by the grid executor (`lbc campaign`).
+    pub search: Option<crate::search::SearchSpec>,
 }
 
 impl CampaignSpec {
@@ -998,7 +1090,21 @@ impl CampaignSpec {
         Ok(CampaignSpec::from_json(&Json::parse(text)?)?)
     }
 
-    /// Deterministically expands every sweep into concrete scenarios.
+    /// Deterministically expands every sweep into concrete scenarios,
+    /// discarding policy-degradation notes. Callers that surface report
+    /// metadata use [`CampaignSpec::expand_noted`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignSpec::expand_noted`].
+    pub fn expand(&self) -> Result<Vec<Scenario>, SpecError> {
+        Ok(self.expand_noted()?.0)
+    }
+
+    /// Deterministically expands every sweep into concrete scenarios,
+    /// collecting per-cell policy-degradation notes (e.g. a `random` fault
+    /// policy that fell back to exhaustive enumeration) for the report
+    /// metadata.
     ///
     /// Expansion order is the nesting order `sweep → size → f → algorithm →
     /// strategy → fault placement → input assignment`; the scenario index is
@@ -1010,7 +1116,8 @@ impl CampaignSpec {
     /// a policy cap is exceeded, the grid exceeds [`MAX_SCENARIOS`], or a
     /// sweep dimension is empty — an empty grid would make a `--strict`
     /// campaign pass vacuously, so it is rejected rather than ignored.
-    pub fn expand(&self) -> Result<Vec<Scenario>, SpecError> {
+    pub fn expand_noted(&self) -> Result<(Vec<Scenario>, Vec<String>), SpecError> {
+        let mut notes = Vec::new();
         if self.sweeps.is_empty() {
             return Err(SpecError::new("campaign has no sweeps"));
         }
@@ -1037,11 +1144,17 @@ impl CampaignSpec {
                 let graph = sweep.family.build(n);
                 for f in sweep.f.from..=sweep.f.to {
                     let cell = [self.seed, sweep_index as u64, n as u64, f as u64];
-                    let placements = sweep.faults.placements(
+                    let (placements, fault_note) = sweep.faults.placements_noted(
                         &graph,
                         f,
                         mix_seed(&[SALT_FAULTS, cell[0], cell[1], cell[2], cell[3]]),
                     )?;
+                    if let Some(note) = fault_note {
+                        notes.push(format!(
+                            "sweep {sweep_index} {} f={f}: {note}",
+                            sweep.family.label(n)
+                        ));
+                    }
                     let input_sets = sweep.inputs.assignments(
                         n,
                         mix_seed(&[SALT_INPUTS, cell[0], cell[1], cell[2], cell[3]]),
@@ -1089,20 +1202,24 @@ impl CampaignSpec {
                 }
             }
         }
-        Ok(scenarios)
+        Ok((scenarios, notes))
     }
 }
 
 impl ToJson for CampaignSpec {
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("name", self.name.to_json()),
             ("seed", self.seed.to_json()),
             (
                 "sweeps",
                 Json::Arr(self.sweeps.iter().map(ToJson::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(search) = &self.search {
+            fields.push(("search", search.to_json()));
+        }
+        Json::object(fields)
     }
 }
 
@@ -1117,6 +1234,10 @@ impl FromJson for CampaignSpec {
             name: String::from_json(field("name")?)?,
             seed: u64::from_json(field("seed")?)?,
             sweeps: Vec::<SweepSpec>::from_json(field("sweeps")?)?,
+            search: value
+                .get("search")
+                .map(crate::search::SearchSpec::from_json)
+                .transpose()?,
         })
     }
 }
@@ -1193,6 +1314,7 @@ mod tests {
                 faults: FaultPolicy::Exhaustive,
                 inputs: InputPolicy::Alternating,
             }],
+            search: None,
         }
     }
 
@@ -1290,6 +1412,63 @@ mod tests {
         assert_eq!(f2.len(), 1);
         let bad = FaultPolicy::Fixed(vec![vec![9]]);
         assert!(bad.placements(&graph, 1, 0).is_err());
+    }
+
+    #[test]
+    fn explicit_policy_accepts_sets_below_f_and_rejects_oversized_ones() {
+        let graph = generators::cycle(5);
+        // A single fault under a declared bound of f = 2: exactly the shape
+        // a minimized search counterexample replays.
+        let policy = FaultPolicy::Explicit(vec![vec![1]]);
+        let placements = policy.placements(&graph, 2, 0).unwrap();
+        assert_eq!(placements.len(), 1);
+        assert_eq!(placements[0].len(), 1);
+        assert!(FaultPolicy::Explicit(vec![vec![0, 1, 2]])
+            .placements(&graph, 2, 0)
+            .is_err());
+        assert!(FaultPolicy::Explicit(vec![vec![9]])
+            .placements(&graph, 2, 0)
+            .is_err());
+        assert!(FaultPolicy::Explicit(vec![])
+            .placements(&graph, 2, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn bits_input_policy_roundtrips_past_the_f64_limit() {
+        // Bit 63 set: a JSON number would round this; the string form must
+        // carry it exactly, and small patterns stay plain numbers.
+        let wide = InputPolicy::Bits(1u64 << 63 | 0b101);
+        let text = wide.to_json().to_string();
+        assert!(text.contains('"'), "wide bits must serialize as a string");
+        assert_eq!(
+            InputPolicy::from_json(&Json::parse(&text).unwrap()).unwrap(),
+            wide
+        );
+        let narrow = InputPolicy::Bits(13);
+        let text = narrow.to_json().to_string();
+        assert!(text.contains("13"));
+        assert_eq!(
+            InputPolicy::from_json(&Json::parse(&text).unwrap()).unwrap(),
+            narrow
+        );
+    }
+
+    #[test]
+    fn random_fallback_to_exhaustive_is_noted() {
+        let graph = generators::cycle(5);
+        let (all, note) = FaultPolicy::Random { count: 10 }
+            .placements_noted(&graph, 1, 0)
+            .unwrap();
+        assert_eq!(all.len(), 5);
+        let note = note.expect("exhaustive fallback must be noted");
+        assert!(note.contains("enumerated all placements"), "{note}");
+        // Genuine sampling carries no note.
+        let (sampled, none) = FaultPolicy::Random { count: 2 }
+            .placements_noted(&graph, 1, 0)
+            .unwrap();
+        assert_eq!(sampled.len(), 2);
+        assert!(none.is_none());
     }
 
     #[test]
@@ -1408,6 +1587,12 @@ mod tests {
                     inputs: InputPolicy::Random { count: 2 },
                 },
             ],
+            search: Some(crate::search::SearchSpec {
+                budget: 64,
+                beam: 3,
+                mutations: 5,
+                rounds: 4,
+            }),
         };
         let text = spec.to_json().pretty();
         let back = CampaignSpec::from_json_text(&text).unwrap();

@@ -47,6 +47,7 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
                 inputs: InputPolicy::Alternating,
             },
         ],
+        search: None,
     }
 }
 
@@ -141,10 +142,11 @@ fn strategy_spec_strategy() -> impl Strategy<Value = StrategySpec> {
 }
 
 fn fault_policy_strategy() -> impl Strategy<Value = FaultPolicy> {
-    ((0usize..4), (1usize..6)).prop_map(|(pick, count)| match pick {
+    ((0usize..5), (1usize..6)).prop_map(|(pick, count)| match pick {
         0 => FaultPolicy::Exhaustive,
         1 => FaultPolicy::Random { count },
         2 => FaultPolicy::WorstCase,
+        3 => FaultPolicy::Explicit(vec![vec![0], vec![count]]),
         _ => FaultPolicy::Fixed(vec![vec![0], vec![0, 1], vec![count]]),
     })
 }
@@ -202,6 +204,7 @@ proptest! {
             name: "prop".to_string(),
             seed,
             sweeps,
+            search: None,
         };
         let compact = spec.to_json().to_string();
         let pretty = spec.to_json().pretty();

@@ -1,0 +1,128 @@
+//! Determinism guarantees of the per-cell worst-case search.
+//!
+//! * The canonical search report must be **byte-identical at any worker
+//!   count** — same counterexamples, same severity ordering, same frontier
+//!   bytes whether cells run serially or on a pool.
+//! * **Budget-resume equals one-shot**: running with a small budget,
+//!   serializing the canonical report, and resuming it under a larger
+//!   budget must produce exactly the report a one-shot run at the larger
+//!   budget produces (the mutation schedule is derived per cell and per
+//!   round, not from run history).
+
+use lbc_campaign::spec::FRange;
+use lbc_campaign::{
+    run_search, run_search_resumed, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy,
+    SearchSpec, SizeSpec, StrategySpec, SweepSpec,
+};
+use lbc_consensus::AlgorithmKind;
+use lbc_model::json::Json;
+
+/// A small two-cell search over a cheap algorithm/graph pair; the C7 f=2
+/// cell sits past the degree boundary, so the search has a violation to
+/// converge on and minimize.
+fn search_spec(budget: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "search-determinism".to_string(),
+        seed: 2025,
+        sweeps: vec![SweepSpec {
+            family: GraphFamily::Cycle,
+            sizes: SizeSpec::List(vec![7]),
+            f: FRange { from: 1, to: 2 },
+            algorithms: vec![AlgorithmKind::Algorithm1],
+            strategies: vec![
+                StrategySpec::TamperRelays,
+                StrategySpec::Random { seed: None },
+            ],
+            faults: FaultPolicy::WorstCase,
+            inputs: InputPolicy::Alternating,
+        }],
+        search: Some(SearchSpec {
+            budget,
+            beam: 3,
+            mutations: 4,
+            rounds: 3,
+        }),
+    }
+}
+
+#[test]
+fn search_report_is_byte_identical_across_worker_counts() {
+    let spec = search_spec(70);
+    let baseline = run_search(&spec, 1).unwrap().to_json().to_string();
+    assert!(!baseline.is_empty());
+    for workers in [2, 8] {
+        let report = run_search(&spec, workers).unwrap().to_json().to_string();
+        assert_eq!(
+            report, baseline,
+            "canonical search report differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn budget_resume_equals_one_shot() {
+    // The seed round must fit the small budget: resume can only continue
+    // the mutation schedule, not recover truncated seeds.
+    let small = search_spec(25);
+    let first = run_search(&small, 2).unwrap();
+    let first_json = Json::parse(&first.to_json().to_string()).unwrap();
+    assert!(
+        first.cells().iter().any(|cell| cell.exhausted),
+        "the small budget must actually stop the search early for this \
+         test to exercise resumption"
+    );
+
+    let large = search_spec(70);
+    let resumed = run_search_resumed(&large, Some(&first_json), 2)
+        .unwrap()
+        .to_json()
+        .to_string();
+    let one_shot = run_search(&large, 2).unwrap().to_json().to_string();
+    assert_eq!(resumed, one_shot, "resume diverged from the one-shot run");
+}
+
+#[test]
+fn resume_rejects_reports_from_a_different_campaign() {
+    let spec = search_spec(70);
+    let report = run_search(&spec, 2).unwrap();
+    let json = Json::parse(&report.to_json().to_string()).unwrap();
+    let mut foreign = spec.clone();
+    foreign.seed = 9999;
+    let err = run_search_resumed(&foreign, Some(&json), 2).unwrap_err();
+    assert!(err.message.contains("not"), "{}", err.message);
+    let mut renamed = spec;
+    renamed.name = "someone-else".to_string();
+    assert!(run_search_resumed(&renamed, Some(&json), 2).is_err());
+}
+
+#[test]
+fn resuming_under_the_same_budget_is_idempotent() {
+    let spec = search_spec(70);
+    let report = run_search(&spec, 2).unwrap();
+    let json = Json::parse(&report.to_json().to_string()).unwrap();
+    let resumed = run_search_resumed(&spec, Some(&json), 2)
+        .unwrap()
+        .to_json()
+        .to_string();
+    assert_eq!(resumed, report.to_json().to_string());
+}
+
+#[test]
+fn search_finds_and_minimizes_the_boundary_violation() {
+    let report = run_search(&search_spec(70), 4).unwrap();
+    assert_eq!(report.cells().len(), 2);
+    let feasible = &report.cells()[0];
+    assert_eq!((feasible.f, feasible.feasible), (1, true));
+    let boundary = &report.cells()[1];
+    assert_eq!((boundary.f, boundary.feasible), (2, false));
+    assert!(boundary.best().severity.is_violation());
+    let counterexample = boundary
+        .counterexample
+        .as_ref()
+        .expect("boundary violation is minimized");
+    assert!(counterexample.scored.severity.is_violation());
+    // The replay spec reproduces every violation under the grid executor.
+    let replay = report.counterexample_spec().expect("replay spec exists");
+    let replayed = lbc_campaign::run_campaign(&replay, 2).unwrap();
+    assert!(!replayed.all_correct());
+}

@@ -14,8 +14,8 @@
 
 use lbc_campaign::spec::FRange;
 use lbc_campaign::{
-    run_campaign, CampaignReport, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SizeSpec,
-    StrategySpec, SweepSpec,
+    run_campaign, CampaignReport, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SearchSpec,
+    SizeSpec, StrategySpec, SweepSpec,
 };
 use lbc_consensus::AlgorithmKind;
 
@@ -53,6 +53,7 @@ pub fn e1_campaign_spec() -> CampaignSpec {
                 vec![StrategySpec::TamperRelays, StrategySpec::Equivocate],
             ),
         ],
+        search: None,
     }
 }
 
@@ -79,6 +80,61 @@ pub fn e6_campaign_spec() -> CampaignSpec {
             sweep(GraphFamily::Cycle, vec![5, 7], 1),
             sweep(GraphFamily::Complete, vec![5], 2),
         ],
+        search: None,
+    }
+}
+
+/// **The boundary sweep as a search spec.** Where `boundary_sweep.json`
+/// *samples* the degree/connectivity boundary with declared grids, this
+/// spec hands the same cells to the per-cell worst-case search
+/// (`lbc search`): the C13 × Algorithm 2 cell deliberately declares only
+/// commission strategies (`tamper-relays`, `random`) — the Appendix C
+/// omission gap is **not** in its grid — and the search must rediscover it
+/// from the built-in strategy catalogue and minimize it back to `silent`.
+/// Mirrored by the committed `examples/campaigns/search_boundary.json`
+/// (a test keeps them in sync).
+#[must_use]
+pub fn boundary_search_spec() -> CampaignSpec {
+    let boundary = |family: GraphFamily, sizes: Vec<usize>, f: FRange| SweepSpec {
+        family,
+        sizes: SizeSpec::List(sizes),
+        f,
+        algorithms: vec![AlgorithmKind::Algorithm1],
+        strategies: vec![StrategySpec::TamperRelays, StrategySpec::Equivocate],
+        faults: FaultPolicy::WorstCase,
+        inputs: InputPolicy::Alternating,
+    };
+    CampaignSpec {
+        name: "search_boundary".to_string(),
+        seed: 41,
+        sweeps: vec![
+            SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![13]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm2],
+                strategies: vec![
+                    StrategySpec::TamperRelays,
+                    StrategySpec::Random { seed: None },
+                ],
+                faults: FaultPolicy::WorstCase,
+                inputs: InputPolicy::Alternating,
+            },
+            boundary(GraphFamily::Cycle, vec![5, 7], FRange { from: 1, to: 2 }),
+            boundary(
+                GraphFamily::Circulant {
+                    offsets: vec![1, 2],
+                },
+                vec![9],
+                FRange { from: 2, to: 3 },
+            ),
+        ],
+        search: Some(SearchSpec {
+            budget: 120,
+            beam: 4,
+            mutations: 6,
+            rounds: 4,
+        }),
     }
 }
 
@@ -182,6 +238,59 @@ mod tests {
     #[test]
     fn committed_e6_spec_matches_the_builder() {
         assert_eq!(committed_spec("e6_complexity.json"), e6_campaign_spec());
+    }
+
+    #[test]
+    fn committed_search_boundary_spec_matches_the_builder() {
+        assert_eq!(
+            committed_spec("search_boundary.json"),
+            boundary_search_spec()
+        );
+    }
+
+    /// The acceptance gate of the adversary search: a grid that *omits* the
+    /// omission fault must have it rediscovered, minimized back to `silent`,
+    /// and emitted as a replay fragment that re-violates under the grid
+    /// executor.
+    ///
+    /// The unit test runs the C13 × Algorithm 2 sweep alone with a trimmed
+    /// budget (debug builds make the full boundary spec minutes-slow); the
+    /// CI search smoke runs the complete committed spec against the release
+    /// binary.
+    #[test]
+    fn boundary_search_rediscovers_the_c13_omission_gap() {
+        let mut spec = boundary_search_spec();
+        spec.sweeps.truncate(1);
+        spec.search = Some(SearchSpec {
+            budget: 40,
+            beam: 3,
+            mutations: 4,
+            rounds: 1,
+        });
+        let report = lbc_campaign::run_search(&spec, 4).expect("search runs");
+        let c13 = report
+            .cells()
+            .iter()
+            .find(|cell| cell.graph == "C13" && cell.algorithm == AlgorithmKind::Algorithm2)
+            .expect("the C13/alg2 cell exists");
+        assert!(
+            c13.best().severity.is_violation(),
+            "search failed to rediscover the Appendix C omission gap"
+        );
+        assert!(!c13.best().severity.verdict().agreement);
+        let counterexample = c13.counterexample.as_ref().expect("violation is minimized");
+        assert_eq!(
+            counterexample.scored.candidate.strategy,
+            lbc_adversary::Strategy::Silent,
+            "the minimized strategy must be the omission fault itself"
+        );
+        assert_eq!(counterexample.scored.candidate.faulty.len(), 1);
+        let replay = report.counterexample_spec().expect("replay spec exists");
+        let replayed = run_campaign(&replay, 4).expect("replay spec expands");
+        assert!(
+            !replayed.all_correct(),
+            "the minimized counterexamples must re-violate when replayed"
+        );
     }
 
     #[test]

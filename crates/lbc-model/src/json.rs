@@ -199,6 +199,26 @@ impl Json {
     }
 }
 
+/// Parses a `u64` that may be a JSON number or (for full 64-bit fidelity) a
+/// decimal string — the convention every 64-bit field of the campaign and
+/// search schemas uses, since a JSON `f64` number cannot exactly represent
+/// integers above `2^53`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the value is neither.
+pub fn u64_from_number_or_string(value: &Json) -> Result<u64, JsonError> {
+    if let Some(number) = value.as_u64() {
+        return Ok(number);
+    }
+    value
+        .as_str()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| JsonError {
+            message: "expected an unsigned integer (number or decimal string)".to_string(),
+        })
+}
+
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-measures the flood-engine baseline on this
+# machine and compares the naive / per-node / ledger speedup triples against
+# the committed baseline with a ±25% tolerance. Absolute nanosecond medians
+# differ across hardware; the engine *ratios* are far more stable — a drop
+# past the tolerance is an engine regression and fails the job.
+#
+# The default baseline is BENCH_pr4.json (the PR-4 snapshot; ratios drift
+# across hardware generations, so the committed baseline should be
+# refreshed via scripts/bench_baseline.sh whenever the reference machine
+# changes — BENCH_pr3.json's 12x wheel13 ratio, for example, measures ~7x
+# on the PR-4 machine).
+#
+#   scripts/bench_gate.sh                       # gate against BENCH_pr4.json
+#   scripts/bench_gate.sh BENCH_other.json      # gate against another baseline
+#   BENCH_GATE_TOLERANCE=40 scripts/bench_gate.sh   # widen the tolerance
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_pr4.json}"
+TOLERANCE="${BENCH_GATE_TOLERANCE:-25}"
+FRESH_DIR="target/lbc-bench-gate"
+FRESH="$FRESH_DIR/fresh_baseline.json"
+
+mkdir -p "$FRESH_DIR"
+scripts/bench_baseline.sh "$FRESH"
+cargo run --release -p lbc-bench --bin bench_gate -- "$BASELINE" "$FRESH" "$TOLERANCE"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Adversary-search smoke: runs the committed boundary search spec and proves
+# the three properties CI gates on:
+#
+#   1. Rediscovery  — the search must find at least one violation
+#                     (--require-violation; the C13 Appendix C omission gap
+#                     is not in the spec's declared strategy grid).
+#   2. Determinism  — the canonical search report is byte-identical at 1 and
+#                     4 workers.
+#   3. Replayability — the emitted minimized counterexamples, executed as a
+#                     plain campaign in --strict mode, must re-violate
+#                     (non-zero exit), and the search self-diff must be clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LBC_SEARCH_OUT:-target/lbc-search-smoke}"
+rm -rf "$OUT"
+mkdir -p "$OUT/w1" "$OUT/w4"
+
+cargo build --release --bin lbc
+
+./target/release/lbc search examples/campaigns/search_boundary.json \
+  --require-violation --workers 1 --out "$OUT/w1"
+./target/release/lbc search examples/campaigns/search_boundary.json \
+  --require-violation --workers 4 --out "$OUT/w4" --quiet
+cmp "$OUT/w1/search_boundary.search.json" "$OUT/w4/search_boundary.search.json"
+
+# The search self-diff must be clean, and a fabricated lost violation must
+# fail the diff (the regression wall actually walls).
+./target/release/lbc campaign diff "$OUT/w1/search_boundary.search.json" "$OUT/w4/search_boundary.search.json"
+sed 's/"violation": true/"violation": false/' "$OUT/w1/search_boundary.search.json" > "$OUT/lost_violation.json"
+if ./target/release/lbc campaign diff "$OUT/w1/search_boundary.search.json" "$OUT/lost_violation.json" > /dev/null 2>&1; then
+  echo "search diff failed to flag a lost violation" >&2
+  exit 1
+fi
+
+# Replaying the minimized counterexamples must re-exhibit every violation.
+# First run without --strict: the replay spec must parse, expand and execute
+# cleanly (exit 0) — otherwise a broken counterexample writer would exit
+# non-zero for the wrong reason and fake the violation check below.
+./target/release/lbc campaign "$OUT/w1/search_boundary.counterexamples.json" \
+  --out "$OUT" --quiet
+if ./target/release/lbc campaign "$OUT/w1/search_boundary.counterexamples.json" \
+     --strict --out "$OUT" --quiet; then
+  echo "minimized counterexamples no longer violate when replayed" >&2
+  exit 1
+fi
+
+echo "search smoke OK: rediscovery + byte-identical reports + replayable counterexamples"

@@ -11,9 +11,17 @@
 //!                                  expand and execute a campaign spec, writing
 //!                                  <name>.report.json (canonical, deterministic)
 //!                                  and <name>.report.csv (with wall times)
-//! lbc campaign diff <old.json> <new.json>
-//!                                  compare two canonical reports cell-by-cell;
-//!                                  exit non-zero on verdict regressions
+//! lbc campaign diff [--cross-spec] <old.json> <new.json>
+//!                                  compare two canonical reports (campaign or
+//!                                  search) cell-by-cell; exit non-zero on
+//!                                  verdict regressions. --cross-spec matches
+//!                                  by coordinates and tolerates added grids
+//! lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT]
+//!            [--require-violation]
+//!                                  per-cell worst-case adversary search; writes
+//!                                  <name>.search.json (canonical, resumable)
+//!                                  and <name>.counterexamples.json (replayable
+//!                                  minimized violations)
 //! lbc graphs                       list the built-in graph names
 //! ```
 //!
@@ -26,7 +34,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use lbc_campaign::{diff_report_texts, run_scenarios, CampaignSpec};
+use lbc_campaign::diff::{diff_report_texts_with, DiffOptions};
+use lbc_campaign::{run_scenarios_noted, run_search_resumed, CampaignSpec};
+use lbc_model::json::{Json, ToJson};
 use local_broadcast_consensus::experiments;
 use local_broadcast_consensus::prelude::*;
 
@@ -72,19 +82,31 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]\n  lbc campaign diff <old.report.json> <new.report.json>\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
     );
     ExitCode::from(2)
 }
 
-/// `lbc campaign diff <old.json> <new.json>`
+/// `lbc campaign diff [--cross-spec] <old.json> <new.json>`
 ///
-/// Compares two canonical reports cell-by-cell (scenarios matched by full
-/// identity) and prints every difference. Exit code 1 when any scenario
-/// regresses from correct to incorrect; other changes (rounds, added or
-/// removed scenarios, incorrect→correct) are informational.
+/// Compares two canonical reports cell-by-cell — campaign reports by
+/// scenario identity, search reports by cell coordinates — and prints every
+/// difference. Exit code 1 when any scenario regresses from correct to
+/// incorrect (or a search cell loses a previously-found violation); other
+/// changes (rounds, added or removed scenarios, incorrect→correct) are
+/// informational. `--cross-spec` matches scenarios by coordinates instead
+/// of full grid identity, tolerates added grids, and reports removed cells
+/// as warnings.
 fn cmd_campaign_diff(args: &[String]) -> ExitCode {
-    let (Some(old_path), Some(new_path)) = (args.first(), args.get(1)) else {
+    let mut options = DiffOptions::default();
+    let mut paths: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--cross-spec" => options.cross_spec = true,
+            _ => paths.push(arg),
+        }
+    }
+    let (Some(old_path), Some(new_path)) = (paths.first(), paths.get(1)) else {
         return usage();
     };
     let old = match fs::read_to_string(old_path) {
@@ -101,7 +123,7 @@ fn cmd_campaign_diff(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match diff_report_texts(&old, &new) {
+    match diff_report_texts_with(&old, &new, options) {
         Ok(diff) => {
             print!("{}", diff.render());
             if diff.has_regressions() {
@@ -116,6 +138,151 @@ fn cmd_campaign_diff(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT]
+/// [--require-violation] [--quiet]`
+///
+/// Runs the per-cell worst-case adversary search of the spec's `search`
+/// block (defaults apply when absent), writing `<out>/<name>.search.json`
+/// (the canonical, resumable report) and — when violations were found —
+/// `<out>/<name>.counterexamples.json`, a replayable campaign spec whose
+/// sweeps are the minimized counterexamples. `--resume` restores per-cell
+/// frontiers from a previous canonical search report and continues the
+/// budgeted mutation schedule. With `--require-violation` the exit code is
+/// non-zero when **no** cell violates — the mode CI smoke uses to assert a
+/// known violation stays rediscoverable.
+fn cmd_search(args: &[String]) -> ExitCode {
+    let Some(spec_path) = args.first() else {
+        return usage();
+    };
+    let mut workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let mut out_dir: Option<PathBuf> = None;
+    let mut resume_path: Option<String> = None;
+    let mut require_violation = false;
+    let mut quiet = false;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--workers" => {
+                let Some(count) = rest.next().and_then(|w| w.parse::<usize>().ok()) else {
+                    eprintln!("--workers requires a positive integer");
+                    return ExitCode::from(2);
+                };
+                workers = count.max(1);
+            }
+            "--out" => {
+                let Some(dir) = rest.next() else {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--resume" => {
+                let Some(path) = rest.next() else {
+                    eprintln!("--resume requires a canonical search report");
+                    return ExitCode::from(2);
+                };
+                resume_path = Some(path.clone());
+            }
+            "--require-violation" => require_violation = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown search flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CampaignSpec::from_json_text(&text) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prior = match &resume_path {
+        None => None,
+        Some(path) => match fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+        {
+            Ok(json) => Some(json),
+            Err(err) => {
+                eprintln!("cannot load resume report {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let started = Instant::now();
+    let report = match run_search_resumed(&spec, prior.as_ref(), workers) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
+    if let Err(err) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let json_path = out_dir.join(format!("{}.search.json", report.name()));
+    if let Err(err) = fs::write(&json_path, report.to_json().pretty() + "\n") {
+        eprintln!("cannot write {}: {err}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    let counterexamples = out_dir.join(format!("{}.counterexamples.json", report.name()));
+    let counterexample_path = match report.counterexample_spec() {
+        Some(replay) => Some((
+            counterexamples.clone(),
+            fs::write(&counterexamples, replay.to_json().pretty() + "\n"),
+        )),
+        None => {
+            // A violation-free run must not leave a previous run's
+            // counterexamples lying around as if they were still current.
+            match fs::remove_file(&counterexamples) {
+                Ok(()) => eprintln!(
+                    "removed stale {} (this run found no violations)",
+                    counterexamples.display()
+                ),
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                Err(err) => {
+                    eprintln!("cannot remove stale {}: {err}", counterexamples.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            None
+        }
+    };
+    if let Some((path, Err(err))) = &counterexample_path {
+        eprintln!("cannot write {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        print!("{}", report.render_summary());
+        println!(
+            "wall time {:.3}s ({} workers); wrote {}{}",
+            elapsed.as_secs_f64(),
+            workers,
+            json_path.display(),
+            counterexample_path
+                .as_ref()
+                .map_or_else(String::new, |(path, _)| format!(" and {}", path.display()))
+        );
+    }
+    if require_violation && report.violations().is_empty() {
+        eprintln!("--require-violation: no cell found a violation");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -357,8 +524,8 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let scenarios = match spec.expand() {
-        Ok(scenarios) => scenarios,
+    let (scenarios, notes) = match spec.expand_noted() {
+        Ok(expansion) => expansion,
         Err(err) => {
             eprintln!("{spec_path}: {err}");
             return ExitCode::FAILURE;
@@ -370,9 +537,12 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             spec.name,
             scenarios.len()
         );
+        for note in &notes {
+            println!("note: {note}");
+        }
     }
     let started = Instant::now();
-    let report = run_scenarios(&spec, &scenarios, workers);
+    let report = run_scenarios_noted(&spec, &scenarios, notes, workers);
     let elapsed = started.elapsed();
     let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
     if let Err(err) = fs::create_dir_all(&out_dir) {
@@ -426,6 +596,7 @@ fn main() -> ExitCode {
         Some("impossibility") => cmd_impossibility(&args[1..]),
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
         Some("graphs") => {
             println!("c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b");
             ExitCode::SUCCESS
