@@ -5,11 +5,17 @@
 //!
 //! Strategies are written against the [`lbc_sim::ByzantineMessage`] trait, so
 //! one strategy value works against every protocol in the workspace
-//! (Algorithm 1/2/3, the point-to-point baseline, and test probes). The
-//! communication model is enforced by the *network*, not the adversary: a
-//! strategy may attempt to equivocate under any model, and the simulator
-//! delivers the attempt according to the model (overheard by everyone under
-//! local broadcast, private under point-to-point).
+//! (Algorithm 1/2/3, the asynchronous algorithm, the point-to-point
+//! baseline, and test probes). The communication model is enforced by the
+//! *network*, not the adversary: a strategy may attempt to equivocate under
+//! any model, and the simulator delivers the attempt according to the model
+//! (overheard by everyone under local broadcast, private under
+//! point-to-point).
+//!
+//! Under asynchronous regimes the adversary additionally controls the
+//! delivery schedule; the [`schedule`] module is that half of the surface
+//! (catalogue, mutations, simplifications over
+//! [`lbc_model::AsyncRegime`]).
 //!
 //! # Example
 //!
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod schedule;
 mod strategy;
 
 pub use strategy::{Strategy, StrategyAdversary};

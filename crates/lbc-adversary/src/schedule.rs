@@ -1,0 +1,193 @@
+//! Adversarial scheduler knobs for the asynchronous regime.
+//!
+//! Under the asynchronous regime the adversary controls two things: what
+//! faulty nodes transmit (a [`crate::Strategy`]) and *when* every
+//! transmission is delivered (an [`AsyncRegime`] schedule, subject to
+//! eventual fairness). This module is the schedule half of the adversary
+//! surface: a deterministic catalogue, a mutation neighborhood, and a
+//! simplification order — the exact counterparts of
+//! [`crate::Strategy::all`], [`crate::Strategy::mutations`] and
+//! [`crate::Strategy::simplifications`], consumed by the worst-case search
+//! when it explores the joint strategy × schedule space of an asynchronous
+//! cell.
+
+use lbc_model::{AsyncRegime, Regime, SchedulerKind};
+
+/// The maximum fairness bound the knobs will dial up to. Larger delays only
+/// stretch executions linearly without adding new delivery *orders* beyond
+/// what mid-size bounds already express.
+pub const MAX_DELAY: u32 = 8;
+
+/// Representative schedules seeded from `seed`, one per scheduler kind plus
+/// a lag-1 baseline — the async counterpart of the strategy catalogue.
+#[must_use]
+pub fn catalogue(seed: u64) -> Vec<AsyncRegime> {
+    let mut schedules = vec![AsyncRegime {
+        scheduler: SchedulerKind::Fifo,
+        delay: 1,
+        seed,
+    }];
+    for scheduler in [SchedulerKind::DelayMax, SchedulerKind::EdgeLag] {
+        schedules.push(AsyncRegime {
+            scheduler,
+            delay: 3,
+            seed,
+        });
+    }
+    schedules
+}
+
+/// The local mutation neighborhood of a schedule: delay ±1 (clamped to
+/// `1..=MAX_DELAY`), a scheduler-kind rotation, and a reseed. Deterministic
+/// for a given `(schedule, seed)`; `seed` feeds only the reseeded variant.
+#[must_use]
+pub fn mutations(schedule: &AsyncRegime, seed: u64) -> Vec<AsyncRegime> {
+    let mut out = Vec::new();
+    if schedule.delay < MAX_DELAY {
+        out.push(AsyncRegime {
+            delay: schedule.delay + 1,
+            ..*schedule
+        });
+    }
+    if schedule.delay > 1 {
+        out.push(AsyncRegime {
+            delay: schedule.delay - 1,
+            ..*schedule
+        });
+    }
+    let rotated = match schedule.scheduler {
+        SchedulerKind::Fifo => SchedulerKind::DelayMax,
+        SchedulerKind::DelayMax => SchedulerKind::EdgeLag,
+        SchedulerKind::EdgeLag => SchedulerKind::Fifo,
+    };
+    out.push(AsyncRegime {
+        scheduler: rotated,
+        // A kind switch at delay 1 is a no-op (every scheduler is lag-1
+        // uniform there); give the rotated kind room to differ.
+        delay: schedule.delay.max(2),
+        ..*schedule
+    });
+    out.push(AsyncRegime {
+        seed: schedule.seed.rotate_left(23) ^ seed,
+        ..*schedule
+    });
+    out.retain(|mutated| mutated != schedule);
+    out
+}
+
+/// A coarse complexity rank for minimization: lag-1 FIFO is the simplest
+/// explanation of a failure, uniform victim lag next, per-edge skew last,
+/// with the fairness bound as the tie-break.
+#[must_use]
+pub fn complexity_rank(schedule: &AsyncRegime) -> u32 {
+    let kind = match schedule.scheduler {
+        SchedulerKind::Fifo => 0,
+        SchedulerKind::DelayMax => 1,
+        SchedulerKind::EdgeLag => 2,
+    };
+    kind * (MAX_DELAY + 1) + schedule.delay.min(MAX_DELAY)
+}
+
+/// Strictly simpler schedules worth trying when shrinking a counterexample,
+/// most aggressive first. Every entry has a lower [`complexity_rank`], so
+/// minimization terminates; a violation that survives the lag-1 FIFO
+/// schedule is schedule-independent — the strongest possible finding.
+#[must_use]
+pub fn simplifications(schedule: &AsyncRegime) -> Vec<AsyncRegime> {
+    let rank = complexity_rank(schedule);
+    let mut out = vec![
+        AsyncRegime {
+            scheduler: SchedulerKind::Fifo,
+            delay: 1,
+            seed: schedule.seed,
+        },
+        AsyncRegime {
+            scheduler: SchedulerKind::DelayMax,
+            delay: 2,
+            seed: schedule.seed,
+        },
+        AsyncRegime {
+            delay: 1.max(schedule.delay / 2),
+            ..*schedule
+        },
+    ];
+    out.retain(|candidate| complexity_rank(candidate) < rank);
+    out.dedup();
+    out
+}
+
+/// Wraps a schedule into the regime value the runner consumes.
+#[must_use]
+pub fn as_regime(schedule: &AsyncRegime) -> Regime {
+    Regime::Asynchronous(*schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AsyncRegime {
+        AsyncRegime {
+            scheduler: SchedulerKind::EdgeLag,
+            delay: 3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn catalogue_covers_every_kind() {
+        let schedules = catalogue(5);
+        for kind in SchedulerKind::all() {
+            assert!(
+                schedules.iter().any(|s| s.scheduler == kind),
+                "missing {}",
+                kind.name()
+            );
+        }
+        assert_eq!(schedules, catalogue(5));
+    }
+
+    #[test]
+    fn mutations_are_deterministic_self_free_and_bounded() {
+        for schedule in catalogue(7) {
+            let a = mutations(&schedule, 99);
+            assert_eq!(a, mutations(&schedule, 99));
+            assert!(!a.is_empty());
+            for mutated in &a {
+                assert_ne!(mutated, &schedule);
+                assert!((1..=MAX_DELAY).contains(&mutated.delay));
+            }
+        }
+        // The delay ceiling is respected.
+        let maxed = AsyncRegime {
+            delay: MAX_DELAY,
+            ..base()
+        };
+        assert!(mutations(&maxed, 1).iter().all(|m| m.delay <= MAX_DELAY));
+    }
+
+    #[test]
+    fn simplifications_strictly_descend_in_rank() {
+        for schedule in catalogue(3).into_iter().chain([base()]) {
+            for simpler in simplifications(&schedule) {
+                assert!(
+                    complexity_rank(&simpler) < complexity_rank(&schedule),
+                    "{simpler:?} is not simpler than {schedule:?}"
+                );
+            }
+        }
+        // The simplest schedule has nothing below it.
+        let fifo1 = AsyncRegime {
+            scheduler: SchedulerKind::Fifo,
+            delay: 1,
+            seed: 0,
+        };
+        assert!(simplifications(&fifo1).is_empty());
+    }
+
+    #[test]
+    fn regime_wrapping() {
+        let schedule = base();
+        assert_eq!(as_regime(&schedule), Regime::Asynchronous(schedule));
+    }
+}

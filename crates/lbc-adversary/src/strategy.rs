@@ -384,6 +384,7 @@ mod tests {
             id: NodeId::new(0),
             graph,
             f: 1,
+            regime: &lbc_model::Regime::Synchronous,
             arena,
             ledger,
         }

@@ -1,0 +1,95 @@
+//! Execution-regime benchmarks: the asynchronous algorithm across the
+//! scheduler grid, plus the regime overhead of the event-scheduled network
+//! loop against the lockstep loop on the same workload.
+//!
+//! Two comparisons matter here:
+//!
+//! * **scheduler cost** — the same conforming consensus workload
+//!   (`C9(1,2)`, `f = 1`, tampered relays) under the synchronous regime and
+//!   under each asynchronous scheduler family; the async rows measure the
+//!   event-queue fabric (per-`(transmission, receiver)` scheduling, FIFO
+//!   clamps, ring buckets) plus the stretched decision horizon.
+//! * **engine overhead at lag 1** — `fifo` with `delay = 1` delivers on
+//!   exactly the synchronous timetable, so its gap to the `sync` row is the
+//!   pure bookkeeping cost of the asynchronous loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use lbc_adversary::Strategy;
+use lbc_consensus::runner;
+use lbc_graph::generators;
+use lbc_model::{AsyncRegime, InputAssignment, NodeId, NodeSet, Regime, SchedulerKind};
+
+fn bench(c: &mut Criterion) {
+    let graph = generators::circulant(9, &[1, 2]);
+    let inputs = InputAssignment::from_bits(9, 0b011011001);
+    let faulty = NodeSet::singleton(NodeId::new(3));
+
+    let run_under = |regime: &Regime| {
+        let mut adversary = Strategy::TamperRelays.into_adversary();
+        runner::run_async_flood(&graph, 1, &inputs, &faulty, regime, &mut adversary)
+    };
+
+    let mut group = c.benchmark_group("async_regime");
+    group.sample_size(10);
+
+    group.bench_function("asyncflood_circ9_f1_sync", |b| {
+        b.iter(|| black_box(run_under(&Regime::Synchronous)));
+    });
+    group.bench_function("asyncflood_circ9_f1_fifo_d1", |b| {
+        let regime = Regime::Asynchronous(AsyncRegime {
+            scheduler: SchedulerKind::Fifo,
+            delay: 1,
+            seed: 11,
+        });
+        b.iter(|| black_box(run_under(&regime)));
+    });
+    for (name, scheduler, delay) in [
+        ("asyncflood_circ9_f1_fifo_d3", SchedulerKind::Fifo, 3),
+        ("asyncflood_circ9_f1_edge_lag_d3", SchedulerKind::EdgeLag, 3),
+        (
+            "asyncflood_circ9_f1_delay_max_d3",
+            SchedulerKind::DelayMax,
+            3,
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let regime = Regime::Asynchronous(AsyncRegime {
+                scheduler,
+                delay,
+                seed: 11,
+            });
+            b.iter(|| black_box(run_under(&regime)));
+        });
+    }
+
+    // A larger conforming instance (degree-4 circulant: the path population
+    // stays protocol-bound, not combinatorial): the fairness bound
+    // dominates the step count, so this row tracks how the event fabric
+    // scales with n and D together.
+    let c11 = generators::circulant(11, &[1, 2]);
+    let inputs11 = InputAssignment::from_bits(11, 0b10110011010);
+    let faulty11 = NodeSet::singleton(NodeId::new(5));
+    group.bench_function("asyncflood_circ11_f1_edge_lag_d4", |b| {
+        let regime = Regime::Asynchronous(AsyncRegime {
+            scheduler: SchedulerKind::EdgeLag,
+            delay: 4,
+            seed: 11,
+        });
+        b.iter(|| {
+            let mut adversary = Strategy::TamperRelays.into_adversary();
+            black_box(runner::run_async_flood(
+                &c11,
+                1,
+                &inputs11,
+                &faulty11,
+                &regime,
+                &mut adversary,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

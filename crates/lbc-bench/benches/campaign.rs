@@ -10,7 +10,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use lbc_campaign::spec::FRange;
+use lbc_campaign::spec::{FRange, RegimeSpec};
 use lbc_campaign::{
     run_campaign, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec,
     SweepSpec,
@@ -34,6 +34,7 @@ fn bench_spec() -> CampaignSpec {
                 sizes: SizeSpec::List(vec![11, 13]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: strategies.clone(),
                 faults: FaultPolicy::Random { count: 2 },
                 inputs: InputPolicy::Random { count: 2 },
@@ -45,6 +46,7 @@ fn bench_spec() -> CampaignSpec {
                 sizes: SizeSpec::List(vec![9]),
                 f: FRange::exactly(2),
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: strategies.clone(),
                 faults: FaultPolicy::Random { count: 2 },
                 inputs: InputPolicy::Random { count: 1 },
@@ -54,6 +56,7 @@ fn bench_spec() -> CampaignSpec {
                 sizes: SizeSpec::List(vec![5]),
                 f: FRange { from: 1, to: 2 },
                 algorithms: vec![AlgorithmKind::Algorithm1, AlgorithmKind::Algorithm2],
+                regimes: RegimeSpec::default_axis(),
                 strategies,
                 faults: FaultPolicy::Random { count: 2 },
                 inputs: InputPolicy::Random { count: 2 },

@@ -3,8 +3,11 @@
 //! `lbc campaign diff <old.json> <new.json>` guards against silent
 //! regressions when the engines underneath the campaign executor change
 //! (new flood engine, new scheduler, …): scenarios are matched by their
-//! full identity — `(family, graph, n, f, algorithm, strategy, faulty,
-//! inputs, seed)` — and every deterministic result cell is compared. A
+//! full identity — `(family, graph, n, f, algorithm, regime, strategy,
+//! faulty, inputs, seed)` — and every deterministic result cell is
+//! compared. Reports written before the regime axis existed carry no
+//! `regime` field; it defaults to `"sync"` on both sides, so a pre-regime
+//! report diffs cleanly against a post-regime run of the same spec. A
 //! **verdict regression** (a scenario that was correct in the old report
 //! and is incorrect in the new one) makes the comparison fail; any other
 //! difference (round counts, transmissions, newly appearing or disappearing
@@ -362,11 +365,17 @@ fn indexed_search_cells<'a>(
     let mut indexed = Vec::with_capacity(cells.len());
     for cell in cells {
         let mut identity = String::new();
-        for field in ["graph", "f", "algorithm"] {
-            let value = cell
-                .get(field)
-                .ok_or_else(|| format!("{label} report: search cell missing '{field}'"))?;
-            let _ = write!(identity, "{}={} ", field, render_cell(Some(value)));
+        for field in ["graph", "f", "algorithm", "regime"] {
+            let value = match cell.get(field) {
+                Some(value) => render_cell(Some(value)),
+                // Pre-regime search reports have no regime column; every
+                // cell they contain ran synchronously.
+                None if field == "regime" => "\"sync\"".to_string(),
+                None => {
+                    return Err(format!("{label} report: search cell missing '{field}'"));
+                }
+            };
+            let _ = write!(identity, "{field}={value} ");
         }
         indexed.push((identity.trim_end().to_string(), cell));
     }
@@ -400,6 +409,7 @@ fn indexed_records<'a>(
             "n",
             "f",
             "algorithm",
+            "regime",
             "strategy",
             "faulty",
             "inputs",
@@ -411,6 +421,7 @@ fn indexed_records<'a>(
             "n",
             "f",
             "algorithm",
+            "regime",
             "strategy",
             "faulty",
             "inputs",
@@ -420,10 +431,17 @@ fn indexed_records<'a>(
     for record in records {
         let mut identity = String::new();
         for &field in identity_fields {
-            let value = record
-                .get(field)
-                .ok_or_else(|| format!("{label} report: record missing '{field}'"))?;
-            let _ = write!(identity, "{}={} ", field, render_cell(Some(value)));
+            let value = match record.get(field) {
+                Some(value) => render_cell(Some(value)),
+                // Pre-regime reports carry no regime field: every record
+                // they contain ran synchronously, so the identities still
+                // align against a post-regime run of the same spec.
+                None if field == "regime" => "\"sync\"".to_string(),
+                None => {
+                    return Err(format!("{label} report: record missing '{field}'"));
+                }
+            };
+            let _ = write!(identity, "{field}={value} ");
         }
         let mut identity = identity.trim_end().to_string();
         let occurrence = occurrences.entry(identity.clone()).or_insert(0);
@@ -448,8 +466,8 @@ mod tests {
     use super::*;
     use crate::run_campaign;
     use crate::spec::{
-        CampaignSpec, FRange, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec,
-        SweepSpec,
+        CampaignSpec, FRange, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, SizeSpec,
+        StrategySpec, SweepSpec,
     };
     use lbc_consensus::AlgorithmKind;
 
@@ -462,6 +480,7 @@ mod tests {
                 sizes: SizeSpec::List(vec![5]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![StrategySpec::TamperRelays],
                 faults: FaultPolicy::Exhaustive,
                 inputs: InputPolicy::Alternating,
@@ -622,6 +641,7 @@ mod tests {
                     sizes: SizeSpec::List(vec![5]),
                     f: FRange::exactly(1),
                     algorithms: vec![AlgorithmKind::Algorithm1],
+                    regimes: RegimeSpec::default_axis(),
                     strategies: vec![StrategySpec::TamperRelays],
                     faults: FaultPolicy::Exhaustive,
                     inputs: InputPolicy::Alternating,
@@ -683,6 +703,7 @@ mod tests {
                 sizes: SizeSpec::List(vec![5]),
                 f: FRange { from: 1, to: 2 },
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![StrategySpec::TamperRelays],
                 faults: FaultPolicy::WorstCase,
                 inputs: InputPolicy::Alternating,

@@ -67,8 +67,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRecord {
     let graph = scenario.build_graph();
     let mut adversary = scenario.strategy.clone().into_adversary();
     let started = Instant::now();
-    let (outcome, trace) = runner::run_kind(
+    let (outcome, trace) = runner::run_kind_under(
         scenario.algorithm,
+        &scenario.regime,
         &graph,
         scenario.f,
         &scenario.inputs,
@@ -92,6 +93,7 @@ fn record_outcome(
         n: scenario.n,
         f: scenario.f,
         algorithm: scenario.algorithm,
+        regime: scenario.regime.label(),
         strategy: scenario.strategy_name.to_string(),
         faulty: scenario.faulty.clone(),
         inputs: scenario.inputs.to_string(),
@@ -140,7 +142,8 @@ fn execute_scenarios(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioReco
 mod tests {
     use super::*;
     use crate::spec::{
-        FRange, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec, SweepSpec,
+        FRange, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, SizeSpec, StrategySpec,
+        SweepSpec,
     };
     use lbc_consensus::AlgorithmKind;
 
@@ -153,6 +156,7 @@ mod tests {
                 sizes: SizeSpec::List(vec![5]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![StrategySpec::TamperRelays, StrategySpec::Silent],
                 faults: FaultPolicy::Exhaustive,
                 inputs: InputPolicy::Bits(0b01101),

@@ -96,9 +96,10 @@ pub use diff::{diff_report_texts, diff_reports, CampaignDiff, CellChange, DiffOp
 pub use executor::{run_campaign, run_scenario, run_scenarios, run_scenarios_noted};
 pub use report::{CampaignReport, RollupRow, ScenarioRecord};
 pub use search::{
-    run_search, run_search_resumed, CellOutcome, Counterexample, SearchReport, SearchSpec, Severity,
+    render_search_plan, run_search, run_search_resumed, CellOutcome, Counterexample, SearchReport,
+    SearchSpec, Severity,
 };
 pub use spec::{
-    CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, Scenario, SizeSpec, SpecError,
+    CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, Scenario, SizeSpec, SpecError,
     StrategySpec, SweepSpec,
 };

@@ -33,6 +33,10 @@ pub struct ScenarioRecord {
     pub f: usize,
     /// Algorithm executed.
     pub algorithm: AlgorithmKind,
+    /// The execution regime's grouping label (`sync`, or
+    /// `async-<scheduler>-d<delay>`; the schedule seed is derived from the
+    /// record's `seed`).
+    pub regime: String,
     /// Strategy name driving the faulty nodes.
     pub strategy: String,
     /// The faulty set.
@@ -65,6 +69,7 @@ impl ScenarioRecord {
             ("n", self.n.to_json()),
             ("f", self.f.to_json()),
             ("algorithm", Json::Str(self.algorithm.name().to_string())),
+            ("regime", self.regime.to_json()),
             ("strategy", self.strategy.to_json()),
             ("faulty", self.faulty.to_json()),
             ("inputs", self.inputs.to_json()),
@@ -98,6 +103,8 @@ pub struct RollupRow {
     pub n: usize,
     /// Declared fault bound.
     pub f: usize,
+    /// Execution-regime label.
+    pub regime: String,
     /// Strategy name.
     pub strategy: String,
     /// Number of scenarios in the group.
@@ -120,6 +127,7 @@ impl RollupRow {
             ("family", self.family.to_json()),
             ("n", self.n.to_json()),
             ("f", self.f.to_json()),
+            ("regime", self.regime.to_json()),
             ("strategy", self.strategy.to_json()),
             ("runs", self.runs.to_json()),
             ("correct", self.correct.to_json()),
@@ -208,22 +216,25 @@ impl CampaignReport {
         self.records.iter().map(|r| r.wall_micros).sum()
     }
 
-    /// Aggregates the records per `(family, n, f, strategy)` group, in
-    /// sorted group order.
+    /// Aggregates the records per `(family, n, f, regime, strategy)` group,
+    /// in sorted group order.
     #[must_use]
     pub fn rollups(&self) -> Vec<RollupRow> {
-        let mut groups: BTreeMap<(String, usize, usize, String), RollupRow> = BTreeMap::new();
+        let mut groups: BTreeMap<(String, usize, usize, String, String), RollupRow> =
+            BTreeMap::new();
         for record in &self.records {
             let key = (
                 record.family.clone(),
                 record.n,
                 record.f,
+                record.regime.clone(),
                 record.strategy.clone(),
             );
             let entry = groups.entry(key).or_insert_with(|| RollupRow {
                 family: record.family.clone(),
                 n: record.n,
                 f: record.f,
+                regime: record.regime.clone(),
                 strategy: record.strategy.clone(),
                 runs: 0,
                 correct: 0,
@@ -281,7 +292,7 @@ impl CampaignReport {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,family,graph,n,f,algorithm,strategy,faulty,inputs,seed,feasible,\
+            "index,family,graph,n,f,algorithm,regime,strategy,faulty,inputs,seed,feasible,\
              agreement,validity,termination,correct,agreed,rounds,transmissions,\
              deliveries,wall_micros\n",
         );
@@ -290,13 +301,14 @@ impl CampaignReport {
             let agreed = r.agreed.map_or_else(|| "-".to_string(), |v| v.to_string());
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.index,
                 r.family,
                 csv_escape(&r.graph),
                 r.n,
                 r.f,
                 r.algorithm.name(),
+                r.regime,
                 r.strategy,
                 csv_escape(&faulty.join(" ")),
                 r.inputs,
@@ -339,13 +351,14 @@ impl CampaignReport {
             "family",
             "n",
             "f",
+            "regime",
             "strategy",
             "runs",
             "correct",
             "rounds",
             "transmissions",
         ];
-        let mut rows: Vec<[String; 8]> = Vec::new();
+        let mut rows: Vec<[String; 9]> = Vec::new();
         for r in &rollups {
             let rounds = if r.rounds_min == r.rounds_max {
                 r.rounds_min.to_string()
@@ -356,6 +369,7 @@ impl CampaignReport {
                 r.family.clone(),
                 r.n.to_string(),
                 r.f.to_string(),
+                r.regime.clone(),
                 r.strategy.clone(),
                 r.runs.to_string(),
                 r.correct.to_string(),
@@ -411,6 +425,7 @@ mod tests {
             n: 5,
             f: 1,
             algorithm: AlgorithmKind::Algorithm1,
+            regime: "sync".to_string(),
             strategy: "tamper-relays".to_string(),
             faulty: NodeSet::singleton(lbc_model::NodeId::new(0)),
             inputs: "01101".to_string(),

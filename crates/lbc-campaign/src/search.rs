@@ -39,19 +39,21 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use lbc_adversary::Strategy;
+use lbc_adversary::{schedule, Strategy};
 use lbc_consensus::{conditions, runner, AlgorithmKind};
 use lbc_graph::Graph;
 use lbc_model::fx::{FxHashMap, FxHashSet};
 use lbc_model::json::{u64_from_number_or_string, FromJson, Json, JsonError, ToJson};
-use lbc_model::{ConsensusOutcome, InputAssignment, NodeId, NodeSet, Value, Verdict};
+use lbc_model::{
+    AsyncRegime, ConsensusOutcome, InputAssignment, NodeId, NodeSet, Regime, Value, Verdict,
+};
 use lbc_sim::TraceSummary;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::spec::{
-    mix_seed, CampaignSpec, FRange, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, SpecError,
-    StrategySpec, SweepSpec,
+    mix_seed, CampaignSpec, FRange, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, SizeSpec,
+    SpecError, StrategySpec, SweepSpec,
 };
 
 /// Hard cap on the per-cell evaluation budget, protecting against runaway
@@ -67,6 +69,7 @@ const MAX_SEED_PLACEMENTS: usize = 4;
 const MAX_SEED_INPUTS: usize = 3;
 
 const SALT_CELL: u64 = 0x5EA0;
+const SALT_SCHEDULE: u64 = 0x5EA5;
 const SALT_ROUND: u64 = 0x5EA1;
 const SALT_STRATEGY: u64 = 0x5EA2;
 const SALT_FAULTS: u64 = 0x5EA3;
@@ -251,7 +254,8 @@ impl FromJson for Severity {
 // ---------------------------------------------------------------------------
 
 /// One point of the joint adversary space: a concrete (pre-seeded) strategy,
-/// a fault placement, and an input assignment.
+/// a fault placement, an input assignment and — for asynchronous cells —
+/// a concrete delivery schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// The concrete adversary strategy.
@@ -260,6 +264,10 @@ pub struct Candidate {
     pub faulty: NodeSet,
     /// The input assignment.
     pub inputs: InputAssignment,
+    /// The concrete asynchronous schedule (always `Some` for async cells,
+    /// `None` for synchronous ones). The schedule is part of the adversary:
+    /// mutation rounds turn its knobs exactly like strategy knobs.
+    pub schedule: Option<AsyncRegime>,
 }
 
 impl Candidate {
@@ -268,19 +276,33 @@ impl Candidate {
     #[must_use]
     pub fn key(&self) -> String {
         format!(
-            "{}|{}|{}",
+            "{}|{}|{}|{}",
             self.strategy.to_json(),
             self.faulty,
-            self.inputs
+            self.inputs,
+            self.regime().to_json(),
         )
     }
 
+    /// The regime this candidate executes under.
+    #[must_use]
+    pub fn regime(&self) -> Regime {
+        match self.schedule {
+            Some(config) => Regime::Asynchronous(config),
+            None => Regime::Synchronous,
+        }
+    }
+
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("strategy", self.strategy.to_json()),
             ("faulty", self.faulty.to_json()),
             ("inputs", Json::Str(self.inputs.to_string())),
-        ])
+        ];
+        if self.schedule.is_some() {
+            fields.push(("schedule", self.regime().to_json()));
+        }
+        Json::object(fields)
     }
 
     fn from_json(value: &Json) -> Result<Self, JsonError> {
@@ -289,12 +311,20 @@ impl Candidate {
                 message: format!("candidate missing '{key}'"),
             })
         };
+        let schedule = match value.get("schedule") {
+            None | Some(Json::Null) => None,
+            Some(json) => match Regime::from_json(json)? {
+                Regime::Synchronous => None,
+                Regime::Asynchronous(config) => Some(config),
+            },
+        };
         Ok(Candidate {
             strategy: Strategy::from_json(field("strategy")?)?,
             faulty: NodeSet::from_json(field("faulty")?)?,
             inputs: inputs_from_str(field("inputs")?.as_str().ok_or_else(|| JsonError {
                 message: "candidate 'inputs' must be a bit string".to_string(),
             })?)?,
+            schedule,
         })
     }
 }
@@ -377,9 +407,26 @@ struct CellPlan {
     n: usize,
     f: usize,
     algorithm: AlgorithmKind,
+    /// The declared regime of the cell; async cells additionally explore
+    /// the schedule space through their candidates.
+    regime: RegimeSpec,
     feasible: bool,
     cell_seed: u64,
     seeds: Vec<Candidate>,
+}
+
+impl CellPlan {
+    /// The base schedule async candidates start from (the cell's declared
+    /// regime materialized with a cell-derived seed).
+    fn base_schedule(&self) -> Option<AsyncRegime> {
+        match self
+            .regime
+            .materialize(mix_seed(&[SALT_SCHEDULE, self.cell_seed]))
+        {
+            Regime::Synchronous => None,
+            Regime::Asynchronous(config) => Some(config),
+        }
+    }
 }
 
 /// The serializable per-cell search state: everything needed to continue
@@ -404,6 +451,8 @@ pub struct CellOutcome {
     pub f: usize,
     /// The algorithm under attack.
     pub algorithm: AlgorithmKind,
+    /// The declared regime of the cell.
+    pub regime: RegimeSpec,
     /// Whether the paper's conditions admit this cell.
     pub feasible: bool,
     /// Scored executions spent (seed + mutation rounds).
@@ -446,6 +495,16 @@ impl CellOutcome {
             sizes: SizeSpec::List(vec![self.n]),
             f: FRange::exactly(self.f),
             algorithms: vec![self.algorithm],
+            // The minimized schedule replays with its seed pinned, so the
+            // fragment is self-contained for async cells too.
+            regimes: vec![match shrunk.schedule {
+                None => RegimeSpec::Sync,
+                Some(config) => RegimeSpec::Async {
+                    scheduler: config.scheduler,
+                    delay: config.delay,
+                    seed: Some(config.seed),
+                },
+            }],
             strategies: vec![strategy_to_spec(&shrunk.strategy)],
             // `explicit`, not `fixed`: the minimized fault set is usually
             // smaller than the cell's declared `f`, which the algorithm must
@@ -492,11 +551,15 @@ fn build_cells(spec: &CampaignSpec) -> Result<Vec<CellPlan>, SpecError> {
         return Err(SpecError::new("campaign has no sweeps"));
     }
     let mut cells: Vec<CellPlan> = Vec::new();
-    let mut index_of: FxHashMap<(String, usize, &'static str), usize> = FxHashMap::default();
+    let mut index_of: FxHashMap<(String, usize, &'static str, String), usize> =
+        FxHashMap::default();
     let mut seen_keys: Vec<FxHashSet<String>> = Vec::new();
     for sweep in &spec.sweeps {
         if sweep.algorithms.is_empty() {
             return Err(SpecError::new("sweep needs at least one algorithm"));
+        }
+        if sweep.regimes.is_empty() {
+            return Err(SpecError::new("sweep has an empty regime list"));
         }
         if sweep.sizes.values().is_empty() {
             return Err(SpecError::new("sweep has an empty size list"));
@@ -506,35 +569,54 @@ fn build_cells(spec: &CampaignSpec) -> Result<Vec<CellPlan>, SpecError> {
             let graph = sweep.family.build(n);
             for f in sweep.f.from..=sweep.f.to {
                 for &algorithm in &sweep.algorithms {
-                    let label = sweep.family.label(n);
-                    let key = (label.clone(), f, algorithm.name());
-                    let cell_index = *index_of.entry(key).or_insert_with(|| {
-                        let cell_seed = mix_seed(&[
-                            SALT_CELL,
-                            spec.seed,
-                            cells.len() as u64,
-                            n as u64,
-                            f as u64,
-                        ]);
-                        cells.push(CellPlan {
-                            family: sweep.family.clone(),
-                            label,
-                            n,
+                    for regime in &sweep.regimes {
+                        if !regime.is_sync() && !algorithm.supports_regime(&regime.materialize(0)) {
+                            return Err(SpecError::new(format!(
+                                "algorithm '{}' cannot run under regime '{}'",
+                                algorithm.name(),
+                                regime.label()
+                            )));
+                        }
+                        let label = sweep.family.label(n);
+                        // Cells dedup on the *full* regime spec (canonical
+                        // JSON), not the seedless label: two axis entries
+                        // differing only in their explicit schedule seed are
+                        // distinct search cells, not duplicates.
+                        let key = (
+                            label.clone(),
                             f,
-                            algorithm,
-                            feasible: feasibility(&graph, f, algorithm),
-                            cell_seed,
-                            seeds: Vec::new(),
+                            algorithm.name(),
+                            regime.to_json().to_string(),
+                        );
+                        let cell_index = *index_of.entry(key).or_insert_with(|| {
+                            let cell_seed = mix_seed(&[
+                                SALT_CELL,
+                                spec.seed,
+                                cells.len() as u64,
+                                n as u64,
+                                f as u64,
+                            ]);
+                            cells.push(CellPlan {
+                                family: sweep.family.clone(),
+                                label,
+                                n,
+                                f,
+                                algorithm,
+                                regime: regime.clone(),
+                                feasible: feasibility(&graph, f, algorithm),
+                                cell_seed,
+                                seeds: Vec::new(),
+                            });
+                            seen_keys.push(FxHashSet::default());
+                            cells.len() - 1
                         });
-                        seen_keys.push(FxHashSet::default());
-                        cells.len() - 1
-                    });
-                    seed_cell(
-                        &mut cells[cell_index],
-                        &mut seen_keys[cell_index],
-                        sweep,
-                        &graph,
-                    )?;
+                        seed_cell(
+                            &mut cells[cell_index],
+                            &mut seen_keys[cell_index],
+                            sweep,
+                            &graph,
+                        )?;
+                    }
                 }
             }
         }
@@ -547,6 +629,7 @@ fn feasibility(graph: &Graph, f: usize, algorithm: AlgorithmKind) -> bool {
         AlgorithmKind::Algorithm1 => conditions::local_broadcast_feasible(graph, f),
         AlgorithmKind::Algorithm2 => conditions::efficient_algorithm_applicable(graph, f),
         AlgorithmKind::P2pBaseline => conditions::point_to_point_feasible(graph, f),
+        AlgorithmKind::AsyncFlood => conditions::asynchronous_feasible(graph, f),
     }
 }
 
@@ -612,16 +695,31 @@ fn seed_cell(
         inputs.push(alternating);
     }
 
+    // Async cells additionally seed the schedule dimension: the cell's own
+    // declared schedule first, then the adversarial schedule catalogue.
+    let mut schedules: Vec<Option<AsyncRegime>> = vec![cell.base_schedule()];
+    if let Some(base) = cell.base_schedule() {
+        for extra in schedule::catalogue(mix_seed(&[SALT_SCHEDULE, cell_seed, 1])) {
+            let extra = Some(extra);
+            if extra != Some(base) && !schedules.contains(&extra) {
+                schedules.push(extra);
+            }
+        }
+    }
+
     for strategy in &strategies {
         for placement in &placements {
             for assignment in &inputs {
-                let candidate = Candidate {
-                    strategy: strategy.clone(),
-                    faulty: placement.clone(),
-                    inputs: assignment.clone(),
-                };
-                if seen.insert(candidate.key()) {
-                    cell.seeds.push(candidate);
+                for schedule in &schedules {
+                    let candidate = Candidate {
+                        strategy: strategy.clone(),
+                        faulty: placement.clone(),
+                        inputs: assignment.clone(),
+                        schedule: *schedule,
+                    };
+                    if seen.insert(candidate.key()) {
+                        cell.seeds.push(candidate);
+                    }
                 }
             }
         }
@@ -635,8 +733,9 @@ fn seed_cell(
 
 fn evaluate(graph: &Graph, cell: &CellPlan, candidate: Candidate) -> Scored {
     let mut adversary = candidate.strategy.clone().into_adversary();
-    let (outcome, trace) = runner::run_kind(
+    let (outcome, trace) = runner::run_kind_under(
         cell.algorithm,
+        &candidate.regime(),
         graph,
         cell.f,
         &candidate.inputs,
@@ -656,7 +755,15 @@ fn evaluate(graph: &Graph, cell: &CellPlan, candidate: Candidate) -> Scored {
 fn mutate(cell: &CellPlan, rng: &mut ChaCha8Rng, parent: &Candidate) -> Candidate {
     let n = cell.n;
     let mut candidate = parent.clone();
-    match rng.gen_range(0..3u32) {
+    // Sync cells draw from the original three operators so pre-regime
+    // searches replay identically; async cells add the schedule knobs as a
+    // fourth dimension of the same joint space.
+    let operators = if parent.schedule.is_some() {
+        4u32
+    } else {
+        3u32
+    };
+    match rng.gen_range(0..operators) {
         // Swap one faulty node for a currently honest one.
         0 => {
             let members: Vec<NodeId> = candidate.faulty.iter().collect();
@@ -685,11 +792,19 @@ fn mutate(cell: &CellPlan, rng: &mut ChaCha8Rng, parent: &Candidate) -> Candidat
             candidate.strategy = neighborhood[rng.gen_range(0..neighborhood.len())].clone();
         }
         // Flip one input bit.
-        _ => {
+        2 => {
             let node = NodeId::new(rng.gen_range(0..n));
             candidate
                 .inputs
                 .set(node, candidate.inputs.get(node).flipped());
+        }
+        // Turn a schedule knob (async cells only): delay, scheduler kind,
+        // or the schedule seed.
+        _ => {
+            let reseed = rng.next_u64();
+            let current = candidate.schedule.expect("operator 3 requires a schedule");
+            let neighborhood = schedule::mutations(&current, reseed);
+            candidate.schedule = Some(neighborhood[rng.gen_range(0..neighborhood.len())]);
         }
     }
     candidate
@@ -789,6 +904,7 @@ fn search_cell(cell: &CellPlan, search: &SearchSpec, resume: Option<CellState>) 
         n: cell.n,
         f: cell.f,
         algorithm: cell.algorithm,
+        regime: cell.regime.clone(),
         feasible: cell.feasible,
         evals: state.evals,
         rounds_done: state.rounds_done,
@@ -844,7 +960,26 @@ fn minimize(graph: &Graph, cell: &CellPlan, best: &Scored, shrink_budget: usize)
         }
     }
 
-    // 3. Clear set input bits low-index first while the violation survives.
+    // 3. Substitute strictly simpler schedules (toward lag-1 FIFO) while
+    //    the violation survives — a violation surviving the trivial
+    //    schedule is schedule-independent, the strongest finding.
+    if let Some(current_schedule) = current.candidate.schedule {
+        for simpler in schedule::simplifications(&current_schedule) {
+            if evals >= shrink_budget {
+                break;
+            }
+            let mut trial = current.candidate.clone();
+            trial.schedule = Some(simpler);
+            let scored = evaluate(graph, cell, trial);
+            evals += 1;
+            if scored.severity.is_violation() {
+                current = scored;
+                break;
+            }
+        }
+    }
+
+    // 4. Clear set input bits low-index first while the violation survives.
     for index in 0..cell.n {
         if evals >= shrink_budget {
             break;
@@ -971,10 +1106,11 @@ impl SearchReport {
             };
             let _ = writeln!(
                 out,
-                "  {} f={} {}: {} | dissent={} rounds={} evals={}{} | worst: {} faulty={} inputs={}",
+                "  {} f={} {} [{}]: {} | dissent={} rounds={} evals={}{} | worst: {} faulty={} inputs={}",
                 cell.graph,
                 cell.f,
                 cell.algorithm.name(),
+                cell.regime.label(),
                 status,
                 best.severity.dissent,
                 best.severity.rounds,
@@ -1008,6 +1144,8 @@ fn cell_to_json(cell: &CellOutcome) -> Json {
         ("n", cell.n.to_json()),
         ("f", cell.f.to_json()),
         ("algorithm", Json::Str(cell.algorithm.name().to_string())),
+        ("regime", Json::Str(cell.regime.label())),
+        ("regime_spec", cell.regime.to_json()),
         ("feasible", Json::Bool(cell.feasible)),
         ("evals", cell.evals.to_json()),
         ("rounds_done", cell.rounds_done.to_json()),
@@ -1049,6 +1187,45 @@ pub fn run_search(spec: &CampaignSpec, workers: usize) -> Result<SearchReport, S
     run_search_resumed(spec, None, workers)
 }
 
+/// Renders the expanded cell table of a search spec **without executing
+/// anything** — the `lbc search --list` debugging view: one row per cell
+/// with its coordinates, regime, feasibility and seeded-frontier size.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when the spec's sweeps are invalid.
+pub fn render_search_plan(spec: &CampaignSpec) -> Result<String, SpecError> {
+    let search = spec.search.unwrap_or_default();
+    search.validate()?;
+    let cells = build_cells(spec)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "search '{}' (seed {}): {} cells, budget {} × beam {} × {} mutations × {} rounds",
+        spec.name,
+        spec.seed,
+        cells.len(),
+        search.budget,
+        search.beam,
+        search.mutations,
+        search.rounds
+    );
+    for cell in &cells {
+        let _ = writeln!(
+            out,
+            "  {} n={} f={} {} [{}] feasible={} seeds={}",
+            cell.label,
+            cell.n,
+            cell.f,
+            cell.algorithm.name(),
+            cell.regime.label(),
+            cell.feasible,
+            cell.seeds.len()
+        );
+    }
+    Ok(out)
+}
+
 /// Like [`run_search`], but restores per-cell frontiers from a prior
 /// canonical search report: cells are matched by `(graph, f, algorithm)`
 /// coordinates, matched cells skip their seed round and continue the
@@ -1068,7 +1245,7 @@ pub fn run_search_resumed(
     let search = spec.search.unwrap_or_default();
     search.validate()?;
     let cells = build_cells(spec)?;
-    let mut resumes: FxHashMap<(String, usize, String), CellState> = match prior {
+    let mut resumes: FxHashMap<CellKey, CellState> = match prior {
         Some(report) => {
             let prior_name = report.get("name").and_then(Json::as_str).unwrap_or("");
             let prior_seed = report
@@ -1096,6 +1273,7 @@ pub fn run_search_resumed(
                 plan.label.clone(),
                 plan.f,
                 plan.algorithm.name().to_string(),
+                plan.regime.to_json().to_string(),
             ));
             (plan, state)
         })
@@ -1142,7 +1320,9 @@ pub fn run_search_resumed(
 }
 
 /// Extracts the per-cell resume states from a canonical search report.
-fn restore_states(report: &Json) -> Result<FxHashMap<(String, usize, String), CellState>, String> {
+type CellKey = (String, usize, String, String);
+
+fn restore_states(report: &Json) -> Result<FxHashMap<CellKey, CellState>, String> {
     let cells = report
         .get("cells")
         .and_then(Json::as_array)
@@ -1163,6 +1343,12 @@ fn restore_states(report: &Json) -> Result<FxHashMap<(String, usize, String), Ce
             .and_then(Json::as_str)
             .ok_or("search cell missing 'algorithm'")?
             .to_string();
+        // The resume key carries the cell's full regime spec (canonical
+        // JSON); pre-regime search reports have none — sync throughout.
+        let regime = cell
+            .get("regime_spec")
+            .map_or_else(|| RegimeSpec::Sync.to_json(), Json::clone)
+            .to_string();
         let evals = cell
             .get("evals")
             .and_then(Json::as_u64)
@@ -1180,7 +1366,7 @@ fn restore_states(report: &Json) -> Result<FxHashMap<(String, usize, String), Ce
             .collect::<Result<Vec<_>, _>>()
             .map_err(|err| err.to_string())?;
         states.insert(
-            (graph, f, algorithm),
+            (graph, f, algorithm, regime),
             CellState {
                 frontier,
                 evals,
@@ -1206,6 +1392,7 @@ mod tests {
                 sizes: SizeSpec::List(vec![13]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm2],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![StrategySpec::TamperRelays],
                 faults: FaultPolicy::WorstCase,
                 inputs: InputPolicy::Alternating,
@@ -1286,6 +1473,11 @@ mod tests {
                 strategy: Strategy::Random { seed: u64::MAX - 7 },
                 faulty: NodeSet::singleton(NodeId::new(3)),
                 inputs: InputAssignment::from_bits(5, 0b10110),
+                schedule: Some(AsyncRegime {
+                    scheduler: lbc_model::SchedulerKind::EdgeLag,
+                    delay: 4,
+                    seed: u64::MAX - 11,
+                }),
             },
             severity: Severity {
                 violation: 5,

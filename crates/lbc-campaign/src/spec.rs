@@ -16,7 +16,7 @@ use lbc_consensus::{conditions, AlgorithmKind};
 use lbc_graph::{combinatorics, generators, Graph};
 use lbc_model::fx::FxHashSet;
 use lbc_model::json::{u64_from_number_or_string, FromJson, Json, JsonError, ToJson};
-use lbc_model::{CommModel, InputAssignment, NodeId, NodeSet};
+use lbc_model::{AsyncRegime, CommModel, InputAssignment, NodeId, NodeSet, Regime, SchedulerKind};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -95,6 +95,7 @@ pub fn mix_seed(parts: &[u64]) -> u64 {
 const SALT_FAULTS: u64 = 0xFA;
 const SALT_INPUTS: u64 = 0x1A;
 const SALT_SCENARIO: u64 = 0x5C;
+const SALT_REGIME: u64 = 0xD1;
 
 // ---------------------------------------------------------------------------
 // graph families
@@ -521,6 +522,129 @@ impl FromJson for StrategySpec {
                 })
             }
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// regimes
+// ---------------------------------------------------------------------------
+
+/// A declarative execution regime, materialized per scenario.
+///
+/// JSON: the bare name `"sync"`, or an async object
+/// (`{"kind": "async", "scheduler": "edge-lag", "delay": 3}`,
+/// optionally with an explicit `"seed"`).
+///
+/// Like [`StrategySpec::Random`], an async regime without an explicit seed
+/// is materialized with each scenario's own derived seed, so a grid of
+/// scenarios exercises many *different* (but each reproducible) schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegimeSpec {
+    /// The synchronous lockstep regime (the default axis value).
+    Sync,
+    /// An asynchronous regime under a deterministic scheduler.
+    Async {
+        /// The deterministic schedule family.
+        scheduler: SchedulerKind,
+        /// The eventual-fairness bound `D ≥ 1`.
+        delay: u32,
+        /// Explicit seed, or `None` for the per-scenario derived seed.
+        seed: Option<u64>,
+    },
+}
+
+impl RegimeSpec {
+    /// The default regime axis: synchronous only (what every spec without a
+    /// `"regimes"` key gets, keeping pre-regime specs' expansion identical).
+    #[must_use]
+    pub fn default_axis() -> Vec<RegimeSpec> {
+        vec![RegimeSpec::Sync]
+    }
+
+    /// Whether this is the synchronous regime.
+    #[must_use]
+    pub fn is_sync(&self) -> bool {
+        matches!(self, RegimeSpec::Sync)
+    }
+
+    /// Materializes the concrete [`Regime`] for a scenario with the given
+    /// derived seed.
+    #[must_use]
+    pub fn materialize(&self, scenario_seed: u64) -> Regime {
+        match self {
+            RegimeSpec::Sync => Regime::Synchronous,
+            RegimeSpec::Async {
+                scheduler,
+                delay,
+                seed,
+            } => Regime::Asynchronous(AsyncRegime {
+                scheduler: *scheduler,
+                delay: (*delay).max(1),
+                seed: seed.unwrap_or_else(|| mix_seed(&[SALT_REGIME, scenario_seed])),
+            }),
+        }
+    }
+
+    /// The seedless grouping label (matches [`Regime::label`], through
+    /// which it is derived — the seed never appears in labels).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.materialize(0).label()
+    }
+}
+
+impl ToJson for RegimeSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            RegimeSpec::Sync => Json::Str("sync".to_string()),
+            RegimeSpec::Async {
+                scheduler,
+                delay,
+                seed,
+            } => {
+                let mut fields = vec![
+                    ("kind", Json::Str("async".to_string())),
+                    ("scheduler", Json::Str(scheduler.name().to_string())),
+                    ("delay", u64::from(*delay).to_json()),
+                ];
+                if let Some(seed) = seed {
+                    // Strings for the same reason strategy seeds are
+                    // strings: all 64 bits must survive the JSON round-trip.
+                    fields.push(("seed", Json::Str(seed.to_string())));
+                }
+                Json::object(fields)
+            }
+        }
+    }
+}
+
+impl FromJson for RegimeSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let kind = value
+            .as_str()
+            .or_else(|| value.get("kind").and_then(Json::as_str))
+            .ok_or_else(|| JsonError {
+                message: "regime must be a name or an object with 'kind'".to_string(),
+            })?;
+        match kind {
+            "sync" | "synchronous" => Ok(RegimeSpec::Sync),
+            // The object fields parse through the same helpers Regime's own
+            // parser uses (scheduler default, delay default + MAX_DELAY
+            // cap), so the spec schema cannot drift from the model schema;
+            // the only spec-level difference is that the seed stays
+            // optional (derived per scenario when absent).
+            "async" | "asynchronous" => Ok(RegimeSpec::Async {
+                scheduler: lbc_model::regime::scheduler_from_json(value)?,
+                delay: lbc_model::regime::delay_from_json(value)?,
+                seed: value
+                    .get("seed")
+                    .map(u64_from_number_or_string)
+                    .transpose()?,
+            }),
+            other => Err(JsonError {
+                message: format!("unknown regime '{other}' (use sync or async)"),
+            }),
+        }
     }
 }
 
@@ -993,8 +1117,12 @@ pub struct SweepSpec {
     pub sizes: SizeSpec,
     /// The fault bounds to sweep.
     pub f: FRange,
-    /// The algorithms to run (`"alg1"`, `"alg2"`, `"p2p"`).
+    /// The algorithms to run (`"alg1"`, `"alg2"`, `"p2p"`, `"async"`).
     pub algorithms: Vec<AlgorithmKind>,
+    /// The execution regimes to run each algorithm under (defaults to
+    /// `["sync"]`; round-machine algorithms reject async regimes at
+    /// expansion).
+    pub regimes: Vec<RegimeSpec>,
     /// The adversary strategies to drive faulty nodes with.
     pub strategies: Vec<StrategySpec>,
     /// How faulty sets are placed.
@@ -1017,6 +1145,10 @@ impl ToJson for SweepSpec {
                         .map(|kind| Json::Str(kind.name().to_string()))
                         .collect(),
                 ),
+            ),
+            (
+                "regimes",
+                Json::Arr(self.regimes.iter().map(ToJson::to_json).collect()),
             ),
             (
                 "strategies",
@@ -1055,6 +1187,10 @@ impl FromJson for SweepSpec {
             sizes: SizeSpec::from_json(field("sizes")?)?,
             f: FRange::from_json(field("f")?)?,
             algorithms,
+            regimes: match value.get("regimes") {
+                None => RegimeSpec::default_axis(),
+                Some(json) => Vec::<RegimeSpec>::from_json(json)?,
+            },
             strategies: Vec::<StrategySpec>::from_json(field("strategies")?)?,
             faults: FaultPolicy::from_json(field("faults")?)?,
             inputs: InputPolicy::from_json(field("inputs")?)?,
@@ -1128,6 +1264,24 @@ impl CampaignSpec {
                     "sweep {sweep_index} needs at least one algorithm and one strategy"
                 )));
             }
+            if sweep.regimes.is_empty() {
+                return Err(SpecError::new(format!(
+                    "sweep {sweep_index} has an empty regime list"
+                )));
+            }
+            for &algorithm in &sweep.algorithms {
+                for regime in &sweep.regimes {
+                    if !regime.is_sync() && !algorithm.supports_regime(&regime.materialize(0)) {
+                        return Err(SpecError::new(format!(
+                            "sweep {sweep_index}: algorithm '{}' is a synchronous round \
+                             machine and cannot run under regime '{}' (use the 'async' \
+                             algorithm for asynchronous regimes)",
+                            algorithm.name(),
+                            regime.label()
+                        )));
+                    }
+                }
+            }
             if sweep.sizes.values().is_empty() {
                 return Err(SpecError::new(format!(
                     "sweep {sweep_index} has an empty size list"
@@ -1170,31 +1324,38 @@ impl CampaignSpec {
                             AlgorithmKind::P2pBaseline => {
                                 conditions::point_to_point_feasible(&graph, f)
                             }
+                            AlgorithmKind::AsyncFlood => {
+                                conditions::asynchronous_feasible(&graph, f)
+                            }
                         };
-                        for strategy in &sweep.strategies {
-                            for faulty in &placements {
-                                for inputs in &input_sets {
-                                    let index = scenarios.len();
-                                    if index >= MAX_SCENARIOS {
-                                        return Err(SpecError::new(format!(
-                                            "campaign expands past {MAX_SCENARIOS} scenarios"
-                                        )));
+                        for regime in &sweep.regimes {
+                            for strategy in &sweep.strategies {
+                                for faulty in &placements {
+                                    for inputs in &input_sets {
+                                        let index = scenarios.len();
+                                        if index >= MAX_SCENARIOS {
+                                            return Err(SpecError::new(format!(
+                                                "campaign expands past {MAX_SCENARIOS} scenarios"
+                                            )));
+                                        }
+                                        let seed =
+                                            mix_seed(&[SALT_SCENARIO, self.seed, index as u64]);
+                                        scenarios.push(Scenario {
+                                            index,
+                                            family: sweep.family.clone(),
+                                            graph: sweep.family.label(n),
+                                            n,
+                                            f,
+                                            algorithm,
+                                            regime: regime.materialize(seed),
+                                            strategy: strategy.materialize(seed),
+                                            strategy_name: strategy.name(),
+                                            faulty: faulty.clone(),
+                                            inputs: inputs.clone(),
+                                            seed,
+                                            feasible,
+                                        });
                                     }
-                                    let seed = mix_seed(&[SALT_SCENARIO, self.seed, index as u64]);
-                                    scenarios.push(Scenario {
-                                        index,
-                                        family: sweep.family.clone(),
-                                        graph: sweep.family.label(n),
-                                        n,
-                                        f,
-                                        algorithm,
-                                        strategy: strategy.materialize(seed),
-                                        strategy_name: strategy.name(),
-                                        faulty: faulty.clone(),
-                                        inputs: inputs.clone(),
-                                        seed,
-                                        feasible,
-                                    });
                                 }
                             }
                         }
@@ -1263,6 +1424,8 @@ pub struct Scenario {
     pub f: usize,
     /// The algorithm to run.
     pub algorithm: AlgorithmKind,
+    /// The materialized (pre-seeded) execution regime.
+    pub regime: Regime,
     /// The materialized (pre-seeded) adversary strategy.
     pub strategy: Strategy,
     /// The stable strategy name for grouping.
@@ -1307,6 +1470,7 @@ mod tests {
                 sizes: SizeSpec::List(vec![5]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![
                     StrategySpec::TamperRelays,
                     StrategySpec::Random { seed: None },
@@ -1567,6 +1731,7 @@ mod tests {
                     },
                     f: FRange { from: 1, to: 2 },
                     algorithms: vec![AlgorithmKind::Algorithm1, AlgorithmKind::Algorithm2],
+                    regimes: RegimeSpec::default_axis(),
                     strategies: vec![
                         StrategySpec::Silent,
                         StrategySpec::CrashAfter(4),
@@ -1582,6 +1747,7 @@ mod tests {
                     sizes: SizeSpec::List(vec![9, 11]),
                     f: FRange::exactly(2),
                     algorithms: vec![AlgorithmKind::P2pBaseline],
+                    regimes: RegimeSpec::default_axis(),
                     strategies: vec![StrategySpec::Equivocate],
                     faults: FaultPolicy::Fixed(vec![vec![0, 1]]),
                     inputs: InputPolicy::Random { count: 2 },

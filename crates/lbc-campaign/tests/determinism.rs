@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use lbc_campaign::spec::FRange;
+use lbc_campaign::spec::{FRange, RegimeSpec};
 use lbc_campaign::{
     run_campaign, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SizeSpec, StrategySpec,
     SweepSpec,
@@ -29,6 +29,7 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
                 sizes: SizeSpec::List(vec![5, 7]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![
                     StrategySpec::TamperRelays,
                     StrategySpec::Random { seed: None },
@@ -42,13 +43,96 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
                 sizes: SizeSpec::List(vec![4]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm2, AlgorithmKind::P2pBaseline],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![StrategySpec::Equivocate],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Alternating,
+            },
+            // The regime axis: the async algorithm across sync, derived-seed
+            // edge-lag and delay-max schedules — per-scenario schedule seeds
+            // are derived like `random` strategy seeds, so this sweep
+            // exercises the regime half of the determinism contract.
+            SweepSpec {
+                family: GraphFamily::Complete,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::AsyncFlood],
+                regimes: vec![
+                    RegimeSpec::Sync,
+                    RegimeSpec::Async {
+                        scheduler: lbc_model::SchedulerKind::EdgeLag,
+                        delay: 3,
+                        seed: None,
+                    },
+                    RegimeSpec::Async {
+                        scheduler: lbc_model::SchedulerKind::DelayMax,
+                        delay: 2,
+                        seed: None,
+                    },
+                ],
+                strategies: vec![
+                    StrategySpec::TamperRelays,
+                    StrategySpec::Random { seed: None },
+                ],
                 faults: FaultPolicy::Exhaustive,
                 inputs: InputPolicy::Alternating,
             },
         ],
         search: None,
     }
+}
+
+/// Pre-regime specs (no `"regimes"` key) must expand to the exact scenario
+/// stream they did before the regime axis existed: same indices, same
+/// derived seeds, every scenario synchronous. The derived-seed formula is
+/// position-dependent, so this is the guard that the axis insertion did not
+/// shift anything.
+#[test]
+fn pre_regime_specs_expand_unchanged() {
+    let json = r#"{
+        "name": "pre-regime",
+        "seed": 99,
+        "sweeps": [{
+            "family": {"kind": "cycle"},
+            "sizes": {"list": [5]},
+            "f": 1,
+            "algorithms": ["alg1"],
+            "strategies": ["tamper-relays", "random"],
+            "faults": {"policy": "exhaustive"},
+            "inputs": {"policy": "alternating"}
+        }]
+    }"#;
+    let spec = CampaignSpec::from_json_text(json).unwrap();
+    assert_eq!(spec.sweeps[0].regimes, RegimeSpec::default_axis());
+    let scenarios = spec.expand().unwrap();
+    assert_eq!(scenarios.len(), 10);
+    for (index, scenario) in scenarios.iter().enumerate() {
+        assert_eq!(scenario.index, index);
+        assert!(scenario.regime.is_synchronous());
+        // The seed formula is unchanged from the pre-regime derivation.
+        assert_eq!(
+            scenario.seed,
+            lbc_campaign::spec::mix_seed(&[0x5C, 99, index as u64])
+        );
+    }
+}
+
+/// A sync-only algorithm under an async regime is a spec error, not a
+/// silent skip (a skipped cell would make a --strict campaign vacuous).
+#[test]
+fn round_machines_reject_async_regimes_at_expansion() {
+    let mut spec = determinism_spec(1);
+    spec.sweeps[0].regimes = vec![RegimeSpec::Async {
+        scheduler: lbc_model::SchedulerKind::Fifo,
+        delay: 2,
+        seed: None,
+    }];
+    let err = spec.expand().unwrap_err();
+    assert!(
+        err.message.contains("synchronous round machine"),
+        "{}",
+        err.message
+    );
 }
 
 #[test]
@@ -141,6 +225,17 @@ fn strategy_spec_strategy() -> impl Strategy<Value = StrategySpec> {
     })
 }
 
+fn regime_spec_strategy() -> impl Strategy<Value = RegimeSpec> {
+    ((0usize..4), (1u32..6), (0u64..100)).prop_map(|(pick, delay, seed)| match pick {
+        0 => RegimeSpec::Sync,
+        other => RegimeSpec::Async {
+            scheduler: lbc_model::SchedulerKind::all()[other - 1],
+            delay,
+            seed: (seed % 2 == 0).then_some(seed),
+        },
+    })
+}
+
 fn fault_policy_strategy() -> impl Strategy<Value = FaultPolicy> {
     ((0usize..5), (1usize..6)).prop_map(|(pick, count)| match pick {
         0 => FaultPolicy::Exhaustive,
@@ -169,22 +264,33 @@ fn sweep_strategy() -> impl Strategy<Value = SweepSpec> {
         prop::collection::vec(3usize..20, 1..4),
         (0usize..3),
         (0usize..3),
+        prop::collection::vec(regime_spec_strategy(), 1..3),
         prop::collection::vec(strategy_spec_strategy(), 1..4),
         fault_policy_strategy(),
         input_policy_strategy(),
     )
         .prop_map(
-            |(family, sizes, f_from, f_extra, strategies, faults, inputs)| SweepSpec {
-                family,
-                sizes: SizeSpec::List(sizes),
-                f: FRange {
-                    from: f_from,
-                    to: f_from + f_extra,
-                },
-                algorithms: vec![AlgorithmKind::Algorithm1, AlgorithmKind::P2pBaseline],
-                strategies,
-                faults,
-                inputs,
+            |(family, sizes, f_from, f_extra, regimes, strategies, faults, inputs)| {
+                // Async regimes in the generated axis force the async
+                // algorithm (round machines reject them at expansion).
+                let algorithms = if regimes.iter().all(RegimeSpec::is_sync) {
+                    vec![AlgorithmKind::Algorithm1, AlgorithmKind::P2pBaseline]
+                } else {
+                    vec![AlgorithmKind::AsyncFlood]
+                };
+                SweepSpec {
+                    family,
+                    sizes: SizeSpec::List(sizes),
+                    f: FRange {
+                        from: f_from,
+                        to: f_from + f_extra,
+                    },
+                    algorithms,
+                    regimes,
+                    strategies,
+                    faults,
+                    inputs,
+                }
             },
         )
 }

@@ -9,7 +9,7 @@
 //!   budget produces (the mutation schedule is derived per cell and per
 //!   round, not from run history).
 
-use lbc_campaign::spec::FRange;
+use lbc_campaign::spec::{FRange, RegimeSpec};
 use lbc_campaign::{
     run_search, run_search_resumed, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy,
     SearchSpec, SizeSpec, StrategySpec, SweepSpec,
@@ -29,6 +29,7 @@ fn search_spec(budget: usize) -> CampaignSpec {
             sizes: SizeSpec::List(vec![7]),
             f: FRange { from: 1, to: 2 },
             algorithms: vec![AlgorithmKind::Algorithm1],
+            regimes: RegimeSpec::default_axis(),
             strategies: vec![
                 StrategySpec::TamperRelays,
                 StrategySpec::Random { seed: None },
@@ -125,4 +126,126 @@ fn search_finds_and_minimizes_the_boundary_violation() {
     let replay = report.counterexample_spec().expect("replay spec exists");
     let replayed = lbc_campaign::run_campaign(&replay, 2).unwrap();
     assert!(!replayed.all_correct());
+}
+
+/// An asynchronous search cell: the sub-threshold cycle under the async
+/// algorithm, searched over the joint strategy × schedule space.
+fn async_search_spec(budget: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "async-search-determinism".to_string(),
+        seed: 31,
+        sweeps: vec![SweepSpec {
+            family: GraphFamily::Cycle,
+            sizes: SizeSpec::List(vec![5]),
+            f: FRange::exactly(1),
+            algorithms: vec![AlgorithmKind::AsyncFlood],
+            regimes: vec![RegimeSpec::Async {
+                scheduler: lbc_model::SchedulerKind::EdgeLag,
+                delay: 3,
+                seed: None,
+            }],
+            strategies: vec![StrategySpec::TamperRelays],
+            faults: FaultPolicy::WorstCase,
+            inputs: InputPolicy::Alternating,
+        }],
+        search: Some(SearchSpec {
+            budget,
+            beam: 3,
+            mutations: 4,
+            rounds: 2,
+        }),
+    }
+}
+
+#[test]
+fn async_cells_search_deterministically_and_resume() {
+    let spec = async_search_spec(60);
+    let baseline = run_search(&spec, 1).unwrap().to_json().to_string();
+    for workers in [2, 8] {
+        assert_eq!(
+            run_search(&spec, workers).unwrap().to_json().to_string(),
+            baseline,
+            "async search report differs at {workers} workers"
+        );
+    }
+    // Resume under the same budget is idempotent for async cells too
+    // (their resume key includes the regime label).
+    let json = Json::parse(&baseline).unwrap();
+    assert_eq!(
+        run_search_resumed(&spec, Some(&json), 2)
+            .unwrap()
+            .to_json()
+            .to_string(),
+        baseline
+    );
+}
+
+#[test]
+fn async_search_finds_the_sub_threshold_violation_and_replays_it() {
+    let report = run_search(&async_search_spec(60), 4).unwrap();
+    assert_eq!(report.cells().len(), 1);
+    let cell = &report.cells()[0];
+    assert!(!cell.feasible, "the cycle is below the async threshold");
+    assert_eq!(cell.regime.label(), "async-edge-lag-d3");
+    assert!(
+        cell.best().severity.is_violation(),
+        "the search must find the async boundary violation: {:?}",
+        cell.best().severity
+    );
+    let counterexample = cell.counterexample.as_ref().expect("violation minimized");
+    let shrunk = &counterexample.scored.candidate;
+    assert!(
+        shrunk.schedule.is_some(),
+        "async candidates carry their schedule"
+    );
+    // The replay fragment pins the minimized schedule (seed and all) and
+    // re-violates under the grid executor.
+    let replay = report.counterexample_spec().expect("replay spec exists");
+    assert!(matches!(
+        replay.sweeps[0].regimes[0],
+        RegimeSpec::Async { seed: Some(_), .. }
+    ));
+    let replayed = lbc_campaign::run_campaign(&replay, 2).unwrap();
+    assert!(!replayed.all_correct(), "replay fragment must re-violate");
+}
+
+#[test]
+fn regime_axis_entries_differing_only_in_seed_are_distinct_cells() {
+    // Two explicit schedule seeds on the same scheduler/delay share a
+    // seedless label; the search must keep them as separate cells (the
+    // label is a display name, the cell key is the full regime spec).
+    let mut spec = async_search_spec(30);
+    spec.sweeps[0].regimes = vec![
+        RegimeSpec::Async {
+            scheduler: lbc_model::SchedulerKind::EdgeLag,
+            delay: 3,
+            seed: Some(1),
+        },
+        RegimeSpec::Async {
+            scheduler: lbc_model::SchedulerKind::EdgeLag,
+            delay: 3,
+            seed: Some(2),
+        },
+    ];
+    spec.search = Some(SearchSpec {
+        budget: 20,
+        beam: 2,
+        mutations: 2,
+        rounds: 0,
+    });
+    let report = run_search(&spec, 2).unwrap();
+    assert_eq!(
+        report.cells().len(),
+        2,
+        "explicit schedule seeds must not merge into one cell"
+    );
+    // Resume still matches both cells (keys carry the full spec).
+    let json = Json::parse(&report.to_json().to_string()).unwrap();
+    assert_eq!(
+        run_search_resumed(&spec, Some(&json), 2)
+            .unwrap()
+            .to_json()
+            .to_string(),
+        report.to_json().to_string()
+    );
 }

@@ -848,6 +848,7 @@ mod tests {
             id,
             graph,
             f: 1,
+            regime: &lbc_model::Regime::Synchronous,
             arena,
             ledger,
         }

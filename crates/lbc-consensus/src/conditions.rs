@@ -7,6 +7,7 @@
 //! |---|---|---|
 //! | local broadcast | min degree ≥ `2f` **and** connectivity ≥ `⌊3f/2⌋+1` | Theorems 4.1 + 5.1 |
 //! | local broadcast, efficient | connectivity ≥ `2f` | Theorem 5.6 |
+//! | local broadcast, asynchronous | connectivity ≥ `2f + 1` | async regime (cf. arXiv:1909.02865) |
 //! | point-to-point | `n ≥ 3f+1` **and** connectivity ≥ `2f+1` | Dolev 1982 |
 //! | hybrid (`t` equivocators) | connectivity ≥ `⌊3(f−t)/2⌋+2t+1`; if `t=0` min degree ≥ `2f`; if `t>0` every `S`, `0<|S|≤t`, has ≥ `2f+1` neighbors | Theorem 6.1 |
 
@@ -57,6 +58,39 @@ pub fn hybrid_connectivity_requirement(f: usize, t: usize) -> usize {
 pub fn local_broadcast_feasible(graph: &Graph, f: usize) -> bool {
     graph.min_degree() >= local_broadcast_degree_requirement(f)
         && connectivity::is_k_connected(graph, local_broadcast_connectivity_requirement(f))
+}
+
+/// The connectivity the **asynchronous** local-broadcast algorithm
+/// mechanized here ([`crate::AsyncFloodNode`]) requires: `2f + 1`.
+///
+/// Strictly above the synchronous threshold `⌊3f/2⌋ + 1` for every `f ≥ 1` —
+/// the regime separation of the asynchronous local-broadcast line
+/// (arXiv:1909.02865): graphs such as the cycle (`κ = 2`, synchronous-
+/// feasible at `f = 1`) fall below it, which the async boundary campaign
+/// exhibits as a reproducible violation.
+#[must_use]
+pub const fn asynchronous_connectivity_requirement(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Whether the asynchronous local-broadcast algorithm applies to `graph`
+/// with fault bound `f`: vertex connectivity at least `2f + 1` (which
+/// implies minimum degree ≥ `2f + 1 > 2f`). For `f = 0` a connected graph
+/// suffices.
+///
+/// With `κ ≥ 2f + 1`, removing any faulty set `F` (`|F| ≤ f`) leaves the
+/// graph `(f + 1)`-connected, so every correct node *reliably receives*
+/// (value along `f + 1` internally-disjoint fault-free paths) the effective
+/// initiation value of **every** node, while a forged value can travel
+/// along at most `f` disjoint paths (each must contain a faulty relay) and
+/// is never accepted — schedule-independent agreement without the
+/// round-synchronized phase machinery asynchrony forbids.
+#[must_use]
+pub fn asynchronous_feasible(graph: &Graph, f: usize) -> bool {
+    if f == 0 {
+        return graph.node_count() == 1 || graph.is_connected();
+    }
+    connectivity::is_k_connected(graph, asynchronous_connectivity_requirement(f))
 }
 
 /// Whether the **efficient** local-broadcast algorithm (Algorithm 2,

@@ -1260,6 +1260,40 @@ mod tests {
     }
 
     #[test]
+    fn restart_retires_stale_ledger_channels() {
+        // Regression (PR 5): a multi-phase algorithm restarts its flood once
+        // per candidate fault set — Algorithm 1 at f = 2 on 9 nodes runs 46
+        // phases. Every restart opens the next epoch's channel; retirement
+        // must keep the ledger's live *and allocated* channel counts bounded
+        // instead of growing linearly with the phase count.
+        let g = generators::cycle(5);
+        let arena = SharedPathArena::new();
+        let ledger = SharedFloodLedger::new();
+        let (mut flooder, _) =
+            LedgerFlooder::start(arena.clone(), ledger.clone(), n(2), Value::One);
+        for phase in 0..40 {
+            let inbox = [deliver(&arena, 1, Value::One, &[0])];
+            let _ = flooder.on_round(&g, true, Inbox::direct(&inbox));
+            let _ = flooder.restart(Value::One);
+            assert!(
+                ledger.borrow().live_channels() <= 2,
+                "phase {phase}: {} live channels",
+                ledger.borrow().live_channels()
+            );
+        }
+        assert!(
+            ledger.borrow().allocated_channels() <= 3,
+            "retired channel slots must be recycled: {}",
+            ledger.borrow().allocated_channels()
+        );
+        // The restarted flooder still behaves like a fresh one.
+        let (fresh, _) =
+            LedgerFlooder::start_on(arena.clone(), ledger.clone(), n(2), Value::One, 0, 41);
+        assert_eq!(flooder.own_value(), fresh.own_value());
+        assert_eq!(flooder.received_count(), fresh.received_count());
+    }
+
+    #[test]
     fn naive_engine_smoke() {
         let g = generators::cycle(5);
         let (mut flooder, out) = NaiveFlooder::start(n(2), Value::Zero);

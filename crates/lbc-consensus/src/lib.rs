@@ -23,6 +23,10 @@
 //!   identification, type A/B decision).
 //! * [`Algorithm3Node`] — the hybrid-model algorithm of Theorem 6.1 (phases
 //!   over pairs `(F, T)` of non-equivocating and equivocating candidates).
+//! * [`AsyncFloodNode`] — the asynchronous-regime algorithm (cf.
+//!   arXiv:1909.02865): event-driven flood-and-decide for
+//!   `(2f + 1)`-connected graphs, with its decision horizon placed against
+//!   the regime's eventual-fairness bound.
 //! * [`p2p`] — the point-to-point baseline: reliable pairwise channels via
 //!   Dolev-style relay over `2f+1` disjoint paths plus Phase-King agreement
 //!   (requires `n ≥ 3f+1` and `2f+1`-connectivity).
@@ -62,6 +66,7 @@
 mod algorithm1;
 mod algorithm2;
 mod algorithm3;
+mod asyncflood;
 pub mod conditions;
 pub mod flooding;
 mod messages;
@@ -72,6 +77,7 @@ pub mod runner;
 pub use algorithm1::Algorithm1Node;
 pub use algorithm2::Algorithm2Node;
 pub use algorithm3::Algorithm3Node;
+pub use asyncflood::AsyncFloodNode;
 pub use messages::{Alg2Message, DecisionMsg, FloodMsg, ReportMsg};
 pub use phased::StepCCase;
 pub use runner::AlgorithmKind;

@@ -2,12 +2,13 @@
 //! judging the outcome.
 
 use lbc_graph::Graph;
-use lbc_model::{CommModel, ConsensusOutcome, InputAssignment, NodeSet, Value};
+use lbc_model::{CommModel, ConsensusOutcome, InputAssignment, NodeSet, Regime, Value};
 use lbc_sim::{Adversary, Network, Protocol, Trace};
 
 use crate::algorithm1::Algorithm1Node;
 use crate::algorithm2::Algorithm2Node;
 use crate::algorithm3::Algorithm3Node;
+use crate::asyncflood::AsyncFloodNode;
 use crate::messages::{Alg2Message, FloodMsg};
 use crate::p2p::{P2pBaselineNode, P2pMessage};
 
@@ -22,17 +23,35 @@ pub enum AlgorithmKind {
     /// The classical point-to-point baseline (king agreement over
     /// Dolev-style relay), run under [`CommModel::PointToPoint`].
     P2pBaseline,
+    /// The asynchronous local-broadcast algorithm
+    /// ([`crate::AsyncFloodNode`]): event-driven flood-and-decide for
+    /// `(2f + 1)`-connected graphs, the only algorithm that runs under
+    /// asynchronous regimes (and the regime-generic one — it also runs
+    /// under [`Regime::Synchronous`], where the fairness bound is 1).
+    AsyncFlood,
 }
 
 impl AlgorithmKind {
-    /// A short, stable name ("alg1" / "alg2" / "p2p"), used by campaign
-    /// specs, report rows, and the CLI.
+    /// A short, stable name ("alg1" / "alg2" / "p2p" / "async"), used by
+    /// campaign specs, report rows, and the CLI.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             AlgorithmKind::Algorithm1 => "alg1",
             AlgorithmKind::Algorithm2 => "alg2",
             AlgorithmKind::P2pBaseline => "p2p",
+            AlgorithmKind::AsyncFlood => "async",
+        }
+    }
+
+    /// Whether this algorithm can execute under `regime`. The three
+    /// round-machine algorithms require lockstep rounds; the asynchronous
+    /// algorithm is regime-generic.
+    #[must_use]
+    pub fn supports_regime(self, regime: &Regime) -> bool {
+        match self {
+            AlgorithmKind::AsyncFlood => true,
+            _ => regime.is_synchronous(),
         }
     }
 
@@ -43,17 +62,19 @@ impl AlgorithmKind {
             "alg1" => AlgorithmKind::Algorithm1,
             "alg2" => AlgorithmKind::Algorithm2,
             "p2p" => AlgorithmKind::P2pBaseline,
+            "async" => AlgorithmKind::AsyncFlood,
             _ => return None,
         })
     }
 
     /// Every runnable kind, in stable order.
     #[must_use]
-    pub fn all() -> [AlgorithmKind; 3] {
+    pub fn all() -> [AlgorithmKind; 4] {
         [
             AlgorithmKind::Algorithm1,
             AlgorithmKind::Algorithm2,
             AlgorithmKind::P2pBaseline,
+            AlgorithmKind::AsyncFlood,
         ]
     }
 }
@@ -77,13 +98,42 @@ where
     P: Protocol,
     A: Adversary<P::Message>,
 {
+    execute_under(
+        graph,
+        model,
+        &Regime::Synchronous,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        nodes,
+        max_rounds,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_under<P, A>(
+    graph: &Graph,
+    model: CommModel,
+    regime: &Regime,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+    nodes: Vec<P>,
+    max_rounds: usize,
+) -> (ConsensusOutcome, Trace)
+where
+    P: Protocol,
+    A: Adversary<P::Message>,
+{
     assert_eq!(
         inputs.len(),
         graph.node_count(),
         "one input per graph node is required"
     );
     let mut network = Network::new(graph.clone(), model, faulty.clone(), nodes).with_fault_bound(f);
-    let report = network.run(adversary, max_rounds);
+    let report = network.run_under(regime, adversary, max_rounds);
     let mut outcome = ConsensusOutcome::new(inputs.clone(), faulty.clone());
     for node in graph.nodes() {
         if let Some(value) = report.output_of(node) {
@@ -170,11 +220,81 @@ pub fn run_kind<A>(
 where
     A: Adversary<FloodMsg> + Adversary<Alg2Message> + Adversary<P2pMessage>,
 {
+    run_kind_under(
+        kind,
+        &Regime::Synchronous,
+        graph,
+        f,
+        inputs,
+        faulty,
+        adversary,
+    )
+}
+
+/// Runs any algorithm under an explicit execution [`Regime`] — the entry
+/// point regime-axis campaign cells dispatch through.
+///
+/// # Panics
+///
+/// Panics when `kind` is a synchronous round machine and `regime` is
+/// asynchronous (see [`AlgorithmKind::supports_regime`]); campaign spec
+/// expansion rejects such cells before they reach the executor.
+pub fn run_kind_under<A>(
+    kind: AlgorithmKind,
+    regime: &Regime,
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg> + Adversary<Alg2Message> + Adversary<P2pMessage>,
+{
+    assert!(
+        kind.supports_regime(regime),
+        "{} is a synchronous round machine and cannot run under {regime}",
+        kind.name()
+    );
     match kind {
         AlgorithmKind::Algorithm1 => run_algorithm1(graph, f, inputs, faulty, adversary),
         AlgorithmKind::Algorithm2 => run_algorithm2(graph, f, inputs, faulty, adversary),
         AlgorithmKind::P2pBaseline => run_p2p_baseline(graph, f, inputs, faulty, adversary),
+        AlgorithmKind::AsyncFlood => run_async_flood(graph, f, inputs, faulty, regime, adversary),
     }
+}
+
+/// Runs the **asynchronous** local-broadcast algorithm under `regime`
+/// (which may also be [`Regime::Synchronous`] — the algorithm is
+/// regime-generic and the cross-scheduler equivalence tests rely on that).
+pub fn run_async_flood<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    regime: &Regime,
+    adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg>,
+{
+    let n = graph.node_count();
+    let nodes: Vec<AsyncFloodNode> = graph
+        .nodes()
+        .map(|v| AsyncFloodNode::new(inputs.get(v)))
+        .collect();
+    let max_steps = AsyncFloodNode::step_count(n, regime.delay_bound());
+    execute_under(
+        graph,
+        CommModel::LocalBroadcast,
+        regime,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        nodes,
+        max_steps,
+    )
 }
 
 /// Runs **Algorithm 3** under the hybrid model with the given set of

@@ -17,9 +17,12 @@
 //! where the ledger's per-node overrides must carry the engine).
 
 use lbc_consensus::flooding::{Flooder, LedgerFlooder, NaiveFloodMsg, NaiveFlooder};
-use lbc_consensus::FloodMsg;
+use lbc_consensus::{conditions, runner, FloodMsg};
 use lbc_graph::{generators, Graph};
-use lbc_model::{NodeId, NodeSet, Path, SharedFloodLedger, SharedPathArena, Value};
+use lbc_model::{
+    AsyncRegime, InputAssignment, NodeId, NodeSet, Path, Regime, SchedulerKind, SharedFloodLedger,
+    SharedPathArena, Value,
+};
 use lbc_sim::{Delivery, Inbox, Outgoing};
 
 fn n(i: usize) -> NodeId {
@@ -658,5 +661,156 @@ fn query_accessors_agree_value_by_value() {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regime equivalence: the ladder extended to the asynchronous regime.
+// ---------------------------------------------------------------------------
+//
+// The engine ladder above proves three implementations of the flood rules
+// agree under lockstep delivery. The asynchronous regime adds a second
+// quantifier: the *delivery schedule*. On graphs that satisfy the async
+// threshold (connectivity ≥ 2f + 1), a completed flood's accepted
+// `(sender, path) → value` map — and therefore the async algorithm's
+// decided values — must be identical under every eventually-fair schedule:
+// rule (ii) plus per-edge FIFO pins each key's first copy regardless of
+// cross-edge reordering. These tests permute the schedule (every scheduler
+// family × several seeds × several fairness bounds) and assert the decided
+// outputs are byte-identical and correct.
+
+/// The schedule grid every case is permuted over.
+fn schedule_grid() -> Vec<Regime> {
+    let mut regimes = vec![Regime::Synchronous];
+    for scheduler in SchedulerKind::all() {
+        for (delay, seed) in [(2, 5u64), (4, 17), (6, 902)] {
+            regimes.push(Regime::Asynchronous(AsyncRegime {
+                scheduler,
+                delay,
+                seed,
+            }));
+        }
+    }
+    regimes
+}
+
+/// Runs the async algorithm over the schedule grid and asserts identical
+/// outputs everywhere; returns the common outputs.
+fn assert_schedule_invariant(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    strategy: &lbc_adversary::Strategy,
+    label: &str,
+) -> Vec<Option<Value>> {
+    let mut reference: Option<Vec<Option<Value>>> = None;
+    for regime in schedule_grid() {
+        let mut adversary = strategy.clone().into_adversary();
+        let (outcome, _) =
+            runner::run_async_flood(graph, f, inputs, faulty, &regime, &mut adversary);
+        let outputs: Vec<Option<Value>> = graph.nodes().map(|v| outcome.output_of(v)).collect();
+        match &reference {
+            None => reference = Some(outputs),
+            Some(expected) => assert_eq!(
+                &outputs, expected,
+                "{label}: decided values changed under {regime}"
+            ),
+        }
+    }
+    reference.expect("the grid is non-empty")
+}
+
+#[test]
+fn async_decisions_are_schedule_invariant_on_conforming_graphs() {
+    // C9(1,2) is 4-connected: above the async threshold for f = 1.
+    let graph = generators::circulant(9, &[1, 2]);
+    assert!(conditions::asynchronous_feasible(&graph, 1));
+    let inputs = InputAssignment::from_bits(9, 0b011011001);
+    for strategy in [
+        lbc_adversary::Strategy::Honest,
+        lbc_adversary::Strategy::Silent,
+        lbc_adversary::Strategy::TamperRelays,
+        lbc_adversary::Strategy::TamperAll,
+        lbc_adversary::Strategy::Equivocate,
+    ] {
+        for faulty_index in [0, 4] {
+            let faulty = NodeSet::singleton(n(faulty_index));
+            let outputs =
+                assert_schedule_invariant(&graph, 1, &inputs, &faulty, &strategy, strategy.name());
+            // Conforming graphs must also *agree* (on every schedule).
+            let decided: Vec<Value> = graph
+                .nodes()
+                .filter(|v| !faulty.contains(*v))
+                .map(|v| outputs[v.index()].expect("non-faulty nodes decide"))
+                .collect();
+            assert!(
+                decided.windows(2).all(|w| w[0] == w[1]),
+                "{}: honest outputs disagree: {decided:?}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn async_decisions_are_schedule_invariant_even_below_threshold() {
+    // The stronger fact behind the boundary campaign's determinism wall:
+    // even where the algorithm *fails* (the cycle is 2-connected, below the
+    // f = 1 threshold of 3), the failure itself is schedule-independent for
+    // timing-independent strategies — the flood's accepted map does not
+    // depend on the schedule, only the graph does.
+    let graph = generators::cycle(5);
+    assert!(!conditions::asynchronous_feasible(&graph, 1));
+    let inputs = InputAssignment::from_bits(5, 0b11000);
+    let faulty = NodeSet::singleton(n(0));
+    let _ = assert_schedule_invariant(
+        &graph,
+        1,
+        &inputs,
+        &faulty,
+        &lbc_adversary::Strategy::TamperRelays,
+        "cycle5/tamper-relays",
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Scheduler-permuted deliveries yield identical decided values on
+    /// random conforming graphs: Harary graphs H_{k,n} with k ≥ 3 are
+    /// k-connected, hence above the async threshold for f = 1.
+    #[test]
+    fn async_schedule_invariance_on_random_conforming_graphs(
+        k in 3usize..5,
+        size in 6usize..11,
+        fault_index in 0usize..11,
+        strategy_index in 0usize..4,
+        bits in 0u64..2048,
+    ) {
+        let size = size.max(k + 1);
+        let graph = generators::harary(k, size);
+        proptest::prop_assume!(conditions::asynchronous_feasible(&graph, 1));
+        let strategy = [
+            lbc_adversary::Strategy::Honest,
+            lbc_adversary::Strategy::Silent,
+            lbc_adversary::Strategy::TamperRelays,
+            lbc_adversary::Strategy::Equivocate,
+        ][strategy_index % 4]
+            .clone();
+        let faulty = NodeSet::singleton(n(fault_index % size));
+        let inputs = InputAssignment::from_bits(size, bits);
+        let outputs =
+            assert_schedule_invariant(&graph, 1, &inputs, &faulty, &strategy, "random-harary");
+        let decided: Vec<Value> = graph
+            .nodes()
+            .filter(|v| !faulty.contains(*v))
+            .map(|v| outputs[v.index()].expect("non-faulty nodes decide"))
+            .collect();
+        proptest::prop_assert!(
+            decided.windows(2).all(|w| w[0] == w[1]),
+            "honest outputs disagree on a conforming graph: {:?}",
+            decided
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! lbc campaign examples/campaigns/e1_fig1a.json --strict
 //! ```
 
-use lbc_campaign::spec::FRange;
+use lbc_campaign::spec::{FRange, RegimeSpec};
 use lbc_campaign::{
     run_campaign, CampaignReport, CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, SearchSpec,
     SizeSpec, StrategySpec, SweepSpec,
@@ -32,6 +32,7 @@ pub fn e1_campaign_spec() -> CampaignSpec {
         sizes: SizeSpec::List(vec![5]),
         f: FRange::exactly(1),
         algorithms,
+        regimes: RegimeSpec::default_axis(),
         strategies,
         faults: FaultPolicy::Exhaustive,
         inputs: InputPolicy::Bits(0b01101),
@@ -69,6 +70,7 @@ pub fn e6_campaign_spec() -> CampaignSpec {
         sizes: SizeSpec::List(sizes),
         f: FRange::exactly(f),
         algorithms: vec![AlgorithmKind::Algorithm1, AlgorithmKind::Algorithm2],
+        regimes: RegimeSpec::default_axis(),
         strategies: vec![StrategySpec::TamperRelays],
         faults: FaultPolicy::Fixed(vec![vec![1], vec![1, 3]]),
         inputs: InputPolicy::Bits(0b0110101),
@@ -100,6 +102,7 @@ pub fn boundary_search_spec() -> CampaignSpec {
         sizes: SizeSpec::List(sizes),
         f,
         algorithms: vec![AlgorithmKind::Algorithm1],
+        regimes: RegimeSpec::default_axis(),
         strategies: vec![StrategySpec::TamperRelays, StrategySpec::Equivocate],
         faults: FaultPolicy::WorstCase,
         inputs: InputPolicy::Alternating,
@@ -113,6 +116,7 @@ pub fn boundary_search_spec() -> CampaignSpec {
                 sizes: SizeSpec::List(vec![13]),
                 f: FRange::exactly(1),
                 algorithms: vec![AlgorithmKind::Algorithm2],
+                regimes: RegimeSpec::default_axis(),
                 strategies: vec![
                     StrategySpec::TamperRelays,
                     StrategySpec::Random { seed: None },
@@ -135,6 +139,100 @@ pub fn boundary_search_spec() -> CampaignSpec {
             mutations: 6,
             rounds: 4,
         }),
+    }
+}
+
+/// **The execution-regime boundary as a campaign.** The asynchronous
+/// algorithm's threshold is `(2f + 1)`-connectivity, strictly above the
+/// synchronous `⌊3f/2⌋ + 1`; this spec walks both sides of it with the
+/// scheduler grid as an explicit axis:
+///
+/// * **conforming** — `C9(1,2)` (`κ = 4 ≥ 3`) at `f = 1`: the async
+///   algorithm under every scheduler family (plus the synchronous regime,
+///   where the fairness bound degenerates to 1) against omission,
+///   commission and equivocation strategies — all correct;
+/// * **sync control** — the 5-cycle at `f = 1` under Algorithm 1 in the
+///   synchronous regime: correct (the cycle satisfies the synchronous
+///   conditions);
+/// * **sub-threshold** — the *same* 5-cycle under the async algorithm
+///   (`κ = 2 < 3`): tampered relays reproducibly break agreement.
+///
+/// Mirrored by the committed `examples/campaigns/async_boundary.json`
+/// (a test keeps them in sync); `scripts/async_smoke.sh` gates it in CI.
+#[must_use]
+pub fn async_boundary_campaign_spec() -> CampaignSpec {
+    let async_regimes = vec![
+        RegimeSpec::Sync,
+        RegimeSpec::Async {
+            scheduler: lbc_model::SchedulerKind::Fifo,
+            delay: 2,
+            seed: None,
+        },
+        RegimeSpec::Async {
+            scheduler: lbc_model::SchedulerKind::EdgeLag,
+            delay: 3,
+            seed: None,
+        },
+        RegimeSpec::Async {
+            scheduler: lbc_model::SchedulerKind::DelayMax,
+            delay: 3,
+            seed: None,
+        },
+    ];
+    CampaignSpec {
+        name: "async_boundary".to_string(),
+        seed: 2026,
+        sweeps: vec![
+            SweepSpec {
+                family: GraphFamily::Circulant {
+                    offsets: vec![1, 2],
+                },
+                sizes: SizeSpec::List(vec![9]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::AsyncFlood],
+                regimes: async_regimes.clone(),
+                strategies: vec![
+                    StrategySpec::TamperRelays,
+                    StrategySpec::Silent,
+                    StrategySpec::Equivocate,
+                    StrategySpec::Sleeper { honest_rounds: 4 },
+                ],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Random { count: 2 },
+            },
+            SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::Algorithm1],
+                regimes: RegimeSpec::default_axis(),
+                strategies: vec![StrategySpec::TamperRelays],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Exhaustive,
+            },
+            SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::AsyncFlood],
+                regimes: vec![
+                    RegimeSpec::Async {
+                        scheduler: lbc_model::SchedulerKind::EdgeLag,
+                        delay: 3,
+                        seed: None,
+                    },
+                    RegimeSpec::Async {
+                        scheduler: lbc_model::SchedulerKind::Fifo,
+                        delay: 2,
+                        seed: None,
+                    },
+                ],
+                strategies: vec![StrategySpec::TamperRelays],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Exhaustive,
+            },
+        ],
+        search: None,
     }
 }
 
@@ -245,6 +343,67 @@ mod tests {
         assert_eq!(
             committed_spec("search_boundary.json"),
             boundary_search_spec()
+        );
+    }
+
+    #[test]
+    fn committed_async_boundary_spec_matches_the_builder() {
+        assert_eq!(
+            committed_spec("async_boundary.json"),
+            async_boundary_campaign_spec()
+        );
+    }
+
+    /// The acceptance gate of the execution-regime axis, trimmed for debug
+    /// builds (the CI async smoke runs the full committed spec against the
+    /// release binary): above the `(2f + 1)`-connectivity threshold the
+    /// async algorithm is correct under every scheduler; on the same
+    /// sub-threshold cycle where synchronous Algorithm 1 is correct, the
+    /// async regime reproducibly breaks agreement.
+    #[test]
+    fn async_boundary_separates_the_regimes() {
+        let mut spec = async_boundary_campaign_spec();
+        // Trim: one strategy and one input per conforming cell, a fixed
+        // input pattern for the cycle sweeps.
+        spec.sweeps[0].strategies = vec![StrategySpec::TamperRelays];
+        spec.sweeps[0].inputs = InputPolicy::Bits(0b010110011);
+        spec.sweeps[1].inputs = InputPolicy::Bits(0b11000);
+        spec.sweeps[2].inputs = InputPolicy::Bits(0b11000);
+        let report = run_campaign(&spec, 4).expect("async boundary spec expands");
+        let mut conforming = 0;
+        let mut sync_control = 0;
+        let mut sub_threshold_violations = 0;
+        for record in report.records() {
+            match (record.family.as_str(), record.algorithm) {
+                ("circulant", AlgorithmKind::AsyncFlood) => {
+                    conforming += 1;
+                    assert!(record.feasible, "C9(1,2) is above the async threshold");
+                    assert!(
+                        record.verdict.is_correct(),
+                        "conforming cell violated under [{}]: faulty={} inputs={}",
+                        record.regime,
+                        record.faulty,
+                        record.inputs
+                    );
+                }
+                ("cycle", AlgorithmKind::Algorithm1) => {
+                    sync_control += 1;
+                    assert!(
+                        record.verdict.is_correct(),
+                        "the sync control must stay correct on the cycle"
+                    );
+                }
+                ("cycle", AlgorithmKind::AsyncFlood) => {
+                    assert!(!record.feasible, "the cycle is below the async threshold");
+                    sub_threshold_violations += usize::from(!record.verdict.is_correct());
+                }
+                other => panic!("unexpected cell {other:?}"),
+            }
+        }
+        assert!(conforming > 0 && sync_control > 0);
+        assert!(
+            sub_threshold_violations > 0,
+            "the sub-threshold cycle must exhibit an async violation"
         );
     }
 

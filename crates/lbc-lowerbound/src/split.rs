@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, Round, SharedFloodLedger, SharedPathArena, Value};
+use lbc_model::{NodeId, Regime, Round, SharedFloodLedger, SharedPathArena, Value};
 use lbc_sim::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
 
 /// Which copy of an original node a `𝔾`-node is.
@@ -56,6 +56,11 @@ impl SplitNodeId {
 pub struct DoubledNetwork {
     graph: Graph,
     f: usize,
+    /// The execution regime reported to the protocol instances. The doubled
+    /// engine itself always delivers in lockstep — the indistinguishability
+    /// argument of the constructions is about *views*, not timing — but
+    /// regime-aware protocols still read their fairness bound from here.
+    regime: Regime,
     nodes: Vec<SplitNodeId>,
     index: BTreeMap<SplitNodeId, usize>,
     /// `receivers[i]` lists the `𝔾`-node indices that hear node `i`'s
@@ -73,6 +78,7 @@ impl DoubledNetwork {
         DoubledNetwork {
             graph,
             f,
+            regime: Regime::Synchronous,
             nodes: Vec::new(),
             index: BTreeMap::new(),
             receivers: Vec::new(),
@@ -90,6 +96,20 @@ impl DoubledNetwork {
     #[must_use]
     pub fn f(&self) -> usize {
         self.f
+    }
+
+    /// Overrides the regime reported to protocol instances (the default is
+    /// [`Regime::Synchronous`]).
+    #[must_use]
+    pub fn with_regime(mut self, regime: Regime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    /// The regime reported to protocol instances.
+    #[must_use]
+    pub fn regime(&self) -> &Regime {
+        &self.regime
     }
 
     /// The nodes of `𝔾`, in insertion order.
@@ -185,6 +205,7 @@ impl DoubledNetwork {
                 id: self.nodes[i].original,
                 graph: &self.graph,
                 f: self.f,
+                regime: &self.regime,
                 arena: &arena,
                 ledger: &ledger,
             };
@@ -219,6 +240,7 @@ impl DoubledNetwork {
                     id: self.nodes[i].original,
                     graph: &self.graph,
                     f: self.f,
+                    regime: &self.regime,
                     arena: &arena,
                     ledger: &ledger,
                 };

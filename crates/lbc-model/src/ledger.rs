@@ -287,18 +287,18 @@ impl FloodLedger {
 
     /// Opens (or joins) the channel named `(tag, epoch)`. Every node of the
     /// execution that derives the same name gets the same channel. Opening
-    /// epoch `e` retires the channel `(tag, e − 2)`, whose storage is
-    /// recycled — by then every node has moved past it (protocol phases are
-    /// synchronous, so nodes are never more than one epoch apart).
+    /// epoch `e` retires **every** channel of the tag at epoch `e − 2` or
+    /// older, whose storage is recycled — by then every node has moved past
+    /// them (protocol phases advance together, so nodes are never more than
+    /// one epoch apart). Retiring the whole stale range, not just `e − 2`
+    /// exactly, keeps consumers that derive non-consecutive epochs (e.g. a
+    /// step-indexed flood that skips step numbers) from leaking channels.
     pub fn open(&mut self, tag: u32, epoch: u32) -> ChannelId {
         if let Some(&slot) = self.names.get(&(tag, epoch)) {
             return ChannelId(slot);
         }
         if epoch >= 2 {
-            if let Some(retired) = self.names.remove(&(tag, epoch - 2)) {
-                self.channels[retired as usize].clear();
-                self.free.push(retired);
-            }
+            self.retire_through(tag, epoch - 2);
         }
         let slot = self.free.pop().unwrap_or_else(|| {
             self.channels.push(Channel::default());
@@ -309,10 +309,37 @@ impl FloodLedger {
         ChannelId(slot)
     }
 
+    /// Retires every channel of `tag` whose epoch is at most `through`,
+    /// recycling their storage. Safe to call redundantly; called by
+    /// [`FloodLedger::open`] and by the flood engines' restart paths.
+    pub fn retire_through(&mut self, tag: u32, through: u32) {
+        let stale: Vec<(u32, u32)> = self
+            .names
+            .keys()
+            .filter(|(t, e)| *t == tag && *e <= through)
+            .copied()
+            .collect();
+        for name in stale {
+            if let Some(retired) = self.names.remove(&name) {
+                self.channels[retired as usize].clear();
+                self.free.push(retired);
+            }
+        }
+    }
+
     /// Number of live channels.
     #[must_use]
     pub fn live_channels(&self) -> usize {
         self.names.len()
+    }
+
+    /// Number of channel slots ever allocated (live + recycled). Bounded
+    /// retirement means this stays within a small constant of the number of
+    /// *concurrently* live channels, no matter how many epochs a long
+    /// multi-phase execution opens.
+    #[must_use]
+    pub fn allocated_channels(&self) -> usize {
+        self.channels.len()
     }
 
     /// Records the broadcast with relay path `relay` carrying `value`,
@@ -511,6 +538,12 @@ impl SharedFloodLedger {
         self.inner.borrow_mut().open(tag, epoch)
     }
 
+    /// Retires every channel of `tag` at epoch `through` or older. See
+    /// [`FloodLedger::retire_through`].
+    pub fn retire_through(&self, tag: u32, through: u32) {
+        self.inner.borrow_mut().retire_through(tag, through);
+    }
+
     /// Records a relay-keyed broadcast. See [`FloodLedger::record_relay`].
     pub fn record_relay(&self, channel: ChannelId, relay: PathId, value: Value) -> Value {
         self.inner.borrow_mut().record_relay(channel, relay, value)
@@ -592,6 +625,50 @@ mod tests {
             None,
             "recycled channel starts clean"
         );
+    }
+
+    #[test]
+    fn long_epoch_sequences_keep_storage_bounded() {
+        // Regression: a multi-phase algorithm restarts its flood once per
+        // phase, opening one epoch each time. Retirement must keep both the
+        // live channel count and the allocated slot count bounded — before
+        // the shared fabric this was the per-node state that `restart`
+        // recycled, and the ledger must not reintroduce the leak.
+        let mut ledger = FloodLedger::new();
+        for epoch in 0..64 {
+            let channel = ledger.open(7, epoch);
+            ledger.record_relay(channel, pid(epoch as usize), Value::One);
+            assert!(
+                ledger.live_channels() <= 2,
+                "epoch {epoch}: {} live channels",
+                ledger.live_channels()
+            );
+        }
+        assert!(
+            ledger.allocated_channels() <= 3,
+            "retired slots must be recycled, not re-allocated: {}",
+            ledger.allocated_channels()
+        );
+    }
+
+    #[test]
+    fn skipped_epochs_do_not_leak_channels() {
+        // A step-indexed consumer can derive non-consecutive epochs (e.g.
+        // only every third step floods). The old retirement rule removed
+        // exactly `epoch - 2` and leaked everything older; the stale range
+        // must be swept instead.
+        let mut ledger = FloodLedger::new();
+        let _ = ledger.open(0, 0);
+        let _ = ledger.open(0, 3);
+        assert_eq!(
+            ledger.live_channels(),
+            1,
+            "epoch 0 is stale once epoch 3 opens"
+        );
+        let _ = ledger.open(0, 10);
+        let _ = ledger.open(1, 0); // other tags are untouched
+        assert_eq!(ledger.live_channels(), 2);
+        assert!(ledger.allocated_channels() <= 3);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   backed by a `u64`-word bitset,
 //! * [`CommModel`] — the communication model: local broadcast, point-to-point,
 //!   or the hybrid model of Section 6 of the paper,
+//! * [`Regime`] — the execution regime: lockstep synchronous rounds, or
+//!   eventually-fair asynchronous delivery under a deterministic seeded
+//!   scheduler ([`AsyncRegime`] / [`SchedulerKind`]),
 //! * [`InputAssignment`] — the binary inputs of all nodes,
 //! * [`ConsensusOutcome`] — decided outputs plus the correctness verdict
 //!   (agreement / validity / termination),
@@ -60,6 +63,7 @@ mod ledger;
 mod nodeset;
 mod outcome;
 mod path;
+pub mod regime;
 mod value;
 
 pub use arena::{PathArena, PathId, SharedPathArena};
@@ -74,4 +78,5 @@ pub use ledger::{
 pub use nodeset::NodeSet;
 pub use outcome::{ConsensusOutcome, Verdict};
 pub use path::Path;
+pub use regime::{AsyncRegime, Regime, SchedulerKind, MAX_DELAY};
 pub use value::Value;

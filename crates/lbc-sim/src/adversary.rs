@@ -89,6 +89,7 @@ mod tests {
             id: NodeId::new(0),
             graph: &graph,
             f: 1,
+            regime: &lbc_model::Regime::Synchronous,
             arena: &arena,
             ledger: &ledger,
         };
@@ -107,6 +108,7 @@ mod tests {
             id: NodeId::new(1),
             graph: &graph,
             f: 1,
+            regime: &lbc_model::Regime::Synchronous,
             arena: &arena,
             ledger: &ledger,
         };

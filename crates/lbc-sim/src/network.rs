@@ -1,7 +1,23 @@
-//! The synchronous network engine.
+//! The regime-abstracted network engine.
+//!
+//! One [`Network`] executes one [`Protocol`] instance per node under an
+//! execution [`Regime`]:
+//!
+//! * **synchronous** — the original lockstep loop, byte-for-byte: round `r`'s
+//!   transmissions are delivered to every receiver at round `r + 1`;
+//! * **asynchronous** — every `(transmission, receiver)` pair is scheduled
+//!   individually by the regime's deterministic scheduler, subject to the
+//!   eventual-fairness bound (a transmission reaches each receiver within
+//!   `D` steps) and per-edge FIFO order (a physical local-broadcast channel
+//!   delivers one sender's transmissions in order, whatever the lag).
+//!
+//! Both regimes share the zero-clone delivery fabric: a transmission lives
+//! once in a shared buffer and inboxes are slot indices into it.
 
 use lbc_graph::Graph;
-use lbc_model::{CommModel, NodeId, NodeSet, Round, SharedFloodLedger, SharedPathArena, Value};
+use lbc_model::{
+    CommModel, NodeId, NodeSet, Regime, Round, SharedFloodLedger, SharedPathArena, Value,
+};
 
 use crate::adversary::Adversary;
 use crate::protocol::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
@@ -109,10 +125,47 @@ impl<P: Protocol> Network<P> {
         &self.nodes[node.index()]
     }
 
-    /// Runs the simulation for at most `max_rounds` rounds, driving faulty
-    /// nodes through `adversary`. Stops early once every non-faulty node
-    /// reports termination.
+    /// Runs the simulation under the **synchronous** regime for at most
+    /// `max_rounds` rounds, driving faulty nodes through `adversary`. Stops
+    /// early once every non-faulty node reports termination. Equivalent to
+    /// [`Network::run_under`] with [`Regime::Synchronous`].
     pub fn run<A>(&mut self, adversary: &mut A, max_rounds: usize) -> RunReport
+    where
+        A: Adversary<P::Message>,
+    {
+        self.run_under(&Regime::Synchronous, adversary, max_rounds)
+    }
+
+    /// Runs the simulation under `regime` for at most `max_rounds` steps,
+    /// driving faulty nodes through `adversary`. Stops early once every
+    /// non-faulty node reports termination.
+    ///
+    /// Under the synchronous regime a step is a lockstep round (the original
+    /// loop, unchanged). Under an asynchronous regime every protocol's
+    /// `on_round` hook is still invoked once per step — with whatever subset
+    /// of in-flight transmissions the scheduler released to that node, which
+    /// may be empty — so regime-aware protocols can count steps against the
+    /// fairness bound exposed by [`NodeContext::regime`].
+    pub fn run_under<A>(
+        &mut self,
+        regime: &Regime,
+        adversary: &mut A,
+        max_rounds: usize,
+    ) -> RunReport
+    where
+        A: Adversary<P::Message>,
+    {
+        match regime {
+            Regime::Synchronous => self.run_synchronous(adversary, max_rounds),
+            Regime::Asynchronous(config) => {
+                self.run_asynchronous(regime, *config, adversary, max_rounds)
+            }
+        }
+    }
+
+    /// The lockstep loop: the synchronous regime's implementation, kept
+    /// byte-identical to the pre-regime simulator.
+    fn run_synchronous<A>(&mut self, adversary: &mut A, max_rounds: usize) -> RunReport
     where
         A: Adversary<P::Message>,
     {
@@ -128,7 +181,8 @@ impl<P: Protocol> Network<P> {
         let mut slots: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
 
         // Start-of-execution transmissions.
-        let mut pending = self.collect_outgoing(adversary, None, &buffer, &slots);
+        let regime = Regime::Synchronous;
+        let mut pending = self.collect_outgoing(&regime, adversary, None, &buffer, &slots);
 
         for round_index in 0..max_rounds {
             if self.all_non_faulty_terminated() {
@@ -137,7 +191,7 @@ impl<P: Protocol> Network<P> {
             let round = Round::new(round_index as u64);
             let stats = self.deliver(pending, &mut buffer, &mut slots);
             trace.push_round(stats);
-            pending = self.collect_outgoing(adversary, Some(round), &buffer, &slots);
+            pending = self.collect_outgoing(&regime, adversary, Some(round), &buffer, &slots);
         }
 
         let outputs = self.nodes.iter().map(Protocol::output).collect();
@@ -145,6 +199,151 @@ impl<P: Protocol> Network<P> {
             outputs,
             all_non_faulty_terminated: self.all_non_faulty_terminated(),
             trace,
+        }
+    }
+
+    /// The event-scheduled loop of the asynchronous regime.
+    ///
+    /// Transmissions are appended once to an execution-wide buffer; each
+    /// `(transmission, receiver)` pair becomes a delivery event scheduled
+    /// `lag ∈ 1..=D` steps ahead by the regime's deterministic scheduler,
+    /// clamped so per-edge FIFO order holds. Every step delivers the due
+    /// events (in global transmission order per receiver) and runs every
+    /// node's `on_round` hook, empty inbox or not.
+    fn run_asynchronous<A>(
+        &mut self,
+        regime: &Regime,
+        config: lbc_model::AsyncRegime,
+        adversary: &mut A,
+        max_steps: usize,
+    ) -> RunReport
+    where
+        A: Adversary<P::Message>,
+    {
+        let n = self.nodes.len();
+        let mut trace = Trace::new();
+        // The execution-wide transmission buffer: a message lives here once,
+        // however many receivers it has and however spread out in time their
+        // deliveries are.
+        let mut buffer: Vec<Delivery<P::Message>> = Vec::new();
+        // due[step % (D+1)] = events due at `step`, filled at enqueue time.
+        // A lag is at most D, so a ring of D+1 step buckets always suffices.
+        let horizon = config.delay.max(1) as usize + 1;
+        let mut due: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon];
+        // Per-edge FIFO clamp: the last step any delivery was scheduled for
+        // on the (sender, receiver) edge.
+        let mut edge_last: Vec<u64> = vec![0; n * n];
+        let mut slots: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut stats_accum = RoundStats::default();
+
+        let pending = self.collect_outgoing(regime, adversary, None, &buffer, &slots);
+        // Start-of-execution transmissions behave as if emitted at "step
+        // −1": with the minimum lag of 1 they arrive at step 0, exactly as
+        // under the synchronous regime.
+        self.enqueue_async(
+            &config,
+            pending,
+            0,
+            &mut buffer,
+            &mut due,
+            &mut edge_last,
+            &mut stats_accum,
+        );
+
+        for step_index in 0..max_steps {
+            if self.all_non_faulty_terminated() {
+                break;
+            }
+            // Release this step's events into the per-node inboxes, in
+            // global transmission (slot) order per receiver.
+            for inbox in slots.iter_mut() {
+                inbox.clear();
+            }
+            let bucket = step_index % horizon;
+            let mut released = std::mem::take(&mut due[bucket]);
+            released.sort_unstable();
+            let mut stats = std::mem::take(&mut stats_accum);
+            for (slot, receiver) in released {
+                slots[receiver as usize].push(slot);
+                stats.deliveries += 1;
+            }
+            trace.push_round(stats);
+            let round = Round::new(step_index as u64);
+            let pending = self.collect_outgoing(regime, adversary, Some(round), &buffer, &slots);
+            self.enqueue_async(
+                &config,
+                pending,
+                step_index as u64 + 1,
+                &mut buffer,
+                &mut due,
+                &mut edge_last,
+                &mut stats_accum,
+            );
+        }
+
+        let outputs = self.nodes.iter().map(Protocol::output).collect();
+        RunReport {
+            outputs,
+            all_non_faulty_terminated: self.all_non_faulty_terminated(),
+            trace,
+        }
+    }
+
+    /// Applies the communication model to freshly collected transmissions
+    /// and schedules one delivery event per `(transmission, receiver)` pair.
+    /// `base` is the earliest step a lag-1 delivery may land on.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_async(
+        &self,
+        config: &lbc_model::AsyncRegime,
+        pending: Vec<Vec<Outgoing<P::Message>>>,
+        base: u64,
+        buffer: &mut Vec<Delivery<P::Message>>,
+        due: &mut [Vec<(u32, u32)>],
+        edge_last: &mut [u64],
+        stats: &mut RoundStats,
+    ) {
+        let n = self.nodes.len();
+        let horizon = due.len() as u64;
+        let mut schedule = |slot: u32, from: NodeId, to: NodeId| {
+            let lag = config
+                .lag(from.index(), to.index(), n)
+                .clamp(1, horizon - 1);
+            // `base` is already the lag-1 landing step, so the extra lag
+            // beyond 1 is added on top; the FIFO clamp keeps one edge's
+            // deliveries in transmission order.
+            let edge = from.index() * n + to.index();
+            let at = (base + (lag - 1)).max(edge_last[edge]);
+            edge_last[edge] = at;
+            due[(at % horizon) as usize].push((slot, to.index() as u32));
+        };
+        for (sender_index, sender_pending) in pending.into_iter().enumerate() {
+            let sender = NodeId::new(sender_index);
+            let can_equivocate = self.model.allows_equivocation(sender);
+            for outgoing in sender_pending {
+                stats.transmissions += 1;
+                let slot = u32::try_from(buffer.len()).expect("delivery buffer overflow");
+                match outgoing {
+                    Outgoing::Unicast(target, message) if can_equivocate => {
+                        if self.graph.has_edge(sender, target) {
+                            buffer.push(Delivery {
+                                from: sender,
+                                message,
+                            });
+                            schedule(slot, sender, target);
+                        }
+                    }
+                    Outgoing::Broadcast(message) | Outgoing::Unicast(_, message) => {
+                        buffer.push(Delivery {
+                            from: sender,
+                            message,
+                        });
+                        for neighbor in self.graph.neighbors(sender) {
+                            schedule(slot, sender, neighbor);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -160,6 +359,7 @@ impl<P: Protocol> Network<P> {
     /// adversary.
     fn collect_outgoing<A>(
         &mut self,
+        regime: &Regime,
         adversary: &mut A,
         round: Option<Round>,
         buffer: &[Delivery<P::Message>],
@@ -175,6 +375,7 @@ impl<P: Protocol> Network<P> {
                 id,
                 graph: &self.graph,
                 f: self.f,
+                regime,
                 arena: &self.arena,
                 ledger: &self.ledger,
             };
@@ -505,6 +706,168 @@ mod tests {
         let network = Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes)
             .with_fault_bound(2);
         assert_eq!(network.f, 2);
+    }
+
+    /// A probe that transmits two ordered broadcasts at start and records
+    /// every delivery as `(step, from, value)`.
+    #[derive(Debug)]
+    struct OrderProbe {
+        steps: u64,
+        heard: Vec<(u64, NodeId, Value)>,
+        quiet: bool,
+        done: bool,
+    }
+
+    impl OrderProbe {
+        fn sender() -> Self {
+            OrderProbe {
+                steps: 0,
+                heard: Vec::new(),
+                quiet: false,
+                done: false,
+            }
+        }
+
+        fn listener() -> Self {
+            OrderProbe {
+                steps: 0,
+                heard: Vec::new(),
+                quiet: true,
+                done: false,
+            }
+        }
+    }
+
+    impl Protocol for OrderProbe {
+        type Message = Value;
+
+        fn on_start(&mut self, _ctx: &NodeContext<'_>) -> Vec<Outgoing<Value>> {
+            if self.quiet {
+                Vec::new()
+            } else {
+                // Two transmissions in one step: per-edge FIFO must deliver
+                // Zero before One at every receiver, whatever the lags.
+                vec![
+                    Outgoing::Broadcast(Value::Zero),
+                    Outgoing::Broadcast(Value::One),
+                ]
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            _ctx: &NodeContext<'_>,
+            _round: Round,
+            inbox: Inbox<'_, Value>,
+        ) -> Vec<Outgoing<Value>> {
+            let step = self.steps;
+            self.steps += 1;
+            for delivery in inbox.iter() {
+                self.heard.push((step, delivery.from, delivery.message));
+            }
+            // Terminate late enough for every lag to play out.
+            if step >= 12 {
+                self.done = true;
+            }
+            Vec::new()
+        }
+
+        fn output(&self) -> Option<Value> {
+            self.done.then_some(Value::Zero)
+        }
+    }
+
+    fn async_regime(scheduler: lbc_model::SchedulerKind, delay: u32, seed: u64) -> Regime {
+        Regime::Asynchronous(lbc_model::AsyncRegime {
+            scheduler,
+            delay,
+            seed,
+        })
+    }
+
+    #[test]
+    fn async_lag_one_fifo_matches_the_synchronous_regime() {
+        let make = || {
+            let graph = generators::cycle(4);
+            let nodes = echo_nodes(&graph);
+            Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes)
+        };
+        let sync_report = make().run(&mut honest_adversary(), 10);
+        let mut network = make();
+        let regime = async_regime(lbc_model::SchedulerKind::Fifo, 1, 99);
+        let async_report = network.run_under(&regime, &mut honest_adversary(), 10);
+        assert_eq!(async_report.outputs, sync_report.outputs);
+        assert_eq!(async_report.trace.rounds(), sync_report.trace.rounds());
+        assert_eq!(
+            async_report.trace.total_transmissions(),
+            sync_report.trace.total_transmissions()
+        );
+        assert_eq!(
+            async_report.trace.total_deliveries(),
+            sync_report.trace.total_deliveries()
+        );
+    }
+
+    #[test]
+    fn async_deliveries_respect_fairness_and_per_edge_fifo() {
+        for scheduler in lbc_model::SchedulerKind::all() {
+            for seed in [0, 7, 991] {
+                let delay = 4u32;
+                let graph = generators::complete(3);
+                let nodes = vec![
+                    OrderProbe::sender(),
+                    OrderProbe::listener(),
+                    OrderProbe::listener(),
+                ];
+                let mut network =
+                    Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
+                let regime = async_regime(scheduler, delay, seed);
+                let _ = network.run_under(&regime, &mut HonestAdversary, 40);
+                for listener in [1, 2] {
+                    let heard = &network.node(n(listener)).heard;
+                    let from_sender: Vec<&(u64, NodeId, Value)> =
+                        heard.iter().filter(|(_, from, _)| *from == n(0)).collect();
+                    assert_eq!(
+                        from_sender.len(),
+                        2,
+                        "{}/{seed}: listener {listener} missed a delivery",
+                        scheduler.name()
+                    );
+                    // Eventual fairness: start transmissions land within the
+                    // first `delay` steps.
+                    for (step, _, _) in &from_sender {
+                        assert!(
+                            *step < u64::from(delay),
+                            "{}/{seed}: delivery at step {step} breaks the bound",
+                            scheduler.name()
+                        );
+                    }
+                    // Per-edge FIFO: Zero (sent first) arrives no later than
+                    // One, and when they share a step, in transmission order.
+                    assert_eq!(from_sender[0].2, Value::Zero);
+                    assert_eq!(from_sender[1].2, Value::One);
+                    assert!(from_sender[0].0 <= from_sender[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let graph = generators::cycle(5);
+            let nodes = echo_nodes(&graph);
+            let mut network = Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
+            let regime = async_regime(lbc_model::SchedulerKind::EdgeLag, 5, seed);
+            let report = network.run_under(&regime, &mut honest_adversary(), 40);
+            (
+                report.outputs.clone(),
+                report.trace.rounds(),
+                report.trace.total_deliveries(),
+            )
+        };
+        assert_eq!(run(3), run(3));
+        assert_eq!(run(4), run(4));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt::Debug;
 
 use lbc_graph::Graph;
-use lbc_model::{NodeId, NodeSet, Round, SharedFloodLedger, SharedPathArena, Value};
+use lbc_model::{NodeId, NodeSet, Regime, Round, SharedFloodLedger, SharedPathArena, Value};
 
 /// Static, per-node context handed to every protocol hook.
 ///
@@ -13,7 +13,10 @@ use lbc_model::{NodeId, NodeSet, Round, SharedFloodLedger, SharedPathArena, Valu
 /// which message `PathId`s are interned and resolved, and the shared
 /// [`SharedFloodLedger`] — the broadcast-once flood fabric the ledger-backed
 /// flood engines collapse their per-node state into. The simulator owns one
-/// arena and one ledger per run.
+/// arena and one ledger per run. The [`Regime`] the execution runs under is
+/// exposed too: regime-aware protocols read the eventual-fairness bound from
+/// it (e.g. to place an asynchronous decision horizon), while round-based
+/// protocols can ignore it.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeContext<'a> {
     /// This node's identifier.
@@ -22,6 +25,8 @@ pub struct NodeContext<'a> {
     pub graph: &'a Graph,
     /// The declared maximum number of Byzantine faults `f`.
     pub f: usize,
+    /// The execution regime deliveries are scheduled under.
+    pub regime: &'a Regime,
     /// The execution-wide path-interning arena.
     pub arena: &'a SharedPathArena,
     /// The execution-wide shared flood ledger.
@@ -366,6 +371,7 @@ mod tests {
             id: NodeId::new(2),
             graph: &graph,
             f: 1,
+            regime: &Regime::Synchronous,
             arena: &arena,
             ledger: &ledger,
         };
@@ -397,6 +403,7 @@ mod tests {
             id: NodeId::new(0),
             graph: &graph,
             f: 0,
+            regime: &Regime::Synchronous,
             arena: &arena,
             ledger: &ledger,
         };

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Regenerates a bench baseline file: runs the baseline bench targets (the
-# flood-engine benches plus the feasibility sweep) and aggregates the
-# criterion-shim JSON records — including naive/per-node/ledger speedup
+# flood-engine benches, the feasibility sweep, and the execution-regime
+# workloads — the async algorithm across the scheduler grid) and aggregates
+# the criterion-shim JSON records — including naive/per-node/ledger speedup
 # triples — into one file at the workspace root.
 #
 #   scripts/bench_baseline.sh              # writes BENCH_baseline.json
-#   scripts/bench_baseline.sh BENCH_pr3.json
+#   scripts/bench_baseline.sh BENCH_pr5.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +17,5 @@ OUT_FILE="${1:-BENCH_baseline.json}"
 export LBC_BENCH_OUT="${LBC_BENCH_OUT:-$(pwd)/target/lbc-bench}"
 rm -rf "$LBC_BENCH_OUT"
 
-cargo bench -p lbc-bench --bench fig1a_cycle --bench reliable_receive --bench threshold_sweep
+cargo bench -p lbc-bench --bench fig1a_cycle --bench reliable_receive --bench threshold_sweep --bench async_regime
 cargo run --release -p lbc-bench --bin bench_baseline -- "$OUT_FILE"

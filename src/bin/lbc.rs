@@ -7,17 +7,19 @@
 //!                                  run a consensus algorithm and print the outcome
 //! lbc impossibility <graph> <f>    run the Figure 2/3 constructions on a deficient graph
 //! lbc experiments [id]             print experiment tables (all, or E1..E8)
-//! lbc campaign <spec.json> [--workers N] [--out DIR] [--strict]
+//! lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--list]
 //!                                  expand and execute a campaign spec, writing
 //!                                  <name>.report.json (canonical, deterministic)
-//!                                  and <name>.report.csv (with wall times)
+//!                                  and <name>.report.csv (with wall times);
+//!                                  --list prints the expanded scenario table
+//!                                  without executing anything
 //! lbc campaign diff [--cross-spec] <old.json> <new.json>
 //!                                  compare two canonical reports (campaign or
 //!                                  search) cell-by-cell; exit non-zero on
 //!                                  verdict regressions. --cross-spec matches
 //!                                  by coordinates and tolerates added grids
 //! lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT]
-//!            [--require-violation]
+//!            [--require-violation] [--list]
 //!                                  per-cell worst-case adversary search; writes
 //!                                  <name>.search.json (canonical, resumable)
 //!                                  and <name>.counterexamples.json (replayable
@@ -35,7 +37,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lbc_campaign::diff::{diff_report_texts_with, DiffOptions};
-use lbc_campaign::{run_scenarios_noted, run_search_resumed, CampaignSpec};
+use lbc_campaign::{render_search_plan, run_scenarios_noted, run_search_resumed, CampaignSpec};
 use lbc_model::json::{Json, ToJson};
 use local_broadcast_consensus::experiments;
 use local_broadcast_consensus::prelude::*;
@@ -82,7 +84,7 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--list]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b"
     );
     ExitCode::from(2)
 }
@@ -161,6 +163,7 @@ fn cmd_search(args: &[String]) -> ExitCode {
     let mut resume_path: Option<String> = None;
     let mut require_violation = false;
     let mut quiet = false;
+    let mut list = false;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -187,6 +190,7 @@ fn cmd_search(args: &[String]) -> ExitCode {
             }
             "--require-violation" => require_violation = true,
             "--quiet" => quiet = true,
+            "--list" => list = true,
             other => {
                 eprintln!("unknown search flag: {other}");
                 return ExitCode::from(2);
@@ -207,6 +211,19 @@ fn cmd_search(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if list {
+        // Spec debugging: print the expanded cell table, run nothing.
+        return match render_search_plan(&spec) {
+            Ok(plan) => {
+                print!("{plan}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{spec_path}: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let prior = match &resume_path {
         None => None,
         Some(path) => match fs::read_to_string(path)
@@ -365,6 +382,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "alg2" => runner::run_algorithm2(&graph, f, &inputs, &faulty, &mut adversary),
         "alg3" => runner::run_algorithm3(&graph, f, f, &faulty, &inputs, &faulty, &mut adversary),
         "p2p" => runner::run_p2p_baseline(&graph, f, &inputs, &faulty, &mut adversary),
+        "async" => {
+            // A representative adversarial schedule; campaigns sweep the
+            // full scheduler × delay grid.
+            let regime = lbc_model::Regime::Asynchronous(lbc_model::AsyncRegime {
+                scheduler: lbc_model::SchedulerKind::EdgeLag,
+                delay: 3,
+                seed: 42,
+            });
+            runner::run_async_flood(&graph, f, &inputs, &faulty, &regime, &mut adversary)
+        }
         other => {
             eprintln!("unknown algorithm: {other}");
             return ExitCode::from(2);
@@ -485,6 +512,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut strict = false;
     let mut quiet = false;
+    let mut list = false;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -504,6 +532,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             }
             "--strict" => strict = true,
             "--quiet" => quiet = true,
+            "--list" => list = true,
             other => {
                 eprintln!("unknown campaign flag: {other}");
                 return ExitCode::from(2);
@@ -531,6 +560,34 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if list {
+        // Spec debugging: print the expanded scenario table, run nothing.
+        println!(
+            "campaign '{}' (seed {}): {} scenarios",
+            spec.name,
+            spec.seed,
+            scenarios.len()
+        );
+        for note in &notes {
+            println!("note: {note}");
+        }
+        for scenario in &scenarios {
+            println!(
+                "  #{} {} n={} f={} {} [{}] {} faulty={} inputs={} feasible={}",
+                scenario.index,
+                scenario.graph,
+                scenario.n,
+                scenario.f,
+                scenario.algorithm.name(),
+                scenario.regime.label(),
+                scenario.strategy_name,
+                scenario.faulty,
+                scenario.inputs,
+                scenario.feasible
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
     if !quiet {
         println!(
             "campaign '{}': {} scenarios on {workers} workers",
