@@ -15,7 +15,10 @@
 //! Under asynchronous regimes the adversary additionally controls the
 //! delivery schedule; the [`schedule`] module is that half of the surface
 //! (catalogue, mutations, simplifications over
-//! [`lbc_model::AsyncRegime`]).
+//! [`lbc_model::AsyncRegime`]). Under partial synchrony the same module
+//! adds the timing axis ([`schedule::GstAttack`]): the choice of GST and of
+//! the pre-GST hold-set, co-mutated by the search and coupled to the
+//! scheduler-aware strategies ([`Strategy::gst_aware`]).
 //!
 //! # Example
 //!

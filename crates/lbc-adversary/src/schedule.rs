@@ -1,4 +1,5 @@
-//! Adversarial scheduler knobs for the asynchronous regime.
+//! Adversarial scheduler knobs for the asynchronous and partially
+//! synchronous regimes.
 //!
 //! Under the asynchronous regime the adversary controls two things: what
 //! faulty nodes transmit (a [`crate::Strategy`]) and *when* every
@@ -10,8 +11,16 @@
 //! [`crate::Strategy::simplifications`], consumed by the worst-case search
 //! when it explores the joint strategy × schedule space of an asynchronous
 //! cell.
+//!
+//! Under **partial synchrony** the schedule surface grows a third axis: a
+//! [`GstAttack`] picks the Global Stabilization Time and the set of senders
+//! whose pre-GST transmissions are withheld entirely (bursting at GST). The
+//! same catalogue/mutation/simplification triple exists for timing attacks,
+//! so the search can co-mutate `gst` and the hold-set toward the violation
+//! boundary and minimization can shrink toward the earliest GST and the
+//! smallest hold-set that still violate.
 
-use lbc_model::{AsyncRegime, Regime, SchedulerKind};
+use lbc_model::{AdversarialSchedule, AsyncRegime, Regime, SchedulerKind};
 
 /// The maximum fairness bound the knobs will dial up to. Larger delays only
 /// stretch executions linearly without adding new delivery *orders* beyond
@@ -122,6 +131,190 @@ pub fn as_regime(schedule: &AsyncRegime) -> Regime {
     Regime::Asynchronous(*schedule)
 }
 
+/// The largest GST the timing knobs dial up to. Pushing GST further only
+/// delays the burst without changing *which* transmissions straddle the
+/// boundary, and every protocol horizon in the workspace is well below it.
+pub const MAX_GST_KNOB: u32 = 64;
+
+/// A partial-synchrony timing attack: the adversary's choice of the Global
+/// Stabilization Time and of the senders whose pre-GST transmissions are
+/// withheld until then (bitmask over node indices `< 64`, the searchable
+/// range).
+///
+/// The three GST attack primitives are all instances of this one shape:
+///
+/// * **Hold-until-GST** ([`GstAttack::hold_until_gst`]): withhold every
+///   pre-GST transmission of a sender set, burst-releasing them exactly at
+///   `gst` — the maximal exercise of pre-GST scheduler freedom.
+/// * **Boundary-straddling late initiation**
+///   ([`GstAttack::late_initiation`]): hold a *single* node, so its step-0
+///   initiation lands at `gst` — after its neighbors have substituted the
+///   default for it when `gst` straddles their default-substitution
+///   deadline.
+/// * **Schedule-coupled equivocation** ([`GstAttack::coupled`]): the same
+///   hold paired with a scheduler-aware strategy
+///   ([`crate::Strategy::gst_aware`]) that switches behaviour at the same
+///   boundary, so conflicting copies released on opposite sides of GST land
+///   in the same burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GstAttack {
+    /// The Global Stabilization Time (step index), `>= 1`.
+    pub gst: u32,
+    /// Bitmask of held senders (bit `i` set ⇒ node `i`'s pre-GST
+    /// transmissions are withheld until `gst`).
+    pub hold: u64,
+}
+
+impl GstAttack {
+    /// Hold-until-GST over an explicit sender set; indices `>= 64` are
+    /// ignored (the simulator never holds them).
+    #[must_use]
+    pub fn hold_until_gst(gst: u32, held: &[usize]) -> GstAttack {
+        GstAttack {
+            gst: gst.clamp(1, MAX_GST_KNOB),
+            hold: AdversarialSchedule::holding(held).hold,
+        }
+    }
+
+    /// Boundary-straddling late initiation of a single node.
+    #[must_use]
+    pub fn late_initiation(gst: u32, initiator: usize) -> GstAttack {
+        GstAttack::hold_until_gst(gst, &[initiator])
+    }
+
+    /// A hold-set timed to couple with a scheduler-aware strategy switching
+    /// at the same GST (straddle-tamper / gst-equivocate).
+    #[must_use]
+    pub fn coupled(gst: u32, held: &[usize]) -> GstAttack {
+        GstAttack::hold_until_gst(gst, held)
+    }
+
+    /// The hold-set as the model-layer schedule value.
+    #[must_use]
+    pub fn schedule(&self) -> AdversarialSchedule {
+        AdversarialSchedule { hold: self.hold }
+    }
+}
+
+/// Representative timing attacks derived from a cell's declared base attack:
+/// the base itself, its single-node late-initiation cut, and the base hold
+/// bursting one fairness window later. Deterministic in `base`.
+#[must_use]
+pub fn gst_catalogue(base: &GstAttack) -> Vec<GstAttack> {
+    let mut out = vec![*base];
+    if base.hold.count_ones() > 1 {
+        let lowest = base.hold & base.hold.wrapping_neg();
+        out.push(GstAttack {
+            hold: lowest,
+            ..*base
+        });
+    }
+    if base.gst < MAX_GST_KNOB {
+        out.push(GstAttack {
+            gst: (base.gst + 1).min(MAX_GST_KNOB),
+            ..*base
+        });
+    }
+    out.dedup();
+    out
+}
+
+/// The local mutation neighborhood of a timing attack: GST ±1 and
+/// halved/doubled (clamped to `1..=MAX_GST_KNOB`), plus a seeded hold-bit
+/// flip over the first `n` nodes — the co-mutation operator that moves
+/// `gst` and the hold-set toward the violation boundary together.
+/// Deterministic for a given `(attack, n, seed)`.
+#[must_use]
+pub fn gst_mutations(attack: &GstAttack, n: usize, seed: u64) -> Vec<GstAttack> {
+    let mut out = Vec::new();
+    if attack.gst < MAX_GST_KNOB {
+        out.push(GstAttack {
+            gst: attack.gst + 1,
+            ..*attack
+        });
+    }
+    if attack.gst > 1 {
+        out.push(GstAttack {
+            gst: attack.gst - 1,
+            ..*attack
+        });
+        out.push(GstAttack {
+            gst: 1.max(attack.gst / 2),
+            ..*attack
+        });
+    }
+    out.push(GstAttack {
+        gst: (attack.gst.saturating_mul(2)).min(MAX_GST_KNOB),
+        ..*attack
+    });
+    let holdable = n.min(64) as u64;
+    if holdable > 0 {
+        let flip = 1u64 << (seed % holdable);
+        out.push(GstAttack {
+            hold: attack.hold ^ flip,
+            ..*attack
+        });
+    }
+    out.retain(|mutated| mutated != attack);
+    out.dedup();
+    out
+}
+
+/// A coarse complexity rank for minimization: earlier GSTs first, then
+/// smaller hold-sets. The rank is strictly monotone in both, so shrinking
+/// toward the earliest GST and the smallest hold-set that still violate
+/// terminates.
+#[must_use]
+pub fn gst_complexity_rank(attack: &GstAttack) -> u64 {
+    u64::from(attack.gst) * 65 + u64::from(attack.hold.count_ones())
+}
+
+/// Strictly simpler timing attacks worth trying when shrinking a
+/// counterexample, most aggressive first: halve/decrement GST, drop the
+/// highest held sender, collapse to the single lowest held sender. Every
+/// entry has a lower [`gst_complexity_rank`].
+#[must_use]
+pub fn gst_simplifications(attack: &GstAttack) -> Vec<GstAttack> {
+    let rank = gst_complexity_rank(attack);
+    let mut out = Vec::new();
+    if attack.gst > 1 {
+        out.push(GstAttack {
+            gst: 1.max(attack.gst / 2),
+            ..*attack
+        });
+        out.push(GstAttack {
+            gst: attack.gst - 1,
+            ..*attack
+        });
+    }
+    if attack.hold != 0 {
+        let highest = 1u64 << (63 - attack.hold.leading_zeros());
+        out.push(GstAttack {
+            hold: attack.hold & !highest,
+            ..*attack
+        });
+        let lowest = attack.hold & attack.hold.wrapping_neg();
+        out.push(GstAttack {
+            hold: lowest,
+            ..*attack
+        });
+    }
+    out.retain(|candidate| gst_complexity_rank(candidate) < rank);
+    out.dedup();
+    out
+}
+
+/// Combines a timing attack with the post-GST schedule into the
+/// partial-synchrony regime value the runner consumes.
+#[must_use]
+pub fn gst_as_regime(attack: &GstAttack, post: &AsyncRegime) -> Regime {
+    Regime::PartialSync {
+        gst: attack.gst,
+        pre: attack.schedule(),
+        post: *post,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +382,114 @@ mod tests {
     fn regime_wrapping() {
         let schedule = base();
         assert_eq!(as_regime(&schedule), Regime::Asynchronous(schedule));
+    }
+
+    fn attack() -> GstAttack {
+        GstAttack::hold_until_gst(12, &[0, 2, 5])
+    }
+
+    #[test]
+    fn gst_constructors_clamp_and_mask() {
+        assert_eq!(
+            attack(),
+            GstAttack {
+                gst: 12,
+                hold: 0b100101
+            }
+        );
+        // gst 0 is the asynchronous regime; constructors clamp to 1.
+        assert_eq!(GstAttack::hold_until_gst(0, &[1]).gst, 1);
+        assert_eq!(GstAttack::hold_until_gst(10_000, &[1]).gst, MAX_GST_KNOB);
+        // Indices >= 64 are ignored, matching the simulator.
+        assert_eq!(GstAttack::hold_until_gst(3, &[70]).hold, 0);
+        assert_eq!(
+            GstAttack::late_initiation(4, 3),
+            GstAttack {
+                gst: 4,
+                hold: 0b1000
+            }
+        );
+        assert_eq!(
+            GstAttack::coupled(4, &[1, 3]),
+            GstAttack {
+                gst: 4,
+                hold: 0b1010
+            }
+        );
+    }
+
+    #[test]
+    fn gst_catalogue_is_deterministic_and_contains_the_base() {
+        let base = attack();
+        let entries = gst_catalogue(&base);
+        assert_eq!(entries, gst_catalogue(&base));
+        assert_eq!(entries[0], base);
+        // The late-initiation cut keeps only the lowest held sender.
+        assert!(entries.contains(&GstAttack { gst: 12, hold: 0b1 }));
+    }
+
+    #[test]
+    fn gst_mutations_are_deterministic_self_free_and_bounded() {
+        for seed in [0, 7, 63] {
+            let muts = gst_mutations(&attack(), 7, seed);
+            assert_eq!(muts, gst_mutations(&attack(), 7, seed));
+            assert!(!muts.is_empty());
+            for mutated in &muts {
+                assert_ne!(mutated, &attack());
+                assert!((1..=MAX_GST_KNOB).contains(&mutated.gst));
+                // Hold-bit flips stay inside the cell's node range.
+                assert_eq!(mutated.hold >> 7, 0);
+            }
+        }
+        // The co-mutation operator flips exactly one hold bit.
+        let flipped = gst_mutations(&attack(), 7, 1)
+            .into_iter()
+            .find(|m| m.hold != attack().hold)
+            .expect("a hold-bit flip");
+        assert_eq!((flipped.hold ^ attack().hold).count_ones(), 1);
+        // The GST ceiling is respected.
+        let maxed = GstAttack {
+            gst: MAX_GST_KNOB,
+            hold: 1,
+        };
+        assert!(gst_mutations(&maxed, 5, 0)
+            .iter()
+            .all(|m| m.gst <= MAX_GST_KNOB));
+    }
+
+    #[test]
+    fn gst_simplifications_strictly_descend_in_rank() {
+        for candidate in [
+            attack(),
+            GstAttack { gst: 1, hold: 0b11 },
+            GstAttack { gst: 5, hold: 0 },
+        ] {
+            for simpler in gst_simplifications(&candidate) {
+                assert!(
+                    gst_complexity_rank(&simpler) < gst_complexity_rank(&candidate),
+                    "{simpler:?} is not simpler than {candidate:?}"
+                );
+            }
+        }
+        // Earliest GST and a single held sender: nothing below it that still
+        // holds anything.
+        let minimal = GstAttack { gst: 1, hold: 0b1 };
+        assert_eq!(
+            gst_simplifications(&minimal),
+            vec![GstAttack { gst: 1, hold: 0 }]
+        );
+    }
+
+    #[test]
+    fn gst_regime_wrapping() {
+        let post = base();
+        assert_eq!(
+            gst_as_regime(&attack(), &post),
+            Regime::PartialSync {
+                gst: 12,
+                pre: AdversarialSchedule { hold: 0b100101 },
+                post,
+            }
+        );
     }
 }

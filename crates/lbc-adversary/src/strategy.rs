@@ -51,6 +51,21 @@ pub enum Strategy {
         /// Number of initial rounds of honest behaviour.
         honest_rounds: u64,
     },
+    /// **Scheduler-aware**: faulty nodes behave honestly strictly before the
+    /// regime's stabilization time and tamper everything from GST onwards
+    /// (read from [`lbc_sim::NodeContext::regime`]). A hold-until-GST
+    /// schedule then bursts the *honest* pre-GST copies into the exact step
+    /// where the node has started tampering its relays — the
+    /// boundary-straddling attack a fixed-round sleeper can only hit by
+    /// luck. Under the synchronous and asynchronous regimes GST is 0 and
+    /// this degenerates to [`Strategy::TamperAll`].
+    StraddleTamper,
+    /// **Scheduler-aware**: honest strictly before the stabilization time,
+    /// equivocating (per-neighbor split unicasts, as [`Strategy::Equivocate`])
+    /// from GST onwards — schedule-coupled equivocation, releasing
+    /// conflicting copies on opposite sides of the boundary so they land in
+    /// the same burst. Degenerates to [`Strategy::Equivocate`] when GST is 0.
+    GstEquivocate,
 }
 
 impl Strategy {
@@ -67,8 +82,14 @@ impl Strategy {
         }
     }
 
-    /// All built-in strategies (with fixed parameters), useful for strategy
-    /// tournaments in tests and experiments.
+    /// All built-in **regime-oblivious** strategies (with fixed parameters),
+    /// useful for strategy tournaments in tests and experiments. The
+    /// scheduler-aware GST strategies ([`Strategy::gst_aware`]) are kept out
+    /// of this list on purpose: they are no-op duplicates of
+    /// [`Strategy::TamperAll`]/[`Strategy::Equivocate`] whenever the regime's
+    /// stabilization time is 0, and keeping the catalogue fixed preserves the
+    /// seeded frontiers (and thus the byte-identical reports) of every
+    /// synchronous and asynchronous search.
     #[must_use]
     pub fn all(seed: u64) -> Vec<Strategy> {
         vec![
@@ -83,6 +104,14 @@ impl Strategy {
         ]
     }
 
+    /// The scheduler-aware strategies that read the regime's stabilization
+    /// time: the GST attack catalogue, seeded into partial-synchrony search
+    /// cells on top of [`Strategy::all`].
+    #[must_use]
+    pub fn gst_aware() -> Vec<Strategy> {
+        vec![Strategy::StraddleTamper, Strategy::GstEquivocate]
+    }
+
     /// A short, stable name for tables and bench labels.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -95,6 +124,8 @@ impl Strategy {
             Strategy::Equivocate => "equivocate",
             Strategy::Random { .. } => "random",
             Strategy::SleeperTamper { .. } => "sleeper-tamper",
+            Strategy::StraddleTamper => "straddle-tamper",
+            Strategy::GstEquivocate => "gst-equivocate",
         }
     }
 
@@ -114,6 +145,11 @@ impl Strategy {
             Strategy::Equivocate => 5,
             Strategy::SleeperTamper { .. } => 6,
             Strategy::Random { .. } => 7,
+            // The scheduler-aware strategies are the most contrived
+            // explanations: minimization prefers any fixed-round strategy
+            // that still violates over a GST-coupled one.
+            Strategy::StraddleTamper => 8,
+            Strategy::GstEquivocate => 9,
         }
     }
 
@@ -180,6 +216,18 @@ impl Strategy {
                 },
                 Strategy::TamperAll,
                 Strategy::CrashAfter(*honest_rounds),
+            ],
+            Strategy::StraddleTamper => vec![
+                Strategy::GstEquivocate,
+                Strategy::TamperAll,
+                Strategy::SleeperTamper { honest_rounds: 2 },
+                Strategy::Random { seed },
+            ],
+            Strategy::GstEquivocate => vec![
+                Strategy::StraddleTamper,
+                Strategy::Equivocate,
+                Strategy::TamperAll,
+                Strategy::Random { seed },
             ],
         }
     }
@@ -258,6 +306,8 @@ impl FromJson for Strategy {
                     .get("honest-rounds")
                     .map_or(Ok(3), u64_from_number_or_string)?,
             },
+            "straddle-tamper" => Strategy::StraddleTamper,
+            "gst-equivocate" => Strategy::GstEquivocate,
             other => {
                 return Err(JsonError {
                     message: format!("unknown strategy '{other}'"),
@@ -318,24 +368,7 @@ where
                         .collect()
                 }
             }
-            Strategy::Equivocate => {
-                let neighbors: Vec<_> = ctx.neighbors().iter().collect();
-                let half = neighbors.len() / 2;
-                let mut out = Vec::new();
-                for outgoing in honest_outgoing {
-                    let message = outgoing.message().clone();
-                    let tampered = message.tampered();
-                    for (index, neighbor) in neighbors.iter().enumerate() {
-                        let payload = if index < half {
-                            message.clone()
-                        } else {
-                            tampered.clone()
-                        };
-                        out.push(Outgoing::Unicast(*neighbor, payload));
-                    }
-                }
-                out
-            }
+            Strategy::Equivocate => equivocate_split(ctx, honest_outgoing),
             Strategy::Random { .. } => {
                 let rng = self.rng.as_mut().expect("random strategy carries an RNG");
                 honest_outgoing
@@ -358,8 +391,57 @@ where
                         .collect()
                 }
             }
+            // The scheduler-aware pair: both read the wake-up round from the
+            // regime instead of a fixed parameter, so the same strategy value
+            // straddles whatever GST the schedule half of the adversary is
+            // currently trying.
+            Strategy::StraddleTamper => {
+                let gst = ctx.regime.stabilization_time();
+                if round.map_or(0, Round::value) < gst {
+                    honest_outgoing
+                } else {
+                    honest_outgoing
+                        .into_iter()
+                        .map(|o| map_message(o, |m| m.tampered()))
+                        .collect()
+                }
+            }
+            Strategy::GstEquivocate => {
+                let gst = ctx.regime.stabilization_time();
+                if round.map_or(0, Round::value) < gst {
+                    honest_outgoing
+                } else {
+                    equivocate_split(ctx, honest_outgoing)
+                }
+            }
         }
     }
+}
+
+/// Turns each outgoing transmission into per-neighbor unicasts: the original
+/// copy to the first half of the neighbors, a tampered copy to the second
+/// half (the [`Strategy::Equivocate`] behaviour, shared with
+/// [`Strategy::GstEquivocate`]).
+fn equivocate_split<M>(ctx: &NodeContext<'_>, honest_outgoing: Vec<Outgoing<M>>) -> Vec<Outgoing<M>>
+where
+    M: ByzantineMessage,
+{
+    let neighbors: Vec<_> = ctx.neighbors().iter().collect();
+    let half = neighbors.len() / 2;
+    let mut out = Vec::new();
+    for outgoing in honest_outgoing {
+        let message = outgoing.message().clone();
+        let tampered = message.tampered();
+        for (index, neighbor) in neighbors.iter().enumerate() {
+            let payload = if index < half {
+                message.clone()
+            } else {
+                tampered.clone()
+            };
+            out.push(Outgoing::Unicast(*neighbor, payload));
+        }
+    }
+    out
 }
 
 fn map_message<M>(outgoing: Outgoing<M>, f: impl Fn(M) -> M) -> Outgoing<M> {
@@ -385,6 +467,7 @@ mod tests {
             graph,
             f: 1,
             regime: &lbc_model::Regime::Synchronous,
+            step: None,
             arena,
             ledger,
         }
@@ -550,8 +633,73 @@ mod tests {
     }
 
     #[test]
+    fn gst_strategies_straddle_the_stabilization_time() {
+        let graph = generators::complete(5);
+        let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
+        let regime = lbc_model::Regime::PartialSync {
+            gst: 4,
+            pre: lbc_model::AdversarialSchedule::holding(&[0]),
+            post: lbc_model::AsyncRegime {
+                scheduler: lbc_model::SchedulerKind::Fifo,
+                delay: 1,
+                seed: 0,
+            },
+        };
+        let psync_ctx = NodeContext {
+            id: NodeId::new(0),
+            graph: &graph,
+            f: 1,
+            regime: &regime,
+            step: Some(Round::new(3)),
+            arena: &arena,
+            ledger: &ledger,
+        };
+        // Strictly before GST: honest.
+        let mut straddle = Strategy::StraddleTamper.into_adversary();
+        let before = straddle.intercept(
+            &psync_ctx,
+            Some(Round::new(3)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
+        assert_eq!(before, honest_out());
+        // From GST on: tamper-all.
+        let at = straddle.intercept(
+            &psync_ctx,
+            Some(Round::new(4)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
+        assert_eq!(at, vec![Outgoing::Broadcast(Value::Zero)]);
+        // The equivocating variant splits neighbors from GST on.
+        let mut gst_eq = Strategy::GstEquivocate.into_adversary();
+        let early = gst_eq.intercept(
+            &psync_ctx,
+            Some(Round::new(2)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
+        assert_eq!(early, honest_out());
+        let late = gst_eq.intercept(
+            &psync_ctx,
+            Some(Round::new(7)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
+        assert_eq!(late.len(), 4);
+        assert!(late.iter().all(|o| matches!(o, Outgoing::Unicast(_, _))));
+        // Under a GST-0 regime (sync) the pair degenerates to the
+        // fixed-round originals from the start.
+        let sync = ctx(&graph, &arena, &ledger);
+        let mut degenerate = Strategy::StraddleTamper.into_adversary();
+        let out = degenerate.intercept(&sync, None, honest_out(), Inbox::direct(&[]));
+        assert_eq!(out, vec![Outgoing::Broadcast(Value::Zero)]);
+    }
+
+    #[test]
     fn mutations_are_deterministic_and_self_free() {
-        for strategy in Strategy::all(7) {
+        for strategy in Strategy::all(7).into_iter().chain(Strategy::gst_aware()) {
             let a = strategy.mutations(99);
             let b = strategy.mutations(99);
             assert_eq!(a, b, "mutations of {strategy:?} must be deterministic");
@@ -569,7 +717,7 @@ mod tests {
 
     #[test]
     fn simplifications_strictly_descend_in_rank() {
-        for strategy in Strategy::all(7) {
+        for strategy in Strategy::all(7).into_iter().chain(Strategy::gst_aware()) {
             for simpler in strategy.simplifications() {
                 assert!(
                     simpler.complexity_rank() < strategy.complexity_rank(),
@@ -589,6 +737,7 @@ mod tests {
         let mut catalogue = Strategy::all(u64::MAX - 12345);
         catalogue.push(Strategy::CrashAfter(9));
         catalogue.push(Strategy::SleeperTamper { honest_rounds: 0 });
+        catalogue.extend(Strategy::gst_aware());
         for strategy in catalogue {
             let text = strategy.to_json().to_string();
             let back = Strategy::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -609,6 +758,11 @@ mod tests {
         let names: Vec<&str> = all.iter().map(Strategy::name).collect();
         assert!(names.contains(&"tamper-relays"));
         assert!(names.contains(&"equivocate"));
+        // The scheduler-aware pair lives in its own catalogue, never in
+        // `all` (which seeds sync/async searches).
+        assert!(!names.contains(&"straddle-tamper"));
+        let gst_names: Vec<&str> = Strategy::gst_aware().iter().map(Strategy::name).collect();
+        assert_eq!(gst_names, vec!["straddle-tamper", "gst-equivocate"]);
         let adv = Strategy::TamperAll.into_adversary();
         assert_eq!(adv.strategy(), &Strategy::TamperAll);
     }

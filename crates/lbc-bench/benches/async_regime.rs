@@ -12,6 +12,9 @@
 //! * **engine overhead at lag 1** — `fifo` with `delay = 1` delivers on
 //!   exactly the synchronous timetable, so its gap to the `sync` row is the
 //!   pure bookkeeping cost of the asynchronous loop.
+//! * **partial-synchrony cost** — the same workload under a hold-until-GST
+//!   schedule: the pre-GST hold buffer, the burst release at GST and the
+//!   stretched `gst + D` decision horizon on top of the fifo fabric.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -62,6 +65,23 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(run_under(&regime)));
         });
     }
+
+    // Partial synchrony on the same instance: a 12-step adversarial prefix
+    // holding two senders, then the fifo-3 fabric. The gap to the fifo_d3
+    // row is the cost of the timing axis (hold buffer + GST burst + the
+    // longer horizon), not of a different scheduler.
+    group.bench_function("asyncflood_circ9_f1_psync_g12_h2_fifo_d3", |b| {
+        let regime = Regime::PartialSync {
+            gst: 12,
+            pre: lbc_model::AdversarialSchedule::holding(&[2, 6]),
+            post: AsyncRegime {
+                scheduler: SchedulerKind::Fifo,
+                delay: 3,
+                seed: 11,
+            },
+        };
+        b.iter(|| black_box(run_under(&regime)));
+    });
 
     // A larger conforming instance (degree-4 circulant: the path population
     // stays protocol-bound, not combinatorial): the fairness bound

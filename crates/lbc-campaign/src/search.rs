@@ -12,7 +12,10 @@
 //!   sweep's input assignments (always including the alternating pattern).
 //! * **Beam search** — each round mutates every frontier survivor
 //!   [`SearchSpec::mutations`] times (swap a faulty node, tweak or switch
-//!   the strategy via [`Strategy::mutations`], flip one input bit), scores
+//!   the strategy via [`Strategy::mutations`], flip one input bit; async
+//!   cells add the schedule knobs, partial-sync cells additionally co-mutate
+//!   the GST and the pre-GST hold-set via
+//!   [`schedule::gst_mutations`]), scores
 //!   the batch, and keeps the [`SearchSpec::beam`] most severe candidates.
 //! * **Severity** — executions are ranked by [`Severity`]: consensus
 //!   violations first (agreement over validity over termination), then the
@@ -254,8 +257,9 @@ impl FromJson for Severity {
 // ---------------------------------------------------------------------------
 
 /// One point of the joint adversary space: a concrete (pre-seeded) strategy,
-/// a fault placement, an input assignment and — for asynchronous cells —
-/// a concrete delivery schedule.
+/// a fault placement, an input assignment, and — for asynchronous and
+/// partially synchronous cells — a concrete delivery schedule, plus the
+/// timing attack (GST + pre-GST hold-set) for partial synchrony.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// The concrete adversary strategy.
@@ -264,10 +268,15 @@ pub struct Candidate {
     pub faulty: NodeSet,
     /// The input assignment.
     pub inputs: InputAssignment,
-    /// The concrete asynchronous schedule (always `Some` for async cells,
-    /// `None` for synchronous ones). The schedule is part of the adversary:
+    /// The concrete asynchronous schedule (always `Some` for async and
+    /// partial-sync cells — the post-GST schedule for the latter — `None`
+    /// for synchronous ones). The schedule is part of the adversary:
     /// mutation rounds turn its knobs exactly like strategy knobs.
     pub schedule: Option<AsyncRegime>,
+    /// The timing attack (always `Some` for partial-sync cells, `None`
+    /// otherwise): the adversary's GST and pre-GST hold-set, co-mutated by
+    /// the search toward the violation boundary.
+    pub timing: Option<schedule::GstAttack>,
 }
 
 impl Candidate {
@@ -287,9 +296,10 @@ impl Candidate {
     /// The regime this candidate executes under.
     #[must_use]
     pub fn regime(&self) -> Regime {
-        match self.schedule {
-            Some(config) => Regime::Asynchronous(config),
-            None => Regime::Synchronous,
+        match (self.schedule, self.timing) {
+            (None, _) => Regime::Synchronous,
+            (Some(config), None) => Regime::Asynchronous(config),
+            (Some(config), Some(attack)) => schedule::gst_as_regime(&attack, &config),
         }
     }
 
@@ -311,11 +321,18 @@ impl Candidate {
                 message: format!("candidate missing '{key}'"),
             })
         };
-        let schedule = match value.get("schedule") {
-            None | Some(Json::Null) => None,
+        let (schedule, timing) = match value.get("schedule") {
+            None | Some(Json::Null) => (None, None),
             Some(json) => match Regime::from_json(json)? {
-                Regime::Synchronous => None,
-                Regime::Asynchronous(config) => Some(config),
+                Regime::Synchronous => (None, None),
+                Regime::Asynchronous(config) => (Some(config), None),
+                Regime::PartialSync { gst, pre, post } => (
+                    Some(post),
+                    Some(schedule::GstAttack {
+                        gst,
+                        hold: pre.hold,
+                    }),
+                ),
             },
         };
         Ok(Candidate {
@@ -325,6 +342,7 @@ impl Candidate {
                 message: "candidate 'inputs' must be a bit string".to_string(),
             })?)?,
             schedule,
+            timing,
         })
     }
 }
@@ -416,8 +434,9 @@ struct CellPlan {
 }
 
 impl CellPlan {
-    /// The base schedule async candidates start from (the cell's declared
-    /// regime materialized with a cell-derived seed).
+    /// The base schedule async (and partial-sync: the post-GST half)
+    /// candidates start from (the cell's declared regime materialized with
+    /// a cell-derived seed).
     fn base_schedule(&self) -> Option<AsyncRegime> {
         match self
             .regime
@@ -425,6 +444,22 @@ impl CellPlan {
         {
             Regime::Synchronous => None,
             Regime::Asynchronous(config) => Some(config),
+            Regime::PartialSync { post, .. } => Some(post),
+        }
+    }
+
+    /// The base timing attack partial-sync candidates start from (the
+    /// cell's declared GST and hold-set); `None` for the other regimes.
+    fn base_timing(&self) -> Option<schedule::GstAttack> {
+        match self
+            .regime
+            .materialize(mix_seed(&[SALT_SCHEDULE, self.cell_seed]))
+        {
+            Regime::PartialSync { gst, pre, .. } => Some(schedule::GstAttack {
+                gst,
+                hold: pre.hold,
+            }),
+            Regime::Synchronous | Regime::Asynchronous(_) => None,
         }
     }
 }
@@ -497,9 +532,16 @@ impl CellOutcome {
             algorithms: vec![self.algorithm],
             // The minimized schedule replays with its seed pinned, so the
             // fragment is self-contained for async cells too.
-            regimes: vec![match shrunk.schedule {
-                None => RegimeSpec::Sync,
-                Some(config) => RegimeSpec::Async {
+            regimes: vec![match (shrunk.schedule, shrunk.timing) {
+                (None, _) => RegimeSpec::Sync,
+                (Some(config), None) => RegimeSpec::Async {
+                    scheduler: config.scheduler,
+                    delay: config.delay,
+                    seed: Some(config.seed),
+                },
+                (Some(config), Some(attack)) => RegimeSpec::PartialSync {
+                    gst: attack.gst,
+                    hold: attack.schedule(),
                     scheduler: config.scheduler,
                     delay: config.delay,
                     seed: Some(config.seed),
@@ -539,6 +581,8 @@ pub fn strategy_to_spec(strategy: &Strategy) -> StrategySpec {
         Strategy::SleeperTamper { honest_rounds } => StrategySpec::Sleeper {
             honest_rounds: *honest_rounds,
         },
+        Strategy::StraddleTamper => StrategySpec::StraddleTamper,
+        Strategy::GstEquivocate => StrategySpec::GstEquivocate,
     }
 }
 
@@ -657,6 +701,17 @@ fn seed_cell(
             strategies.push(built_in);
         }
     }
+    // Partial-sync cells are the only ones where the scheduler-aware
+    // strategies differ from their fixed catalogue cousins; seeding them
+    // elsewhere would only burn budget on duplicates.
+    let base_timing = cell.base_timing();
+    if base_timing.is_some() {
+        for gst_strategy in Strategy::gst_aware() {
+            if !strategies.contains(&gst_strategy) {
+                strategies.push(gst_strategy);
+            }
+        }
+    }
 
     let mut placements: Vec<NodeSet> = Vec::new();
     let (worst, _) = FaultPolicy::WorstCase.placements_noted(
@@ -707,18 +762,32 @@ fn seed_cell(
         }
     }
 
+    // Partial-sync cells seed the timing dimension on top: the declared
+    // attack plus its catalogue variants. For the other regimes the axis is
+    // the single `None`, leaving their seed order untouched.
+    let timings: Vec<Option<schedule::GstAttack>> = match base_timing {
+        None => vec![None],
+        Some(base) => schedule::gst_catalogue(&base)
+            .into_iter()
+            .map(Some)
+            .collect(),
+    };
+
     for strategy in &strategies {
         for placement in &placements {
             for assignment in &inputs {
                 for schedule in &schedules {
-                    let candidate = Candidate {
-                        strategy: strategy.clone(),
-                        faulty: placement.clone(),
-                        inputs: assignment.clone(),
-                        schedule: *schedule,
-                    };
-                    if seen.insert(candidate.key()) {
-                        cell.seeds.push(candidate);
+                    for timing in &timings {
+                        let candidate = Candidate {
+                            strategy: strategy.clone(),
+                            faulty: placement.clone(),
+                            inputs: assignment.clone(),
+                            schedule: *schedule,
+                            timing: *timing,
+                        };
+                        if seen.insert(candidate.key()) {
+                            cell.seeds.push(candidate);
+                        }
                     }
                 }
             }
@@ -757,8 +826,13 @@ fn mutate(cell: &CellPlan, rng: &mut ChaCha8Rng, parent: &Candidate) -> Candidat
     let mut candidate = parent.clone();
     // Sync cells draw from the original three operators so pre-regime
     // searches replay identically; async cells add the schedule knobs as a
-    // fourth dimension of the same joint space.
-    let operators = if parent.schedule.is_some() {
+    // fourth dimension of the same joint space, and partial-sync cells add
+    // the GST/hold-set co-mutation as a fifth. The count is a function of
+    // the cell kind alone, so every regime's mutation schedule stays
+    // replayable.
+    let operators = if parent.timing.is_some() {
+        5u32
+    } else if parent.schedule.is_some() {
         4u32
     } else {
         3u32
@@ -798,13 +872,23 @@ fn mutate(cell: &CellPlan, rng: &mut ChaCha8Rng, parent: &Candidate) -> Candidat
                 .inputs
                 .set(node, candidate.inputs.get(node).flipped());
         }
-        // Turn a schedule knob (async cells only): delay, scheduler kind,
-        // or the schedule seed.
-        _ => {
+        // Turn a schedule knob (async and partial-sync cells): delay,
+        // scheduler kind, or the schedule seed.
+        3 => {
             let reseed = rng.next_u64();
             let current = candidate.schedule.expect("operator 3 requires a schedule");
             let neighborhood = schedule::mutations(&current, reseed);
             candidate.schedule = Some(neighborhood[rng.gen_range(0..neighborhood.len())]);
+        }
+        // Co-mutate the timing attack (partial-sync cells only): move the
+        // GST and flip hold bits toward the violation boundary.
+        _ => {
+            let reseed = rng.next_u64();
+            let current = candidate
+                .timing
+                .expect("operator 4 requires a timing attack");
+            let neighborhood = schedule::gst_mutations(&current, n, reseed);
+            candidate.timing = Some(neighborhood[rng.gen_range(0..neighborhood.len())]);
         }
     }
     candidate
@@ -979,7 +1063,31 @@ fn minimize(graph: &Graph, cell: &CellPlan, best: &Scored, shrink_budget: usize)
         }
     }
 
-    // 4. Clear set input bits low-index first while the violation survives.
+    // 4. Shrink the timing attack toward the earliest GST and the smallest
+    //    hold-set that still violate. Each accepted step strictly lowers
+    //    [`schedule::gst_complexity_rank`], so the loop terminates.
+    while let Some(current_timing) = current.candidate.timing {
+        let mut shrunk = false;
+        for simpler in schedule::gst_simplifications(&current_timing) {
+            if evals >= shrink_budget {
+                break;
+            }
+            let mut trial = current.candidate.clone();
+            trial.timing = Some(simpler);
+            let scored = evaluate(graph, cell, trial);
+            evals += 1;
+            if scored.severity.is_violation() {
+                current = scored;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk || evals >= shrink_budget {
+            break;
+        }
+    }
+
+    // 5. Clear set input bits low-index first while the violation survives.
     for index in 0..cell.n {
         if evals >= shrink_budget {
             break;
@@ -1478,6 +1586,7 @@ mod tests {
                     delay: 4,
                     seed: u64::MAX - 11,
                 }),
+                timing: None,
             },
             severity: Severity {
                 violation: 5,
@@ -1487,6 +1596,50 @@ mod tests {
             },
             agreed: None,
         };
+        let text = scored.to_json().to_string();
+        let back = Scored::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, scored);
+    }
+
+    #[test]
+    fn psync_candidates_carry_the_timing_axis_and_roundtrip() {
+        let post = AsyncRegime {
+            scheduler: lbc_model::SchedulerKind::Fifo,
+            delay: 2,
+            seed: u64::MAX - 3,
+        };
+        let scored = Scored {
+            candidate: Candidate {
+                strategy: Strategy::StraddleTamper,
+                faulty: NodeSet::singleton(NodeId::new(1)),
+                inputs: InputAssignment::from_bits(5, 0b01010),
+                schedule: Some(post),
+                timing: Some(schedule::GstAttack {
+                    gst: 12,
+                    hold: 0b100,
+                }),
+            },
+            severity: Severity {
+                violation: 4,
+                dissent: 1,
+                rounds: 24,
+                volume: 90,
+            },
+            agreed: None,
+        };
+        // The candidate executes under the partial-sync regime assembled
+        // from its (schedule, timing) pair…
+        assert_eq!(
+            scored.candidate.regime(),
+            Regime::PartialSync {
+                gst: 12,
+                pre: lbc_model::AdversarialSchedule { hold: 0b100 },
+                post,
+            }
+        );
+        // …its key embeds that regime (so resume/dedup see the timing)…
+        assert!(scored.candidate.key().contains("partial-sync"));
+        // …and the JSON round-trip preserves both halves exactly.
         let text = scored.to_json().to_string();
         let back = Scored::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, scored);

@@ -16,7 +16,10 @@ use lbc_consensus::{conditions, AlgorithmKind};
 use lbc_graph::{combinatorics, generators, Graph};
 use lbc_model::fx::FxHashSet;
 use lbc_model::json::{u64_from_number_or_string, FromJson, Json, JsonError, ToJson};
-use lbc_model::{AsyncRegime, CommModel, InputAssignment, NodeId, NodeSet, Regime, SchedulerKind};
+use lbc_model::{
+    AdversarialSchedule, AsyncRegime, CommModel, InputAssignment, NodeId, NodeSet, Regime,
+    SchedulerKind,
+};
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -428,6 +431,12 @@ pub enum StrategySpec {
         /// Number of initial honest rounds.
         honest_rounds: u64,
     },
+    /// [`Strategy::StraddleTamper`] — scheduler-aware, honest strictly
+    /// before the regime's stabilization time.
+    StraddleTamper,
+    /// [`Strategy::GstEquivocate`] — scheduler-aware equivocation from the
+    /// stabilization time onwards.
+    GstEquivocate,
 }
 
 impl StrategySpec {
@@ -443,6 +452,8 @@ impl StrategySpec {
             StrategySpec::Equivocate => "equivocate",
             StrategySpec::Random { .. } => "random",
             StrategySpec::Sleeper { .. } => "sleeper-tamper",
+            StrategySpec::StraddleTamper => "straddle-tamper",
+            StrategySpec::GstEquivocate => "gst-equivocate",
         }
     }
 
@@ -463,6 +474,8 @@ impl StrategySpec {
             StrategySpec::Sleeper { honest_rounds } => Strategy::SleeperTamper {
                 honest_rounds: *honest_rounds,
             },
+            StrategySpec::StraddleTamper => Strategy::StraddleTamper,
+            StrategySpec::GstEquivocate => Strategy::GstEquivocate,
         }
     }
 }
@@ -516,6 +529,8 @@ impl FromJson for StrategySpec {
             "sleeper" | "sleeper-tamper" => StrategySpec::Sleeper {
                 honest_rounds: value.get("honest-rounds").map_or(Ok(3), u64::from_json)?,
             },
+            "straddle-tamper" => StrategySpec::StraddleTamper,
+            "gst-equivocate" => StrategySpec::GstEquivocate,
             other => {
                 return Err(JsonError {
                     message: format!("unknown strategy '{other}'"),
@@ -531,9 +546,11 @@ impl FromJson for StrategySpec {
 
 /// A declarative execution regime, materialized per scenario.
 ///
-/// JSON: the bare name `"sync"`, or an async object
-/// (`{"kind": "async", "scheduler": "edge-lag", "delay": 3}`,
-/// optionally with an explicit `"seed"`).
+/// JSON: the bare name `"sync"`, an async object
+/// (`{"kind": "async", "scheduler": "edge-lag", "delay": 3}`), or a
+/// partial-synchrony object (`{"kind": "partial-sync", "gst": 12,
+/// "hold": [2], "scheduler": "fifo", "delay": 2}`); async and partial-sync
+/// objects optionally carry an explicit `"seed"`.
 ///
 /// Like [`StrategySpec::Random`], an async regime without an explicit seed
 /// is materialized with each scenario's own derived seed, so a grid of
@@ -547,6 +564,20 @@ pub enum RegimeSpec {
         /// The deterministic schedule family.
         scheduler: SchedulerKind,
         /// The eventual-fairness bound `D ≥ 1`.
+        delay: u32,
+        /// Explicit seed, or `None` for the per-scenario derived seed.
+        seed: Option<u64>,
+    },
+    /// A partially synchronous regime: an adversary-held prefix up to `gst`,
+    /// then the post-GST asynchronous schedule.
+    PartialSync {
+        /// The Global Stabilization Time, `1..=`[`lbc_model::MAX_GST`].
+        gst: u32,
+        /// The pre-GST hold-set (senders whose transmissions burst at GST).
+        hold: AdversarialSchedule,
+        /// The post-GST deterministic schedule family.
+        scheduler: SchedulerKind,
+        /// The post-GST eventual-fairness bound `D ≥ 1`.
         delay: u32,
         /// Explicit seed, or `None` for the per-scenario derived seed.
         seed: Option<u64>,
@@ -579,9 +610,28 @@ impl RegimeSpec {
                 seed,
             } => Regime::Asynchronous(AsyncRegime {
                 scheduler: *scheduler,
-                delay: (*delay).max(1),
+                // No `max(1)` safety net: a zero delay is rejected at parse
+                // time, and materializing a hand-built zero-delay spec
+                // should fail loudly (the model asserts) rather than run a
+                // silently different regime.
+                delay: *delay,
                 seed: seed.unwrap_or_else(|| mix_seed(&[SALT_REGIME, scenario_seed])),
             }),
+            RegimeSpec::PartialSync {
+                gst,
+                hold,
+                scheduler,
+                delay,
+                seed,
+            } => Regime::PartialSync {
+                gst: *gst,
+                pre: *hold,
+                post: AsyncRegime {
+                    scheduler: *scheduler,
+                    delay: *delay,
+                    seed: seed.unwrap_or_else(|| mix_seed(&[SALT_REGIME, scenario_seed])),
+                },
+            },
         }
     }
 
@@ -614,6 +664,33 @@ impl ToJson for RegimeSpec {
                 }
                 Json::object(fields)
             }
+            RegimeSpec::PartialSync {
+                gst,
+                hold,
+                scheduler,
+                delay,
+                seed,
+            } => {
+                let mut fields = vec![
+                    ("kind", Json::Str("partial-sync".to_string())),
+                    ("gst", u64::from(*gst).to_json()),
+                    (
+                        "hold",
+                        Json::Arr(
+                            hold.held_nodes()
+                                .into_iter()
+                                .map(|node| (node as u64).to_json())
+                                .collect(),
+                        ),
+                    ),
+                    ("scheduler", Json::Str(scheduler.name().to_string())),
+                    ("delay", u64::from(*delay).to_json()),
+                ];
+                if let Some(seed) = seed {
+                    fields.push(("seed", Json::Str(seed.to_string())));
+                }
+                Json::object(fields)
+            }
         }
     }
 }
@@ -641,8 +718,18 @@ impl FromJson for RegimeSpec {
                     .map(u64_from_number_or_string)
                     .transpose()?,
             }),
+            "partial-sync" | "psync" => Ok(RegimeSpec::PartialSync {
+                gst: lbc_model::regime::gst_from_json(value)?,
+                hold: lbc_model::regime::hold_from_json(value)?,
+                scheduler: lbc_model::regime::scheduler_from_json(value)?,
+                delay: lbc_model::regime::delay_from_json(value)?,
+                seed: value
+                    .get("seed")
+                    .map(u64_from_number_or_string)
+                    .transpose()?,
+            }),
             other => Err(JsonError {
-                message: format!("unknown regime '{other}' (use sync or async)"),
+                message: format!("unknown regime '{other}' (use sync, async or partial-sync)"),
             }),
         }
     }

@@ -49,9 +49,11 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
                 inputs: InputPolicy::Alternating,
             },
             // The regime axis: the async algorithm across sync, derived-seed
-            // edge-lag and delay-max schedules — per-scenario schedule seeds
-            // are derived like `random` strategy seeds, so this sweep
-            // exercises the regime half of the determinism contract.
+            // edge-lag and delay-max schedules, and a partial-synchrony
+            // regime (hold-until-GST burst + derived post-GST schedule
+            // seed) — per-scenario schedule seeds are derived like `random`
+            // strategy seeds, so this sweep exercises the regime half of the
+            // determinism contract.
             SweepSpec {
                 family: GraphFamily::Complete,
                 sizes: SizeSpec::List(vec![5]),
@@ -66,6 +68,13 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
                     },
                     RegimeSpec::Async {
                         scheduler: lbc_model::SchedulerKind::DelayMax,
+                        delay: 2,
+                        seed: None,
+                    },
+                    RegimeSpec::PartialSync {
+                        gst: 6,
+                        hold: lbc_model::AdversarialSchedule::holding(&[1, 3]),
+                        scheduler: lbc_model::SchedulerKind::Fifo,
                         delay: 2,
                         seed: None,
                     },
@@ -115,6 +124,34 @@ fn pre_regime_specs_expand_unchanged() {
             lbc_campaign::spec::mix_seed(&[0x5C, 99, index as u64])
         );
     }
+}
+
+/// A pre-regime spec (no `"regimes"` key) and the same spec with the sync
+/// default spelled out produce **byte-identical canonical reports** — the
+/// partial-synchrony axis must not leak into executions that never asked
+/// for it, so reports generated before the regime/GST axes existed still
+/// diff clean against today's binaries.
+#[test]
+fn pre_regime_reports_diff_clean_against_the_sync_default() {
+    let implicit = r#"{
+        "name": "pre-regime",
+        "seed": 99,
+        "sweeps": [{
+            "family": {"kind": "cycle"},
+            "sizes": {"list": [5]},
+            "f": 1,
+            "algorithms": ["alg1"],
+            "strategies": ["tamper-relays", "random"],
+            "faults": {"policy": "exhaustive"},
+            "inputs": {"policy": "alternating"}
+        }]
+    }"#;
+    let spec = CampaignSpec::from_json_text(implicit).unwrap();
+    let mut explicit = spec.clone();
+    explicit.sweeps[0].regimes = vec![RegimeSpec::Sync];
+    let old = run_campaign(&spec, 2).unwrap().to_json().to_string();
+    let new = run_campaign(&explicit, 2).unwrap().to_json().to_string();
+    assert_eq!(old, new, "sync default must match the pre-regime stream");
 }
 
 /// A sync-only algorithm under an async regime is a spec error, not a
@@ -226,14 +263,26 @@ fn strategy_spec_strategy() -> impl Strategy<Value = StrategySpec> {
 }
 
 fn regime_spec_strategy() -> impl Strategy<Value = RegimeSpec> {
-    ((0usize..4), (1u32..6), (0u64..100)).prop_map(|(pick, delay, seed)| match pick {
-        0 => RegimeSpec::Sync,
-        other => RegimeSpec::Async {
-            scheduler: lbc_model::SchedulerKind::all()[other - 1],
-            delay,
-            seed: (seed % 2 == 0).then_some(seed),
+    ((0usize..7), (1u32..6), (0u64..100), (1u32..20)).prop_map(
+        |(pick, delay, seed, gst)| match pick {
+            0 => RegimeSpec::Sync,
+            1..=3 => RegimeSpec::Async {
+                scheduler: lbc_model::SchedulerKind::all()[pick - 1],
+                delay,
+                seed: (seed % 2 == 0).then_some(seed),
+            },
+            other => RegimeSpec::PartialSync {
+                gst,
+                hold: lbc_model::AdversarialSchedule::holding(&[
+                    (seed % 7) as usize,
+                    (seed % 23) as usize,
+                ]),
+                scheduler: lbc_model::SchedulerKind::all()[other - 4],
+                delay,
+                seed: (seed % 3 == 0).then_some(seed),
+            },
         },
-    })
+    )
 }
 
 fn fault_policy_strategy() -> impl Strategy<Value = FaultPolicy> {

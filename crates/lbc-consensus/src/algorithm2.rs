@@ -849,6 +849,7 @@ mod tests {
             graph,
             f: 1,
             regime: &lbc_model::Regime::Synchronous,
+            step: None,
             arena,
             ledger,
         }

@@ -30,6 +30,14 @@
 //! uniformly), and every relay of a length-`≤ n` path has been processed by
 //! step `n · D`. Decisions happen at step `(n + 1) · D`.
 //!
+//! Under **partial synchrony** fairness only holds from the Global
+//! Stabilization Time on: the adversary may withhold pre-GST transmissions
+//! entirely (they burst-arrive at `gst`). The node therefore re-derives
+//! both deadlines from `gst + D` — defaults at `gst + (D − 1)`, decisions
+//! at `gst + (n + 1) · D` — instead of assuming fairness from step 0,
+//! reading `gst` from [`lbc_model::Regime::stabilization_time`] (which is 0
+//! for the other regimes, leaving their horizons untouched).
+//!
 //! # Why `2f + 1`-connectivity
 //!
 //! See [`crate::conditions::asynchronous_feasible`]. With `κ ≥ 2f + 1`
@@ -137,7 +145,7 @@ impl AsyncFloodNode {
     /// margin.
     #[must_use]
     pub fn decision_step(n: usize, delay: u64) -> usize {
-        (n.max(1) + 1) * delay.max(1) as usize
+        (n.max(1) + 1) * delay as usize
     }
 
     /// An upper bound on the steps the protocol needs under a regime with
@@ -145,6 +153,17 @@ impl AsyncFloodNode {
     #[must_use]
     pub fn step_count(n: usize, delay: u64) -> usize {
         Self::decision_step(n, delay) + 2
+    }
+
+    /// The regime-aware step bound: [`AsyncFloodNode::step_count`] shifted
+    /// by the regime's stabilization time. Before GST the adversary may
+    /// withhold deliveries entirely, so no deadline placed against the
+    /// fairness bound can be trusted until `gst` has passed — the node's
+    /// horizons degrade gracefully by re-deriving from `gst + D` instead of
+    /// assuming fairness from step 0.
+    #[must_use]
+    pub fn step_count_under(n: usize, regime: &lbc_model::Regime) -> usize {
+        regime.stabilization_time() as usize + Self::step_count(n, regime.delay_bound())
     }
 
     /// Definition C.1, regime-free: whether this node reliably received
@@ -203,15 +222,22 @@ impl Protocol for AsyncFloodNode {
             return Vec::new();
         }
         let delay = ctx.regime.delay_bound();
+        // Under partial synchrony fairness only holds from `gst` on: held
+        // initiations burst-arrive exactly at `gst`, so both deadlines shift
+        // by it. For the synchronous and asynchronous regimes `gst` is 0 and
+        // the horizons are unchanged.
+        let gst = ctx.regime.stabilization_time() as usize;
         let step = self.steps;
         self.steps += 1;
 
         let out = match self.flooder.as_mut() {
-            Some(flood) => flood.on_round(ctx.graph, step == Self::default_step(delay), inbox),
+            Some(flood) => {
+                flood.on_round(ctx.graph, step == gst + Self::default_step(delay), inbox)
+            }
             None => Vec::new(),
         };
 
-        if step >= Self::decision_step(ctx.n(), delay) {
+        if step >= gst + Self::decision_step(ctx.n(), delay) {
             self.decide(ctx);
         }
         out
@@ -236,6 +262,33 @@ mod tests {
         assert_eq!(AsyncFloodNode::default_step(3), 2);
         assert_eq!(AsyncFloodNode::decision_step(5, 3), 18);
         assert!(AsyncFloodNode::step_count(5, 3) > AsyncFloodNode::decision_step(5, 3));
+        // The regime-aware bound shifts by the stabilization time — and only
+        // by it: sync/async regimes keep their pre-GST horizons.
+        use lbc_model::{AdversarialSchedule, AsyncRegime, Regime, SchedulerKind};
+        let post = AsyncRegime {
+            scheduler: SchedulerKind::Fifo,
+            delay: 2,
+            seed: 0,
+        };
+        assert_eq!(
+            AsyncFloodNode::step_count_under(5, &Regime::Synchronous),
+            AsyncFloodNode::step_count(5, 1)
+        );
+        assert_eq!(
+            AsyncFloodNode::step_count_under(5, &Regime::Asynchronous(post)),
+            AsyncFloodNode::step_count(5, 2)
+        );
+        assert_eq!(
+            AsyncFloodNode::step_count_under(
+                5,
+                &Regime::PartialSync {
+                    gst: 10,
+                    pre: AdversarialSchedule::empty(),
+                    post,
+                }
+            ),
+            10 + AsyncFloodNode::step_count(5, 2)
+        );
     }
 
     #[test]

@@ -283,7 +283,7 @@ where
         .nodes()
         .map(|v| AsyncFloodNode::new(inputs.get(v)))
         .collect();
-    let max_steps = AsyncFloodNode::step_count(n, regime.delay_bound());
+    let max_steps = AsyncFloodNode::step_count_under(n, regime);
     execute_under(
         graph,
         CommModel::LocalBroadcast,

@@ -236,6 +236,102 @@ pub fn async_boundary_campaign_spec() -> CampaignSpec {
     }
 }
 
+/// **The partial-synchrony (GST) boundary as a campaign.** The asynchronous
+/// algorithm's `(2f + 1)`-connectivity threshold is *regime-independent*:
+/// above it the protocol absorbs any finite pre-GST disruption (it re-derives
+/// its decision horizon from `gst + D`), below it even a schedule the plain
+/// asynchronous regime tolerates can be weaponized by timing alone. This
+/// spec pins both sides:
+///
+/// * **timing boundary** — the 5-cycle at `f = 1` (`κ = 2 < 3`) under a
+///   `sleeper(12)` adversary that stays honest past the *synchronous* and
+///   *fifo-2 asynchronous* decision horizons: correct under `sync`, correct
+///   under `async-fifo-d2`, but a hold-until-GST schedule (`gst = 12`,
+///   hold `{2}`, same fifo-2 scheduler after GST) stretches the horizon past
+///   the sleeper's wake-up round and agreement breaks — the violation is
+///   *purely* a timing attack, demonstrated deterministically;
+/// * **graceful degradation** — `C9(1,2)` (`κ = 4 ≥ 3`) at `f = 1` under the
+///   same hold-until-GST schedules plus the scheduler-aware strategies
+///   (`straddle-tamper`, `gst-equivocate`): all correct.
+///
+/// The `search` block hands the same cells to `lbc search`, which must
+/// discover a violating GST-straddling candidate on the partial-sync cycle
+/// cell and emit a replayable partial-sync fragment.
+///
+/// Mirrored by the committed `examples/campaigns/gst_boundary.json`
+/// (a test keeps them in sync); `scripts/gst_smoke.sh` gates it in CI.
+#[must_use]
+pub fn gst_boundary_campaign_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "gst_boundary".to_string(),
+        seed: 2026,
+        sweeps: vec![
+            SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::AsyncFlood],
+                regimes: vec![
+                    RegimeSpec::Sync,
+                    RegimeSpec::Async {
+                        scheduler: lbc_model::SchedulerKind::Fifo,
+                        delay: 2,
+                        seed: None,
+                    },
+                    RegimeSpec::PartialSync {
+                        gst: 12,
+                        hold: lbc_model::AdversarialSchedule::holding(&[2]),
+                        scheduler: lbc_model::SchedulerKind::Fifo,
+                        delay: 2,
+                        seed: None,
+                    },
+                ],
+                strategies: vec![StrategySpec::Sleeper { honest_rounds: 12 }],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Exhaustive,
+            },
+            SweepSpec {
+                family: GraphFamily::Circulant {
+                    offsets: vec![1, 2],
+                },
+                sizes: SizeSpec::List(vec![9]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::AsyncFlood],
+                regimes: vec![
+                    RegimeSpec::PartialSync {
+                        gst: 12,
+                        hold: lbc_model::AdversarialSchedule::holding(&[2]),
+                        scheduler: lbc_model::SchedulerKind::Fifo,
+                        delay: 2,
+                        seed: None,
+                    },
+                    RegimeSpec::PartialSync {
+                        gst: 8,
+                        hold: lbc_model::AdversarialSchedule::holding(&[0, 4]),
+                        scheduler: lbc_model::SchedulerKind::EdgeLag,
+                        delay: 3,
+                        seed: None,
+                    },
+                ],
+                strategies: vec![
+                    StrategySpec::TamperRelays,
+                    StrategySpec::Equivocate,
+                    StrategySpec::StraddleTamper,
+                    StrategySpec::GstEquivocate,
+                ],
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Random { count: 2 },
+            },
+        ],
+        search: Some(SearchSpec {
+            budget: 800,
+            beam: 4,
+            mutations: 6,
+            rounds: 8,
+        }),
+    }
+}
+
 /// Renders a campaign report in the tabular [`ExperimentResult`] shape the
 /// rest of the harness uses, with rows sorted by
 /// `(graph, f, algorithm, strategy, faulty)`.
@@ -405,6 +501,72 @@ mod tests {
             sub_threshold_violations > 0,
             "the sub-threshold cycle must exhibit an async violation"
         );
+    }
+
+    #[test]
+    fn committed_gst_boundary_spec_matches_the_builder() {
+        assert_eq!(
+            committed_spec("gst_boundary.json"),
+            gst_boundary_campaign_spec()
+        );
+    }
+
+    /// The acceptance gate of the partial-synchrony axis, trimmed for debug
+    /// builds (the CI gst smoke runs the full committed spec against the
+    /// release binary): the `sleeper(12)` cycle cell is correct under the
+    /// synchronous regime AND under the plain fifo-2 asynchronous regime,
+    /// but violated once a hold-until-GST schedule stretches the decision
+    /// horizon past the sleeper's wake-up; the above-threshold circulant
+    /// control stays correct under every GST attack.
+    #[test]
+    fn gst_boundary_separates_the_regimes() {
+        let mut spec = gst_boundary_campaign_spec();
+        // Trim the control sweep: one scheduler-aware strategy, one fixed
+        // input pattern (the cycle sweep is already exhaustive and fast).
+        spec.sweeps[1].strategies = vec![StrategySpec::StraddleTamper];
+        spec.sweeps[1].inputs = InputPolicy::Bits(0b010110011);
+        let report = run_campaign(&spec, 4).expect("gst boundary spec expands");
+        let mut by_regime: std::collections::BTreeMap<String, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        let mut control = 0;
+        for record in report.records() {
+            match record.family.as_str() {
+                "cycle" => {
+                    assert!(!record.feasible, "the cycle is below the async threshold");
+                    let entry = by_regime.entry(record.regime.clone()).or_default();
+                    entry.0 += 1;
+                    entry.1 += usize::from(!record.verdict.is_correct());
+                }
+                "circulant" => {
+                    control += 1;
+                    assert!(record.feasible, "C9(1,2) is above the async threshold");
+                    assert!(
+                        record.verdict.is_correct(),
+                        "above-threshold cell violated under [{}]: faulty={} inputs={}",
+                        record.regime,
+                        record.faulty,
+                        record.inputs
+                    );
+                }
+                other => panic!("unexpected family {other}"),
+            }
+        }
+        assert!(control > 0);
+        assert_eq!(by_regime.len(), 3, "three regimes on the cycle cell");
+        for (regime, (total, violations)) in &by_regime {
+            assert_eq!(*total, 160, "5 placements x 32 input patterns");
+            if regime.starts_with("psync-") {
+                assert!(
+                    *violations > 0,
+                    "the hold-until-GST schedule must break the sleeper"
+                );
+            } else {
+                assert_eq!(
+                    *violations, 0,
+                    "sleeper(12) must stay correct under [{regime}]"
+                );
+            }
+        }
     }
 
     /// The acceptance gate of the adversary search: a grid that *omits* the

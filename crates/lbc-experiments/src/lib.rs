@@ -43,7 +43,7 @@ mod result;
 
 pub use campaigns::{
     async_boundary_campaign_spec, boundary_search_spec, e1_campaign_spec, e1_via_campaign,
-    e6_campaign_spec, e6_via_campaign, report_as_experiment,
+    e6_campaign_spec, e6_via_campaign, gst_boundary_campaign_spec, report_as_experiment,
 };
 pub use experiments::{
     all_experiments, e1_fig1a_cycle, e2_fig1b_f2, e3_degree_lower_bound,

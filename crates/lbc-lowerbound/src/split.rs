@@ -206,6 +206,7 @@ impl DoubledNetwork {
                 graph: &self.graph,
                 f: self.f,
                 regime: &self.regime,
+                step: None,
                 arena: &arena,
                 ledger: &ledger,
             };
@@ -241,6 +242,7 @@ impl DoubledNetwork {
                     graph: &self.graph,
                     f: self.f,
                     regime: &self.regime,
+                    step: Some(round),
                     arena: &arena,
                     ledger: &ledger,
                 };

@@ -78,5 +78,5 @@ pub use ledger::{
 pub use nodeset::NodeSet;
 pub use outcome::{ConsensusOutcome, Verdict};
 pub use path::Path;
-pub use regime::{AsyncRegime, Regime, SchedulerKind, MAX_DELAY};
+pub use regime::{AdversarialSchedule, AsyncRegime, Regime, SchedulerKind, MAX_DELAY, MAX_GST};
 pub use value::Value;

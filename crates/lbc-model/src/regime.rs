@@ -20,10 +20,19 @@
 //!   what keeps the flood fabric's same-first-message-per-key invariant
 //!   intact across regimes.
 //!
+//! * [`Regime::PartialSync`] — the classical partial-synchrony model
+//!   (Dwork–Lynch–Stockmeyer): before a Global Stabilization Time `gst`
+//!   the adversary controls delivery through an [`AdversarialSchedule`]
+//!   (transmissions of held senders are delayed arbitrarily-but-finitely
+//!   and burst-released at GST), after `gst` delivery reverts to a seeded
+//!   eventually-fair [`AsyncRegime`] with bound `D`. Per-edge FIFO order
+//!   is still preserved — holds are per-*sender*, so a held edge releases
+//!   its backlog in transmission order.
+//!
 //! The regime is part of a scenario's identity: campaign specs carry it as
 //! an axis, reports record it per row, and `NodeContext` exposes it to
 //! protocols (the asynchronous consensus algorithm reads the fairness bound
-//! from it to place its decision horizon).
+//! and the stabilization time from it to place its decision horizon).
 
 use std::fmt;
 
@@ -34,6 +43,65 @@ use crate::json::{u64_from_number_or_string, FromJson, Json, JsonError, ToJson};
 /// executions linearly — and an unbounded value would let a spec demand a
 /// `delay + 1`-bucket schedule ring and an `O(n · delay)`-step run.
 pub const MAX_DELAY: u32 = 4096;
+
+/// Hard cap on the Global Stabilization Time accepted from specs and CLI
+/// JSON, for the same reason as [`MAX_DELAY`]: a larger GST only stretches
+/// executions linearly while every interesting timing attack already fits
+/// well below it.
+pub const MAX_GST: u32 = 4096;
+
+/// The adversary-controlled pre-GST delivery schedule of a partial-synchrony
+/// regime: a set of *held* senders whose transmissions sent before GST are
+/// withheld and burst-released (in per-edge transmission order) at GST.
+///
+/// The hold-set is a bitmask over node ids, which keeps [`Regime`] `Copy`
+/// and makes schedule identity a single-word comparison; nodes `>= 64` can
+/// never be held (campaign search already restricts replayable schedule
+/// fragments to `n <= 64` for the same reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AdversarialSchedule {
+    /// Bit `i` set ⇔ node `i`'s pre-GST transmissions are held until GST.
+    pub hold: u64,
+}
+
+impl AdversarialSchedule {
+    /// A schedule holding nothing: partial synchrony degenerates to the
+    /// post-GST asynchronous regime from step 0.
+    #[must_use]
+    pub fn empty() -> Self {
+        AdversarialSchedule { hold: 0 }
+    }
+
+    /// A schedule holding exactly the given nodes (ids `>= 64` are ignored).
+    #[must_use]
+    pub fn holding(nodes: &[usize]) -> Self {
+        let mut hold = 0u64;
+        for &node in nodes {
+            if node < 64 {
+                hold |= 1 << node;
+            }
+        }
+        AdversarialSchedule { hold }
+    }
+
+    /// Whether `node`'s pre-GST transmissions are withheld until GST.
+    #[must_use]
+    pub fn holds(&self, node: usize) -> bool {
+        node < 64 && self.hold & (1 << node) != 0
+    }
+
+    /// The held node ids, ascending.
+    #[must_use]
+    pub fn held_nodes(&self) -> Vec<usize> {
+        (0..64).filter(|&node| self.holds(node)).collect()
+    }
+
+    /// How many nodes are held.
+    #[must_use]
+    pub fn held_count(&self) -> u32 {
+        self.hold.count_ones()
+    }
+}
 
 /// The deterministic delivery-schedule family of an asynchronous execution.
 ///
@@ -111,7 +179,11 @@ impl AsyncRegime {
     /// order.
     #[must_use]
     pub fn lag(&self, from: usize, to: usize, node_count: usize) -> u64 {
-        let delay = u64::from(self.delay.max(1));
+        // `delay == 0` is rejected at every construction surface (JSON
+        // parse and spec expansion), so a zero here is a hand-built regime
+        // that slipped past validation — fail loudly instead of clamping.
+        assert!(self.delay >= 1, "AsyncRegime.delay must be >= 1");
+        let delay = u64::from(self.delay);
         match self.scheduler {
             SchedulerKind::Fifo => 1,
             SchedulerKind::DelayMax => {
@@ -186,6 +258,60 @@ pub fn delay_from_json(value: &Json) -> Result<u32, JsonError> {
     }
 }
 
+/// Parses the `"gst"` field of a partial-sync regime object, enforcing
+/// `1..=MAX_GST`. A `gst` of 0 is the asynchronous regime by definition —
+/// the error says so instead of silently degenerating. Shared with the
+/// campaign spec parser.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the value is missing, malformed or out of
+/// range.
+pub fn gst_from_json(value: &Json) -> Result<u32, JsonError> {
+    let json = value.get("gst").ok_or_else(|| JsonError {
+        message: "partial-sync regime requires a 'gst' field".to_string(),
+    })?;
+    let raw = u64::from_json(json)?;
+    u32::try_from(raw)
+        .ok()
+        .filter(|g| (1..=MAX_GST).contains(g))
+        .ok_or_else(|| JsonError {
+            message: if raw == 0 {
+                "gst 0 is the asynchronous regime — use {\"kind\": \"async\", ...}".to_string()
+            } else {
+                format!("regime gst {raw} out of range (1..={MAX_GST})")
+            },
+        })
+}
+
+/// Parses the `"hold"` field of a partial-sync regime object (defaulting to
+/// an empty hold-set): an array of held node indices, each `< 64`. Shared
+/// with the campaign spec parser.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the value is malformed or a node is out of
+/// range.
+pub fn hold_from_json(value: &Json) -> Result<AdversarialSchedule, JsonError> {
+    let Some(json) = value.get("hold") else {
+        return Ok(AdversarialSchedule::empty());
+    };
+    let items = json.as_array().ok_or_else(|| JsonError {
+        message: "partial-sync 'hold' must be an array of node indices".to_string(),
+    })?;
+    let mut schedule = AdversarialSchedule::empty();
+    for item in items {
+        let node = u64::from_json(item)?;
+        if node >= 64 {
+            return Err(JsonError {
+                message: format!("held node {node} out of range (hold-sets cover nodes 0..64)"),
+            });
+        }
+        schedule.hold |= 1 << node;
+    }
+    Ok(schedule)
+}
+
 /// The execution regime of a simulated run. See the [module docs](self).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Regime {
@@ -195,6 +321,17 @@ pub enum Regime {
     /// Eventually-fair asynchronous delivery under a deterministic seeded
     /// scheduler.
     Asynchronous(AsyncRegime),
+    /// Partial synchrony: adversary-scheduled delivery before `gst`,
+    /// eventually-fair delivery (the `post` regime) from `gst` on.
+    PartialSync {
+        /// The Global Stabilization Time, in scheduler steps (`>= 1`; a
+        /// GST of 0 *is* the asynchronous regime and is rejected at parse).
+        gst: u32,
+        /// The adversary-controlled pre-GST schedule.
+        pre: AdversarialSchedule,
+        /// The eventually-fair regime delivery reverts to at `gst`.
+        post: AsyncRegime,
+    },
 }
 
 impl Regime {
@@ -204,24 +341,44 @@ impl Regime {
         matches!(self, Regime::Synchronous)
     }
 
-    /// The fairness bound `D`: the maximum number of steps between a
-    /// transmission and any of its deliveries. `1` for the synchronous
-    /// regime, [`AsyncRegime::delay`] otherwise.
+    /// The fairness bound `D` that holds *after* [`stabilization
+    /// time`](Regime::stabilization_time): the maximum number of steps
+    /// between a transmission and any of its deliveries. `1` for the
+    /// synchronous regime, [`AsyncRegime::delay`] otherwise.
     #[must_use]
     pub fn delay_bound(&self) -> u64 {
         match self {
             Regime::Synchronous => 1,
-            Regime::Asynchronous(config) => u64::from(config.delay.max(1)),
+            Regime::Asynchronous(config) => u64::from(config.delay),
+            Regime::PartialSync { post, .. } => u64::from(post.delay),
         }
     }
 
-    /// The regime label used by report rows and rollups: `sync`, or
-    /// `async-<scheduler>-d<delay>`.
+    /// The Global Stabilization Time: the step from which the fairness
+    /// bound [`delay_bound`](Regime::delay_bound) is guaranteed. `0` for
+    /// the synchronous and asynchronous regimes (fair from the start),
+    /// `gst` for partial synchrony. Protocols that place decision horizons
+    /// against the fairness bound must offset them by this value.
+    #[must_use]
+    pub fn stabilization_time(&self) -> u64 {
+        match self {
+            Regime::Synchronous | Regime::Asynchronous(_) => 0,
+            Regime::PartialSync { gst, .. } => u64::from(*gst),
+        }
+    }
+
+    /// The regime label used by report rows and rollups: `sync`,
+    /// `async-<scheduler>-d<delay>`, or
+    /// `psync-g<gst>-h<hold:x>-<post label>` (the hold-set in hex so
+    /// distinct schedules never alias in diff identities).
     #[must_use]
     pub fn label(&self) -> String {
         match self {
             Regime::Synchronous => "sync".to_string(),
             Regime::Asynchronous(config) => config.label(),
+            Regime::PartialSync { gst, pre, post } => {
+                format!("psync-g{gst}-h{:x}-{}", pre.hold, post.label())
+            }
         }
     }
 }
@@ -246,6 +403,22 @@ impl ToJson for Regime {
                 ("delay", u64::from(config.delay).to_json()),
                 ("seed", Json::Str(config.seed.to_string())),
             ]),
+            Regime::PartialSync { gst, pre, post } => Json::object([
+                ("kind", Json::Str("partial-sync".to_string())),
+                ("gst", u64::from(*gst).to_json()),
+                (
+                    "hold",
+                    Json::Arr(
+                        pre.held_nodes()
+                            .into_iter()
+                            .map(|node| (node as u64).to_json())
+                            .collect(),
+                    ),
+                ),
+                ("scheduler", Json::Str(post.scheduler.name().to_string())),
+                ("delay", u64::from(post.delay).to_json()),
+                ("seed", Json::Str(post.seed.to_string())),
+            ]),
         }
     }
 }
@@ -269,8 +442,21 @@ impl FromJson for Regime {
                     .transpose()?
                     .unwrap_or(0),
             })),
+            "partial-sync" | "psync" => Ok(Regime::PartialSync {
+                gst: gst_from_json(value)?,
+                pre: hold_from_json(value)?,
+                post: AsyncRegime {
+                    scheduler: scheduler_from_json(value)?,
+                    delay: delay_from_json(value)?,
+                    seed: value
+                        .get("seed")
+                        .map(u64_from_number_or_string)
+                        .transpose()?
+                        .unwrap_or(0),
+                },
+            }),
             other => Err(JsonError {
-                message: format!("unknown regime '{other}' (use sync or async)"),
+                message: format!("unknown regime '{other}' (use sync, async or partial-sync)"),
             }),
         }
     }
@@ -293,6 +479,35 @@ mod tests {
         assert_eq!(regime.delay_bound(), 4);
         assert!(!regime.is_synchronous());
         assert!(Regime::default().is_synchronous());
+        let psync = Regime::PartialSync {
+            gst: 12,
+            pre: AdversarialSchedule::holding(&[1, 5]),
+            post: AsyncRegime {
+                scheduler: SchedulerKind::Fifo,
+                delay: 2,
+                seed: 7,
+            },
+        };
+        assert_eq!(psync.label(), "psync-g12-h22-async-fifo-d2");
+        assert_eq!(psync.delay_bound(), 2);
+        assert_eq!(psync.stabilization_time(), 12);
+        assert_eq!(Regime::Synchronous.stabilization_time(), 0);
+        assert_eq!(regime.stabilization_time(), 0);
+        assert!(!psync.is_synchronous());
+    }
+
+    #[test]
+    fn hold_sets_are_bitmasks_over_small_node_ids() {
+        let schedule = AdversarialSchedule::holding(&[0, 3, 63, 64, 200]);
+        assert!(schedule.holds(0));
+        assert!(schedule.holds(3));
+        assert!(schedule.holds(63));
+        assert!(!schedule.holds(64));
+        assert!(!schedule.holds(1));
+        assert_eq!(schedule.held_nodes(), vec![0, 3, 63]);
+        assert_eq!(schedule.held_count(), 3);
+        assert_eq!(AdversarialSchedule::empty().held_count(), 0);
+        assert!(AdversarialSchedule::empty().held_nodes().is_empty());
     }
 
     #[test]
@@ -369,6 +584,24 @@ mod tests {
                 delay: 9,
                 seed: u64::MAX - 5,
             }),
+            Regime::PartialSync {
+                gst: 17,
+                pre: AdversarialSchedule::holding(&[2, 40, 63]),
+                post: AsyncRegime {
+                    scheduler: SchedulerKind::EdgeLag,
+                    delay: 3,
+                    seed: u64::MAX - 9,
+                },
+            },
+            Regime::PartialSync {
+                gst: 1,
+                pre: AdversarialSchedule::empty(),
+                post: AsyncRegime {
+                    scheduler: SchedulerKind::Fifo,
+                    delay: 1,
+                    seed: 0,
+                },
+            },
         ];
         for regime in regimes {
             let text = regime.to_json().to_string();
@@ -398,5 +631,45 @@ mod tests {
             )
             .is_err());
         }
+    }
+
+    #[test]
+    fn partial_sync_json_validates_gst_and_hold() {
+        // gst is required, must be >= 1 (0 is the async regime — the error
+        // should say so) and capped like the delay bound.
+        let missing = Regime::from_json(&Json::parse(r#"{"kind": "partial-sync"}"#).unwrap());
+        assert!(missing.unwrap_err().message.contains("gst"));
+        let zero =
+            Regime::from_json(&Json::parse(r#"{"kind": "partial-sync", "gst": 0}"#).unwrap());
+        assert!(zero.unwrap_err().message.contains("asynchronous"));
+        let over = Regime::from_json(
+            &Json::parse(&format!(
+                r#"{{"kind": "partial-sync", "gst": {}}}"#,
+                u64::from(MAX_GST) + 1
+            ))
+            .unwrap(),
+        );
+        assert!(over.is_err());
+        // Hold-sets must be arrays of node ids below 64.
+        let bad_hold = Regime::from_json(
+            &Json::parse(r#"{"kind": "partial-sync", "gst": 3, "hold": [64]}"#).unwrap(),
+        );
+        assert!(bad_hold.unwrap_err().message.contains("64"));
+        // Defaults mirror the async object form: edge-lag, delay 3, seed 0,
+        // empty hold-set.
+        let defaulted =
+            Regime::from_json(&Json::parse(r#"{"kind": "psync", "gst": 5}"#).unwrap()).unwrap();
+        assert_eq!(
+            defaulted,
+            Regime::PartialSync {
+                gst: 5,
+                pre: AdversarialSchedule::empty(),
+                post: AsyncRegime {
+                    scheduler: SchedulerKind::EdgeLag,
+                    delay: 3,
+                    seed: 0,
+                },
+            }
+        );
     }
 }

@@ -90,6 +90,7 @@ mod tests {
             graph: &graph,
             f: 1,
             regime: &lbc_model::Regime::Synchronous,
+            step: None,
             arena: &arena,
             ledger: &ledger,
         };
@@ -109,6 +110,7 @@ mod tests {
             graph: &graph,
             f: 1,
             regime: &lbc_model::Regime::Synchronous,
+            step: None,
             arena: &arena,
             ledger: &ledger,
         };

@@ -158,8 +158,15 @@ impl<P: Protocol> Network<P> {
         match regime {
             Regime::Synchronous => self.run_synchronous(adversary, max_rounds),
             Regime::Asynchronous(config) => {
-                self.run_asynchronous(regime, *config, adversary, max_rounds)
+                self.run_asynchronous(regime, *config, None, adversary, max_rounds)
             }
+            Regime::PartialSync { gst, pre, post } => self.run_asynchronous(
+                regime,
+                *post,
+                Some((u64::from(*gst), *pre)),
+                adversary,
+                max_rounds,
+            ),
         }
     }
 
@@ -202,7 +209,8 @@ impl<P: Protocol> Network<P> {
         }
     }
 
-    /// The event-scheduled loop of the asynchronous regime.
+    /// The event-scheduled loop of the asynchronous and partial-synchrony
+    /// regimes.
     ///
     /// Transmissions are appended once to an execution-wide buffer; each
     /// `(transmission, receiver)` pair becomes a delivery event scheduled
@@ -210,10 +218,22 @@ impl<P: Protocol> Network<P> {
     /// clamped so per-edge FIFO order holds. Every step delivers the due
     /// events (in global transmission order per receiver) and runs every
     /// node's `on_round` hook, empty inbox or not.
+    ///
+    /// With `psync = Some((gst, pre))` the loop runs the partial-synchrony
+    /// regime: a transmission whose earliest landing step is before `gst`
+    /// and whose *sender* is in the `pre` hold-set is withheld from the
+    /// schedule ring entirely and burst-released at step `gst`. Because a
+    /// held sender has **all** of its pre-GST transmissions held, and held
+    /// events release in global transmission (slot) order while the edge's
+    /// FIFO clamp is advanced to `gst`, per-edge FIFO — and with it the
+    /// flood fabric's same-first-message-per-key invariant — survives the
+    /// burst. With `psync = None` (or `gst = 0`) this is exactly the
+    /// asynchronous loop: the hold branch is never taken.
     fn run_asynchronous<A>(
         &mut self,
         regime: &Regime,
         config: lbc_model::AsyncRegime,
+        psync: Option<(u64, lbc_model::AdversarialSchedule)>,
         adversary: &mut A,
         max_steps: usize,
     ) -> RunReport
@@ -228,13 +248,18 @@ impl<P: Protocol> Network<P> {
         let mut buffer: Vec<Delivery<P::Message>> = Vec::new();
         // due[step % (D+1)] = events due at `step`, filled at enqueue time.
         // A lag is at most D, so a ring of D+1 step buckets always suffices.
-        let horizon = config.delay.max(1) as usize + 1;
+        // Held pre-GST events live outside the ring (in `held`), so a large
+        // GST does not demand a large ring.
+        let horizon = config.delay as usize + 1;
         let mut due: Vec<Vec<(u32, u32)>> = vec![Vec::new(); horizon];
         // Per-edge FIFO clamp: the last step any delivery was scheduled for
         // on the (sender, receiver) edge.
         let mut edge_last: Vec<u64> = vec![0; n * n];
         let mut slots: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut stats_accum = RoundStats::default();
+        // Pre-GST events withheld by the adversarial schedule, in global
+        // transmission (slot) order, awaiting the burst at `gst`.
+        let mut held: Vec<(u32, u32)> = Vec::new();
 
         let pending = self.collect_outgoing(regime, adversary, None, &buffer, &slots);
         // Start-of-execution transmissions behave as if emitted at "step
@@ -242,11 +267,13 @@ impl<P: Protocol> Network<P> {
         // under the synchronous regime.
         self.enqueue_async(
             &config,
+            psync,
             pending,
             0,
             &mut buffer,
             &mut due,
             &mut edge_last,
+            &mut held,
             &mut stats_accum,
         );
 
@@ -261,6 +288,13 @@ impl<P: Protocol> Network<P> {
             }
             let bucket = step_index % horizon;
             let mut released = std::mem::take(&mut due[bucket]);
+            if let Some((gst, _)) = psync {
+                if step_index as u64 == gst {
+                    // The GST burst: every withheld pre-GST event lands now,
+                    // merged into slot order with the step's fair deliveries.
+                    released.append(&mut held);
+                }
+            }
             released.sort_unstable();
             let mut stats = std::mem::take(&mut stats_accum);
             for (slot, receiver) in released {
@@ -272,11 +306,13 @@ impl<P: Protocol> Network<P> {
             let pending = self.collect_outgoing(regime, adversary, Some(round), &buffer, &slots);
             self.enqueue_async(
                 &config,
+                psync,
                 pending,
                 step_index as u64 + 1,
                 &mut buffer,
                 &mut due,
                 &mut edge_last,
+                &mut held,
                 &mut stats_accum,
             );
         }
@@ -291,28 +327,41 @@ impl<P: Protocol> Network<P> {
 
     /// Applies the communication model to freshly collected transmissions
     /// and schedules one delivery event per `(transmission, receiver)` pair.
-    /// `base` is the earliest step a lag-1 delivery may land on.
+    /// `base` is the earliest step a lag-1 delivery may land on. Under
+    /// partial synchrony (`psync = Some`), events of held senders with
+    /// `base < gst` go to `held` instead of the ring, and the edge's FIFO
+    /// clamp advances to `gst` so later fair deliveries on that edge cannot
+    /// overtake the burst.
     #[allow(clippy::too_many_arguments)]
     fn enqueue_async(
         &self,
         config: &lbc_model::AsyncRegime,
+        psync: Option<(u64, lbc_model::AdversarialSchedule)>,
         pending: Vec<Vec<Outgoing<P::Message>>>,
         base: u64,
         buffer: &mut Vec<Delivery<P::Message>>,
         due: &mut [Vec<(u32, u32)>],
         edge_last: &mut [u64],
+        held: &mut Vec<(u32, u32)>,
         stats: &mut RoundStats,
     ) {
         let n = self.nodes.len();
         let horizon = due.len() as u64;
         let mut schedule = |slot: u32, from: NodeId, to: NodeId| {
+            let edge = from.index() * n + to.index();
+            if let Some((gst, pre)) = psync {
+                if base < gst && pre.holds(from.index()) {
+                    held.push((slot, to.index() as u32));
+                    edge_last[edge] = edge_last[edge].max(gst);
+                    return;
+                }
+            }
             let lag = config
                 .lag(from.index(), to.index(), n)
                 .clamp(1, horizon - 1);
             // `base` is already the lag-1 landing step, so the extra lag
             // beyond 1 is added on top; the FIFO clamp keeps one edge's
             // deliveries in transmission order.
-            let edge = from.index() * n + to.index();
             let at = (base + (lag - 1)).max(edge_last[edge]);
             edge_last[edge] = at;
             due[(at % horizon) as usize].push((slot, to.index() as u32));
@@ -376,6 +425,7 @@ impl<P: Protocol> Network<P> {
                 graph: &self.graph,
                 f: self.f,
                 regime,
+                step: round,
                 arena: &self.arena,
                 ledger: &self.ledger,
             };
@@ -868,6 +918,213 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_eq!(run(4), run(4));
+    }
+
+    fn psync_regime(
+        gst: u32,
+        hold: &[usize],
+        scheduler: lbc_model::SchedulerKind,
+        delay: u32,
+        seed: u64,
+    ) -> Regime {
+        Regime::PartialSync {
+            gst,
+            pre: lbc_model::AdversarialSchedule::holding(hold),
+            post: lbc_model::AsyncRegime {
+                scheduler,
+                delay,
+                seed,
+            },
+        }
+    }
+
+    /// Runs an all-senders [`OrderProbe`] network under `regime` and returns
+    /// the full per-node delivery log — every `(step, from, value)` at every
+    /// node — plus the outputs and trace counters, i.e. the step-for-step
+    /// observable behaviour of the run.
+    #[allow(clippy::type_complexity)]
+    fn probe_run_under(
+        regime: &Regime,
+    ) -> (
+        Vec<Vec<(u64, NodeId, Value)>>,
+        Vec<Option<Value>>,
+        usize,
+        usize,
+    ) {
+        let graph = generators::cycle(5);
+        let nodes: Vec<OrderProbe> = graph.nodes().map(|_| OrderProbe::sender()).collect();
+        let mut network = Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
+        let report = network.run_under(regime, &mut HonestAdversary, 40);
+        let heard = (0..5).map(|i| network.node(n(i)).heard.clone()).collect();
+        (
+            heard,
+            report.outputs.clone(),
+            report.trace.total_transmissions(),
+            report.trace.total_deliveries(),
+        )
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(48))]
+
+        /// A partial-synchrony run with `gst = 0` IS the equivalent
+        /// asynchronous run, step for step: with no pre-GST window the hold
+        /// branch is unreachable whatever the hold-set, and the post-GST
+        /// scheduler governs from step 0 on.
+        #[test]
+        fn psync_with_gst_zero_equals_the_asynchronous_run(
+            kind in 0usize..3,
+            delay in 1u32..6,
+            seed in any::<u64>(),
+            hold in 0u64..32,
+        ) {
+            let scheduler = lbc_model::SchedulerKind::all()[kind];
+            let config = lbc_model::AsyncRegime { scheduler, delay, seed };
+            let held: Vec<usize> = (0..5).filter(|i| hold & (1 << i) != 0).collect();
+            let psync = Regime::PartialSync {
+                gst: 0,
+                pre: lbc_model::AdversarialSchedule::holding(&held),
+                post: config,
+            };
+            prop_assert_eq!(
+                probe_run_under(&psync),
+                probe_run_under(&Regime::Asynchronous(config))
+            );
+        }
+    }
+
+    #[test]
+    fn psync_holds_pre_gst_transmissions_and_bursts_them_at_gst() {
+        let gst = 6u32;
+        for scheduler in lbc_model::SchedulerKind::all() {
+            for seed in [0, 7, 991] {
+                let graph = generators::complete(3);
+                let nodes = vec![
+                    OrderProbe::sender(),
+                    OrderProbe::listener(),
+                    OrderProbe::listener(),
+                ];
+                let mut network =
+                    Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
+                let regime = psync_regime(gst, &[0], scheduler, 2, seed);
+                let _ = network.run_under(&regime, &mut HonestAdversary, 40);
+                for listener in [1, 2] {
+                    let heard = &network.node(n(listener)).heard;
+                    let from_sender: Vec<&(u64, NodeId, Value)> =
+                        heard.iter().filter(|(_, from, _)| *from == n(0)).collect();
+                    assert_eq!(
+                        from_sender.len(),
+                        2,
+                        "{}/{seed}: listener {listener} missed a held delivery",
+                        scheduler.name()
+                    );
+                    // Both start-of-execution transmissions of the held
+                    // sender burst-arrive exactly at GST — never before
+                    // (held) and never after (released into the gst step) —
+                    // in per-edge FIFO order.
+                    for (step, _, _) in &from_sender {
+                        assert_eq!(
+                            *step,
+                            u64::from(gst),
+                            "{}/{seed}: held delivery landed at step {step}, not at GST",
+                            scheduler.name()
+                        );
+                    }
+                    assert_eq!(from_sender[0].2, Value::Zero);
+                    assert_eq!(from_sender[1].2, Value::One);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn psync_burst_does_not_overtake_later_sends_on_the_held_edge() {
+        /// Sends `Zero` at start and `One` mid-run (step 4, straddling the
+        /// GST-6 boundary for fairness bounds up to 3): whatever landing
+        /// step the scheduler picks for `One`, per-edge FIFO demands the
+        /// held `Zero` burst never arrives after it.
+        #[derive(Debug)]
+        struct LateSender {
+            steps: u64,
+            heard: Vec<(u64, NodeId, Value)>,
+        }
+        impl Protocol for LateSender {
+            type Message = Value;
+            fn on_start(&mut self, _ctx: &NodeContext<'_>) -> Vec<Outgoing<Value>> {
+                vec![Outgoing::Broadcast(Value::Zero)]
+            }
+            fn on_round(
+                &mut self,
+                _ctx: &NodeContext<'_>,
+                _round: Round,
+                inbox: Inbox<'_, Value>,
+            ) -> Vec<Outgoing<Value>> {
+                let step = self.steps;
+                self.steps += 1;
+                for delivery in inbox.iter() {
+                    self.heard.push((step, delivery.from, delivery.message));
+                }
+                if step == 4 {
+                    vec![Outgoing::Broadcast(Value::One)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn output(&self) -> Option<Value> {
+                (self.steps > 20).then_some(Value::Zero)
+            }
+        }
+
+        let gst = 6u32;
+        for scheduler in lbc_model::SchedulerKind::all() {
+            for seed in [3, 17, 401] {
+                let graph = generators::complete(2);
+                let nodes = (0..2)
+                    .map(|_| LateSender {
+                        steps: 0,
+                        heard: Vec::new(),
+                    })
+                    .collect();
+                let mut network =
+                    Network::new(graph, CommModel::LocalBroadcast, NodeSet::new(), nodes);
+                let regime = psync_regime(gst, &[0], scheduler, 3, seed);
+                let _ = network.run_under(&regime, &mut HonestAdversary, 40);
+                let heard: Vec<&(u64, NodeId, Value)> = network
+                    .node(n(1))
+                    .heard
+                    .iter()
+                    .filter(|(_, from, _)| *from == n(0))
+                    .collect();
+                assert_eq!(
+                    heard.len(),
+                    2,
+                    "{}/{seed}: listener missed a delivery from the held sender",
+                    scheduler.name()
+                );
+                // The held start transmission bursts at GST…
+                assert_eq!(heard[0].2, Value::Zero);
+                assert_eq!(heard[0].0, u64::from(gst), "{}/{seed}", scheduler.name());
+                // …and the mid-run transmission never overtakes it.
+                assert_eq!(heard[1].2, Value::One);
+                assert!(heard[1].0 >= heard[0].0, "{}/{seed}", scheduler.name());
+            }
+        }
+    }
+
+    #[test]
+    fn psync_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let regime = psync_regime(7, &[1, 3], lbc_model::SchedulerKind::EdgeLag, 3, seed);
+            probe_run_under(&regime)
+        };
+        assert_eq!(run(3), run(3));
+        assert_eq!(run(4), run(4));
+        assert_ne!(
+            run(3).0,
+            probe_run_under(&async_regime(lbc_model::SchedulerKind::EdgeLag, 3, 3)).0
+        );
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub struct NodeContext<'a> {
     pub f: usize,
     /// The execution regime deliveries are scheduled under.
     pub regime: &'a Regime,
+    /// The scheduler step this callback runs at: `None` for the
+    /// start-of-execution call, `Some(r)` for round/step `r`. Together with
+    /// `regime` this makes adversaries *scheduler-aware*: a strategy can
+    /// read where it stands relative to the regime's stabilization time and
+    /// straddle the GST boundary deliberately.
+    pub step: Option<Round>,
     /// The execution-wide path-interning arena.
     pub arena: &'a SharedPathArena,
     /// The execution-wide shared flood ledger.
@@ -372,6 +378,7 @@ mod tests {
             graph: &graph,
             f: 1,
             regime: &Regime::Synchronous,
+            step: None,
             arena: &arena,
             ledger: &ledger,
         };
@@ -404,6 +411,7 @@ mod tests {
             graph: &graph,
             f: 0,
             regime: &Regime::Synchronous,
+            step: None,
             arena: &arena,
             ledger: &ledger,
         };

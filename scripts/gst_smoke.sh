@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Partial-synchrony (GST) smoke: gates the timing-attack fault dimension.
+#
+#   1. Spec surface   — `--list` expands the committed gst_boundary spec and
+#                       shows the partial-sync regimes; zero-valued knobs
+#                       (`gst: 0`, `delay: 0`) are *rejected* at parse time,
+#                       not clamped.
+#   2. Determinism    — campaign AND search reports are byte-identical at 1
+#                       and 4 workers (the hold-until-GST burst and the
+#                       timing-mutation schedule are part of the contract).
+#   3. Boundary       — the sleeper(12) cycle cell is correct under sync and
+#                       under plain fifo-2 async, and violated only under the
+#                       hold-until-GST schedule; the above-threshold
+#                       circulant control absorbs every GST attack.
+#   4. Timing attack  — `lbc search` discovers a violating GST-straddling
+#                       candidate on the partial-sync cycle cell (its best
+#                       schedule is a partial-sync attack with gst >= 1),
+#                       minimizes it toward earliest-GST/smallest-hold, and
+#                       the emitted counterexamples re-violate when replayed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LBC_GST_OUT:-target/lbc-gst-smoke}"
+rm -rf "$OUT"
+mkdir -p "$OUT/w1" "$OUT/w4"
+
+cargo build --release --bin lbc
+
+# Spec debugging: the expanded table must list the partial-sync regimes.
+./target/release/lbc campaign examples/campaigns/gst_boundary.json --list > "$OUT/list.txt"
+grep -q "psync-g12-h4-async-fifo-d2" "$OUT/list.txt"
+grep -q "psync-g8-h11-async-edge-lag-d3" "$OUT/list.txt"
+./target/release/lbc search examples/campaigns/gst_boundary.json --list > /dev/null
+
+# Zero-valued timing knobs are spec errors, not silent clamps.
+for bad in '{"kind": "partial-sync", "gst": 0, "hold": [2], "scheduler": "fifo", "delay": 2}' \
+           '{"kind": "partial-sync", "gst": 4, "hold": [2], "scheduler": "fifo", "delay": 0}' \
+           '{"kind": "async", "scheduler": "fifo", "delay": 0}'; do
+  sed "s|\"sync\",|$bad,|" examples/campaigns/gst_boundary.json > "$OUT/bad.json"
+  if ./target/release/lbc campaign "$OUT/bad.json" --list > /dev/null 2> "$OUT/bad.err"; then
+    echo "zero-valued timing knob was accepted: $bad" >&2
+    exit 1
+  fi
+  grep -Eq "out of range|asynchronous regime" "$OUT/bad.err"
+done
+
+./target/release/lbc campaign examples/campaigns/gst_boundary.json --workers 1 --out "$OUT/w1" --quiet
+./target/release/lbc campaign examples/campaigns/gst_boundary.json --workers 4 --out "$OUT/w4" --quiet
+cmp "$OUT/w1/gst_boundary.report.json" "$OUT/w4/gst_boundary.report.json"
+./target/release/lbc campaign diff "$OUT/w1/gst_boundary.report.json" "$OUT/w4/gst_boundary.report.json" > /dev/null
+
+python3 - "$OUT/w1/gst_boundary.report.json" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+cycle = {}
+control = 0
+for record in report["records"]:
+    if record["family"] == "cycle":
+        assert not record["feasible"], "the cycle is below the async threshold"
+        total, violations = cycle.get(record["regime"], (0, 0))
+        cycle[record["regime"]] = (total + 1, violations + (0 if record["correct"] else 1))
+    elif record["family"] == "circulant":
+        control += 1
+        assert record["feasible"], "C9(1,2) is above the async threshold"
+        assert record["correct"], f"above-threshold cell violated: {record}"
+    else:
+        raise AssertionError(f"unexpected cell: {record}")
+
+assert control > 0
+assert set(cycle) == {"sync", "async-fifo-d2", "psync-g12-h4-async-fifo-d2"}
+for regime, (total, violations) in cycle.items():
+    assert total == 160, f"[{regime}] expected 5 placements x 32 inputs, got {total}"
+    if regime.startswith("psync-"):
+        assert violations > 0, "the hold-until-GST schedule must break the sleeper"
+    else:
+        assert violations == 0, f"sleeper(12) violated under [{regime}]"
+
+psync_violations = cycle["psync-g12-h4-async-fifo-d2"][1]
+print(
+    f"gst boundary OK: {control} above-threshold GST-attack cells correct, "
+    f"sleeper(12) 0 violations under sync/async, "
+    f"{psync_violations}/160 under hold-until-GST"
+)
+EOF
+
+# The search must discover the timing attack and keep worker-count
+# byte-identity on the search report too.
+./target/release/lbc search examples/campaigns/gst_boundary.json \
+  --require-violation --workers 1 --out "$OUT/w1" --quiet
+./target/release/lbc search examples/campaigns/gst_boundary.json \
+  --require-violation --workers 4 --out "$OUT/w4" --quiet
+cmp "$OUT/w1/gst_boundary.search.json" "$OUT/w4/gst_boundary.search.json"
+
+python3 - "$OUT/w1/gst_boundary.search.json" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+cells = {(c["graph"], c["regime"]): c for c in report["cells"]}
+psync = cells[("C5", "psync-g12-h4-async-fifo-d2")]
+assert psync["violation"], "search failed to violate the partial-sync cycle cell"
+
+best = psync["best"]["schedule"]
+assert best["kind"] == "partial-sync", f"best attack is not a timing attack: {best}"
+assert best["gst"] >= 1, f"best attack does not straddle GST: {best}"
+
+shrunk = psync["counterexample"]["candidate"]["schedule"]
+assert shrunk["kind"] == "partial-sync", f"minimized fragment lost the regime: {shrunk}"
+assert shrunk["gst"] <= best["gst"], "minimization must shrink toward the earliest GST"
+assert len(shrunk["hold"]) <= len(best["hold"]), "minimization must shrink the hold-set"
+
+for graph, regime in cells:
+    if graph.startswith("C9"):
+        assert not cells[(graph, regime)]["violation"], \
+            f"above-threshold cell violated under search pressure: {graph} [{regime}]"
+
+print(
+    f"gst search OK: best GST-straddling attack gst={best['gst']} hold={best['hold']}, "
+    f"minimized to gst={shrunk['gst']} hold={shrunk['hold']}"
+)
+EOF
+
+# Replaying the minimized counterexamples must re-exhibit every violation
+# (clean run first, so a broken writer cannot fake the strict failure).
+./target/release/lbc campaign "$OUT/w1/gst_boundary.counterexamples.json" \
+  --out "$OUT" --quiet
+if ./target/release/lbc campaign "$OUT/w1/gst_boundary.counterexamples.json" \
+     --strict --out "$OUT" --quiet; then
+  echo "minimized timing counterexamples no longer violate when replayed" >&2
+  exit 1
+fi
+
+echo "gst smoke OK: zero-knob rejection + deterministic reports + GST boundary + discovered timing attack"
