@@ -470,6 +470,7 @@ mod tests {
             step: None,
             arena,
             ledger,
+            observer: Box::leak(Box::new(lbc_sim::ObserverHandle::disabled())),
         }
     }
 
@@ -646,6 +647,7 @@ mod tests {
                 seed: 0,
             },
         };
+        let observer = lbc_sim::ObserverHandle::disabled();
         let psync_ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
@@ -654,6 +656,7 @@ mod tests {
             step: Some(Round::new(3)),
             arena: &arena,
             ledger: &ledger,
+            observer: &observer,
         };
         // Strictly before GST: honest.
         let mut straddle = Strategy::StraddleTamper.into_adversary();

@@ -8,15 +8,87 @@
 //! report is byte-identical for any worker count — the pool affects wall
 //! time only.
 
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use lbc_consensus::runner;
 use lbc_model::ConsensusOutcome;
+use lbc_sim::ObserverHandle;
+use lbc_telemetry::MetricsCollector;
 
 use crate::report::{CampaignReport, ScenarioRecord};
 use crate::spec::{CampaignSpec, Scenario, SpecError};
+use crate::telemetry::{CampaignTelemetry, CellTelemetry};
+
+/// How a campaign executes beyond the spec itself: pool width, the opt-in
+/// telemetry collectors, and the stderr progress ticker.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker-pool width (clamped to at least 1).
+    pub workers: usize,
+    /// Attach a per-cell [`MetricsCollector`] and carry a
+    /// [`CampaignTelemetry`] section on the report.
+    pub telemetry: bool,
+    /// Emit per-cell progress ticks with an ETA on **stderr** (stdout and
+    /// the report bytes are unaffected; `--quiet` keeps this off).
+    pub progress: bool,
+}
+
+impl ExecOptions {
+    /// Options for a plain run on `workers` threads: no telemetry, no
+    /// progress ticks — the exact pre-existing executor behavior.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        ExecOptions {
+            workers,
+            telemetry: false,
+            progress: false,
+        }
+    }
+}
+
+/// The stderr progress ticker: carriage-return ticks with an ETA derived
+/// from the mean per-cell wall time so far. Lives entirely on stderr; the
+/// deterministic surfaces never see it.
+struct Progress {
+    started: Instant,
+    total: usize,
+    completed: AtomicUsize,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        Progress {
+            started: Instant::now(),
+            total,
+            completed: AtomicUsize::new(0),
+        }
+    }
+
+    fn tick(&self) {
+        let done = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if done == 0 {
+            0.0
+        } else {
+            elapsed / done as f64 * (self.total - done) as f64
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[{done}/{}] {:.0}% eta {eta:.1}s   ",
+            self.total,
+            done as f64 / self.total.max(1) as f64 * 100.0,
+        );
+        if done == self.total {
+            let _ = writeln!(err, "\r[{done}/{}] done in {elapsed:.1}s   ", self.total);
+        }
+    }
+}
 
 /// Expands `spec` and executes every scenario on `workers` threads,
 /// returning the aggregated report.
@@ -31,8 +103,29 @@ use crate::spec::{CampaignSpec, Scenario, SpecError};
 /// cannot fail: every scenario produces a record (a scenario that exceeds
 /// its round budget simply records a non-terminating verdict).
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport, SpecError> {
+    run_campaign_opts(spec, &ExecOptions::new(workers))
+}
+
+/// [`run_campaign`] with full [`ExecOptions`]: optional per-cell telemetry
+/// collection and stderr progress ticks.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when the spec fails to expand.
+pub fn run_campaign_opts(
+    spec: &CampaignSpec,
+    options: &ExecOptions,
+) -> Result<CampaignReport, SpecError> {
+    let expand_started = Instant::now();
     let (scenarios, notes) = spec.expand_noted()?;
-    Ok(run_scenarios_noted(spec, &scenarios, notes, workers))
+    let expand_micros = phase_micros(expand_started);
+    Ok(run_scenarios_full(
+        spec,
+        &scenarios,
+        notes,
+        options,
+        Some(expand_micros),
+    ))
 }
 
 /// Executes already-expanded scenarios (from [`CampaignSpec::expand`] on
@@ -57,8 +150,52 @@ pub fn run_scenarios_noted(
     notes: Vec<String>,
     workers: usize,
 ) -> CampaignReport {
-    let records = execute_scenarios(scenarios, workers);
-    CampaignReport::with_notes(spec.name.clone(), spec.seed, notes, records)
+    run_scenarios_full(spec, scenarios, notes, &ExecOptions::new(workers), None)
+}
+
+/// Like [`run_scenarios_noted`], but honoring full [`ExecOptions`].
+#[must_use]
+pub fn run_scenarios_opts(
+    spec: &CampaignSpec,
+    scenarios: &[Scenario],
+    notes: Vec<String>,
+    options: &ExecOptions,
+) -> CampaignReport {
+    run_scenarios_full(spec, scenarios, notes, options, None)
+}
+
+fn run_scenarios_full(
+    spec: &CampaignSpec,
+    scenarios: &[Scenario],
+    notes: Vec<String>,
+    options: &ExecOptions,
+    expand_micros: Option<u64>,
+) -> CampaignReport {
+    let execute_started = Instant::now();
+    let (records, cells) = execute_scenarios_opts(scenarios, options);
+    let execute_micros = phase_micros(execute_started);
+    let aggregate_started = Instant::now();
+    let report = CampaignReport::with_notes(spec.name.clone(), spec.seed, notes, records);
+    let Some(cells) = cells else {
+        return report;
+    };
+    // Force the rollup aggregation so the `aggregate` phase measures the
+    // report-assembly cost rather than deferring it to the first renderer.
+    let _ = report.rollups();
+    let mut phase_micros_list = Vec::new();
+    if let Some(micros) = expand_micros {
+        phase_micros_list.push(("expand".to_string(), micros));
+    }
+    phase_micros_list.push(("execute".to_string(), execute_micros));
+    phase_micros_list.push(("aggregate".to_string(), phase_micros(aggregate_started)));
+    report.with_telemetry(CampaignTelemetry {
+        cells,
+        phase_micros: phase_micros_list,
+    })
+}
+
+fn phase_micros(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Runs one scenario to completion and records the outcome.
@@ -80,7 +217,42 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRecord {
     record_outcome(scenario, &outcome, trace.summary(), wall_micros)
 }
 
-fn record_outcome(
+/// Runs one scenario with a [`MetricsCollector`] attached, returning the
+/// record plus the cell's tallied metrics.
+#[must_use]
+pub fn run_scenario_observed(scenario: &Scenario) -> (ScenarioRecord, CellTelemetry) {
+    let collector = Rc::new(RefCell::new(MetricsCollector::new()));
+    let observer = ObserverHandle::from_shared(Rc::clone(&collector));
+    let graph = scenario.build_graph();
+    let mut adversary = scenario.strategy.clone().into_adversary();
+    let started = Instant::now();
+    let (outcome, trace) = runner::run_kind_observed(
+        scenario.algorithm,
+        &scenario.regime,
+        &graph,
+        scenario.f,
+        &scenario.inputs,
+        &scenario.faulty,
+        &mut adversary,
+        observer,
+    );
+    let wall_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let record = record_outcome(scenario, &outcome, trace.summary(), wall_micros);
+    let metrics = Rc::try_unwrap(collector)
+        .expect("the network dropped its observer handle at run end")
+        .into_inner()
+        .finish();
+    (
+        record,
+        CellTelemetry {
+            index: scenario.index,
+            metrics,
+            wall_micros,
+        },
+    )
+}
+
+pub(crate) fn record_outcome(
     scenario: &Scenario,
     outcome: &ConsensusOutcome,
     stats: lbc_sim::TraceSummary,
@@ -106,36 +278,67 @@ fn record_outcome(
     }
 }
 
-/// Executes scenarios over a worker pool, returning records in scenario
-/// (expansion) order regardless of completion order.
-fn execute_scenarios(scenarios: &[Scenario], workers: usize) -> Vec<ScenarioRecord> {
-    let workers = workers.max(1).min(scenarios.len().max(1));
-    if workers == 1 {
-        return scenarios.iter().map(run_scenario).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ScenarioRecord>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(scenario) = scenarios.get(index) else {
-                    break;
-                };
-                let record = run_scenario(scenario);
-                *slots[index].lock().expect("no panics while holding slot") = Some(record);
-            });
+/// One scenario's execution result: its record plus, with telemetry
+/// enabled, the cell's metrics.
+type CellResult = (ScenarioRecord, Option<CellTelemetry>);
+
+/// Executes scenarios over a worker pool, returning records — and, with
+/// telemetry enabled, per-cell metrics — in scenario (expansion) order
+/// regardless of completion order.
+fn execute_scenarios_opts(
+    scenarios: &[Scenario],
+    options: &ExecOptions,
+) -> (Vec<ScenarioRecord>, Option<Vec<CellTelemetry>>) {
+    let workers = options.workers.max(1).min(scenarios.len().max(1));
+    let progress = options.progress.then(|| Progress::new(scenarios.len()));
+    let run_one = |scenario: &Scenario| -> CellResult {
+        let result = if options.telemetry {
+            let (record, cell) = run_scenario_observed(scenario);
+            (record, Some(cell))
+        } else {
+            (run_scenario(scenario), None)
+        };
+        if let Some(progress) = &progress {
+            progress.tick();
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker panicked")
-                .expect("every slot is filled once the pool drains")
-        })
-        .collect()
+        result
+    };
+    let results: Vec<CellResult> = if workers == 1 {
+        scenarios.iter().map(run_one).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(index) else {
+                        break;
+                    };
+                    let result = run_one(scenario);
+                    *slots[index].lock().expect("no panics while holding slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panicked")
+                    .expect("every slot is filled once the pool drains")
+            })
+            .collect()
+    };
+    let mut records = Vec::with_capacity(results.len());
+    let mut cells = options.telemetry.then(Vec::new);
+    for (record, cell) in results {
+        records.push(record);
+        if let (Some(cells), Some(cell)) = (&mut cells, cell) {
+            cells.push(cell);
+        }
+    }
+    (records, cells)
 }
 
 #[cfg(test)]

@@ -1,0 +1,460 @@
+//! Run explainability: replay one campaign cell with a recording observer
+//! and render a per-step timeline plus a violation post-mortem.
+//!
+//! This is the engine behind `lbc trace <spec.json> --cell <id>`. The replay
+//! is the exact deterministic execution the campaign executor performed for
+//! that cell (same derived seed, same pre-seeded adversary and regime), so
+//! the rendered timeline *is* the run that produced the report row — not a
+//! reconstruction. Counterexample specs emitted by `lbc search`
+//! (`<name>.counterexamples.json`) are plain campaign specs, so minimized
+//! search fragments replay through the same path.
+//!
+//! The post-mortem names the injected attack (strategy, GST, hold-set),
+//! lists every adversary interference and GST burst, reconstructs tamper
+//! provenance chains from delivery path annotations, and shows which honest
+//! node decided on what evidence — including the first divergent decision
+//! when agreement breaks.
+
+use std::fmt::Write as _;
+
+use lbc_consensus::runner;
+use lbc_model::{NodeId, Regime, Value};
+use lbc_sim::{Event, Moment, ObserverHandle};
+
+use crate::executor::record_outcome;
+use crate::report::ScenarioRecord;
+use crate::spec::Scenario;
+
+/// Cap on fully-rendered tamper provenance chains in the post-mortem; the
+/// remainder is summarized as a count so huge cells stay readable.
+const MAX_PROVENANCE_LINES: usize = 12;
+
+/// The replayed cell: its judged record plus the full recorded event stream.
+#[derive(Debug)]
+pub struct TraceReplay {
+    /// The record the replay produced (identical to the campaign's row for
+    /// this cell).
+    pub record: ScenarioRecord,
+    /// Every event the instrumented execution emitted, in order.
+    pub events: Vec<Event>,
+}
+
+/// Replays `scenario` with a recording observer attached.
+#[must_use]
+pub fn replay_scenario(scenario: &Scenario) -> TraceReplay {
+    let (observer, recorder) = ObserverHandle::recorder();
+    let graph = scenario.build_graph();
+    let mut adversary = scenario.strategy.clone().into_adversary();
+    let (outcome, trace) = runner::run_kind_observed(
+        scenario.algorithm,
+        &scenario.regime,
+        &graph,
+        scenario.f,
+        &scenario.inputs,
+        &scenario.faulty,
+        &mut adversary,
+        observer,
+    );
+    let record = record_outcome(scenario, &outcome, trace.summary(), 0);
+    let events = std::rc::Rc::try_unwrap(recorder)
+        .expect("the network dropped its observer handle at run end")
+        .into_inner()
+        .into_events();
+    TraceReplay { record, events }
+}
+
+impl TraceReplay {
+    /// Renders the header, attack setup, per-step timeline, and post-mortem
+    /// as one deterministic text document.
+    #[must_use]
+    pub fn render(&self, scenario: &Scenario) -> String {
+        self.render_with(scenario, true)
+    }
+
+    /// Like [`TraceReplay::render`], optionally suppressing the per-step
+    /// timeline (the header and post-mortem alone summarize large cells).
+    #[must_use]
+    pub fn render_with(&self, scenario: &Scenario, include_timeline: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&self.render_header(scenario));
+        if include_timeline {
+            out.push_str(&self.render_timeline());
+        }
+        out.push_str(&self.render_post_mortem(scenario));
+        out
+    }
+
+    fn render_header(&self, scenario: &Scenario) -> String {
+        let r = &self.record;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cell #{}: {} n={} f={} {} [{}]",
+            r.index,
+            r.graph,
+            r.n,
+            r.f,
+            r.algorithm.name(),
+            r.regime,
+        );
+        let _ = writeln!(
+            out,
+            "  strategy={} faulty={} inputs={} seed={} feasible={}",
+            r.strategy, r.faulty, r.inputs, r.seed, r.feasible,
+        );
+        out.push_str(&render_attack_setup(scenario));
+        out.push('\n');
+        out
+    }
+
+    fn render_timeline(&self) -> String {
+        let mut out = String::from("timeline:\n");
+        for event in &self.events {
+            out.push_str(&event.render());
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+
+    fn render_post_mortem(&self, scenario: &Scenario) -> String {
+        let r = &self.record;
+        let mut out = String::from("post-mortem:\n");
+        let verdict = if r.verdict.is_correct() {
+            "correct (agreement + validity + termination)".to_string()
+        } else {
+            let mut broken = Vec::new();
+            if !r.verdict.agreement {
+                broken.push("agreement");
+            }
+            if !r.verdict.validity {
+                broken.push("validity");
+            }
+            if !r.verdict.termination {
+                broken.push("termination");
+            }
+            format!("VIOLATION: {} broken", broken.join(" + "))
+        };
+        let _ = writeln!(out, "  verdict: {verdict}");
+        out.push_str(&render_attack_summary(scenario, &self.events));
+        out.push_str(&self.render_decisions(scenario));
+        out.push_str(&self.render_provenance(scenario));
+        out
+    }
+
+    /// Decisions with evidence, plus the first honest divergence when
+    /// agreement breaks.
+    fn render_decisions(&self, scenario: &Scenario) -> String {
+        let mut out = String::new();
+        let mut honest_decisions: Vec<(Moment, NodeId, Value)> = Vec::new();
+        for event in &self.events {
+            let Event::NodeDecided {
+                at,
+                node,
+                value,
+                evidence,
+            } = event
+            else {
+                continue;
+            };
+            let role = if scenario.faulty.contains(*node) {
+                " (faulty)"
+            } else {
+                ""
+            };
+            let _ = write!(
+                out,
+                "  decision: {node}{role} -> {} at {}",
+                value.as_u8(),
+                at.token(),
+            );
+            if evidence.is_empty() {
+                out.push('\n');
+            } else {
+                let rendered: Vec<String> = evidence
+                    .iter()
+                    .map(|(origin, v)| format!("{origin}:{}", v.as_u8()))
+                    .collect();
+                let _ = writeln!(out, " on evidence [{}]", rendered.join(" "));
+            }
+            if !scenario.faulty.contains(*node) {
+                honest_decisions.push((*at, *node, *value));
+            }
+        }
+        if let Some(&(_, first_node, first_value)) = honest_decisions.first() {
+            if let Some(&(at, node, value)) = honest_decisions
+                .iter()
+                .find(|(_, _, value)| *value != first_value)
+            {
+                let _ = writeln!(
+                    out,
+                    "  first divergent value: {node} decided {} at {}, diverging from \
+                     {first_node}'s {}",
+                    value.as_u8(),
+                    at.token(),
+                    first_value.as_u8(),
+                );
+            }
+        }
+        let undecided: Vec<String> = (0..scenario.n)
+            .map(NodeId::new)
+            .filter(|node| {
+                !scenario.faulty.contains(*node)
+                    && !honest_decisions.iter().any(|(_, n, _)| n == node)
+            })
+            .map(|node| node.to_string())
+            .collect();
+        if !undecided.is_empty() {
+            let _ = writeln!(out, "  undecided honest nodes: {}", undecided.join(" "));
+        }
+        out
+    }
+
+    /// Tamper provenance: deliveries whose claimed value contradicts the
+    /// honest origin's input, with the relay chain and its faulty members.
+    fn render_provenance(&self, scenario: &Scenario) -> String {
+        let mut chains: Vec<String> = Vec::new();
+        for event in &self.events {
+            let Event::Delivery {
+                step,
+                to,
+                from,
+                meta,
+                ..
+            } = event
+            else {
+                continue;
+            };
+            let (Some(value), Some(origin)) = (meta.value, meta.origin()) else {
+                continue;
+            };
+            if scenario.faulty.contains(origin) || origin.index() >= scenario.n {
+                continue;
+            }
+            if value == scenario.inputs.get(origin) {
+                continue;
+            }
+            // The claimed relay path excludes the current transmitter, so
+            // append the delivering neighbor — often the tamperer itself.
+            let chain: Vec<String> = meta
+                .path_nodes
+                .iter()
+                .chain(std::iter::once(from))
+                .map(|node| {
+                    if scenario.faulty.contains(*node) {
+                        format!("{node}*")
+                    } else {
+                        node.to_string()
+                    }
+                })
+                .collect();
+            chains.push(format!(
+                "  tampered in flight: origin {origin} input {} delivered to {to} as {} \
+                 at s{step} via [{}] (* = faulty relay)",
+                scenario.inputs.get(origin).as_u8(),
+                value.as_u8(),
+                chain.join(">"),
+            ));
+        }
+        if chains.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("  tamper provenance:\n");
+        let total = chains.len();
+        for chain in chains.iter().take(MAX_PROVENANCE_LINES) {
+            out.push(' ');
+            out.push(' ');
+            out.push_str(chain.trim_start());
+            out.push('\n');
+        }
+        if total > MAX_PROVENANCE_LINES {
+            let _ = writeln!(
+                out,
+                "    (+{} more tampered deliveries)",
+                total - MAX_PROVENANCE_LINES
+            );
+        }
+        out
+    }
+}
+
+/// The injected attack, from the scenario's own configuration: strategy,
+/// and for partial synchrony the GST and hold-set of the pre-GST schedule.
+fn render_attack_setup(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    match &scenario.regime {
+        Regime::Synchronous => {
+            let _ = writeln!(out, "  regime: synchronous lockstep rounds");
+        }
+        Regime::Asynchronous(asynch) => {
+            let _ = writeln!(
+                out,
+                "  regime: asynchronous, scheduler={} delay={} seed={}",
+                asynch.scheduler.name(),
+                asynch.delay,
+                asynch.seed,
+            );
+        }
+        Regime::PartialSync { gst, pre, post } => {
+            let held: Vec<String> = pre
+                .held_nodes()
+                .into_iter()
+                .map(|node| NodeId::new(node).to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  regime: partial synchrony, gst={gst} hold-set=[{}] \
+                 (held senders burst-release at GST), post: scheduler={} delay={}",
+                held.join(" "),
+                post.scheduler.name(),
+                post.delay,
+            );
+        }
+    }
+    out
+}
+
+/// What the attack *did* during the replay: per-node interference totals,
+/// hold counts, and the GST burst step.
+fn render_attack_summary(scenario: &Scenario, events: &[Event]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  injected attack: strategy={} on faulty={}",
+        scenario.strategy_name, scenario.faulty,
+    );
+    if let Regime::PartialSync { gst, pre, .. } = &scenario.regime {
+        let held: Vec<String> = pre
+            .held_nodes()
+            .into_iter()
+            .map(|node| NodeId::new(node).to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  schedule attack: gst={gst} hold-set=[{}]",
+            held.join(" ")
+        );
+    }
+    let mut per_node: Vec<(NodeId, usize, usize, usize)> = Vec::new();
+    let mut held_count = 0usize;
+    for event in events {
+        match event {
+            Event::AdversaryAction {
+                node,
+                tampered,
+                omitted,
+                equivocated,
+                ..
+            } => match per_node.iter_mut().find(|(n, ..)| n == node) {
+                Some(entry) => {
+                    entry.1 += tampered;
+                    entry.2 += omitted;
+                    entry.3 += equivocated;
+                }
+                None => per_node.push((*node, *tampered, *omitted, *equivocated)),
+            },
+            Event::Held { .. } => held_count += 1,
+            Event::BurstRelease { step, count } => {
+                let _ = writeln!(
+                    out,
+                    "  GST burst: step s{step} released {count} held deliveries",
+                );
+            }
+            _ => {}
+        }
+    }
+    for (node, tampered, omitted, equivocated) in per_node {
+        let _ = writeln!(
+            out,
+            "  interference by {node}: tampered={tampered} omitted={omitted} \
+             equivocated={equivocated}",
+        );
+    }
+    if held_count > 0 {
+        let _ = writeln!(out, "  held deliveries (pre-GST): {held_count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        CampaignSpec, FRange, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, SizeSpec,
+        StrategySpec, SweepSpec,
+    };
+    use lbc_consensus::AlgorithmKind;
+
+    fn spec_with(regimes: Vec<RegimeSpec>, strategies: Vec<StrategySpec>) -> CampaignSpec {
+        CampaignSpec {
+            name: "explain-unit".to_string(),
+            seed: 7,
+            sweeps: vec![SweepSpec {
+                family: GraphFamily::Cycle,
+                sizes: SizeSpec::List(vec![5]),
+                f: FRange::exactly(1),
+                algorithms: vec![AlgorithmKind::AsyncFlood],
+                regimes,
+                strategies,
+                faults: FaultPolicy::Exhaustive,
+                inputs: InputPolicy::Bits(0b01101),
+            }],
+            search: None,
+        }
+    }
+
+    #[test]
+    fn replay_matches_the_campaign_record() {
+        let spec = spec_with(RegimeSpec::default_axis(), vec![StrategySpec::TamperRelays]);
+        let scenarios = spec.expand().unwrap();
+        let replay = replay_scenario(&scenarios[0]);
+        let campaign_record = crate::executor::run_scenario(&scenarios[0]);
+        assert_eq!(replay.record.verdict, campaign_record.verdict);
+        // The canonical surfaces agree byte-for-byte. The full stats differ
+        // only in the interference counters, which the unobserved campaign
+        // path skips (they cost a quadratic diff per faulty node).
+        assert_eq!(
+            replay.record.to_canonical_json().to_string(),
+            campaign_record.to_canonical_json().to_string()
+        );
+        assert_eq!(replay.record.stats.rounds, campaign_record.stats.rounds);
+        assert_eq!(
+            replay.record.stats.transmissions,
+            campaign_record.stats.transmissions
+        );
+        assert_eq!(
+            replay.record.stats.deliveries,
+            campaign_record.stats.deliveries
+        );
+        assert!(
+            replay.record.stats.tampered > 0,
+            "the observed replay must measure the tamper interference"
+        );
+        assert!(!replay.events.is_empty());
+        assert!(matches!(replay.events[0], Event::RunStart { .. }));
+        assert!(matches!(replay.events.last(), Some(Event::RunEnd { .. })));
+    }
+
+    #[test]
+    fn rendering_names_the_attack() {
+        let spec = spec_with(RegimeSpec::default_axis(), vec![StrategySpec::TamperRelays]);
+        let scenarios = spec.expand().unwrap();
+        let replay = replay_scenario(&scenarios[0]);
+        let rendered = replay.render(&scenarios[0]);
+        assert!(rendered.contains("cell #0"));
+        assert!(rendered.contains("timeline:"));
+        assert!(rendered.contains("post-mortem:"));
+        assert!(rendered.contains("strategy=tamper-relays"));
+        assert!(rendered.contains("injected attack"));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let spec = spec_with(RegimeSpec::default_axis(), vec![StrategySpec::TamperRelays]);
+        let scenarios = spec.expand().unwrap();
+        let a = replay_scenario(&scenarios[0]);
+        let b = replay_scenario(&scenarios[0]);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.render(&scenarios[0]), b.render(&scenarios[0]));
+    }
+}

@@ -88,12 +88,18 @@
 
 pub mod diff;
 pub mod executor;
+pub mod explain;
 pub mod report;
 pub mod search;
 pub mod spec;
+pub mod telemetry;
 
 pub use diff::{diff_report_texts, diff_reports, CampaignDiff, CellChange, DiffOptions};
-pub use executor::{run_campaign, run_scenario, run_scenarios, run_scenarios_noted};
+pub use executor::{
+    run_campaign, run_campaign_opts, run_scenario, run_scenario_observed, run_scenarios,
+    run_scenarios_noted, run_scenarios_opts, ExecOptions,
+};
+pub use explain::{replay_scenario, TraceReplay};
 pub use report::{CampaignReport, RollupRow, ScenarioRecord};
 pub use search::{
     render_search_plan, run_search, run_search_resumed, CellOutcome, Counterexample, SearchReport,
@@ -103,3 +109,4 @@ pub use spec::{
     CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, Scenario, SizeSpec, SpecError,
     StrategySpec, SweepSpec,
 };
+pub use telemetry::{CampaignTelemetry, CellTelemetry};

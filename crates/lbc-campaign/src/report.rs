@@ -18,6 +18,8 @@ use lbc_model::json::{Json, ToJson};
 use lbc_model::{NodeSet, Value, Verdict};
 use lbc_sim::TraceSummary;
 
+use crate::telemetry::CampaignTelemetry;
+
 /// The recorded outcome of one scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioRecord {
@@ -146,6 +148,7 @@ pub struct CampaignReport {
     seed: u64,
     notes: Vec<String>,
     records: Vec<ScenarioRecord>,
+    telemetry: Option<CampaignTelemetry>,
 }
 
 impl CampaignReport {
@@ -171,7 +174,22 @@ impl CampaignReport {
             seed,
             notes,
             records,
+            telemetry: None,
         }
+    }
+
+    /// Attaches the opt-in telemetry section (per-cell metrics + phase
+    /// timings). Only its deterministic part enters [`CampaignReport::to_json`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: CampaignTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry, when the campaign ran with it enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&CampaignTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The campaign name.
@@ -257,7 +275,7 @@ impl CampaignReport {
     /// no wall-clock fields, byte-identical for any worker count.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("name", self.name.to_json()),
             ("seed", self.seed.to_json()),
             ("scenarios", self.records.len().to_json()),
@@ -284,7 +302,15 @@ impl CampaignReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Opt-in: present only when the campaign ran with telemetry, so
+        // telemetry-off reports stay byte-identical to earlier versions.
+        // The section itself carries no wall-clock field, preserving
+        // worker-count byte-identity when it *is* present.
+        if let Some(telemetry) = &self.telemetry {
+            fields.push(("telemetry", telemetry.to_json()));
+        }
+        Json::object(fields)
     }
 
     /// The per-scenario CSV table, **including** the measured
@@ -400,6 +426,39 @@ impl CampaignReport {
         for row in rows {
             let _ = writeln!(out, "{}", render(&row));
         }
+        out.push_str(&self.render_slowest(5));
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str(&telemetry.render_phases());
+        }
+        out
+    }
+
+    /// Renders the `k` slowest cells by measured wall time (wall clock is a
+    /// summary/CSV-only surface, so this never touches the canonical JSON).
+    fn render_slowest(&self, k: usize) -> String {
+        let mut out = String::new();
+        if self.records.is_empty() || k == 0 {
+            return out;
+        }
+        let mut by_wall: Vec<&ScenarioRecord> = self.records.iter().collect();
+        by_wall.sort_by(|a, b| {
+            b.wall_micros
+                .cmp(&a.wall_micros)
+                .then(a.index.cmp(&b.index))
+        });
+        let _ = writeln!(out, "slowest cells (wall time):");
+        for record in by_wall.into_iter().take(k) {
+            let _ = writeln!(
+                out,
+                "  #{} {} {} [{}] {} — {:.3}s",
+                record.index,
+                record.graph,
+                record.algorithm.name(),
+                record.regime,
+                record.strategy,
+                record.wall_micros as f64 / 1e6,
+            );
+        }
         out
     }
 }
@@ -441,6 +500,7 @@ mod tests {
                 rounds,
                 transmissions: 10 * rounds,
                 deliveries: 20 * rounds,
+                ..TraceSummary::default()
             },
             wall_micros: 1234,
         }

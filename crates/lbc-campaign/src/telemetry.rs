@@ -1,0 +1,225 @@
+//! The campaign's opt-in telemetry surface.
+//!
+//! When a campaign runs with telemetry enabled (`--telemetry` on the CLI,
+//! [`crate::executor::ExecOptions::telemetry`] programmatically), every cell
+//! executes with a [`lbc_telemetry::MetricsCollector`] attached and the
+//! per-cell registries are carried here. Two output surfaces follow the
+//! report's existing split:
+//!
+//! * [`CampaignTelemetry::to_json`] — the **deterministic** section embedded
+//!   in the report JSON under `"telemetry"`. Only event-derived metrics; no
+//!   wall-clock quantity ever appears here, so the report stays
+//!   byte-identical for any worker count.
+//! * [`CampaignTelemetry::to_csv`] — the per-cell metrics table, which (like
+//!   the scenario CSV) *does* carry the measured `wall_micros` column.
+//!
+//! Phase wall timings (expand / execute / aggregate) are measured by the
+//! executor and surface only in the rendered summary, mirroring the
+//! wall-time line the campaign CLI already prints.
+
+use std::fmt::Write as _;
+
+use lbc_model::json::{Json, ToJson};
+use lbc_telemetry::MetricsRegistry;
+
+/// The metrics one cell's run produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CellTelemetry {
+    /// The cell's position in the campaign's expansion order.
+    pub index: usize,
+    /// The deterministic metrics tallied from the cell's event stream.
+    pub metrics: MetricsRegistry,
+    /// Measured wall time of the cell in microseconds (CSV/summary only;
+    /// never serialized into the report JSON).
+    pub wall_micros: u64,
+}
+
+/// The fixed counter columns of the per-cell telemetry CSV, in order.
+const CSV_COUNTERS: [&str; 11] = [
+    "transmissions",
+    "deliveries",
+    "tampered",
+    "omitted",
+    "equivocated",
+    "held",
+    "bursts",
+    "burst_deliveries",
+    "channels_opened",
+    "channels_retired",
+    "decisions",
+];
+
+/// The fixed gauge columns of the per-cell telemetry CSV, in order.
+const CSV_GAUGES: [&str; 4] = [
+    "rounds",
+    "arena_paths",
+    "ledger_occupancy_peak",
+    "ledger_allocated_channels",
+];
+
+/// The per-campaign telemetry aggregate: one entry per cell plus the
+/// executor's phase wall timings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignTelemetry {
+    /// Per-cell metrics, in expansion order.
+    pub cells: Vec<CellTelemetry>,
+    /// `(phase, micros)` wall timings measured by the executor
+    /// (summary-only; never serialized into the report JSON).
+    pub phase_micros: Vec<(String, u64)>,
+}
+
+impl CampaignTelemetry {
+    /// Folds every cell's registry into one campaign-wide aggregate
+    /// (counters add, gauges keep the high-water mark, histograms merge).
+    #[must_use]
+    pub fn aggregate(&self) -> MetricsRegistry {
+        let mut aggregate = MetricsRegistry::new();
+        for cell in &self.cells {
+            aggregate.merge(&cell.metrics);
+        }
+        aggregate
+    }
+
+    /// The deterministic JSON section embedded in the campaign report under
+    /// `"telemetry"`: the aggregate registry plus every cell's registry.
+    /// Contains no wall-clock field, so report byte-identity across worker
+    /// counts is preserved.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("aggregate", self.aggregate().to_json()),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|cell| {
+                            Json::object([
+                                ("index", cell.index.to_json()),
+                                ("metrics", cell.metrics.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The per-cell metrics CSV, including the measured `wall_micros`
+    /// column (explicitly outside the byte-identity contract, like the
+    /// scenario CSV's wall column).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("index");
+        for name in CSV_COUNTERS {
+            let _ = write!(out, ",{name}");
+        }
+        for name in CSV_GAUGES {
+            let _ = write!(out, ",{name}");
+        }
+        out.push_str(",inbox_depth_max,queue_depth_max,wall_micros\n");
+        for cell in &self.cells {
+            let _ = write!(out, "{}", cell.index);
+            for name in CSV_COUNTERS {
+                let _ = write!(out, ",{}", cell.metrics.counter(name));
+            }
+            for name in CSV_GAUGES {
+                let _ = write!(out, ",{}", cell.metrics.gauge(name).unwrap_or(0));
+            }
+            let _ = writeln!(
+                out,
+                ",{},{},{}",
+                cell.metrics.histogram("inbox_depth").map_or(0, |h| h.max),
+                cell.metrics.histogram("queue_depth").map_or(0, |h| h.max),
+                cell.wall_micros,
+            );
+        }
+        out
+    }
+
+    /// Renders the executor's phase wall timings for the summary.
+    #[must_use]
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        if self.phase_micros.is_empty() {
+            return out;
+        }
+        out.push_str("phases:");
+        for (phase, micros) in &self.phase_micros {
+            let _ = write!(out, " {phase}={:.3}s", *micros as f64 / 1e6);
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(index: usize, transmissions: u64, wall: u64) -> CellTelemetry {
+        let mut metrics = MetricsRegistry::new();
+        metrics.inc("transmissions", transmissions);
+        metrics.set_gauge("rounds", 7);
+        metrics.observe("inbox_depth", 3);
+        CellTelemetry {
+            index,
+            metrics,
+            wall_micros: wall,
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_counters() {
+        let telemetry = CampaignTelemetry {
+            cells: vec![cell(0, 10, 5), cell(1, 20, 9)],
+            phase_micros: Vec::new(),
+        };
+        assert_eq!(telemetry.aggregate().counter("transmissions"), 30);
+        assert_eq!(telemetry.aggregate().gauge("rounds"), Some(7));
+    }
+
+    #[test]
+    fn json_has_no_wall_clock() {
+        let telemetry = CampaignTelemetry {
+            cells: vec![cell(0, 10, 987_654)],
+            phase_micros: vec![("execute".to_string(), 123_456)],
+        };
+        let text = telemetry.to_json().to_string();
+        assert!(!text.contains("wall"));
+        assert!(!text.contains("987654"));
+        assert!(!text.contains("123456"));
+        assert!(text.contains("\"aggregate\""));
+        assert!(text.contains("\"transmissions\""));
+    }
+
+    #[test]
+    fn csv_carries_wall_micros() {
+        let telemetry = CampaignTelemetry {
+            cells: vec![cell(3, 10, 42)],
+            phase_micros: Vec::new(),
+        };
+        let csv = telemetry.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("index,transmissions,"));
+        assert!(header.ends_with("wall_micros"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("3,10,"));
+        assert!(row.ends_with(",42"));
+    }
+
+    #[test]
+    fn phases_render_in_seconds() {
+        let telemetry = CampaignTelemetry {
+            cells: Vec::new(),
+            phase_micros: vec![
+                ("expand".to_string(), 1_000),
+                ("execute".to_string(), 2_500_000),
+            ],
+        };
+        let rendered = telemetry.render_phases();
+        assert!(rendered.contains("expand=0.001s"));
+        assert!(rendered.contains("execute=2.500s"));
+    }
+}

@@ -852,6 +852,7 @@ mod tests {
             step: None,
             arena,
             ledger,
+            observer: Box::leak(Box::new(lbc_sim::ObserverHandle::disabled())),
         }
     }
 

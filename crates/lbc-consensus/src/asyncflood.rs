@@ -246,6 +246,10 @@ impl Protocol for AsyncFloodNode {
     fn output(&self) -> Option<Value> {
         self.decided
     }
+
+    fn decision_evidence(&self) -> Vec<(NodeId, Value)> {
+        self.reliable_inputs.clone()
+    }
 }
 
 #[cfg(test)]

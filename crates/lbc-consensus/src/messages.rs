@@ -8,7 +8,7 @@
 //! the simulator hands to every protocol hook.
 
 use lbc_model::{NodeId, PathId, SharedPathArena, Value};
-use lbc_sim::ByzantineMessage;
+use lbc_sim::{ByzantineMessage, MessageView, MsgMeta};
 
 /// A path-annotated flooding message `(b, Π)` as used in step (a) of
 /// Algorithms 1 and 3 and in phase 1 of Algorithm 2.
@@ -138,6 +138,55 @@ impl ByzantineMessage for Alg2Message {
             Alg2Message::Input(m) => Alg2Message::Input(m.tampered()),
             Alg2Message::Report(m) => Alg2Message::Report(m.tampered()),
             Alg2Message::Decision(m) => Alg2Message::Decision(m.tampered()),
+        }
+    }
+}
+
+impl MessageView for FloodMsg {
+    fn meta(&self, arena: &SharedPathArena) -> MsgMeta {
+        MsgMeta {
+            kind: "flood",
+            value: Some(self.value),
+            path: Some(self.path),
+            path_nodes: arena.borrow().nodes(self.path),
+            observed: None,
+        }
+    }
+}
+
+impl MessageView for ReportMsg {
+    fn meta(&self, arena: &SharedPathArena) -> MsgMeta {
+        MsgMeta {
+            kind: "report",
+            value: Some(self.value),
+            path: Some(self.path),
+            path_nodes: arena.borrow().nodes(self.path),
+            observed: Some(self.observed),
+        }
+    }
+}
+
+impl MessageView for DecisionMsg {
+    fn meta(&self, arena: &SharedPathArena) -> MsgMeta {
+        MsgMeta {
+            kind: "decision",
+            value: Some(self.value),
+            path: Some(self.path),
+            path_nodes: arena.borrow().nodes(self.path),
+            observed: None,
+        }
+    }
+}
+
+impl MessageView for Alg2Message {
+    fn meta(&self, arena: &SharedPathArena) -> MsgMeta {
+        match self {
+            Alg2Message::Input(m) => MsgMeta {
+                kind: "input",
+                ..m.meta(arena)
+            },
+            Alg2Message::Report(m) => m.meta(arena),
+            Alg2Message::Decision(m) => m.meta(arena),
         }
     }
 }

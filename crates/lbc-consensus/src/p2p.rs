@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use lbc_model::{NodeId, Round, Value};
-use lbc_sim::{ByzantineMessage, Delivery, Inbox, NodeContext, Outgoing, Protocol};
+use lbc_sim::{ByzantineMessage, Delivery, Inbox, MessageView, NodeContext, Outgoing, Protocol};
 
 use crate::flooding::{LedgerFlooder, TAG_VALUE};
 use crate::messages::FloodMsg;
@@ -52,6 +52,15 @@ impl ByzantineMessage for P2pMessage {
         P2pMessage {
             step: self.step,
             inner: self.inner.tampered(),
+        }
+    }
+}
+
+impl MessageView for P2pMessage {
+    fn meta(&self, arena: &lbc_model::SharedPathArena) -> lbc_sim::MsgMeta {
+        lbc_sim::MsgMeta {
+            kind: "p2p",
+            ..self.inner.meta(arena)
         }
     }
 }

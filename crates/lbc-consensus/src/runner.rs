@@ -3,7 +3,7 @@
 
 use lbc_graph::Graph;
 use lbc_model::{CommModel, ConsensusOutcome, InputAssignment, NodeSet, Regime, Value};
-use lbc_sim::{Adversary, Network, Protocol, Trace};
+use lbc_sim::{Adversary, Network, ObserverHandle, Protocol, Trace};
 
 use crate::algorithm1::Algorithm1Node;
 use crate::algorithm2::Algorithm2Node;
@@ -93,6 +93,7 @@ fn execute<P, A>(
     adversary: &mut A,
     nodes: Vec<P>,
     max_rounds: usize,
+    observer: ObserverHandle,
 ) -> (ConsensusOutcome, Trace)
 where
     P: Protocol,
@@ -108,6 +109,7 @@ where
         adversary,
         nodes,
         max_rounds,
+        observer,
     )
 }
 
@@ -122,6 +124,7 @@ fn execute_under<P, A>(
     adversary: &mut A,
     nodes: Vec<P>,
     max_rounds: usize,
+    observer: ObserverHandle,
 ) -> (ConsensusOutcome, Trace)
 where
     P: Protocol,
@@ -132,7 +135,9 @@ where
         graph.node_count(),
         "one input per graph node is required"
     );
-    let mut network = Network::new(graph.clone(), model, faulty.clone(), nodes).with_fault_bound(f);
+    let mut network = Network::new(graph.clone(), model, faulty.clone(), nodes)
+        .with_fault_bound(f)
+        .with_observer(observer);
     let report = network.run_under(regime, adversary, max_rounds);
     let mut outcome = ConsensusOutcome::new(inputs.clone(), faulty.clone());
     for node in graph.nodes() {
@@ -154,6 +159,27 @@ pub fn run_algorithm1<A>(
 where
     A: Adversary<FloodMsg>,
 {
+    algorithm1_observed(
+        graph,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        ObserverHandle::disabled(),
+    )
+}
+
+fn algorithm1_observed<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+    observer: ObserverHandle,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg>,
+{
     let n = graph.node_count();
     let nodes: Vec<Algorithm1Node> = graph
         .nodes()
@@ -169,6 +195,7 @@ where
         adversary,
         nodes,
         max_rounds,
+        observer,
     )
 }
 
@@ -180,6 +207,27 @@ pub fn run_algorithm2<A>(
     inputs: &InputAssignment,
     faulty: &NodeSet,
     adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<Alg2Message>,
+{
+    algorithm2_observed(
+        graph,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        ObserverHandle::disabled(),
+    )
+}
+
+fn algorithm2_observed<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+    observer: ObserverHandle,
 ) -> (ConsensusOutcome, Trace)
 where
     A: Adversary<Alg2Message>,
@@ -199,6 +247,7 @@ where
         adversary,
         nodes,
         max_rounds,
+        observer,
     )
 }
 
@@ -251,16 +300,60 @@ pub fn run_kind_under<A>(
 where
     A: Adversary<FloodMsg> + Adversary<Alg2Message> + Adversary<P2pMessage>,
 {
+    run_kind_observed(
+        kind,
+        regime,
+        graph,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        ObserverHandle::disabled(),
+    )
+}
+
+/// Runs any algorithm under an explicit [`Regime`] with a telemetry
+/// observer attached to the simulated network — the entry point behind
+/// `lbc trace` and per-cell campaign telemetry. With a
+/// [`ObserverHandle::disabled`] handle this is exactly
+/// [`run_kind_under`].
+///
+/// # Panics
+///
+/// Panics when `kind` cannot execute under `regime` (see
+/// [`AlgorithmKind::supports_regime`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_kind_observed<A>(
+    kind: AlgorithmKind,
+    regime: &Regime,
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+    observer: ObserverHandle,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg> + Adversary<Alg2Message> + Adversary<P2pMessage>,
+{
     assert!(
         kind.supports_regime(regime),
         "{} is a synchronous round machine and cannot run under {regime}",
         kind.name()
     );
     match kind {
-        AlgorithmKind::Algorithm1 => run_algorithm1(graph, f, inputs, faulty, adversary),
-        AlgorithmKind::Algorithm2 => run_algorithm2(graph, f, inputs, faulty, adversary),
-        AlgorithmKind::P2pBaseline => run_p2p_baseline(graph, f, inputs, faulty, adversary),
-        AlgorithmKind::AsyncFlood => run_async_flood(graph, f, inputs, faulty, regime, adversary),
+        AlgorithmKind::Algorithm1 => {
+            algorithm1_observed(graph, f, inputs, faulty, adversary, observer)
+        }
+        AlgorithmKind::Algorithm2 => {
+            algorithm2_observed(graph, f, inputs, faulty, adversary, observer)
+        }
+        AlgorithmKind::P2pBaseline => {
+            p2p_baseline_observed(graph, f, inputs, faulty, adversary, observer)
+        }
+        AlgorithmKind::AsyncFlood => {
+            async_flood_observed(graph, f, inputs, faulty, regime, adversary, observer)
+        }
     }
 }
 
@@ -274,6 +367,29 @@ pub fn run_async_flood<A>(
     faulty: &NodeSet,
     regime: &Regime,
     adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<FloodMsg>,
+{
+    async_flood_observed(
+        graph,
+        f,
+        inputs,
+        faulty,
+        regime,
+        adversary,
+        ObserverHandle::disabled(),
+    )
+}
+
+fn async_flood_observed<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    regime: &Regime,
+    adversary: &mut A,
+    observer: ObserverHandle,
 ) -> (ConsensusOutcome, Trace)
 where
     A: Adversary<FloodMsg>,
@@ -294,6 +410,7 @@ where
         adversary,
         nodes,
         max_steps,
+        observer,
     )
 }
 
@@ -326,7 +443,15 @@ where
         equivocators: equivocators.clone(),
     };
     execute(
-        graph, model, f, inputs, faulty, adversary, nodes, max_rounds,
+        graph,
+        model,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        nodes,
+        max_rounds,
+        ObserverHandle::disabled(),
     )
 }
 
@@ -338,6 +463,27 @@ pub fn run_p2p_baseline<A>(
     inputs: &InputAssignment,
     faulty: &NodeSet,
     adversary: &mut A,
+) -> (ConsensusOutcome, Trace)
+where
+    A: Adversary<P2pMessage>,
+{
+    p2p_baseline_observed(
+        graph,
+        f,
+        inputs,
+        faulty,
+        adversary,
+        ObserverHandle::disabled(),
+    )
+}
+
+fn p2p_baseline_observed<A>(
+    graph: &Graph,
+    f: usize,
+    inputs: &InputAssignment,
+    faulty: &NodeSet,
+    adversary: &mut A,
+    observer: ObserverHandle,
 ) -> (ConsensusOutcome, Trace)
 where
     A: Adversary<P2pMessage>,
@@ -357,6 +503,7 @@ where
         adversary,
         nodes,
         max_rounds,
+        observer,
     )
 }
 

@@ -197,6 +197,7 @@ impl DoubledNetwork {
         // the shared fabric stays sound even here.
         let arena = SharedPathArena::new();
         let ledger = SharedFloodLedger::new();
+        let observer = lbc_sim::ObserverHandle::disabled();
 
         // Start-of-execution transmissions.
         let mut pending: Vec<Vec<Outgoing<P::Message>>> = Vec::with_capacity(self.nodes.len());
@@ -209,6 +210,7 @@ impl DoubledNetwork {
                 step: None,
                 arena: &arena,
                 ledger: &ledger,
+                observer: &observer,
             };
             pending.push(protocol.on_start(&ctx));
         }
@@ -245,6 +247,7 @@ impl DoubledNetwork {
                     step: Some(round),
                     arena: &arena,
                     ledger: &ledger,
+                    observer: &observer,
                 };
                 next_pending.push(protocol.on_round(&ctx, round, Inbox::direct(&inboxes[i])));
             }

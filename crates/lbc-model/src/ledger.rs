@@ -261,6 +261,35 @@ impl Channel {
     }
 }
 
+/// A channel lifecycle event recorded by the ledger's (opt-in) event log.
+///
+/// The ledger cannot depend on the telemetry crate (the dependency points
+/// the other way), so instrumented executions enable this minimal internal
+/// log via [`FloodLedger::set_event_log`] and drain it with
+/// [`FloodLedger::take_channel_events`], translating entries into the
+/// observer's event vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelEvent {
+    /// A `(tag, epoch)` channel was opened into the dense slot `channel`.
+    Opened {
+        /// Channel tag.
+        tag: u32,
+        /// Channel epoch.
+        epoch: u32,
+        /// Dense slot assigned.
+        channel: u32,
+    },
+    /// A `(tag, epoch)` channel was retired and its slot recycled.
+    Retired {
+        /// Channel tag.
+        tag: u32,
+        /// Channel epoch.
+        epoch: u32,
+        /// Dense slot recycled.
+        channel: u32,
+    },
+}
+
 /// The execution-wide flood ledger. See the [module docs](self).
 ///
 /// Like the [`crate::PathArena`], one ledger exists per simulated execution
@@ -271,6 +300,10 @@ pub struct FloodLedger {
     names: FxHashMap<(u32, u32), u32>,
     channels: Vec<Channel>,
     free: Vec<u32>,
+    /// When `true`, channel open/retire operations append to `events`.
+    /// Off by default: the uninstrumented hot path pays one branch.
+    log_events: bool,
+    events: Vec<ChannelEvent>,
     /// Execution-shared memo for disjoint-path plans between node pairs:
     /// deterministic pure functions of the (fixed) communication graph that
     /// every node would otherwise recompute identically. Algorithm 2's fault
@@ -306,6 +339,13 @@ impl FloodLedger {
         });
         self.channels[slot as usize].clear();
         self.names.insert((tag, epoch), slot);
+        if self.log_events {
+            self.events.push(ChannelEvent::Opened {
+                tag,
+                epoch,
+                channel: slot,
+            });
+        }
         ChannelId(slot)
     }
 
@@ -313,18 +353,48 @@ impl FloodLedger {
     /// recycling their storage. Safe to call redundantly; called by
     /// [`FloodLedger::open`] and by the flood engines' restart paths.
     pub fn retire_through(&mut self, tag: u32, through: u32) {
-        let stale: Vec<(u32, u32)> = self
+        let mut stale: Vec<(u32, u32)> = self
             .names
             .keys()
             .filter(|(t, e)| *t == tag && *e <= through)
             .copied()
             .collect();
+        // Epoch order, not map order: slot recycling and the channel-event
+        // log must not depend on hash iteration order.
+        stale.sort_unstable();
         for name in stale {
             if let Some(retired) = self.names.remove(&name) {
                 self.channels[retired as usize].clear();
                 self.free.push(retired);
+                if self.log_events {
+                    self.events.push(ChannelEvent::Retired {
+                        tag: name.0,
+                        epoch: name.1,
+                        channel: retired,
+                    });
+                }
             }
         }
+    }
+
+    /// Enables or disables the channel-event log. Disabling also discards
+    /// any pending entries.
+    pub fn set_event_log(&mut self, enabled: bool) {
+        self.log_events = enabled;
+        if !enabled {
+            self.events.clear();
+        }
+    }
+
+    /// Whether the channel-event log is enabled.
+    #[must_use]
+    pub fn event_log_enabled(&self) -> bool {
+        self.log_events
+    }
+
+    /// Drains the pending channel-lifecycle events, in occurrence order.
+    pub fn take_channel_events(&mut self) -> Vec<ChannelEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Number of live channels.
@@ -554,6 +624,18 @@ impl SharedFloodLedger {
     #[must_use]
     pub fn relay_value(&self, channel: ChannelId, relay: PathId) -> Option<Value> {
         self.inner.borrow().relay_value(channel, relay)
+    }
+
+    /// Enables or disables the channel-event log. See
+    /// [`FloodLedger::set_event_log`].
+    pub fn set_event_log(&self, enabled: bool) {
+        self.inner.borrow_mut().set_event_log(enabled);
+    }
+
+    /// Drains pending channel-lifecycle events. See
+    /// [`FloodLedger::take_channel_events`].
+    pub fn take_channel_events(&self) -> Vec<ChannelEvent> {
+        self.inner.borrow_mut().take_channel_events()
     }
 }
 

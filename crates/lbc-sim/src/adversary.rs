@@ -85,6 +85,7 @@ mod tests {
         let graph = generators::cycle(3);
         let arena = lbc_model::SharedPathArena::new();
         let ledger = lbc_model::SharedFloodLedger::new();
+        let observer = lbc_telemetry::ObserverHandle::disabled();
         let ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
@@ -93,6 +94,7 @@ mod tests {
             step: None,
             arena: &arena,
             ledger: &ledger,
+            observer: &observer,
         };
         let mut adv = HonestAdversary;
         let out = vec![Outgoing::Broadcast(Value::One)];
@@ -105,6 +107,7 @@ mod tests {
         let graph = generators::cycle(3);
         let arena = lbc_model::SharedPathArena::new();
         let ledger = lbc_model::SharedFloodLedger::new();
+        let observer = lbc_telemetry::ObserverHandle::disabled();
         let ctx = NodeContext {
             id: NodeId::new(1),
             graph: &graph,
@@ -113,6 +116,7 @@ mod tests {
             step: None,
             arena: &arena,
             ledger: &ledger,
+            observer: &observer,
         };
         // Drop everything the faulty node would have sent.
         let mut silent = |_ctx: &NodeContext<'_>,

@@ -54,3 +54,8 @@ pub use protocol::{
     ByzantineMessage, Delivery, EchoOnce, Inbox, InboxIter, NodeContext, Outgoing, Protocol,
 };
 pub use trace::{RoundStats, Trace, TraceSummary};
+
+// Telemetry vocabulary, re-exported so downstream crates (protocols,
+// adversaries, the lower-bound engine) can implement `MessageView` or attach
+// observers without depending on `lbc-telemetry` directly.
+pub use lbc_telemetry::{Event, MessageView, Moment, MsgMeta, Observer, ObserverHandle, Recorder};

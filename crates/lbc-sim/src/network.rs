@@ -16,12 +16,40 @@
 
 use lbc_graph::Graph;
 use lbc_model::{
-    CommModel, NodeId, NodeSet, Regime, Round, SharedFloodLedger, SharedPathArena, Value,
+    ChannelEvent, CommModel, NodeId, NodeSet, Regime, Round, SharedFloodLedger, SharedPathArena,
+    Value,
 };
+use lbc_telemetry::{Event, MessageView, Moment, ObserverHandle};
 
 use crate::adversary::Adversary;
 use crate::protocol::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
 use crate::trace::{RoundStats, Trace};
+
+/// Diffs a faulty node's honest outgoing set against what its adversary
+/// actually transmitted, as `(tampered, omitted, equivocated)`: unmatched
+/// actual transmissions are paired against unmatched honest ones as in-place
+/// tampering; honest leftovers were omitted; actual leftovers beyond that
+/// are injected conflicts (equivocation pressure).
+fn interference_counts<M: PartialEq>(
+    honest: &[Outgoing<M>],
+    actual: &[Outgoing<M>],
+) -> (usize, usize, usize) {
+    let mut matched = vec![false; honest.len()];
+    let mut injected = 0usize;
+    for transmission in actual {
+        match honest
+            .iter()
+            .enumerate()
+            .find(|(i, h)| !matched[*i] && *h == transmission)
+        {
+            Some((i, _)) => matched[i] = true,
+            None => injected += 1,
+        }
+    }
+    let unmatched = matched.iter().filter(|m| !**m).count();
+    let tampered = unmatched.min(injected);
+    (tampered, unmatched - tampered, injected - tampered)
+}
 
 /// The result of running a simulation.
 #[derive(Debug, Clone)]
@@ -59,6 +87,9 @@ pub struct Network<P: Protocol> {
     arena: SharedPathArena,
     /// The execution-wide shared flood ledger (broadcast-once records).
     ledger: SharedFloodLedger,
+    /// The telemetry sink. Disabled by default: every emission site then
+    /// costs one branch and constructs nothing.
+    observer: ObserverHandle,
 }
 
 impl<P: Protocol> Network<P> {
@@ -92,6 +123,7 @@ impl<P: Protocol> Network<P> {
             nodes,
             arena: SharedPathArena::new(),
             ledger: SharedFloodLedger::new(),
+            observer: ObserverHandle::disabled(),
         }
     }
 
@@ -100,6 +132,15 @@ impl<P: Protocol> Network<P> {
     #[must_use]
     pub fn with_fault_bound(mut self, f: usize) -> Self {
         self.f = f;
+        self
+    }
+
+    /// Attaches a telemetry sink: the run emits the deterministic structured
+    /// event stream into it (the default is the disabled handle, which
+    /// emits nothing and costs one branch per site).
+    #[must_use]
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
         self
     }
 
@@ -155,7 +196,18 @@ impl<P: Protocol> Network<P> {
     where
         A: Adversary<P::Message>,
     {
-        match regime {
+        if self.observer.enabled() {
+            // The ledger's channel-event log exists only for the observer;
+            // enabling it here keeps uninstrumented runs at one branch per
+            // channel operation.
+            self.ledger.set_event_log(true);
+            self.observer.emit(|| Event::RunStart {
+                n: self.nodes.len(),
+                f: self.f,
+                regime: format!("{regime:?}"),
+            });
+        }
+        let report = match regime {
             Regime::Synchronous => self.run_synchronous(adversary, max_rounds),
             Regime::Asynchronous(config) => {
                 self.run_asynchronous(regime, *config, None, adversary, max_rounds)
@@ -167,7 +219,17 @@ impl<P: Protocol> Network<P> {
                 adversary,
                 max_rounds,
             ),
+        };
+        if self.observer.enabled() {
+            self.observer.emit(|| Event::RunEnd {
+                rounds: report.trace.rounds(),
+                arena_paths: self.arena.borrow().entry_count(),
+                live_channels: self.ledger.borrow().live_channels(),
+                allocated_channels: self.ledger.borrow().allocated_channels(),
+            });
+            self.ledger.set_event_log(false);
         }
+        report
     }
 
     /// The lockstep loop: the synchronous regime's implementation, kept
@@ -187,18 +249,36 @@ impl<P: Protocol> Network<P> {
         let mut buffer: Vec<Delivery<P::Message>> = Vec::new();
         let mut slots: Vec<Vec<u32>> = vec![Vec::new(); self.nodes.len()];
 
-        // Start-of-execution transmissions.
+        // Start-of-execution transmissions. Interference the adversary
+        // applies at collection time is folded into the round the affected
+        // transmissions would have been delivered in.
         let regime = Regime::Synchronous;
-        let mut pending = self.collect_outgoing(&regime, adversary, None, &buffer, &slots);
+        let mut interference = RoundStats::default();
+        let mut produced_at = Moment::Start;
+        let mut pending =
+            self.collect_outgoing(&regime, adversary, None, &buffer, &slots, &mut interference);
 
         for round_index in 0..max_rounds {
             if self.all_non_faulty_terminated() {
                 break;
             }
             let round = Round::new(round_index as u64);
-            let stats = self.deliver(pending, &mut buffer, &mut slots);
+            self.observer.emit(|| Event::StepStart {
+                step: round.value(),
+            });
+            let mut stats = self.deliver(pending, &mut buffer, &mut slots, produced_at, round);
+            stats.absorb_interference(&interference);
+            interference = RoundStats::default();
             trace.push_round(stats);
-            pending = self.collect_outgoing(&regime, adversary, Some(round), &buffer, &slots);
+            produced_at = Moment::Step(round.value());
+            pending = self.collect_outgoing(
+                &regime,
+                adversary,
+                Some(round),
+                &buffer,
+                &slots,
+                &mut interference,
+            );
         }
 
         let outputs = self.nodes.iter().map(Protocol::output).collect();
@@ -261,7 +341,8 @@ impl<P: Protocol> Network<P> {
         // transmission (slot) order, awaiting the burst at `gst`.
         let mut held: Vec<(u32, u32)> = Vec::new();
 
-        let pending = self.collect_outgoing(regime, adversary, None, &buffer, &slots);
+        let pending =
+            self.collect_outgoing(regime, adversary, None, &buffer, &slots, &mut stats_accum);
         // Start-of-execution transmissions behave as if emitted at "step
         // −1": with the minimum lag of 1 they arrive at step 0, exactly as
         // under the synchronous regime.
@@ -270,6 +351,7 @@ impl<P: Protocol> Network<P> {
             psync,
             pending,
             0,
+            Moment::Start,
             &mut buffer,
             &mut due,
             &mut edge_last,
@@ -281,6 +363,9 @@ impl<P: Protocol> Network<P> {
             if self.all_non_faulty_terminated() {
                 break;
             }
+            self.observer.emit(|| Event::StepStart {
+                step: step_index as u64,
+            });
             // Release this step's events into the per-node inboxes, in
             // global transmission (slot) order per receiver.
             for inbox in slots.iter_mut() {
@@ -288,27 +373,51 @@ impl<P: Protocol> Network<P> {
             }
             let bucket = step_index % horizon;
             let mut released = std::mem::take(&mut due[bucket]);
+            let mut burst = 0usize;
             if let Some((gst, _)) = psync {
                 if step_index as u64 == gst {
                     // The GST burst: every withheld pre-GST event lands now,
                     // merged into slot order with the step's fair deliveries.
+                    burst = held.len();
                     released.append(&mut held);
+                    if burst > 0 {
+                        self.observer.emit(|| Event::BurstRelease {
+                            step: step_index as u64,
+                            count: burst,
+                        });
+                    }
                 }
             }
             released.sort_unstable();
             let mut stats = std::mem::take(&mut stats_accum);
+            stats.burst_deliveries += burst;
             for (slot, receiver) in released {
                 slots[receiver as usize].push(slot);
                 stats.deliveries += 1;
+                self.observer.emit(|| Event::Delivery {
+                    step: step_index as u64,
+                    to: NodeId::new(receiver as usize),
+                    from: buffer[slot as usize].from,
+                    slot,
+                    meta: buffer[slot as usize].message.meta(&self.arena),
+                });
             }
             trace.push_round(stats);
             let round = Round::new(step_index as u64);
-            let pending = self.collect_outgoing(regime, adversary, Some(round), &buffer, &slots);
+            let pending = self.collect_outgoing(
+                regime,
+                adversary,
+                Some(round),
+                &buffer,
+                &slots,
+                &mut stats_accum,
+            );
             self.enqueue_async(
                 &config,
                 psync,
                 pending,
                 step_index as u64 + 1,
+                Moment::Step(step_index as u64),
                 &mut buffer,
                 &mut due,
                 &mut edge_last,
@@ -339,6 +448,7 @@ impl<P: Protocol> Network<P> {
         psync: Option<(u64, lbc_model::AdversarialSchedule)>,
         pending: Vec<Vec<Outgoing<P::Message>>>,
         base: u64,
+        produced_at: Moment,
         buffer: &mut Vec<Delivery<P::Message>>,
         due: &mut [Vec<(u32, u32)>],
         edge_last: &mut [u64],
@@ -347,12 +457,19 @@ impl<P: Protocol> Network<P> {
     ) {
         let n = self.nodes.len();
         let horizon = due.len() as u64;
+        let observer = &self.observer;
         let mut schedule = |slot: u32, from: NodeId, to: NodeId| {
             let edge = from.index() * n + to.index();
             if let Some((gst, pre)) = psync {
                 if base < gst && pre.holds(from.index()) {
                     held.push((slot, to.index() as u32));
                     edge_last[edge] = edge_last[edge].max(gst);
+                    observer.emit(|| Event::Held {
+                        at: produced_at,
+                        from,
+                        to,
+                        slot,
+                    });
                     return;
                 }
             }
@@ -365,6 +482,16 @@ impl<P: Protocol> Network<P> {
             let at = (base + (lag - 1)).max(edge_last[edge]);
             edge_last[edge] = at;
             due[(at % horizon) as usize].push((slot, to.index() as u32));
+            observer.emit(|| Event::Scheduled {
+                at: produced_at,
+                from,
+                to,
+                lag,
+                due: at,
+                // Pending events across the whole due-ring plus the held
+                // set, counting this one; computed only when observed.
+                queue_depth: due.iter().map(Vec::len).sum::<usize>() + held.len(),
+            });
         };
         for (sender_index, sender_pending) in pending.into_iter().enumerate() {
             let sender = NodeId::new(sender_index);
@@ -372,12 +499,20 @@ impl<P: Protocol> Network<P> {
             for outgoing in sender_pending {
                 stats.transmissions += 1;
                 let slot = u32::try_from(buffer.len()).expect("delivery buffer overflow");
+                let is_broadcast = matches!(outgoing, Outgoing::Broadcast(_));
                 match outgoing {
                     Outgoing::Unicast(target, message) if can_equivocate => {
                         if self.graph.has_edge(sender, target) {
                             buffer.push(Delivery {
                                 from: sender,
                                 message,
+                            });
+                            self.observer.emit(|| Event::Transmission {
+                                at: produced_at,
+                                from: sender,
+                                slot,
+                                broadcast: is_broadcast,
+                                meta: buffer[slot as usize].message.meta(&self.arena),
                             });
                             schedule(slot, sender, target);
                         }
@@ -386,6 +521,13 @@ impl<P: Protocol> Network<P> {
                         buffer.push(Delivery {
                             from: sender,
                             message,
+                        });
+                        self.observer.emit(|| Event::Transmission {
+                            at: produced_at,
+                            from: sender,
+                            slot,
+                            broadcast: is_broadcast,
+                            meta: buffer[slot as usize].message.meta(&self.arena),
                         });
                         for neighbor in self.graph.neighbors(sender) {
                             schedule(slot, sender, neighbor);
@@ -405,7 +547,12 @@ impl<P: Protocol> Network<P> {
 
     /// Runs every node's protocol hook for the given round (or the start
     /// hook when `round` is `None`), passing faulty nodes' output through the
-    /// adversary.
+    /// adversary. While observed, interference the adversary applies
+    /// (tamper / omit / equivocate, measured by diffing honest against
+    /// actual output) is added into `interference`. The diff clones the
+    /// honest set and is quadratic in it, so it runs only under an enabled
+    /// observer — unobserved runs keep the pre-telemetry hot path and
+    /// report zero interference counts.
     fn collect_outgoing<A>(
         &mut self,
         regime: &Regime,
@@ -413,10 +560,16 @@ impl<P: Protocol> Network<P> {
         round: Option<Round>,
         buffer: &[Delivery<P::Message>],
         slots: &[Vec<u32>],
+        interference: &mut RoundStats,
     ) -> Vec<Vec<Outgoing<P::Message>>>
     where
         A: Adversary<P::Message>,
     {
+        let at = match round {
+            None => Moment::Start,
+            Some(r) => Moment::Step(r.value()),
+        };
+        let observing = self.observer.enabled();
         let mut all_outgoing = Vec::with_capacity(self.nodes.len());
         for (v, node) in self.nodes.iter_mut().enumerate() {
             let id = NodeId::new(v);
@@ -428,18 +581,74 @@ impl<P: Protocol> Network<P> {
                 step: round,
                 arena: &self.arena,
                 ledger: &self.ledger,
+                observer: &self.observer,
             };
             let inbox = Inbox::indexed(buffer, &slots[v]);
+            let was_decided = observing && node.output().is_some();
             let honest = match round {
                 None => node.on_start(&ctx),
                 Some(r) => node.on_round(&ctx, r, inbox),
             };
             let outgoing = if self.faulty.contains(id) {
-                adversary.intercept(&ctx, round, honest, inbox)
+                if observing {
+                    let actual = adversary.intercept(&ctx, round, honest.clone(), inbox);
+                    let (tampered, omitted, equivocated) = interference_counts(&honest, &actual);
+                    interference.tampered += tampered;
+                    interference.omitted += omitted;
+                    interference.equivocated += equivocated;
+                    if tampered + omitted + equivocated > 0 {
+                        self.observer.emit(|| Event::AdversaryAction {
+                            at,
+                            node: id,
+                            tampered,
+                            omitted,
+                            equivocated,
+                        });
+                    }
+                    actual
+                } else {
+                    adversary.intercept(&ctx, round, honest, inbox)
+                }
             } else {
                 honest
             };
+            if observing && !was_decided {
+                if let Some(value) = node.output() {
+                    self.observer.emit(|| Event::NodeDecided {
+                        at,
+                        node: id,
+                        value,
+                        evidence: node.decision_evidence(),
+                    });
+                }
+            }
             all_outgoing.push(outgoing);
+        }
+        // Protocol hooks open and retire ledger channels; translate the
+        // ledger's internal log (enabled only while observing) into events.
+        if observing {
+            for channel_event in self.ledger.take_channel_events() {
+                self.observer.emit(|| match channel_event {
+                    ChannelEvent::Opened {
+                        tag,
+                        epoch,
+                        channel,
+                    } => Event::ChannelOpened {
+                        tag,
+                        epoch,
+                        channel,
+                    },
+                    ChannelEvent::Retired {
+                        tag,
+                        epoch,
+                        channel,
+                    } => Event::ChannelRetired {
+                        tag,
+                        epoch,
+                        channel,
+                    },
+                });
+            }
         }
         all_outgoing
     }
@@ -456,11 +665,14 @@ impl<P: Protocol> Network<P> {
         pending: Vec<Vec<Outgoing<P::Message>>>,
         buffer: &mut Vec<Delivery<P::Message>>,
         slots: &mut [Vec<u32>],
+        produced_at: Moment,
+        round: Round,
     ) -> RoundStats {
         buffer.clear();
         for inbox in slots.iter_mut() {
             inbox.clear();
         }
+        let step = round.value();
         let mut stats = RoundStats::default();
         for (sender_index, sender_pending) in pending.into_iter().enumerate() {
             let sender = NodeId::new(sender_index);
@@ -468,6 +680,7 @@ impl<P: Protocol> Network<P> {
             for outgoing in sender_pending {
                 stats.transmissions += 1;
                 let slot = u32::try_from(buffer.len()).expect("round buffer overflow");
+                let is_broadcast = matches!(outgoing, Outgoing::Broadcast(_));
                 match outgoing {
                     Outgoing::Unicast(target, message) if can_equivocate => {
                         // Point-to-point semantics: only the addressed
@@ -478,8 +691,22 @@ impl<P: Protocol> Network<P> {
                                 from: sender,
                                 message,
                             });
+                            self.observer.emit(|| Event::Transmission {
+                                at: produced_at,
+                                from: sender,
+                                slot,
+                                broadcast: is_broadcast,
+                                meta: buffer[slot as usize].message.meta(&self.arena),
+                            });
                             slots[target.index()].push(slot);
                             stats.deliveries += 1;
+                            self.observer.emit(|| Event::Delivery {
+                                step,
+                                to: target,
+                                from: sender,
+                                slot,
+                                meta: buffer[slot as usize].message.meta(&self.arena),
+                            });
                         }
                     }
                     Outgoing::Broadcast(message) | Outgoing::Unicast(_, message) => {
@@ -490,9 +717,23 @@ impl<P: Protocol> Network<P> {
                             from: sender,
                             message,
                         });
+                        self.observer.emit(|| Event::Transmission {
+                            at: produced_at,
+                            from: sender,
+                            slot,
+                            broadcast: is_broadcast,
+                            meta: buffer[slot as usize].message.meta(&self.arena),
+                        });
                         for neighbor in self.graph.neighbors(sender) {
                             slots[neighbor.index()].push(slot);
                             stats.deliveries += 1;
+                            self.observer.emit(|| Event::Delivery {
+                                step,
+                                to: neighbor,
+                                from: sender,
+                                slot,
+                                meta: buffer[slot as usize].message.meta(&self.arena),
+                            });
                         }
                     }
                 }

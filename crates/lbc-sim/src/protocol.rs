@@ -4,6 +4,7 @@ use std::fmt::Debug;
 
 use lbc_graph::Graph;
 use lbc_model::{NodeId, NodeSet, Regime, Round, SharedFloodLedger, SharedPathArena, Value};
+use lbc_telemetry::{MessageView, ObserverHandle};
 
 /// Static, per-node context handed to every protocol hook.
 ///
@@ -37,6 +38,10 @@ pub struct NodeContext<'a> {
     pub arena: &'a SharedPathArena,
     /// The execution-wide shared flood ledger.
     pub ledger: &'a SharedFloodLedger,
+    /// The execution's telemetry sink. Disabled by default everywhere; when
+    /// a sink is attached the engines emit the deterministic event stream
+    /// and protocols may emit protocol-level events of their own.
+    pub observer: &'a ObserverHandle,
 }
 
 impl<'a> NodeContext<'a> {
@@ -266,8 +271,10 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
 /// on. The simulator stops when every non-faulty node reports
 /// [`Protocol::has_terminated`] (or a round limit is hit).
 pub trait Protocol {
-    /// The message type exchanged by this protocol.
-    type Message: Clone + Eq + Debug;
+    /// The message type exchanged by this protocol. The [`MessageView`]
+    /// bound lets the instrumented engines describe any protocol's traffic
+    /// (value, relay path, observed origin) without knowing the protocol.
+    type Message: Clone + Eq + Debug + MessageView;
 
     /// Called once before the first round; returns the initial transmissions.
     fn on_start(&mut self, ctx: &NodeContext<'_>) -> Vec<Outgoing<Self::Message>>;
@@ -287,6 +294,17 @@ pub trait Protocol {
     /// Whether this node has finished executing. Defaults to "has decided".
     fn has_terminated(&self) -> bool {
         self.output().is_some()
+    }
+
+    /// The `(origin, value)` evidence the node's decision rests on, once
+    /// decided. Protocols with a meaningful witness override this — the
+    /// asynchronous flood protocol returns its κ-witnessed reliable
+    /// receptions (each backed by `f + 1` internally-disjoint paths) — and
+    /// the telemetry layer attaches it to the `NodeDecided` event so that a
+    /// post-mortem can say *what* a node decided on, not just what it
+    /// decided. Defaults to no evidence.
+    fn decision_evidence(&self) -> Vec<(NodeId, Value)> {
+        Vec::new()
     }
 }
 
@@ -373,6 +391,7 @@ mod tests {
         let graph = generators::cycle(5);
         let arena = SharedPathArena::new();
         let ledger = SharedFloodLedger::new();
+        let observer = ObserverHandle::disabled();
         let ctx = NodeContext {
             id: NodeId::new(2),
             graph: &graph,
@@ -381,6 +400,7 @@ mod tests {
             step: None,
             arena: &arena,
             ledger: &ledger,
+            observer: &observer,
         };
         assert_eq!(ctx.n(), 5);
         assert_eq!(ctx.neighbors().len(), 2);
@@ -406,6 +426,7 @@ mod tests {
         let graph = generators::complete(3);
         let arena = SharedPathArena::new();
         let ledger = SharedFloodLedger::new();
+        let observer = ObserverHandle::disabled();
         let ctx = NodeContext {
             id: NodeId::new(0),
             graph: &graph,
@@ -414,6 +435,7 @@ mod tests {
             step: None,
             arena: &arena,
             ledger: &ledger,
+            observer: &observer,
         };
         let mut node = EchoOnce::new(Value::One);
         assert!(!node.has_terminated());

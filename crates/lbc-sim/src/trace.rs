@@ -3,6 +3,14 @@
 use lbc_model::json::{FromJson, Json, JsonError, ToJson};
 
 /// Per-round statistics recorded by the simulator.
+///
+/// Besides the message-complexity counters, each round quantifies the fault
+/// pressure the adversary applied: how many honest transmissions were
+/// altered, suppressed, or outnumbered by injected conflicts, and how many
+/// deliveries arrived via the partial-synchrony GST burst. The adversary
+/// counters are computed by diffing each faulty node's honest outgoing set
+/// against what its adversary actually transmitted, so they are exact and
+/// regime-independent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundStats {
     /// Number of transmissions performed in this round (one broadcast or one
@@ -11,6 +19,28 @@ pub struct RoundStats {
     /// Number of message deliveries in this round (a broadcast to `d`
     /// neighbors counts as `d` deliveries).
     pub deliveries: usize,
+    /// Honest transmissions whose payload the adversary altered in place.
+    pub tampered: usize,
+    /// Honest transmissions the adversary suppressed.
+    pub omitted: usize,
+    /// Conflicting transmissions the adversary injected beyond the honest
+    /// set (equivocation pressure).
+    pub equivocated: usize,
+    /// Deliveries that arrived via the held-then-burst release at GST.
+    pub burst_deliveries: usize,
+}
+
+impl RoundStats {
+    /// Adds the adversary-interference counters of `other` into `self`
+    /// (message-complexity counters are untouched). The engines tally
+    /// interference at collection time and fold it into the round the
+    /// affected transmissions would have been delivered in.
+    pub fn absorb_interference(&mut self, other: &RoundStats) {
+        self.tampered += other.tampered;
+        self.omitted += other.omitted;
+        self.equivocated += other.equivocated;
+        self.burst_deliveries += other.burst_deliveries;
+    }
 }
 
 /// The whole-run totals of a [`Trace`], in one flat record.
@@ -26,6 +56,14 @@ pub struct TraceSummary {
     pub transmissions: usize,
     /// Total deliveries over the whole execution.
     pub deliveries: usize,
+    /// Total honest transmissions tampered with by the adversary.
+    pub tampered: usize,
+    /// Total honest transmissions omitted by the adversary.
+    pub omitted: usize,
+    /// Total conflicting transmissions injected beyond the honest sets.
+    pub equivocated: usize,
+    /// Total deliveries released by held-then-burst schedules at GST.
+    pub burst_deliveries: usize,
 }
 
 impl ToJson for TraceSummary {
@@ -34,6 +72,10 @@ impl ToJson for TraceSummary {
             ("rounds", self.rounds.to_json()),
             ("transmissions", self.transmissions.to_json()),
             ("deliveries", self.deliveries.to_json()),
+            ("tampered", self.tampered.to_json()),
+            ("omitted", self.omitted.to_json()),
+            ("equivocated", self.equivocated.to_json()),
+            ("burst_deliveries", self.burst_deliveries.to_json()),
         ])
     }
 }
@@ -45,10 +87,21 @@ impl FromJson for TraceSummary {
                 message: format!("trace summary missing '{key}'"),
             })
         };
+        // The adversary counters post-date the original three-field summary;
+        // reports written before they existed parse with zeros so that
+        // `lbc campaign diff` keeps accepting old baselines.
+        let optional = |key: &str| match value.get(key) {
+            Some(v) => usize::from_json(v),
+            None => Ok(0),
+        };
         Ok(TraceSummary {
             rounds: usize::from_json(field("rounds")?)?,
             transmissions: usize::from_json(field("transmissions")?)?,
             deliveries: usize::from_json(field("deliveries")?)?,
+            tampered: optional("tampered")?,
+            omitted: optional("omitted")?,
+            equivocated: optional("equivocated")?,
+            burst_deliveries: optional("burst_deliveries")?,
         })
     }
 }
@@ -69,6 +122,10 @@ impl ToJson for RoundStats {
         Json::object([
             ("transmissions", self.transmissions.to_json()),
             ("deliveries", self.deliveries.to_json()),
+            ("tampered", self.tampered.to_json()),
+            ("omitted", self.omitted.to_json()),
+            ("equivocated", self.equivocated.to_json()),
+            ("burst_deliveries", self.burst_deliveries.to_json()),
         ])
     }
 }
@@ -80,9 +137,18 @@ impl FromJson for RoundStats {
                 message: format!("round stats missing '{key}'"),
             })
         };
+        // Adversary counters default to 0 for pre-telemetry round records.
+        let optional = |key: &str| match value.get(key) {
+            Some(v) => usize::from_json(v),
+            None => Ok(0),
+        };
         Ok(RoundStats {
             transmissions: usize::from_json(field("transmissions")?)?,
             deliveries: usize::from_json(field("deliveries")?)?,
+            tampered: optional("tampered")?,
+            omitted: optional("omitted")?,
+            equivocated: optional("equivocated")?,
+            burst_deliveries: optional("burst_deliveries")?,
         })
     }
 }
@@ -144,6 +210,10 @@ impl Trace {
             rounds: self.rounds(),
             transmissions: self.total_transmissions(),
             deliveries: self.total_deliveries(),
+            tampered: self.rounds.iter().map(|r| r.tampered).sum(),
+            omitted: self.rounds.iter().map(|r| r.omitted).sum(),
+            equivocated: self.rounds.iter().map(|r| r.equivocated).sum(),
+            burst_deliveries: self.rounds.iter().map(|r| r.burst_deliveries).sum(),
         }
     }
 }
@@ -159,10 +229,12 @@ mod tests {
         trace.push_round(RoundStats {
             transmissions: 3,
             deliveries: 6,
+            ..RoundStats::default()
         });
         trace.push_round(RoundStats {
             transmissions: 1,
             deliveries: 2,
+            ..RoundStats::default()
         });
         assert_eq!(trace.rounds(), 2);
         assert_eq!(trace.total_transmissions(), 4);
@@ -176,6 +248,7 @@ mod tests {
         trace.push_round(RoundStats {
             transmissions: 2,
             deliveries: 4,
+            ..RoundStats::default()
         });
         let json = trace.to_json().to_string();
         let back = Trace::from_json(&Json::parse(&json).unwrap()).unwrap();
@@ -188,10 +261,12 @@ mod tests {
         trace.push_round(RoundStats {
             transmissions: 3,
             deliveries: 6,
+            ..RoundStats::default()
         });
         trace.push_round(RoundStats {
             transmissions: 1,
             deliveries: 2,
+            ..RoundStats::default()
         });
         let summary = trace.summary();
         assert_eq!(summary.rounds, 2);

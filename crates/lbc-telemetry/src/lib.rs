@@ -1,0 +1,36 @@
+//! # lbc-telemetry
+//!
+//! Deterministic observability for the local-broadcast consensus fabric:
+//!
+//! * [`Event`] — the structured event vocabulary: run/step boundaries,
+//!   transmission/delivery with `(origin, relay path, PathId)` provenance,
+//!   scheduler decisions (chosen edge, lag, queue depth), partial-synchrony
+//!   holds and the GST burst, ledger channel lifecycle, adversary
+//!   interference, and node decisions with their evidence,
+//! * [`Observer`] / [`ObserverHandle`] — the sink abstraction threaded
+//!   through the simulator; the disabled handle compiles the entire
+//!   instrumentation down to one branch per site (closure-based emission,
+//!   bench-gated),
+//! * [`Recorder`] — an in-memory event stream used by `lbc trace` and the
+//!   determinism tests,
+//! * [`MessageView`] / [`MsgMeta`] — the protocol-agnostic view of message
+//!   content that lets the fabric describe any protocol's messages,
+//! * [`MetricsRegistry`] / [`MetricsCollector`] / [`Histogram`] — the
+//!   deterministic metrics layer feeding the opt-in `telemetry` section of
+//!   campaign reports.
+//!
+//! Everything here is deterministic by construction: no wall clock, no
+//! thread identity, no hashing-order dependence. Wall-clock measurement
+//! stays in the campaign executor and is confined to summary/CSV surfaces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod metrics;
+mod observer;
+
+pub use event::{Event, MessageView, Moment, MsgMeta};
+pub use metrics::{Histogram, MetricsCollector, MetricsRegistry};
+pub use observer::{Observer, ObserverHandle, Recorder};

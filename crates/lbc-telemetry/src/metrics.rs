@@ -1,0 +1,427 @@
+//! The deterministic metrics registry.
+//!
+//! Counters, gauges and histograms keyed by name, held in `BTreeMap`s so
+//! that serialization order — and therefore the opt-in `telemetry` section
+//! of campaign reports — is byte-stable regardless of insertion order,
+//! worker count, or host. No wall-clock quantity ever enters a registry
+//! destined for a canonical report: wall time stays confined to the summary
+//! and CSV surfaces, exactly like the existing `wall_micros` column.
+
+use std::collections::BTreeMap;
+
+use lbc_model::json::{Json, ToJson};
+
+use crate::event::Event;
+use crate::observer::Observer;
+
+/// A deterministic summary histogram: count, sum, min, max.
+///
+/// Enough to derive mean and range without storing samples; all fields are
+/// integers so aggregation is exact and platform-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+/// A named, deterministic set of counters, gauges and histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raises the named gauge to `value` if it is higher (high-water mark).
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        let slot = self.gauges.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Records `sample` into the named histogram.
+    pub fn observe(&mut self, name: &str, sample: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(sample);
+    }
+
+    /// The value of a counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of a gauge, when set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, when any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// maximum (aggregated gauges are high-water marks), histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        Json::object([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// An [`Observer`] that tallies the event stream into a [`MetricsRegistry`].
+///
+/// This is the campaign executor's per-cell collector: attach one per
+/// scenario run, then [`MetricsCollector::finish`] to obtain the registry
+/// that feeds the report's opt-in `telemetry` section.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    registry: MetricsRegistry,
+    /// Deliveries per receiver within the current step (inbox depth).
+    step_inbox: BTreeMap<usize, u64>,
+    /// Transmissions per flood origin over the whole run (path population).
+    per_origin: BTreeMap<usize, u64>,
+    open_channels: u64,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsCollector::default()
+    }
+
+    fn flush_step(&mut self) {
+        let depths: Vec<u64> = self.step_inbox.values().copied().collect();
+        self.step_inbox.clear();
+        for depth in depths {
+            self.registry.observe("inbox_depth", depth);
+        }
+    }
+
+    /// Finalizes pending per-step state and returns the registry.
+    #[must_use]
+    pub fn finish(mut self) -> MetricsRegistry {
+        self.flush_step();
+        let populations: Vec<u64> = self.per_origin.values().copied().collect();
+        for population in populations {
+            self.registry
+                .observe("path_population_per_origin", population);
+        }
+        self.registry
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::RunStart { .. } => {}
+            Event::StepStart { .. } => self.flush_step(),
+            Event::Transmission { meta, .. } => {
+                self.registry.inc("transmissions", 1);
+                if let Some(origin) = meta.origin() {
+                    *self.per_origin.entry(origin.index()).or_insert(0) += 1;
+                }
+            }
+            Event::Delivery { to, .. } => {
+                self.registry.inc("deliveries", 1);
+                *self.step_inbox.entry(to.index()).or_insert(0) += 1;
+            }
+            Event::Scheduled { queue_depth, .. } => {
+                self.registry.inc("scheduled", 1);
+                self.registry.observe("queue_depth", *queue_depth as u64);
+            }
+            Event::Held { .. } => self.registry.inc("held", 1),
+            Event::BurstRelease { count, .. } => {
+                self.registry.inc("bursts", 1);
+                self.registry.inc("burst_deliveries", *count as u64);
+                self.registry.observe("burst_size", *count as u64);
+            }
+            Event::AdversaryAction {
+                tampered,
+                omitted,
+                equivocated,
+                ..
+            } => {
+                self.registry.inc("tampered", *tampered as u64);
+                self.registry.inc("omitted", *omitted as u64);
+                self.registry.inc("equivocated", *equivocated as u64);
+            }
+            Event::ChannelOpened { .. } => {
+                self.registry.inc("channels_opened", 1);
+                self.open_channels += 1;
+                self.registry
+                    .gauge_max("ledger_occupancy_peak", self.open_channels);
+            }
+            Event::ChannelRetired { .. } => {
+                self.registry.inc("channels_retired", 1);
+                self.open_channels = self.open_channels.saturating_sub(1);
+            }
+            Event::NodeDecided { .. } => self.registry.inc("decisions", 1),
+            Event::RunEnd {
+                rounds,
+                arena_paths,
+                live_channels,
+                allocated_channels,
+            } => {
+                self.registry.set_gauge("rounds", *rounds as u64);
+                self.registry.set_gauge("arena_paths", *arena_paths as u64);
+                self.registry
+                    .set_gauge("ledger_live_channels", *live_channels as u64);
+                self.registry
+                    .set_gauge("ledger_allocated_channels", *allocated_channels as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Moment, MsgMeta};
+    use lbc_model::NodeId;
+
+    #[test]
+    fn histogram_tracks_bounds_and_mean() {
+        let mut h = Histogram::default();
+        h.record(4);
+        h.record(2);
+        h.record(6);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 12);
+        assert_eq!(h.min, 2);
+        assert_eq!(h.max, 6);
+        assert!((h.mean() - 4.0).abs() < 1e-9);
+        let mut other = Histogram::default();
+        other.record(10);
+        h.merge(&other);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, 10);
+    }
+
+    #[test]
+    fn registry_serializes_in_name_order() {
+        let mut r = MetricsRegistry::new();
+        r.inc("zeta", 2);
+        r.inc("alpha", 1);
+        r.set_gauge("peak", 9);
+        r.observe("depth", 3);
+        let json = r.to_json().to_string();
+        let alpha = json.find("alpha").unwrap();
+        let zeta = json.find("zeta").unwrap();
+        assert!(alpha < zeta, "counters must serialize sorted by name");
+        assert_eq!(r.counter("zeta"), 2);
+        assert_eq!(r.gauge("peak"), Some(9));
+        assert_eq!(r.histogram("depth").unwrap().count, 1);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.inc("tx", 3);
+        a.set_gauge("peak", 5);
+        let mut b = MetricsRegistry::new();
+        b.inc("tx", 4);
+        b.set_gauge("peak", 2);
+        b.observe("depth", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("tx"), 7);
+        assert_eq!(a.gauge("peak"), Some(5));
+        assert_eq!(a.histogram("depth").unwrap().max, 7);
+    }
+
+    #[test]
+    fn collector_tallies_the_stream() {
+        let mut c = MetricsCollector::new();
+        let meta = MsgMeta {
+            kind: "flood",
+            path_nodes: vec![NodeId::new(0)],
+            ..MsgMeta::default()
+        };
+        c.on_event(&Event::StepStart { step: 0 });
+        c.on_event(&Event::Transmission {
+            at: Moment::Step(0),
+            from: NodeId::new(0),
+            slot: 0,
+            broadcast: true,
+            meta: meta.clone(),
+        });
+        c.on_event(&Event::Delivery {
+            step: 0,
+            to: NodeId::new(1),
+            from: NodeId::new(0),
+            slot: 0,
+            meta,
+        });
+        c.on_event(&Event::ChannelOpened {
+            tag: 0,
+            epoch: 0,
+            channel: 0,
+        });
+        c.on_event(&Event::AdversaryAction {
+            at: Moment::Step(0),
+            node: NodeId::new(2),
+            tampered: 1,
+            omitted: 2,
+            equivocated: 0,
+        });
+        c.on_event(&Event::RunEnd {
+            rounds: 3,
+            arena_paths: 11,
+            live_channels: 1,
+            allocated_channels: 1,
+        });
+        let registry = c.finish();
+        assert_eq!(registry.counter("transmissions"), 1);
+        assert_eq!(registry.counter("deliveries"), 1);
+        assert_eq!(registry.counter("tampered"), 1);
+        assert_eq!(registry.counter("omitted"), 2);
+        assert_eq!(registry.gauge("rounds"), Some(3));
+        assert_eq!(registry.gauge("ledger_occupancy_peak"), Some(1));
+        assert_eq!(registry.histogram("inbox_depth").unwrap().count, 1);
+        assert_eq!(
+            registry
+                .histogram("path_population_per_origin")
+                .unwrap()
+                .sum,
+            1
+        );
+    }
+}

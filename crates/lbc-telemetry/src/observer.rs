@@ -1,0 +1,180 @@
+//! Observer sinks: where instrumented executions send their events.
+//!
+//! The hot path is instrumented with [`ObserverHandle::emit`], which takes a
+//! *closure* producing the event. When the handle is disabled (the default
+//! everywhere), `emit` is a single `Option` discriminant check and the
+//! closure — along with every allocation it would have performed — is never
+//! evaluated. This is what keeps the disabled-observer configuration within
+//! noise of the uninstrumented hot path (bench-gated in
+//! `scripts/bench_gate.sh`).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::Event;
+
+/// A sink for structured execution events.
+pub trait Observer {
+    /// Called once per emitted event, in deterministic execution order.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// An observer that records every event in order.
+///
+/// The caller keeps a second `Rc` to the recorder (see
+/// [`ObserverHandle::recorder`]) and reads the stream back after the run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning the recorded events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Renders the whole stream as deterministic text, one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for Recorder {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A cheap, cloneable handle to an optional observer.
+///
+/// Threaded by value through `Network` and by reference through
+/// `NodeContext`. The disabled handle (`Default`) carries `None`: emission
+/// compiles down to one branch and zero event construction.
+#[derive(Clone, Default)]
+pub struct ObserverHandle {
+    sink: Option<Rc<RefCell<dyn Observer>>>,
+}
+
+impl fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObserverHandle")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl ObserverHandle {
+    /// The no-op handle: every emission is skipped.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ObserverHandle::default()
+    }
+
+    /// Wraps a shared observer. The caller keeps its own `Rc` to read the
+    /// sink back after the run.
+    #[must_use]
+    pub fn from_shared<O: Observer + 'static>(sink: Rc<RefCell<O>>) -> Self {
+        ObserverHandle { sink: Some(sink) }
+    }
+
+    /// Builds a fresh [`Recorder`]-backed handle, returning the handle and
+    /// the shared recorder to read events from after the run.
+    #[must_use]
+    pub fn recorder() -> (Self, Rc<RefCell<Recorder>>) {
+        let recorder = Rc::new(RefCell::new(Recorder::new()));
+        (ObserverHandle::from_shared(Rc::clone(&recorder)), recorder)
+    }
+
+    /// Whether a sink is attached. Instrumentation uses this to skip
+    /// *side computations* (not just event construction) that only matter
+    /// when someone is listening, e.g. enabling the ledger's channel-event
+    /// log.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an event. The closure is evaluated only when a sink is
+    /// attached, so a disabled handle performs no event construction work.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().on_event(&make());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Moment;
+    use lbc_model::NodeId;
+
+    #[test]
+    fn disabled_handle_never_evaluates_the_closure() {
+        let handle = ObserverHandle::disabled();
+        assert!(!handle.enabled());
+        let mut evaluated = false;
+        handle.emit(|| {
+            evaluated = true;
+            Event::StepStart { step: 0 }
+        });
+        assert!(!evaluated);
+    }
+
+    #[test]
+    fn recorder_captures_in_order() {
+        let (handle, recorder) = ObserverHandle::recorder();
+        assert!(handle.enabled());
+        handle.emit(|| Event::StepStart { step: 0 });
+        handle.emit(|| Event::BurstRelease { step: 4, count: 2 });
+        let events = recorder.borrow().events().to_vec();
+        assert_eq!(
+            events,
+            vec![
+                Event::StepStart { step: 0 },
+                Event::BurstRelease { step: 4, count: 2 },
+            ]
+        );
+        assert_eq!(
+            recorder.borrow().render(),
+            "step 0\n  burst s4 released=2\n"
+        );
+    }
+
+    #[test]
+    fn cloned_handles_share_the_sink() {
+        let (handle, recorder) = ObserverHandle::recorder();
+        let other = handle.clone();
+        other.emit(|| Event::AdversaryAction {
+            at: Moment::Start,
+            node: NodeId::new(3),
+            tampered: 1,
+            omitted: 0,
+            equivocated: 0,
+        });
+        assert_eq!(recorder.borrow().events().len(), 1);
+    }
+}

@@ -25,3 +25,52 @@ FRESH="$FRESH_DIR/fresh_baseline.json"
 mkdir -p "$FRESH_DIR"
 scripts/bench_baseline.sh "$FRESH"
 cargo run --release -p lbc-bench --bin bench_gate -- "$BASELINE" "$FRESH" "$TOLERANCE"
+
+# Disabled-observer overhead wall: the hot path now threads an
+# ObserverHandle everywhere, so the fresh medians *are* the
+# disabled-observer measurement. They must stay within tolerance of the
+# pre-telemetry snapshot (BENCH_pr6.json) — ~2% on the baseline machine;
+# the default tolerance matches the ratio gate's to absorb hardware drift.
+OBS_BASELINE="${LBC_OBS_BASELINE:-BENCH_pr6.json}"
+OBS_TOLERANCE="${LBC_OBS_TOLERANCE:-$TOLERANCE}"
+python3 - "$OBS_BASELINE" "$FRESH" "$OBS_TOLERANCE" <<'EOF'
+import json, sys
+
+base_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+HOT = [
+    ("fig1a_cycle", "flood_c13_ledger"),
+    ("fig1a_cycle", "algorithm1_c13_f1_tamper"),
+    ("reliable_receive", "flood_wheel13_ledger"),
+    ("reliable_receive", "algorithm2_k5_f2_identification"),
+    ("async_regime", "asyncflood_circ9_f1_fifo_d3"),
+    ("async_regime", "asyncflood_circ9_f1_psync_g12_h2_fifo_d3"),
+]
+
+def medians(path):
+    doc = json.load(open(path))
+    return {(b["group"], b["bench"]): b["median_ns"] for b in doc["benches"]}
+
+base, fresh = medians(base_path), medians(fresh_path)
+ceiling = 1.0 + tolerance / 100.0
+ok = True
+for key in HOT:
+    name = "/".join(key)
+    if key not in base:
+        print(f"obs gate note: {name} absent from {base_path}")
+        continue
+    if key not in fresh:
+        print(f"OBS GATE FAIL: {name} missing from fresh measurement", file=sys.stderr)
+        ok = False
+        continue
+    ratio = fresh[key] / base[key]
+    line = (f"{name}: {fresh[key]:.0f}ns vs committed {base[key]:.0f}ns "
+            f"({(ratio - 1) * 100:+.1f}%, ceiling +{tolerance:.0f}%)")
+    if ratio > ceiling:
+        print(f"OBS GATE FAIL: {line}", file=sys.stderr)
+        ok = False
+    else:
+        print(f"obs gate ok: {line}")
+if not ok:
+    sys.exit(1)
+print("disabled-observer overhead gate passed")
+EOF

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Observability smoke: gates the telemetry/tracing surface.
+#
+#   1. Opt-in        — a plain campaign run carries no "telemetry" key and
+#                      no wall-clock field in the report JSON; `--telemetry`
+#                      adds the section plus a per-cell metrics CSV.
+#   2. Determinism   — the telemetry-bearing report is byte-identical at 1
+#                      and 4 workers (the embedded section is event-derived;
+#                      wall clock lives only in the CSV/summary), and two
+#                      traces of the same cell render identically.
+#   3. Explainability — `lbc trace` on a violating gst_boundary cell names
+#                      the injected attack (strategy, gst, hold-set), the
+#                      GST burst step, a tamper provenance chain, and the
+#                      first divergent decision; the same works against the
+#                      search's minimized counterexample fragments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LBC_OBS_OUT:-target/lbc-obs-smoke}"
+rm -rf "$OUT"
+mkdir -p "$OUT/w1" "$OUT/w4"
+
+cargo build --release --bin lbc
+
+SPEC=examples/campaigns/gst_boundary.json
+
+# Opt-in: the plain report has no telemetry section and no timing field.
+./target/release/lbc campaign "$SPEC" --workers 4 --out "$OUT/w1" --quiet
+python3 - "$OUT/w1/gst_boundary.report.json" <<'EOF'
+import json, sys
+text = open(sys.argv[1]).read()
+assert '"telemetry"' not in text, "plain run must not embed telemetry"
+assert '"wall' not in text, "canonical report must stay timing-free"
+json.loads(text)
+EOF
+test ! -e "$OUT/w1/gst_boundary.telemetry.csv"
+PLAIN="$OUT/w1/gst_boundary.report.json"
+mv "$PLAIN" "$OUT/plain.report.json"
+
+# --telemetry: section + CSV appear, and the report (telemetry section
+# included) keeps worker-count byte-identity.
+./target/release/lbc campaign "$SPEC" --telemetry --workers 1 --out "$OUT/w1" --quiet
+./target/release/lbc campaign "$SPEC" --telemetry --workers 4 --out "$OUT/w4" --quiet
+cmp "$OUT/w1/gst_boundary.report.json" "$OUT/w4/gst_boundary.report.json"
+test -s "$OUT/w1/gst_boundary.telemetry.csv"
+
+python3 - "$OUT/w1/gst_boundary.report.json" "$OUT/plain.report.json" \
+          "$OUT/w1/gst_boundary.telemetry.csv" <<'EOF'
+import json, sys
+
+observed = json.load(open(sys.argv[1]))
+plain = json.load(open(sys.argv[2]))
+
+telemetry = observed.pop("telemetry")
+assert observed == plain, "telemetry must be purely additive to the report"
+assert '"wall' not in json.dumps(telemetry), "telemetry JSON must be timing-free"
+aggregate = telemetry["aggregate"]
+for metric in ("transmissions", "deliveries", "tampered", "burst_deliveries",
+               "decisions", "channels_opened"):
+    assert aggregate["counters"].get(metric, 0) > 0, f"aggregate missing {metric}"
+assert len(telemetry["cells"]) == len(plain["records"])
+
+header, *rows = open(sys.argv[3]).read().splitlines()
+assert header.startswith("index,transmissions,")
+assert header.endswith(",wall_micros")
+assert len(rows) == len(plain["records"])
+print(f"telemetry OK: {len(rows)} cells, "
+      f"{aggregate['counters']['transmissions']} transmissions, "
+      f"{aggregate['counters']['tampered']} tampered, "
+      f"{aggregate['counters']['burst_deliveries']} burst deliveries")
+EOF
+
+# Explainability: trace the first violating cell and assert the post-mortem
+# names the injected attack end to end.
+CELL=$(python3 - "$OUT/w1/gst_boundary.report.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for record in report["records"]:
+    if not record["correct"] and record["regime"].startswith("psync-"):
+        print(record["index"])
+        break
+else:
+    raise AssertionError("gst_boundary produced no partial-sync violation")
+EOF
+)
+
+./target/release/lbc trace "$SPEC" --cell "$CELL" > "$OUT/trace.txt"
+./target/release/lbc trace "$SPEC" --cell "$CELL" > "$OUT/trace2.txt"
+cmp "$OUT/trace.txt" "$OUT/trace2.txt"
+
+grep -q "VIOLATION" "$OUT/trace.txt"
+grep -q "injected attack: strategy=sleeper-tamper" "$OUT/trace.txt"
+grep -Eq "schedule attack: gst=12 hold-set=\[v[0-9]+" "$OUT/trace.txt"
+grep -Eq "GST burst: step s12 released [0-9]+ held deliveries" "$OUT/trace.txt"
+grep -q "tampered in flight:" "$OUT/trace.txt"
+grep -q "first divergent value:" "$OUT/trace.txt"
+grep -Eq "decision: v[0-9]+ -> [01] at s[0-9]+ on evidence" "$OUT/trace.txt"
+
+# The timeline view carries the per-step structure and the burst release.
+grep -q "^step 12$" "$OUT/trace.txt"
+grep -Eq "^  burst s12 released=[0-9]+" "$OUT/trace.txt"
+
+# Trace also replays search counterexample fragments (the emitted
+# counterexamples file is itself a campaign spec). Pick the minimized
+# partial-sync fragment so the post-mortem shows the timing attack.
+./target/release/lbc search "$SPEC" --require-violation --workers 4 \
+  --out "$OUT" --quiet
+CX="$OUT/gst_boundary.counterexamples.json"
+./target/release/lbc campaign "$CX" --out "$OUT" --quiet
+CX_CELL=$(python3 - "$OUT/gst_boundary_counterexamples.report.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for record in report["records"]:
+    if record["regime"].startswith("psync-"):
+        assert not record["correct"], "minimized GST fragment no longer violates"
+        print(record["index"])
+        break
+else:
+    raise AssertionError("counterexamples carry no partial-sync fragment")
+EOF
+)
+./target/release/lbc trace "$CX" --cell "$CX_CELL" --no-timeline > "$OUT/cx-trace.txt"
+grep -q "VIOLATION" "$OUT/cx-trace.txt"
+grep -Eq "schedule attack: gst=[0-9]+" "$OUT/cx-trace.txt"
+
+echo "obs smoke OK: opt-in telemetry + deterministic section/trace + post-mortem names the GST attack (cell $CELL)"

@@ -24,6 +24,11 @@
 //!                                  <name>.search.json (canonical, resumable)
 //!                                  and <name>.counterexamples.json (replayable
 //!                                  minimized violations)
+//! lbc trace <spec.json> --cell <id> [--no-timeline]
+//!                                  replay one campaign cell with the recording
+//!                                  observer and print its event timeline plus a
+//!                                  violation post-mortem (works on the
+//!                                  counterexample specs `lbc search` emits)
 //! lbc graphs                       list the built-in graph names
 //! ```
 //!
@@ -37,7 +42,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lbc_campaign::diff::{diff_report_texts_with, DiffOptions};
-use lbc_campaign::{render_search_plan, run_scenarios_noted, run_search_resumed, CampaignSpec};
+use lbc_campaign::{
+    render_search_plan, replay_scenario, run_scenarios_opts, run_search_resumed, CampaignSpec,
+    ExecOptions,
+};
 use lbc_model::json::{Json, ToJson};
 use local_broadcast_consensus::experiments;
 use local_broadcast_consensus::prelude::*;
@@ -86,7 +94,7 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--list]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper straddle-tamper gst-equivocate\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b\nregimes (spec files): sync | {{\"kind\": \"async\", ...}} | {{\"kind\": \"partial-sync\", \"gst\": G, \"hold\": [..], ...}}"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--telemetry] [--list]\n  lbc trace <spec.json> --cell <id> [--no-timeline]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper straddle-tamper gst-equivocate\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b\nregimes (spec files): sync | {{\"kind\": \"async\", ...}} | {{\"kind\": \"partial-sync\", \"gst\": G, \"hold\": [..], ...}}"
     );
     ExitCode::from(2)
 }
@@ -514,6 +522,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut strict = false;
     let mut quiet = false;
+    let mut telemetry = false;
     let mut list = false;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
@@ -534,6 +543,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             }
             "--strict" => strict = true,
             "--quiet" => quiet = true,
+            "--telemetry" => telemetry = true,
             "--list" => list = true,
             other => {
                 eprintln!("unknown campaign flag: {other}");
@@ -601,7 +611,12 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         }
     }
     let started = Instant::now();
-    let report = run_scenarios_noted(&spec, &scenarios, notes, workers);
+    let options = ExecOptions {
+        workers,
+        telemetry,
+        progress: !quiet,
+    };
+    let report = run_scenarios_opts(&spec, &scenarios, notes, &options);
     let elapsed = started.elapsed();
     let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
     if let Err(err) = fs::create_dir_all(&out_dir) {
@@ -617,6 +632,16 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     if let Err(err) = fs::write(&csv_path, report.to_csv()) {
         eprintln!("cannot write {}: {err}", csv_path.display());
         return ExitCode::FAILURE;
+    }
+    if let Some(telemetry) = report.telemetry() {
+        let telemetry_path = out_dir.join(format!("{}.telemetry.csv", report.name()));
+        if let Err(err) = fs::write(&telemetry_path, telemetry.to_csv()) {
+            eprintln!("cannot write {}: {err}", telemetry_path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            println!("telemetry: wrote {}", telemetry_path.display());
+        }
     }
     if !quiet {
         println!("{}", report.render_summary());
@@ -647,6 +672,68 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some(spec_path) = args.first() else {
+        return usage();
+    };
+    let mut cell: Option<usize> = None;
+    let mut timeline = true;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--cell" => {
+                let Some(id) = rest.next().and_then(|c| c.parse::<usize>().ok()) else {
+                    eprintln!("--cell requires a scenario index");
+                    return ExitCode::from(2);
+                };
+                cell = Some(id);
+            }
+            "--no-timeline" => timeline = false,
+            other => {
+                eprintln!("unknown trace flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(cell) = cell else {
+        eprintln!("lbc trace requires --cell <id> (use `lbc campaign <spec> --list` for ids)");
+        return ExitCode::from(2);
+    };
+    let text = match fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CampaignSpec::from_json_text(&text) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = match spec.expand() {
+        Ok(scenarios) => scenarios,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(scenario) = scenarios.get(cell) else {
+        eprintln!(
+            "cell {cell} is out of range: campaign '{}' expands to {} scenarios (0..={})",
+            spec.name,
+            scenarios.len(),
+            scenarios.len().saturating_sub(1)
+        );
+        return ExitCode::FAILURE;
+    };
+    let replay = replay_scenario(scenario);
+    print!("{}", replay.render_with(scenario, timeline));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -655,6 +742,7 @@ fn main() -> ExitCode {
         Some("impossibility") => cmd_impossibility(&args[1..]),
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("graphs") => {
             println!("c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b");
