@@ -66,6 +66,17 @@ pub enum Strategy {
     /// conflicting copies on opposite sides of the boundary so they land in
     /// the same burst. Degenerates to [`Strategy::Equivocate`] when GST is 0.
     GstEquivocate,
+    /// Faulty nodes crash for a bounded window and then come back: silent
+    /// while `down_from <= round < down_from + down_for`, honest relaying
+    /// otherwise. Unlike [`Strategy::CrashAfter`] the node *recovers*, so
+    /// protocols that wrote the node off as dead see it rejoin mid-run with
+    /// stale state — the crash-recovery fault class.
+    CrashRecover {
+        /// First round of the outage window.
+        down_from: u64,
+        /// Length of the outage window in rounds.
+        down_for: u64,
+    },
 }
 
 impl Strategy {
@@ -126,6 +137,7 @@ impl Strategy {
             Strategy::SleeperTamper { .. } => "sleeper-tamper",
             Strategy::StraddleTamper => "straddle-tamper",
             Strategy::GstEquivocate => "gst-equivocate",
+            Strategy::CrashRecover { .. } => "crash-recover",
         }
     }
 
@@ -150,6 +162,11 @@ impl Strategy {
             // that still violates over a GST-coupled one.
             Strategy::StraddleTamper => 8,
             Strategy::GstEquivocate => 9,
+            // Recovery adds a second parameter on top of a plain crash, and
+            // a transient outage is a more contrived explanation than a
+            // permanent one — rank it above even the GST pair so shrinking
+            // always prefers a non-recovering crash when one suffices.
+            Strategy::CrashRecover { .. } => 10,
         }
     }
 
@@ -229,6 +246,32 @@ impl Strategy {
                 Strategy::TamperAll,
                 Strategy::Random { seed },
             ],
+            Strategy::CrashRecover {
+                down_from,
+                down_for,
+            } => [
+                Strategy::CrashRecover {
+                    down_from: down_from + 1,
+                    down_for: *down_for,
+                },
+                Strategy::CrashRecover {
+                    down_from: down_from.saturating_sub(1),
+                    down_for: *down_for,
+                },
+                Strategy::CrashRecover {
+                    down_from: *down_from,
+                    down_for: down_for + 1,
+                },
+                Strategy::CrashRecover {
+                    down_from: *down_from,
+                    down_for: down_for.saturating_sub(1).max(1),
+                },
+                Strategy::CrashAfter(*down_from),
+                Strategy::Silent,
+            ]
+            .into_iter()
+            .filter(|m| m != self)
+            .collect(),
         }
     }
 
@@ -272,6 +315,14 @@ impl ToJson for Strategy {
                 ("kind", Json::Str("sleeper".to_string())),
                 ("honest-rounds", honest_rounds.to_json()),
             ]),
+            Strategy::CrashRecover {
+                down_from,
+                down_for,
+            } => Json::object([
+                ("kind", Json::Str("crash-recover".to_string())),
+                ("down-from", down_from.to_json()),
+                ("down-for", down_for.to_json()),
+            ]),
             plain => Json::Str(plain.name().to_string()),
         }
     }
@@ -308,6 +359,14 @@ impl FromJson for Strategy {
             },
             "straddle-tamper" => Strategy::StraddleTamper,
             "gst-equivocate" => Strategy::GstEquivocate,
+            "crash-recover" => Strategy::CrashRecover {
+                down_from: value
+                    .get("down-from")
+                    .map_or(Ok(2), u64_from_number_or_string)?,
+                down_for: value
+                    .get("down-for")
+                    .map_or(Ok(2), u64_from_number_or_string)?,
+            },
             other => {
                 return Err(JsonError {
                     message: format!("unknown strategy '{other}'"),
@@ -412,6 +471,17 @@ where
                     honest_outgoing
                 } else {
                     equivocate_split(ctx, honest_outgoing)
+                }
+            }
+            Strategy::CrashRecover {
+                down_from,
+                down_for,
+            } => {
+                let current = round.map_or(0, Round::value);
+                if *down_from <= current && current < down_from + down_for {
+                    Vec::new()
+                } else {
+                    honest_outgoing
                 }
             }
         }
@@ -701,8 +771,58 @@ mod tests {
     }
 
     #[test]
+    fn crash_recover_is_silent_only_in_the_window() {
+        let graph = generators::complete(4);
+        let arena = lbc_model::SharedPathArena::new();
+        let ledger = lbc_model::SharedFloodLedger::new();
+        let mut adv = Strategy::CrashRecover {
+            down_from: 2,
+            down_for: 2,
+        }
+        .into_adversary();
+        let context = ctx(&graph, &arena, &ledger);
+        // Honest before the outage (including the start-of-execution step).
+        let start: Vec<Outgoing<Value>> =
+            adv.intercept(&context, None, honest_out(), Inbox::direct(&[]));
+        assert_eq!(start, honest_out());
+        let before = adv.intercept(
+            &context,
+            Some(Round::new(1)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
+        assert_eq!(before, honest_out());
+        // Silent for rounds 2 and 3.
+        for down in [2, 3] {
+            let out = adv.intercept(
+                &context,
+                Some(Round::new(down)),
+                honest_out(),
+                Inbox::direct(&[]),
+            );
+            assert!(out.is_empty(), "round {down} should be inside the outage");
+        }
+        // Recovered: honest relaying resumes from round 4 on.
+        let after = adv.intercept(
+            &context,
+            Some(Round::new(4)),
+            honest_out(),
+            Inbox::direct(&[]),
+        );
+        assert_eq!(after, honest_out());
+    }
+
+    #[test]
     fn mutations_are_deterministic_and_self_free() {
-        for strategy in Strategy::all(7).into_iter().chain(Strategy::gst_aware()) {
+        let crash_recover = Strategy::CrashRecover {
+            down_from: 2,
+            down_for: 2,
+        };
+        for strategy in Strategy::all(7)
+            .into_iter()
+            .chain(Strategy::gst_aware())
+            .chain([crash_recover])
+        {
             let a = strategy.mutations(99);
             let b = strategy.mutations(99);
             assert_eq!(a, b, "mutations of {strategy:?} must be deterministic");
@@ -720,7 +840,15 @@ mod tests {
 
     #[test]
     fn simplifications_strictly_descend_in_rank() {
-        for strategy in Strategy::all(7).into_iter().chain(Strategy::gst_aware()) {
+        let crash_recover = Strategy::CrashRecover {
+            down_from: 1,
+            down_for: 3,
+        };
+        for strategy in Strategy::all(7)
+            .into_iter()
+            .chain(Strategy::gst_aware())
+            .chain([crash_recover.clone()])
+        {
             for simpler in strategy.simplifications() {
                 assert!(
                     simpler.complexity_rank() < strategy.complexity_rank(),
@@ -731,6 +859,10 @@ mod tests {
         }
         assert!(Strategy::Silent.simplifications().is_empty());
         assert!(!Strategy::Random { seed: 3 }.simplifications().is_empty());
+        // The recovering crash shrinks to plain crashes among others.
+        assert!(crash_recover
+            .simplifications()
+            .contains(&Strategy::CrashAfter(2)));
     }
 
     #[test]
@@ -740,6 +872,10 @@ mod tests {
         let mut catalogue = Strategy::all(u64::MAX - 12345);
         catalogue.push(Strategy::CrashAfter(9));
         catalogue.push(Strategy::SleeperTamper { honest_rounds: 0 });
+        catalogue.push(Strategy::CrashRecover {
+            down_from: 3,
+            down_for: 5,
+        });
         catalogue.extend(Strategy::gst_aware());
         for strategy in catalogue {
             let text = strategy.to_json().to_string();

@@ -63,6 +63,7 @@ fn bench_spec() -> CampaignSpec {
             },
         ],
         search: None,
+        limits: None,
     }
 }
 
@@ -103,6 +104,7 @@ fn bench(c: &mut Criterion) {
         seed: dense.seed,
         sweeps: vec![dense.sweeps[1].clone()],
         search: None,
+        limits: None,
     };
     assert_eq!(cycle_alg2.sweeps[0].algorithms, [AlgorithmKind::Algorithm2]);
     let started = std::time::Instant::now();

@@ -1,0 +1,146 @@
+//! Test-only fault self-injection for the campaign executor.
+//!
+//! A [`ChaosPolicy`] makes the executor hurt itself on purpose — panic
+//! inside chosen cells, stall chosen cells past their watchdog budget,
+//! abort the whole process after a number of journaled records — so the
+//! fault-tolerance machinery (panic isolation, watchdogs, checkpointed
+//! resume) is provable under fire rather than only in unit tests. It is
+//! env-gated (`LBC_CHAOS`) and deterministic: injection is keyed on the
+//! cell's expansion index, never on timing or randomness, so a chaos run
+//! produces the same quarantine records at any worker count.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The environment variable the CLI reads chaos directives from.
+pub const CHAOS_ENV: &str = "LBC_CHAOS";
+
+/// Deterministic per-cell fault injection, parsed from a directive string
+/// like `panic=3,7;delay=5:200;kill=12`:
+///
+/// * `panic=I,J,…` — cells with these expansion indices panic instead of
+///   running (exercises `catch_unwind` isolation).
+/// * `delay=I:MS,…` — these cells sleep `MS` milliseconds inside their
+///   armed watchdog window before running (exercises the timeout path:
+///   with a budget below the delay, cancellation fires before step 0 and
+///   the timeout record is deterministic).
+/// * `kill=N` — the process aborts right after the checkpoint journal has
+///   recorded `N` cells (exercises `--resume`; only meaningful with a
+///   journal, and only used by subprocess-level tests).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosPolicy {
+    /// Expansion indices of cells that panic instead of running.
+    pub panic_cells: BTreeSet<usize>,
+    /// Expansion index → milliseconds to stall before running.
+    pub delay_cells: BTreeMap<usize, u64>,
+    /// Abort the process after this many cells have been journaled.
+    pub kill_after: Option<usize>,
+}
+
+impl ChaosPolicy {
+    /// Whether the policy injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.panic_cells.is_empty() && self.delay_cells.is_empty() && self.kill_after.is_none()
+    }
+
+    /// Whether the cell at `index` must panic.
+    #[must_use]
+    pub fn panics(&self, index: usize) -> bool {
+        self.panic_cells.contains(&index)
+    }
+
+    /// The injected stall for the cell at `index`, in milliseconds.
+    #[must_use]
+    pub fn delay_ms(&self, index: usize) -> Option<u64> {
+        self.delay_cells.get(&index).copied()
+    }
+
+    /// Reads the policy from [`CHAOS_ENV`]. Returns `None` when the
+    /// variable is unset or empty; a malformed directive is reported on
+    /// stderr and ignored entirely (chaos is a test aid — it must never
+    /// make a production run fail to start).
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let text = std::env::var(CHAOS_ENV).ok()?;
+        if text.trim().is_empty() {
+            return None;
+        }
+        match ChaosPolicy::parse(&text) {
+            Ok(policy) => Some(policy),
+            Err(message) => {
+                eprintln!("warning: ignoring malformed {CHAOS_ENV}: {message}");
+                None
+            }
+        }
+    }
+
+    /// Parses a directive string (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending directive.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut policy = ChaosPolicy::default();
+        for directive in text.split(';').filter(|d| !d.trim().is_empty()) {
+            let (key, spec) = directive
+                .split_once('=')
+                .ok_or_else(|| format!("directive '{directive}' is not key=value"))?;
+            match key.trim() {
+                "panic" => {
+                    for index in spec.split(',') {
+                        policy.panic_cells.insert(parse_index(index)?);
+                    }
+                }
+                "delay" => {
+                    for entry in spec.split(',') {
+                        let (index, ms) = entry
+                            .split_once(':')
+                            .ok_or_else(|| format!("delay entry '{entry}' is not index:ms"))?;
+                        policy.delay_cells.insert(
+                            parse_index(index)?,
+                            ms.trim()
+                                .parse()
+                                .map_err(|_| format!("delay '{ms}' is not milliseconds"))?,
+                        );
+                    }
+                }
+                "kill" => {
+                    policy.kill_after = Some(parse_index(spec)?);
+                }
+                other => return Err(format!("unknown chaos directive '{other}'")),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+fn parse_index(text: &str) -> Result<usize, String> {
+    text.trim()
+        .parse()
+        .map_err(|_| format!("'{text}' is not a cell index"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let policy = ChaosPolicy::parse("panic=3,7;delay=5:200,9:50;kill=12").unwrap();
+        assert!(policy.panics(3) && policy.panics(7) && !policy.panics(5));
+        assert_eq!(policy.delay_ms(5), Some(200));
+        assert_eq!(policy.delay_ms(9), Some(50));
+        assert_eq!(policy.delay_ms(3), None);
+        assert_eq!(policy.kill_after, Some(12));
+        assert!(!policy.is_empty());
+        assert!(ChaosPolicy::default().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_directives() {
+        assert!(ChaosPolicy::parse("panic").is_err());
+        assert!(ChaosPolicy::parse("panic=x").is_err());
+        assert!(ChaosPolicy::parse("delay=5").is_err());
+        assert!(ChaosPolicy::parse("explode=1").is_err());
+    }
+}

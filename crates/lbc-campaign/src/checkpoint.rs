@@ -1,0 +1,274 @@
+//! The campaign executor's periodic checkpoint journal.
+//!
+//! With a [`CheckpointConfig`] attached, the executor journals every
+//! completed cell record to `<name>.checkpoint.json` in batches: the whole
+//! file is rewritten to a temp sibling, fsync'd, and atomically renamed
+//! into place at each batch boundary, so a kill at any moment leaves either
+//! the previous or the new journal — never a torn one. `lbc campaign
+//! --resume` loads the journal, validates its fingerprint against the spec
+//! (the same name/seed machinery as `lbc search --resume`), pre-fills the
+//! completed cells, and re-runs only the incomplete ones; records travel as
+//! their **canonical report JSON**, so the resumed report is byte-identical
+//! to the one-shot report. The journal is deleted once the campaign
+//! finishes and its report is written.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use lbc_model::json::{u64_from_number_or_string, Json};
+
+use crate::report::ScenarioRecord;
+use crate::spec::{validate_resume_fingerprint, CampaignSpec, SpecError};
+
+/// How (and whether) the executor journals completed cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// The journal file (conventionally `<campaign-name>.checkpoint.json`).
+    pub path: PathBuf,
+    /// Batch size: the journal is rewritten and fsync'd after every `every`
+    /// newly completed cells (clamped to at least 1).
+    pub every: usize,
+    /// Load `path` before executing and skip its completed cells. The file
+    /// not existing is fine (fresh start); a fingerprint mismatch is an
+    /// error.
+    pub resume: bool,
+}
+
+impl CheckpointConfig {
+    /// A journal at `path` with the default batch size of 8, not resuming.
+    #[must_use]
+    pub fn new(path: PathBuf) -> Self {
+        CheckpointConfig {
+            path,
+            every: 8,
+            resume: false,
+        }
+    }
+}
+
+/// A loaded checkpoint journal: the producing campaign's fingerprint plus
+/// every record completed before the interruption.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The campaign name the journal was written under.
+    pub name: String,
+    /// The campaign seed the journal was written under.
+    pub seed: u64,
+    /// The total scenario count of the producing expansion.
+    pub scenarios: usize,
+    /// The completed records, in journal order (canonical-JSON restored, so
+    /// `wall_micros` is zeroed — wall time is outside the byte contract).
+    pub records: Vec<ScenarioRecord>,
+}
+
+impl Checkpoint {
+    /// Loads and parses a journal file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the file cannot be read or does not
+    /// parse as a checkpoint journal.
+    pub fn load(path: &Path) -> Result<Self, SpecError> {
+        let text = fs::read_to_string(path).map_err(|error| {
+            SpecError::new(format!(
+                "cannot read checkpoint {}: {error}",
+                path.display()
+            ))
+        })?;
+        let json = Json::parse(&text).map_err(|error| {
+            SpecError::new(format!(
+                "checkpoint {} is not JSON: {error}",
+                path.display()
+            ))
+        })?;
+        Checkpoint::from_json(&json)
+            .map_err(|message| SpecError::new(format!("checkpoint {}: {message}", path.display())))
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing 'name'")?
+            .to_string();
+        let seed = u64_from_number_or_string(json.get("seed").ok_or("missing 'seed'")?)
+            .map_err(|error| error.to_string())?;
+        let scenarios = json
+            .get("scenarios")
+            .and_then(Json::as_u64)
+            .ok_or("missing 'scenarios'")? as usize;
+        let records = json
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or("missing 'records'")?
+            .iter()
+            .map(ScenarioRecord::from_canonical_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Checkpoint {
+            name,
+            seed,
+            scenarios,
+            records,
+        })
+    }
+
+    /// Validates that this journal belongs to `spec`'s campaign (name +
+    /// seed fingerprint, shared with `lbc search --resume`) and to the same
+    /// expansion (`scenarios` cells, every record index in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the mismatch.
+    pub fn validate(&self, spec: &CampaignSpec, scenarios: usize) -> Result<(), SpecError> {
+        validate_resume_fingerprint(&self.name, Some(self.seed), spec, "checkpoint journal")?;
+        if self.scenarios != scenarios {
+            return Err(SpecError::new(format!(
+                "checkpoint journal covers {} scenarios but the spec expands to {scenarios} — \
+                 the grid changed since the journal was written",
+                self.scenarios
+            )));
+        }
+        if let Some(record) = self.records.iter().find(|r| r.index >= scenarios) {
+            return Err(SpecError::new(format!(
+                "checkpoint journal records cell {} beyond the {scenarios}-cell grid",
+                record.index
+            )));
+        }
+        Ok(())
+    }
+
+    /// Spreads the journaled records over a by-index slot vector of the
+    /// full grid: `Some` for completed cells, `None` for the ones a resume
+    /// still has to run.
+    #[must_use]
+    pub fn into_prefill(self, scenarios: usize) -> Vec<Option<ScenarioRecord>> {
+        let mut slots = vec![None; scenarios];
+        for record in self.records {
+            let index = record.index;
+            if index < scenarios {
+                slots[index] = Some(record);
+            }
+        }
+        slots
+    }
+}
+
+/// Writes a journal snapshot atomically: serialize to `<path>.tmp`, fsync,
+/// rename over `path`. Records are stored as their canonical report JSON.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (the executor downgrades journal write
+/// failures to stderr warnings — durability is best-effort, the in-memory
+/// run is never sacrificed to it).
+pub fn write_atomic<'a>(
+    path: &Path,
+    name: &str,
+    seed: u64,
+    scenarios: usize,
+    records: impl Iterator<Item = &'a ScenarioRecord>,
+) -> std::io::Result<()> {
+    let json = Json::object([
+        ("name", Json::Str(name.to_string())),
+        ("seed", Json::Num(seed as f64)),
+        ("scenarios", Json::Num(scenarios as f64)),
+        (
+            "records",
+            Json::Arr(records.map(ScenarioRecord::to_canonical_json).collect()),
+        ),
+    ]);
+    let tmp = path.with_extension("tmp");
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(json.to_string().as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CellStatus;
+    use lbc_consensus::AlgorithmKind;
+    use lbc_model::{NodeSet, Verdict};
+    use lbc_sim::TraceSummary;
+
+    fn record(index: usize) -> ScenarioRecord {
+        ScenarioRecord {
+            index,
+            family: "cycle".to_string(),
+            graph: "C5".to_string(),
+            n: 5,
+            f: 1,
+            algorithm: AlgorithmKind::Algorithm1,
+            regime: "sync".to_string(),
+            strategy: "silent".to_string(),
+            faulty: NodeSet::singleton(lbc_model::NodeId::new(index % 5)),
+            inputs: "01101".to_string(),
+            seed: 77,
+            feasible: true,
+            verdict: Verdict {
+                agreement: true,
+                validity: true,
+                termination: true,
+            },
+            agreed: Some(lbc_model::Value::One),
+            stats: TraceSummary {
+                rounds: 3,
+                transmissions: 30,
+                deliveries: 60,
+                ..TraceSummary::default()
+            },
+            wall_micros: 500,
+            status: CellStatus::Completed,
+        }
+    }
+
+    fn spec(name: &str, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            seed,
+            sweeps: Vec::new(),
+            search: None,
+            limits: None,
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_and_validates_the_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("lbc-ckpt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.checkpoint.json");
+        write_atomic(&path, "unit", 9, 4, [record(0), record(2)].iter()).unwrap();
+        let checkpoint = Checkpoint::load(&path).unwrap();
+        assert_eq!(checkpoint.name, "unit");
+        assert_eq!(checkpoint.seed, 9);
+        assert_eq!(checkpoint.scenarios, 4);
+        assert_eq!(checkpoint.records.len(), 2);
+        checkpoint.validate(&spec("unit", 9), 4).unwrap();
+        assert!(checkpoint.validate(&spec("other", 9), 4).is_err());
+        assert!(checkpoint.validate(&spec("unit", 8), 4).is_err());
+        assert!(checkpoint.validate(&spec("unit", 9), 5).is_err());
+        let prefill = checkpoint.into_prefill(4);
+        assert!(prefill[0].is_some() && prefill[2].is_some());
+        assert!(prefill[1].is_none() && prefill[3].is_none());
+        // Restored records re-serialize to the exact canonical bytes.
+        assert_eq!(
+            prefill[0].as_ref().unwrap().to_canonical_json().to_string(),
+            record(0).to_canonical_json().to_string()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_records_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("lbc-ckpt-oob-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oob.checkpoint.json");
+        write_atomic(&path, "unit", 9, 2, [record(3)].iter()).unwrap();
+        let checkpoint = Checkpoint::load(&path).unwrap();
+        assert!(checkpoint.validate(&spec("unit", 9), 2).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

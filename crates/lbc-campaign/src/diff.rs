@@ -130,7 +130,10 @@ impl CampaignDiff {
 }
 
 /// The result cells compared per matched scenario, in report column order.
-const CELLS: [&str; 9] = [
+/// `outcome` is the executor's quarantine label — absent for completed
+/// cells (so pre-fault-tolerance reports align), `failed` / `timeout` for
+/// quarantined ones.
+const CELLS: [&str; 10] = [
     "feasible",
     "agreement",
     "validity",
@@ -140,6 +143,7 @@ const CELLS: [&str; 9] = [
     "rounds",
     "transmissions",
     "deliveries",
+    "outcome",
 ];
 
 /// Compares two canonical reports parsed from their JSON text, matching
@@ -189,9 +193,25 @@ pub fn diff_reports_with(
             let old_value = render_cell(old_record.get(cell));
             let new_value = render_cell(new_record.get(cell));
             if old_value != new_value {
-                let regression = cell == "correct"
-                    && old_record.get(cell).and_then(Json::as_bool) == Some(true)
-                    && new_record.get(cell).and_then(Json::as_bool) == Some(false);
+                let regression = match cell {
+                    "correct" => {
+                        old_record.get(cell).and_then(Json::as_bool) == Some(true)
+                            && new_record.get(cell).and_then(Json::as_bool) == Some(false)
+                    }
+                    // A cell that used to complete (no outcome field, or an
+                    // explicit "completed") and now fails or times out is
+                    // infrastructure rot, walled like a verdict flip.
+                    "outcome" => {
+                        matches!(
+                            old_record.get(cell).and_then(Json::as_str),
+                            None | Some("completed")
+                        ) && matches!(
+                            new_record.get(cell).and_then(Json::as_str),
+                            Some("failed" | "timeout")
+                        )
+                    }
+                    _ => false,
+                };
                 diff.changed.push(CellChange {
                     scenario: identity.clone(),
                     cell: cell.to_string(),
@@ -486,6 +506,7 @@ mod tests {
                 inputs: InputPolicy::Alternating,
             }],
             search: None,
+            limits: None,
         };
         let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
         Json::parse(&text).unwrap()
@@ -544,6 +565,34 @@ mod tests {
         let recovered = diff_reports(&new, &old).unwrap();
         assert!(!recovered.has_regressions());
         assert_eq!(recovered.changed.len(), 2);
+    }
+
+    #[test]
+    fn newly_quarantined_cells_are_regressions() {
+        let old = sample_report_json();
+        let mut new = old.clone();
+        // Quarantined records carry an explicit outcome field; completed
+        // records omit it, so the old side renders as <missing>.
+        if let Json::Obj(fields) = &mut new {
+            for (key, value) in fields.iter_mut() {
+                if key == "records" {
+                    if let Json::Arr(records) = value {
+                        if let Json::Obj(record) = &mut records[0] {
+                            record.push(("outcome".to_string(), Json::Str("failed".to_string())));
+                        }
+                    }
+                }
+            }
+        }
+        let diff = diff_reports(&old, &new).unwrap();
+        assert!(diff.has_regressions(), "{}", diff.render());
+        assert!(diff
+            .changed
+            .iter()
+            .any(|c| c.cell == "outcome" && c.regression));
+        // The recovery direction (failed -> completed) is not a regression.
+        let recovered = diff_reports(&new, &old).unwrap();
+        assert!(!recovered.has_regressions());
     }
 
     #[test]
@@ -647,6 +696,7 @@ mod tests {
                     inputs: InputPolicy::Alternating,
                 }],
                 search: None,
+                limits: None,
             };
             let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
             Json::parse(&text).unwrap()
@@ -714,6 +764,7 @@ mod tests {
                 mutations: 2,
                 rounds: 1,
             }),
+            limits: None,
         };
         let text = crate::run_search(&spec, 2).unwrap().to_json().to_string();
         Json::parse(&text).unwrap()

@@ -400,6 +400,7 @@ mod tests {
                 inputs: InputPolicy::Bits(0b01101),
             }],
             search: None,
+            limits: None,
         }
     }
 

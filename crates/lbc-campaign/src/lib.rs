@@ -86,6 +86,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod diff;
 pub mod executor;
 pub mod explain;
@@ -94,19 +96,21 @@ pub mod search;
 pub mod spec;
 pub mod telemetry;
 
+pub use chaos::ChaosPolicy;
+pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use diff::{diff_report_texts, diff_reports, CampaignDiff, CellChange, DiffOptions};
 pub use executor::{
     run_campaign, run_campaign_opts, run_scenario, run_scenario_observed, run_scenarios,
-    run_scenarios_noted, run_scenarios_opts, ExecOptions,
+    run_scenarios_noted, run_scenarios_opts, run_scenarios_resumable, ExecOptions,
 };
 pub use explain::{replay_scenario, TraceReplay};
-pub use report::{CampaignReport, RollupRow, ScenarioRecord};
+pub use report::{CampaignReport, CellStatus, RollupRow, ScenarioRecord};
 pub use search::{
     render_search_plan, run_search, run_search_resumed, CellOutcome, Counterexample, SearchReport,
     SearchSpec, Severity,
 };
 pub use spec::{
-    CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, RegimeSpec, Scenario, SizeSpec, SpecError,
-    StrategySpec, SweepSpec,
+    CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, LimitsSpec, RegimeSpec, Scenario,
+    SizeSpec, SpecError, StrategySpec, SweepSpec,
 };
 pub use telemetry::{CampaignTelemetry, CellTelemetry};

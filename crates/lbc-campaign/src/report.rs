@@ -14,11 +14,56 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use lbc_consensus::AlgorithmKind;
-use lbc_model::json::{Json, ToJson};
+use lbc_model::json::{u64_from_number_or_string, FromJson, Json, ToJson};
 use lbc_model::{NodeSet, Value, Verdict};
 use lbc_sim::TraceSummary;
 
 use crate::telemetry::CampaignTelemetry;
+
+/// How a cell's execution ended.
+///
+/// Anything but [`CellStatus::Completed`] is an **infrastructure** outcome:
+/// the executor quarantined the cell (panic caught, watchdog fired) instead
+/// of letting it kill the campaign. Quarantined records carry an all-false
+/// verdict and surface in the canonical JSON through the additive `outcome`
+/// field, so failure-free reports keep their exact pre-fault-tolerance
+/// bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CellStatus {
+    /// The scenario ran to completion; its verdict is the judge's.
+    #[default]
+    Completed,
+    /// The scenario panicked; the worker caught the unwind and recorded the
+    /// payload instead of dying.
+    Failed {
+        /// The panic payload (its string form, when it had one).
+        panic: String,
+    },
+    /// The watchdog cancelled the scenario after its wall-clock budget; the
+    /// record's stats are the partial trace accumulated before the cut.
+    TimedOut {
+        /// The exceeded per-cell budget, in microseconds.
+        budget_micros: u64,
+    },
+}
+
+impl CellStatus {
+    /// The canonical `outcome` label: `completed`, `failed`, or `timeout`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellStatus::Completed => "completed",
+            CellStatus::Failed { .. } => "failed",
+            CellStatus::TimedOut { .. } => "timeout",
+        }
+    }
+
+    /// Whether the cell ran to completion (no quarantine).
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellStatus::Completed)
+    }
+}
 
 /// The recorded outcome of one scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,13 +103,16 @@ pub struct ScenarioRecord {
     /// Measured wall time in microseconds (CSV only; never in the
     /// canonical JSON).
     pub wall_micros: u64,
+    /// How the execution ended; anything but `Completed` means the executor
+    /// quarantined the cell.
+    pub status: CellStatus,
 }
 
 impl ScenarioRecord {
     /// The canonical (timing-free) JSON object for this record.
     #[must_use]
     pub fn to_canonical_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("index", self.index.to_json()),
             ("family", self.family.to_json()),
             ("graph", self.graph.to_json()),
@@ -91,7 +139,115 @@ impl ScenarioRecord {
             ("rounds", self.stats.rounds.to_json()),
             ("transmissions", self.stats.transmissions.to_json()),
             ("deliveries", self.stats.deliveries.to_json()),
-        ])
+        ];
+        // Additive: quarantine fields appear only on quarantined cells, so
+        // failure-free reports keep their exact pre-fault-tolerance bytes
+        // (and `campaign diff` sees old reports as all-completed).
+        match &self.status {
+            CellStatus::Completed => {}
+            CellStatus::Failed { panic } => {
+                fields.push(("outcome", Json::Str(self.status.label().to_string())));
+                fields.push(("panic", panic.to_json()));
+            }
+            CellStatus::TimedOut { budget_micros } => {
+                fields.push(("outcome", Json::Str(self.status.label().to_string())));
+                fields.push(("budget_micros", budget_micros.to_json()));
+            }
+        }
+        Json::object(fields)
+    }
+
+    /// Parses a record back from its canonical JSON object — the checkpoint
+    /// journal's storage format.
+    ///
+    /// The canonical form intentionally omits `wall_micros` and the
+    /// adversary-interference counters, so those come back zeroed; a report
+    /// re-serialized from restored records is still byte-identical to the
+    /// one-shot report because [`ScenarioRecord::to_canonical_json`] never
+    /// reads them (only the CSV's wall column differs, and that surface is
+    /// explicitly outside the byte contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_canonical_json(json: &Json) -> Result<Self, String> {
+        let field = |name: &str| -> Result<&Json, String> {
+            json.get(name)
+                .ok_or_else(|| format!("record missing '{name}'"))
+        };
+        let str_field = |name: &str| -> Result<String, String> {
+            field(name)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("record field '{name}' is not a string"))
+        };
+        let usize_field = |name: &str| -> Result<usize, String> {
+            field(name)?
+                .as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("record field '{name}' is not an integer"))
+        };
+        let bool_field = |name: &str| -> Result<bool, String> {
+            field(name)?
+                .as_bool()
+                .ok_or_else(|| format!("record field '{name}' is not a boolean"))
+        };
+        let algorithm_name = str_field("algorithm")?;
+        let algorithm = AlgorithmKind::from_name(&algorithm_name)
+            .ok_or_else(|| format!("record names unknown algorithm '{algorithm_name}'"))?;
+        let faulty = NodeSet::from_json(field("faulty")?).map_err(|e| e.to_string())?;
+        let seed = u64_from_number_or_string(field("seed")?).map_err(|e| e.to_string())?;
+        let agreed = match field("agreed")? {
+            Json::Null => None,
+            value => Some(Value::from_json(value).map_err(|e| e.to_string())?),
+        };
+        let status = match json.get("outcome").and_then(Json::as_str) {
+            None => CellStatus::Completed,
+            Some("failed") => CellStatus::Failed {
+                panic: json
+                    .get("panic")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            },
+            Some("timeout") => CellStatus::TimedOut {
+                budget_micros: json
+                    .get("budget_micros")
+                    .map(u64_from_number_or_string)
+                    .transpose()
+                    .map_err(|e| e.to_string())?
+                    .unwrap_or(0),
+            },
+            Some(other) => return Err(format!("record has unknown outcome '{other}'")),
+        };
+        Ok(ScenarioRecord {
+            index: usize_field("index")?,
+            family: str_field("family")?,
+            graph: str_field("graph")?,
+            n: usize_field("n")?,
+            f: usize_field("f")?,
+            algorithm,
+            regime: str_field("regime")?,
+            strategy: str_field("strategy")?,
+            faulty,
+            inputs: str_field("inputs")?,
+            seed,
+            feasible: bool_field("feasible")?,
+            verdict: Verdict {
+                agreement: bool_field("agreement")?,
+                validity: bool_field("validity")?,
+                termination: bool_field("termination")?,
+            },
+            agreed,
+            stats: TraceSummary {
+                rounds: usize_field("rounds")?,
+                transmissions: usize_field("transmissions")?,
+                deliveries: usize_field("deliveries")?,
+                ..TraceSummary::default()
+            },
+            wall_micros: 0,
+            status,
+        })
     }
 }
 
@@ -224,6 +380,17 @@ impl CampaignReport {
         self.records
             .iter()
             .filter(|r| !r.verdict.is_correct())
+            .collect()
+    }
+
+    /// The records the executor quarantined (caught panic or watchdog
+    /// timeout) instead of completing — infrastructure failures, as opposed
+    /// to consensus-verdict violations.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<&ScenarioRecord> {
+        self.records
+            .iter()
+            .filter(|r| !r.status.is_completed())
             .collect()
     }
 
@@ -372,6 +539,18 @@ impl CampaignReport {
                     .count(),
             self.total_wall_micros() as f64 / 1e6,
         );
+        let quarantined = self.quarantined();
+        if !quarantined.is_empty() {
+            let failed = quarantined
+                .iter()
+                .filter(|r| matches!(r.status, CellStatus::Failed { .. }))
+                .count();
+            let _ = writeln!(
+                out,
+                "quarantined: {failed} failed, {} timed out",
+                quarantined.len() - failed
+            );
+        }
         let rollups = self.rollups();
         let header = [
             "family",
@@ -503,6 +682,48 @@ mod tests {
                 ..TraceSummary::default()
             },
             wall_micros: 1234,
+            status: CellStatus::Completed,
+        }
+    }
+
+    #[test]
+    fn quarantine_fields_are_additive_and_roundtrip() {
+        // A completed record serializes without any quarantine field…
+        let completed = record(0, "cycle", true, 30);
+        let json = completed.to_canonical_json();
+        assert!(json.get("outcome").is_none());
+        assert!(json.get("panic").is_none());
+
+        // …and every status round-trips through the canonical form (the
+        // checkpoint journal's storage format).
+        let mut failed = record(1, "cycle", false, 0);
+        failed.verdict = Verdict {
+            agreement: false,
+            validity: false,
+            termination: false,
+        };
+        failed.agreed = None;
+        failed.status = CellStatus::Failed {
+            panic: "chaos: injected panic in cell 1".to_string(),
+        };
+        let mut timed_out = record(2, "wheel", false, 4);
+        timed_out.status = CellStatus::TimedOut {
+            budget_micros: 50_000,
+        };
+        assert_eq!(
+            timed_out.to_canonical_json().get("outcome").unwrap(),
+            &Json::Str("timeout".to_string())
+        );
+        for original in [completed, failed, timed_out] {
+            let restored = ScenarioRecord::from_canonical_json(&original.to_canonical_json())
+                .expect("canonical records parse back");
+            assert_eq!(restored.status, original.status);
+            assert_eq!(
+                restored.to_canonical_json(),
+                original.to_canonical_json(),
+                "restoring and re-serializing must be byte-stable"
+            );
+            assert_eq!(restored.wall_micros, 0, "wall time is outside the canon");
         }
     }
 

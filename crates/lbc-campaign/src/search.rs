@@ -583,6 +583,13 @@ pub fn strategy_to_spec(strategy: &Strategy) -> StrategySpec {
         },
         Strategy::StraddleTamper => StrategySpec::StraddleTamper,
         Strategy::GstEquivocate => StrategySpec::GstEquivocate,
+        Strategy::CrashRecover {
+            down_from,
+            down_for,
+        } => StrategySpec::CrashRecover {
+            down_from: *down_from,
+            down_for: *down_for,
+        },
     }
 }
 
@@ -1161,6 +1168,7 @@ impl SearchReport {
             seed: self.seed,
             sweeps,
             search: None,
+            limits: None,
         })
     }
 
@@ -1362,14 +1370,12 @@ pub fn run_search_resumed(
                 .transpose()
                 .ok()
                 .flatten();
-            if prior_name != spec.name || prior_seed != Some(spec.seed) {
-                return Err(SpecError::new(format!(
-                    "resume report is from campaign '{prior_name}' (seed {prior_seed:?}), \
-                     not '{}' (seed {}) — its frontiers would not be reproducible \
-                     from this spec",
-                    spec.name, spec.seed
-                )));
-            }
+            crate::spec::validate_resume_fingerprint(
+                prior_name,
+                prior_seed,
+                spec,
+                "resume report",
+            )?;
             restore_states(report).map_err(SpecError::new)?
         }
         None => FxHashMap::default(),
@@ -1511,6 +1517,7 @@ mod tests {
                 mutations: 4,
                 rounds,
             }),
+            limits: None,
         }
     }
 

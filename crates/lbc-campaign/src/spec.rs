@@ -415,6 +415,13 @@ pub enum StrategySpec {
     Silent,
     /// [`Strategy::CrashAfter`] with the given round.
     CrashAfter(u64),
+    /// [`Strategy::CrashRecover`] — silent for a window, then honest again.
+    CrashRecover {
+        /// First round of the silent window.
+        down_from: u64,
+        /// Length of the silent window in rounds.
+        down_for: u64,
+    },
     /// [`Strategy::TamperAll`].
     TamperAll,
     /// [`Strategy::TamperRelays`].
@@ -447,6 +454,7 @@ impl StrategySpec {
             StrategySpec::Honest => "honest",
             StrategySpec::Silent => "silent",
             StrategySpec::CrashAfter(_) => "crash-after",
+            StrategySpec::CrashRecover { .. } => "crash-recover",
             StrategySpec::TamperAll => "tamper-all",
             StrategySpec::TamperRelays => "tamper-relays",
             StrategySpec::Equivocate => "equivocate",
@@ -465,6 +473,13 @@ impl StrategySpec {
             StrategySpec::Honest => Strategy::Honest,
             StrategySpec::Silent => Strategy::Silent,
             StrategySpec::CrashAfter(round) => Strategy::CrashAfter(*round),
+            StrategySpec::CrashRecover {
+                down_from,
+                down_for,
+            } => Strategy::CrashRecover {
+                down_from: *down_from,
+                down_for: *down_for,
+            },
             StrategySpec::TamperAll => Strategy::TamperAll,
             StrategySpec::TamperRelays => Strategy::TamperRelays,
             StrategySpec::Equivocate => Strategy::Equivocate,
@@ -486,6 +501,14 @@ impl ToJson for StrategySpec {
             StrategySpec::CrashAfter(round) => Json::object([
                 ("kind", Json::Str("crash-after".to_string())),
                 ("round", round.to_json()),
+            ]),
+            StrategySpec::CrashRecover {
+                down_from,
+                down_for,
+            } => Json::object([
+                ("kind", Json::Str("crash-recover".to_string())),
+                ("down-from", down_from.to_json()),
+                ("down-for", down_for.to_json()),
             ]),
             // Explicit seeds serialize as strings: derived seeds use all 64
             // bits, which a JSON f64 number would silently round (and a
@@ -520,6 +543,10 @@ impl FromJson for StrategySpec {
             "crash-after" => {
                 StrategySpec::CrashAfter(value.get("round").map_or(Ok(2), u64::from_json)?)
             }
+            "crash-recover" => StrategySpec::CrashRecover {
+                down_from: value.get("down-from").map_or(Ok(2), u64::from_json)?,
+                down_for: value.get("down-for").map_or(Ok(2), u64::from_json)?,
+            },
             "random" => StrategySpec::Random {
                 seed: value
                     .get("seed")
@@ -1285,6 +1312,37 @@ impl FromJson for SweepSpec {
     }
 }
 
+/// Spec-level execution limits (the optional `"limits"` block): defaults
+/// for the fault-tolerance knobs the CLI flags can override per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LimitsSpec {
+    /// Per-cell wall-clock budget in milliseconds; a cell exceeding it is
+    /// cancelled cooperatively and recorded as a timeout. `None` leaves
+    /// cells unbounded.
+    pub cell_timeout_ms: Option<u64>,
+}
+
+impl ToJson for LimitsSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(ms) = self.cell_timeout_ms {
+            fields.push(("cell-timeout-ms", ms.to_json()));
+        }
+        Json::object(fields)
+    }
+}
+
+impl FromJson for LimitsSpec {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(LimitsSpec {
+            cell_timeout_ms: value
+                .get("cell-timeout-ms")
+                .map(u64_from_number_or_string)
+                .transpose()?,
+        })
+    }
+}
+
 /// A whole campaign: named, seeded, and made of sweeps, with an optional
 /// per-cell adversary-search configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1301,6 +1359,34 @@ pub struct CampaignSpec {
     /// `lbc search` fall back to [`crate::search::SearchSpec::default`].
     /// Ignored by the grid executor (`lbc campaign`).
     pub search: Option<crate::search::SearchSpec>,
+    /// Optional execution limits (per-cell watchdog budget). `None` keeps
+    /// the pre-existing unbounded behaviour.
+    pub limits: Option<LimitsSpec>,
+}
+
+/// Validates that a resume artifact (a prior search report or a checkpoint
+/// journal) was produced by **this** campaign: its `name` and `seed` must
+/// match the spec's, otherwise the restored state would not be reproducible
+/// from the spec alone. `what` names the artifact in the error message.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming both fingerprints on a mismatch.
+pub fn validate_resume_fingerprint(
+    prior_name: &str,
+    prior_seed: Option<u64>,
+    spec: &CampaignSpec,
+    what: &str,
+) -> Result<(), SpecError> {
+    if prior_name != spec.name || prior_seed != Some(spec.seed) {
+        return Err(SpecError::new(format!(
+            "{what} is from campaign '{prior_name}' (seed {prior_seed:?}), \
+             not '{}' (seed {}) — its state would not be reproducible \
+             from this spec",
+            spec.name, spec.seed
+        )));
+    }
+    Ok(())
 }
 
 impl CampaignSpec {
@@ -1467,6 +1553,9 @@ impl ToJson for CampaignSpec {
         if let Some(search) = &self.search {
             fields.push(("search", search.to_json()));
         }
+        if let Some(limits) = &self.limits {
+            fields.push(("limits", limits.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -1486,6 +1575,7 @@ impl FromJson for CampaignSpec {
                 .get("search")
                 .map(crate::search::SearchSpec::from_json)
                 .transpose()?,
+            limits: value.get("limits").map(LimitsSpec::from_json).transpose()?,
         })
     }
 }
@@ -1566,6 +1656,7 @@ mod tests {
                 inputs: InputPolicy::Alternating,
             }],
             search: None,
+            limits: None,
         }
     }
 
@@ -1846,6 +1937,7 @@ mod tests {
                 mutations: 5,
                 rounds: 4,
             }),
+            limits: None,
         };
         let text = spec.to_json().pretty();
         let back = CampaignSpec::from_json_text(&text).unwrap();

@@ -32,6 +32,11 @@ pub struct CellTelemetry {
     /// Measured wall time of the cell in microseconds (CSV/summary only;
     /// never serialized into the report JSON).
     pub wall_micros: u64,
+    /// Diagnostic note attached by the executor when the cell's metrics are
+    /// degraded (e.g. recovered from a shared collector, or absent because
+    /// the cell panicked). Serialized only when present, so failure-free
+    /// telemetry sections keep their exact prior bytes.
+    pub note: Option<String>,
 }
 
 /// The fixed counter columns of the per-cell telemetry CSV, in order.
@@ -94,10 +99,14 @@ impl CampaignTelemetry {
                     self.cells
                         .iter()
                         .map(|cell| {
-                            Json::object([
+                            let mut fields = vec![
                                 ("index", cell.index.to_json()),
                                 ("metrics", cell.metrics.to_json()),
-                            ])
+                            ];
+                            if let Some(note) = &cell.note {
+                                fields.push(("note", note.to_json()));
+                            }
+                            Json::object(fields)
                         })
                         .collect(),
                 ),
@@ -166,7 +175,27 @@ mod tests {
             index,
             metrics,
             wall_micros: wall,
+            note: None,
         }
+    }
+
+    #[test]
+    fn note_is_serialized_only_when_present() {
+        let clean = CampaignTelemetry {
+            cells: vec![cell(0, 1, 0)],
+            phase_micros: Vec::new(),
+        };
+        assert!(!clean.to_json().to_string().contains("\"note\""));
+        let mut degraded = cell(0, 1, 0);
+        degraded.note = Some("metrics recovered via clone".to_string());
+        let noted = CampaignTelemetry {
+            cells: vec![degraded],
+            phase_micros: Vec::new(),
+        };
+        assert!(noted
+            .to_json()
+            .to_string()
+            .contains("\"note\":\"metrics recovered via clone\""));
     }
 
     #[test]

@@ -88,6 +88,7 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
             },
         ],
         search: None,
+        limits: None,
     }
 }
 
@@ -360,6 +361,7 @@ proptest! {
             seed,
             sweeps,
             search: None,
+            limits: None,
         };
         let compact = spec.to_json().to_string();
         let pretty = spec.to_json().pretty();

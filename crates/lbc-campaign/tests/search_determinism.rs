@@ -43,6 +43,7 @@ fn search_spec(budget: usize) -> CampaignSpec {
             mutations: 4,
             rounds: 3,
         }),
+        limits: None,
     }
 }
 
@@ -154,6 +155,7 @@ fn async_search_spec(budget: usize) -> CampaignSpec {
             mutations: 4,
             rounds: 2,
         }),
+        limits: None,
     }
 }
 

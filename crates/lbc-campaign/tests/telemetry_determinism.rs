@@ -67,14 +67,14 @@ fn telemetry_spec(seed: u64) -> CampaignSpec {
             },
         ],
         search: None,
+        limits: None,
     }
 }
 
 fn opts(workers: usize, telemetry: bool) -> ExecOptions {
     ExecOptions {
-        workers,
         telemetry,
-        progress: false,
+        ..ExecOptions::new(workers)
     }
 }
 

@@ -55,6 +55,7 @@ pub fn e1_campaign_spec() -> CampaignSpec {
             ),
         ],
         search: None,
+        limits: None,
     }
 }
 
@@ -83,6 +84,7 @@ pub fn e6_campaign_spec() -> CampaignSpec {
             sweep(GraphFamily::Complete, vec![5], 2),
         ],
         search: None,
+        limits: None,
     }
 }
 
@@ -139,6 +141,7 @@ pub fn boundary_search_spec() -> CampaignSpec {
             mutations: 6,
             rounds: 4,
         }),
+        limits: None,
     }
 }
 
@@ -233,6 +236,7 @@ pub fn async_boundary_campaign_spec() -> CampaignSpec {
             },
         ],
         search: None,
+        limits: None,
     }
 }
 
@@ -329,6 +333,7 @@ pub fn gst_boundary_campaign_spec() -> CampaignSpec {
             mutations: 6,
             rounds: 8,
         }),
+        limits: None,
     }
 }
 

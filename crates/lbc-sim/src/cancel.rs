@@ -1,0 +1,122 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a shared atomic flag: a watchdog (or any external
+//! monitor) calls [`CancelToken::cancel`], and [`Network::run_under`]'s step
+//! loops observe the flag at the top of every round/step and stop early,
+//! returning whatever partial trace the run accumulated so far. Normal runs
+//! pay one relaxed atomic load per step; uncancelled runs are byte-identical
+//! to runs without a token installed.
+//!
+//! Tokens reach the network **ambiently**: callers that construct networks
+//! several layers down (the campaign executor drives algorithm runners that
+//! build their own [`Network`]s) install a token on the current thread with
+//! [`install_ambient`], and every network constructed on that thread while
+//! the returned guard lives picks it up. This keeps every runner signature
+//! unchanged while still threading cancellation through all step loops.
+//!
+//! [`Network::run_under`]: crate::Network::run_under
+//! [`Network`]: crate::Network
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag, cloneable across threads.
+///
+/// Cancellation is one-way and sticky: once cancelled, a token stays
+/// cancelled for every clone.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Every holder of a clone observes the cancellation
+    /// on its next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    /// The token newly constructed networks on this thread adopt.
+    static AMBIENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Installs `token` as the current thread's ambient cancellation token and
+/// returns a guard; every [`crate::Network`] constructed on this thread
+/// while the guard lives adopts the token. Dropping the guard restores
+/// whatever token (or none) was ambient before — installations nest.
+#[must_use]
+pub fn install_ambient(token: CancelToken) -> AmbientCancelGuard {
+    let previous = AMBIENT.with(|slot| slot.borrow_mut().replace(token));
+    AmbientCancelGuard { previous }
+}
+
+/// The current thread's ambient token, if one is installed.
+#[must_use]
+pub fn ambient() -> Option<CancelToken> {
+    AMBIENT.with(|slot| slot.borrow().clone())
+}
+
+/// Restores the previously ambient token on drop. Returned by
+/// [`install_ambient`].
+#[derive(Debug)]
+pub struct AmbientCancelGuard {
+    previous: Option<CancelToken>,
+}
+
+impl Drop for AmbientCancelGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        AMBIENT.with(|slot| *slot.borrow_mut() = previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancellation_is_sticky_and_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn ambient_installation_nests_and_restores() {
+        assert!(ambient().is_none());
+        let outer = CancelToken::new();
+        let guard = install_ambient(outer.clone());
+        assert!(ambient().is_some());
+        {
+            let inner = CancelToken::new();
+            inner.cancel();
+            let nested = install_ambient(inner);
+            assert!(ambient().expect("nested token installed").is_cancelled());
+            drop(nested);
+        }
+        assert!(
+            !ambient().expect("outer token restored").is_cancelled(),
+            "dropping the nested guard restores the outer token"
+        );
+        drop(guard);
+        assert!(ambient().is_none());
+    }
+}

@@ -44,11 +44,13 @@
 #![warn(missing_debug_implementations)]
 
 mod adversary;
+pub mod cancel;
 mod network;
 mod protocol;
 mod trace;
 
 pub use adversary::{honest_adversary, Adversary, HonestAdversary};
+pub use cancel::CancelToken;
 pub use network::{Network, RunReport};
 pub use protocol::{
     ByzantineMessage, Delivery, EchoOnce, Inbox, InboxIter, NodeContext, Outgoing, Protocol,

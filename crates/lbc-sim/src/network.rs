@@ -22,6 +22,7 @@ use lbc_model::{
 use lbc_telemetry::{Event, MessageView, Moment, ObserverHandle};
 
 use crate::adversary::Adversary;
+use crate::cancel::CancelToken;
 use crate::protocol::{Delivery, Inbox, NodeContext, Outgoing, Protocol};
 use crate::trace::{RoundStats, Trace};
 
@@ -90,6 +91,10 @@ pub struct Network<P: Protocol> {
     /// The telemetry sink. Disabled by default: every emission site then
     /// costs one branch and constructs nothing.
     observer: ObserverHandle,
+    /// Cooperative cancellation: adopted from the thread's ambient token
+    /// ([`crate::cancel::install_ambient`]) at construction. Checked at the
+    /// top of every step loop; `None` costs nothing.
+    cancel: Option<CancelToken>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -124,7 +129,14 @@ impl<P: Protocol> Network<P> {
             arena: SharedPathArena::new(),
             ledger: SharedFloodLedger::new(),
             observer: ObserverHandle::disabled(),
+            cancel: crate::cancel::ambient(),
         }
+    }
+
+    /// Whether the ambient cancellation token (if any) has fired. One
+    /// relaxed load; `false` when no token is installed.
+    fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Overrides the declared fault tolerance `f` exposed to protocol hooks
@@ -262,6 +274,12 @@ impl<P: Protocol> Network<P> {
             if self.all_non_faulty_terminated() {
                 break;
             }
+            if self.cancel_requested() {
+                self.observer.emit(|| Event::RunInterrupted {
+                    step: round_index as u64,
+                });
+                break;
+            }
             let round = Round::new(round_index as u64);
             self.observer.emit(|| Event::StepStart {
                 step: round.value(),
@@ -361,6 +379,12 @@ impl<P: Protocol> Network<P> {
 
         for step_index in 0..max_steps {
             if self.all_non_faulty_terminated() {
+                break;
+            }
+            if self.cancel_requested() {
+                self.observer.emit(|| Event::RunInterrupted {
+                    step: step_index as u64,
+                });
                 break;
             }
             self.observer.emit(|| Event::StepStart {

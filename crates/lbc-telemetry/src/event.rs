@@ -246,6 +246,12 @@ pub enum Event {
         /// receptions (f+1 internally-disjoint paths each).
         evidence: Vec<(NodeId, Value)>,
     },
+    /// The execution was cancelled cooperatively (a watchdog fired) before
+    /// it finished; the trace up to `step` is all the run produced.
+    RunInterrupted {
+        /// The step the cancellation was observed at.
+        step: u64,
+    },
     /// The execution finished.
     RunEnd {
         /// Rounds/steps executed.
@@ -343,6 +349,7 @@ impl Event {
                 }
                 s
             }
+            Event::RunInterrupted { step } => format!("run-interrupted s{step}"),
             Event::RunEnd {
                 rounds,
                 arena_paths,
@@ -364,7 +371,8 @@ impl Event {
             | Event::ChannelRetired { .. } => None,
             Event::StepStart { step }
             | Event::Delivery { step, .. }
-            | Event::BurstRelease { step, .. } => Some(Moment::Step(*step)),
+            | Event::BurstRelease { step, .. }
+            | Event::RunInterrupted { step } => Some(Moment::Step(*step)),
             Event::Transmission { at, .. }
             | Event::Scheduled { at, .. }
             | Event::Held { at, .. }

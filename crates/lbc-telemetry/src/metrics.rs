@@ -211,7 +211,7 @@ impl ToJson for MetricsRegistry {
 /// This is the campaign executor's per-cell collector: attach one per
 /// scenario run, then [`MetricsCollector::finish`] to obtain the registry
 /// that feeds the report's opt-in `telemetry` section.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsCollector {
     registry: MetricsRegistry,
     /// Deliveries per receiver within the current step (inbox depth).
@@ -295,6 +295,10 @@ impl Observer for MetricsCollector {
                 self.open_channels = self.open_channels.saturating_sub(1);
             }
             Event::NodeDecided { .. } => self.registry.inc("decisions", 1),
+            Event::RunInterrupted { step } => {
+                self.registry.inc("interrupted", 1);
+                self.registry.set_gauge("interrupted_at_step", *step);
+            }
             Event::RunEnd {
                 rounds,
                 arena_paths,

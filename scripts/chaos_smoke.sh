@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Chaos smoke: proves the campaign executor's fault tolerance end to end.
+#
+#  1. Chaos-inject a panic and a watchdog timeout into the committed smoke
+#     campaign (LBC_CHAOS): the run must complete anyway, exit with the
+#     infrastructure code (2), and record exactly the injected quarantines
+#     — byte-identically across worker counts.
+#  2. Chaos-kill a mid-flight campaign after 6 journaled cells (the journal
+#     flushes, then the process aborts without unwinding — what a SIGKILL
+#     leaves behind), then `--resume`: the resumed canonical report must
+#     byte-match the clean one-shot report, and the journal must be gone
+#     once the report is written.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LBC_CHAOS_OUT:-target/lbc-chaos-smoke}"
+rm -rf "$OUT"
+mkdir -p "$OUT/clean" "$OUT/chaos1" "$OUT/chaos4" "$OUT/killed"
+
+cargo build --release --bin lbc
+
+# Clean baseline: exit 0, no quarantines, no leftover journal.
+./target/release/lbc campaign examples/campaigns/smoke.json --out "$OUT/clean" --quiet
+if [ -e "$OUT/clean/smoke.checkpoint.json" ]; then
+  echo "clean run left its checkpoint journal behind" >&2
+  exit 1
+fi
+
+# 1. Panic + timeout injection: the run completes, exits 2, and the report
+#    carries exactly the injected failures — at any worker count. The
+#    budget must only ever catch the injected stall: the heaviest smoke
+#    cell runs ~30 ms, so 1000 ms leaves a wide margin for loaded CI
+#    runners while the 3000 ms injected delay still overshoots it.
+for w in 1 4; do
+  set +e
+  LBC_CHAOS="panic=7;delay=21:3000" ./target/release/lbc campaign examples/campaigns/smoke.json \
+    --cell-timeout 1000 --workers "$w" --out "$OUT/chaos$w" --quiet 2> "$OUT/chaos$w/stderr.log"
+  code=$?
+  set -e
+  if [ "$code" -ne 2 ]; then
+    echo "chaos campaign exited $code, want 2 (infrastructure failures)" >&2
+    cat "$OUT/chaos$w/stderr.log" >&2
+    exit 1
+  fi
+done
+cmp "$OUT/chaos1/smoke.report.json" "$OUT/chaos4/smoke.report.json"
+
+report="$OUT/chaos1/smoke.report.json"
+[ "$(grep -Ec '"outcome": ?"failed"' "$report")" -eq 1 ]
+[ "$(grep -Ec '"outcome": ?"timeout"' "$report")" -eq 1 ]
+grep -Eq '"panic": ?"chaos: injected panic in cell 7"' "$report"
+grep -q 'QUARANTINED (failed): #7' "$OUT/chaos1/stderr.log"
+grep -q 'QUARANTINED (timeout): #21' "$OUT/chaos1/stderr.log"
+
+# The diff gate must flag the newly quarantined cells as regressions.
+if ./target/release/lbc campaign diff "$OUT/clean/smoke.report.json" "$report" > /dev/null 2>&1; then
+  echo "campaign diff failed to flag quarantined cells as regressions" >&2
+  exit 1
+fi
+
+# 2. Kill mid-flight, then resume: byte-identical to the clean one-shot.
+set +e
+LBC_CHAOS="kill=6" ./target/release/lbc campaign examples/campaigns/smoke.json \
+  --workers 2 --out "$OUT/killed" --quiet 2> /dev/null
+code=$?
+set -e
+if [ "$code" -eq 0 ]; then
+  echo "chaos kill=6 did not kill the campaign" >&2
+  exit 1
+fi
+if [ ! -f "$OUT/killed/smoke.checkpoint.json" ]; then
+  echo "killed campaign left no checkpoint journal to resume from" >&2
+  exit 1
+fi
+if [ -f "$OUT/killed/smoke.report.json" ]; then
+  echo "killed campaign should not have written a report" >&2
+  exit 1
+fi
+./target/release/lbc campaign examples/campaigns/smoke.json --resume --workers 4 \
+  --out "$OUT/killed" --quiet
+cmp "$OUT/clean/smoke.report.json" "$OUT/killed/smoke.report.json"
+if [ -e "$OUT/killed/smoke.checkpoint.json" ]; then
+  echo "checkpoint journal not removed after a successful resume" >&2
+  exit 1
+fi
+
+echo "chaos smoke OK: quarantined panic/timeout (exit 2) + kill/resume byte-identity"

@@ -8,11 +8,17 @@
 //! lbc impossibility <graph> <f>    run the Figure 2/3 constructions on a deficient graph
 //! lbc experiments [id]             print experiment tables (all, or E1..E8)
 //! lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--list]
+//!              [--cell-timeout MS] [--resume]
 //!                                  expand and execute a campaign spec, writing
 //!                                  <name>.report.json (canonical, deterministic)
 //!                                  and <name>.report.csv (with wall times);
 //!                                  --list prints the expanded scenario table
-//!                                  without executing anything
+//!                                  without executing anything; panicking or
+//!                                  over-budget cells are quarantined, completed
+//!                                  cells are journaled so a killed run can be
+//!                                  continued byte-identically with --resume.
+//!                                  exit codes: 0 clean, 1 violations under
+//!                                  --strict, 2 infrastructure failures
 //! lbc campaign diff [--cross-spec] <old.json> <new.json>
 //!                                  compare two canonical reports (campaign or
 //!                                  search) cell-by-cell; exit non-zero on
@@ -43,8 +49,8 @@ use std::time::Instant;
 
 use lbc_campaign::diff::{diff_report_texts_with, DiffOptions};
 use lbc_campaign::{
-    render_search_plan, replay_scenario, run_scenarios_opts, run_search_resumed, CampaignSpec,
-    ExecOptions,
+    render_search_plan, replay_scenario, run_scenarios_resumable, run_search_resumed, CampaignSpec,
+    ChaosPolicy, CheckpointConfig, ExecOptions,
 };
 use lbc_model::json::{Json, ToJson};
 use local_broadcast_consensus::experiments;
@@ -88,13 +94,17 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
         "sleeper" => Strategy::SleeperTamper { honest_rounds: 3 },
         "straddle-tamper" => Strategy::StraddleTamper,
         "gst-equivocate" => Strategy::GstEquivocate,
+        "crash-recover" => Strategy::CrashRecover {
+            down_from: 2,
+            down_for: 2,
+        },
         _ => return None,
     })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--telemetry] [--list]\n  lbc trace <spec.json> --cell <id> [--no-timeline]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper straddle-tamper gst-equivocate\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b\nregimes (spec files): sync | {{\"kind\": \"async\", ...}} | {{\"kind\": \"partial-sync\", \"gst\": G, \"hold\": [..], ...}}"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--telemetry] [--list]\n               [--cell-timeout MS] [--resume]\n  lbc trace <spec.json> --cell <id> [--no-timeline]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper straddle-tamper gst-equivocate crash-recover\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b\nregimes (spec files): sync | {{\"kind\": \"async\", ...}} | {{\"kind\": \"partial-sync\", \"gst\": G, \"hold\": [..], ...}}\n\ncampaign exit codes: 0 = clean run, 1 = consensus violations under --strict,\n  2 = infrastructure trouble (panicked/timed-out cells, or a usage error)"
     );
     ExitCode::from(2)
 }
@@ -502,15 +512,27 @@ fn cmd_experiments(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]`
+/// `lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet]
+/// [--cell-timeout MS] [--resume]`
 ///
 /// Expands the spec, executes it on a worker pool, writes
 /// `<out>/<name>.report.json` (the canonical, worker-count-independent
 /// report) and `<out>/<name>.report.csv` (per-scenario rows including wall
 /// times) — `--out` defaults to the current directory, so running a
 /// committed example spec does not drop reports into the source tree —
-/// and prints the rollup summary. With `--strict` the exit code is
-/// non-zero when any scenario violates a consensus condition.
+/// and prints the rollup summary.
+///
+/// Execution is fault-tolerant: a panicking cell is quarantined as a
+/// `failed` record, `--cell-timeout MS` (or the spec's `limits` block)
+/// degrades over-budget cells to `timeout` records, and completed cells
+/// are journaled to `<out>/<name>.checkpoint.json` so a killed run can be
+/// continued with `--resume` (the resumed report is byte-identical to the
+/// one-shot report; the journal is removed once the report is written).
+///
+/// Exit codes distinguish outcome classes: **0** clean, **1** consensus
+/// violations under `--strict`, **2** infrastructure trouble (any
+/// panicked or timed-out cell; infrastructure takes precedence over
+/// `--strict`, and usage errors share this code).
 fn cmd_campaign(args: &[String]) -> ExitCode {
     if args.first().map(String::as_str) == Some("diff") {
         return cmd_campaign_diff(&args[1..]);
@@ -524,6 +546,8 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut telemetry = false;
     let mut list = false;
+    let mut cell_timeout_ms: Option<u64> = None;
+    let mut resume = false;
     let mut rest = args[1..].iter();
     while let Some(flag) = rest.next() {
         match flag.as_str() {
@@ -541,9 +565,17 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                 };
                 out_dir = Some(PathBuf::from(dir));
             }
+            "--cell-timeout" => {
+                let Some(ms) = rest.next().and_then(|w| w.parse::<u64>().ok()) else {
+                    eprintln!("--cell-timeout requires a budget in milliseconds");
+                    return ExitCode::from(2);
+                };
+                cell_timeout_ms = Some(ms);
+            }
             "--strict" => strict = true,
             "--quiet" => quiet = true,
             "--telemetry" => telemetry = true,
+            "--resume" => resume = true,
             "--list" => list = true,
             other => {
                 eprintln!("unknown campaign flag: {other}");
@@ -610,19 +642,38 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             println!("note: {note}");
         }
     }
-    let started = Instant::now();
-    let options = ExecOptions {
-        workers,
-        telemetry,
-        progress: !quiet,
-    };
-    let report = run_scenarios_opts(&spec, &scenarios, notes, &options);
-    let elapsed = started.elapsed();
+    // The output directory must exist before the run: the checkpoint
+    // journal lives there and is written while cells execute.
     let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
     if let Err(err) = fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {err}", out_dir.display());
         return ExitCode::FAILURE;
     }
+    let mut options = ExecOptions::new(workers);
+    options.telemetry = telemetry;
+    options.progress = !quiet;
+    options.cell_timeout_micros = cell_timeout_ms.map(|ms| ms.saturating_mul(1000));
+    options.chaos = ChaosPolicy::from_env();
+    let mut checkpoint =
+        CheckpointConfig::new(out_dir.join(format!("{}.checkpoint.json", spec.name)));
+    checkpoint.resume = resume;
+    if resume && checkpoint.path.exists() && !quiet {
+        println!(
+            "resuming completed cells from {}",
+            checkpoint.path.display()
+        );
+    }
+    let checkpoint_path = checkpoint.path.clone();
+    options.checkpoint = Some(checkpoint);
+    let started = Instant::now();
+    let report = match run_scenarios_resumable(&spec, &scenarios, notes, &options) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
     let json_path = out_dir.join(format!("{}.report.json", report.name()));
     let csv_path = out_dir.join(format!("{}.report.csv", report.name()));
     if let Err(err) = fs::write(&json_path, report.to_json().pretty() + "\n") {
@@ -632,6 +683,15 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     if let Err(err) = fs::write(&csv_path, report.to_csv()) {
         eprintln!("cannot write {}: {err}", csv_path.display());
         return ExitCode::FAILURE;
+    }
+    // The run is durably reported; the journal has served its purpose.
+    match fs::remove_file(&checkpoint_path) {
+        Ok(()) => {}
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+        Err(err) => eprintln!(
+            "warning: cannot remove checkpoint {}: {err}",
+            checkpoint_path.display()
+        ),
     }
     if let Some(telemetry) = report.telemetry() {
         let telemetry_path = out_dir.join(format!("{}.telemetry.csv", report.name()));
@@ -652,6 +712,25 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             json_path.display(),
             csv_path.display()
         );
+    }
+    // Infrastructure trouble (a panicked or timed-out cell) outranks
+    // verdict checking: the report is incomplete evidence either way.
+    let quarantined = report.quarantined();
+    if !quarantined.is_empty() {
+        for record in &quarantined {
+            eprintln!(
+                "QUARANTINED ({}): #{} {} {} f={} {} faulty={} inputs={}",
+                record.status.label(),
+                record.index,
+                record.graph,
+                record.algorithm.name(),
+                record.f,
+                record.strategy,
+                record.faulty,
+                record.inputs,
+            );
+        }
+        return ExitCode::from(2);
     }
     if strict && !report.all_correct() {
         for record in report.incorrect() {
