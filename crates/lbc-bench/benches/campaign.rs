@@ -64,6 +64,7 @@ fn bench_spec() -> CampaignSpec {
         ],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 
@@ -105,6 +106,7 @@ fn bench(c: &mut Criterion) {
         sweeps: vec![dense.sweeps[1].clone()],
         search: None,
         limits: None,
+        serve: None,
     };
     assert_eq!(cycle_alg2.sweeps[0].algorithms, [AlgorithmKind::Algorithm2]);
     let started = std::time::Instant::now();

@@ -1,0 +1,94 @@
+//! Repeated-consensus service benchmarks: the chained multi-instance
+//! driver (`runner::run_chain_under`, the engine behind `lbc serve`)
+//! against the same workload replayed as independent one-shot runs.
+//!
+//! The chain keeps one long-lived `Network` across all instances — the
+//! graph, `PathArena` plans, disjoint-path computations and membership
+//! memos are built once and amortized — while the one-shot rows pay the
+//! full construction cost per instance. The `chain*` median divided by
+//! the instance count is the amortized per-decision cost the serve gate
+//! walls in CI; the matching `oneshot*` row is the bound it must beat.
+//!
+//! Both variants run `C9(1,2)`, `f = 1`, a silent fault at node 3, and a
+//! rotating window of three input assignments, under the synchronous
+//! regime and under the fifo-2 asynchronous scheduler (where instance
+//! `k + 1` starts while instance `k`'s flood tails are still draining).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use lbc_adversary::Strategy;
+use lbc_consensus::runner::{self, AlgorithmKind};
+use lbc_graph::generators;
+use lbc_model::{AsyncRegime, InputAssignment, NodeId, NodeSet, Regime, SchedulerKind};
+
+const INSTANCES: usize = 100;
+
+fn inputs_window() -> Vec<InputAssignment> {
+    [0b011011001u64, 0b101100110, 0b010111010]
+        .into_iter()
+        .map(|bits| InputAssignment::from_bits(9, bits))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = generators::circulant(9, &[1, 2]);
+    let faulty = NodeSet::singleton(NodeId::new(3));
+    let window = inputs_window();
+
+    let chain = |regime: &Regime| {
+        let mut adversary = Strategy::Silent.into_adversary();
+        let window = window.clone();
+        runner::run_chain_under(
+            AlgorithmKind::AsyncFlood,
+            regime,
+            &graph,
+            1,
+            &faulty,
+            INSTANCES,
+            move |k| window[(k as usize) % window.len()].clone(),
+            &mut adversary,
+        )
+    };
+    let oneshot = |regime: &Regime| {
+        let mut decided = 0usize;
+        for k in 0..INSTANCES {
+            let mut adversary = Strategy::Silent.into_adversary();
+            let (outcome, _) = runner::run_kind_under(
+                AlgorithmKind::AsyncFlood,
+                regime,
+                &graph,
+                1,
+                &window[k % window.len()],
+                &faulty,
+                &mut adversary,
+            );
+            decided += usize::from(outcome.verdict().is_correct());
+        }
+        decided
+    };
+
+    let fifo2 = Regime::Asynchronous(AsyncRegime {
+        scheduler: SchedulerKind::Fifo,
+        delay: 2,
+        seed: 11,
+    });
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    group.bench_function("chain100_circ9_f1_sync", |b| {
+        b.iter(|| black_box(chain(&Regime::Synchronous)));
+    });
+    group.bench_function("oneshot100_circ9_f1_sync", |b| {
+        b.iter(|| black_box(oneshot(&Regime::Synchronous)));
+    });
+    group.bench_function("chain100_circ9_f1_fifo_d2", |b| {
+        b.iter(|| black_box(chain(&fifo2)));
+    });
+    group.bench_function("oneshot100_circ9_f1_fifo_d2", |b| {
+        b.iter(|| black_box(oneshot(&fifo2)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

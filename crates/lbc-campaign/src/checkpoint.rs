@@ -232,6 +232,7 @@ mod tests {
             sweeps: Vec::new(),
             search: None,
             limits: None,
+            serve: None,
         }
     }
 

@@ -507,6 +507,7 @@ mod tests {
             }],
             search: None,
             limits: None,
+            serve: None,
         };
         let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
         Json::parse(&text).unwrap()
@@ -697,6 +698,7 @@ mod tests {
                 }],
                 search: None,
                 limits: None,
+                serve: None,
             };
             let text = run_campaign(&spec, 2).unwrap().to_json().to_string();
             Json::parse(&text).unwrap()
@@ -765,6 +767,7 @@ mod tests {
                 rounds: 1,
             }),
             limits: None,
+            serve: None,
         };
         let text = crate::run_search(&spec, 2).unwrap().to_json().to_string();
         Json::parse(&text).unwrap()

@@ -807,6 +807,7 @@ mod tests {
             }],
             search: None,
             limits: None,
+            serve: None,
         }
     }
 

@@ -401,6 +401,7 @@ mod tests {
             }],
             search: None,
             limits: None,
+            serve: None,
         }
     }
 

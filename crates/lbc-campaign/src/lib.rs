@@ -93,6 +93,7 @@ pub mod executor;
 pub mod explain;
 pub mod report;
 pub mod search;
+pub mod serve;
 pub mod spec;
 pub mod telemetry;
 
@@ -108,6 +109,9 @@ pub use report::{CampaignReport, CellStatus, RollupRow, ScenarioRecord};
 pub use search::{
     render_search_plan, run_search, run_search_resumed, CellOutcome, Counterexample, SearchReport,
     SearchSpec, Severity,
+};
+pub use serve::{
+    run_serve, run_serve_opts, InstanceRecord, LaneReport, ServeLaneSpec, ServeReport, ServeSpec,
 };
 pub use spec::{
     CampaignSpec, FaultPolicy, GraphFamily, InputPolicy, LimitsSpec, RegimeSpec, Scenario,

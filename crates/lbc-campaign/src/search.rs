@@ -1169,6 +1169,7 @@ impl SearchReport {
             sweeps,
             search: None,
             limits: None,
+            serve: None,
         })
     }
 
@@ -1518,6 +1519,7 @@ mod tests {
                 rounds,
             }),
             limits: None,
+            serve: None,
         }
     }
 

@@ -99,6 +99,7 @@ const SALT_FAULTS: u64 = 0xFA;
 const SALT_INPUTS: u64 = 0x1A;
 const SALT_SCENARIO: u64 = 0x5C;
 const SALT_REGIME: u64 = 0xD1;
+pub(crate) const SALT_SERVE: u64 = 0x5E;
 
 // ---------------------------------------------------------------------------
 // graph families
@@ -1362,6 +1363,9 @@ pub struct CampaignSpec {
     /// Optional execution limits (per-cell watchdog budget). `None` keeps
     /// the pre-existing unbounded behaviour.
     pub limits: Option<LimitsSpec>,
+    /// The repeated-consensus service configuration (`lbc serve`); `None`
+    /// makes `lbc serve` reject the spec. Ignored by the grid executor.
+    pub serve: Option<crate::serve::ServeSpec>,
 }
 
 /// Validates that a resume artifact (a prior search report or a checkpoint
@@ -1556,6 +1560,9 @@ impl ToJson for CampaignSpec {
         if let Some(limits) = &self.limits {
             fields.push(("limits", limits.to_json()));
         }
+        if let Some(serve) = &self.serve {
+            fields.push(("serve", serve.to_json()));
+        }
         Json::object(fields)
     }
 }
@@ -1576,6 +1583,10 @@ impl FromJson for CampaignSpec {
                 .map(crate::search::SearchSpec::from_json)
                 .transpose()?,
             limits: value.get("limits").map(LimitsSpec::from_json).transpose()?,
+            serve: value
+                .get("serve")
+                .map(crate::serve::ServeSpec::from_json)
+                .transpose()?,
         })
     }
 }
@@ -1657,6 +1668,7 @@ mod tests {
             }],
             search: None,
             limits: None,
+            serve: None,
         }
     }
 
@@ -1938,6 +1950,7 @@ mod tests {
                 rounds: 4,
             }),
             limits: None,
+            serve: None,
         };
         let text = spec.to_json().pretty();
         let back = CampaignSpec::from_json_text(&text).unwrap();

@@ -89,6 +89,7 @@ fn determinism_spec(seed: u64) -> CampaignSpec {
         ],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 
@@ -362,6 +363,7 @@ proptest! {
             sweeps,
             search: None,
             limits: None,
+            serve: None,
         };
         let compact = spec.to_json().to_string();
         let pretty = spec.to_json().pretty();

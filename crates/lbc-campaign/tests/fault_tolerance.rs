@@ -48,6 +48,7 @@ fn small_spec(seed: u64) -> CampaignSpec {
         }],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn search_spec(budget: usize) -> CampaignSpec {
             rounds: 3,
         }),
         limits: None,
+        serve: None,
     }
 }
 
@@ -156,6 +157,7 @@ fn async_search_spec(budget: usize) -> CampaignSpec {
             rounds: 2,
         }),
         limits: None,
+        serve: None,
     }
 }
 

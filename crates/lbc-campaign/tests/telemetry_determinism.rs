@@ -68,6 +68,7 @@ fn telemetry_spec(seed: u64) -> CampaignSpec {
         ],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 

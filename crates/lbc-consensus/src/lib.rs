@@ -80,4 +80,4 @@ pub use algorithm3::Algorithm3Node;
 pub use asyncflood::AsyncFloodNode;
 pub use messages::{Alg2Message, DecisionMsg, FloodMsg, ReportMsg};
 pub use phased::StepCCase;
-pub use runner::AlgorithmKind;
+pub use runner::{AlgorithmKind, InstanceResult};

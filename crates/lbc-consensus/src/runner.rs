@@ -3,7 +3,7 @@
 
 use lbc_graph::Graph;
 use lbc_model::{CommModel, ConsensusOutcome, InputAssignment, NodeSet, Regime, Value};
-use lbc_sim::{Adversary, Network, ObserverHandle, Protocol, Trace};
+use lbc_sim::{Adversary, ChainStats, Network, ObserverHandle, Protocol, Trace};
 
 use crate::algorithm1::Algorithm1Node;
 use crate::algorithm2::Algorithm2Node;
@@ -507,6 +507,197 @@ where
     )
 }
 
+/// Per-instance judged result of a chained repeated-consensus run
+/// ([`run_chain_under`]): one [`ConsensusOutcome`] plus the instance's
+/// resource footprint, in instance order.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// The judged consensus outcome of this instance.
+    pub outcome: ConsensusOutcome,
+    /// Whether every non-faulty node terminated within the step budget.
+    pub all_non_faulty_terminated: bool,
+    /// Steps (lockstep rounds or scheduler steps) this instance consumed.
+    pub steps: usize,
+    /// Transmissions emitted by this instance, including its drain tail.
+    pub transmissions: usize,
+    /// Deliveries of this instance's transmissions.
+    pub deliveries: usize,
+}
+
+/// Runs `instances` consecutive executions of one algorithm over a single
+/// long-lived network — the repeated-consensus service core behind
+/// `lbc serve`. Instance `k + 1` starts while instance `k`'s flood tail
+/// drains; the path arena, disjoint-path plans, and ledger pair memos stay
+/// warm across instances, and each instance's ledger channels live in their
+/// own epoch session (see [`lbc_sim::Network::run_chain`]).
+///
+/// `inputs_for` is called once per instance (with the instance index) and
+/// must return one input per graph node; each instance is judged against its
+/// own assignment. Returns the per-instance results in order plus the
+/// chain-wide resource high-water marks.
+///
+/// # Panics
+///
+/// Panics when `kind` cannot execute under `regime` (see
+/// [`AlgorithmKind::supports_regime`]) or when `inputs_for` returns an
+/// assignment of the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_under<A, FI>(
+    kind: AlgorithmKind,
+    regime: &Regime,
+    graph: &Graph,
+    f: usize,
+    faulty: &NodeSet,
+    instances: usize,
+    mut inputs_for: FI,
+    adversary: &mut A,
+) -> (Vec<InstanceResult>, ChainStats)
+where
+    A: Adversary<FloodMsg> + Adversary<Alg2Message> + Adversary<P2pMessage>,
+    FI: FnMut(u64) -> InputAssignment,
+{
+    assert!(
+        kind.supports_regime(regime),
+        "{} is a synchronous round machine and cannot run under {regime}",
+        kind.name()
+    );
+    let n = graph.node_count();
+    match kind {
+        AlgorithmKind::Algorithm1 => chain_execute(
+            graph,
+            CommModel::LocalBroadcast,
+            regime,
+            f,
+            faulty,
+            instances,
+            &mut inputs_for,
+            |inputs| {
+                graph
+                    .nodes()
+                    .map(|v| Algorithm1Node::new(inputs.get(v)))
+                    .collect()
+            },
+            Algorithm1Node::round_count(n, f) * ROUND_MARGIN + 2,
+            adversary,
+        ),
+        AlgorithmKind::Algorithm2 => chain_execute(
+            graph,
+            CommModel::LocalBroadcast,
+            regime,
+            f,
+            faulty,
+            instances,
+            &mut inputs_for,
+            |inputs| {
+                graph
+                    .nodes()
+                    .map(|v| Algorithm2Node::new(inputs.get(v)))
+                    .collect()
+            },
+            Algorithm2Node::round_count(n) * ROUND_MARGIN + 2,
+            adversary,
+        ),
+        AlgorithmKind::P2pBaseline => chain_execute(
+            graph,
+            CommModel::PointToPoint,
+            regime,
+            f,
+            faulty,
+            instances,
+            &mut inputs_for,
+            |inputs| {
+                graph
+                    .nodes()
+                    .map(|v| P2pBaselineNode::new(inputs.get(v)))
+                    .collect()
+            },
+            P2pBaselineNode::round_count(n, f) * ROUND_MARGIN + 2,
+            adversary,
+        ),
+        AlgorithmKind::AsyncFlood => chain_execute(
+            graph,
+            CommModel::LocalBroadcast,
+            regime,
+            f,
+            faulty,
+            instances,
+            &mut inputs_for,
+            |inputs| {
+                graph
+                    .nodes()
+                    .map(|v| AsyncFloodNode::new(inputs.get(v)))
+                    .collect()
+            },
+            AsyncFloodNode::step_count_under(n, regime),
+            adversary,
+        ),
+    }
+}
+
+/// The monomorphic body behind [`run_chain_under`]: build one network, pump
+/// the chain, judge every instance against its own input assignment.
+#[allow(clippy::too_many_arguments)]
+fn chain_execute<P, A, FI, FB>(
+    graph: &Graph,
+    model: CommModel,
+    regime: &Regime,
+    f: usize,
+    faulty: &NodeSet,
+    instances: usize,
+    inputs_for: &mut FI,
+    mut build: FB,
+    max_steps: usize,
+    adversary: &mut A,
+) -> (Vec<InstanceResult>, ChainStats)
+where
+    P: Protocol,
+    A: Adversary<P::Message>,
+    FI: FnMut(u64) -> InputAssignment,
+    FB: FnMut(&InputAssignment) -> Vec<P>,
+{
+    let mut assignments: Vec<InputAssignment> = Vec::with_capacity(instances);
+    let first = inputs_for(0);
+    assert_eq!(
+        first.len(),
+        graph.node_count(),
+        "one input per graph node is required"
+    );
+    let nodes = build(&first);
+    assignments.push(first);
+    let mut network = Network::new(graph.clone(), model, faulty.clone(), nodes).with_fault_bound(f);
+    let (reports, stats) = network.run_chain(regime, adversary, max_steps, instances, |k| {
+        let inputs = inputs_for(k);
+        assert_eq!(
+            inputs.len(),
+            graph.node_count(),
+            "one input per graph node is required"
+        );
+        let nodes = build(&inputs);
+        assignments.push(inputs);
+        nodes
+    });
+    let results = reports
+        .into_iter()
+        .zip(assignments)
+        .map(|(report, inputs)| {
+            let mut outcome = ConsensusOutcome::new(inputs, faulty.clone());
+            for node in graph.nodes() {
+                if let Some(value) = report.outputs[node.index()] {
+                    outcome.record_output(node, value);
+                }
+            }
+            InstanceResult {
+                outcome,
+                all_non_faulty_terminated: report.all_non_faulty_terminated,
+                steps: report.steps,
+                transmissions: report.transmissions,
+                deliveries: report.deliveries,
+            }
+        })
+        .collect();
+    (results, stats)
+}
+
 /// Convenience: run one algorithm over *every* input assignment where the
 /// non-faulty inputs are not unanimous-by-construction is unnecessary; this
 /// helper simply enumerates all `2^n` assignments for small `n` and returns
@@ -626,6 +817,86 @@ mod tests {
         let faulty = NodeSet::singleton(NodeId::new(3));
         assert_eq!(honest_majority(&inputs, &faulty), Some(Value::One));
         assert_eq!(honest_majority(&inputs, &NodeSet::new()), Some(Value::One));
+    }
+
+    #[test]
+    fn chained_runs_decide_every_instance_for_every_kind() {
+        let graph = generators::complete(4);
+        for kind in AlgorithmKind::all() {
+            let (results, stats) = run_chain_under(
+                kind,
+                &Regime::Synchronous,
+                &graph,
+                1,
+                &NodeSet::new(),
+                3,
+                |k| InputAssignment::from_bits(4, 0b0110 ^ k),
+                &mut HonestAdversary,
+            );
+            assert_eq!(results.len(), 3, "{}", kind.name());
+            for (k, result) in results.iter().enumerate() {
+                assert!(result.all_non_faulty_terminated, "{} #{k}", kind.name());
+                assert!(
+                    result.outcome.verdict().is_correct(),
+                    "{} #{k}: {}",
+                    kind.name(),
+                    result.outcome
+                );
+            }
+            assert!(stats.max_live_per_tag <= 2, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn chained_async_flood_rides_one_network_with_a_fault() {
+        use lbc_model::{AsyncRegime, SchedulerKind};
+        let graph = generators::circulant(9, &[1, 2]);
+        let faulty = NodeSet::singleton(NodeId::new(3));
+        let regime = Regime::Asynchronous(AsyncRegime {
+            scheduler: SchedulerKind::EdgeLag,
+            delay: 3,
+            seed: 7,
+        });
+        let (results, stats) = run_chain_under(
+            AlgorithmKind::AsyncFlood,
+            &regime,
+            &graph,
+            1,
+            &faulty,
+            6,
+            |k| InputAssignment::from_bits(9, 0b0_1101_1001 >> (k % 3)),
+            &mut HonestAdversary,
+        );
+        assert_eq!(results.len(), 6);
+        for (k, result) in results.iter().enumerate() {
+            assert!(
+                result.outcome.verdict().is_correct(),
+                "#{k}: {}",
+                result.outcome
+            );
+        }
+        assert!(stats.max_live_per_tag <= 2);
+        assert!(stats.max_allocated_channels <= 3 * stats.live_tags.max(1));
+    }
+
+    #[test]
+    fn chain_of_one_judges_like_the_one_shot_runner() {
+        let graph = generators::paper_fig1a();
+        let inputs = InputAssignment::from_bits(5, 0b01011);
+        let (one_shot, _) =
+            run_algorithm2(&graph, 1, &inputs, &NodeSet::new(), &mut HonestAdversary);
+        let (results, _) = run_chain_under(
+            AlgorithmKind::Algorithm2,
+            &Regime::Synchronous,
+            &graph,
+            1,
+            &NodeSet::new(),
+            1,
+            |_| inputs.clone(),
+            &mut HonestAdversary,
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(format!("{}", results[0].outcome), format!("{one_shot}"));
     }
 
     #[test]

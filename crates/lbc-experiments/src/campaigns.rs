@@ -56,6 +56,7 @@ pub fn e1_campaign_spec() -> CampaignSpec {
         ],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 
@@ -85,6 +86,7 @@ pub fn e6_campaign_spec() -> CampaignSpec {
         ],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 
@@ -142,6 +144,7 @@ pub fn boundary_search_spec() -> CampaignSpec {
             rounds: 4,
         }),
         limits: None,
+        serve: None,
     }
 }
 
@@ -237,6 +240,7 @@ pub fn async_boundary_campaign_spec() -> CampaignSpec {
         ],
         search: None,
         limits: None,
+        serve: None,
     }
 }
 
@@ -334,6 +338,7 @@ pub fn gst_boundary_campaign_spec() -> CampaignSpec {
             rounds: 8,
         }),
         limits: None,
+        serve: None,
     }
 }
 

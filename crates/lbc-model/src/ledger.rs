@@ -300,6 +300,13 @@ pub struct FloodLedger {
     names: FxHashMap<(u32, u32), u32>,
     channels: Vec<Channel>,
     free: Vec<u32>,
+    /// Physical-epoch offset of the current instance session: every logical
+    /// epoch a protocol derives is shifted by this amount before naming a
+    /// channel, so consecutive consensus instances of a chained run never
+    /// collide on `(tag, epoch)` names. See [`FloodLedger::begin_session`].
+    session_base: u32,
+    /// One past the highest physical epoch any channel was opened at.
+    session_peak: u32,
     /// When `true`, channel open/retire operations append to `events`.
     /// Off by default: the uninstrumented hot path pays one branch.
     log_events: bool,
@@ -327,11 +334,13 @@ impl FloodLedger {
     /// exactly, keeps consumers that derive non-consecutive epochs (e.g. a
     /// step-indexed flood that skips step numbers) from leaking channels.
     pub fn open(&mut self, tag: u32, epoch: u32) -> ChannelId {
+        let epoch = self.session_base + epoch;
+        self.session_peak = self.session_peak.max(epoch + 1);
         if let Some(&slot) = self.names.get(&(tag, epoch)) {
             return ChannelId(slot);
         }
         if epoch >= 2 {
-            self.retire_through(tag, epoch - 2);
+            self.retire_through_physical(tag, epoch - 2);
         }
         let slot = self.free.pop().unwrap_or_else(|| {
             self.channels.push(Channel::default());
@@ -349,10 +358,51 @@ impl FloodLedger {
         ChannelId(slot)
     }
 
-    /// Retires every channel of `tag` whose epoch is at most `through`,
-    /// recycling their storage. Safe to call redundantly; called by
-    /// [`FloodLedger::open`] and by the flood engines' restart paths.
+    /// Retires every channel of `tag` whose epoch is at most `through`
+    /// (a logical epoch of the current session), recycling their storage.
+    /// Safe to call redundantly; called by [`FloodLedger::open`] and by the
+    /// flood engines' restart paths.
     pub fn retire_through(&mut self, tag: u32, through: u32) {
+        self.retire_through_physical(tag, self.session_base + through);
+    }
+
+    /// Begins the next instance session of a chained (repeated-consensus)
+    /// run: every subsequent [`FloodLedger::open`] maps its logical epoch
+    /// strictly above every physical epoch the previous session touched.
+    ///
+    /// The first open of each tag in the new session therefore retires that
+    /// tag's channels from **two sessions back** (the usual two-epoch rule,
+    /// applied at instance granularity), while the immediately previous
+    /// session's newest channel stays live exactly long enough for its flood
+    /// tail to drain into it. Returns the new session's base physical epoch.
+    pub fn begin_session(&mut self) -> u32 {
+        self.session_base = self.session_peak.max(self.session_base + 1);
+        self.session_base
+    }
+
+    /// The largest number of concurrently live channels sharing one tag —
+    /// the quantity the two-epoch retirement rule bounds (≤ 2 in steady
+    /// state, whether epochs advance within one instance or across chained
+    /// sessions).
+    #[must_use]
+    pub fn max_live_channels_per_tag(&self) -> usize {
+        let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+        for (tag, _) in self.names.keys() {
+            *counts.entry(*tag).or_default() += 1;
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct tags with at least one live channel.
+    #[must_use]
+    pub fn live_tag_count(&self) -> usize {
+        let mut tags: Vec<u32> = self.names.keys().map(|(tag, _)| *tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags.len()
+    }
+
+    fn retire_through_physical(&mut self, tag: u32, through: u32) {
         let mut stale: Vec<(u32, u32)> = self
             .names
             .keys()
@@ -614,6 +664,12 @@ impl SharedFloodLedger {
         self.inner.borrow_mut().retire_through(tag, through);
     }
 
+    /// Begins the next instance session of a chained run. See
+    /// [`FloodLedger::begin_session`].
+    pub fn begin_session(&self) -> u32 {
+        self.inner.borrow_mut().begin_session()
+    }
+
     /// Records a relay-keyed broadcast. See [`FloodLedger::record_relay`].
     pub fn record_relay(&self, channel: ChannelId, relay: PathId, value: Value) -> Value {
         self.inner.borrow_mut().record_relay(channel, relay, value)
@@ -851,6 +907,74 @@ mod tests {
         let shared = ledger.set_pair_paths(n(0), n(1), plan.clone());
         assert_eq!(*shared, plan);
         assert_eq!(*ledger.pair_paths(n(0), n(1)).unwrap(), plan);
+    }
+
+    #[test]
+    fn sessions_isolate_instances_and_stay_bounded() {
+        // A chained repeated-consensus run begins one session per instance.
+        // Each instance re-derives logical epoch 0 for its flood tags; the
+        // session base must keep the names distinct, keep the previous
+        // instance's channel live (its tail is still draining), and retire
+        // everything two instances back.
+        let mut ledger = FloodLedger::new();
+        let mut previous = ledger.open(3, 0);
+        ledger.record_relay(previous, pid(1), Value::One);
+        for instance in 1..500 {
+            ledger.begin_session();
+            let current = ledger.open(3, 0);
+            assert_ne!(
+                current, previous,
+                "instance {instance} joined a stale channel"
+            );
+            assert_eq!(
+                ledger.relay_value(current, pid(1)),
+                None,
+                "instance {instance} sees the previous instance's records"
+            );
+            ledger.record_relay(current, pid(1), Value::One);
+            assert!(
+                ledger.live_channels() <= 2,
+                "instance {instance} leaks channels"
+            );
+            assert!(ledger.max_live_channels_per_tag() <= 2);
+            previous = current;
+        }
+        assert!(
+            ledger.allocated_channels() <= 3,
+            "retired instance channels must recycle slots: {}",
+            ledger.allocated_channels()
+        );
+        assert_eq!(ledger.live_tag_count(), 1);
+    }
+
+    #[test]
+    fn sessions_clear_multi_epoch_instances() {
+        // An instance that advances several logical epochs itself (Algorithm
+        // 1 restarts once per candidate fault set) must still hand the next
+        // session a base above its peak, and per-tag liveness stays bounded.
+        let mut ledger = FloodLedger::new();
+        for _ in 0..50 {
+            for epoch in 0..5 {
+                let _ = ledger.open(7, epoch);
+                let _ = ledger.open(8, epoch);
+            }
+            assert!(ledger.max_live_channels_per_tag() <= 2);
+            ledger.begin_session();
+        }
+        assert_eq!(ledger.live_tag_count(), 2);
+        assert!(ledger.allocated_channels() <= 6);
+    }
+
+    #[test]
+    fn session_retire_through_shifts_with_the_base() {
+        let mut ledger = FloodLedger::new();
+        let _ = ledger.open(0, 0);
+        ledger.begin_session();
+        let _ = ledger.open(0, 0);
+        // Logical retirement in the new session must not miss the previous
+        // session's channel once explicitly asked to sweep it.
+        ledger.retire_through(0, 0);
+        assert_eq!(ledger.live_channels(), 0);
     }
 
     #[test]

@@ -45,12 +45,14 @@
 
 mod adversary;
 pub mod cancel;
+mod chain;
 mod network;
 mod protocol;
 mod trace;
 
 pub use adversary::{honest_adversary, Adversary, HonestAdversary};
 pub use cancel::CancelToken;
+pub use chain::{ChainStats, InstanceReport};
 pub use network::{Network, RunReport};
 pub use protocol::{
     ByzantineMessage, Delivery, EchoOnce, Inbox, InboxIter, NodeContext, Outgoing, Protocol,

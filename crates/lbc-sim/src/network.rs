@@ -79,22 +79,22 @@ impl RunReport {
 /// [`CommModel`].
 #[derive(Debug)]
 pub struct Network<P: Protocol> {
-    graph: Graph,
-    model: CommModel,
-    faulty: NodeSet,
-    f: usize,
-    nodes: Vec<P>,
+    pub(crate) graph: Graph,
+    pub(crate) model: CommModel,
+    pub(crate) faulty: NodeSet,
+    pub(crate) f: usize,
+    pub(crate) nodes: Vec<P>,
     /// The execution-wide path-interning arena shared by all nodes.
-    arena: SharedPathArena,
+    pub(crate) arena: SharedPathArena,
     /// The execution-wide shared flood ledger (broadcast-once records).
-    ledger: SharedFloodLedger,
+    pub(crate) ledger: SharedFloodLedger,
     /// The telemetry sink. Disabled by default: every emission site then
     /// costs one branch and constructs nothing.
-    observer: ObserverHandle,
+    pub(crate) observer: ObserverHandle,
     /// Cooperative cancellation: adopted from the thread's ambient token
     /// ([`crate::cancel::install_ambient`]) at construction. Checked at the
     /// top of every step loop; `None` costs nothing.
-    cancel: Option<CancelToken>,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -135,7 +135,7 @@ impl<P: Protocol> Network<P> {
 
     /// Whether the ambient cancellation token (if any) has fired. One
     /// relaxed load; `false` when no token is installed.
-    fn cancel_requested(&self) -> bool {
+    pub(crate) fn cancel_requested(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
@@ -466,7 +466,7 @@ impl<P: Protocol> Network<P> {
     /// clamp advances to `gst` so later fair deliveries on that edge cannot
     /// overtake the burst.
     #[allow(clippy::too_many_arguments)]
-    fn enqueue_async(
+    pub(crate) fn enqueue_async(
         &self,
         config: &lbc_model::AsyncRegime,
         psync: Option<(u64, lbc_model::AdversarialSchedule)>,
@@ -562,7 +562,7 @@ impl<P: Protocol> Network<P> {
         }
     }
 
-    fn all_non_faulty_terminated(&self) -> bool {
+    pub(crate) fn all_non_faulty_terminated(&self) -> bool {
         self.graph
             .nodes()
             .filter(|v| !self.faulty.contains(*v))
@@ -577,7 +577,7 @@ impl<P: Protocol> Network<P> {
     /// honest set and is quadratic in it, so it runs only under an enabled
     /// observer — unobserved runs keep the pre-telemetry hot path and
     /// report zero interference counts.
-    fn collect_outgoing<A>(
+    pub(crate) fn collect_outgoing<A>(
         &mut self,
         regime: &Regime,
         adversary: &mut A,
@@ -684,7 +684,7 @@ impl<P: Protocol> Network<P> {
     ///
     /// Deliveries are ordered by sender id and, per sender, by transmission
     /// order (FIFO links).
-    fn deliver(
+    pub(crate) fn deliver(
         &self,
         pending: Vec<Vec<Outgoing<P::Message>>>,
         buffer: &mut Vec<Delivery<P::Message>>,

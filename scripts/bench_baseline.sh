@@ -17,5 +17,5 @@ OUT_FILE="${1:-BENCH_baseline.json}"
 export LBC_BENCH_OUT="${LBC_BENCH_OUT:-$(pwd)/target/lbc-bench}"
 rm -rf "$LBC_BENCH_OUT"
 
-cargo bench -p lbc-bench --bench fig1a_cycle --bench reliable_receive --bench threshold_sweep --bench async_regime
+cargo bench -p lbc-bench --bench fig1a_cycle --bench reliable_receive --bench threshold_sweep --bench async_regime --bench serve_throughput
 cargo run --release -p lbc-bench --bin bench_baseline -- "$OUT_FILE"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs every smoke gate in sequence — the seven CI walls — printing a
+# per-gate wall time and keeping going past failures so one broken gate
+# does not hide the state of the rest. Exits non-zero if any gate failed.
+#
+#   scripts/smoke_all.sh              # run all seven gates
+#   scripts/smoke_all.sh serve gst    # run a subset by name
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+ALL_GATES=(campaign search async gst obs chaos serve)
+if [[ $# -gt 0 ]]; then
+  GATES=("$@")
+else
+  GATES=("${ALL_GATES[@]}")
+fi
+
+# One shared release build up front so the first gate's wall time is the
+# gate, not the compile.
+cargo build --release --bin lbc || exit 1
+
+declare -a RESULTS=()
+failed=0
+for gate in "${GATES[@]}"; do
+  script="scripts/${gate}_smoke.sh"
+  if [[ ! -x "$script" ]]; then
+    echo "smoke_all: unknown gate '$gate' (no $script)" >&2
+    failed=1
+    RESULTS+=("MISSING ${gate}")
+    continue
+  fi
+  echo "=== ${gate} smoke ==="
+  start=$SECONDS
+  if "$script"; then
+    RESULTS+=("ok      ${gate}  $((SECONDS - start))s")
+  else
+    failed=1
+    RESULTS+=("FAILED  ${gate}  $((SECONDS - start))s")
+  fi
+done
+
+echo
+echo "=== smoke gates ==="
+for line in "${RESULTS[@]}"; do
+  echo "  $line"
+done
+if [[ "$failed" -ne 0 ]]; then
+  echo "smoke_all: at least one gate failed" >&2
+  exit 1
+fi
+echo "smoke_all: all ${#GATES[@]} gates passed"

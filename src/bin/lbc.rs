@@ -24,6 +24,16 @@
 //!                                  search) cell-by-cell; exit non-zero on
 //!                                  verdict regressions. --cross-spec matches
 //!                                  by coordinates and tolerates added grids
+//! lbc serve <spec.json> [--instances N] [--workers N] [--out DIR]
+//!           [--strict] [--quiet] [--list]
+//!                                  run the spec's repeated-consensus service
+//!                                  lanes: N consecutive instances chained over
+//!                                  one long-lived network per lane; writes
+//!                                  <name>.serve.report.json (canonical,
+//!                                  deterministic) and <name>.serve.report.csv
+//!                                  (per-instance latencies). exit codes:
+//!                                  0 clean, 1 incorrect instances under
+//!                                  --strict, 2 unbounded ledger channels
 //! lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT]
 //!            [--require-violation] [--list]
 //!                                  per-cell worst-case adversary search; writes
@@ -49,8 +59,8 @@ use std::time::Instant;
 
 use lbc_campaign::diff::{diff_report_texts_with, DiffOptions};
 use lbc_campaign::{
-    render_search_plan, replay_scenario, run_scenarios_resumable, run_search_resumed, CampaignSpec,
-    ChaosPolicy, CheckpointConfig, ExecOptions,
+    render_search_plan, replay_scenario, run_scenarios_resumable, run_search_resumed,
+    run_serve_opts, CampaignSpec, ChaosPolicy, CheckpointConfig, ExecOptions,
 };
 use lbc_model::json::{Json, ToJson};
 use local_broadcast_consensus::experiments;
@@ -104,7 +114,7 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--telemetry] [--list]\n               [--cell-timeout MS] [--resume]\n  lbc trace <spec.json> --cell <id> [--no-timeline]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper straddle-tamper gst-equivocate crash-recover\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b\nregimes (spec files): sync | {{\"kind\": \"async\", ...}} | {{\"kind\": \"partial-sync\", \"gst\": G, \"hold\": [..], ...}}\n\ncampaign exit codes: 0 = clean run, 1 = consensus violations under --strict,\n  2 = infrastructure trouble (panicked/timed-out cells, or a usage error)"
+        "usage:\n  lbc check <graph> <f> [t]\n  lbc run <alg1|alg2|alg3|p2p|async> <graph> <f> <faulty-node> <strategy>\n  lbc impossibility <graph> <f>\n  lbc experiments [E1..E8]\n  lbc campaign <spec.json> [--workers N] [--out DIR] [--strict] [--quiet] [--telemetry] [--list]\n               [--cell-timeout MS] [--resume]\n  lbc serve <spec.json> [--instances N] [--workers N] [--out DIR] [--strict] [--quiet] [--list]\n  lbc trace <spec.json> --cell <id> [--no-timeline]\n  lbc campaign diff [--cross-spec] <old.report.json> <new.report.json>\n  lbc search <spec.json> [--workers N] [--out DIR] [--resume REPORT] [--require-violation] [--quiet] [--list]\n  lbc graphs\n\nstrategies: honest silent tamper-all tamper-relays equivocate random sleeper straddle-tamper gst-equivocate crash-recover\ngraphs: c<N> k<N> circ<N> wheel<N> path<N> q3 fig1a fig1b\nregimes (spec files): sync | {{\"kind\": \"async\", ...}} | {{\"kind\": \"partial-sync\", \"gst\": G, \"hold\": [..], ...}}\n\ncampaign exit codes: 0 = clean run, 1 = consensus violations under --strict,\n  2 = infrastructure trouble (panicked/timed-out cells, or a usage error)"
     );
     ExitCode::from(2)
 }
@@ -751,6 +761,169 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(spec_path) = args.first() else {
+        return usage();
+    };
+    let mut workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let mut instances: Option<usize> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut quiet = false;
+    let mut list = false;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--workers" => {
+                let Some(count) = rest.next().and_then(|w| w.parse::<usize>().ok()) else {
+                    eprintln!("--workers requires a positive integer");
+                    return ExitCode::from(2);
+                };
+                workers = count.max(1);
+            }
+            "--instances" => {
+                let Some(count) = rest.next().and_then(|w| w.parse::<usize>().ok()) else {
+                    eprintln!("--instances requires a positive integer");
+                    return ExitCode::from(2);
+                };
+                instances = Some(count);
+            }
+            "--out" => {
+                let Some(dir) = rest.next() else {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--strict" => strict = true,
+            "--quiet" => quiet = true,
+            "--list" => list = true,
+            other => {
+                eprintln!("unknown serve flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CampaignSpec::from_json_text(&text) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(serve) = &spec.serve else {
+        eprintln!("{spec_path}: spec has no 'serve' block");
+        return ExitCode::from(2);
+    };
+    if list {
+        // Spec debugging: print the lane table, run nothing.
+        println!(
+            "serve '{}' (seed {}): {} lanes x {} instances",
+            spec.name,
+            spec.seed,
+            serve.lanes.len(),
+            instances.unwrap_or(serve.instances)
+        );
+        for (index, lane) in serve.lanes.iter().enumerate() {
+            println!(
+                "  lane {index} {} n={} f={} {} [{}] {} faulty={:?}",
+                lane.family.label(lane.n),
+                lane.n,
+                lane.f,
+                lane.algorithm.name(),
+                lane.regime.label(),
+                lane.strategy.name(),
+                lane.faulty,
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !quiet {
+        println!(
+            "serve '{}': {} lanes x {} instances on {workers} workers",
+            spec.name,
+            serve.lanes.len(),
+            instances.unwrap_or(serve.instances)
+        );
+    }
+    let report = match run_serve_opts(&spec, workers, instances) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{spec_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_dir = out_dir.unwrap_or_else(|| PathBuf::from("."));
+    if let Err(err) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let json_path = out_dir.join(format!("{}.serve.report.json", report.name()));
+    let csv_path = out_dir.join(format!("{}.serve.report.csv", report.name()));
+    if let Err(err) = fs::write(&json_path, report.to_json().pretty() + "\n") {
+        eprintln!("cannot write {}: {err}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = fs::write(&csv_path, report.to_csv()) {
+        eprintln!("cannot write {}: {err}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        print!("{}", report.render_summary());
+        println!(
+            "wall time {:.3}s ({} workers); wrote {} and {}",
+            report.total_wall_micros() as f64 / 1e6,
+            workers,
+            json_path.display(),
+            csv_path.display()
+        );
+    }
+    // The end-of-run consistency gate: channel growth is infrastructure
+    // trouble (the chain leaked ledger slots across instances), which
+    // outranks verdict checking under --strict.
+    if !report.channels_bounded() {
+        for lane in report.lanes() {
+            if !lane.channels_bounded() {
+                eprintln!(
+                    "UNBOUNDED CHANNELS: lane {} {} live/tag={} allocated={} tags={}",
+                    lane.index,
+                    lane.graph,
+                    lane.stats.max_live_per_tag,
+                    lane.stats.max_allocated_channels,
+                    lane.stats.live_tags,
+                );
+            }
+        }
+        return ExitCode::from(2);
+    }
+    if strict && !report.all_correct() {
+        for lane in report.lanes() {
+            for (k, record) in lane.instances.iter().enumerate() {
+                if !record.verdict.is_correct() {
+                    eprintln!(
+                        "INCORRECT: lane {} instance {k} {} {} f={} {} ({})",
+                        lane.index,
+                        lane.graph,
+                        lane.algorithm.name(),
+                        lane.f,
+                        lane.strategy,
+                        record.verdict
+                    );
+                }
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_trace(args: &[String]) -> ExitCode {
     let Some(spec_path) = args.first() else {
         return usage();
@@ -821,6 +994,7 @@ fn main() -> ExitCode {
         Some("impossibility") => cmd_impossibility(&args[1..]),
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
         Some("graphs") => {
